@@ -1,0 +1,63 @@
+//! Extension experiment — spatiotemporal MQDP (the paper's Section 9
+//! future work): solution sizes and per-post time of the greedy set-cover
+//! solver vs the per-label time-sweep heuristic, across spatial thresholds,
+//! on hotspot-clustered geo streams.
+//!
+//! Expectation: with a large spatial threshold the problem degenerates to
+//! 1-D MQDP and the two nearly tie; as the threshold shrinks below the
+//! hotspot spread, solutions grow (each hotspot needs its own
+//! representatives) and greedy's cross-label/cross-hotspot choices beat the
+//! sweep.
+
+use mqd_bench::{f1, f3, BenchArgs, Report, Table};
+use mqd_geo::{generate_geo_posts, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda,
+    GeoStreamConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let posts_n = if args.quick { 400 } else { 2_000 };
+    let dists: &[i64] = &[100, 300, 1_000, 5_000, 50_000];
+    let runs = if args.quick { 2 } else { 5 };
+
+    let mut report = Report::new(
+        "ext_geo",
+        "Spatiotemporal extension: greedy vs time-sweep across spatial thresholds",
+    );
+    report.note(format!(
+        "{posts_n} posts, 4 hotspots (spread 300), 3 labels, lambda.time = 5 min, {runs} runs per point"
+    ));
+
+    let mut t = Table::new(
+        "Mean solution sizes and per-post time",
+        &["lambda_dist", "greedy_size", "sweep_size", "greedy_us", "sweep_us"],
+    );
+    for &d in dists {
+        let mut sums = [0f64; 4];
+        for r in 0..runs {
+            let posts = generate_geo_posts(&GeoStreamConfig {
+                posts: posts_n,
+                seed: args.seed + r as u64,
+                ..Default::default()
+            });
+            let inst = GeoInstance::new(posts, 3, GeoLambda::new(300_000, d));
+            let (g, dg) = mqd_bench::time_it(|| solve_geo_greedy(&inst));
+            let (s, ds) = mqd_bench::time_it(|| solve_geo_sweep(&inst));
+            assert!(inst.is_cover(&g.selected), "greedy non-cover");
+            assert!(inst.is_cover(&s.selected), "sweep non-cover");
+            sums[0] += g.size() as f64;
+            sums[1] += s.size() as f64;
+            sums[2] += mqd_bench::micros_per_post(inst.len(), dg);
+            sums[3] += mqd_bench::micros_per_post(inst.len(), ds);
+        }
+        let m = runs as f64;
+        t.row(&[
+            d.to_string(),
+            f1(sums[0] / m),
+            f1(sums[1] / m),
+            f3(sums[2] / m),
+            f3(sums[3] / m),
+        ]);
+    }
+    report.table(t);
+    report.write(&args.out).expect("write report");
+}

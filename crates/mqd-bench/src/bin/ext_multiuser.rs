@@ -1,0 +1,80 @@
+//! Extension experiment — multi-user fan-out throughput (Section 7.3's
+//! "millions of users" motivation): posts per second sustained by the
+//! shared-pass [`MultiUserHub`] as the user population grows, versus the
+//! naive one-engine-per-user baseline cost model.
+
+use std::time::Instant;
+
+use mqd_bench::{f1, BenchArgs, Report, Table};
+use mqd_stream::MultiUserHub;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let num_topics = 300u32; // the paper's LDA topic count
+    let posts_n = if args.quick { 20_000 } else { 100_000 };
+    let user_counts: &[usize] = if args.quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+
+    // Global stream: each post carries 1-2 of the 300 topics (zipf-ish).
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let zipf_topic = |rng: &mut StdRng| -> u32 {
+        // Approximate zipf by squaring a uniform draw.
+        let u: f64 = rng.random();
+        ((u * u) * num_topics as f64) as u32
+    };
+    let stream: Vec<(i64, Vec<u32>)> = (0..posts_n)
+        .map(|i| {
+            let mut topics = vec![zipf_topic(&mut rng)];
+            if rng.random::<f64>() < 0.2 {
+                topics.push(zipf_topic(&mut rng));
+            }
+            topics.sort_unstable();
+            topics.dedup();
+            (i as i64 * 20, topics) // ~50 posts/sec
+        })
+        .collect();
+
+    let mut report = Report::new(
+        "ext_multiuser",
+        "Multi-user fan-out: shared-pass hub throughput vs user count",
+    );
+    report.note(format!(
+        "{posts_n} global posts over {num_topics} topics; each user subscribes to 2-5 topics; lambda = 60 s"
+    ));
+
+    let mut t = Table::new(
+        "Hub throughput",
+        &["users", "posts_per_sec", "total_deliveries", "mean_deliveries_per_user"],
+    );
+    for &users_n in user_counts {
+        let subscriptions: Vec<Vec<u32>> = (0..users_n)
+            .map(|_| {
+                let k = rng.random_range(2..=5usize);
+                let mut ts: Vec<u32> = (0..k).map(|_| zipf_topic(&mut rng)).collect();
+                ts.sort_unstable();
+                ts.dedup();
+                ts
+            })
+            .collect();
+        let mut hub = MultiUserHub::new(subscriptions, 60_000);
+        let t0 = Instant::now();
+        let mut deliveries = 0u64;
+        for (time, topics) in &stream {
+            deliveries += hub.on_post(*time, topics).len() as u64;
+        }
+        let dt = t0.elapsed();
+        t.row(&[
+            users_n.to_string(),
+            f1(posts_n as f64 / dt.as_secs_f64()),
+            deliveries.to_string(),
+            f1(deliveries as f64 / users_n as f64),
+        ]);
+    }
+    report.table(t);
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,89 @@
+//! Figure 6 — relative solution-size error of Scan / Scan+ / GreedySC
+//! against the exact OPT, and absolute solution sizes, as the *post overlap
+//! rate* varies (|L| = 3, lambda = 5 s, 10-minute slices).
+//!
+//! Paper expectation: GreedySC error is generally lower than Scan/Scan+
+//! except at overlap ≈ 1 (where Scan is optimal per label and overall);
+//! absolute sizes drop as overlap grows.
+
+use mqd_bench::{f3, BenchArgs, Report, Table, OPT_FEASIBLE_PER_LABEL_PER_MIN};
+use mqd_core::algorithms::{
+    solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let lambda_ms = 5_000i64;
+    let num_labels = 3;
+    let runs_per_point = if args.quick { 2 } else { 8 };
+    let overlaps: &[f64] = &[1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8];
+
+    let mut report = Report::new(
+        "fig06",
+        "Relative errors and solution sizes vs overlap (|L|=3, lambda=5s, 10-min)",
+    );
+    report.note(format!(
+        "per-label rate {OPT_FEASIBLE_PER_LABEL_PER_MIN}/min (OPT-feasible scale), {runs_per_point} label sets per overlap value"
+    ));
+    report.note("paper: Figures 6a-6d; GreedySC < Scan except near overlap 1 where Scan is optimal");
+
+    let mut scatter = Table::new(
+        "Per-run results (Fig 6a-c scatter)",
+        &["overlap", "opt", "scan_err", "scanplus_err", "greedy_err"],
+    );
+    let mut sizes = Table::new(
+        "Mean absolute solution sizes (Fig 6d)",
+        &["overlap", "opt", "scan", "scanplus", "greedy"],
+    );
+
+    for (oi, &overlap) in overlaps.iter().enumerate() {
+        let mut sums = [0f64; 4]; // opt, scan, scan+, greedy sizes
+        let mut n_ok = 0usize;
+        for r in 0..runs_per_point {
+            let seed = args.seed + (oi * 1000 + r) as u64;
+            let inst = mqd_bench::ten_minute_instance(
+                num_labels,
+                OPT_FEASIBLE_PER_LABEL_PER_MIN,
+                overlap,
+                seed,
+            );
+            let f = FixedLambda(lambda_ms);
+            let opt = match solve_opt(&inst, lambda_ms, &OptConfig::default()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("skipping seed {seed}: {e}");
+                    continue;
+                }
+            };
+            let scan = solve_scan(&inst, &f);
+            let scanp = solve_scan_plus(&inst, &f, LabelOrder::Input);
+            let greedy = solve_greedy_sc(&inst, &f);
+            scatter.row(&[
+                format!("{:.3}", inst.overlap_rate()),
+                opt.size().to_string(),
+                f3(scan.relative_error(opt.size())),
+                f3(scanp.relative_error(opt.size())),
+                f3(greedy.relative_error(opt.size())),
+            ]);
+            sums[0] += opt.size() as f64;
+            sums[1] += scan.size() as f64;
+            sums[2] += scanp.size() as f64;
+            sums[3] += greedy.size() as f64;
+            n_ok += 1;
+        }
+        if n_ok > 0 {
+            let m = n_ok as f64;
+            sizes.row(&[
+                format!("{overlap:.1}"),
+                f3(sums[0] / m),
+                f3(sums[1] / m),
+                f3(sums[2] / m),
+                f3(sums[3] / m),
+            ]);
+        }
+    }
+    report.table(scatter);
+    report.table(sizes);
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,72 @@
+//! Figure 7 — relative solution-size error of the approximation algorithms
+//! for varying lambda (|L| = 2, 10-minute slices, exact OPT baseline).
+//!
+//! Paper expectation: all approximation errors grow with lambda (more
+//! coverage choices make the problem harder); GreedySC stays below the
+//! Scan variants, with up to ~60% improvement at lambda = 20–30 s.
+
+use mqd_bench::{f3, BenchArgs, Report, Table, OPT_FEASIBLE_PER_LABEL_PER_MIN};
+use mqd_core::algorithms::{
+    solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let num_labels = 2;
+    let overlap = 1.25;
+    let runs = if args.quick { 3 } else { 12 };
+    let lambdas_s: &[i64] = &[5, 10, 15, 20, 25, 30];
+
+    let mut report = Report::new(
+        "fig07",
+        "Relative solution-size error vs lambda (|L|=2, 10-min slices)",
+    );
+    report.note(format!(
+        "per-label rate {OPT_FEASIBLE_PER_LABEL_PER_MIN}/min (OPT-feasible scale), overlap {overlap}, {runs} label sets per lambda"
+    ));
+    report.note("paper: Figure 7; errors increase with lambda, GreedySC lowest");
+
+    let mut t = Table::new(
+        "Mean relative error vs OPT",
+        &["lambda_s", "scan", "scanplus", "greedy", "opt_size"],
+    );
+    for &ls in lambdas_s {
+        let lambda_ms = ls * 1000;
+        let f = FixedLambda(lambda_ms);
+        let mut errs = [0f64; 3];
+        let mut opt_sum = 0f64;
+        let mut n_ok = 0usize;
+        for r in 0..runs {
+            let seed = args.seed + (ls as usize * 100 + r) as u64;
+            let inst = mqd_bench::ten_minute_instance(
+                num_labels,
+                OPT_FEASIBLE_PER_LABEL_PER_MIN,
+                overlap,
+                seed,
+            );
+            let opt = match solve_opt(&inst, lambda_ms, &OptConfig::default()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("skipping seed {seed}: {e}");
+                    continue;
+                }
+            };
+            errs[0] += solve_scan(&inst, &f).relative_error(opt.size());
+            errs[1] += solve_scan_plus(&inst, &f, LabelOrder::Input).relative_error(opt.size());
+            errs[2] += solve_greedy_sc(&inst, &f).relative_error(opt.size());
+            opt_sum += opt.size() as f64;
+            n_ok += 1;
+        }
+        let m = n_ok.max(1) as f64;
+        t.row(&[
+            ls.to_string(),
+            f3(errs[0] / m),
+            f3(errs[1] / m),
+            f3(errs[2] / m),
+            f3(opt_sum / m),
+        ]);
+    }
+    report.table(t);
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,59 @@
+//! Figure 8 — absolute solution sizes on one day of tweets for varying
+//! label-set size |L|, at lambda = 10 and 30 minutes.
+//!
+//! Paper expectation: Scan grows linearly in |L| (it handles labels
+//! independently); GreedySC outperforms both Scan variants, increasingly so
+//! for larger |L|.
+
+use mqd_bench::{BenchArgs, Report, Table, CALIBRATED_PER_LABEL_PER_MIN};
+use mqd_core::algorithms::{solve_greedy_sc, solve_scan, solve_scan_plus, LabelOrder};
+use mqd_core::{coverage, FixedLambda};
+use mqd_datagen::MINUTE_MS;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.effective_scale();
+    let sizes: &[usize] = &[2, 5, 10, 20];
+    let lambdas_min: &[i64] = &[10, 30];
+
+    let mut report = Report::new(
+        "fig08",
+        "Solution sizes on one day of tweets vs |L| (lambda = 10 / 30 min)",
+    );
+    report.note(format!(
+        "calibrated per-label rate {CALIBRATED_PER_LABEL_PER_MIN}/min, overlap 1.15, day-scale {scale}"
+    ));
+    report.note("paper: Figures 8a-8b; Scan linear in |L|, GreedySC best and gap widens with |L|");
+
+    for &lm in lambdas_min {
+        let lambda = FixedLambda(lm * MINUTE_MS);
+        let mut t = Table::new(
+            format!("Fig 8 panel: lambda = {lm} minutes"),
+            &["|L|", "posts", "scan", "scanplus", "greedy"],
+        );
+        for &l in sizes {
+            let inst = mqd_bench::day_instance(
+                l,
+                CALIBRATED_PER_LABEL_PER_MIN,
+                1.15,
+                args.seed + l as u64,
+                scale,
+            );
+            let scan = solve_scan(&inst, &lambda);
+            let scanp = solve_scan_plus(&inst, &lambda, LabelOrder::Input);
+            let greedy = solve_greedy_sc(&inst, &lambda);
+            for s in [&scan, &scanp, &greedy] {
+                debug_assert!(coverage::is_cover(&inst, &lambda, &s.selected));
+            }
+            t.row(&[
+                l.to_string(),
+                inst.len().to_string(),
+                scan.size().to_string(),
+                scanp.size().to_string(),
+                greedy.size().to_string(),
+            ]);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,78 @@
+//! Figure 9 — streaming relative solution-size errors for varying lambda,
+//! one panel per decision delay tau ∈ {5, 10, 15} s (|L| = 2, 10-minute
+//! slices).
+//!
+//! The baseline is the clairvoyant optimum: the static OPT over the same
+//! interval (Section 7.2's definition of the streaming optimum).
+//!
+//! Paper expectation: errors grow with lambda; StreamGreedySC+ slightly
+//! better than StreamGreedySC; greedy variants less stable than the Scan
+//! variants.
+
+use mqd_bench::{f3, BenchArgs, Report, Table, OPT_FEASIBLE_PER_LABEL_PER_MIN, STREAM_ENGINES};
+use mqd_core::algorithms::{solve_opt, OptConfig};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let num_labels = 2;
+    let overlap = 1.25;
+    let runs = if args.quick { 3 } else { 10 };
+    let taus_s: &[i64] = &[5, 10, 15];
+    let lambdas_s: &[i64] = &[5, 10, 15, 20, 25, 30];
+
+    let mut report = Report::new(
+        "fig09",
+        "Streaming relative errors vs lambda, per tau panel (|L|=2, 10-min)",
+    );
+    report.note(format!(
+        "per-label rate {OPT_FEASIBLE_PER_LABEL_PER_MIN}/min, overlap {overlap}, {runs} runs per point; baseline = static OPT"
+    ));
+    report.note("paper: Figures 9a-9c");
+
+    for &tau_s in taus_s {
+        let tau = tau_s * 1000;
+        let mut t = Table::new(
+            format!("Fig 9 panel: tau = {tau_s} s"),
+            &["lambda_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+        );
+        for &ls in lambdas_s {
+            let lambda_ms = ls * 1000;
+            let f = FixedLambda(lambda_ms);
+            let mut errs = [0f64; 4];
+            let mut n_ok = 0usize;
+            for r in 0..runs {
+                let seed = args.seed + (tau_s as usize * 10_000 + ls as usize * 100 + r) as u64;
+                let inst = mqd_bench::ten_minute_instance(
+                    num_labels,
+                    OPT_FEASIBLE_PER_LABEL_PER_MIN,
+                    overlap,
+                    seed,
+                );
+                let opt = match solve_opt(&inst, lambda_ms, &OptConfig::default()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("skipping seed {seed}: {e}");
+                        continue;
+                    }
+                };
+                for (i, name) in STREAM_ENGINES.iter().enumerate() {
+                    let res = mqd_bench::run_stream_by_name(name, &inst, &f, tau);
+                    debug_assert!(res.is_cover(&inst, &f), "{name} non-cover");
+                    errs[i] += (res.size() as f64 - opt.size() as f64) / opt.size().max(1) as f64;
+                }
+                n_ok += 1;
+            }
+            let m = n_ok.max(1) as f64;
+            t.row(&[
+                ls.to_string(),
+                f3(errs[0] / m),
+                f3(errs[1] / m),
+                f3(errs[2] / m),
+                f3(errs[3] / m),
+            ]);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

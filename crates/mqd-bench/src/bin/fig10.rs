@@ -1,0 +1,76 @@
+//! Figure 10 — streaming relative solution-size errors for varying decision
+//! delay tau, one panel per lambda ∈ {10, 15, 20} s (|L| = 2, 10-minute
+//! slices, static-OPT baseline).
+//!
+//! Paper expectation: the Scan variants stabilize once tau > lambda (they
+//! then equal offline Scan); the greedy variants show a local error peak
+//! when tau is slightly above 2*lambda and a minimum around tau = lambda
+//! (the "in-between posts" effect of Section 7.2).
+
+use mqd_bench::{f3, BenchArgs, Report, Table, OPT_FEASIBLE_PER_LABEL_PER_MIN, STREAM_ENGINES};
+use mqd_core::algorithms::{solve_opt, OptConfig};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let num_labels = 2;
+    let overlap = 1.25;
+    let runs = if args.quick { 3 } else { 10 };
+    let lambdas_s: &[i64] = &[10, 15, 20];
+    let taus_s: &[i64] = &[0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+    let mut report = Report::new(
+        "fig10",
+        "Streaming relative errors vs tau, per lambda panel (|L|=2, 10-min)",
+    );
+    report.note(format!(
+        "per-label rate {OPT_FEASIBLE_PER_LABEL_PER_MIN}/min, overlap {overlap}, {runs} runs per point; baseline = static OPT"
+    ));
+    report.note("paper: Figures 10a-10c; Scan stable for tau>lambda, greedy peak near tau≈2*lambda");
+
+    for &ls in lambdas_s {
+        let lambda_ms = ls * 1000;
+        let f = FixedLambda(lambda_ms);
+        let mut t = Table::new(
+            format!("Fig 10 panel: lambda = {ls} s"),
+            &["tau_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+        );
+        for &tau_s in taus_s {
+            let tau = tau_s * 1000;
+            let mut errs = [0f64; 4];
+            let mut n_ok = 0usize;
+            for r in 0..runs {
+                let seed = args.seed + (ls as usize * 10_000 + tau_s as usize * 100 + r) as u64;
+                let inst = mqd_bench::ten_minute_instance(
+                    num_labels,
+                    OPT_FEASIBLE_PER_LABEL_PER_MIN,
+                    overlap,
+                    seed,
+                );
+                let opt = match solve_opt(&inst, lambda_ms, &OptConfig::default()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("skipping seed {seed}: {e}");
+                        continue;
+                    }
+                };
+                for (i, name) in STREAM_ENGINES.iter().enumerate() {
+                    let res = mqd_bench::run_stream_by_name(name, &inst, &f, tau);
+                    debug_assert!(res.is_cover(&inst, &f), "{name} non-cover");
+                    errs[i] += (res.size() as f64 - opt.size() as f64) / opt.size().max(1) as f64;
+                }
+                n_ok += 1;
+            }
+            let m = n_ok.max(1) as f64;
+            t.row(&[
+                tau_s.to_string(),
+                f3(errs[0] / m),
+                f3(errs[1] / m),
+                f3(errs[2] / m),
+                f3(errs[3] / m),
+            ]);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,52 @@
+//! Figure 12 — streaming solution sizes on one day of tweets vs |L|,
+//! with tau = 30 s, one panel per lambda ∈ {10, 30} minutes.
+//!
+//! Paper expectation: same ordering as Figure 8; StreamGreedySC beats
+//! StreamGreedySC+ at large lambda.
+
+use mqd_bench::{BenchArgs, Report, Table, CALIBRATED_PER_LABEL_PER_MIN, STREAM_ENGINES};
+use mqd_core::FixedLambda;
+use mqd_datagen::MINUTE_MS;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.effective_scale();
+    let tau = 30_000i64;
+    let sizes: &[usize] = &[2, 5, 10, 20];
+    let lambdas_min: &[i64] = &[10, 30];
+
+    let mut report = Report::new(
+        "fig12",
+        "Streaming solution sizes on one day vs |L| (tau = 30 s)",
+    );
+    report.note(format!(
+        "calibrated per-label rate {CALIBRATED_PER_LABEL_PER_MIN}/min, overlap 1.15, day-scale {scale}"
+    ));
+    report.note("paper: Figures 12a-12b");
+
+    for &lm in lambdas_min {
+        let lambda = FixedLambda(lm * MINUTE_MS);
+        let mut t = Table::new(
+            format!("Fig 12 panel: lambda = {lm} minutes"),
+            &["|L|", "posts", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+        );
+        for &l in sizes {
+            let inst = mqd_bench::day_instance(
+                l,
+                CALIBRATED_PER_LABEL_PER_MIN,
+                1.15,
+                args.seed + l as u64,
+                scale,
+            );
+            let mut cells = vec![l.to_string(), inst.len().to_string()];
+            for name in STREAM_ENGINES {
+                let res = mqd_bench::run_stream_by_name(name, &inst, &lambda, tau);
+                debug_assert!(res.is_cover(&inst, &lambda), "{name} non-cover");
+                cells.push(res.size().to_string());
+            }
+            t.row(&cells);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

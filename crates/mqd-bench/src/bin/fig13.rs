@@ -1,0 +1,56 @@
+//! Figure 13 — execution time per post for MQDP on one day of tweets,
+//! varying lambda, one panel per |L| ∈ {2, 5, 20}.
+//!
+//! Paper expectation: the Scan variants are orders of magnitude faster than
+//! GreedySC and roughly flat in lambda; GreedySC gets *faster* as lambda
+//! grows (fewer greedy rounds) and slower as |L| grows; Scan gets slightly
+//! faster with |L| (more cross-coverage per pick).
+
+use mqd_bench::{f3, BenchArgs, Report, Table, CALIBRATED_PER_LABEL_PER_MIN};
+use mqd_core::algorithms::{solve_greedy_sc, solve_scan, solve_scan_plus, LabelOrder};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.effective_scale();
+    let panels: &[usize] = &[2, 5, 20];
+    let lambdas_s: &[i64] = &[10, 30, 60, 300, 600, 1800];
+
+    let mut report = Report::new(
+        "fig13",
+        "MQDP execution time per post (us) vs lambda, per |L| panel",
+    );
+    report.note(format!(
+        "one day of tweets at {CALIBRATED_PER_LABEL_PER_MIN}/label/min, overlap 1.15, day-scale {scale}; in-memory timing"
+    ));
+    report.note("paper: Figures 13a-13c (log axis); Scan ~1-3 orders faster than GreedySC");
+
+    for &l in panels {
+        let inst = mqd_bench::day_instance(
+            l,
+            CALIBRATED_PER_LABEL_PER_MIN,
+            1.15,
+            args.seed + l as u64,
+            scale,
+        );
+        let mut t = Table::new(
+            format!("Fig 13 panel: |L| = {l} ({} posts)", inst.len()),
+            &["lambda_s", "scan_us", "scanplus_us", "greedy_us"],
+        );
+        for &ls in lambdas_s {
+            let lambda = FixedLambda(ls * 1000);
+            let (_, d_scan) = mqd_bench::time_it(|| solve_scan(&inst, &lambda));
+            let (_, d_scanp) =
+                mqd_bench::time_it(|| solve_scan_plus(&inst, &lambda, LabelOrder::Input));
+            let (_, d_greedy) = mqd_bench::time_it(|| solve_greedy_sc(&inst, &lambda));
+            t.row(&[
+                ls.to_string(),
+                f3(mqd_bench::micros_per_post(inst.len(), d_scan)),
+                f3(mqd_bench::micros_per_post(inst.len(), d_scanp)),
+                f3(mqd_bench::micros_per_post(inst.len(), d_greedy)),
+            ]);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

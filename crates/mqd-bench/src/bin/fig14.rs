@@ -1,0 +1,52 @@
+//! Figure 14 — execution time per post for StreamMQDP on one day of
+//! tweets, varying lambda with fixed tau = 300 s, one panel per
+//! |L| ∈ {2, 5, 20}.
+//!
+//! Paper expectation: StreamScan/StreamScan+ flat and fast; the greedy
+//! engines get faster with larger lambda (fewer set-cover rounds).
+
+use mqd_bench::{f3, BenchArgs, Report, Table, CALIBRATED_PER_LABEL_PER_MIN, STREAM_ENGINES};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.effective_scale();
+    let tau = 300_000i64;
+    let panels: &[usize] = &[2, 5, 20];
+    let lambdas_s: &[i64] = &[60, 120, 300, 600, 1200, 1800];
+
+    let mut report = Report::new(
+        "fig14",
+        "StreamMQDP execution time per post (us) vs lambda (tau = 300 s)",
+    );
+    report.note(format!(
+        "one day of tweets at {CALIBRATED_PER_LABEL_PER_MIN}/label/min, overlap 1.15, day-scale {scale}"
+    ));
+    report.note("paper: Figures 14a-14c");
+
+    for &l in panels {
+        let inst = mqd_bench::day_instance(
+            l,
+            CALIBRATED_PER_LABEL_PER_MIN,
+            1.15,
+            args.seed + l as u64,
+            scale,
+        );
+        let mut t = Table::new(
+            format!("Fig 14 panel: |L| = {l} ({} posts)", inst.len()),
+            &["lambda_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+        );
+        for &ls in lambdas_s {
+            let lambda = FixedLambda(ls * 1000);
+            let mut cells = vec![ls.to_string()];
+            for name in STREAM_ENGINES {
+                let (_, d) =
+                    mqd_bench::time_it(|| mqd_bench::run_stream_by_name(name, &inst, &lambda, tau));
+                cells.push(f3(mqd_bench::micros_per_post(inst.len(), d)));
+            }
+            t.row(&cells);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,52 @@
+//! Figure 15 — execution time per post for StreamMQDP on one day of
+//! tweets, varying tau with fixed lambda = 300 s, one panel per
+//! |L| ∈ {2, 5, 20}.
+//!
+//! Paper expectation: Scan engines stable in tau; greedy engines slightly
+//! slower as tau grows (bigger windows per set-cover round).
+
+use mqd_bench::{f3, BenchArgs, Report, Table, CALIBRATED_PER_LABEL_PER_MIN, STREAM_ENGINES};
+use mqd_core::FixedLambda;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.effective_scale();
+    let lambda = FixedLambda(300_000);
+    let panels: &[usize] = &[2, 5, 20];
+    let taus_s: &[i64] = &[10, 30, 60, 120, 300, 600];
+
+    let mut report = Report::new(
+        "fig15",
+        "StreamMQDP execution time per post (us) vs tau (lambda = 300 s)",
+    );
+    report.note(format!(
+        "one day of tweets at {CALIBRATED_PER_LABEL_PER_MIN}/label/min, overlap 1.15, day-scale {scale}"
+    ));
+    report.note("paper: Figures 15a-15c");
+
+    for &l in panels {
+        let inst = mqd_bench::day_instance(
+            l,
+            CALIBRATED_PER_LABEL_PER_MIN,
+            1.15,
+            args.seed + l as u64,
+            scale,
+        );
+        let mut t = Table::new(
+            format!("Fig 15 panel: |L| = {l} ({} posts)", inst.len()),
+            &["tau_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+        );
+        for &ts in taus_s {
+            let tau = ts * 1000;
+            let mut cells = vec![ts.to_string()];
+            for name in STREAM_ENGINES {
+                let (_, d) =
+                    mqd_bench::time_it(|| mqd_bench::run_stream_by_name(name, &inst, &lambda, tau));
+                cells.push(f3(mqd_bench::micros_per_post(inst.len(), d)));
+            }
+            t.row(&cells);
+        }
+        report.table(t);
+    }
+    report.write(&args.out).expect("write report");
+}

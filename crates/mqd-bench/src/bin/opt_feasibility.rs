@@ -1,0 +1,65 @@
+//! Section 7.4's feasibility claim for the exact DP: "our proposed exact
+//! dynamic programming algorithm is feasible for small problem instances,
+//! where the number of queries is up to 2-3 and lambda is less than a
+//! minute." This experiment maps that frontier: OPT wall time (or budget
+//! blow-up) across |L| and lambda on 10-minute slices.
+
+use mqd_bench::{f1, BenchArgs, Report, Table, OPT_FEASIBLE_PER_LABEL_PER_MIN};
+use mqd_core::algorithms::{solve_opt, OptConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let labels: &[usize] = &[1, 2, 3, 4];
+    let lambdas_s: &[i64] = &[5, 15, 30, 60, 120];
+    // The transition cost is (candidate product) x (previous layer), so the
+    // per-step budget also bounds time; keep it small enough that a "blown"
+    // verdict arrives in seconds rather than hours.
+    let cfg = OptConfig {
+        max_patterns_per_step: 5_000,
+    };
+
+    let mut report = Report::new(
+        "opt_feasibility",
+        "Exact DP feasibility frontier (wall ms; 'blown' = state budget exceeded)",
+    );
+    report.note(format!(
+        "10-minute slices at {OPT_FEASIBLE_PER_LABEL_PER_MIN} posts/label/min, overlap 1.25, \
+         budget {} end-patterns/step",
+        cfg.max_patterns_per_step
+    ));
+    report.note("paper §7.4: feasible for |L| up to 2-3 and lambda below a minute");
+
+    let mut t = Table::new(
+        "OPT wall time (ms) per (|L|, lambda)",
+        &["|L|", "lambda_s", "posts", "result", "wall_ms", "opt_size"],
+    );
+    for &l in labels {
+        for &ls in lambdas_s {
+            let inst = mqd_bench::ten_minute_instance(
+                l,
+                OPT_FEASIBLE_PER_LABEL_PER_MIN,
+                1.25,
+                args.seed + l as u64,
+            );
+            let (res, d) = mqd_bench::time_it(|| solve_opt(&inst, ls * 1000, &cfg));
+            let (status, size) = match &res {
+                Ok(s) => ("ok".to_string(), s.size().to_string()),
+                Err(e) => (format!("blown ({e})"), "-".to_string()),
+            };
+            t.row(&[
+                l.to_string(),
+                ls.to_string(),
+                inst.len().to_string(),
+                status,
+                f1(d.as_secs_f64() * 1000.0),
+                size,
+            ]);
+            // Don't climb further up a blown column.
+            if res.is_err() {
+                break;
+            }
+        }
+    }
+    report.table(t);
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,58 @@
+//! Runs every experiment binary in sequence (tables, figures, ablations),
+//! forwarding the common flags. Binaries are located next to this
+//! executable, so `cargo run --release -p mqd-bench --bin run_all` works
+//! out of the box.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation_greedy_heap",
+    "ablation_scan_order",
+    "ablation_variable_lambda",
+    "opt_feasibility",
+    "ext_geo",
+    "ext_multiuser",
+    "ext_adaptive_lambda",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("current_exe");
+    let dir = self_path.parent().expect("bin dir");
+
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let bin = dir.join(exp);
+        println!("\n================ {exp} ================");
+        let status = Command::new(&bin).args(&forwarded).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch from {}: {e}", bin.display());
+                failures.push(*exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

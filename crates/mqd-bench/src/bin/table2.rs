@@ -1,0 +1,47 @@
+//! Table 2 — number of matching posts per minute for label sets of size
+//! |L| ∈ {2, 5, 20}.
+//!
+//! The paper measured 136 / 308 / 1180 matching posts per minute on the 1%
+//! Twitter sample. Our generator is calibrated to the same per-label rate
+//! (~62/min), so the reproduced column should land in the same range with
+//! the same sublinear growth caused by label overlap.
+
+use mqd_bench::{f1, BenchArgs, Report, Table, CALIBRATED_PER_LABEL_PER_MIN};
+use mqd_core::Instance;
+use mqd_datagen::{generate_labeled_posts, LabeledStreamConfig, MINUTE_MS};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let minutes = if args.quick { 10 } else { 60 };
+    let paper = [(2usize, 136.0f64), (5, 308.0), (20, 1180.0)];
+
+    let mut report = Report::new("table2", "Matching posts per minute per label-set size");
+    report.note(format!(
+        "{minutes}-minute streams at the calibrated per-label rate of {CALIBRATED_PER_LABEL_PER_MIN}/min, overlap 1.15"
+    ));
+
+    let mut t = Table::new(
+        "Matching posts per minute",
+        &["|L|", "paper (real Twitter)", "reproduced (synthetic)", "overlap rate"],
+    );
+    for &(l, paper_rate) in &paper {
+        let posts = generate_labeled_posts(&LabeledStreamConfig {
+            num_labels: l,
+            per_label_per_minute: CALIBRATED_PER_LABEL_PER_MIN,
+            overlap: 1.15,
+            duration_ms: minutes * MINUTE_MS,
+            seed: args.seed + l as u64,
+            ..LabeledStreamConfig::default()
+        });
+        let inst = Instance::from_posts(posts, l).expect("valid");
+        let per_min = inst.len() as f64 / minutes as f64;
+        t.row(&[
+            l.to_string(),
+            f1(paper_rate),
+            f1(per_min),
+            format!("{:.2}", inst.overlap_rate()),
+        ]);
+    }
+    report.table(t);
+    report.write(&args.out).expect("write report");
+}

@@ -1,0 +1,461 @@
+//! The `mqdiv` subcommand implementations, written against generic readers
+//! and writers so they are unit-testable without touching the filesystem.
+
+use std::io::{BufRead, Write};
+
+use mqd_core::algorithms::{
+    solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+};
+use mqd_core::{coverage, metrics, FixedLambda, Solution, VariableLambda};
+use mqd_datagen::{generate_labeled_posts, generate_tweets, LabeledStreamConfig,
+    TweetStreamConfig, MINUTE_MS};
+use mqd_text::{KeywordMatcher, NearDuplicateFilter, SentimentScorer};
+
+use crate::tsv::{self, LabeledRow, TextRow};
+
+/// Offline diversification options.
+#[derive(Clone, Debug)]
+pub struct DiversifyOpts {
+    /// Coverage threshold (dimension units).
+    pub lambda: i64,
+    /// `scan`, `scan+`, `greedy`, or `opt`.
+    pub algorithm: String,
+    /// Use the Eq. 2 proportional lambda with `lambda` as lambda0.
+    pub proportional: bool,
+}
+
+/// `mqdiv diversify`: read labeled rows, emit the selected subset plus a
+/// summary on stderr-style `log` writer.
+pub fn diversify(
+    input: impl BufRead,
+    out: impl Write,
+    log: &mut impl Write,
+    opts: &DiversifyOpts,
+) -> Result<(), String> {
+    let rows = tsv::read_labeled(input)?;
+    let inst = tsv::to_instance(&rows, None).map_err(|e| e.to_string())?;
+
+    let solution: Solution = if opts.proportional {
+        let lam = VariableLambda::compute(&inst, opts.lambda);
+        match opts.algorithm.as_str() {
+            "scan" => solve_scan(&inst, &lam),
+            "scan+" => solve_scan_plus(&inst, &lam, LabelOrder::Input),
+            "greedy" => solve_greedy_sc(&inst, &lam),
+            "opt" => return Err("OPT supports a fixed lambda only (see DESIGN.md)".into()),
+            other => return Err(format!("unknown algorithm '{other}'")),
+        }
+    } else {
+        let lam = FixedLambda(opts.lambda);
+        match opts.algorithm.as_str() {
+            "scan" => solve_scan(&inst, &lam),
+            "scan+" => solve_scan_plus(&inst, &lam, LabelOrder::Input),
+            "greedy" => solve_greedy_sc(&inst, &lam),
+            "opt" => solve_opt(&inst, opts.lambda, &OptConfig::default())
+                .map_err(|e| e.to_string())?,
+            other => return Err(format!("unknown algorithm '{other}'")),
+        }
+    };
+
+    // Verification is cheap relative to I/O; always do it.
+    if !opts.proportional {
+        let lam = FixedLambda(opts.lambda);
+        if !coverage::is_cover(&inst, &lam, &solution.selected) {
+            return Err("internal error: produced a non-cover".into());
+        }
+    }
+
+    let selected_rows: Vec<LabeledRow> = solution
+        .selected
+        .iter()
+        .map(|&i| LabeledRow {
+            id: inst.post(i).id().0,
+            value: inst.value(i),
+            labels: inst.labels(i).iter().map(|l| l.0).collect(),
+        })
+        .collect();
+    tsv::write_labeled(out, &selected_rows).map_err(|e| e.to_string())?;
+
+    let rep = metrics::representation_error(&inst, &solution.selected);
+    writeln!(
+        log,
+        "{}: kept {} of {} posts (compression {:.3}); representation mean {:.1} max {}",
+        solution.algorithm,
+        solution.size(),
+        inst.len(),
+        metrics::compression_ratio(&inst, &solution.selected),
+        rep.mean,
+        rep.max,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Streaming options.
+#[derive(Clone, Debug)]
+pub struct StreamOpts {
+    /// Coverage threshold (ms).
+    pub lambda: i64,
+    /// Delay budget (ms).
+    pub tau: i64,
+    /// `scan`, `scan+`, `greedy`, `greedy+`, `instant`, or `adaptive`
+    /// (online Eq. 2 with `lambda` as lambda0).
+    pub engine: String,
+}
+
+/// `mqdiv stream`: replay labeled rows through a streaming engine; emits
+/// `id \t value \t labels \t emit_time \t delay_ms` rows.
+pub fn stream(
+    input: impl BufRead,
+    mut out: impl Write,
+    log: &mut impl Write,
+    opts: &StreamOpts,
+) -> Result<(), String> {
+    use mqd_stream::{run_stream, InstantScan, StreamEngine, StreamGreedy, StreamScan};
+    let rows = tsv::read_labeled(input)?;
+    let inst = tsv::to_instance(&rows, None).map_err(|e| e.to_string())?;
+    let lam = FixedLambda(opts.lambda);
+    let l = inst.num_labels();
+    let n = inst.len();
+    let mut engine: Box<dyn StreamEngine> = match opts.engine.as_str() {
+        "scan" => Box::new(StreamScan::new(l, n)),
+        "scan+" => Box::new(StreamScan::new_plus(l, n)),
+        "greedy" => Box::new(StreamGreedy::new(l, n)),
+        "greedy+" => Box::new(StreamGreedy::new_plus(l, n)),
+        "instant" => Box::new(InstantScan::new(l)),
+        "adaptive" => Box::new(mqd_stream::AdaptiveEngine::new(l, opts.lambda.max(1))),
+        other => return Err(format!("unknown engine '{other}'")),
+    };
+    let instantaneous = matches!(opts.engine.as_str(), "instant" | "adaptive");
+    let tau = if instantaneous { 0 } else { opts.tau };
+    let res = run_stream(&inst, &lam, tau, engine.as_mut());
+    // The adaptive engine's guarantee is at Eq. 2's analytic cap, not at
+    // lambda itself.
+    let verify_lambda = if opts.engine == "adaptive" {
+        FixedLambda(mqd_stream::AdaptiveEngine::cover_lambda(opts.lambda.max(1)))
+    } else {
+        lam
+    };
+    if !res.is_cover(&inst, &verify_lambda) {
+        return Err("internal error: emitted sub-stream is not a cover".into());
+    }
+    for e in &res.emissions {
+        let labels: Vec<String> = inst.labels(e.post).iter().map(|l| l.0.to_string()).collect();
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            inst.post(e.post).id().0,
+            inst.value(e.post),
+            labels.join(","),
+            e.emit_time,
+            e.delay(&inst)
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(
+        log,
+        "{}: emitted {} of {} posts, max delay {} ms (tau {} ms)",
+        res.algorithm,
+        res.size(),
+        inst.len(),
+        res.max_delay,
+        tau
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Matching options.
+#[derive(Clone, Debug)]
+pub struct MatchOpts {
+    /// One comma-separated keyword list per query.
+    pub queries: Vec<String>,
+    /// Drop SimHash near-duplicates first (threshold 3 bits).
+    pub dedup: bool,
+    /// Use sentiment polarity (fixed-point) as the output value instead of
+    /// the timestamp.
+    pub sentiment: bool,
+}
+
+/// `mqdiv match`: raw text rows → labeled rows via keyword matching, with
+/// optional SimHash dedup and sentiment dimension.
+pub fn match_posts(
+    input: impl BufRead,
+    out: impl Write,
+    log: &mut impl Write,
+    opts: &MatchOpts,
+) -> Result<(), String> {
+    if opts.queries.is_empty() {
+        return Err("need at least one --query".into());
+    }
+    let queries: Vec<Vec<String>> = opts
+        .queries
+        .iter()
+        .map(|q| q.split(',').map(|s| s.trim().to_lowercase()).collect())
+        .collect();
+    let matcher = KeywordMatcher::new(&queries);
+    let scorer = SentimentScorer::new();
+    let rows = tsv::read_text(input)?;
+    let total = rows.len();
+    let mut dedup = NearDuplicateFilter::new(3);
+    let mut matched = Vec::new();
+    let mut dropped_dups = 0usize;
+    for r in &rows {
+        if opts.dedup && !dedup.insert_text(&r.text) {
+            dropped_dups += 1;
+            continue;
+        }
+        let labels = matcher.match_labels(&r.text);
+        if labels.is_empty() {
+            continue;
+        }
+        let value = if opts.sentiment {
+            scorer.score_fixed(&r.text)
+        } else {
+            r.time
+        };
+        matched.push(LabeledRow {
+            id: r.id,
+            value,
+            labels,
+        });
+    }
+    let kept = matched.len();
+    tsv::write_labeled(out, &matched).map_err(|e| e.to_string())?;
+    writeln!(
+        log,
+        "matched {kept} of {total} posts ({dropped_dups} near-duplicates dropped)"
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Generation options.
+#[derive(Clone, Debug)]
+pub struct GenOpts {
+    /// Generate raw text instead of labeled rows.
+    pub text: bool,
+    /// Number of labels (labeled mode).
+    pub labels: usize,
+    /// Matching posts per label per minute (labeled) or tweets per minute
+    /// (text).
+    pub rate: f64,
+    /// Mean labels per post.
+    pub overlap: f64,
+    /// Stream duration in minutes.
+    pub minutes: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// `mqdiv gen`: write a synthetic stream.
+pub fn generate(out: impl Write, log: &mut impl Write, opts: &GenOpts) -> Result<(), String> {
+    if opts.text {
+        let tweets = generate_tweets(&TweetStreamConfig {
+            tweets_per_minute: opts.rate,
+            duration_ms: opts.minutes * MINUTE_MS,
+            seed: opts.seed,
+            ..Default::default()
+        });
+        let rows: Vec<TextRow> = tweets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TextRow {
+                id: i as u64,
+                time: t.timestamp_ms,
+                text: t.text.clone(),
+            })
+            .collect();
+        tsv::write_text(out, &rows).map_err(|e| e.to_string())?;
+        writeln!(log, "generated {} text posts", rows.len()).map_err(|e| e.to_string())?;
+    } else {
+        let posts = generate_labeled_posts(&LabeledStreamConfig {
+            num_labels: opts.labels,
+            per_label_per_minute: opts.rate,
+            overlap: opts.overlap,
+            duration_ms: opts.minutes * MINUTE_MS,
+            seed: opts.seed,
+            ..Default::default()
+        });
+        let rows: Vec<LabeledRow> = posts
+            .iter()
+            .map(|p| LabeledRow {
+                id: p.id().0,
+                value: p.value(),
+                labels: p.labels().iter().map(|l| l.0).collect(),
+            })
+            .collect();
+        tsv::write_labeled(out, &rows).map_err(|e| e.to_string())?;
+        writeln!(log, "generated {} labeled posts", rows.len()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_labeled(minutes: i64) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        generate(
+            &mut out,
+            &mut log,
+            &GenOpts {
+                text: false,
+                labels: 2,
+                rate: 10.0,
+                overlap: 1.2,
+                minutes,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn gen_then_diversify_round_trip() {
+        let data = gen_labeled(5);
+        for alg in ["scan", "scan+", "greedy"] {
+            let mut out = Vec::new();
+            let mut log = Vec::new();
+            diversify(
+                data.as_slice(),
+                &mut out,
+                &mut log,
+                &DiversifyOpts {
+                    lambda: 30_000,
+                    algorithm: alg.into(),
+                    proportional: false,
+                },
+            )
+            .unwrap();
+            let selected = tsv::read_labeled(out.as_slice()).unwrap();
+            let input = tsv::read_labeled(data.as_slice()).unwrap();
+            assert!(!selected.is_empty());
+            assert!(selected.len() < input.len());
+            let log_s = String::from_utf8(log).unwrap();
+            assert!(log_s.contains("kept"), "{log_s}");
+        }
+    }
+
+    #[test]
+    fn diversify_rejects_unknown_algorithm() {
+        let data = gen_labeled(1);
+        let err = diversify(
+            data.as_slice(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &DiversifyOpts {
+                lambda: 1000,
+                algorithm: "magic".into(),
+                proportional: false,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn proportional_rejects_opt() {
+        let data = gen_labeled(1);
+        let err = diversify(
+            data.as_slice(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &DiversifyOpts {
+                lambda: 1000,
+                algorithm: "opt".into(),
+                proportional: true,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("fixed lambda"));
+    }
+
+    #[test]
+    fn stream_emits_with_delays() {
+        let data = gen_labeled(5);
+        for engine in ["scan", "scan+", "greedy", "greedy+", "instant", "adaptive"] {
+            let mut out = Vec::new();
+            let mut log = Vec::new();
+            stream(
+                data.as_slice(),
+                &mut out,
+                &mut log,
+                &StreamOpts {
+                    lambda: 30_000,
+                    tau: 10_000,
+                    engine: engine.into(),
+                },
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            for line in text.lines() {
+                let fields: Vec<&str> = line.split('\t').collect();
+                assert_eq!(fields.len(), 5, "{engine}: {line}");
+                let delay: i64 = fields[4].parse().unwrap();
+                assert!(delay <= 10_000);
+            }
+        }
+    }
+
+    #[test]
+    fn match_text_to_labels_with_sentiment() {
+        let input = b"0\t100\tobama wins a great victory\n1\t200\tlunch was nice\n2\t300\tsenate failure scandal\n";
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        match_posts(
+            &input[..],
+            &mut out,
+            &mut log,
+            &MatchOpts {
+                queries: vec!["obama,senate".into()],
+                dedup: false,
+                sentiment: true,
+            },
+        )
+        .unwrap();
+        let rows = tsv::read_labeled(out.as_slice()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].value > 0, "victory should score positive");
+        assert!(rows[1].value < 0, "fails should score negative");
+    }
+
+    #[test]
+    fn match_requires_queries() {
+        let err = match_posts(
+            &b""[..],
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &MatchOpts {
+                queries: vec![],
+                dedup: false,
+                sentiment: false,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--query"));
+    }
+
+    #[test]
+    fn gen_text_mode() {
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        generate(
+            &mut out,
+            &mut log,
+            &GenOpts {
+                text: true,
+                labels: 0,
+                rate: 30.0,
+                overlap: 1.0,
+                minutes: 2,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let rows = tsv::read_text(out.as_slice()).unwrap();
+        assert!(!rows.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Library backing the `mqdiv` command-line tool: TSV formats and the
+//! subcommand implementations (`gen`, `match`, `diversify`, `stream`).
+//! Everything operates on generic readers/writers so the behaviour is
+//! covered by unit tests; `main.rs` only parses flags and wires files.
+
+#![warn(missing_docs)]
+
+pub mod binlog;
+pub mod commands;
+pub mod store;
+pub mod tsv;

@@ -1,0 +1,232 @@
+//! `mqdiv` — diversify microblog post streams from the command line.
+//!
+//! ```text
+//! mqdiv gen        [--text] [--labels N] [--rate R] [--overlap O] [--minutes M] [--seed S] [--out FILE]
+//! mqdiv match      --input FILE --query kw1,kw2 [--query ...] [--dedup] [--sentiment] [--out FILE]
+//! mqdiv diversify  --input FILE --lambda MS [--algorithm scan|scan+|greedy|opt] [--proportional] [--out FILE]
+//! mqdiv stream     --input FILE --lambda MS --tau MS [--engine scan|scan+|greedy|greedy+|instant] [--out FILE]
+//! mqdiv pack       --input FILE.tsv --out FILE.mqdl   (TSV -> binary log)
+//! mqdiv unpack     --input FILE.mqdl --out FILE.tsv   (binary log -> TSV)
+//! mqdiv ingest     --store DIR --input FILE.tsv         (append a segment)
+//! mqdiv query      --store DIR --from MS --to MS [--lambda MS] [--out FILE]
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+
+use mqd_cli::commands::{self, DiversifyOpts, GenOpts, MatchOpts, StreamOpts};
+
+struct Flags {
+    map: Vec<(String, String)>,
+    bools: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = Vec::new();
+        let mut bools = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if !a.starts_with("--") {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+            let key = a.trim_start_matches("--").to_string();
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    map.push((key, it.next().unwrap().clone()));
+                }
+                _ => bools.push(key),
+            }
+        }
+        Ok(Flags { map, bools })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<String> {
+        self.map
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.bools.iter().any(|k| k == key)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    fn require_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = self.get(key).ok_or(format!("--{key} is required"))?;
+        v.parse().map_err(|e| format!("--{key}: {e}"))
+    }
+}
+
+fn open_input(flags: &Flags) -> Result<Box<dyn BufRead>, String> {
+    match flags.get("input") {
+        Some(path) => Ok(Box::new(BufReader::new(
+            File::open(path).map_err(|e| format!("--input {path}: {e}"))?,
+        ))),
+        None => Ok(Box::new(BufReader::new(io::stdin()))),
+    }
+}
+
+fn open_output(flags: &Flags) -> Result<Box<dyn Write>, String> {
+    match flags.get("out") {
+        Some(path) => Ok(Box::new(BufWriter::new(
+            File::create(path).map_err(|e| format!("--out {path}: {e}"))?,
+        ))),
+        None => Ok(Box::new(BufWriter::new(io::stdout()))),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query> [flags]; see --help".into());
+    };
+    if cmd == "--help" || cmd == "help" {
+        println!(
+            "mqdiv — Multi-Query Diversification (EDBT 2014 reproduction)\n\
+             \n\
+             subcommands:\n\
+             \x20 gen        generate a synthetic stream (TSV)\n\
+             \x20 match      match raw text posts to queries -> labeled TSV\n\
+             \x20 diversify  offline MQDP on a labeled TSV\n\
+             \x20 stream     streaming MQDP on a labeled TSV\n\
+             \x20 pack       convert labeled TSV to the compact binary log\n\
+             \x20 unpack     convert a binary log back to TSV\n\
+             \x20 ingest     append a labeled TSV into a segmented store\n\
+             \x20 query      range-scan a store (optionally diversified)\n\
+             \n\
+             see the crate docs / README for the full flag reference"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(&args[1..])?;
+    let mut log = io::stderr();
+
+    match cmd.as_str() {
+        "gen" => {
+            let opts = GenOpts {
+                text: flags.has("text"),
+                labels: flags.parse_num("labels", 2usize)?,
+                rate: flags.parse_num("rate", 60.0f64)?,
+                overlap: flags.parse_num("overlap", 1.15f64)?,
+                minutes: flags.parse_num("minutes", 10i64)?,
+                seed: flags.parse_num("seed", 42u64)?,
+            };
+            commands::generate(open_output(&flags)?, &mut log, &opts)
+        }
+        "match" => {
+            let opts = MatchOpts {
+                queries: flags.get_all("query"),
+                dedup: flags.has("dedup"),
+                sentiment: flags.has("sentiment"),
+            };
+            commands::match_posts(open_input(&flags)?, open_output(&flags)?, &mut log, &opts)
+        }
+        "diversify" => {
+            let opts = DiversifyOpts {
+                lambda: flags.require_num("lambda")?,
+                algorithm: flags.get("algorithm").unwrap_or("greedy").to_string(),
+                proportional: flags.has("proportional"),
+            };
+            commands::diversify(open_input(&flags)?, open_output(&flags)?, &mut log, &opts)
+        }
+        "stream" => {
+            let opts = StreamOpts {
+                lambda: flags.require_num("lambda")?,
+                tau: flags.parse_num("tau", 0i64)?,
+                engine: flags.get("engine").unwrap_or("scan+").to_string(),
+            };
+            commands::stream(open_input(&flags)?, open_output(&flags)?, &mut log, &opts)
+        }
+        "pack" => {
+            let rows = mqd_cli::tsv::read_labeled(open_input(&flags)?)?;
+            mqd_cli::binlog::write_posts(open_output(&flags)?, &rows)
+                .map_err(|e| e.to_string())?;
+            eprintln!("packed {} posts", rows.len());
+            Ok(())
+        }
+        "unpack" => {
+            let rows = mqd_cli::binlog::read_posts(open_input(&flags)?)?;
+            mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows)
+                .map_err(|e| e.to_string())?;
+            eprintln!("unpacked {} posts", rows.len());
+            Ok(())
+        }
+        "ingest" => {
+            let dir = flags.get("store").ok_or("--store is required")?;
+            let rows = mqd_cli::tsv::read_labeled(open_input(&flags)?)?;
+            let mut store = mqd_cli::store::PostStore::open(dir).map_err(|e| e.to_string())?;
+            if !store.quarantined().is_empty() {
+                eprintln!("warning: {} corrupt segment(s) quarantined", store.quarantined().len());
+            }
+            match store.append(&rows).map_err(|e| e.to_string())? {
+                Some(info) => eprintln!(
+                    "ingested {} posts into segment #{} (values {}..={})",
+                    info.rows, info.seq, info.min_value, info.max_value
+                ),
+                None => eprintln!("nothing to ingest"),
+            }
+            Ok(())
+        }
+        "query" => {
+            let dir = flags.get("store").ok_or("--store is required")?;
+            let from: i64 = flags.parse_num("from", i64::MIN)?;
+            let to: i64 = flags.parse_num("to", i64::MAX)?;
+            let store = mqd_cli::store::PostStore::open(dir).map_err(|e| e.to_string())?;
+            let rows = store.scan(from, to).map_err(|e| e.to_string())?;
+            // Optional on-the-fly diversification of the scan result.
+            let rows = match flags.get("lambda") {
+                None => rows,
+                Some(_) => {
+                    let lambda: i64 = flags.require_num("lambda")?;
+                    let inst = mqd_cli::tsv::to_instance(&rows, None).map_err(|e| e.to_string())?;
+                    let lam = mqd_core::FixedLambda(lambda);
+                    let sol = mqd_core::algorithms::solve_greedy_sc(&inst, &lam);
+                    sol.selected
+                        .iter()
+                        .map(|&i| mqd_cli::tsv::LabeledRow {
+                            id: inst.post(i).id().0,
+                            value: inst.value(i),
+                            labels: inst.labels(i).iter().map(|l| l.0).collect(),
+                        })
+                        .collect()
+                }
+            };
+            let n = rows.len();
+            mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows)
+                .map_err(|e| e.to_string())?;
+            eprintln!("{n} posts");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Tab-separated input/output formats for the `mqdiv` CLI.
+//!
+//! Two row shapes, both line-oriented and dependency-free:
+//!
+//! * labeled posts: `id \t value \t label,label,...` — the algorithm-ready
+//!   form (`value` is ms for the time dimension or fixed-point sentiment),
+//! * text posts: `id \t timestamp_ms \t text` — raw microblog posts for
+//!   the `match` command.
+//!
+//! Lines starting with `#` and blank lines are ignored.
+
+use std::io::{BufRead, Write};
+
+use mqd_core::{Instance, LabelId, MqdError, Post, PostId};
+
+/// One labeled post row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LabeledRow {
+    /// External post id.
+    pub id: u64,
+    /// Diversity-dimension value.
+    pub value: i64,
+    /// Matched label ids.
+    pub labels: Vec<u16>,
+}
+
+/// One raw text row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TextRow {
+    /// External post id.
+    pub id: u64,
+    /// Timestamp (ms).
+    pub time: i64,
+    /// Post text.
+    pub text: String,
+}
+
+fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> String {
+    format!("line {line_no}: {msg}")
+}
+
+/// Parses labeled rows from a reader.
+pub fn read_labeled(r: impl BufRead) -> Result<Vec<LabeledRow>, String> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| parse_err(i + 1, e))?;
+        // Strip only the carriage return: a trailing tab is significant (an
+        // empty label list serializes as `id\tvalue\t`).
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let id: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing id"))?
+            .parse()
+            .map_err(|e| parse_err(i + 1, format!("bad id: {e}")))?;
+        let value: i64 = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing value"))?
+            .parse()
+            .map_err(|e| parse_err(i + 1, format!("bad value: {e}")))?;
+        let labels_str = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing labels"))?;
+        let mut labels = Vec::new();
+        for l in labels_str.split(',').filter(|s| !s.is_empty()) {
+            labels.push(
+                l.parse()
+                    .map_err(|e| parse_err(i + 1, format!("bad label '{l}': {e}")))?,
+            );
+        }
+        if parts.next().is_some() {
+            return Err(parse_err(i + 1, "too many fields (expected 3)"));
+        }
+        out.push(LabeledRow { id, value, labels });
+    }
+    Ok(out)
+}
+
+/// Writes labeled rows.
+pub fn write_labeled(mut w: impl Write, rows: &[LabeledRow]) -> std::io::Result<()> {
+    for r in rows {
+        let labels: Vec<String> = r.labels.iter().map(|l| l.to_string()).collect();
+        writeln!(w, "{}\t{}\t{}", r.id, r.value, labels.join(","))?;
+    }
+    Ok(())
+}
+
+/// Parses text rows from a reader.
+pub fn read_text(r: impl BufRead) -> Result<Vec<TextRow>, String> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| parse_err(i + 1, e))?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let id: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing id"))?
+            .parse()
+            .map_err(|e| parse_err(i + 1, format!("bad id: {e}")))?;
+        let time: i64 = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing timestamp"))?
+            .parse()
+            .map_err(|e| parse_err(i + 1, format!("bad timestamp: {e}")))?;
+        let text = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing text"))?
+            .to_string();
+        out.push(TextRow { id, time, text });
+    }
+    Ok(out)
+}
+
+/// Writes text rows.
+pub fn write_text(mut w: impl Write, rows: &[TextRow]) -> std::io::Result<()> {
+    for r in rows {
+        writeln!(w, "{}\t{}\t{}", r.id, r.time, r.text.replace(['\t', '\n'], " "))?;
+    }
+    Ok(())
+}
+
+/// Converts labeled rows into an [`Instance`]. The label space is the
+/// maximum label id + 1 unless `num_labels` forces a wider one.
+pub fn to_instance(
+    rows: &[LabeledRow],
+    num_labels: Option<usize>,
+) -> Result<Instance, MqdError> {
+    let max_label = rows
+        .iter()
+        .flat_map(|r| r.labels.iter().copied())
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    let n = num_labels.unwrap_or(max_label).max(max_label).max(1);
+    let posts: Vec<Post> = rows
+        .iter()
+        .map(|r| {
+            Post::new(
+                PostId(r.id),
+                r.value,
+                r.labels.iter().map(|&l| LabelId(l)).collect(),
+            )
+        })
+        .collect();
+    Instance::from_posts(posts, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_round_trip() {
+        let rows = vec![
+            LabeledRow {
+                id: 1,
+                value: 100,
+                labels: vec![0, 2],
+            },
+            LabeledRow {
+                id: 2,
+                value: -5,
+                labels: vec![1],
+            },
+        ];
+        let mut buf = Vec::new();
+        write_labeled(&mut buf, &rows).unwrap();
+        let parsed = read_labeled(buf.as_slice()).unwrap();
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let input = b"# header\n\n1\t10\t0\n";
+        let rows = read_labeled(&input[..]).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn malformed_rows_report_line_numbers() {
+        assert!(read_labeled(&b"1\t10\n"[..]).unwrap_err().contains("line 1"));
+        assert!(read_labeled(&b"x\t10\t0\n"[..]).unwrap_err().contains("bad id"));
+        assert!(read_labeled(&b"1\ty\t0\n"[..]).unwrap_err().contains("bad value"));
+        assert!(read_labeled(&b"1\t2\tz\n"[..]).unwrap_err().contains("bad label"));
+        assert!(read_labeled(&b"1\t2\t0\textra\n"[..])
+            .unwrap_err()
+            .contains("too many fields"));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_tabs_as_spaces() {
+        let rows = vec![TextRow {
+            id: 3,
+            time: 42,
+            text: "hello\tworld".into(),
+        }];
+        let mut buf = Vec::new();
+        write_text(&mut buf, &rows).unwrap();
+        let parsed = read_text(buf.as_slice()).unwrap();
+        assert_eq!(parsed[0].text, "hello world");
+        // text may contain further tabs on read (splitn keeps them)
+        let raw = b"1\t5\ta\tb\tc\n";
+        let parsed = read_text(&raw[..]).unwrap();
+        assert_eq!(parsed[0].text, "a\tb\tc");
+    }
+
+    #[test]
+    fn to_instance_infers_label_space() {
+        let rows = vec![LabeledRow {
+            id: 0,
+            value: 1,
+            labels: vec![4],
+        }];
+        let inst = to_instance(&rows, None).unwrap();
+        assert_eq!(inst.num_labels(), 5);
+        let wider = to_instance(&rows, Some(10)).unwrap();
+        assert_eq!(wider.num_labels(), 10);
+    }
+}

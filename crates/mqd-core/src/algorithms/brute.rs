@@ -1,0 +1,202 @@
+//! Branch-and-bound exact solver.
+//!
+//! Not part of the paper — a test oracle used to validate the dynamic
+//! program OPT and to measure the exact optimum in the Section 7.2
+//! experiments when the DP would be slower. It branches on the first
+//! uncovered `(post, label)` occurrence: some selected post must cover it,
+//! and only posts inside its coverage window can, so the branching factor is
+//! the local window density and the depth is the optimum size.
+
+use crate::error::MqdError;
+use crate::instance::Instance;
+use crate::lambda::LambdaProvider;
+use crate::solution::Solution;
+use mqd_setcover::BitSet;
+
+/// Hard cap on instance size: beyond this the search space risks exploding.
+const DEFAULT_MAX_POSTS: usize = 64;
+
+/// Exact minimum lambda-cover by branch and bound. Errors if the instance
+/// has more than `max_posts` posts (default 64 when `None`).
+pub fn solve_brute<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    max_posts: Option<usize>,
+) -> Result<Solution, MqdError> {
+    let limit = max_posts.unwrap_or(DEFAULT_MAX_POSTS);
+    if inst.len() > limit {
+        return Err(MqdError::BruteTooLarge {
+            posts: inst.len(),
+            limit,
+        });
+    }
+
+    // covers_mask[k]: pair ids covered by picking post k.
+    let covers_mask: Vec<Vec<u32>> = (0..inst.len() as u32)
+        .map(|k| {
+            let t = inst.value(k);
+            let mut v = Vec::new();
+            for &a in inst.labels(k) {
+                let lam = lp.lambda(inst, k, a);
+                if lam < 0 {
+                    continue;
+                }
+                for pos in inst.posting_window(a, t.saturating_sub(lam), t.saturating_add(lam)) {
+                    let p = inst.postings(a)[pos];
+                    v.push(inst.pair_id(p, a).expect("post taken from LP(a)"));
+                }
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+
+    // coverers[e]: posts that can cover pair e.
+    let mut coverers: Vec<Vec<u32>> = vec![Vec::new(); inst.num_pairs()];
+    for (k, pairs) in covers_mask.iter().enumerate() {
+        for &e in pairs {
+            coverers[e as usize].push(k as u32);
+        }
+    }
+
+    let max_set = covers_mask.iter().map(|s| s.len()).max().unwrap_or(1).max(1);
+
+    struct Ctx<'a> {
+        covers_mask: &'a [Vec<u32>],
+        coverers: &'a [Vec<u32>],
+        max_set: usize,
+        best: Vec<u32>,
+        best_size: usize,
+    }
+
+    fn search(ctx: &mut Ctx<'_>, covered: &BitSet, stack: &mut Vec<u32>) {
+        // Lower bound: each further pick covers at most max_set occurrences.
+        let uncovered = covered.len() - covered.count_ones();
+        let lb = stack.len() + uncovered.div_ceil(ctx.max_set);
+        if lb >= ctx.best_size && uncovered > 0 {
+            return;
+        }
+        if uncovered == 0 {
+            if stack.len() < ctx.best_size {
+                ctx.best_size = stack.len();
+                ctx.best = stack.clone();
+            }
+            return;
+        }
+        // Fail-first: branch on the uncovered occurrence with the fewest
+        // remaining coverers.
+        let e = covered
+            .iter_zeros()
+            .min_by_key(|&e| ctx.coverers[e as usize].len())
+            .expect("uncovered > 0");
+        // Try coverers that gain the most first, to find tight upper bounds
+        // early.
+        let mut options: Vec<(usize, u32)> = ctx.coverers[e as usize]
+            .iter()
+            .map(|&k| {
+                let gain = ctx.covers_mask[k as usize]
+                    .iter()
+                    .filter(|&&p| !covered.get(p))
+                    .count();
+                (gain, k)
+            })
+            .collect();
+        options.sort_by(|a, b| b.cmp(a));
+        for (_, k) in options {
+            let mut next = covered.clone();
+            for &p in &ctx.covers_mask[k as usize] {
+                next.set(p);
+            }
+            stack.push(k);
+            search(ctx, &next, stack);
+            stack.pop();
+        }
+    }
+
+    // Upper bound: selecting every post is always a cover; start there.
+    let mut ctx = Ctx {
+        covers_mask: &covers_mask,
+        coverers: &coverers,
+        max_set,
+        best: (0..inst.len() as u32).collect(),
+        best_size: inst.len() + 1,
+    };
+    let covered = BitSet::new(inst.num_pairs());
+    let mut stack = Vec::new();
+    search(&mut ctx, &covered, &mut stack);
+    Ok(Solution::new("Brute", ctx.best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy_sc::solve_greedy_sc;
+    use crate::algorithms::scan::solve_scan;
+    use crate::coverage;
+    use crate::lambda::FixedLambda;
+
+    #[test]
+    fn figure2_optimum_is_two() {
+        let inst = Instance::from_values(
+            vec![(0, vec![0]), (10, vec![0]), (20, vec![0, 1]), (30, vec![1])],
+            2,
+        )
+        .unwrap();
+        let f = FixedLambda(10);
+        let sol = solve_brute(&inst, &f, None).unwrap();
+        assert!(coverage::is_cover(&inst, &f, &sol.selected));
+        assert_eq!(sol.size(), 2);
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let inst =
+            Instance::from_values((0..10).map(|t| (t as i64, vec![0])), 1).unwrap();
+        let err = solve_brute(&inst, &FixedLambda(1), Some(5)).unwrap_err();
+        assert!(matches!(err, MqdError::BruteTooLarge { posts: 10, .. }));
+    }
+
+    #[test]
+    fn brute_lower_bounds_approximations_randomly() {
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..20 {
+            let n = 6 + (next() % 8) as usize;
+            let labels = 2 + (next() % 2) as usize;
+            let items: Vec<(i64, Vec<u16>)> = (0..n)
+                .map(|_| {
+                    let t = (next() % 60) as i64;
+                    let mut ls = vec![(next() % labels as u64) as u16];
+                    if next() % 2 == 0 {
+                        ls.push((next() % labels as u64) as u16);
+                    }
+                    (t, ls)
+                })
+                .collect();
+            let inst = Instance::from_values(items, labels).unwrap();
+            let f = FixedLambda((next() % 20) as i64);
+            let opt = solve_brute(&inst, &f, None).unwrap();
+            assert!(coverage::is_cover(&inst, &f, &opt.selected));
+            let greedy = solve_greedy_sc(&inst, &f);
+            let scan = solve_scan(&inst, &f);
+            assert!(opt.size() <= greedy.size());
+            assert!(opt.size() <= scan.size());
+            // Scan's provable bound: s * opt.
+            let s = inst.max_labels_per_post();
+            assert!(scan.size() <= s * opt.size());
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_values(Vec::<(i64, Vec<u16>)>::new(), 1).unwrap();
+        let sol = solve_brute(&inst, &FixedLambda(1), None).unwrap();
+        assert_eq!(sol.size(), 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Algorithm OPT (Section 4.1): exact dynamic programming over end-patterns.
+//!
+//! Posts are processed in dimension order. After handling post `P_j` the DP
+//! keeps, for every feasible *j-end-pattern* `ξ : L → {0..f(j)}` (the index
+//! of the latest selected post carrying each label, `0` = the virtual
+//! sentinel post `P_0` that carries all labels and sits more than lambda
+//! before the first post), the minimum cardinality `h_{j,ξ}` of a
+//! `(lambda, j)`-cover realizing it, plus a parent pointer for backtracking.
+//!
+//! The transition (Equation 1 of the paper) extends each consistent
+//! `(j-1)`-end-pattern `η` with the set `Δ(η, ξ)` of posts newer than
+//! `f(j-1)`:
+//!
+//! ```text
+//! h_{j,ξ} = min over η ⪯ ξ of  h_{j-1,η} + |Δ(η, ξ)|
+//! ```
+//!
+//! Feasibility of a candidate pattern is exactly the paper's two conditions:
+//! (i) a label `a` carried by a *later* selected post `P_{ξ(b)}` must have
+//! `ξ(a) >= ξ(b)`; (ii) no post up to `P_j` carrying `a` may lie beyond
+//! `t_{ξ(a)} + lambda`.
+//!
+//! Worst-case time `O(|P|^(2|L|+1))` — the paper (and our harness) only run
+//! OPT on small slices with `|L| <= 3` and small lambda; the
+//! [`OptConfig::max_patterns_per_step`] budget turns blow-ups into a typed
+//! error instead of an OOM.
+//!
+//! OPT requires a **fixed** lambda: the redundancy argument behind the
+//! end-pattern state (every selected post newer than `f(j-1)` is the latest
+//! for one of its labels) relies on symmetric coverage. The approximation
+//! algorithms handle the variable lambda of Section 6.
+
+use std::collections::HashMap;
+
+use crate::error::MqdError;
+use crate::instance::Instance;
+use crate::post::LabelId;
+use crate::solution::Solution;
+
+/// Budget knobs for the exact DP.
+#[derive(Clone, Copy, Debug)]
+pub struct OptConfig {
+    /// Maximum number of distinct end-patterns retained per step, and also
+    /// the maximum candidate-combination count per step.
+    pub max_patterns_per_step: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            max_patterns_per_step: 200_000,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    count: u32,
+    /// Index of the parent entry in the previous layer (`u32::MAX` = root).
+    parent: u32,
+    /// Post codes added by this transition (codes are post index + 1).
+    added: Vec<u32>,
+}
+
+#[derive(Default)]
+struct Layer {
+    index: HashMap<Vec<u32>, usize>,
+    entries: Vec<Entry>,
+}
+
+/// Exact minimum lambda-cover via the end-pattern DP. `lambda` must be
+/// non-negative; fails with [`MqdError::OptBudgetExceeded`] when the state
+/// space outgrows the configured budget.
+///
+/// ```
+/// use mqd_core::{Instance, algorithms::{solve_opt, OptConfig}};
+/// let inst = Instance::from_values(
+///     vec![(0, vec![0]), (10, vec![0]), (20, vec![0, 1]), (30, vec![1])], 2).unwrap();
+/// let opt = solve_opt(&inst, 10, &OptConfig::default()).unwrap();
+/// assert_eq!(opt.size(), 2); // {P2, P4} — the paper's Example 2
+/// ```
+pub fn solve_opt(inst: &Instance, lambda: i64, cfg: &OptConfig) -> Result<Solution, MqdError> {
+    if lambda < 0 {
+        return Err(MqdError::NegativeLambda(lambda));
+    }
+    let n = inst.len();
+    if n == 0 {
+        return Ok(Solution::new("OPT", Vec::new()));
+    }
+    let num_l = inst.num_labels();
+
+    // `code` space: 0 = sentinel P0, code c >= 1 is post index c-1.
+    let tval = |code: u32| -> i64 { inst.value(code - 1) };
+
+    // f[j] for 1-based j: the largest code whose value is <= t_j + lambda.
+    // f(0) = 0.
+    let f: Vec<u32> = (1..=n as u32)
+        .map(|j| inst.window(i64::MIN, tval(j).saturating_add(lambda)).end as u32)
+        .collect();
+    let f_of = |j: u32| -> u32 {
+        if j == 0 {
+            0
+        } else {
+            f[j as usize - 1]
+        }
+    };
+
+    // Condition (ii): merged[a] must reach the last a-post with code <= j.
+    let last_posting_leq = |a: usize, j: u32| -> Option<u32> {
+        let lpa = inst.postings(LabelId(a as u16));
+        let idx = lpa.partition_point(|&p| p < j); // post indices < j == codes <= j
+        if idx == 0 {
+            None
+        } else {
+            Some(lpa[idx - 1] + 1)
+        }
+    };
+
+    let is_valid = |merged: &[u32], j: u32| -> bool {
+        for a in 0..num_l {
+            let c = merged[a];
+            if c > 0 {
+                // (i): every label carried by P_{c-1} must have its latest
+                // selected occurrence at or after c.
+                for &b in inst.labels(c - 1) {
+                    if merged[b.index()] < c {
+                        return false;
+                    }
+                }
+            }
+            // (ii)
+            if let Some(last) = last_posting_leq(a, j) {
+                if c == 0 {
+                    return false; // the sentinel covers nothing real
+                }
+                if tval(last) > tval(c).saturating_add(lambda) {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    // Layer 0: the all-sentinel pattern, count 1 (the sentinel itself).
+    let mut layers: Vec<Layer> = Vec::with_capacity(n + 1);
+    let mut l0 = Layer::default();
+    l0.index.insert(vec![0u32; num_l], 0);
+    l0.entries.push(Entry {
+        count: 1,
+        parent: u32::MAX,
+        added: Vec::new(),
+    });
+    layers.push(l0);
+
+    for j in 1..=n as u32 {
+        let pj = j - 1; // 0-based post index of P_j
+        let t_j = inst.value(pj);
+        let f_prev = f_of(j - 1);
+
+        // Candidate codes per label.
+        let mut cands: Vec<Vec<u32>> = Vec::with_capacity(num_l);
+        let mut product: usize = 1;
+        for a in 0..num_l {
+            let lab = LabelId(a as u16);
+            let mut c: Vec<u32> = Vec::new();
+            if inst.post(pj).has_label(lab) {
+                // Must cover a ∈ P_j: any a-post within lambda of t_j.
+                for pos in
+                    inst.posting_window(lab, t_j.saturating_sub(lambda), t_j.saturating_add(lambda))
+                {
+                    c.push(inst.postings(lab)[pos] + 1);
+                }
+            } else {
+                // Either keep the previous latest (placeholder 0) or adopt a
+                // post newer than f(j-1). Older explicit choices are
+                // redundant: consistency forces them to equal η(a), which
+                // the placeholder already yields.
+                c.push(0);
+                for pos in
+                    inst.posting_window(lab, t_j.saturating_sub(lambda), t_j.saturating_add(lambda))
+                {
+                    let code = inst.postings(lab)[pos] + 1;
+                    if code > f_prev {
+                        c.push(code);
+                    }
+                }
+            }
+            product = product.saturating_mul(c.len());
+            cands.push(c);
+        }
+        if product > cfg.max_patterns_per_step {
+            return Err(MqdError::OptBudgetExceeded {
+                patterns: product,
+                limit: cfg.max_patterns_per_step,
+            });
+        }
+
+        let prev = layers.last().expect("layer 0 exists");
+        let mut next = Layer::default();
+
+        // Odometer over the candidate cartesian product.
+        let mut choice = vec![0usize; num_l];
+        let mut xi = vec![0u32; num_l];
+        'combos: loop {
+            for a in 0..num_l {
+                xi[a] = cands[a][choice[a]];
+            }
+
+            // Distinct codes newer than f(j-1): the posts this transition adds.
+            let mut added: Vec<u32> = xi.iter().copied().filter(|&c| c > f_prev).collect();
+            added.sort_unstable();
+            added.dedup();
+
+            let mut merged = vec![0u32; num_l];
+            for (eta_idx, (eta_key, eta_entry)) in prev
+                .index
+                .iter()
+                .map(|(k, &i)| (i, (k, &prev.entries[i])))
+            {
+                // Consistency η ⪯ ξ and merge of placeholders.
+                let mut ok = true;
+                for a in 0..num_l {
+                    let c = xi[a];
+                    if c == 0 {
+                        merged[a] = eta_key[a];
+                    } else if c <= f_prev {
+                        if eta_key[a] != c {
+                            ok = false;
+                            break;
+                        }
+                        merged[a] = c;
+                    } else {
+                        merged[a] = c;
+                    }
+                }
+                if !ok || !is_valid(&merged, j) {
+                    continue;
+                }
+                let count = eta_entry.count + added.len() as u32;
+                match next.index.get(merged.as_slice()) {
+                    Some(&i) => {
+                        if count < next.entries[i].count {
+                            next.entries[i] = Entry {
+                                count,
+                                parent: eta_idx as u32,
+                                added: added.clone(),
+                            };
+                        }
+                    }
+                    None => {
+                        if next.entries.len() >= cfg.max_patterns_per_step {
+                            return Err(MqdError::OptBudgetExceeded {
+                                patterns: next.entries.len() + 1,
+                                limit: cfg.max_patterns_per_step,
+                            });
+                        }
+                        next.index.insert(merged.clone(), next.entries.len());
+                        next.entries.push(Entry {
+                            count,
+                            parent: eta_idx as u32,
+                            added: added.clone(),
+                        });
+                    }
+                }
+            }
+
+            // Advance the odometer.
+            let mut a = 0;
+            loop {
+                if a == num_l {
+                    break 'combos;
+                }
+                choice[a] += 1;
+                if choice[a] < cands[a].len() {
+                    break;
+                }
+                choice[a] = 0;
+                a += 1;
+            }
+        }
+
+        debug_assert!(
+            !next.entries.is_empty(),
+            "every post is coverable by itself, so some pattern must survive"
+        );
+        layers.push(next);
+    }
+
+    // Best final pattern, then backtrack through the parent chain.
+    let last = layers.last().expect("n >= 1");
+    let best = last
+        .entries
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| e.count)
+        .map(|(i, _)| i)
+        .expect("final layer non-empty");
+
+    let mut selected: Vec<u32> = Vec::new();
+    let mut layer_idx = layers.len() - 1;
+    let mut entry_idx = best as u32;
+    while layer_idx > 0 {
+        let e = &layers[layer_idx].entries[entry_idx as usize];
+        selected.extend(e.added.iter().map(|&code| code - 1));
+        entry_idx = e.parent;
+        layer_idx -= 1;
+    }
+    Ok(Solution::new("OPT", selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::brute::solve_brute;
+    use crate::coverage;
+    use crate::lambda::FixedLambda;
+
+    fn opt(inst: &Instance, lambda: i64) -> Solution {
+        solve_opt(inst, lambda, &OptConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn figure2_opt_is_two() {
+        let inst = Instance::from_values(
+            vec![(0, vec![0]), (10, vec![0]), (20, vec![0, 1]), (30, vec![1])],
+            2,
+        )
+        .unwrap();
+        let sol = opt(&inst, 10);
+        assert!(coverage::is_cover(&inst, &FixedLambda(10), &sol.selected));
+        assert_eq!(sol.size(), 2);
+    }
+
+    #[test]
+    fn single_label_line() {
+        let inst = Instance::from_values((0..10).map(|t| (t as i64, vec![0])), 1).unwrap();
+        let sol = opt(&inst, 2);
+        assert!(coverage::is_cover(&inst, &FixedLambda(2), &sol.selected));
+        assert_eq!(sol.size(), 2);
+    }
+
+    #[test]
+    fn disjoint_labels_need_separate_posts() {
+        // Same timestamps, disjoint labels: neither covers the other (the
+        // key multi-query property from the introduction).
+        let inst =
+            Instance::from_values(vec![(0, vec![0]), (0, vec![1])], 2).unwrap();
+        let sol = opt(&inst, 100);
+        assert_eq!(sol.size(), 2);
+    }
+
+    #[test]
+    fn one_post_covers_all_when_it_carries_all_labels() {
+        let inst = Instance::from_values(
+            vec![(0, vec![0]), (1, vec![1]), (2, vec![0, 1])],
+            2,
+        )
+        .unwrap();
+        let sol = opt(&inst, 5);
+        assert!(coverage::is_cover(&inst, &FixedLambda(5), &sol.selected));
+        assert_eq!(sol.size(), 1);
+        assert_eq!(sol.selected, vec![2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 2024u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..40 {
+            let n = 4 + (next() % 8) as usize;
+            let labels = 1 + (next() % 3) as usize;
+            let items: Vec<(i64, Vec<u16>)> = (0..n)
+                .map(|_| {
+                    let t = (next() % 50) as i64;
+                    let mut ls = vec![(next() % labels as u64) as u16];
+                    if next() % 3 == 0 {
+                        ls.push((next() % labels as u64) as u16);
+                    }
+                    (t, ls)
+                })
+                .collect();
+            let inst = Instance::from_values(items.clone(), labels).unwrap();
+            let lambda = (next() % 25) as i64;
+            let dp = opt(&inst, lambda);
+            let bf = solve_brute(&inst, &FixedLambda(lambda), None).unwrap();
+            assert!(
+                coverage::is_cover(&inst, &FixedLambda(lambda), &dp.selected),
+                "trial {trial}: OPT non-cover on {items:?} lambda={lambda}"
+            );
+            assert_eq!(
+                dp.size(),
+                bf.size(),
+                "trial {trial}: OPT={:?} brute={:?} on {items:?} lambda={lambda}",
+                dp.selected,
+                bf.selected
+            );
+        }
+    }
+
+    #[test]
+    fn negative_lambda_rejected() {
+        let inst = Instance::from_values(vec![(0, vec![0])], 1).unwrap();
+        assert_eq!(
+            solve_opt(&inst, -1, &OptConfig::default()).unwrap_err(),
+            MqdError::NegativeLambda(-1)
+        );
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let inst = Instance::from_values((0..30).map(|t| (t as i64, vec![0, 1])), 2).unwrap();
+        let cfg = OptConfig {
+            max_patterns_per_step: 4,
+        };
+        assert!(matches!(
+            solve_opt(&inst, 20, &cfg).unwrap_err(),
+            MqdError::OptBudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_values(Vec::<(i64, Vec<u16>)>::new(), 1).unwrap();
+        assert_eq!(opt(&inst, 5).size(), 0);
+    }
+}

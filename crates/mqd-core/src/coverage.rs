@@ -1,0 +1,314 @@
+//! Coverage semantics (Definitions 1 and 2 of the paper) and cover
+//! verification.
+//!
+//! * `P_j` *lambda-covers* `a ∈ P_i` iff both posts carry label `a` and
+//!   `|F(P_i) - F(P_j)| <= lambda_a(P_j)` (the coverer's threshold — with a
+//!   fixed lambda this is the symmetric relation of Section 2, with the
+//!   variable lambda of Section 6 it is directional).
+//! * A post is covered by a set `Z` iff **every** of its labels is covered
+//!   by some member of `Z` (Definition 1 — the multi-query twist).
+//! * `Z` is a lambda-cover of `P` iff every post of `P` is covered
+//!   (Definition 2).
+
+use crate::instance::Instance;
+use crate::lambda::LambdaProvider;
+use crate::post::LabelId;
+
+/// Whether `coverer` lambda-covers the occurrence of label `a` in `covered`.
+/// Returns `false` when either post does not carry `a`.
+#[inline]
+pub fn covers<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    coverer: u32,
+    covered: u32,
+    a: LabelId,
+) -> bool {
+    if !inst.post(coverer).has_label(a) || !inst.post(covered).has_label(a) {
+        return false;
+    }
+    let d = (inst.value(coverer) as i128 - inst.value(covered) as i128).abs();
+    d <= lp.lambda(inst, coverer, a) as i128
+}
+
+/// Whether the occurrence of label `a` in `post` is covered by any member of
+/// `selected` (post indices, any order).
+pub fn pair_covered<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+    post: u32,
+    a: LabelId,
+) -> bool {
+    selected.iter().any(|&z| covers(inst, lp, z, post, a))
+}
+
+/// Whether `post` is lambda-covered by `selected` (Definition 1).
+pub fn post_covered<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+    post: u32,
+) -> bool {
+    inst.labels(post)
+        .iter()
+        .all(|&a| pair_covered(inst, lp, selected, post, a))
+}
+
+/// A label occurrence left uncovered by a candidate solution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Index (into `Instance::posts`) of the uncovered post.
+    pub post: u32,
+    /// The label whose occurrence is uncovered.
+    pub label: LabelId,
+}
+
+/// Verifies Definition 2: returns every uncovered `(post, label)` occurrence.
+/// An empty result means `selected` is a valid lambda-cover of the instance.
+///
+/// Runs in `O(sum_a |LP(a)| * w)` where `w` is the number of selected posts
+/// inside a `2*max_lambda` window — fast enough to verify every solution in
+/// the test suite and the experiment harness.
+pub fn violations<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let max_l = lp.max_lambda();
+    // Per label: selected posts carrying that label, in value order.
+    let mut selected_sorted: Vec<u32> = selected.to_vec();
+    selected_sorted.sort_unstable();
+    selected_sorted.dedup();
+
+    for a_idx in 0..inst.num_labels() {
+        let a = LabelId(a_idx as u16);
+        let zs: Vec<u32> = selected_sorted
+            .iter()
+            .copied()
+            .filter(|&z| inst.post(z).has_label(a))
+            .collect();
+        for &i in inst.postings(a) {
+            let t = inst.value(i);
+            // Candidate coverers live within max_lambda of t.
+            let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
+            let hi = zs.partition_point(|&z| inst.value(z) <= t.saturating_add(max_l));
+            let ok = zs[lo..hi]
+                .iter()
+                .any(|&z| (inst.value(z) as i128 - t as i128).abs() <= lp.lambda(inst, z, a) as i128);
+            if !ok {
+                out.push(Violation { post: i, label: a });
+            }
+        }
+    }
+    out
+}
+
+/// Whether `selected` lambda-covers the whole instance (Definition 2).
+pub fn is_cover<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L, selected: &[u32]) -> bool {
+    violations(inst, lp, selected).is_empty()
+}
+
+/// Why a label occurrence is (not) represented in a digest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Attribution {
+    /// The covered post.
+    pub post: u32,
+    /// The label occurrence.
+    pub label: LabelId,
+    /// The nearest selected post covering it, if any.
+    pub coverer: Option<u32>,
+    /// Distance to the coverer on the diversity dimension (0 when the post
+    /// itself is selected; `i64::MAX` when uncovered).
+    pub distance: i64,
+}
+
+/// Explains a digest: for every `(post, label)` occurrence, the nearest
+/// selected post that lambda-covers it. The "why am I not seeing post X?"
+/// answer a client UI can surface ("it is represented by Y").
+pub fn attribution<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+) -> Vec<Attribution> {
+    let max_l = lp.max_lambda();
+    let mut sel: Vec<u32> = selected.to_vec();
+    sel.sort_unstable();
+    sel.dedup();
+    let mut out = Vec::with_capacity(inst.num_pairs());
+    for a_idx in 0..inst.num_labels() {
+        let a = LabelId(a_idx as u16);
+        let zs: Vec<u32> = sel
+            .iter()
+            .copied()
+            .filter(|&z| inst.post(z).has_label(a))
+            .collect();
+        for &i in inst.postings(a) {
+            let t = inst.value(i);
+            let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
+            let hi = zs.partition_point(|&z| inst.value(z) <= t.saturating_add(max_l));
+            let best = zs[lo..hi]
+                .iter()
+                .filter(|&&z| covers(inst, lp, z, i, a))
+                .map(|&z| ((inst.value(z) - t).abs(), z))
+                .min();
+            out.push(match best {
+                Some((d, z)) => Attribution {
+                    post: i,
+                    label: a,
+                    coverer: Some(z),
+                    distance: d,
+                },
+                None => Attribution {
+                    post: i,
+                    label: a,
+                    coverer: None,
+                    distance: i64::MAX,
+                },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lambda::FixedLambda;
+
+    /// The Figure 2 example of the paper: four posts Δt apart with labels
+    /// {a}, {a}, {a,c}, {c} and lambda = Δt.
+    fn figure2() -> Instance {
+        Instance::from_values(
+            vec![
+                (0, vec![0]),      // P1: a
+                (10, vec![0]),     // P2: a
+                (20, vec![0, 1]),  // P3: a, c
+                (30, vec![1]),     // P4: c
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_single_label_covers() {
+        let inst = figure2();
+        let f = FixedLambda(10);
+        // P2 covers a in P1 and P3; P3 covers c in P4; P4 covers c in P3.
+        assert!(covers(&inst, &f, 1, 0, LabelId(0)));
+        assert!(covers(&inst, &f, 1, 2, LabelId(0)));
+        assert!(covers(&inst, &f, 2, 3, LabelId(1)));
+        assert!(covers(&inst, &f, 3, 2, LabelId(1)));
+        // P2 does not cover c in anything (no label c) and not a in P4.
+        assert!(!covers(&inst, &f, 1, 3, LabelId(1)));
+        assert!(!covers(&inst, &f, 1, 3, LabelId(0)));
+        // Too far: P1 does not cover a in P3.
+        assert!(!covers(&inst, &f, 0, 2, LabelId(0)));
+    }
+
+    #[test]
+    fn figure2_example2_cover() {
+        // Example 2: {P2, P4} lambda-covers P with lambda = Δt.
+        let inst = figure2();
+        let f = FixedLambda(10);
+        assert!(is_cover(&inst, &f, &[1, 3]));
+        // {P2} alone leaves c in P3 and P4 uncovered.
+        let v = violations(&inst, &f, &[1]);
+        assert_eq!(
+            v,
+            vec![
+                Violation {
+                    post: 2,
+                    label: LabelId(1)
+                },
+                Violation {
+                    post: 3,
+                    label: LabelId(1)
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn post_covered_requires_all_labels() {
+        let inst = figure2();
+        let f = FixedLambda(10);
+        // P3 has labels {a, c}: P2 covers a, but c needs P3 or P4.
+        assert!(!post_covered(&inst, &f, &[1], 2));
+        assert!(post_covered(&inst, &f, &[1, 3], 2));
+        assert!(pair_covered(&inst, &f, &[1], 2, LabelId(0)));
+        assert!(!pair_covered(&inst, &f, &[1], 2, LabelId(1)));
+    }
+
+    #[test]
+    fn whole_set_is_always_a_cover() {
+        let inst = figure2();
+        let f = FixedLambda(0);
+        let all: Vec<u32> = (0..inst.len() as u32).collect();
+        assert!(is_cover(&inst, &f, &all));
+    }
+
+    #[test]
+    fn empty_selection_covers_empty_instance_only() {
+        let empty = Instance::from_values(Vec::<(i64, Vec<u16>)>::new(), 2).unwrap();
+        let f = FixedLambda(5);
+        assert!(is_cover(&empty, &f, &[]));
+        let inst = figure2();
+        assert!(!is_cover(&inst, &f, &[]));
+    }
+
+    #[test]
+    fn attribution_names_nearest_coverer() {
+        let inst = figure2();
+        let f = FixedLambda(10);
+        let attr = attribution(&inst, &f, &[1, 3]);
+        assert_eq!(attr.len(), inst.num_pairs());
+        // a ∈ P1 (t=0) is covered by P2 (t=10) at distance 10.
+        let a_p1 = attr
+            .iter()
+            .find(|x| x.post == 0 && x.label == LabelId(0))
+            .unwrap();
+        assert_eq!(a_p1.coverer, Some(1));
+        assert_eq!(a_p1.distance, 10);
+        // The selected post covers itself at distance 0.
+        let a_p2 = attr
+            .iter()
+            .find(|x| x.post == 1 && x.label == LabelId(0))
+            .unwrap();
+        assert_eq!(a_p2.coverer, Some(1));
+        assert_eq!(a_p2.distance, 0);
+        // With an empty selection everything is unattributed.
+        let none = attribution(&inst, &f, &[]);
+        assert!(none.iter().all(|x| x.coverer.is_none()));
+    }
+
+    #[test]
+    fn attribution_consistent_with_violations() {
+        let inst = figure2();
+        let f = FixedLambda(10);
+        for sel in [vec![], vec![1], vec![1, 3], vec![0, 2]] {
+            let attr = attribution(&inst, &f, &sel);
+            let uncovered_attr: Vec<(u32, LabelId)> = attr
+                .iter()
+                .filter(|x| x.coverer.is_none())
+                .map(|x| (x.post, x.label))
+                .collect();
+            let viols: Vec<(u32, LabelId)> = violations(&inst, &f, &sel)
+                .iter()
+                .map(|v| (v.post, v.label))
+                .collect();
+            assert_eq!(uncovered_attr, viols);
+        }
+    }
+
+    #[test]
+    fn lambda_zero_means_exact_value_match() {
+        let inst =
+            Instance::from_values(vec![(5, vec![0]), (5, vec![0]), (6, vec![0])], 1).unwrap();
+        let f = FixedLambda(0);
+        assert!(covers(&inst, &f, 0, 1, LabelId(0)));
+        assert!(!covers(&inst, &f, 0, 2, LabelId(0)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the core library.
+
+use std::fmt;
+
+/// Errors produced by instance construction and the exact solvers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MqdError {
+    /// A post references a label `>= num_labels`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u16,
+        /// The declared number of labels.
+        num_labels: usize,
+    },
+    /// The distance threshold lambda must be non-negative.
+    NegativeLambda(i64),
+    /// The exact DP exceeded its configured state budget; the instance is too
+    /// large for OPT (use GreedySC or Scan instead).
+    OptBudgetExceeded {
+        /// Number of end-patterns at the step that blew the budget.
+        patterns: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The brute-force solver was asked to handle more posts than its cap.
+    BruteTooLarge {
+        /// Number of posts in the instance.
+        posts: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MqdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqdError::LabelOutOfRange { label, num_labels } => {
+                write!(f, "label {label} out of range (num_labels = {num_labels})")
+            }
+            MqdError::NegativeLambda(l) => write!(f, "lambda must be >= 0, got {l}"),
+            MqdError::OptBudgetExceeded { patterns, limit } => write!(
+                f,
+                "OPT state budget exceeded: {patterns} end-patterns > limit {limit}"
+            ),
+            MqdError::BruteTooLarge { posts, limit } => {
+                write!(f, "brute-force solver limited to {limit} posts, got {posts}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MqdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MqdError::LabelOutOfRange {
+            label: 9,
+            num_labels: 3,
+        };
+        assert!(e.to_string().contains("label 9"));
+        let e = MqdError::OptBudgetExceeded {
+            patterns: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(MqdError::NegativeLambda(-5).to_string().contains("-5"));
+        let e = MqdError::BruteTooLarge {
+            posts: 40,
+            limit: 24,
+        };
+        assert!(e.to_string().contains("40"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Solution-quality metrics beyond raw cardinality.
+//!
+//! The paper evaluates solutions by size and relative error; a deployment
+//! also cares *how well* the selected posts represent the input: how far a
+//! covered occurrence sits from its nearest representative, how output is
+//! allocated across labels (Section 6's proportionality goal), and how much
+//! the stream was compressed. These metrics power the
+//! `ablation_variable_lambda` experiment and the examples.
+
+use crate::instance::Instance;
+use crate::post::LabelId;
+
+/// Fraction of posts kept: `|Z| / |P|` (0 for an empty instance).
+pub fn compression_ratio(inst: &Instance, selected: &[u32]) -> f64 {
+    if inst.is_empty() {
+        0.0
+    } else {
+        selected.len() as f64 / inst.len() as f64
+    }
+}
+
+/// Distance from each `(post, label)` occurrence to its nearest selected
+/// post carrying that label.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepresentationError {
+    /// Mean distance over all occurrences (dimension units).
+    pub mean: f64,
+    /// Maximum distance (the worst-represented occurrence).
+    pub max: i64,
+    /// Occurrences with no same-label representative at all.
+    pub unrepresented: usize,
+}
+
+/// Computes [`RepresentationError`] for a selection. A valid lambda-cover
+/// has `max <= max_lambda` and `unrepresented == 0`; smaller means the
+/// digest tracks the input more closely.
+pub fn representation_error(inst: &Instance, selected: &[u32]) -> RepresentationError {
+    let mut sorted: Vec<u32> = selected.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let mut sum = 0f64;
+    let mut max = 0i64;
+    let mut missing = 0usize;
+    let mut count = 0usize;
+    for a_idx in 0..inst.num_labels() {
+        let a = LabelId(a_idx as u16);
+        let reps: Vec<i64> = sorted
+            .iter()
+            .filter(|&&z| inst.post(z).has_label(a))
+            .map(|&z| inst.value(z))
+            .collect();
+        for &i in inst.postings(a) {
+            count += 1;
+            if reps.is_empty() {
+                missing += 1;
+                continue;
+            }
+            let t = inst.value(i);
+            let pos = reps.partition_point(|&r| r < t);
+            let mut best = i64::MAX;
+            if pos < reps.len() {
+                best = best.min((reps[pos] - t).abs());
+            }
+            if pos > 0 {
+                best = best.min((t - reps[pos - 1]).abs());
+            }
+            sum += best as f64;
+            max = max.max(best);
+        }
+    }
+    RepresentationError {
+        mean: if count == missing {
+            0.0
+        } else {
+            sum / (count - missing) as f64
+        },
+        max,
+        unrepresented: missing,
+    }
+}
+
+/// Number of selected posts carrying each label.
+pub fn per_label_counts(inst: &Instance, selected: &[u32]) -> Vec<usize> {
+    let mut counts = vec![0usize; inst.num_labels()];
+    for &z in selected {
+        for &a in inst.labels(z) {
+            counts[a.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Share of each label among all label occurrences of `posts` (sums to 1
+/// unless empty).
+fn label_shares(inst: &Instance, posts: &[u32]) -> Vec<f64> {
+    let counts = per_label_counts(inst, posts);
+    let total: usize = counts.iter().sum();
+    counts
+        .iter()
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Proportionality of a selection (Section 6's goal): L1 distance between
+/// the output's per-label share vector and the input's. 0 = perfectly
+/// proportional, 2 = maximally skewed.
+pub fn proportionality_l1(inst: &Instance, selected: &[u32]) -> f64 {
+    let all: Vec<u32> = (0..inst.len() as u32).collect();
+    let input = label_shares(inst, &all);
+    let output = label_shares(inst, selected);
+    input
+        .iter()
+        .zip(&output)
+        .map(|(a, b)| (a - b).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::from_values(
+            vec![
+                (0, vec![0]),
+                (10, vec![0]),
+                (20, vec![0, 1]),
+                (30, vec![1]),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compression() {
+        let i = inst();
+        assert_eq!(compression_ratio(&i, &[1, 3]), 0.5);
+        let empty = Instance::from_values(Vec::<(i64, Vec<u16>)>::new(), 1).unwrap();
+        assert_eq!(compression_ratio(&empty, &[]), 0.0);
+    }
+
+    #[test]
+    fn representation_for_exact_cover() {
+        let i = inst();
+        // {P2 (t=10, a), P4 (t=30, c)}: a-occurrences at 0,10,20 -> dists
+        // 10,0,10; c at 20,30 -> 10,0. mean = 30/5, max = 10.
+        let r = representation_error(&i, &[1, 3]);
+        assert_eq!(r.max, 10);
+        assert_eq!(r.unrepresented, 0);
+        assert!((r.mean - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrepresented_labels_counted() {
+        let i = inst();
+        // Only P1 (t=0, {a}) selected: both c-occurrences unrepresented.
+        let r = representation_error(&i, &[0]);
+        assert_eq!(r.unrepresented, 2);
+        assert_eq!(r.max, 20); // a at t=20
+    }
+
+    #[test]
+    fn empty_selection() {
+        let i = inst();
+        let r = representation_error(&i, &[]);
+        assert_eq!(r.unrepresented, 5);
+        assert_eq!(r.mean, 0.0);
+    }
+
+    #[test]
+    fn label_counts_and_proportionality() {
+        let i = inst();
+        assert_eq!(per_label_counts(&i, &[2]), vec![1, 1]);
+        // The full set is perfectly proportional to itself.
+        let all: Vec<u32> = (0..4).collect();
+        assert!(proportionality_l1(&i, &all) < 1e-12);
+        // Selecting only a-posts maximizes skew toward label a.
+        let skewed = proportionality_l1(&i, &[0, 1]);
+        assert!(skewed > 0.3);
+    }
+
+    #[test]
+    fn duplicate_selection_indices_tolerated() {
+        let i = inst();
+        let a = representation_error(&i, &[1, 1, 3, 3]);
+        let b = representation_error(&i, &[1, 3]);
+        assert_eq!(a, b);
+    }
+}

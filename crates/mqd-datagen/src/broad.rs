@@ -1,0 +1,154 @@
+//! The ten broad topics of Section 7.1 ("each user is interested in a broad
+//! topic like politics or sports, and specifies queries inside this broad
+//! topic"), with keyword pools used to synthesize both the news corpus and
+//! the tweet stream.
+
+/// A broad topic: a name and its characteristic keyword pool.
+#[derive(Clone, Copy, Debug)]
+pub struct BroadTopic {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Characteristic vocabulary.
+    pub keywords: &'static [&'static str],
+}
+
+/// Words common to every broad topic (generic news filler).
+pub const COMMON_WORDS: &[&str] = &[
+    "news", "report", "today", "breaking", "update", "live", "story", "week", "year", "people",
+    "city", "country", "world", "official", "statement", "press", "public", "time", "new",
+    "plan", "group", "state", "national", "announced", "according", "reuters", "sources",
+];
+
+/// The ten broad topics.
+pub const BROAD_TOPICS: &[BroadTopic] = &[
+    BroadTopic {
+        name: "politics",
+        keywords: &[
+            "obama", "president", "barack", "michelle", "inauguration", "house", "white",
+            "administration", "congress", "presidential", "republicans", "democrats", "senate",
+            "election", "vote", "poll", "party", "political", "race", "candidate", "campaign",
+            "electoral", "coalition", "governor", "legislation", "bill", "veto", "lobbying",
+        ],
+    },
+    BroadTopic {
+        name: "sports",
+        keywords: &[
+            "woods", "tiger", "golf", "masters", "championship", "mcilroy", "garcia", "pga",
+            "augusta", "rory", "mickelson", "nfl", "super", "bowl", "draft", "ravens",
+            "football", "baltimore", "patriots", "jets", "quarterback", "giants", "eagles",
+            "league", "season", "playoff", "coach", "touchdown", "basketball", "tennis",
+        ],
+    },
+    BroadTopic {
+        name: "economy",
+        keywords: &[
+            "economy", "economic", "unemployment", "jobs", "growth", "inflation", "recession",
+            "budget", "deficit", "debt", "taxes", "fiscal", "stimulus", "federal", "reserve",
+            "interest", "rates", "gdp", "trade", "exports", "manufacturing", "consumer",
+            "spending", "wages", "labor", "treasury", "austerity", "bailout",
+        ],
+    },
+    BroadTopic {
+        name: "markets",
+        keywords: &[
+            "goog", "msft", "nasdaq", "dow", "stocks", "shares", "investors", "market",
+            "trading", "earnings", "dividend", "ipo", "portfolio", "hedge", "fund", "wall",
+            "street", "bonds", "futures", "commodities", "oil", "gold", "rally", "selloff",
+            "valuation", "quarterly", "forecast", "analyst",
+        ],
+    },
+    BroadTopic {
+        name: "technology",
+        keywords: &[
+            "apple", "google", "microsoft", "iphone", "android", "software", "startup",
+            "silicon", "valley", "internet", "mobile", "app", "cloud", "data", "privacy",
+            "hackers", "security", "social", "twitter", "facebook", "tablet", "laptop",
+            "chip", "processor", "innovation", "patent", "gadget", "device",
+        ],
+    },
+    BroadTopic {
+        name: "world",
+        keywords: &[
+            "syria", "china", "russia", "europe", "united", "nations", "diplomatic", "embassy",
+            "treaty", "sanctions", "conflict", "refugees", "border", "minister", "foreign",
+            "summit", "peace", "talks", "military", "troops", "rebels", "regime", "protests",
+            "uprising", "ceasefire", "alliance", "korea", "iran",
+        ],
+    },
+    BroadTopic {
+        name: "health",
+        keywords: &[
+            "health", "hospital", "doctors", "patients", "disease", "virus", "vaccine",
+            "medical", "medicine", "cancer", "treatment", "drug", "fda", "epidemic", "flu",
+            "obesity", "diet", "fitness", "mental", "insurance", "medicare", "medicaid",
+            "clinical", "trial", "surgery", "diagnosis", "outbreak", "wellness",
+        ],
+    },
+    BroadTopic {
+        name: "entertainment",
+        keywords: &[
+            "movie", "film", "hollywood", "oscars", "actor", "actress", "director", "premiere",
+            "album", "music", "concert", "tour", "grammy", "singer", "band", "celebrity",
+            "festival", "box", "office", "sequel", "trailer", "netflix", "television",
+            "episode", "drama", "comedy", "awards", "studio",
+        ],
+    },
+    BroadTopic {
+        name: "science",
+        keywords: &[
+            "nasa", "space", "mars", "rover", "telescope", "asteroid", "launch", "satellite",
+            "orbit", "astronauts", "physics", "particle", "quantum", "climate", "warming",
+            "carbon", "emissions", "energy", "solar", "renewable", "research", "scientists",
+            "discovery", "species", "genome", "evolution", "laboratory", "experiment",
+        ],
+    },
+    BroadTopic {
+        name: "crime",
+        keywords: &[
+            "police", "arrest", "suspect", "investigation", "shooting", "trial", "court",
+            "judge", "jury", "verdict", "sentence", "prison", "fraud", "robbery", "murder",
+            "victim", "witness", "detective", "charges", "prosecutor", "defense", "appeal",
+            "bail", "custody", "evidence", "forensic", "felony", "homicide",
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ten_broad_topics_with_rich_pools() {
+        assert_eq!(BROAD_TOPICS.len(), 10);
+        for bt in BROAD_TOPICS {
+            assert!(bt.keywords.len() >= 25, "{} pool too small", bt.name);
+        }
+    }
+
+    #[test]
+    fn keywords_survive_tokenization() {
+        // Every pool word must be a single token that the tokenizer keeps,
+        // otherwise matching would silently fail.
+        for bt in BROAD_TOPICS {
+            for kw in bt.keywords {
+                let toks = mqd_text::tokenize(kw);
+                assert_eq!(toks, vec![kw.to_string()], "{kw} mangled");
+            }
+        }
+    }
+
+    #[test]
+    fn pools_are_mostly_disjoint() {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut dups = 0;
+        for bt in BROAD_TOPICS {
+            for kw in bt.keywords {
+                if !seen.insert(kw) {
+                    dups += 1;
+                }
+            }
+        }
+        assert!(dups <= 3, "{dups} duplicate keywords across pools");
+    }
+}

@@ -1,0 +1,168 @@
+//! Bursty event streams: the introduction's motivating workload ("how
+//! certain news events unfolded over time"). A background rate is
+//! punctuated by events — intervals where one label's rate multiplies —
+//! which is exactly the regime where Section 6's proportional lambda should
+//! keep more posts than a fixed threshold.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mqd_core::{LabelId, Post, PostId};
+
+use crate::poisson::sample_poisson;
+use crate::tweets::MINUTE_MS;
+
+/// One injected event: a label runs hot for a while.
+#[derive(Clone, Copy, Debug)]
+pub struct Burst {
+    /// The label that spikes.
+    pub label: u16,
+    /// Burst start (ms).
+    pub start_ms: i64,
+    /// Burst duration (ms).
+    pub duration_ms: i64,
+    /// Rate multiplier during the burst.
+    pub intensity: f64,
+}
+
+/// Configuration for the bursty stream.
+#[derive(Clone, Debug)]
+pub struct BurstStreamConfig {
+    /// Number of labels.
+    pub num_labels: usize,
+    /// Background matching posts per label per minute.
+    pub base_rate: f64,
+    /// Stream duration (ms).
+    pub duration_ms: i64,
+    /// The injected events.
+    pub bursts: Vec<Burst>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BurstStreamConfig {
+    fn default() -> Self {
+        BurstStreamConfig {
+            num_labels: 2,
+            base_rate: 10.0,
+            duration_ms: 60 * MINUTE_MS,
+            bursts: vec![Burst {
+                label: 0,
+                start_ms: 20 * MINUTE_MS,
+                duration_ms: 10 * MINUTE_MS,
+                intensity: 8.0,
+            }],
+            seed: 3,
+        }
+    }
+}
+
+/// Generates the bursty stream (time-sorted single-label posts).
+pub fn generate_burst_posts(cfg: &BurstStreamConfig) -> Vec<Post> {
+    assert!(cfg.num_labels > 0);
+    for b in &cfg.bursts {
+        assert!(
+            (b.label as usize) < cfg.num_labels,
+            "burst label {} out of range",
+            b.label
+        );
+        assert!(b.intensity >= 1.0, "burst intensity must be >= 1");
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let minutes = (cfg.duration_ms + MINUTE_MS - 1) / MINUTE_MS;
+    let mut posts = Vec::new();
+    let mut id = 0u64;
+    for m in 0..minutes {
+        let minute_start = m * MINUTE_MS;
+        for label in 0..cfg.num_labels as u16 {
+            let boost: f64 = cfg
+                .bursts
+                .iter()
+                .filter(|b| {
+                    b.label == label
+                        && minute_start < b.start_ms + b.duration_ms
+                        && minute_start + MINUTE_MS > b.start_ms
+                })
+                .map(|b| b.intensity)
+                .fold(1.0, f64::max);
+            let count = sample_poisson(&mut rng, cfg.base_rate * boost);
+            for _ in 0..count {
+                let ts = (minute_start + rng.random_range(0..MINUTE_MS))
+                    .min(cfg.duration_ms - 1);
+                posts.push(Post::new(PostId(id), ts, vec![LabelId(label)]));
+                id += 1;
+            }
+        }
+    }
+    posts.sort_by_key(|p| (p.value(), p.id()));
+    posts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_window_is_denser() {
+        let cfg = BurstStreamConfig::default();
+        let posts = generate_burst_posts(&cfg);
+        let in_burst = posts
+            .iter()
+            .filter(|p| {
+                p.has_label(LabelId(0))
+                    && (20 * MINUTE_MS..30 * MINUTE_MS).contains(&p.value())
+            })
+            .count();
+        let outside = posts
+            .iter()
+            .filter(|p| {
+                p.has_label(LabelId(0))
+                    && (40 * MINUTE_MS..50 * MINUTE_MS).contains(&p.value())
+            })
+            .count();
+        assert!(
+            in_burst as f64 > 4.0 * outside as f64,
+            "burst {in_burst} vs background {outside}"
+        );
+    }
+
+    #[test]
+    fn non_bursting_label_stays_flat() {
+        let cfg = BurstStreamConfig::default();
+        let posts = generate_burst_posts(&cfg);
+        let early = posts
+            .iter()
+            .filter(|p| p.has_label(LabelId(1)) && p.value() < 30 * MINUTE_MS)
+            .count() as f64;
+        let late = posts
+            .iter()
+            .filter(|p| p.has_label(LabelId(1)) && p.value() >= 30 * MINUTE_MS)
+            .count() as f64;
+        assert!((early - late).abs() < 0.5 * early.max(late).max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_burst_label_rejected() {
+        generate_burst_posts(&BurstStreamConfig {
+            bursts: vec![Burst {
+                label: 9,
+                start_ms: 0,
+                duration_ms: 1,
+                intensity: 2.0,
+            }],
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let cfg = BurstStreamConfig::default();
+        let a = generate_burst_posts(&cfg);
+        let b = generate_burst_posts(&cfg);
+        assert_eq!(a.len(), b.len());
+        for w in a.windows(2) {
+            assert!(w[0].value() <= w[1].value());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic data substrate replacing the paper's proprietary inputs
+//! (Section 7.1): a news corpus (RSS-crawl substitute), full-text and
+//! labeled tweet streams (Twitter Streaming API substitute, calibrated to
+//! Table 2's matching rates), and user-profile generation (broad topic →
+//! |L| topics).
+//!
+//! Everything is seeded and deterministic, so experiments are reproducible
+//! run-to-run.
+
+#![warn(missing_docs)]
+
+pub mod broad;
+pub mod bursts;
+pub mod news;
+pub mod poisson;
+pub mod profiles;
+pub mod tweets;
+
+pub use broad::{BroadTopic, BROAD_TOPICS, COMMON_WORDS};
+pub use bursts::{generate_burst_posts, Burst, BurstStreamConfig};
+pub use news::{generate_news, NewsArticle, NewsConfig};
+pub use poisson::sample_poisson;
+pub use profiles::ProfileGenerator;
+pub use tweets::{
+    generate_labeled_posts, generate_tweets, LabeledStreamConfig, Tweet, TweetStreamConfig,
+    DAY_MS, HOUR_MS, MINUTE_MS,
+};

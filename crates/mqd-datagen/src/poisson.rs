@@ -1,0 +1,70 @@
+//! Poisson sampling (Knuth's method for small means, normal approximation
+//! for large ones) — avoids pulling in `rand_distr` for one distribution.
+
+use rand::RngExt;
+
+/// Samples `Poisson(mean)`. Exact (Knuth) for `mean < 30`, normal
+/// approximation above. `mean <= 0` yields 0.
+pub fn sample_poisson<R: rand::Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // N(mean, mean) approximation via Box–Muller, clamped at 0.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + mean.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_negative_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        assert_eq!(sample_poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn small_mean_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = 4.0;
+        let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, mean)).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - mean).abs() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn large_mean_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = 120.0;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, mean)).collect();
+        let avg = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((avg - mean).abs() < 1.0, "avg {avg}");
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - avg).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - mean).abs() < mean * 0.2, "var {var}");
+    }
+}

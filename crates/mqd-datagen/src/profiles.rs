@@ -1,0 +1,94 @@
+//! User-profile (label-set) generation — Section 7.1: "to generate a label
+//! set L, we first randomly pick a broad topic and then randomly pick |L|
+//! topics within the broad topic."
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples label sets (as topic indices) grouped by broad topic.
+#[derive(Clone, Debug)]
+pub struct ProfileGenerator {
+    /// Topic indices per broad topic.
+    by_broad: Vec<Vec<usize>>,
+}
+
+impl ProfileGenerator {
+    /// `topic_broad[t]` is the broad-topic id of topic `t`.
+    pub fn new(topic_broad: &[usize]) -> Self {
+        let num_broad = topic_broad.iter().copied().max().map_or(0, |m| m + 1);
+        let mut by_broad = vec![Vec::new(); num_broad];
+        for (t, &b) in topic_broad.iter().enumerate() {
+            by_broad[b].push(t);
+        }
+        ProfileGenerator { by_broad }
+    }
+
+    /// Samples one label set of `size` topics from a single broad topic, or
+    /// `None` if no broad topic holds enough topics.
+    pub fn sample(&self, size: usize, rng: &mut StdRng) -> Option<Vec<usize>> {
+        let eligible: Vec<&Vec<usize>> = self
+            .by_broad
+            .iter()
+            .filter(|ts| ts.len() >= size)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let pool = eligible[rng.random_range(0..eligible.len())];
+        // Partial Fisher–Yates over a copy.
+        let mut copy = pool.clone();
+        for i in 0..size {
+            let j = rng.random_range(i..copy.len());
+            copy.swap(i, j);
+        }
+        copy.truncate(size);
+        Some(copy)
+    }
+
+    /// Samples `count` label sets (the paper uses 100 per |L|).
+    pub fn sample_many(&self, size: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .filter_map(|_| self.sample(size, &mut rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_stay_within_one_broad_topic() {
+        // topics 0..4 -> broad 0, 5..9 -> broad 1
+        let broad: Vec<usize> = (0..10).map(|t| t / 5).collect();
+        let gen = ProfileGenerator::new(&broad);
+        let sets = gen.sample_many(3, 50, 99);
+        assert_eq!(sets.len(), 50);
+        for s in &sets {
+            assert_eq!(s.len(), 3);
+            let b = broad[s[0]];
+            assert!(s.iter().all(|&t| broad[t] == b), "{s:?} crosses broads");
+            // distinct topics
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 3);
+        }
+    }
+
+    #[test]
+    fn oversized_requests_rejected() {
+        let gen = ProfileGenerator::new(&[0, 0, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(gen.sample(3, &mut rng).is_none());
+        assert!(gen.sample(2, &mut rng).is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let broad: Vec<usize> = (0..20).map(|t| t % 4).collect();
+        let gen = ProfileGenerator::new(&broad);
+        assert_eq!(gen.sample_many(2, 10, 5), gen.sample_many(2, 10, 5));
+    }
+}

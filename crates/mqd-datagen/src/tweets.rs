@@ -1,0 +1,349 @@
+//! Synthetic tweet streams — the substitute for the paper's 1% Twitter
+//! Streaming API sample (4.3M tweets over 24 hours of 2013-06-12).
+//!
+//! Two generators:
+//!
+//! * [`generate_labeled_posts`] — emits `(timestamp, label set)` posts
+//!   directly, calibrated by matching rate per label and a controllable
+//!   *overlap rate* (mean labels per post — the x-axis of Figures 6 and
+//!   11). This is what every algorithm benchmark consumes: the algorithms
+//!   only ever see timestamps and label sets, so this exercises identical
+//!   code paths to a real matched stream.
+//! * [`generate_tweets`] — emits full tweet *texts* (topical keywords,
+//!   filler, sentiment words, and a configurable retweet fraction for the
+//!   SimHash stage), used by the end-to-end pipeline examples and tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mqd_core::{LabelId, Post, PostId};
+
+use crate::broad::{BROAD_TOPICS, COMMON_WORDS};
+use crate::poisson::sample_poisson;
+
+/// One minute in milliseconds.
+pub const MINUTE_MS: i64 = 60_000;
+/// One hour in milliseconds.
+pub const HOUR_MS: i64 = 3_600_000;
+/// One day in milliseconds.
+pub const DAY_MS: i64 = 86_400_000;
+
+/// Parameters for the labeled post stream.
+#[derive(Clone, Copy, Debug)]
+pub struct LabeledStreamConfig {
+    /// Number of labels `|L|` (the user's subscription size).
+    pub num_labels: usize,
+    /// Matching posts per label per minute. Table 2 of the paper measures
+    /// ~59–68 for real Twitter data, so 62.0 is the calibrated default.
+    pub per_label_per_minute: f64,
+    /// Mean labels per post (the paper's *post overlap rate*), `>= 1`.
+    pub overlap: f64,
+    /// Stream start timestamp (ms).
+    pub start_ms: i64,
+    /// Stream duration (ms).
+    pub duration_ms: i64,
+    /// Zipf exponent skewing label popularity (0 = uniform).
+    pub label_skew: f64,
+    /// Relative amplitude of a 24h sinusoidal rate modulation (0 = flat).
+    pub diurnal_amplitude: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LabeledStreamConfig {
+    fn default() -> Self {
+        LabeledStreamConfig {
+            num_labels: 2,
+            per_label_per_minute: 62.0,
+            overlap: 1.15,
+            start_ms: 0,
+            duration_ms: 10 * MINUTE_MS,
+            label_skew: 0.0,
+            diurnal_amplitude: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a labeled post stream; posts are sorted by timestamp and ids
+/// follow arrival order.
+pub fn generate_labeled_posts(cfg: &LabeledStreamConfig) -> Vec<Post> {
+    assert!(cfg.num_labels > 0, "need at least one label");
+    assert!(cfg.overlap >= 1.0, "overlap is a mean label count, >= 1");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Zipf-ish label weights for popularity skew.
+    let weights: Vec<f64> = (0..cfg.num_labels)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.label_skew))
+        .collect();
+
+    let base_rate = cfg.num_labels as f64 * cfg.per_label_per_minute / cfg.overlap;
+    let minutes = (cfg.duration_ms + MINUTE_MS - 1) / MINUTE_MS;
+    let mut posts = Vec::new();
+    let mut id = 0u64;
+    for m in 0..minutes {
+        let minute_start = cfg.start_ms + m * MINUTE_MS;
+        let phase = 2.0 * std::f64::consts::PI * (minute_start % DAY_MS) as f64 / DAY_MS as f64;
+        let rate = base_rate * (1.0 + cfg.diurnal_amplitude * phase.sin()).max(0.0);
+        let count = sample_poisson(&mut rng, rate);
+        for _ in 0..count {
+            let offset = rng.random_range(0..MINUTE_MS);
+            let ts = (minute_start + offset).min(cfg.start_ms + cfg.duration_ms - 1);
+            let extra = sample_poisson(&mut rng, cfg.overlap - 1.0) as usize;
+            let k = (1 + extra).min(cfg.num_labels);
+            let labels = sample_distinct_weighted(&mut rng, &weights, k);
+            posts.push(Post::new(
+                PostId(id),
+                ts,
+                labels.into_iter().map(|l| LabelId(l as u16)).collect(),
+            ));
+            id += 1;
+        }
+    }
+    posts.sort_by_key(|p| (p.value(), p.id()));
+    posts
+}
+
+/// Weighted sampling of `k` distinct indices from `weights`.
+fn sample_distinct_weighted(rng: &mut StdRng, weights: &[f64], k: usize) -> Vec<usize> {
+    let mut remaining: Vec<(usize, f64)> =
+        weights.iter().copied().enumerate().collect();
+    let mut chosen = Vec::with_capacity(k);
+    for _ in 0..k.min(weights.len()) {
+        let total: f64 = remaining.iter().map(|&(_, w)| w).sum();
+        let mut r = rng.random::<f64>() * total;
+        let mut pick = remaining.len() - 1;
+        for (pos, &(_, w)) in remaining.iter().enumerate() {
+            if r < w {
+                pick = pos;
+                break;
+            }
+            r -= w;
+        }
+        chosen.push(remaining.swap_remove(pick).0);
+    }
+    chosen
+}
+
+/// Parameters for the full-text tweet stream.
+#[derive(Clone, Copy, Debug)]
+pub struct TweetStreamConfig {
+    /// Total tweets per minute (the 1% Twitter sample averaged ~3000/min;
+    /// scale to taste).
+    pub tweets_per_minute: f64,
+    /// Fraction of tweets drawn from a broad-topic pool (the rest is
+    /// non-matching chatter).
+    pub topical_fraction: f64,
+    /// Fraction of tweets that are near-duplicates (retweets) of a recent
+    /// tweet — exercises the SimHash stage of Figure 1.
+    pub retweet_fraction: f64,
+    /// Relative amplitude of the 24h rate modulation.
+    pub diurnal_amplitude: f64,
+    /// Stream start (ms).
+    pub start_ms: i64,
+    /// Stream duration (ms).
+    pub duration_ms: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TweetStreamConfig {
+    fn default() -> Self {
+        TweetStreamConfig {
+            tweets_per_minute: 300.0,
+            topical_fraction: 0.5,
+            retweet_fraction: 0.1,
+            diurnal_amplitude: 0.3,
+            start_ms: 0,
+            duration_ms: 10 * MINUTE_MS,
+            seed: 11,
+        }
+    }
+}
+
+/// A generated tweet.
+#[derive(Clone, Debug)]
+pub struct Tweet {
+    /// Publication timestamp (ms).
+    pub timestamp_ms: i64,
+    /// Tweet text.
+    pub text: String,
+}
+
+/// Sentiment-bearing words sprinkled into tweets so the sentiment diversity
+/// dimension is non-degenerate.
+const MOOD_WORDS: &[&str] = &[
+    "great", "love", "win", "amazing", "happy", "awesome", "terrible", "awful", "sad",
+    "crash", "fail", "worry", "crisis", "hope", "proud",
+];
+
+/// Off-topic chatter vocabulary (never matches a topic keyword).
+const CHATTER: &[&str] = &[
+    "lunch", "coffee", "weekend", "traffic", "weather", "birthday", "photo", "friends",
+    "morning", "tonight", "watching", "listening", "haha", "lol", "omg", "dinner", "gym",
+    "vacation", "beach", "rain", "sunny", "sleepy", "monday", "friday",
+];
+
+/// Generates a seeded full-text tweet stream, sorted by timestamp.
+pub fn generate_tweets(cfg: &TweetStreamConfig) -> Vec<Tweet> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let minutes = (cfg.duration_ms + MINUTE_MS - 1) / MINUTE_MS;
+    let mut tweets: Vec<Tweet> = Vec::new();
+    for m in 0..minutes {
+        let minute_start = cfg.start_ms + m * MINUTE_MS;
+        let phase = 2.0 * std::f64::consts::PI * (minute_start % DAY_MS) as f64 / DAY_MS as f64;
+        let rate = cfg.tweets_per_minute * (1.0 + cfg.diurnal_amplitude * phase.sin()).max(0.0);
+        let count = sample_poisson(&mut rng, rate);
+        for _ in 0..count {
+            let ts = minute_start + rng.random_range(0..MINUTE_MS);
+            let ts = ts.min(cfg.start_ms + cfg.duration_ms - 1);
+            let text = if !tweets.is_empty() && rng.random::<f64>() < cfg.retweet_fraction {
+                let src = &tweets[rng.random_range(0..tweets.len())];
+                format!("rt {}", src.text)
+            } else {
+                compose_tweet(&mut rng, cfg.topical_fraction)
+            };
+            tweets.push(Tweet {
+                timestamp_ms: ts,
+                text,
+            });
+        }
+    }
+    tweets.sort_by_key(|t| t.timestamp_ms);
+    tweets
+}
+
+fn compose_tweet(rng: &mut StdRng, topical_fraction: f64) -> String {
+    let len = rng.random_range(6..16);
+    let mut words: Vec<&str> = Vec::with_capacity(len);
+    let topical = rng.random::<f64>() < topical_fraction;
+    let pool = if topical {
+        BROAD_TOPICS[rng.random_range(0..BROAD_TOPICS.len())].keywords
+    } else {
+        CHATTER
+    };
+    for _ in 0..len {
+        let r = rng.random::<f64>();
+        if r < 0.55 {
+            words.push(pool[rng.random_range(0..pool.len())]);
+        } else if r < 0.7 {
+            words.push(MOOD_WORDS[rng.random_range(0..MOOD_WORDS.len())]);
+        } else if r < 0.85 {
+            words.push(COMMON_WORDS[rng.random_range(0..COMMON_WORDS.len())]);
+        } else {
+            words.push(CHATTER[rng.random_range(0..CHATTER.len())]);
+        }
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_core::Instance;
+
+    #[test]
+    fn labeled_stream_hits_target_rates() {
+        let cfg = LabeledStreamConfig {
+            num_labels: 5,
+            per_label_per_minute: 60.0,
+            overlap: 1.2,
+            duration_ms: 20 * MINUTE_MS,
+            ..Default::default()
+        };
+        let posts = generate_labeled_posts(&cfg);
+        let inst = Instance::from_posts(posts, 5).unwrap();
+        let minutes = 20.0;
+        // Total matching posts per minute ~ L * per_label / overlap.
+        let per_min = inst.len() as f64 / minutes;
+        let expect = 5.0 * 60.0 / 1.2;
+        assert!(
+            (per_min - expect).abs() < expect * 0.15,
+            "got {per_min}, want ~{expect}"
+        );
+        // Observed overlap rate ~ configured overlap.
+        assert!(
+            (inst.overlap_rate() - 1.2).abs() < 0.1,
+            "overlap {}",
+            inst.overlap_rate()
+        );
+    }
+
+    #[test]
+    fn labeled_stream_sorted_and_in_range() {
+        let cfg = LabeledStreamConfig::default();
+        let posts = generate_labeled_posts(&cfg);
+        assert!(!posts.is_empty());
+        for w in posts.windows(2) {
+            assert!(w[0].value() <= w[1].value());
+        }
+        for p in &posts {
+            assert!((0..10 * MINUTE_MS).contains(&p.value()));
+            assert!(!p.labels().is_empty());
+        }
+    }
+
+    #[test]
+    fn overlap_one_means_single_label_posts() {
+        let cfg = LabeledStreamConfig {
+            overlap: 1.0,
+            num_labels: 3,
+            ..Default::default()
+        };
+        for p in generate_labeled_posts(&cfg) {
+            assert_eq!(p.labels().len(), 1);
+        }
+    }
+
+    #[test]
+    fn label_skew_concentrates_popularity() {
+        let cfg = LabeledStreamConfig {
+            num_labels: 10,
+            label_skew: 1.2,
+            duration_ms: 30 * MINUTE_MS,
+            ..Default::default()
+        };
+        let posts = generate_labeled_posts(&cfg);
+        let inst = Instance::from_posts(posts, 10).unwrap();
+        let first = inst.postings(LabelId(0)).len();
+        let last = inst.postings(LabelId(9)).len();
+        assert!(first > 2 * last, "skew not visible: {first} vs {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = LabeledStreamConfig::default();
+        let a = generate_labeled_posts(&cfg);
+        let b = generate_labeled_posts(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].value(), b[0].value());
+    }
+
+    #[test]
+    fn tweets_have_text_and_order() {
+        let cfg = TweetStreamConfig {
+            tweets_per_minute: 60.0,
+            duration_ms: 5 * MINUTE_MS,
+            ..Default::default()
+        };
+        let tweets = generate_tweets(&cfg);
+        assert!(!tweets.is_empty());
+        for w in tweets.windows(2) {
+            assert!(w[0].timestamp_ms <= w[1].timestamp_ms);
+        }
+        assert!(tweets.iter().all(|t| !t.text.is_empty()));
+    }
+
+    #[test]
+    fn retweets_present_when_requested() {
+        let cfg = TweetStreamConfig {
+            tweets_per_minute: 120.0,
+            retweet_fraction: 0.3,
+            duration_ms: 5 * MINUTE_MS,
+            ..Default::default()
+        };
+        let tweets = generate_tweets(&cfg);
+        let rts = tweets.iter().filter(|t| t.text.starts_with("rt ")).count();
+        assert!(rts > tweets.len() / 10, "{rts} retweets of {}", tweets.len());
+    }
+}

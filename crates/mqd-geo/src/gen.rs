@@ -1,0 +1,137 @@
+//! Seeded generator for geotagged post streams: events unfold at spatial
+//! hotspots (e.g. neighbourhoods of a city), each emitting posts over a
+//! time span — the workload the paper's Section 9 extension targets
+//! ("increasingly, more posts are geotagged").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mqd_core::{LabelId, PostId};
+
+use crate::point::GeoPost;
+
+/// Geo-stream parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoStreamConfig {
+    /// Number of labels (topics).
+    pub num_labels: usize,
+    /// Number of spatial hotspots.
+    pub hotspots: usize,
+    /// Side of the square world (fixed-point meters).
+    pub world_size: i64,
+    /// Standard deviation of post scatter around a hotspot.
+    pub spread: i64,
+    /// Total posts.
+    pub posts: usize,
+    /// Stream duration (ms).
+    pub duration_ms: i64,
+    /// Probability a post carries a second label.
+    pub second_label_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeoStreamConfig {
+    fn default() -> Self {
+        GeoStreamConfig {
+            num_labels: 3,
+            hotspots: 4,
+            world_size: 20_000,
+            spread: 300,
+            posts: 500,
+            duration_ms: 3_600_000,
+            second_label_prob: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a geotagged stream: each post picks a hotspot, scatters
+/// around it (Box–Muller gaussian), and lands uniformly in time.
+pub fn generate_geo_posts(cfg: &GeoStreamConfig) -> Vec<GeoPost> {
+    assert!(cfg.num_labels > 0 && cfg.hotspots > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let centers: Vec<(i64, i64)> = (0..cfg.hotspots)
+        .map(|_| {
+            (
+                rng.random_range(0..cfg.world_size),
+                rng.random_range(0..cfg.world_size),
+            )
+        })
+        .collect();
+    let gauss = move |rng: &mut StdRng| -> f64 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+
+    let mut posts: Vec<GeoPost> = (0..cfg.posts)
+        .map(|i| {
+            let (cx, cy) = centers[rng.random_range(0..centers.len())];
+            let x = cx + (gauss(&mut rng) * cfg.spread as f64) as i64;
+            let y = cy + (gauss(&mut rng) * cfg.spread as f64) as i64;
+            let t = rng.random_range(0..cfg.duration_ms.max(1));
+            let mut labels = vec![LabelId(rng.random_range(0..cfg.num_labels) as u16)];
+            if rng.random::<f64>() < cfg.second_label_prob {
+                labels.push(LabelId(rng.random_range(0..cfg.num_labels) as u16));
+            }
+            GeoPost::new(PostId(i as u64), t, x, y, labels)
+        })
+        .collect();
+    posts.sort_by_key(|p| (p.time(), p.id()));
+    posts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_in_bounds() {
+        let cfg = GeoStreamConfig::default();
+        let posts = generate_geo_posts(&cfg);
+        assert_eq!(posts.len(), cfg.posts);
+        for p in &posts {
+            assert!((0..cfg.duration_ms).contains(&p.time()));
+            assert!(!p.labels().is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GeoStreamConfig::default();
+        let a = generate_geo_posts(&cfg);
+        let b = generate_geo_posts(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn posts_cluster_near_hotspots() {
+        let cfg = GeoStreamConfig {
+            hotspots: 2,
+            spread: 100,
+            posts: 400,
+            ..Default::default()
+        };
+        let posts = generate_geo_posts(&cfg);
+        // Median nearest-neighbour distance should be far below the world
+        // size if clustering works.
+        let mut nn: Vec<i128> = posts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                posts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, q)| p.dist2(q))
+                    .min()
+                    .unwrap()
+            })
+            .collect();
+        nn.sort_unstable();
+        let median = nn[nn.len() / 2];
+        let world = cfg.world_size as i128;
+        assert!(median < (world / 10) * (world / 10), "median nn^2 {median}");
+    }
+}

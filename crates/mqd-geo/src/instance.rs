@@ -1,0 +1,267 @@
+//! Spatiotemporal MQDP instances.
+//!
+//! Coverage (the natural extension of Definition 1): `P_j` covers
+//! `a ∈ P_i` iff both carry `a`, `|time(P_i) - time(P_j)| <= lambda.time`
+//! **and** `dist(P_i, P_j) <= lambda.dist`. A set covers the instance when
+//! every label occurrence of every post is covered.
+
+use mqd_core::LabelId;
+
+use crate::grid::SpatialGrid;
+use crate::point::{GeoLambda, GeoPost};
+
+/// A preprocessed spatiotemporal instance: posts sorted by time, per-label
+/// postings, per-label spatial grids, dense pair ids.
+#[derive(Debug)]
+pub struct GeoInstance {
+    posts: Vec<GeoPost>,
+    postings: Vec<Vec<u32>>,
+    grids: Vec<SpatialGrid>,
+    pair_offsets: Vec<u32>,
+    num_pairs: usize,
+    lambda: GeoLambda,
+}
+
+impl GeoInstance {
+    /// Builds an instance. Posts with empty label sets are dropped; labels
+    /// must be `< num_labels`. The spatial grids use `lambda.dist` as cell
+    /// side (minimum 1).
+    pub fn new(mut posts: Vec<GeoPost>, num_labels: usize, lambda: GeoLambda) -> Self {
+        posts.retain(|p| !p.labels().is_empty());
+        posts.sort_by_key(|p| (p.time(), p.id()));
+        for p in &posts {
+            for l in p.labels() {
+                assert!(
+                    l.index() < num_labels,
+                    "label {l} out of range (num_labels {num_labels})"
+                );
+            }
+        }
+        let mut postings = vec![Vec::new(); num_labels];
+        let mut pair_offsets = Vec::with_capacity(posts.len() + 1);
+        let mut num_pairs = 0u32;
+        for (i, p) in posts.iter().enumerate() {
+            pair_offsets.push(num_pairs);
+            for &l in p.labels() {
+                postings[l.index()].push(i as u32);
+            }
+            num_pairs += p.labels().len() as u32;
+        }
+        pair_offsets.push(num_pairs);
+
+        let cell = lambda.dist.max(1);
+        let grids = postings
+            .iter()
+            .map(|lp| {
+                SpatialGrid::build(
+                    cell,
+                    lp.iter().map(|&i| (posts[i as usize].x(), posts[i as usize].y())),
+                )
+            })
+            .collect();
+
+        GeoInstance {
+            posts,
+            postings,
+            grids,
+            pair_offsets,
+            num_pairs: num_pairs as usize,
+            lambda,
+        }
+    }
+
+    /// Number of posts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Whether there are no posts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// Number of labels.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The thresholds.
+    #[inline]
+    pub fn lambda(&self) -> GeoLambda {
+        self.lambda
+    }
+
+    /// The post at sorted index `i`.
+    #[inline]
+    pub fn post(&self, i: u32) -> &GeoPost {
+        &self.posts[i as usize]
+    }
+
+    /// All posts, time-sorted.
+    #[inline]
+    pub fn posts(&self) -> &[GeoPost] {
+        &self.posts
+    }
+
+    /// `LP(a)`, time-sorted post indices.
+    #[inline]
+    pub fn postings(&self, a: LabelId) -> &[u32] {
+        &self.postings[a.index()]
+    }
+
+    /// Total `(post, label)` occurrences.
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// Dense id of pair `(post, a)`, if the post carries `a`.
+    #[inline]
+    pub fn pair_id(&self, post: u32, a: LabelId) -> Option<u32> {
+        self.posts[post as usize]
+            .labels()
+            .binary_search(&a)
+            .ok()
+            .map(|slot| self.pair_offsets[post as usize] + slot as u32)
+    }
+
+    /// Whether `coverer` covers `a ∈ covered` under both thresholds.
+    pub fn covers(&self, coverer: u32, covered: u32, a: LabelId) -> bool {
+        let cz = &self.posts[coverer as usize];
+        let cp = &self.posts[covered as usize];
+        cz.has_label(a)
+            && cp.has_label(a)
+            && (cz.time() - cp.time()).abs() <= self.lambda.time
+            && cz.dist2(cp) <= (self.lambda.dist as i128) * (self.lambda.dist as i128)
+    }
+
+    /// Indices (into `postings(a)`) of candidates that might interact with
+    /// post `i` on label `a`: same-label posts inside the time window whose
+    /// grid cell neighbours `i`'s. A superset of the true coverage set —
+    /// callers still check [`GeoInstance::covers`].
+    pub fn candidates(&self, i: u32, a: LabelId) -> Vec<u32> {
+        let p = &self.posts[i as usize];
+        let lp = &self.postings[a.index()];
+        let lo = lp.partition_point(|&j| self.posts[j as usize].time() < p.time() - self.lambda.time);
+        let hi = lp.partition_point(|&j| self.posts[j as usize].time() <= p.time() + self.lambda.time);
+        let window = hi - lo;
+        // Choose the cheaper enumeration: the time window or the spatial
+        // neighbourhood.
+        let spatial: Vec<u32> = self.grids[a.index()].neighbourhood(p.x(), p.y()).collect();
+        if spatial.len() < window {
+            spatial
+                .into_iter()
+                .map(|pos| lp[pos as usize])
+                .filter(|&j| {
+                    (self.posts[j as usize].time() - p.time()).abs() <= self.lambda.time
+                })
+                .collect()
+        } else {
+            lp[lo..hi].to_vec()
+        }
+    }
+
+    /// Every uncovered `(post index, label)` pair for a candidate solution
+    /// (empty = valid cover).
+    pub fn violations(&self, selected: &[u32]) -> Vec<(u32, LabelId)> {
+        let mut sel: Vec<u32> = selected.to_vec();
+        sel.sort_unstable();
+        sel.dedup();
+        let mut out = Vec::new();
+        for a_idx in 0..self.num_labels() {
+            let a = LabelId(a_idx as u16);
+            for &i in self.postings(a) {
+                let ok = sel.iter().any(|&z| self.covers(z, i, a));
+                if !ok {
+                    out.push((i, a));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `selected` covers the instance.
+    pub fn is_cover(&self, selected: &[u32]) -> bool {
+        self.violations(selected).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_core::PostId;
+
+    fn post(id: u64, t: i64, x: i64, y: i64, labels: &[u16]) -> GeoPost {
+        GeoPost::new(
+            PostId(id),
+            t,
+            x,
+            y,
+            labels.iter().map(|&l| LabelId(l)).collect(),
+        )
+    }
+
+    fn small() -> GeoInstance {
+        GeoInstance::new(
+            vec![
+                post(0, 0, 0, 0, &[0]),
+                post(1, 5, 10, 0, &[0]),
+                post(2, 5, 1000, 0, &[0]), // same time, far away
+                post(3, 100, 0, 0, &[1]),
+            ],
+            2,
+            GeoLambda::new(10, 50),
+        )
+    }
+
+    #[test]
+    fn coverage_needs_both_dimensions() {
+        let g = small();
+        assert!(g.covers(1, 0, LabelId(0))); // close in both
+        assert!(!g.covers(2, 0, LabelId(0))); // close in time, far in space
+        assert!(!g.covers(3, 0, LabelId(0))); // different label
+        assert!(!g.covers(3, 0, LabelId(1))); // post 0 lacks label 1
+    }
+
+    #[test]
+    fn violations_and_cover() {
+        let g = small();
+        assert!(!g.is_cover(&[1])); // far post 2 and label-1 post uncovered
+        assert!(g.is_cover(&[1, 2, 3]));
+        let v = g.violations(&[1]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn pair_ids_dense() {
+        let g = small();
+        assert_eq!(g.num_pairs(), 4);
+        let mut seen = [false; 4];
+        for i in 0..g.len() as u32 {
+            for &a in g.post(i).labels().to_vec().iter() {
+                let id = g.pair_id(i, a).unwrap() as usize;
+                assert!(!seen[id]);
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn candidates_superset_of_coverers() {
+        let g = small();
+        for i in 0..g.len() as u32 {
+            for &a in g.post(i).labels().to_vec().iter() {
+                let cands = g.candidates(i, a);
+                for j in 0..g.len() as u32 {
+                    if g.covers(j, i, a) {
+                        assert!(cands.contains(&j), "candidate set missed a coverer");
+                    }
+                }
+            }
+        }
+    }
+}

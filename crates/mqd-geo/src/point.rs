@@ -1,0 +1,124 @@
+//! Geotagged posts: the paper's Section 9 extension where the selected
+//! posts must cover both the time and the geospatial dimension.
+
+use mqd_core::{LabelId, PostId};
+
+/// A geotagged microblogging post: timestamp plus planar coordinates
+/// (fixed-point meters — e.g. a local projection of lat/lon), and the
+/// matched label set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GeoPost {
+    id: PostId,
+    time: i64,
+    x: i64,
+    y: i64,
+    labels: Vec<LabelId>,
+}
+
+impl GeoPost {
+    /// Creates a post; labels are sorted and de-duplicated.
+    pub fn new(id: PostId, time: i64, x: i64, y: i64, mut labels: Vec<LabelId>) -> Self {
+        labels.sort_unstable();
+        labels.dedup();
+        GeoPost {
+            id,
+            time,
+            x,
+            y,
+            labels,
+        }
+    }
+
+    /// External id.
+    #[inline]
+    pub fn id(&self) -> PostId {
+        self.id
+    }
+
+    /// Timestamp (ms).
+    #[inline]
+    pub fn time(&self) -> i64 {
+        self.time
+    }
+
+    /// X coordinate (fixed-point meters).
+    #[inline]
+    pub fn x(&self) -> i64 {
+        self.x
+    }
+
+    /// Y coordinate (fixed-point meters).
+    #[inline]
+    pub fn y(&self) -> i64 {
+        self.y
+    }
+
+    /// Sorted label set.
+    #[inline]
+    pub fn labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// Whether the post matches label `a`.
+    #[inline]
+    pub fn has_label(&self, a: LabelId) -> bool {
+        self.labels.binary_search(&a).is_ok()
+    }
+
+    /// Squared planar distance to another post (saturating).
+    pub fn dist2(&self, other: &GeoPost) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+}
+
+/// The two-threshold coverage radius of the spatiotemporal problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeoLambda {
+    /// Temporal threshold (ms).
+    pub time: i64,
+    /// Spatial threshold (fixed-point meters).
+    pub dist: i64,
+}
+
+impl GeoLambda {
+    /// Creates thresholds; both must be non-negative.
+    pub fn new(time: i64, dist: i64) -> Self {
+        assert!(time >= 0 && dist >= 0, "thresholds must be non-negative");
+        GeoLambda { time, dist }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_labels() {
+        let p = GeoPost::new(
+            PostId(1),
+            5,
+            10,
+            20,
+            vec![LabelId(2), LabelId(0), LabelId(2)],
+        );
+        assert_eq!(p.labels(), &[LabelId(0), LabelId(2)]);
+        assert!(p.has_label(LabelId(0)));
+        assert!(!p.has_label(LabelId(1)));
+    }
+
+    #[test]
+    fn squared_distance() {
+        let a = GeoPost::new(PostId(0), 0, 0, 0, vec![LabelId(0)]);
+        let b = GeoPost::new(PostId(1), 0, 3, 4, vec![LabelId(0)]);
+        assert_eq!(a.dist2(&b), 25);
+        assert_eq!(b.dist2(&a), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_rejected() {
+        GeoLambda::new(-1, 0);
+    }
+}

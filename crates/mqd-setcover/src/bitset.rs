@@ -1,0 +1,109 @@
+//! A minimal fixed-capacity bitset used for coverage bookkeeping.
+
+/// Fixed-size bitset over `0..len`.
+#[derive(Clone, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Whether every bit is set.
+    #[inline]
+    pub fn all_set(&self) -> bool {
+        self.ones == self.len
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`; returns `true` if it was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates the indices of clear bits.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len as u32).filter(|&i| !self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0));
+        assert!(b.set(0));
+        assert!(!b.set(0));
+        assert!(b.set(129));
+        assert_eq!(b.count_ones(), 2);
+        assert!(b.get(129));
+        assert!(!b.get(64));
+    }
+
+    #[test]
+    fn all_set_and_zeros() {
+        let mut b = BitSet::new(3);
+        b.set(0);
+        b.set(2);
+        assert!(!b.all_set());
+        assert_eq!(b.iter_zeros().collect::<Vec<_>>(), vec![1]);
+        b.set(1);
+        assert!(b.all_set());
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(b.all_set());
+    }
+}

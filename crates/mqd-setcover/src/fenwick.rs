@@ -1,0 +1,165 @@
+//! Fenwick (binary indexed) tree over `0/1` marks, used to count uncovered
+//! `(post, label)` occurrences inside a value window in `O(log n)`.
+
+/// A Fenwick tree specialised for presence counts: every position starts at
+/// 1 ("uncovered") and can be cleared to 0 exactly once.
+#[derive(Clone, Debug)]
+pub struct PresenceFenwick {
+    tree: Vec<u32>,
+    present: Vec<bool>,
+    remaining: usize,
+}
+
+impl PresenceFenwick {
+    /// Creates a tree of `n` positions, all marked present.
+    pub fn all_present(n: usize) -> Self {
+        let mut tree = vec![0u32; n + 1];
+        // Linear-time construction of an all-ones Fenwick tree.
+        for i in 1..=n {
+            tree[i] += 1;
+            let j = i + (i & i.wrapping_neg());
+            if j <= n {
+                tree[j] += tree[i];
+            }
+        }
+        PresenceFenwick {
+            tree,
+            present: vec![true; n],
+            remaining: n,
+        }
+    }
+
+    /// Number of positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Whether the tree has zero positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Positions still marked present.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether position `i` is still present.
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        self.present[i]
+    }
+
+    /// Clears position `i`; returns `true` if it was present.
+    pub fn clear(&mut self, i: usize) -> bool {
+        if !self.present[i] {
+            return false;
+        }
+        self.present[i] = false;
+        self.remaining -= 1;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] -= 1;
+            j += j & j.wrapping_neg();
+        }
+        true
+    }
+
+    /// Count of present positions in `[0, end)`.
+    fn prefix(&self, end: usize) -> u32 {
+        let mut s = 0;
+        let mut j = end;
+        while j > 0 {
+            s += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        s
+    }
+
+    /// Count of present positions in `[lo, hi)`.
+    pub fn count_range(&self, lo: usize, hi: usize) -> u32 {
+        if lo >= hi {
+            0
+        } else {
+            self.prefix(hi) - self.prefix(lo)
+        }
+    }
+
+    /// First present position `>= from`, or `None`.
+    pub fn first_present_at_or_after(&self, from: usize) -> Option<usize> {
+        // Linear probe is fine: each cleared position is skipped at most once
+        // per caller that maintains a moving frontier; for ad-hoc queries the
+        // windows involved are small.
+        (from..self.present.len()).find(|&i| self.present[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_clears() {
+        let mut f = PresenceFenwick::all_present(10);
+        assert_eq!(f.count_range(0, 10), 10);
+        assert_eq!(f.remaining(), 10);
+        assert!(f.clear(3));
+        assert!(!f.clear(3));
+        assert_eq!(f.count_range(0, 10), 9);
+        assert_eq!(f.count_range(3, 4), 0);
+        assert_eq!(f.count_range(0, 4), 3);
+        assert_eq!(f.count_range(4, 10), 6);
+        assert_eq!(f.remaining(), 9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges() {
+        let f = PresenceFenwick::all_present(0);
+        assert!(f.is_empty());
+        let f = PresenceFenwick::all_present(5);
+        assert_eq!(f.count_range(3, 3), 0);
+        assert_eq!(f.count_range(4, 2), 0);
+    }
+
+    #[test]
+    fn first_present_scan() {
+        let mut f = PresenceFenwick::all_present(5);
+        f.clear(0);
+        f.clear(1);
+        assert_eq!(f.first_present_at_or_after(0), Some(2));
+        assert_eq!(f.first_present_at_or_after(3), Some(3));
+        f.clear(2);
+        f.clear(3);
+        f.clear(4);
+        assert_eq!(f.first_present_at_or_after(0), None);
+    }
+
+    #[test]
+    fn matches_naive_on_random_ops() {
+        // deterministic pseudo-random without external crates
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 200;
+        let mut f = PresenceFenwick::all_present(n);
+        let mut naive = vec![true; n];
+        for _ in 0..500 {
+            let i = (next() % n as u64) as usize;
+            assert_eq!(f.clear(i), std::mem::replace(&mut naive[i], false));
+            let lo = (next() % n as u64) as usize;
+            let hi = (next() % (n as u64 + 1)) as usize;
+            let expect = naive[lo.min(hi)..hi.max(lo.min(hi))]
+                .iter()
+                .filter(|&&b| b)
+                .count() as u32;
+            assert_eq!(f.count_range(lo.min(hi), hi.max(lo.min(hi))), expect);
+        }
+    }
+}

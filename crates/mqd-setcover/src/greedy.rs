@@ -1,0 +1,261 @@
+//! Greedy set cover over explicitly materialized sets.
+//!
+//! This is the classic `ln k`-approximate greedy used by the paper's
+//! GreedySC (Section 4.2) and by the windowed streaming variant
+//! (Section 5.2). Two selection strategies are provided:
+//!
+//! * [`greedy_cover`] — each round scans all sets for the one covering the
+//!   most uncovered elements. This mirrors the paper's implementation note
+//!   in Section 7.3 (they found a scan to beat a heap on their data).
+//! * [`lazy_greedy_cover`] — the standard lazy-evaluation variant exploiting
+//!   submodularity: set sizes only shrink, so a stale max-heap entry whose
+//!   recomputed gain still tops the heap is safe to pick.
+//!
+//! Both produce identical covers when ties are broken identically; the
+//! ablation benchmark `ablation_greedy_heap` compares their running times.
+
+use crate::bitset::BitSet;
+
+/// When the greedy loop may stop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Goal {
+    /// Run until every element is covered (or no set makes progress).
+    CoverAll,
+    /// Run only until the given element is covered — used by
+    /// StreamGreedySC+ which stops as soon as the oldest uncovered post is
+    /// covered (Section 5.2).
+    CoverElement(u32),
+}
+
+fn goal_met(goal: Goal, covered: &BitSet) -> bool {
+    match goal {
+        Goal::CoverAll => covered.all_set(),
+        Goal::CoverElement(e) => covered.get(e),
+    }
+}
+
+/// Greedy set cover, scan-max selection.
+///
+/// `sets[k]` lists the element ids covered by picking `k`; `covered` is the
+/// initial coverage state (elements already covered by earlier decisions)
+/// and is updated in place. Returns the picked set indices in pick order.
+///
+/// Sets that cover no new element are never picked; if the goal is
+/// unreachable the loop stops when no set makes progress.
+pub fn greedy_cover(sets: &[Vec<u32>], covered: &mut BitSet, goal: Goal) -> Vec<usize> {
+    let mut picked = Vec::new();
+    let mut gain: Vec<u32> = sets
+        .iter()
+        .map(|s| s.iter().filter(|&&e| !covered.get(e)).count() as u32)
+        .collect();
+    while !goal_met(goal, covered) {
+        let (best, &best_gain) = match gain
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        {
+            Some(m) => m,
+            None => break,
+        };
+        if best_gain == 0 {
+            break;
+        }
+        picked.push(best);
+        for &e in &sets[best] {
+            if covered.set(e) {
+                // Decrement the gain of every other set containing e lazily:
+                // gains are recomputed below instead, to keep this variant
+                // faithful to the paper's "iterate all sets" loop.
+            }
+        }
+        for (k, g) in gain.iter_mut().enumerate() {
+            *g = sets[k].iter().filter(|&&e| !covered.get(e)).count() as u32;
+        }
+    }
+    picked
+}
+
+/// Greedy set cover, lazy-evaluation (stale max-heap) selection. Produces a
+/// cover with the same guarantee; typically far fewer gain recomputations.
+pub fn lazy_greedy_cover(sets: &[Vec<u32>], covered: &mut BitSet, goal: Goal) -> Vec<usize> {
+    use std::collections::BinaryHeap;
+    let mut picked = Vec::new();
+    let mut heap: BinaryHeap<(u32, std::cmp::Reverse<usize>)> = sets
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            (
+                s.iter().filter(|&&e| !covered.get(e)).count() as u32,
+                std::cmp::Reverse(k),
+            )
+        })
+        .collect();
+    while !goal_met(goal, covered) {
+        let (stale_gain, std::cmp::Reverse(k)) = match heap.pop() {
+            Some(top) => top,
+            None => break,
+        };
+        if stale_gain == 0 {
+            break;
+        }
+        let fresh: u32 = sets[k].iter().filter(|&&e| !covered.get(e)).count() as u32;
+        if fresh < stale_gain {
+            // Stale entry: push back with the corrected gain. Submodularity
+            // guarantees gains never grow, so this converges.
+            if fresh > 0 {
+                heap.push((fresh, std::cmp::Reverse(k)));
+            }
+            continue;
+        }
+        picked.push(k);
+        for &e in &sets[k] {
+            covered.set(e);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sets: &[Vec<u32>], n: usize, goal: Goal) -> (Vec<usize>, Vec<usize>) {
+        let mut c1 = BitSet::new(n);
+        let mut c2 = BitSet::new(n);
+        (
+            greedy_cover(sets, &mut c1, goal),
+            lazy_greedy_cover(sets, &mut c2, goal),
+        )
+    }
+
+    #[test]
+    fn covers_simple_universe() {
+        let sets = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4]];
+        let (a, b) = run(&sets, 5, Goal::CoverAll);
+        for picks in [&a, &b] {
+            let mut cov = BitSet::new(5);
+            for &k in picks.iter() {
+                for &e in &sets[k] {
+                    cov.set(e);
+                }
+            }
+            assert!(cov.all_set(), "picks {picks:?} must cover");
+        }
+        // Greedy picks the size-3 set first.
+        assert_eq!(a[0], 0);
+        assert_eq!(b[0], 0);
+    }
+
+    #[test]
+    fn identical_results_scan_vs_lazy() {
+        // Deterministic pseudo-random instances; both variants break ties by
+        // smallest set index, so they must agree exactly.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..30 {
+            let n = 30;
+            let sets: Vec<Vec<u32>> = (0..12)
+                .map(|_| {
+                    let mut s: Vec<u32> = (0..n as u32).filter(|_| next() % 3 == 0).collect();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let (a, b) = run(&sets, n, Goal::CoverAll);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stops_at_target_element() {
+        let sets = vec![vec![5], vec![0, 1], vec![2, 3, 4]];
+        let (a, _) = run(&sets, 6, Goal::CoverElement(5));
+        // Element 5 is only in set 0 (gain 1); greedy first picks set 2
+        // (gain 3), then set 1 (gain 2)? No: goal check happens per round,
+        // so it keeps picking until 5 is covered.
+        let mut cov = BitSet::new(6);
+        for &k in &a {
+            for &e in &sets[k] {
+                cov.set(e);
+            }
+        }
+        assert!(cov.get(5));
+    }
+
+    #[test]
+    fn unreachable_goal_terminates() {
+        let sets = vec![vec![0]];
+        let mut c = BitSet::new(2);
+        let picks = greedy_cover(&sets, &mut c, Goal::CoverAll);
+        assert_eq!(picks, vec![0]);
+        assert!(!c.all_set());
+        let mut c = BitSet::new(2);
+        let picks = lazy_greedy_cover(&sets, &mut c, Goal::CoverAll);
+        assert_eq!(picks, vec![0]);
+    }
+
+    #[test]
+    fn respects_initial_coverage() {
+        let sets = vec![vec![0, 1], vec![2]];
+        let mut c = BitSet::new(3);
+        c.set(0);
+        c.set(1);
+        let picks = greedy_cover(&sets, &mut c, Goal::CoverAll);
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn greedy_ln_bound_on_random_instances() {
+        // |greedy| <= H(max set size) * |opt|; we check against a brute-force
+        // optimum on small instances.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            state >> 33
+        };
+        for _ in 0..20 {
+            let n = 10usize;
+            let m = 6usize;
+            let sets: Vec<Vec<u32>> = (0..m)
+                .map(|_| (0..n as u32).filter(|_| next() % 2 == 0).collect())
+                .collect();
+            // ensure coverable
+            let mut universe: Vec<u32> = Vec::new();
+            for s in &sets {
+                universe.extend(s);
+            }
+            universe.sort_unstable();
+            universe.dedup();
+            if universe.len() < n {
+                continue;
+            }
+            // brute force optimum
+            let mut opt = usize::MAX;
+            for mask in 0u32..(1 << m) {
+                let mut cov = BitSet::new(n);
+                for (k, s) in sets.iter().enumerate() {
+                    if mask & (1 << k) != 0 {
+                        for &e in s {
+                            cov.set(e);
+                        }
+                    }
+                }
+                if cov.all_set() {
+                    opt = opt.min(mask.count_ones() as usize);
+                }
+            }
+            let mut c = BitSet::new(n);
+            let picks = greedy_cover(&sets, &mut c, Goal::CoverAll);
+            let max_set = sets.iter().map(|s| s.len()).max().unwrap_or(1);
+            let h: f64 = (1..=max_set).map(|i| 1.0 / i as f64).sum();
+            assert!(
+                picks.len() as f64 <= h * opt as f64 + 1e-9,
+                "greedy {} vs opt {opt} (H={h})",
+                picks.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The streaming engine abstraction shared by all StreamMQDP algorithms
+//! (Section 5).
+//!
+//! Engines are event-driven: the simulator (or a real ingestion pipeline)
+//! delivers posts in timestamp order via [`StreamEngine::on_arrival`] and
+//! advances the clock via [`StreamEngine::on_time`], which fires any pending
+//! output deadlines. Every emitted post carries its emission time so the
+//! caller can audit the delay constraint `emit_time - time(P) <= tau`.
+
+use mqd_core::{Instance, LambdaProvider};
+
+/// A post released into the diversified output sub-stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Emission {
+    /// Post index into the instance (sorted by timestamp).
+    pub post: u32,
+    /// The moment the engine released the post.
+    pub emit_time: i64,
+}
+
+impl Emission {
+    /// The reporting delay of this emission.
+    pub fn delay(&self, inst: &Instance) -> i64 {
+        self.emit_time - inst.value(self.post)
+    }
+}
+
+/// Shared read-only context handed to engines on every event.
+pub struct StreamContext<'a> {
+    /// The posts, sorted by timestamp; arrival order is index order.
+    pub inst: &'a Instance,
+    /// Coverage thresholds.
+    pub lambda: &'a dyn LambdaProvider,
+    /// Maximum allowed reporting delay `tau` (Problem 2).
+    pub tau: i64,
+}
+
+impl<'a> StreamContext<'a> {
+    /// Convenience constructor.
+    pub fn new(inst: &'a Instance, lambda: &'a dyn LambdaProvider, tau: i64) -> Self {
+        StreamContext { inst, lambda, tau }
+    }
+}
+
+/// A StreamMQDP algorithm.
+pub trait StreamEngine {
+    /// Display name ("StreamScan", "StreamGreedySC+", ...).
+    fn name(&self) -> &'static str;
+
+    /// Advance the clock to `now`, firing every pending deadline `<= now`.
+    /// Emissions are appended to `out` with their scheduled emit times.
+    fn on_time(&mut self, ctx: &StreamContext<'_>, now: i64, out: &mut Vec<Emission>);
+
+    /// Deliver the post with index `post` (its timestamp is
+    /// `ctx.inst.value(post)`). The simulator guarantees `on_time` has been
+    /// called with the post's timestamp first.
+    fn on_arrival(&mut self, ctx: &StreamContext<'_>, post: u32, out: &mut Vec<Emission>);
+
+    /// End of stream: fire all remaining deadlines.
+    fn flush(&mut self, ctx: &StreamContext<'_>, out: &mut Vec<Emission>) {
+        self.on_time(ctx, i64::MAX, out);
+    }
+}

@@ -1,0 +1,108 @@
+//! Instant output (`tau = 0`) — Section 5.1/5.2.
+//!
+//! A small cache keeps the most recently emitted post per label. A new post
+//! is emitted immediately iff at least one of its labels is not covered by
+//! the cached post; emitting updates the cache for **all** its labels. The
+//! paper proves a `2s` bound for this scheme (each label's output posts are
+//! pairwise more than lambda apart, so an optimal solution needs at least
+//! half as many per label).
+
+use mqd_core::coverage;
+
+use crate::engine::{Emission, StreamContext, StreamEngine};
+
+/// The cache-based instant-output engine.
+pub struct InstantScan {
+    /// Latest emitted post per label.
+    cache: Vec<Option<u32>>,
+}
+
+impl InstantScan {
+    /// Creates the engine for `num_labels` labels.
+    pub fn new(num_labels: usize) -> Self {
+        InstantScan {
+            cache: vec![None; num_labels],
+        }
+    }
+}
+
+impl StreamEngine for InstantScan {
+    fn name(&self) -> &'static str {
+        "Instant"
+    }
+
+    fn on_time(&mut self, _ctx: &StreamContext<'_>, _now: i64, _out: &mut Vec<Emission>) {
+        // No deadlines: every decision is made on arrival.
+    }
+
+    fn on_arrival(&mut self, ctx: &StreamContext<'_>, post: u32, out: &mut Vec<Emission>) {
+        let uncovered = ctx.inst.labels(post).iter().any(|&a| {
+            self.cache[a.index()]
+                .is_none_or(|lc| !coverage::covers(ctx.inst, ctx.lambda, lc, post, a))
+        });
+        if uncovered {
+            out.push(Emission {
+                post,
+                emit_time: ctx.inst.value(post),
+            });
+            for &a in ctx.inst.labels(post) {
+                self.cache[a.index()] = Some(post);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::run_stream;
+    use mqd_core::{coverage, FixedLambda, Instance};
+
+    #[test]
+    fn zero_delay_and_valid_cover() {
+        let inst = Instance::from_values(
+            vec![
+                (0, vec![0]),
+                (3, vec![0, 1]),
+                (5, vec![1]),
+                (20, vec![0]),
+                (22, vec![1]),
+            ],
+            2,
+        )
+        .unwrap();
+        let f = FixedLambda(5);
+        let mut eng = InstantScan::new(2);
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        assert_eq!(res.max_delay, 0);
+        assert!(coverage::is_cover(&inst, &f, &res.selected));
+    }
+
+    #[test]
+    fn single_label_output_at_most_twice_optimum() {
+        // The 2s bound with s = 1: consecutive emissions are > lambda apart,
+        // so |output| <= 2 |opt|.
+        let times: Vec<i64> = (0..50).map(|i| i * 3).collect();
+        let inst = Instance::from_values(times.iter().map(|&t| (t, vec![0])), 1).unwrap();
+        let f = FixedLambda(7);
+        let mut eng = InstantScan::new(1);
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        assert!(coverage::is_cover(&inst, &f, &res.selected));
+        let opt = mqd_core::algorithms::solve_scan(&inst, &f); // optimal for one label
+        assert!(res.selected.len() <= 2 * opt.size());
+        // Consecutive emitted posts must be more than lambda apart.
+        for w in res.selected.windows(2) {
+            assert!(inst.value(w[1]) - inst.value(w[0]) > 7);
+        }
+    }
+
+    #[test]
+    fn first_post_always_emitted() {
+        let inst = Instance::from_values(vec![(42, vec![0])], 1).unwrap();
+        let f = FixedLambda(1);
+        let mut eng = InstantScan::new(1);
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        assert_eq!(res.selected, vec![0]);
+        assert_eq!(res.emissions[0].emit_time, 42);
+    }
+}

@@ -1,0 +1,36 @@
+//! Streaming Multi-Query Diversification (Section 5 of the EDBT 2014
+//! paper): progressively report a small lambda-cover of an unbounded post
+//! stream, releasing every reported post within delay `tau` of its
+//! timestamp.
+//!
+//! Engines:
+//!
+//! * [`StreamScan`] / `StreamScan::new_plus` — per-label pending groups with
+//!   the `min(time(P_lu)+tau, time(P_ou)+lambda)` flush rule (Section 5.1);
+//!   equals offline Scan when `tau >= lambda`.
+//! * [`StreamGreedy`] / `StreamGreedy::new_plus` — windowed greedy set
+//!   cover over `[time(P'), time(P')+tau]` (Section 5.2).
+//! * [`InstantScan`] — the `tau = 0` cache scheme with the `2s` bound.
+//!
+//! Use [`run_stream`] to replay an [`mqd_core::Instance`] through an engine
+//! and obtain the emitted sub-stream plus delay statistics.
+
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod engine;
+pub mod greedy;
+pub mod instant;
+pub mod multiuser;
+pub mod scan;
+pub mod simulator;
+pub mod timeline;
+
+pub use density::{AdaptiveEngine, AdaptiveInstant, OnlineLambda};
+pub use engine::{Emission, StreamContext, StreamEngine};
+pub use greedy::StreamGreedy;
+pub use instant::InstantScan;
+pub use multiuser::{MultiUserHub, UserStats};
+pub use scan::StreamScan;
+pub use simulator::{run_stream, StreamRunResult};
+pub use timeline::{TimelinePost, WindowedTimeline};

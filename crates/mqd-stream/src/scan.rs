@@ -1,0 +1,246 @@
+//! StreamScan and StreamScan+ (Section 5.1, delayed output).
+//!
+//! Per label `a` the engine tracks the oldest (`P_ou`) and latest (`P_lu`)
+//! uncovered pending posts and the latest emitted post (`P_lc`). A pending
+//! group is flushed at
+//!
+//! ```text
+//! deadline(a) = min( time(P_lu) + tau,  time(P_ou) + lambda )
+//! ```
+//!
+//! at which point `P_lu` is emitted: waiting longer than `time(P_ou) +
+//! lambda` would let `P_ou` become uncoverable, and waiting longer than
+//! `time(P_lu) + tau` would violate the delay constraint on the post about
+//! to be emitted. With `tau >= lambda` this reproduces offline Scan exactly
+//! (same `s` bound); with `tau < lambda` the bound degrades towards `2s`
+//! (Section 5.1, Figure 5).
+//!
+//! StreamScan+ adds the cross-label optimization of Scan+: an emitted post
+//! immediately becomes the "latest emitted" for **all** its labels and
+//! prunes their pending queues.
+
+use std::collections::VecDeque;
+
+use mqd_core::{coverage, LabelId};
+
+use crate::engine::{Emission, StreamContext, StreamEngine};
+
+#[derive(Clone, Debug, Default)]
+struct LabelState {
+    /// Uncovered pending posts for this label, in arrival order.
+    pending: VecDeque<u32>,
+    /// The latest emitted post carrying this label.
+    last_emitted: Option<u32>,
+    /// Flush moment for the pending group, when non-empty.
+    deadline: Option<i64>,
+}
+
+/// StreamScan / StreamScan+ engine. Construct with [`StreamScan::new`] or
+/// [`StreamScan::new_plus`].
+pub struct StreamScan {
+    plus: bool,
+    states: Vec<LabelState>,
+    /// Posts already emitted (dedup across labels).
+    emitted: Vec<bool>,
+}
+
+impl StreamScan {
+    /// Plain StreamScan: labels are fully independent.
+    pub fn new(num_labels: usize, num_posts: usize) -> Self {
+        StreamScan {
+            plus: false,
+            states: vec![LabelState::default(); num_labels],
+            emitted: vec![false; num_posts],
+        }
+    }
+
+    /// StreamScan+ with cross-label pruning.
+    pub fn new_plus(num_labels: usize, num_posts: usize) -> Self {
+        StreamScan {
+            plus: true,
+            ..Self::new(num_labels, num_posts)
+        }
+    }
+
+    fn recompute_deadline(&mut self, ctx: &StreamContext<'_>, a: usize) {
+        let st = &mut self.states[a];
+        st.deadline = match (st.pending.front(), st.pending.back()) {
+            (Some(&ou), Some(&lu)) => {
+                // With a variable lambda the future coverer is unknown; the
+                // oldest pending post's own threshold is the natural local
+                // estimate (exact for fixed lambda).
+                let lam = ctx.lambda.lambda(ctx.inst, ou, LabelId(a as u16));
+                Some((ctx.inst.value(lu) + ctx.tau).min(ctx.inst.value(ou) + lam))
+            }
+            _ => None,
+        };
+    }
+
+    /// Emit the latest pending post of label `a` at `emit_time`.
+    fn fire(
+        &mut self,
+        ctx: &StreamContext<'_>,
+        a: usize,
+        emit_time: i64,
+        out: &mut Vec<Emission>,
+    ) {
+        let Some(&z) = self.states[a].pending.back() else {
+            return;
+        };
+        if !std::mem::replace(&mut self.emitted[z as usize], true) {
+            out.push(Emission { post: z, emit_time });
+        }
+        let touched: Vec<usize> = if self.plus {
+            ctx.inst.labels(z).iter().map(|b| b.index()).collect()
+        } else {
+            vec![a]
+        };
+        for b in touched {
+            let lb = LabelId(b as u16);
+            if !ctx.inst.post(z).has_label(lb) {
+                continue;
+            }
+            let st = &mut self.states[b];
+            st.last_emitted = Some(z);
+            st.pending
+                .retain(|&p| !coverage::covers(ctx.inst, ctx.lambda, z, p, lb));
+            self.recompute_deadline(ctx, b);
+        }
+    }
+}
+
+impl StreamEngine for StreamScan {
+    fn name(&self) -> &'static str {
+        if self.plus {
+            "StreamScan+"
+        } else {
+            "StreamScan"
+        }
+    }
+
+    fn on_time(&mut self, ctx: &StreamContext<'_>, now: i64, out: &mut Vec<Emission>) {
+        // Fire due deadlines in chronological order; firing may reschedule,
+        // so loop until quiescent.
+        loop {
+            let due = self
+                .states
+                .iter()
+                .enumerate()
+                .filter_map(|(a, st)| st.deadline.filter(|&d| d <= now).map(|d| (d, a)))
+                .min();
+            match due {
+                Some((d, a)) => self.fire(ctx, a, d, out),
+                None => break,
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, ctx: &StreamContext<'_>, post: u32, out: &mut Vec<Emission>) {
+        let _ = out;
+        for &a in ctx.inst.labels(post) {
+            let st = &self.states[a.index()];
+            let already = st
+                .last_emitted
+                .is_some_and(|lc| coverage::covers(ctx.inst, ctx.lambda, lc, post, a));
+            if already {
+                continue;
+            }
+            self.states[a.index()].pending.push_back(post);
+            self.recompute_deadline(ctx, a.index());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::run_stream;
+    use mqd_core::{FixedLambda, Instance};
+
+    fn line_instance(times: &[i64]) -> Instance {
+        Instance::from_values(times.iter().map(|&t| (t, vec![0])), 1).unwrap()
+    }
+
+    #[test]
+    fn emits_cover_with_delay_bound() {
+        let inst = line_instance(&[0, 5, 10, 40, 45, 100]);
+        let f = FixedLambda(10);
+        let tau = 10;
+        let mut eng = StreamScan::new(1, inst.len());
+        let res = run_stream(&inst, &f, tau, &mut eng);
+        assert!(coverage::is_cover(&inst, &f, &res.selected));
+        assert!(res.max_delay <= tau, "max delay {} > tau", res.max_delay);
+    }
+
+    #[test]
+    fn tau_at_least_lambda_matches_offline_scan() {
+        // Section 5.1: with tau >= lambda the streaming algorithm outputs
+        // exactly what offline Scan outputs.
+        let times: Vec<i64> = vec![0, 3, 7, 12, 13, 20, 31, 33, 40, 55, 60, 61];
+        let inst = Instance::from_values(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, vec![(i % 2) as u16])),
+            2,
+        )
+        .unwrap();
+        let f = FixedLambda(6);
+        let mut eng = StreamScan::new(2, inst.len());
+        let res = run_stream(&inst, &f, 6, &mut eng);
+        let offline = mqd_core::algorithms::solve_scan(&inst, &f);
+        assert_eq!(res.selected, offline.selected);
+    }
+
+    #[test]
+    fn zero_tau_emits_immediately() {
+        let inst = line_instance(&[0, 1, 2, 3]);
+        let f = FixedLambda(2);
+        let mut eng = StreamScan::new(1, inst.len());
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        assert!(coverage::is_cover(&inst, &f, &res.selected));
+        assert_eq!(res.max_delay, 0);
+    }
+
+    #[test]
+    fn plus_variant_shares_picks_across_labels() {
+        // A post carrying both labels is emitted for label 0; StreamScan+
+        // must let it satisfy label 1's pending group too.
+        let inst = Instance::from_values(
+            vec![(0, vec![0, 1]), (1, vec![0]), (2, vec![1])],
+            2,
+        )
+        .unwrap();
+        let f = FixedLambda(10);
+        let mut base = StreamScan::new(2, inst.len());
+        let mut plus = StreamScan::new_plus(2, inst.len());
+        let rb = run_stream(&inst, &f, 3, &mut base);
+        let rp = run_stream(&inst, &f, 3, &mut plus);
+        assert!(coverage::is_cover(&inst, &f, &rb.selected));
+        assert!(coverage::is_cover(&inst, &f, &rp.selected));
+        assert!(rp.selected.len() <= rb.selected.len());
+    }
+
+    #[test]
+    fn covered_arrivals_are_skipped() {
+        // After an emission, posts within lambda of it must not re-enter the
+        // pending queue.
+        let inst = line_instance(&[0, 1, 2, 3, 4, 5]);
+        let f = FixedLambda(5);
+        let mut eng = StreamScan::new(1, inst.len());
+        let res = run_stream(&inst, &f, 1, &mut eng);
+        assert!(coverage::is_cover(&inst, &f, &res.selected));
+        // One emission around t<=1 covers everything up to t=5+... at most 2.
+        assert!(res.selected.len() <= 2);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let inst = Instance::from_values(Vec::<(i64, Vec<u16>)>::new(), 1).unwrap();
+        let f = FixedLambda(1);
+        let mut eng = StreamScan::new(1, 0);
+        let res = run_stream(&inst, &f, 5, &mut eng);
+        assert!(res.selected.is_empty());
+        assert!(res.emissions.is_empty());
+    }
+}

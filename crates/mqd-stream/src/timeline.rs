@@ -1,0 +1,197 @@
+//! A live diversified timeline: the digest a client UI actually renders.
+//!
+//! The paper's engines decide *which* posts enter the output sub-stream;
+//! a timeline view additionally forgets posts that scrolled out of the
+//! trailing window. [`WindowedTimeline`] buffers the last `window` ms of
+//! matched posts and produces, on demand, a lambda-cover of exactly that
+//! window (offline Scan — per-label optimal), so the rendered digest is
+//! always a valid representative set of what the user can still scroll to.
+
+use std::collections::VecDeque;
+
+use mqd_core::algorithms::solve_scan;
+use mqd_core::{FixedLambda, Instance, LabelId, Post, PostId};
+
+/// A post held by the timeline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TimelinePost {
+    /// External post id.
+    pub id: u64,
+    /// Timestamp (ms).
+    pub time: i64,
+    /// Matched labels.
+    pub labels: Vec<u16>,
+}
+
+/// Sliding-window diversified timeline.
+#[derive(Debug)]
+pub struct WindowedTimeline {
+    window: i64,
+    lambda: i64,
+    num_labels: usize,
+    posts: VecDeque<TimelinePost>,
+    last_time: i64,
+}
+
+impl WindowedTimeline {
+    /// Creates a timeline over the trailing `window` ms, diversified with
+    /// threshold `lambda` (both must be positive and `lambda <= window`
+    /// to be meaningful).
+    pub fn new(num_labels: usize, window: i64, lambda: i64) -> Self {
+        assert!(window > 0 && lambda >= 0, "window > 0, lambda >= 0");
+        WindowedTimeline {
+            window,
+            lambda,
+            num_labels,
+            posts: VecDeque::new(),
+            last_time: i64::MIN,
+        }
+    }
+
+    /// Ingests a matched post (non-decreasing times); expired posts are
+    /// dropped. Returns how many posts expired.
+    pub fn on_post(&mut self, id: u64, time: i64, labels: Vec<u16>) -> usize {
+        debug_assert!(time >= self.last_time, "timeline input must be ordered");
+        self.last_time = time;
+        self.posts.push_back(TimelinePost { id, time, labels });
+        self.expire(time)
+    }
+
+    /// Advances the clock without a post (e.g. a UI refresh tick).
+    pub fn on_tick(&mut self, time: i64) -> usize {
+        self.last_time = self.last_time.max(time);
+        self.expire(time)
+    }
+
+    fn expire(&mut self, now: i64) -> usize {
+        let mut dropped = 0;
+        while self
+            .posts
+            .front()
+            .is_some_and(|p| p.time < now.saturating_sub(self.window))
+        {
+            self.posts.pop_front();
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Number of posts currently inside the window.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// The current diversified digest: a lambda-cover of the live window
+    /// (per-label optimal Scan), in time order.
+    pub fn digest(&self) -> Vec<TimelinePost> {
+        if self.posts.is_empty() {
+            return Vec::new();
+        }
+        let posts: Vec<Post> = self
+            .posts
+            .iter()
+            .map(|p| {
+                Post::new(
+                    PostId(p.id),
+                    p.time,
+                    p.labels.iter().map(|&l| LabelId(l)).collect(),
+                )
+            })
+            .collect();
+        let inst = Instance::from_posts(posts, self.num_labels)
+            .expect("timeline inputs are validated on ingest");
+        let lam = FixedLambda(self.lambda);
+        let sol = solve_scan(&inst, &lam);
+        sol.selected
+            .iter()
+            .map(|&i| TimelinePost {
+                id: inst.post(i).id().0,
+                time: inst.value(i),
+                labels: inst.labels(i).iter().map(|l| l.0).collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_core::coverage;
+
+    #[test]
+    fn digest_covers_live_window() {
+        let mut tl = WindowedTimeline::new(2, 100, 10);
+        for t in 0..50 {
+            tl.on_post(t as u64, t, vec![(t % 2) as u16]);
+        }
+        let digest = tl.digest();
+        assert!(!digest.is_empty());
+        assert!(digest.len() < tl.len());
+        // Verify against a freshly built instance of the window.
+        let inst = Instance::from_values(
+            (0..50).map(|t| (t as i64, vec![(t % 2) as u16])),
+            2,
+        )
+        .unwrap();
+        let selected: Vec<u32> = digest
+            .iter()
+            .map(|p| inst.window(p.time, p.time).start as u32)
+            .collect();
+        assert!(coverage::is_cover(&inst, &FixedLambda(10), &selected));
+    }
+
+    #[test]
+    fn old_posts_expire() {
+        let mut tl = WindowedTimeline::new(1, 100, 10);
+        tl.on_post(0, 0, vec![0]);
+        tl.on_post(1, 50, vec![0]);
+        assert_eq!(tl.len(), 2);
+        let dropped = tl.on_post(2, 150, vec![0]);
+        assert_eq!(dropped, 1); // post at t=0 left the window
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.on_tick(1_000), 2);
+        assert!(tl.is_empty());
+        assert!(tl.digest().is_empty());
+    }
+
+    #[test]
+    fn digest_tracks_expiry() {
+        let mut tl = WindowedTimeline::new(1, 100, 5);
+        tl.on_post(0, 0, vec![0]);
+        let d0 = tl.digest();
+        assert_eq!(d0.len(), 1);
+        assert_eq!(d0[0].id, 0);
+        tl.on_post(1, 200, vec![0]); // expires post 0
+        let d1 = tl.digest();
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0].id, 1);
+    }
+
+    #[test]
+    fn boundary_post_stays_in_window() {
+        let mut tl = WindowedTimeline::new(1, 100, 5);
+        tl.on_post(0, 0, vec![0]);
+        tl.on_tick(100); // age == window: still visible
+        assert_eq!(tl.len(), 1);
+        tl.on_tick(101);
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn digest_is_time_ordered_and_ids_preserved() {
+        let mut tl = WindowedTimeline::new(3, 1_000, 50);
+        for t in (0..500).step_by(7) {
+            tl.on_post(1_000 + t as u64, t, vec![(t % 3) as u16]);
+        }
+        let d = tl.digest();
+        for w in d.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(d.iter().all(|p| p.id >= 1_000));
+    }
+}

@@ -1,0 +1,190 @@
+//! Time-partitioned real-time index — the EarlyBird / TI / LSII stand-in
+//! (the paper's related-work real-time indexes; Figure 1 queries "an
+//! inverted index of microblogging posts" for the static MQDP option).
+//!
+//! Documents carry timestamps and are indexed into fixed-span time
+//! segments, each with its own term postings. Temporal range queries touch
+//! only the overlapping segments, and old segments can be evicted — the
+//! structure real-time search systems use to keep ingestion append-only.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::tokenize::tokenize;
+
+#[derive(Default, Debug)]
+struct Segment {
+    postings: HashMap<String, Vec<u32>>,
+    docs: usize,
+}
+
+/// A time-partitioned inverted index with OR-keyword temporal search.
+#[derive(Debug)]
+pub struct RtIndex {
+    segment_span: i64,
+    segments: BTreeMap<i64, Segment>,
+    doc_times: Vec<i64>,
+}
+
+impl RtIndex {
+    /// Creates an index with the given segment span (e.g. 10 minutes in
+    /// ms). Must be positive.
+    pub fn new(segment_span: i64) -> Self {
+        assert!(segment_span > 0, "segment span must be positive");
+        RtIndex {
+            segment_span,
+            segments: BTreeMap::new(),
+            doc_times: Vec::new(),
+        }
+    }
+
+    fn segment_key(&self, time: i64) -> i64 {
+        time.div_euclid(self.segment_span)
+    }
+
+    /// Indexes a document; returns its dense id. Timestamps may arrive in
+    /// any order (late posts land in their own segment).
+    pub fn add_document(&mut self, text: &str, time: i64) -> u32 {
+        let id = self.doc_times.len() as u32;
+        self.doc_times.push(time);
+        let seg = self.segments.entry(self.segment_key(time)).or_default();
+        seg.docs += 1;
+        let mut terms = tokenize(text);
+        terms.sort_unstable();
+        terms.dedup();
+        for t in terms {
+            seg.postings.entry(t).or_default().push(id);
+        }
+        id
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_times.len()
+    }
+
+    /// Whether the index holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.doc_times.is_empty()
+    }
+
+    /// Number of live segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The timestamp of a document.
+    pub fn doc_time(&self, id: u32) -> i64 {
+        self.doc_times[id as usize]
+    }
+
+    /// Documents inside `[from, to]` (inclusive) matching **any** keyword,
+    /// sorted by doc id. Only segments overlapping the range are touched.
+    pub fn search(&self, keywords: &[String], from: i64, to: i64) -> Vec<u32> {
+        if from > to {
+            return Vec::new();
+        }
+        let lo = self.segment_key(from);
+        let hi = self.segment_key(to);
+        let mut out: Vec<u32> = Vec::new();
+        for (_, seg) in self.segments.range(lo..=hi) {
+            for kw in keywords {
+                if let Some(ids) = seg.postings.get(kw) {
+                    out.extend(
+                        ids.iter()
+                            .copied()
+                            .filter(|&id| (from..=to).contains(&self.doc_times[id as usize])),
+                    );
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Evicts every segment strictly older than `cutoff`; returns how many
+    /// documents were dropped. Doc ids remain valid for the survivors.
+    pub fn evict_before(&mut self, cutoff: i64) -> usize {
+        let cut_key = self.segment_key(cutoff);
+        let keys: Vec<i64> = self
+            .segments
+            .range(..cut_key)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut dropped = 0;
+        for k in keys {
+            if let Some(seg) = self.segments.remove(&k) {
+                dropped += seg.docs;
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kws(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample() -> RtIndex {
+        let mut idx = RtIndex::new(100);
+        idx.add_document("obama speaks on the economy", 10); // 0
+        idx.add_document("senate votes tonight", 150); // 1
+        idx.add_document("obama meets the senate", 250); // 2
+        idx.add_document("golf masters coverage", 260); // 3
+        idx
+    }
+
+    #[test]
+    fn range_search_matches_any_keyword() {
+        let idx = sample();
+        assert_eq!(idx.search(&kws(&["obama"]), 0, 300), vec![0, 2]);
+        assert_eq!(idx.search(&kws(&["obama", "senate"]), 0, 300), vec![0, 1, 2]);
+        assert_eq!(idx.search(&kws(&["obama"]), 100, 300), vec![2]);
+        assert!(idx.search(&kws(&["obama"]), 300, 400).is_empty());
+        assert!(idx.search(&kws(&["missing"]), 0, 300).is_empty());
+    }
+
+    #[test]
+    fn inclusive_boundaries_and_inverted_range() {
+        let idx = sample();
+        assert_eq!(idx.search(&kws(&["obama"]), 10, 10), vec![0]);
+        assert!(idx.search(&kws(&["obama"]), 20, 10).is_empty());
+    }
+
+    #[test]
+    fn segments_partition_by_time() {
+        let idx = sample();
+        assert_eq!(idx.num_segments(), 3); // keys 0, 1, 2
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.doc_time(3), 260);
+    }
+
+    #[test]
+    fn eviction_drops_old_segments_only() {
+        let mut idx = sample();
+        let dropped = idx.evict_before(200);
+        assert_eq!(dropped, 2); // docs at t=10 and t=150
+        assert_eq!(idx.num_segments(), 1);
+        assert!(idx.search(&kws(&["obama"]), 0, 300) == vec![2]);
+    }
+
+    #[test]
+    fn late_arrivals_are_searchable() {
+        let mut idx = RtIndex::new(100);
+        idx.add_document("late breaking story", 500);
+        idx.add_document("earlier story arrives late", 50);
+        assert_eq!(idx.search(&kws(&["story"]), 0, 600), vec![0, 1]);
+        assert_eq!(idx.search(&kws(&["story"]), 0, 100), vec![1]);
+    }
+
+    #[test]
+    fn negative_timestamps_supported() {
+        let mut idx = RtIndex::new(100);
+        idx.add_document("before the epoch", -150);
+        assert_eq!(idx.search(&kws(&["epoch"]), -200, 0), vec![0]);
+    }
+}

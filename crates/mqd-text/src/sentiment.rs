@@ -1,0 +1,142 @@
+//! Lexicon-based sentiment polarity scoring.
+//!
+//! Sections 1, 2 and 6 of the paper use *sentiment* as an alternative
+//! diversity dimension: each post gets a polarity value and coverage is
+//! computed on the polarity axis instead of the timeline. This module
+//! provides a compact valence lexicon with negation handling, producing a
+//! score in `[-1.0, 1.0]`, plus the fixed-point conversion used by
+//! `mqd_core` instances.
+
+use std::collections::HashMap;
+
+use crate::tokenize::tokenize;
+use mqd_core::SENTIMENT_SCALE;
+
+/// Words flipping the valence of the following token.
+const NEGATORS: &[&str] = &["never", "cannot", "cant", "dont", "wont", "isnt", "didnt"];
+
+/// (word, valence) pairs; valence in [-3, 3] following common lexica.
+const LEXICON: &[(&str, i8)] = &[
+    ("abandon", -2), ("abuse", -3), ("amazing", 3), ("angry", -2), ("attack", -2),
+    ("awesome", 3), ("awful", -3), ("bad", -2), ("beautiful", 3), ("best", 3),
+    ("blame", -2), ("boom", 2), ("boost", 2), ("breakthrough", 3), ("brilliant", 3),
+    ("broken", -2), ("celebrate", 3), ("chaos", -2), ("cheer", 2), ("collapse", -3),
+    ("crash", -3), ("crisis", -3), ("cut", -1), ("damage", -2), ("danger", -2),
+    ("dead", -3), ("deal", 1), ("death", -3), ("decline", -2), ("defeat", -2),
+    ("delight", 3), ("disaster", -3), ("doubt", -1), ("drop", -1), ("enjoy", 2),
+    ("excellent", 3), ("excited", 2), ("fail", -2), ("failure", -2), ("fall", -1),
+    ("fantastic", 3), ("fear", -2), ("fine", 1), ("fraud", -3), ("gain", 2),
+    ("glad", 2), ("good", 2), ("great", 3), ("grow", 2), ("growth", 2),
+    ("happy", 3), ("hate", -3), ("hero", 2), ("hope", 2), ("hurt", -2),
+    ("improve", 2), ("inspire", 2), ("joy", 3), ("kill", -3), ("lose", -2),
+    ("loss", -2), ("love", 3), ("lucky", 2), ("miss", -1), ("murder", -3),
+    ("nice", 2), ("panic", -3), ("peace", 2), ("perfect", 3), ("plunge", -3),
+    ("poor", -2), ("praise", 2), ("problem", -2), ("profit", 2), ("progress", 2),
+    ("promise", 1), ("protest", -1), ("proud", 2), ("rally", 2), ("rebound", 2),
+    ("record", 1), ("recover", 2), ("rise", 1), ("risk", -1), ("sad", -2),
+    ("scandal", -3), ("scare", -2), ("slump", -2), ("smile", 2), ("strong", 2),
+    ("stunning", 3), ("succeed", 3), ("success", 3), ("support", 2), ("surge", 2),
+    ("terrible", -3), ("threat", -2), ("tragedy", -3), ("trouble", -2), ("victory", 3),
+    ("violence", -3), ("war", -2), ("weak", -1), ("welcome", 2), ("win", 3),
+    ("wonderful", 3), ("worry", -2), ("worst", -3), ("wrong", -2),
+];
+
+/// A sentiment scorer over the built-in lexicon (optionally extended).
+#[derive(Debug)]
+pub struct SentimentScorer {
+    valence: HashMap<&'static str, i8>,
+}
+
+impl Default for SentimentScorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SentimentScorer {
+    /// A scorer over the built-in lexicon.
+    pub fn new() -> Self {
+        SentimentScorer {
+            valence: LEXICON.iter().copied().collect(),
+        }
+    }
+
+    /// Polarity of `text` in `[-1.0, 1.0]`: the valence sum (negation-aware)
+    /// normalized by `3 * matched_words`; 0.0 for neutral or no matches.
+    pub fn score(&self, text: &str) -> f64 {
+        let tokens = tokenize(text);
+        let mut sum = 0i32;
+        let mut matched = 0u32;
+        let mut negate = false;
+        for t in &tokens {
+            if NEGATORS.contains(&t.as_str()) {
+                negate = true;
+                continue;
+            }
+            if let Some(&v) = self.valence.get(t.as_str()) {
+                let v = if negate { -v } else { v };
+                sum += v as i32;
+                matched += 1;
+            }
+            negate = false;
+        }
+        if matched == 0 {
+            0.0
+        } else {
+            (sum as f64 / (3.0 * matched as f64)).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Polarity as a fixed-point diversity-dimension value
+    /// (`score * SENTIMENT_SCALE`).
+    pub fn score_fixed(&self, text: &str) -> i64 {
+        (self.score(text) * SENTIMENT_SCALE as f64).round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_negative_neutral() {
+        let s = SentimentScorer::new();
+        assert!(s.score("great win for the team, amazing victory") > 0.5);
+        assert!(s.score("terrible crash, awful tragedy") < -0.5);
+        assert_eq!(s.score("the committee met on tuesday"), 0.0);
+    }
+
+    #[test]
+    fn negation_flips_valence() {
+        let s = SentimentScorer::new();
+        let plain = s.score("win");
+        let negated = s.score("dont win");
+        assert!(plain > 0.0);
+        assert!(negated < 0.0);
+        assert!((plain + negated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_bounded() {
+        let s = SentimentScorer::new();
+        for text in ["love love love love", "hate hate murder tragedy worst"] {
+            let v = s.score(text);
+            assert!((-1.0..=1.0).contains(&v), "{text} -> {v}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_conversion() {
+        let s = SentimentScorer::new();
+        let f = s.score_fixed("win"); // valence 3/3 = 1.0
+        assert_eq!(f, SENTIMENT_SCALE);
+        assert_eq!(s.score_fixed("neutral words only"), 0);
+    }
+
+    #[test]
+    fn mixed_sentiment_averages() {
+        let s = SentimentScorer::new();
+        let v = s.score("great loss"); // +3 and -2 over 2 words
+        assert!((v - (1.0 / 6.0)).abs() < 1e-9, "got {v}");
+    }
+}

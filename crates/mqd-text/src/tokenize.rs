@@ -1,0 +1,91 @@
+//! Tokenizer shared by the inverted index, SimHash, sentiment scoring and
+//! the LDA pipeline: lowercase, split on non-alphanumeric characters, drop
+//! stopwords and single-character tokens.
+
+/// English stopword list (compact; enough to keep topic keywords clean).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "am", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "before", "being", "between", "both", "but", "by", "can", "could", "did", "do",
+    "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had", "has",
+    "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into",
+    "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "rt", "same",
+    "she", "should", "so", "some", "such", "than", "that", "the", "their", "them", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom",
+    "why", "will", "with", "would", "you", "your",
+];
+
+/// Whether `word` (already lowercase) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Tokenizes `text` into lowercase alphanumeric terms, dropping stopwords
+/// and single characters. `#hashtags` and `@mentions` keep their word part.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, token: String) {
+    if token.chars().count() >= 2 && !is_stopword(&token) {
+        tokens.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Obama visits the White House!"),
+            vec!["obama", "visits", "white", "house"]
+        );
+    }
+
+    #[test]
+    fn hashtags_mentions_punctuation() {
+        assert_eq!(
+            tokenize("RT @user: #NASDAQ up 2% — $GOOG rallies..."),
+            vec!["user", "nasdaq", "goog", "rallies"]
+        );
+    }
+
+    #[test]
+    fn short_tokens_and_stopwords_dropped() {
+        assert_eq!(tokenize("I am a 5 x"), Vec::<String>::new());
+        assert!(tokenize("it is").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Économie ÉCONOMIE"), vec!["économie", "économie"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("...!!!").is_empty());
+    }
+}

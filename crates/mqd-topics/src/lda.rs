@@ -1,0 +1,338 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling.
+//!
+//! The paper extracts 300 topics from a news corpus with Mallet's LDA and
+//! uses each topic's top-40 keywords as a query (Section 7.1). This module
+//! is the Mallet substitute: a standard collapsed Gibbs sampler
+//! (Griffiths & Steyvers) over interned token sequences.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// LDA hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LdaConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Symmetric document–topic prior.
+    pub alpha: f64,
+    /// Symmetric topic–word prior.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            num_topics: 20,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained LDA model: counts sufficient to read off `phi` and `theta`.
+#[derive(Debug)]
+pub struct LdaModel {
+    config: LdaConfig,
+    vocab_size: usize,
+    /// `n_kw[k * V + w]`: tokens of word `w` assigned to topic `k`.
+    n_kw: Vec<u32>,
+    /// `n_k[k]`: tokens assigned to topic `k`.
+    n_k: Vec<u32>,
+    /// `n_dk[d * K + k]`: tokens of doc `d` assigned to topic `k`.
+    n_dk: Vec<u32>,
+    /// Document lengths.
+    doc_len: Vec<u32>,
+}
+
+impl LdaModel {
+    /// Trains on `docs` (interned token sequences over a vocabulary of
+    /// `vocab_size` words). Empty documents are allowed.
+    ///
+    /// ```
+    /// use mqd_topics::{LdaModel, LdaConfig};
+    /// // Two crisp word clusters: words 0-2 vs words 3-5.
+    /// let docs: Vec<Vec<u32>> = (0..20)
+    ///     .map(|i| {
+    ///         let base = if i % 2 == 0 { 0 } else { 3 };
+    ///         (0..30).map(|j| base + j % 3).collect()
+    ///     })
+    ///     .collect();
+    /// let model = LdaModel::train(&docs, 6, LdaConfig {
+    ///     num_topics: 2, iterations: 40, ..Default::default()
+    /// });
+    /// let top0: Vec<u32> = model.top_words(0, 3).iter().map(|&(w, _)| w).collect();
+    /// assert!(top0.iter().all(|&w| w < 3) || top0.iter().all(|&w| w >= 3));
+    /// ```
+    pub fn train(docs: &[Vec<u32>], vocab_size: usize, config: LdaConfig) -> Self {
+        assert!(config.num_topics > 0, "need at least one topic");
+        let k = config.num_topics;
+        let v = vocab_size.max(1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        let mut n_dk = vec![0u32; docs.len() * k];
+        let mut z: Vec<Vec<u32>> = Vec::with_capacity(docs.len());
+
+        for (d, doc) in docs.iter().enumerate() {
+            let mut zd = Vec::with_capacity(doc.len());
+            for &w in doc {
+                let t = rng.random_range(0..k) as u32;
+                zd.push(t);
+                n_kw[t as usize * v + w as usize] += 1;
+                n_k[t as usize] += 1;
+                n_dk[d * k + t as usize] += 1;
+            }
+            z.push(zd);
+        }
+
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let v_beta = v as f64 * beta;
+        let mut weights = vec![0f64; k];
+
+        for _ in 0..config.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let old = z[d][i] as usize;
+                    n_kw[old * v + w as usize] -= 1;
+                    n_k[old] -= 1;
+                    n_dk[d * k + old] -= 1;
+
+                    let mut total = 0f64;
+                    for (t, wt) in weights.iter_mut().enumerate() {
+                        let p = (n_dk[d * k + t] as f64 + alpha)
+                            * (n_kw[t * v + w as usize] as f64 + beta)
+                            / (n_k[t] as f64 + v_beta);
+                        total += p;
+                        *wt = total;
+                    }
+                    let r = rng.random::<f64>() * total;
+                    let new = weights.partition_point(|&cum| cum < r).min(k - 1);
+
+                    z[d][i] = new as u32;
+                    n_kw[new * v + w as usize] += 1;
+                    n_k[new] += 1;
+                    n_dk[d * k + new] += 1;
+                }
+            }
+        }
+
+        LdaModel {
+            config,
+            vocab_size: v,
+            n_kw,
+            n_k,
+            n_dk,
+            doc_len: docs.iter().map(|d| d.len() as u32).collect(),
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+
+    /// Vocabulary size the model was trained with.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// `phi_k(w)`: probability of word `w` under topic `k`.
+    pub fn phi(&self, k: usize, w: u32) -> f64 {
+        (self.n_kw[k * self.vocab_size + w as usize] as f64 + self.config.beta)
+            / (self.n_k[k] as f64 + self.vocab_size as f64 * self.config.beta)
+    }
+
+    /// `theta_d(k)`: probability of topic `k` in document `d`.
+    pub fn theta(&self, d: usize, k: usize) -> f64 {
+        let kk = self.config.num_topics;
+        (self.n_dk[d * kk + k] as f64 + self.config.alpha)
+            / (self.doc_len[d] as f64 + kk as f64 * self.config.alpha)
+    }
+
+    /// The `n` highest-probability words of topic `k` as `(word_id, phi)`,
+    /// descending.
+    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut ws: Vec<(u32, f64)> = (0..self.vocab_size as u32)
+            .map(|w| (w, self.phi(k, w)))
+            .collect();
+        ws.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ws.truncate(n);
+        ws
+    }
+
+    /// The dominant topic of document `d`.
+    pub fn dominant_topic(&self, d: usize) -> usize {
+        (0..self.config.num_topics)
+            .max_by(|&a, &b| self.theta(d, a).total_cmp(&self.theta(d, b)))
+            .unwrap_or(0)
+    }
+
+    /// Per-word perplexity of the model on `docs` (typically the training
+    /// corpus — the Mallet-style diagnostic): `exp(-sum log p(w|d) / N)`
+    /// with `p(w|d) = sum_k theta_d(k) phi_k(w)`. Lower is better; a
+    /// uniform model scores `vocab_size`.
+    pub fn perplexity(&self, docs: &[Vec<u32>]) -> f64 {
+        let mut log_lik = 0f64;
+        let mut tokens = 0usize;
+        for (d, doc) in docs.iter().enumerate() {
+            for &w in doc {
+                let p: f64 = (0..self.config.num_topics)
+                    .map(|k| self.theta(d, k) * self.phi(k, w))
+                    .sum();
+                log_lik += p.max(f64::MIN_POSITIVE).ln();
+                tokens += 1;
+            }
+        }
+        if tokens == 0 {
+            return 1.0;
+        }
+        (-log_lik / tokens as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two crisply separated word clusters must end up in different topics.
+    fn synthetic_corpus() -> (Vec<Vec<u32>>, usize) {
+        // words 0..5 = "sports", 5..10 = "politics"
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            let base = if i % 2 == 0 { 0u32 } else { 5u32 };
+            let doc: Vec<u32> = (0..40).map(|j| base + (j % 5) as u32).collect();
+            docs.push(doc);
+        }
+        (docs, 10)
+    }
+
+    #[test]
+    fn recovers_two_clusters() {
+        let (docs, v) = synthetic_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 60,
+                ..LdaConfig::default()
+            },
+        );
+        // Each topic's top-5 words must be one pure cluster.
+        let top0: Vec<u32> = model.top_words(0, 5).iter().map(|&(w, _)| w).collect();
+        let top1: Vec<u32> = model.top_words(1, 5).iter().map(|&(w, _)| w).collect();
+        let cluster = |ws: &[u32]| ws.iter().all(|&w| w < 5) || ws.iter().all(|&w| w >= 5);
+        assert!(cluster(&top0), "topic 0 mixed: {top0:?}");
+        assert!(cluster(&top1), "topic 1 mixed: {top1:?}");
+        // And the two topics cover different clusters.
+        assert_ne!(top0[0] < 5, top1[0] < 5);
+    }
+
+    #[test]
+    fn phi_and_theta_are_distributions() {
+        let (docs, v) = synthetic_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 3,
+                iterations: 10,
+                ..LdaConfig::default()
+            },
+        );
+        for k in 0..3 {
+            let s: f64 = (0..v as u32).map(|w| model.phi(k, w)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi_{k} sums to {s}");
+        }
+        for d in 0..docs.len() {
+            let s: f64 = (0..3).map(|k| model.theta(d, k)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "theta_{d} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (docs, v) = synthetic_corpus();
+        let cfg = LdaConfig {
+            num_topics: 2,
+            iterations: 15,
+            seed: 7,
+            ..LdaConfig::default()
+        };
+        let a = LdaModel::train(&docs, v, cfg);
+        let b = LdaModel::train(&docs, v, cfg);
+        assert_eq!(a.n_kw, b.n_kw);
+        assert_eq!(a.n_dk, b.n_dk);
+    }
+
+    #[test]
+    fn dominant_topic_tracks_document_cluster() {
+        let (docs, v) = synthetic_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 60,
+                ..LdaConfig::default()
+            },
+        );
+        let t_even = model.dominant_topic(0);
+        let t_odd = model.dominant_topic(1);
+        assert_ne!(t_even, t_odd);
+        assert_eq!(model.dominant_topic(2), t_even);
+        assert_eq!(model.dominant_topic(3), t_odd);
+    }
+
+    #[test]
+    fn perplexity_improves_with_training() {
+        let (docs, v) = synthetic_corpus();
+        let untrained = LdaModel::train(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 0,
+                ..LdaConfig::default()
+            },
+        );
+        let trained = LdaModel::train(
+            &docs,
+            v,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 60,
+                ..LdaConfig::default()
+            },
+        );
+        let pu = untrained.perplexity(&docs);
+        let pt = trained.perplexity(&docs);
+        assert!(pt < pu, "trained {pt} should beat untrained {pu}");
+        // Two pure 5-word clusters: the ideal per-word perplexity is ~5.
+        assert!(pt < 7.0, "trained perplexity {pt} too high");
+        assert!(pt >= 1.0);
+    }
+
+    #[test]
+    fn perplexity_of_empty_corpus_is_one() {
+        let model = LdaModel::train(&[vec![0, 1]], 2, LdaConfig::default());
+        assert_eq!(model.perplexity(&[]), 1.0);
+    }
+
+    #[test]
+    fn handles_empty_docs() {
+        let docs = vec![vec![], vec![0, 1], vec![]];
+        let model = LdaModel::train(&docs, 2, LdaConfig::default());
+        assert_eq!(model.num_topics(), 20);
+        let s: f64 = (0..20).map(|k| model.theta(0, k)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,13 @@
+//! Topic modelling substrate: collapsed-Gibbs LDA plus topic → query
+//! extraction, replacing the Mallet pipeline of Section 7.1 (news articles
+//! → 300 topics → top-40 keywords per topic → queries).
+
+#![warn(missing_docs)]
+
+pub mod lda;
+pub mod topics;
+pub mod vocab;
+
+pub use lda::{LdaConfig, LdaModel};
+pub use topics::{extract_topics, filter_ambiguous, Topic};
+pub use vocab::Vocabulary;

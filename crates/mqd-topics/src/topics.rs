@@ -1,0 +1,132 @@
+//! Turning a trained LDA model into queries: each topic becomes a keyword
+//! list (its top-k words with weights), exactly how Section 7.1 turns
+//! Mallet topics into the label sets of the experiments.
+
+use crate::lda::LdaModel;
+use crate::vocab::Vocabulary;
+
+/// A query topic: ranked keywords with their phi weights.
+#[derive(Clone, Debug)]
+pub struct Topic {
+    /// Topic index in the source model.
+    pub id: usize,
+    /// `(keyword, weight)` pairs, descending by weight.
+    pub keywords: Vec<(String, f64)>,
+}
+
+impl Topic {
+    /// The keyword strings only, in rank order (what the matcher consumes).
+    pub fn keyword_strings(&self) -> Vec<String> {
+        self.keywords.iter().map(|(w, _)| w.clone()).collect()
+    }
+
+    /// Share of the topic's probability mass carried by the kept keywords —
+    /// a crude coherence/quality signal used to discard ambiguous topics
+    /// (the paper's researchers discarded 85 of 300 topics by hand).
+    pub fn kept_mass(&self) -> f64 {
+        self.keywords.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// Extracts every topic's top-`keywords_per_topic` keywords
+/// (the paper keeps the top 40).
+pub fn extract_topics(
+    model: &LdaModel,
+    vocab: &Vocabulary,
+    keywords_per_topic: usize,
+) -> Vec<Topic> {
+    (0..model.num_topics())
+        .map(|k| Topic {
+            id: k,
+            keywords: model
+                .top_words(k, keywords_per_topic)
+                .into_iter()
+                .map(|(w, p)| (vocab.word(w).to_string(), p))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Drops topics whose kept probability mass falls below `min_mass`,
+/// mimicking the manual "too ambiguous" filtering of Section 7.1.
+pub fn filter_ambiguous(topics: Vec<Topic>, min_mass: f64) -> Vec<Topic> {
+    topics.into_iter().filter(|t| t.kept_mass() >= min_mass).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::{LdaConfig, LdaModel};
+
+    fn model_and_vocab() -> (LdaModel, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let sports = ["golf", "masters", "tiger", "woods", "championship"];
+        let politics = ["obama", "senate", "congress", "election", "vote"];
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            let pool = if i % 2 == 0 { &sports } else { &politics };
+            let doc: Vec<u32> = (0..40).map(|j| vocab.intern(pool[j % 5])).collect();
+            docs.push(doc);
+        }
+        let v = vocab.len();
+        (
+            LdaModel::train(
+                &docs,
+                v,
+                LdaConfig {
+                    num_topics: 2,
+                    iterations: 60,
+                    ..LdaConfig::default()
+                },
+            ),
+            vocab,
+        )
+    }
+
+    #[test]
+    fn topics_carry_readable_keywords() {
+        let (model, vocab) = model_and_vocab();
+        let topics = extract_topics(&model, &vocab, 5);
+        assert_eq!(topics.len(), 2);
+        let all: Vec<&str> = topics[0]
+            .keywords
+            .iter()
+            .map(|(w, _)| w.as_str())
+            .collect();
+        // One coherent cluster per topic.
+        let sporty = all.contains(&"golf");
+        for (w, weight) in &topics[0].keywords {
+            assert!(*weight > 0.0);
+            let is_sport = ["golf", "masters", "tiger", "woods", "championship"]
+                .contains(&w.as_str());
+            assert_eq!(is_sport, sporty, "mixed topic: {all:?}");
+        }
+    }
+
+    #[test]
+    fn keywords_sorted_by_weight() {
+        let (model, vocab) = model_and_vocab();
+        for t in extract_topics(&model, &vocab, 8) {
+            for pair in t.keywords.windows(2) {
+                assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguity_filter_uses_mass() {
+        let topics = vec![
+            Topic {
+                id: 0,
+                keywords: vec![("a".into(), 0.5), ("b".into(), 0.4)],
+            },
+            Topic {
+                id: 1,
+                keywords: vec![("c".into(), 0.01)],
+            },
+        ];
+        let kept = filter_ambiguous(topics, 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].id, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! String-interning vocabulary shared by the LDA trainer and corpus
+//! generators.
+
+use std::collections::HashMap;
+
+/// A bidirectional word ↔ dense-id mapping.
+#[derive(Default, Debug, Clone)]
+pub struct Vocabulary {
+    word_to_id: HashMap<String, u32>,
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its id (existing or fresh).
+    pub fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.word_to_id.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.word_to_id.insert(word.to_string(), id);
+        self.words.push(word.to_string());
+        id
+    }
+
+    /// The id of `word`, if interned.
+    pub fn get(&self, word: &str) -> Option<u32> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// The word with id `id`.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Tokenizes and interns a whole text, returning the token id sequence.
+    pub fn intern_text(&mut self, text: &str) -> Vec<u32> {
+        mqd_text::tokenize(text)
+            .iter()
+            .map(|t| self.intern(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("obama");
+        let b = v.intern("economy");
+        assert_eq!(v.intern("obama"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.word(a), "obama");
+        assert_eq!(v.get("economy"), Some(b));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn intern_text_round_trips() {
+        let mut v = Vocabulary::new();
+        let ids = v.intern_text("Obama visits Obama");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(v.word(ids[1]), "visits");
+    }
+}

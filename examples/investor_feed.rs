@@ -1,0 +1,76 @@
+//! The investor scenario from the paper's introduction: subscribe to
+//! ticker-style queries ('GOOG', 'MSFT', 'NASDAQ'), require **instant**
+//! decisions (tau = 0), and compare the instant cache engine against the
+//! delayed StreamScan across tau values — the size/delay trade-off of
+//! Section 5.
+//!
+//! ```text
+//! cargo run --release --example investor_feed
+//! ```
+
+use mqdiv::core::{FixedLambda, Instance};
+use mqdiv::datagen::{generate_labeled_posts, LabeledStreamConfig, MINUTE_MS};
+use mqdiv::stream::{run_stream, InstantScan, StreamGreedy, StreamScan};
+
+fn main() {
+    // Three tickers with skewed popularity (GOOG busier than MSFT etc.).
+    let names = ["GOOG", "MSFT", "NASDAQ"];
+    let posts = generate_labeled_posts(&LabeledStreamConfig {
+        num_labels: 3,
+        per_label_per_minute: 40.0,
+        overlap: 1.3,
+        label_skew: 0.8,
+        duration_ms: 60 * MINUTE_MS,
+        seed: 42,
+        ..LabeledStreamConfig::default()
+    });
+    let inst = Instance::from_posts(posts, 3).expect("valid");
+    println!(
+        "one hour of ticker posts: {} matching posts ({:.0}/min), overlap {:.2}",
+        inst.len(),
+        inst.len() as f64 / 60.0,
+        inst.overlap_rate()
+    );
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "  {name:<7} {:>5} posts",
+            inst.postings(mqdiv::core::LabelId(i as u16)).len()
+        );
+    }
+
+    let lambda = FixedLambda(2 * MINUTE_MS);
+    println!("\nlambda = 2 min; trade-off between output size and delay:");
+    println!("{:<18} {:>8} {:>12}", "engine", "|Z|", "max delay(s)");
+
+    // Instant decisions: tau = 0.
+    let mut instant = InstantScan::new(3);
+    let r = run_stream(&inst, &lambda, 0, &mut instant);
+    assert!(r.is_cover(&inst, &lambda));
+    println!("{:<18} {:>8} {:>12.1}", "Instant (tau=0)", r.size(),
+        r.max_delay as f64 / 1000.0);
+
+    // Delayed engines at increasing tau: fewer posts, more delay.
+    for tau_s in [15i64, 60, 120] {
+        let tau = tau_s * 1000;
+        let mut scan = StreamScan::new_plus(3, inst.len());
+        let r = run_stream(&inst, &lambda, tau, &mut scan);
+        assert!(r.is_cover(&inst, &lambda));
+        println!(
+            "{:<18} {:>8} {:>12.1}",
+            format!("StreamScan+ {tau_s}s"),
+            r.size(),
+            r.max_delay as f64 / 1000.0
+        );
+
+        let mut greedy = StreamGreedy::new(3, inst.len());
+        let r = run_stream(&inst, &lambda, tau, &mut greedy);
+        assert!(r.is_cover(&inst, &lambda));
+        println!(
+            "{:<18} {:>8} {:>12.1}",
+            format!("StreamGreedySC {tau_s}s"),
+            r.size(),
+            r.max_delay as f64 / 1000.0
+        );
+    }
+    println!("\nAll output sub-streams verified as lambda-covers. ✓");
+}

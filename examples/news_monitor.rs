@@ -1,0 +1,132 @@
+//! End-to-end pipeline of the paper's Figure 1, streaming option:
+//!
+//! 1. generate a synthetic news corpus (RSS substitute),
+//! 2. train LDA and extract topics → queries (Mallet substitute),
+//! 3. build a journalist profile: |L| topics from one broad topic,
+//! 4. generate a tweet stream, drop near-duplicates with SimHash,
+//! 5. match tweets to queries, diversify on the time dimension with
+//!    StreamScan+, and print the representative timeline.
+//!
+//! ```text
+//! cargo run --release --example news_monitor
+//! ```
+
+use mqdiv::core::{FixedLambda, Instance, LabelId, Post, PostId};
+use mqdiv::datagen::{
+    generate_news, generate_tweets, NewsConfig, ProfileGenerator, TweetStreamConfig, MINUTE_MS,
+};
+use mqdiv::stream::{run_stream, StreamScan};
+use mqdiv::text::{KeywordMatcher, NearDuplicateFilter};
+use mqdiv::topics::{extract_topics, LdaConfig, LdaModel, Vocabulary};
+
+fn main() {
+    // 1. News corpus.
+    let corpus = generate_news(&NewsConfig {
+        articles: 300,
+        seed: 20130612,
+        ..NewsConfig::default()
+    });
+    println!("corpus: {} articles", corpus.len());
+
+    // 2. LDA topics -> queries (top-8 keywords each at this scale; the
+    //    paper keeps 40 of a much larger vocabulary).
+    let mut vocab = Vocabulary::new();
+    let docs: Vec<Vec<u32>> = corpus.iter().map(|a| vocab.intern_text(&a.text)).collect();
+    let model = LdaModel::train(
+        &docs,
+        vocab.len(),
+        LdaConfig {
+            num_topics: 20,
+            iterations: 40,
+            seed: 17,
+            ..LdaConfig::default()
+        },
+    );
+    let topics = extract_topics(&model, &vocab, 8);
+    // Broad topic of each LDA topic = majority ground-truth broad of the
+    // documents it dominates.
+    let mut broad_of_topic = vec![0usize; topics.len()];
+    for (k, bt) in broad_of_topic.iter_mut().enumerate() {
+        let mut votes = [0u32; 10];
+        for (d, a) in corpus.iter().enumerate() {
+            if model.dominant_topic(d) == k {
+                votes[a.broad_topic] += 1;
+            }
+        }
+        *bt = (0..10).max_by_key(|&b| votes[b]).unwrap_or(0);
+    }
+
+    // 3. Journalist profile: 3 topics within one broad topic.
+    let profiles = ProfileGenerator::new(&broad_of_topic);
+    let profile = profiles.sample_many(3, 1, 99).remove(0);
+    println!("\nprofile (|L| = 3):");
+    let queries: Vec<Vec<String>> = profile
+        .iter()
+        .map(|&t| topics[t].keyword_strings())
+        .collect();
+    for (i, &t) in profile.iter().enumerate() {
+        println!("  L{i}: topic #{t} {:?}", &queries[i][..queries[i].len().min(5)]);
+    }
+
+    // 4. Tweet stream + SimHash near-duplicate elimination.
+    let tweets = generate_tweets(&TweetStreamConfig {
+        tweets_per_minute: 400.0,
+        retweet_fraction: 0.15,
+        duration_ms: 30 * MINUTE_MS,
+        seed: 613,
+        ..TweetStreamConfig::default()
+    });
+    let mut dedup = NearDuplicateFilter::new(3);
+    let unique: Vec<_> = tweets
+        .iter()
+        .filter(|t| dedup.insert_text(&t.text))
+        .collect();
+    println!(
+        "\nstream: {} tweets, {} after SimHash dedup",
+        tweets.len(),
+        unique.len()
+    );
+
+    // 5. Match and diversify (time dimension, lambda = 2 min, tau = 30 s).
+    let matcher = KeywordMatcher::new(&queries);
+    let mut posts = Vec::new();
+    let mut texts = Vec::new();
+    for t in &unique {
+        let labels = matcher.match_labels(&t.text);
+        if !labels.is_empty() {
+            posts.push(Post::new(
+                PostId(texts.len() as u64),
+                t.timestamp_ms,
+                labels.into_iter().map(LabelId).collect(),
+            ));
+            texts.push(t.text.clone());
+        }
+    }
+    let inst = Instance::from_posts(posts, 3).expect("valid");
+    println!("matched: {} posts ({:.1}/min)", inst.len(),
+        inst.len() as f64 / 30.0);
+
+    let lambda = FixedLambda(2 * MINUTE_MS);
+    let mut engine = StreamScan::new_plus(3, inst.len());
+    let res = run_stream(&inst, &lambda, 30_000, &mut engine);
+    assert!(res.is_cover(&inst, &lambda));
+    println!(
+        "\ndiversified timeline ({} of {} posts, max delay {:.1}s):",
+        res.size(),
+        inst.len(),
+        res.max_delay as f64 / 1000.0
+    );
+    for &i in res.selected.iter().take(15) {
+        let id = inst.post(i).id().0 as usize;
+        let labels: Vec<String> = inst.labels(i).iter().map(|l| l.to_string()).collect();
+        println!(
+            "  [{:>5.1} min] {:?} {}",
+            inst.value(i) as f64 / MINUTE_MS as f64,
+            labels,
+            &texts[id][..texts[id].len().min(60)]
+        );
+    }
+    if res.size() > 15 {
+        println!("  ... and {} more", res.size() - 15);
+    }
+}

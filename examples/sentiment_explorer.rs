@@ -1,0 +1,121 @@
+//! Sentiment as the diversity dimension (Sections 2 and 6): score posts
+//! with the lexicon scorer, cover the polarity axis instead of the
+//! timeline, and compare a fixed lambda against the proportional
+//! (density-dependent) lambda of Equation 2.
+//!
+//! With proportional diversity, crowded sentiment regions get a smaller
+//! lambda — so the selection mirrors the overall mood distribution while
+//! rare opposite voices still surface.
+//!
+//! ```text
+//! cargo run --release --example sentiment_explorer
+//! ```
+
+use mqdiv::core::algorithms::solve_greedy_sc;
+use mqdiv::core::{coverage, FixedLambda, Instance, LabelId, Post, PostId, VariableLambda,
+    SENTIMENT_SCALE};
+use mqdiv::datagen::{generate_tweets, TweetStreamConfig, MINUTE_MS};
+use mqdiv::text::{KeywordMatcher, SentimentScorer};
+
+fn histogram(inst: &Instance, selected: &[u32]) -> [usize; 5] {
+    // buckets: very-negative, negative, neutral, positive, very-positive
+    let mut h = [0usize; 5];
+    for &i in selected {
+        let s = inst.value(i) as f64 / SENTIMENT_SCALE as f64;
+        let b = if s < -0.6 {
+            0
+        } else if s < -0.2 {
+            1
+        } else if s <= 0.2 {
+            2
+        } else if s <= 0.6 {
+            3
+        } else {
+            4
+        };
+        h[b] += 1;
+    }
+    h
+}
+
+fn main() {
+    // "unemployment rate drops" style day: mostly positive chatter about
+    // the economy, some negative. Generate text, match one query, score
+    // sentiment.
+    let tweets = generate_tweets(&TweetStreamConfig {
+        tweets_per_minute: 500.0,
+        topical_fraction: 0.8,
+        duration_ms: 20 * MINUTE_MS,
+        seed: 2013,
+        ..TweetStreamConfig::default()
+    });
+    let query = vec![vec![
+        "economy".to_string(),
+        "unemployment".to_string(),
+        "jobs".to_string(),
+        "growth".to_string(),
+        "budget".to_string(),
+    ]];
+    let matcher = KeywordMatcher::new(&query);
+    let scorer = SentimentScorer::new();
+
+    let mut posts = Vec::new();
+    for (i, t) in tweets.iter().enumerate() {
+        let labels = matcher.match_labels(&t.text);
+        if labels.is_empty() {
+            continue;
+        }
+        // Diversity dimension = sentiment polarity (fixed-point).
+        posts.push(Post::new(
+            PostId(i as u64),
+            scorer.score_fixed(&t.text),
+            labels.into_iter().map(LabelId).collect(),
+        ));
+    }
+    let inst = Instance::from_posts(posts, 1).expect("valid");
+    println!("matched {} economy posts", inst.len());
+    println!("full-set sentiment histogram     {:?}",
+        histogram(&inst, &(0..inst.len() as u32).collect::<Vec<_>>()));
+
+    // Fixed lambda: uniform coverage of the polarity axis.
+    let lam0 = SENTIMENT_SCALE / 5; // 0.2 polarity units
+    let fixed = FixedLambda(lam0);
+    let sol_fixed = solve_greedy_sc(&inst, &fixed);
+    assert!(coverage::is_cover(&inst, &fixed, &sol_fixed.selected));
+    println!(
+        "fixed lambda       -> {:>3} posts {:?}",
+        sol_fixed.size(),
+        histogram(&inst, &sol_fixed.selected)
+    );
+
+    // Proportional lambda (Equation 2): denser sentiment regions get a
+    // smaller threshold, so they keep more representatives.
+    let var = VariableLambda::compute(&inst, lam0);
+    let sol_var = solve_greedy_sc(&inst, &var);
+    assert!(coverage::is_cover(&inst, &var, &sol_var.selected));
+    println!(
+        "proportional lambda-> {:>3} posts {:?}",
+        sol_var.size(),
+        histogram(&inst, &sol_var.selected)
+    );
+
+    let lab = LabelId(0);
+    println!(
+        "\nexample thresholds: dense-region lambda {:.3}, sparse-region lambda {:.3} (lambda0 {:.3})",
+        var.lambda(&inst, densest_post(&inst), lab) as f64 / SENTIMENT_SCALE as f64,
+        var.lambda(&inst, sparsest_post(&inst), lab) as f64 / SENTIMENT_SCALE as f64,
+        lam0 as f64 / SENTIMENT_SCALE as f64,
+    );
+}
+
+use mqdiv::core::LambdaProvider;
+
+fn densest_post(inst: &Instance) -> u32 {
+    // median post sits in the crowd
+    (inst.len() / 2) as u32
+}
+
+fn sparsest_post(inst: &Instance) -> u32 {
+    // extreme polarity posts sit in sparse territory
+    (inst.len() - 1) as u32
+}

@@ -1,0 +1,30 @@
+//! **mqdiv** — a full Rust reproduction of *Multi-Query Diversification in
+//! Microblogging Posts* (Cheng, Arvanitis, Chrobak, Hristidis — EDBT 2014).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — problem model, coverage semantics, OPT / GreedySC / Scan /
+//!   Scan+ solvers, the NP-hardness gadget, fixed & proportional lambda.
+//! * [`stream`] — StreamScan(±), StreamGreedySC(±), instant output, and the
+//!   event-driven simulator.
+//! * [`setcover`] — generic greedy set-cover substrate.
+//! * [`text`] — tokenizer, inverted index, SimHash dedup, sentiment scoring.
+//! * [`topics`] — collapsed-Gibbs LDA and topic → query extraction.
+//! * [`datagen`] — seeded synthetic corpora, tweet streams and profiles.
+//! * [`geo`] — the spatiotemporal extension (Section 9 future work).
+//!
+//! The [`search`] module combines the index and the diversifier into the
+//! paper's Figure 1 static pipeline.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the system inventory.
+
+pub mod search;
+
+pub use mqd_core as core;
+pub use mqd_datagen as datagen;
+pub use mqd_geo as geo;
+pub use mqd_setcover as setcover;
+pub use mqd_stream as stream;
+pub use mqd_text as text;
+pub use mqd_topics as topics;

@@ -1,0 +1,207 @@
+//! The static (option 1) pipeline of the paper's Figure 1 as one API:
+//! multi-query search against a time-partitioned inverted index, followed
+//! by multi-query diversification of the matches.
+//!
+//! ```
+//! use mqdiv::search::DiversifiedSearch;
+//!
+//! let mut engine = DiversifiedSearch::new(60_000); // 1-minute segments
+//! engine.ingest("obama speaks on the economy", 1_000);
+//! engine.ingest("obama repeats the speech", 2_000);
+//! engine.ingest("senate votes on the budget", 150_000);
+//!
+//! let queries = vec![
+//!     vec!["obama".to_string()],
+//!     vec!["senate".to_string(), "budget".to_string()],
+//! ];
+//! let digest = engine.search(&queries, 0, 200_000, 30_000).unwrap();
+//! // One representative for the two near-simultaneous obama posts, plus
+//! // the senate post.
+//! assert_eq!(digest.hits.len(), 2);
+//! ```
+
+use mqd_core::algorithms::solve_greedy_sc;
+use mqd_core::{coverage, FixedLambda, Instance, LabelId, MqdError, Post, PostId};
+use mqd_text::RtIndex;
+
+/// One selected post in a search digest.
+#[derive(Clone, Debug)]
+pub struct SearchHit {
+    /// Document id assigned at ingestion.
+    pub doc: u32,
+    /// Document timestamp.
+    pub time: i64,
+    /// Queries (by position in the `queries` argument) this hit matches.
+    pub matched_queries: Vec<u16>,
+    /// The document text.
+    pub text: String,
+}
+
+/// A diversified multi-query search result.
+#[derive(Clone, Debug)]
+pub struct Digest {
+    /// Selected representative posts, in time order.
+    pub hits: Vec<SearchHit>,
+    /// How many documents matched before diversification.
+    pub matched: usize,
+}
+
+/// An ingest-and-search engine: time-partitioned inverted index + MQDP
+/// diversifier (the paper's Figure 1, static option).
+pub struct DiversifiedSearch {
+    index: RtIndex,
+    texts: Vec<String>,
+}
+
+impl DiversifiedSearch {
+    /// Creates an engine whose index uses `segment_span` ms segments.
+    pub fn new(segment_span: i64) -> Self {
+        DiversifiedSearch {
+            index: RtIndex::new(segment_span),
+            texts: Vec::new(),
+        }
+    }
+
+    /// Ingests a post; returns its doc id.
+    pub fn ingest(&mut self, text: &str, time: i64) -> u32 {
+        let id = self.index.add_document(text, time);
+        debug_assert_eq!(id as usize, self.texts.len());
+        self.texts.push(text.to_string());
+        id
+    }
+
+    /// Number of ingested posts.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Multi-query search in `[from, to]` diversified with threshold
+    /// `lambda` (GreedySC). Each query is a keyword list; a post matches a
+    /// query if it contains any of its keywords (the paper's matching
+    /// rule).
+    pub fn search(
+        &self,
+        queries: &[Vec<String>],
+        from: i64,
+        to: i64,
+        lambda: i64,
+    ) -> Result<Digest, MqdError> {
+        if lambda < 0 {
+            return Err(MqdError::NegativeLambda(lambda));
+        }
+        // Per-query matches -> per-doc label sets.
+        let mut doc_labels: std::collections::BTreeMap<u32, Vec<LabelId>> =
+            std::collections::BTreeMap::new();
+        for (q, keywords) in queries.iter().enumerate() {
+            for doc in self.index.search(keywords, from, to) {
+                doc_labels.entry(doc).or_default().push(LabelId(q as u16));
+            }
+        }
+        let matched = doc_labels.len();
+        let posts: Vec<Post> = doc_labels
+            .iter()
+            .map(|(&doc, labels)| {
+                Post::new(
+                    PostId(doc as u64),
+                    self.index.doc_time(doc),
+                    labels.clone(),
+                )
+            })
+            .collect();
+        let inst = Instance::from_posts(posts, queries.len().max(1))?;
+        let lam = FixedLambda(lambda);
+        let solution = solve_greedy_sc(&inst, &lam);
+        debug_assert!(coverage::is_cover(&inst, &lam, &solution.selected));
+
+        let hits = solution
+            .selected
+            .iter()
+            .map(|&i| {
+                let doc = inst.post(i).id().0 as u32;
+                SearchHit {
+                    doc,
+                    time: inst.value(i),
+                    matched_queries: inst.labels(i).iter().map(|l| l.0).collect(),
+                    text: self.texts[doc as usize].clone(),
+                }
+            })
+            .collect();
+        Ok(Digest { hits, matched })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DiversifiedSearch {
+        let mut e = DiversifiedSearch::new(10_000);
+        e.ingest("obama speaks on the economy today", 1_000);
+        e.ingest("obama press conference continues", 2_000);
+        e.ingest("obama wraps up remarks", 3_000);
+        e.ingest("senate votes on the budget", 2_500);
+        e.ingest("obama returns hours later", 500_000);
+        e
+    }
+
+    fn queries() -> Vec<Vec<String>> {
+        vec![
+            vec!["obama".to_string()],
+            vec!["senate".to_string(), "budget".to_string()],
+        ]
+    }
+
+    #[test]
+    fn digest_covers_and_compresses() {
+        let e = engine();
+        let d = e.search(&queries(), 0, 1_000_000, 10_000).unwrap();
+        assert_eq!(d.matched, 5);
+        // Three near-simultaneous obama posts collapse to one; the senate
+        // post and the late obama post must each appear.
+        assert_eq!(d.hits.len(), 3);
+        let times: Vec<i64> = d.hits.iter().map(|h| h.time).collect();
+        assert!(times.contains(&500_000));
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn time_range_restricts_matches() {
+        let e = engine();
+        let d = e.search(&queries(), 0, 10_000, 10_000).unwrap();
+        assert_eq!(d.matched, 4); // the late obama post is out of range
+        assert!(d.hits.iter().all(|h| h.time <= 10_000));
+    }
+
+    #[test]
+    fn unmatched_queries_yield_empty_digest() {
+        let e = engine();
+        let d = e
+            .search(&[vec!["unrelated".to_string()]], 0, 1_000_000, 10_000)
+            .unwrap();
+        assert_eq!(d.matched, 0);
+        assert!(d.hits.is_empty());
+    }
+
+    #[test]
+    fn multi_query_posts_carry_all_matched_labels() {
+        let mut e = DiversifiedSearch::new(1_000);
+        e.ingest("obama and the senate clash over the budget", 100);
+        let d = e.search(&queries(), 0, 1_000, 50).unwrap();
+        assert_eq!(d.hits.len(), 1);
+        assert_eq!(d.hits[0].matched_queries, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_lambda_is_an_error() {
+        let e = engine();
+        assert!(matches!(
+            e.search(&queries(), 0, 10, -1),
+            Err(MqdError::NegativeLambda(-1))
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests for the offline solvers on generated
+//! workloads: optimality ordering, approximation bounds, and agreement
+//! between the exact solvers.
+
+use mqdiv::core::algorithms::{
+    solve_brute, solve_greedy_sc, solve_greedy_sc_naive, solve_opt, solve_scan, solve_scan_plus,
+    LabelOrder, OptConfig,
+};
+use mqdiv::core::{coverage, FixedLambda, Instance, LabelId, VariableLambda};
+use mqdiv::datagen::{generate_labeled_posts, LabeledStreamConfig, MINUTE_MS};
+
+fn small_instance(num_labels: usize, seed: u64) -> Instance {
+    let posts = generate_labeled_posts(&LabeledStreamConfig {
+        num_labels,
+        per_label_per_minute: 3.0,
+        overlap: 1.3,
+        duration_ms: 2 * MINUTE_MS,
+        seed,
+        ..Default::default()
+    });
+    Instance::from_posts(posts, num_labels).unwrap()
+}
+
+#[test]
+fn solver_ordering_on_generated_streams() {
+    for seed in 0..8 {
+        let inst = small_instance(2, seed);
+        if inst.len() > 18 || inst.is_empty() {
+            continue;
+        }
+        let lambda_ms = 20_000;
+        let f = FixedLambda(lambda_ms);
+        let opt = solve_opt(&inst, lambda_ms, &OptConfig::default()).unwrap();
+        let brute = solve_brute(&inst, &f, None).unwrap();
+        assert_eq!(opt.size(), brute.size(), "seed {seed}: exact solvers disagree");
+
+        let scan = solve_scan(&inst, &f);
+        let scanp = solve_scan_plus(&inst, &f, LabelOrder::Input);
+        let greedy = solve_greedy_sc(&inst, &f);
+        let greedy_naive = solve_greedy_sc_naive(&inst, &f);
+        assert_eq!(greedy.selected, greedy_naive.selected);
+
+        for sol in [&scan, &scanp, &greedy] {
+            assert!(coverage::is_cover(&inst, &f, &sol.selected));
+            assert!(sol.size() >= opt.size(), "no solver may beat OPT");
+        }
+        // Paper bounds.
+        let s = inst.max_labels_per_post() as f64;
+        assert!(scan.size() as f64 <= s * opt.size() as f64 + 1e-9);
+        let ln_bound =
+            ((inst.len() * inst.num_labels()) as f64).ln().max(1.0) * opt.size() as f64;
+        assert!(greedy.size() as f64 <= ln_bound + 1.0);
+    }
+}
+
+#[test]
+fn scan_plus_never_worse_than_scan_on_these_workloads() {
+    // Not a theorem, but holds across this seeded workload family; a
+    // regression here signals the cross-label pruning broke.
+    for seed in 0..10 {
+        let inst = small_instance(3, 100 + seed);
+        let f = FixedLambda(15_000);
+        let scan = solve_scan(&inst, &f);
+        let scanp = solve_scan_plus(&inst, &f, LabelOrder::Input);
+        assert!(
+            scanp.size() <= scan.size(),
+            "seed {seed}: Scan+ {} > Scan {}",
+            scanp.size(),
+            scan.size()
+        );
+    }
+}
+
+#[test]
+fn variable_lambda_produces_valid_directional_covers() {
+    let posts = generate_labeled_posts(&LabeledStreamConfig {
+        num_labels: 3,
+        per_label_per_minute: 20.0,
+        overlap: 1.3,
+        label_skew: 1.0,
+        duration_ms: 10 * MINUTE_MS,
+        seed: 77,
+        ..Default::default()
+    });
+    let inst = Instance::from_posts(posts, 3).unwrap();
+    let var = VariableLambda::compute(&inst, 30_000);
+    for sol in [
+        solve_scan(&inst, &var),
+        solve_scan_plus(&inst, &var, LabelOrder::Input),
+        solve_greedy_sc(&inst, &var),
+    ] {
+        assert!(
+            coverage::is_cover(&inst, &var, &sol.selected),
+            "{} non-cover under variable lambda",
+            sol.algorithm
+        );
+    }
+    // Popular (skewed) label 0 must see smaller average lambda than the
+    // rarest label.
+    let avg = |a: LabelId| -> f64 {
+        let lp = inst.postings(a);
+        lp.iter()
+            .map(|&i| var.per_pair()[inst.pair_id(i, a).unwrap() as usize] as f64)
+            .sum::<f64>()
+            / lp.len().max(1) as f64
+    };
+    assert!(
+        avg(LabelId(0)) < avg(LabelId(2)),
+        "dense label should get smaller lambda: {} vs {}",
+        avg(LabelId(0)),
+        avg(LabelId(2))
+    );
+}
+
+#[test]
+fn lambda_zero_requires_exact_value_cover() {
+    let inst = Instance::from_values(
+        vec![(0, vec![0]), (0, vec![0]), (1, vec![0]), (1, vec![1])],
+        2,
+    )
+    .unwrap();
+    let f = FixedLambda(0);
+    let opt = solve_opt(&inst, 0, &OptConfig::default()).unwrap();
+    assert!(coverage::is_cover(&inst, &f, &opt.selected));
+    assert_eq!(opt.size(), 3); // one a-post per timestamp + the b-post
+}
+
+#[test]
+fn huge_lambda_reduces_to_pure_set_cover() {
+    // With lambda spanning the whole range, MQDP is set cover over label
+    // sets; a post with all labels is a singleton optimum.
+    let inst = Instance::from_values(
+        vec![
+            (0, vec![0]),
+            (1_000_000, vec![1]),
+            (2_000_000, vec![2]),
+            (1_500_000, vec![0, 1, 2]),
+        ],
+        3,
+    )
+    .unwrap();
+    let f = FixedLambda(10_000_000);
+    let opt = solve_opt(&inst, 10_000_000, &OptConfig::default()).unwrap();
+    assert_eq!(opt.size(), 1);
+    let greedy = solve_greedy_sc(&inst, &f);
+    assert_eq!(greedy.size(), 1);
+}

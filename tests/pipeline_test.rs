@@ -1,0 +1,121 @@
+//! End-to-end pipeline integration test (Figure 1 of the paper):
+//! news corpus → LDA topics → profile → tweet stream → SimHash dedup →
+//! keyword matching → instance → diversification → verified cover.
+
+use mqdiv::core::algorithms::{solve_greedy_sc, solve_scan};
+use mqdiv::core::{coverage, FixedLambda, Instance, LabelId, Post, PostId};
+use mqdiv::datagen::{
+    generate_news, generate_tweets, NewsConfig, ProfileGenerator, TweetStreamConfig, MINUTE_MS,
+};
+use mqdiv::stream::{run_stream, StreamScan};
+use mqdiv::text::{KeywordMatcher, NearDuplicateFilter};
+use mqdiv::topics::{extract_topics, LdaConfig, LdaModel, Vocabulary};
+
+#[test]
+fn full_pipeline_produces_verified_covers() {
+    // 1. Corpus + LDA topics.
+    let corpus = generate_news(&NewsConfig {
+        articles: 120,
+        seed: 1,
+        ..NewsConfig::default()
+    });
+    let mut vocab = Vocabulary::new();
+    let docs: Vec<Vec<u32>> = corpus.iter().map(|a| vocab.intern_text(&a.text)).collect();
+    let model = LdaModel::train(
+        &docs,
+        vocab.len(),
+        LdaConfig {
+            num_topics: 16,
+            iterations: 20,
+            seed: 2,
+            ..LdaConfig::default()
+        },
+    );
+    let topics = extract_topics(&model, &vocab, 6);
+    assert_eq!(topics.len(), 16);
+
+    // 2. Profile: 3 topics from one broad topic (via dominant-doc votes).
+    let mut broad_of_topic = vec![0usize; topics.len()];
+    for (k, b) in broad_of_topic.iter_mut().enumerate() {
+        let mut votes = [0u32; 10];
+        for (d, a) in corpus.iter().enumerate() {
+            if model.dominant_topic(d) == k {
+                votes[a.broad_topic] += 1;
+            }
+        }
+        *b = (0..10).max_by_key(|&x| votes[x]).unwrap();
+    }
+    let profiles = ProfileGenerator::new(&broad_of_topic);
+    // With 16 topics over 10 broads, some broad usually holds >= 2 topics;
+    // fall back to the first two topics if the vote landed 1-per-broad.
+    let profile = profiles
+        .sample_many(2, 1, 3)
+        .pop()
+        .unwrap_or_else(|| vec![0, 1]);
+    let queries: Vec<Vec<String>> = profile
+        .iter()
+        .map(|&t| topics[t].keyword_strings())
+        .collect();
+
+    // 3. Stream, dedup, match.
+    let tweets = generate_tweets(&TweetStreamConfig {
+        tweets_per_minute: 200.0,
+        duration_ms: 10 * MINUTE_MS,
+        seed: 4,
+        ..TweetStreamConfig::default()
+    });
+    let mut dedup = NearDuplicateFilter::new(3);
+    let matcher = KeywordMatcher::new(&queries);
+    let mut posts = Vec::new();
+    for (i, t) in tweets.iter().enumerate() {
+        if !dedup.insert_text(&t.text) {
+            continue;
+        }
+        let labels = matcher.match_labels(&t.text);
+        if !labels.is_empty() {
+            posts.push(Post::new(
+                PostId(i as u64),
+                t.timestamp_ms,
+                labels.into_iter().map(LabelId).collect(),
+            ));
+        }
+    }
+    assert!(
+        posts.len() > 20,
+        "pipeline matched too few posts ({}) — generator or matcher drifted",
+        posts.len()
+    );
+    let inst = Instance::from_posts(posts, 2).unwrap();
+
+    // 4. Offline + streaming diversification, both verified.
+    let lambda = FixedLambda(MINUTE_MS);
+    let offline = solve_greedy_sc(&inst, &lambda);
+    assert!(coverage::is_cover(&inst, &lambda, &offline.selected));
+    assert!(offline.size() < inst.len());
+
+    let scan = solve_scan(&inst, &lambda);
+    assert!(coverage::is_cover(&inst, &lambda, &scan.selected));
+
+    let mut engine = StreamScan::new_plus(2, inst.len());
+    let res = run_stream(&inst, &lambda, 15_000, &mut engine);
+    assert!(res.is_cover(&inst, &lambda));
+    assert!(res.max_delay <= 15_000);
+}
+
+#[test]
+fn dedup_removes_retweet_mass() {
+    let tweets = generate_tweets(&TweetStreamConfig {
+        tweets_per_minute: 200.0,
+        retweet_fraction: 0.4,
+        duration_ms: 5 * MINUTE_MS,
+        seed: 9,
+        ..TweetStreamConfig::default()
+    });
+    let mut dedup = NearDuplicateFilter::new(3);
+    let kept = tweets.iter().filter(|t| dedup.insert_text(&t.text)).count();
+    assert!(
+        (kept as f64) < tweets.len() as f64 * 0.75,
+        "dedup kept {kept} of {}",
+        tweets.len()
+    );
+}

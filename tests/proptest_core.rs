@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) for the offline solvers: every
+//! algorithm always returns a valid lambda-cover, the exact solvers agree,
+//! and the paper's approximation bounds hold on arbitrary instances.
+
+use proptest::prelude::*;
+
+use mqdiv::core::algorithms::{
+    solve_brute, solve_greedy_sc, solve_greedy_sc_naive, solve_opt, solve_scan, solve_scan_plus,
+    LabelOrder, OptConfig,
+};
+use mqdiv::core::{coverage, FixedLambda, Instance, VariableLambda};
+
+/// Strategy: a small random instance plus a lambda.
+fn tiny_instance() -> impl Strategy<Value = (Instance, i64)> {
+    let post = (0i64..80, proptest::collection::vec(0u16..3, 1..3));
+    (
+        proptest::collection::vec(post, 1..10),
+        0i64..30,
+    )
+        .prop_map(|(items, lambda)| {
+            (
+                Instance::from_values(items, 3).expect("labels < 3"),
+                lambda,
+            )
+        })
+}
+
+/// Strategy: a medium instance (too big for exact solvers, fine for the
+/// approximations).
+fn medium_instance() -> impl Strategy<Value = (Instance, i64)> {
+    let post = (0i64..5_000, proptest::collection::vec(0u16..5, 1..4));
+    (
+        proptest::collection::vec(post, 1..120),
+        0i64..400,
+    )
+        .prop_map(|(items, lambda)| {
+            (
+                Instance::from_values(items, 5).expect("labels < 5"),
+                lambda,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn opt_matches_brute_force((inst, lambda) in tiny_instance()) {
+        let dp = solve_opt(&inst, lambda, &OptConfig::default()).unwrap();
+        let bf = solve_brute(&inst, &FixedLambda(lambda), None).unwrap();
+        prop_assert!(coverage::is_cover(&inst, &FixedLambda(lambda), &dp.selected));
+        prop_assert_eq!(dp.size(), bf.size());
+    }
+
+    #[test]
+    fn all_approximations_return_valid_covers((inst, lambda) in medium_instance()) {
+        let f = FixedLambda(lambda);
+        for sol in [
+            solve_scan(&inst, &f),
+            solve_scan_plus(&inst, &f, LabelOrder::Input),
+            solve_scan_plus(&inst, &f, LabelOrder::DensestFirst),
+            solve_scan_plus(&inst, &f, LabelOrder::SparsestFirst),
+            solve_greedy_sc(&inst, &f),
+        ] {
+            prop_assert!(
+                coverage::is_cover(&inst, &f, &sol.selected),
+                "{} produced a non-cover", sol.algorithm
+            );
+            // Selected posts must be real indices, sorted, unique.
+            prop_assert!(sol.selected.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(sol.selected.iter().all(|&i| (i as usize) < inst.len()));
+        }
+    }
+
+    #[test]
+    fn scan_bound_holds((inst, lambda) in tiny_instance()) {
+        let f = FixedLambda(lambda);
+        let opt = solve_brute(&inst, &f, None).unwrap();
+        let scan = solve_scan(&inst, &f);
+        let s = inst.max_labels_per_post().max(1);
+        prop_assert!(scan.size() <= s * opt.size().max(1) || scan.size() <= s * opt.size());
+        prop_assert!(opt.size() <= scan.size());
+    }
+
+    #[test]
+    fn greedy_variants_agree((inst, lambda) in medium_instance()) {
+        let f = FixedLambda(lambda);
+        let lazy = solve_greedy_sc(&inst, &f);
+        let naive = solve_greedy_sc_naive(&inst, &f);
+        prop_assert_eq!(lazy.selected, naive.selected);
+    }
+
+    #[test]
+    fn greedy_variants_agree_under_variable_lambda((inst, lambda) in medium_instance()) {
+        // The Fenwick fast path and the materialized sets must implement the
+        // same *directional* coverage under Eq. 2 thresholds.
+        let var = VariableLambda::compute(&inst, lambda.max(1));
+        let lazy = solve_greedy_sc(&inst, &var);
+        let naive = solve_greedy_sc_naive(&inst, &var);
+        prop_assert_eq!(lazy.selected, naive.selected);
+    }
+
+    #[test]
+    fn complete_cover_contains_pins_and_covers(
+        (inst, lambda) in medium_instance(),
+        pin_seed in any::<u64>(),
+    ) {
+        use mqdiv::core::algorithms::complete_cover;
+        let f = FixedLambda(lambda);
+        let pin = (pin_seed % inst.len() as u64) as u32;
+        let sol = complete_cover(&inst, &f, &[pin]);
+        prop_assert!(sol.selected.contains(&pin));
+        prop_assert!(coverage::is_cover(&inst, &f, &sol.selected));
+    }
+
+    #[test]
+    fn covers_are_monotone_in_lambda((inst, lambda) in tiny_instance()) {
+        // A cover for lambda stays a cover for any larger lambda.
+        let f = FixedLambda(lambda);
+        let sol = solve_scan(&inst, &f);
+        let bigger = FixedLambda(lambda + 17);
+        prop_assert!(coverage::is_cover(&inst, &bigger, &sol.selected));
+        // And the optimum can only shrink.
+        let opt_small = solve_brute(&inst, &f, None).unwrap();
+        let opt_big = solve_brute(&inst, &bigger, None).unwrap();
+        prop_assert!(opt_big.size() <= opt_small.size());
+    }
+
+    #[test]
+    fn variable_lambda_covers_are_valid((inst, lambda) in medium_instance()) {
+        let var = VariableLambda::compute(&inst, lambda.max(1));
+        for sol in [
+            solve_scan(&inst, &var),
+            solve_scan_plus(&inst, &var, LabelOrder::Input),
+            solve_greedy_sc(&inst, &var),
+        ] {
+            prop_assert!(
+                coverage::is_cover(&inst, &var, &sol.selected),
+                "{} non-cover under Eq. 2 lambda", sol.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn whole_instance_is_always_a_cover((inst, lambda) in medium_instance()) {
+        let f = FixedLambda(lambda);
+        let all: Vec<u32> = (0..inst.len() as u32).collect();
+        prop_assert!(coverage::is_cover(&inst, &f, &all));
+    }
+
+    #[test]
+    fn solution_is_minimal_under_brute((inst, lambda) in tiny_instance()) {
+        // Removing any post from the brute-force optimum breaks coverage
+        // (the optimum is inclusion-minimal).
+        let f = FixedLambda(lambda);
+        let opt = solve_brute(&inst, &f, None).unwrap();
+        for skip in 0..opt.selected.len() {
+            let reduced: Vec<u32> = opt
+                .selected
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &p)| p)
+                .collect();
+            prop_assert!(
+                !coverage::is_cover(&inst, &f, &reduced),
+                "optimum is not minimal"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the spatiotemporal extension.
+
+use proptest::prelude::*;
+
+use mqdiv::core::{LabelId, PostId};
+use mqdiv::geo::{
+    solve_geo_brute, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda, GeoPost,
+};
+
+fn geo_instance() -> impl Strategy<Value = GeoInstance> {
+    let post = (
+        0i64..500,   // time
+        0i64..1_000, // x
+        0i64..1_000, // y
+        0u16..3,     // label
+    );
+    (
+        proptest::collection::vec(post, 1..40),
+        1i64..200,
+        1i64..500,
+    )
+        .prop_map(|(items, lt, ld)| {
+            let posts: Vec<GeoPost> = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, x, y, l))| {
+                    GeoPost::new(PostId(i as u64), t, x, y, vec![LabelId(l)])
+                })
+                .collect();
+            GeoInstance::new(posts, 3, GeoLambda::new(lt, ld))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_and_sweep_always_cover(inst in geo_instance()) {
+        let g = solve_geo_greedy(&inst);
+        let s = solve_geo_sweep(&inst);
+        prop_assert!(inst.is_cover(&g.selected), "greedy non-cover");
+        prop_assert!(inst.is_cover(&s.selected), "sweep non-cover");
+        prop_assert!(g.selected.iter().all(|&i| (i as usize) < inst.len()));
+    }
+
+    #[test]
+    fn brute_is_a_lower_bound_on_small(inst in geo_instance()) {
+        if inst.len() <= 14 {
+            let b = solve_geo_brute(&inst, Some(14)).expect("within cap");
+            prop_assert!(inst.is_cover(&b.selected));
+            let g = solve_geo_greedy(&inst);
+            let s = solve_geo_sweep(&inst);
+            prop_assert!(b.size() <= g.size());
+            prop_assert!(b.size() <= s.size());
+            // Minimality: dropping any brute pick breaks the cover.
+            for skip in 0..b.selected.len() {
+                let reduced: Vec<u32> = b
+                    .selected
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &p)| p)
+                    .collect();
+                prop_assert!(!inst.is_cover(&reduced));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_symmetric_for_uniform_thresholds(inst in geo_instance()) {
+        for i in 0..inst.len().min(10) as u32 {
+            for j in 0..inst.len().min(10) as u32 {
+                for &a in inst.post(i).labels().to_vec().iter() {
+                    prop_assert_eq!(
+                        inst.covers(i, j, a),
+                        inst.covers(j, i, a),
+                        "geo coverage must be symmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widening_thresholds_keeps_covers_valid(inst in geo_instance()) {
+        // A cover under (lt, ld) stays one under (2lt, 2ld).
+        let g = solve_geo_greedy(&inst);
+        let wider = GeoInstance::new(
+            inst.posts().to_vec(),
+            inst.num_labels(),
+            GeoLambda::new(inst.lambda().time * 2, inst.lambda().dist * 2),
+        );
+        prop_assert!(wider.is_cover(&g.selected));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the I/O substrates: TSV and binary-log round
+//! trips over arbitrary rows, and the windowed timeline invariants.
+
+use proptest::prelude::*;
+
+use mqd_cli::binlog;
+use mqd_cli::tsv::{self, LabeledRow};
+use mqdiv::stream::WindowedTimeline;
+
+fn rows_strategy() -> impl Strategy<Value = Vec<LabeledRow>> {
+    proptest::collection::vec(
+        (
+            any::<u64>(),
+            any::<i64>(),
+            proptest::collection::vec(any::<u16>(), 0..4),
+        )
+            .prop_map(|(id, value, labels)| LabeledRow { id, value, labels }),
+        0..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binlog_round_trips_arbitrary_rows(rows in rows_strategy()) {
+        let data = binlog::encode(&rows);
+        prop_assert_eq!(binlog::decode(&data).unwrap(), rows);
+    }
+
+    #[test]
+    fn binlog_rejects_any_single_byte_flip(rows in rows_strategy(), pos_seed in any::<u64>()) {
+        let mut data = binlog::encode(&rows).to_vec();
+        let pos = (pos_seed % data.len() as u64) as usize;
+        data[pos] ^= 0x5a;
+        // Either an error, or (vanishingly unlikely with a 64-bit FNV
+        // checksum) a detected-equal decode; never a silent wrong answer.
+        if let Ok(decoded) = binlog::decode(&data) {
+            prop_assert_eq!(decoded, rows);
+        }
+    }
+
+    #[test]
+    fn tsv_round_trips(rows in rows_strategy()) {
+        let mut buf = Vec::new();
+        tsv::write_labeled(&mut buf, &rows).unwrap();
+        prop_assert_eq!(tsv::read_labeled(buf.as_slice()).unwrap(), rows);
+    }
+
+    #[test]
+    fn timeline_digest_always_covers_window(
+        times in proptest::collection::vec(0i64..10_000, 1..60),
+        window in 100i64..5_000,
+        lambda in 1i64..500,
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut tl = WindowedTimeline::new(2, window, lambda);
+        for (i, &t) in sorted.iter().enumerate() {
+            tl.on_post(i as u64, t, vec![(i % 2) as u16]);
+        }
+        let digest = tl.digest();
+        // Every live post must have a same-label digest member within lambda.
+        let now = *sorted.last().unwrap();
+        for (i, &t) in sorted.iter().enumerate() {
+            if t < now - window {
+                continue; // expired
+            }
+            let label = (i % 2) as u16;
+            let covered = digest
+                .iter()
+                .any(|p| p.labels.contains(&label) && (p.time - t).abs() <= lambda);
+            prop_assert!(covered, "post at t={t} label {label} unrepresented");
+        }
+        // Digest members are live posts.
+        for p in &digest {
+            prop_assert!(p.time >= now - window);
+        }
+    }
+}

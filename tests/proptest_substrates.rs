@@ -1,0 +1,85 @@
+//! Property-based tests for the text substrates: the tokenizer never
+//! panics and normalizes correctly on arbitrary input, SimHash is
+//! deterministic, the real-time index agrees with a naive scan, and the
+//! sentiment score stays bounded.
+
+use proptest::prelude::*;
+
+use mqdiv::text::{hamming, simhash, tokenize, KeywordMatcher, RtIndex, SentimentScorer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenizer_total_and_normalized(text in ".{0,200}") {
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            prop_assert!(t.chars().count() >= 2, "short token {t:?}");
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()), "bad chars in {t:?}");
+            prop_assert!(
+                t.chars().all(|c| !c.is_uppercase()),
+                "uppercase survived in {t:?}"
+            );
+        }
+        // Idempotence: retokenizing the joined tokens yields the same list.
+        let rejoined = tokens.join(" ");
+        prop_assert_eq!(tokenize(&rejoined), tokens);
+    }
+
+    #[test]
+    fn simhash_deterministic_and_hamming_sane(a in ".{0,100}", b in ".{0,100}") {
+        let ha = simhash(&a);
+        prop_assert_eq!(ha, simhash(&a));
+        let hb = simhash(&b);
+        prop_assert_eq!(hamming(ha, hb), hamming(hb, ha));
+        prop_assert!(hamming(ha, hb) <= 64);
+        prop_assert_eq!(hamming(ha, ha), 0);
+    }
+
+    #[test]
+    fn sentiment_always_bounded(text in ".{0,300}") {
+        let s = SentimentScorer::new().score(&text);
+        prop_assert!((-1.0..=1.0).contains(&s), "score {s} out of range");
+    }
+
+    #[test]
+    fn rt_index_agrees_with_naive_scan(
+        docs in proptest::collection::vec(
+            ("[a-f]{2,4}( [a-f]{2,4}){0,5}", -1_000i64..1_000),
+            1..30,
+        ),
+        from in -1_200i64..1_200,
+        span in 0i64..2_000,
+        keyword in "[a-f]{2,4}",
+    ) {
+        let mut idx = RtIndex::new(100);
+        for (text, t) in &docs {
+            idx.add_document(text, *t);
+        }
+        let to = from + span;
+        let got = idx.search(&[keyword.clone()], from, to);
+        let expect: Vec<u32> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, (text, t))| {
+                (from..=to).contains(t) && tokenize(text).contains(&keyword)
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn matcher_labels_sorted_and_in_range(
+        text in ".{0,120}",
+        queries in proptest::collection::vec(
+            proptest::collection::vec("[a-e]{2,3}", 1..4),
+            1..6,
+        ),
+    ) {
+        let m = KeywordMatcher::new(&queries);
+        let labels = m.match_labels(&text);
+        prop_assert!(labels.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(labels.iter().all(|&l| (l as usize) < queries.len()));
+    }
+}

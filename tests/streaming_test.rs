@@ -1,0 +1,140 @@
+//! Cross-crate integration tests for the streaming engines on generated
+//! workloads: cover validity, delay constraints, the tau >= lambda
+//! equivalence with offline Scan, and the documented size/delay trade-off.
+
+use mqdiv::core::algorithms::solve_scan;
+use mqdiv::core::{FixedLambda, Instance};
+use mqdiv::datagen::{generate_labeled_posts, LabeledStreamConfig, MINUTE_MS};
+use mqdiv::stream::{run_stream, InstantScan, StreamGreedy, StreamScan};
+
+fn workload(num_labels: usize, seed: u64) -> Instance {
+    let posts = generate_labeled_posts(&LabeledStreamConfig {
+        num_labels,
+        per_label_per_minute: 15.0,
+        overlap: 1.3,
+        duration_ms: 10 * MINUTE_MS,
+        seed,
+        ..Default::default()
+    });
+    Instance::from_posts(posts, num_labels).unwrap()
+}
+
+#[test]
+fn all_engines_cover_within_delay_budget() {
+    let inst = workload(3, 5);
+    for lambda_s in [5i64, 20, 60] {
+        let f = FixedLambda(lambda_s * 1000);
+        for tau_s in [0i64, 5, 30] {
+            let tau = tau_s * 1000;
+            let engines: Vec<(&str, Box<dyn mqdiv::stream::StreamEngine>)> = vec![
+                ("scan", Box::new(StreamScan::new(3, inst.len()))),
+                ("scan+", Box::new(StreamScan::new_plus(3, inst.len()))),
+                ("greedy", Box::new(StreamGreedy::new(3, inst.len()))),
+                ("greedy+", Box::new(StreamGreedy::new_plus(3, inst.len()))),
+            ];
+            for (name, mut eng) in engines {
+                let res = run_stream(&inst, &f, tau, eng.as_mut());
+                assert!(
+                    res.is_cover(&inst, &f),
+                    "{name} lambda={lambda_s} tau={tau_s}: non-cover"
+                );
+                assert!(
+                    res.max_delay <= tau,
+                    "{name} lambda={lambda_s} tau={tau_s}: delay {} > tau",
+                    res.max_delay
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_scan_equals_offline_scan_when_tau_at_least_lambda() {
+    for seed in 0..6 {
+        let inst = workload(2, 50 + seed);
+        for lambda_s in [5i64, 15, 30] {
+            let f = FixedLambda(lambda_s * 1000);
+            let offline = solve_scan(&inst, &f);
+            for tau_mult in [1i64, 2, 4] {
+                let tau = lambda_s * 1000 * tau_mult;
+                let mut eng = StreamScan::new(2, inst.len());
+                let res = run_stream(&inst, &f, tau, &mut eng);
+                assert_eq!(
+                    res.selected, offline.selected,
+                    "seed {seed} lambda {lambda_s}s tau {tau}ms: streaming != offline Scan"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn instant_engine_is_zero_delay_and_covers() {
+    let inst = workload(2, 11);
+    for lambda_s in [10i64, 30] {
+        let f = FixedLambda(lambda_s * 1000);
+        let mut eng = InstantScan::new(2);
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        assert!(res.is_cover(&inst, &f));
+        assert_eq!(res.max_delay, 0);
+    }
+}
+
+#[test]
+fn instant_engine_2s_bound_single_label() {
+    // The Section 5.1 pairwise argument (consecutive emissions > lambda
+    // apart, hence <= 2x the per-label optimum) is a theorem for a single
+    // label; with multiple labels an emission triggered by another
+    // uncovered label may land within lambda on a shared one.
+    let inst = workload(1, 11);
+    for lambda_s in [10i64, 30] {
+        let f = FixedLambda(lambda_s * 1000);
+        let mut eng = InstantScan::new(1);
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        assert!(res.is_cover(&inst, &f));
+        let times: Vec<i64> = res.selected.iter().map(|&i| inst.value(i)).collect();
+        for w in times.windows(2) {
+            assert!(
+                w[1] - w[0] > lambda_s * 1000,
+                "instant emitted two covered posts"
+            );
+        }
+        let opt = solve_scan(&inst, &f); // optimal for one label
+        assert!(res.size() <= 2 * opt.size());
+    }
+}
+
+#[test]
+fn larger_tau_never_hurts_stream_scan_much() {
+    // The documented trade-off: more delay budget -> no larger output for
+    // StreamScan (it converges to offline Scan).
+    let inst = workload(2, 21);
+    let f = FixedLambda(20_000);
+    let sizes: Vec<usize> = [0i64, 5_000, 20_000, 60_000]
+        .iter()
+        .map(|&tau| {
+            let mut eng = StreamScan::new(2, inst.len());
+            run_stream(&inst, &f, tau, &mut eng).size()
+        })
+        .collect();
+    assert!(
+        sizes.windows(2).all(|w| w[1] <= w[0]),
+        "sizes should be non-increasing in tau: {sizes:?}"
+    );
+}
+
+#[test]
+fn emissions_are_causally_ordered() {
+    // emit_time must be >= the post's own timestamp and non-decreasing in
+    // emission order (the engine cannot emit into the past).
+    let inst = workload(3, 33);
+    let f = FixedLambda(15_000);
+    let mut eng = StreamGreedy::new(3, inst.len());
+    let res = run_stream(&inst, &f, 10_000, &mut eng);
+    for e in &res.emissions {
+        assert!(e.emit_time >= inst.value(e.post));
+    }
+    for w in res.emissions.windows(2) {
+        assert!(w[0].emit_time <= w[1].emit_time);
+    }
+}
