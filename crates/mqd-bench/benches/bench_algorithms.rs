@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks for the offline MQDP solvers.
+//! Micro-benchmarks for the offline MQDP solvers (std-only harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqd_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mqd_bench::{ten_minute_instance, OPT_FEASIBLE_PER_LABEL_PER_MIN};
 use mqd_core::algorithms::{
-    solve_greedy_sc, solve_greedy_sc_scan_max, solve_opt, solve_scan, solve_scan_plus,
-    LabelOrder, OptConfig,
+    solve_greedy_sc, solve_greedy_sc_scan_max, solve_opt, solve_scan, solve_scan_plus, LabelOrder,
+    OptConfig,
 };
 use mqd_core::{coverage, FixedLambda, VariableLambda};
 

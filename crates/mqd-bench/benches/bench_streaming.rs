@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks for the streaming engines.
+//! Micro-benchmarks for the streaming engines (std-only harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqd_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mqd_bench::ten_minute_instance;

@@ -1,13 +1,15 @@
-//! Criterion micro-benchmarks for the substrates: tokenizer, SimHash,
-//! inverted index / matcher, LDA sweeps, and the set-cover primitives.
+//! Micro-benchmarks for the substrates: tokenizer, SimHash, inverted
+//! index / matcher, LDA sweeps, and the set-cover primitives
+//! (std-only harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mqd_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mqd_datagen::{generate_news, generate_tweets, NewsConfig, TweetStreamConfig, MINUTE_MS};
 use mqd_setcover::{greedy_cover, lazy_greedy_cover, BitSet, Goal, PresenceFenwick};
-use mqd_text::{simhash, tokenize, InvertedIndex, KeywordMatcher, NearDuplicateFilter,
-    SentimentScorer};
+use mqd_text::{
+    simhash, tokenize, InvertedIndex, KeywordMatcher, NearDuplicateFilter, SentimentScorer,
+};
 use mqd_topics::{LdaConfig, LdaModel, Vocabulary};
 
 fn bench_text(c: &mut Criterion) {

@@ -33,7 +33,10 @@ fn main() {
         "ablation_greedy_heap",
         "GreedySC selection: lazy heap vs scan-max (identical covers, timing)",
     );
-    report.note(format!("{minutes}-minute stream, |L| = {l}, {} posts", inst.len()));
+    report.note(format!(
+        "{minutes}-minute stream, |L| = {l}, {} posts",
+        inst.len()
+    ));
 
     let mut t = Table::new(
         "Per-post time (us) and solution sizes",

@@ -25,7 +25,13 @@ fn main() {
 
     let mut t = Table::new(
         "Mean solution sizes by label processing order",
-        &["label_skew", "scan", "input", "densest_first", "sparsest_first"],
+        &[
+            "label_skew",
+            "scan",
+            "input",
+            "densest_first",
+            "sparsest_first",
+        ],
     );
     for (si, &skew) in skews.iter().enumerate() {
         let mut sums = [0f64; 4];

@@ -89,7 +89,11 @@ fn main() {
         "Proportionality (L1 distance to input shares; lower is better)",
         &["strategy", "l1_distance", "solution_size"],
     );
-    s.row(&["fixed".into(), f3(l1(&sol_fixed.selected)), sol_fixed.size().to_string()]);
+    s.row(&[
+        "fixed".into(),
+        f3(l1(&sol_fixed.selected)),
+        sol_fixed.size().to_string(),
+    ]);
     s.row(&[
         "proportional".into(),
         f3(l1(&sol_var.selected)),

@@ -72,7 +72,13 @@ fn main() {
 
     let mut t = Table::new(
         "Posts kept per 10-minute phase",
-        &["phase_min", "input", "fixed", "adaptive", "adaptive_share_of_input"],
+        &[
+            "phase_min",
+            "input",
+            "fixed",
+            "adaptive",
+            "adaptive_share_of_input",
+        ],
     );
     for b in 0..buckets {
         t.row(&[

@@ -10,8 +10,9 @@
 //! sweep.
 
 use mqd_bench::{f1, f3, BenchArgs, Report, Table};
-use mqd_geo::{generate_geo_posts, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda,
-    GeoStreamConfig};
+use mqd_geo::{
+    generate_geo_posts, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda, GeoStreamConfig,
+};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -29,7 +30,13 @@ fn main() {
 
     let mut t = Table::new(
         "Mean solution sizes and per-post time",
-        &["lambda_dist", "greedy_size", "sweep_size", "greedy_us", "sweep_us"],
+        &[
+            "lambda_dist",
+            "greedy_size",
+            "sweep_size",
+            "greedy_us",
+            "sweep_us",
+        ],
     );
     for &d in dists {
         let mut sums = [0f64; 4];

@@ -6,9 +6,9 @@
 use std::time::Instant;
 
 use mqd_bench::{f1, BenchArgs, Report, Table};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 use mqd_stream::MultiUserHub;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -49,7 +49,12 @@ fn main() {
 
     let mut t = Table::new(
         "Hub throughput",
-        &["users", "posts_per_sec", "total_deliveries", "mean_deliveries_per_user"],
+        &[
+            "users",
+            "posts_per_sec",
+            "total_deliveries",
+            "mean_deliveries_per_user",
+        ],
     );
     for &users_n in user_counts {
         let subscriptions: Vec<Vec<u32>> = (0..users_n)

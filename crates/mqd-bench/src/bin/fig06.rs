@@ -26,7 +26,8 @@ fn main() {
     report.note(format!(
         "per-label rate {OPT_FEASIBLE_PER_LABEL_PER_MIN}/min (OPT-feasible scale), {runs_per_point} label sets per overlap value"
     ));
-    report.note("paper: Figures 6a-6d; GreedySC < Scan except near overlap 1 where Scan is optimal");
+    report
+        .note("paper: Figures 6a-6d; GreedySC < Scan except near overlap 1 where Scan is optimal");
 
     let mut scatter = Table::new(
         "Per-run results (Fig 6a-c scatter)",

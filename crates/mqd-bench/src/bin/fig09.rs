@@ -34,7 +34,13 @@ fn main() {
         let tau = tau_s * 1000;
         let mut t = Table::new(
             format!("Fig 9 panel: tau = {tau_s} s"),
-            &["lambda_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+            &[
+                "lambda_s",
+                "StreamScan",
+                "StreamScan+",
+                "StreamGreedySC",
+                "StreamGreedySC+",
+            ],
         );
         for &ls in lambdas_s {
             let lambda_ms = ls * 1000;

@@ -26,14 +26,21 @@ fn main() {
     report.note(format!(
         "per-label rate {OPT_FEASIBLE_PER_LABEL_PER_MIN}/min, overlap {overlap}, {runs} runs per point; baseline = static OPT"
     ));
-    report.note("paper: Figures 10a-10c; Scan stable for tau>lambda, greedy peak near tau≈2*lambda");
+    report
+        .note("paper: Figures 10a-10c; Scan stable for tau>lambda, greedy peak near tau≈2*lambda");
 
     for &ls in lambdas_s {
         let lambda_ms = ls * 1000;
         let f = FixedLambda(lambda_ms);
         let mut t = Table::new(
             format!("Fig 10 panel: lambda = {ls} s"),
-            &["tau_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+            &[
+                "tau_s",
+                "StreamScan",
+                "StreamScan+",
+                "StreamGreedySC",
+                "StreamGreedySC+",
+            ],
         );
         for &tau_s in taus_s {
             let tau = tau_s * 1000;

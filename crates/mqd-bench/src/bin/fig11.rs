@@ -27,7 +27,13 @@ fn main() {
 
     let mut t = Table::new(
         "Mean solution sizes",
-        &["overlap", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+        &[
+            "overlap",
+            "StreamScan",
+            "StreamScan+",
+            "StreamGreedySC",
+            "StreamGreedySC+",
+        ],
     );
     for (oi, &overlap) in overlaps.iter().enumerate() {
         let mut sums = [0f64; 4];

@@ -28,7 +28,14 @@ fn main() {
         let lambda = FixedLambda(lm * MINUTE_MS);
         let mut t = Table::new(
             format!("Fig 12 panel: lambda = {lm} minutes"),
-            &["|L|", "posts", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+            &[
+                "|L|",
+                "posts",
+                "StreamScan",
+                "StreamScan+",
+                "StreamGreedySC",
+                "StreamGreedySC+",
+            ],
         );
         for &l in sizes {
             let inst = mqd_bench::day_instance(

@@ -34,7 +34,13 @@ fn main() {
         );
         let mut t = Table::new(
             format!("Fig 14 panel: |L| = {l} ({} posts)", inst.len()),
-            &["lambda_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+            &[
+                "lambda_s",
+                "StreamScan",
+                "StreamScan+",
+                "StreamGreedySC",
+                "StreamGreedySC+",
+            ],
         );
         for &ls in lambdas_s {
             let lambda = FixedLambda(ls * 1000);

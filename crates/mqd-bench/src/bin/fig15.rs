@@ -34,7 +34,13 @@ fn main() {
         );
         let mut t = Table::new(
             format!("Fig 15 panel: |L| = {l} ({} posts)", inst.len()),
-            &["tau_s", "StreamScan", "StreamScan+", "StreamGreedySC", "StreamGreedySC+"],
+            &[
+                "tau_s",
+                "StreamScan",
+                "StreamScan+",
+                "StreamGreedySC",
+                "StreamGreedySC+",
+            ],
         );
         for &ts in taus_s {
             let tau = ts * 1000;

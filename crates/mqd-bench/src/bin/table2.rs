@@ -22,7 +22,12 @@ fn main() {
 
     let mut t = Table::new(
         "Matching posts per minute",
-        &["|L|", "paper (real Twitter)", "reproduced (synthetic)", "overlap rate"],
+        &[
+            "|L|",
+            "paper (real Twitter)",
+            "reproduced (synthetic)",
+            "overlap rate",
+        ],
     );
     for &(l, paper_rate) in &paper {
         let posts = generate_labeled_posts(&LabeledStreamConfig {

@@ -8,13 +8,16 @@
 
 pub mod args;
 pub mod measure;
+pub mod microbench;
 pub mod report;
 pub mod workloads;
 
 pub use args::BenchArgs;
-pub use measure::{micros_per_post, run_stream_by_name, time_it, STREAM_ENGINES};
+pub use measure::{
+    measure, micros_per_post, run_stream_by_name, time_it, Measured, STREAM_ENGINES,
+};
+pub use microbench::{Bencher, BenchmarkId, Criterion};
 pub use report::{f1, f3, Report, Table};
 pub use workloads::{
-    day_instance, ten_minute_instance, CALIBRATED_PER_LABEL_PER_MIN,
-    OPT_FEASIBLE_PER_LABEL_PER_MIN,
+    day_instance, ten_minute_instance, CALIBRATED_PER_LABEL_PER_MIN, OPT_FEASIBLE_PER_LABEL_PER_MIN,
 };

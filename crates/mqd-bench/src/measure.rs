@@ -20,6 +20,49 @@ pub fn micros_per_post(posts: usize, d: Duration) -> f64 {
     }
 }
 
+/// One measured run: wall time, workload size, and the thread count it ran
+/// with — the unit the parallel-scaling sweeps report.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Posts processed.
+    pub posts: usize,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+}
+
+impl Measured {
+    /// Post throughput (posts per second of wall time).
+    pub fn posts_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.posts as f64 / s
+        }
+    }
+
+    /// Wall time in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e3
+    }
+}
+
+/// Runs `f` over a workload of `posts` posts at `threads` threads,
+/// returning its result plus the measurement.
+pub fn measure<T>(threads: usize, posts: usize, f: impl FnOnce() -> T) -> (T, Measured) {
+    let (out, wall) = time_it(f);
+    (
+        out,
+        Measured {
+            wall,
+            posts,
+            threads,
+        },
+    )
+}
+
 /// Streaming engines by name, so binaries can iterate uniformly.
 pub const STREAM_ENGINES: &[&str] = &[
     "StreamScan",
@@ -38,16 +81,24 @@ pub fn run_stream_by_name(
     let l = inst.num_labels();
     let n = inst.len();
     match name {
-        "StreamScan" => mqd_stream::run_stream(inst, lambda, tau, &mut mqd_stream::StreamScan::new(l, n)),
-        "StreamScan+" => {
-            mqd_stream::run_stream(inst, lambda, tau, &mut mqd_stream::StreamScan::new_plus(l, n))
+        "StreamScan" => {
+            mqd_stream::run_stream(inst, lambda, tau, &mut mqd_stream::StreamScan::new(l, n))
         }
+        "StreamScan+" => mqd_stream::run_stream(
+            inst,
+            lambda,
+            tau,
+            &mut mqd_stream::StreamScan::new_plus(l, n),
+        ),
         "StreamGreedySC" => {
             mqd_stream::run_stream(inst, lambda, tau, &mut mqd_stream::StreamGreedy::new(l, n))
         }
-        "StreamGreedySC+" => {
-            mqd_stream::run_stream(inst, lambda, tau, &mut mqd_stream::StreamGreedy::new_plus(l, n))
-        }
+        "StreamGreedySC+" => mqd_stream::run_stream(
+            inst,
+            lambda,
+            tau,
+            &mut mqd_stream::StreamGreedy::new_plus(l, n),
+        ),
         "Instant" => mqd_stream::run_stream(inst, lambda, 0, &mut mqd_stream::InstantScan::new(l)),
         other => panic!("unknown streaming engine {other}"),
     }
@@ -66,19 +117,35 @@ mod tests {
     }
 
     #[test]
+    fn measured_derives_throughput() {
+        let (v, m) = measure(4, 1_000, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.posts, 1_000);
+        let m = Measured {
+            wall: Duration::from_secs(2),
+            posts: 1_000,
+            threads: 1,
+        };
+        assert!((m.posts_per_sec() - 500.0).abs() < 1e-9);
+        assert!((m.wall_ms() - 2_000.0).abs() < 1e-9);
+        let zero = Measured {
+            wall: Duration::ZERO,
+            posts: 10,
+            threads: 1,
+        };
+        assert_eq!(zero.posts_per_sec(), 0.0);
+    }
+
+    #[test]
     fn engines_run_by_name() {
-        let inst = mqd_core::Instance::from_values(
-            vec![(0, vec![0]), (10, vec![0]), (20, vec![1])],
-            2,
-        )
-        .unwrap();
+        let inst =
+            mqd_core::Instance::from_values(vec![(0, vec![0]), (10, vec![0]), (20, vec![1])], 2)
+                .unwrap();
         let f = mqd_core::FixedLambda(5);
         for name in STREAM_ENGINES.iter().chain(["Instant"].iter()) {
             let res = run_stream_by_name(name, &inst, &f, 5);
-            assert!(
-                res.is_cover(&inst, &f),
-                "{name} failed to produce a cover"
-            );
+            assert!(res.is_cover(&inst, &f), "{name} failed to produce a cover");
         }
     }
 

@@ -1,0 +1,170 @@
+//! Minimal micro-benchmark harness with a criterion-shaped API.
+//!
+//! The offline build bans external crates, so the `benches/` files run on
+//! this std-only shim instead of criterion: same `Criterion` /
+//! `benchmark_group` / `Bencher::iter` surface, measurement via
+//! `std::time::Instant` (short warmup, then timed batches), results printed
+//! as `name  mean_per_iter  iters`. Good enough to spot order-of-magnitude
+//! regressions; for publishable numbers use the experiment binaries, which
+//! measure whole workloads.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Warmup time before measuring.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Entry point object passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group (purely cosmetic here).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("## {name}");
+        BenchmarkGroup { _c: self }
+    }
+}
+
+/// A benchmark group; methods mirror criterion's.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Runs a parameterized benchmark; the input is passed back to the
+    /// closure exactly like criterion's `bench_with_input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id.0);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/param`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: &str, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Collects timing for one benchmark body.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly: short warmup, then timed iterations until
+    /// the time budget is spent.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + WARMUP;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let t0 = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET {
+                self.total = elapsed;
+                self.iters = iters;
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per = self.total.as_secs_f64() / self.iters as f64;
+        let human = if per >= 1.0 {
+            format!("{per:.3} s")
+        } else if per >= 1e-3 {
+            format!("{:.3} ms", per * 1e3)
+        } else {
+            format!("{:.3} µs", per * 1e6)
+        };
+        println!("{name:<40} {human:>12}  ({} iters)", self.iters);
+    }
+}
+
+/// Declares a bench entry function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            $name();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.total >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("scan", 5).0, "scan/5");
+        assert_eq!(BenchmarkId::from_parameter(60).0, "60");
+    }
+}

@@ -13,10 +13,10 @@
 //! Ids and dimension values are delta-encoded against the previous record
 //! (streams are time-sorted, so deltas are small), and the checksum turns
 //! truncation or bit rot into a typed error instead of silent garbage.
+//! Encoding targets a plain `Vec<u8>`; decoding reads through a bounds-
+//! checked cursor — no external buffer crate needed.
 
 use std::io::{Read, Write};
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::tsv::LabeledRow;
 
@@ -33,26 +33,61 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, String> {
+/// Bounds-checked forward reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn get_u8(&mut self) -> Result<u8, String> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| String::from("unexpected end of log"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        let end = self.pos + N;
+        if end > self.data.len() {
+            return Err("unexpected end of log".into());
+        }
+        let out: [u8; N] = self.data[self.pos..end].try_into().expect("N bytes");
+        self.pos = end;
+        Ok(out)
+    }
+}
+
+fn get_varint(buf: &mut Cursor<'_>) -> Result<u64, String> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {
         if !buf.has_remaining() {
             return Err("truncated varint".into());
         }
-        let byte = buf.get_u8();
+        let byte = buf.get_u8()?;
         if shift >= 64 {
             return Err("varint overflow".into());
         }
@@ -73,10 +108,10 @@ fn unzigzag(v: u64) -> i64 {
 }
 
 /// Serializes rows into the binary log format.
-pub fn encode(rows: &[LabeledRow]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + rows.len() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
+pub fn encode(rows: &[LabeledRow]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + rows.len() * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
     put_varint(&mut buf, rows.len() as u64);
     let mut prev_id = 0u64;
     let mut prev_value = 0i64;
@@ -91,9 +126,9 @@ pub fn encode(rows: &[LabeledRow]) -> Bytes {
         prev_value = r.value;
     }
     let checksum = fnv1a(&buf);
-    buf.put_slice(FOOTER);
-    buf.put_u64(checksum);
-    buf.freeze()
+    buf.extend_from_slice(FOOTER);
+    buf.extend_from_slice(&checksum.to_be_bytes());
+    buf
 }
 
 /// Deserializes a binary log, verifying magic, version and checksum.
@@ -110,18 +145,17 @@ pub fn decode(data: &[u8]) -> Result<Vec<LabeledRow>, String> {
         return Err("checksum mismatch (corrupted file)".into());
     }
 
-    let mut buf = Bytes::copy_from_slice(body);
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let mut buf = Cursor::new(body);
+    let magic: [u8; 4] = buf.get_array()?;
     if &magic != MAGIC {
         return Err("bad magic (not an mqdiv binary log)".into());
     }
-    let version = buf.get_u8();
+    let version = buf.get_u8()?;
     if version != VERSION {
         return Err(format!("unsupported version {version}"));
     }
     let count = get_varint(&mut buf)? as usize;
-    let mut rows = Vec::with_capacity(count);
+    let mut rows = Vec::with_capacity(count.min(1 << 20));
     let mut prev_id = 0u64;
     let mut prev_value = 0i64;
     for _ in 0..count {
@@ -219,7 +253,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let rows = sample();
-        let mut data = encode(&rows).to_vec();
+        let mut data = encode(&rows);
         let mid = data.len() / 2;
         data[mid] ^= 0xff;
         let err = decode(&data).unwrap_err();
@@ -238,7 +272,7 @@ mod tests {
 
     #[test]
     fn wrong_magic_rejected() {
-        let mut data = encode(&sample()).to_vec();
+        let mut data = encode(&sample());
         data[0] = b'X';
         // checksum covers magic, so this reports a checksum failure first —
         // rebuild a log with a valid checksum over bad magic to hit the
@@ -273,11 +307,11 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for v in [0u64, 1, 127, 128, 300, u64::MAX] {
             put_varint(&mut buf, v);
         }
-        let mut b = buf.freeze();
+        let mut b = Cursor::new(&buf);
         for v in [0u64, 1, 127, 128, 300, u64::MAX] {
             assert_eq!(get_varint(&mut b).unwrap(), v);
         }

@@ -7,8 +7,9 @@ use mqd_core::algorithms::{
     solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
 };
 use mqd_core::{coverage, metrics, FixedLambda, Solution, VariableLambda};
-use mqd_datagen::{generate_labeled_posts, generate_tweets, LabeledStreamConfig,
-    TweetStreamConfig, MINUTE_MS};
+use mqd_datagen::{
+    generate_labeled_posts, generate_tweets, LabeledStreamConfig, TweetStreamConfig, MINUTE_MS,
+};
 use mqd_text::{KeywordMatcher, NearDuplicateFilter, SentimentScorer};
 
 use crate::tsv::{self, LabeledRow, TextRow};
@@ -50,8 +51,9 @@ pub fn diversify(
             "scan" => solve_scan(&inst, &lam),
             "scan+" => solve_scan_plus(&inst, &lam, LabelOrder::Input),
             "greedy" => solve_greedy_sc(&inst, &lam),
-            "opt" => solve_opt(&inst, opts.lambda, &OptConfig::default())
-                .map_err(|e| e.to_string())?,
+            "opt" => {
+                solve_opt(&inst, opts.lambda, &OptConfig::default()).map_err(|e| e.to_string())?
+            }
             other => return Err(format!("unknown algorithm '{other}'")),
         }
     };
@@ -139,7 +141,11 @@ pub fn stream(
         return Err("internal error: emitted sub-stream is not a cover".into());
     }
     for e in &res.emissions {
-        let labels: Vec<String> = inst.labels(e.post).iter().map(|l| l.0.to_string()).collect();
+        let labels: Vec<String> = inst
+            .labels(e.post)
+            .iter()
+            .map(|l| l.0.to_string())
+            .collect();
         writeln!(
             out,
             "{}\t{}\t{}\t{}\t{}",

@@ -10,6 +10,10 @@
 //! mqdiv ingest     --store DIR --input FILE.tsv         (append a segment)
 //! mqdiv query      --store DIR --from MS --to MS [--lambda MS] [--out FILE]
 //! ```
+//!
+//! Every subcommand also accepts `--threads N`, setting the worker count
+//! for the parallel solver paths (default: the `MQD_THREADS` environment
+//! variable, then the machine's available parallelism).
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -122,6 +126,13 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let flags = Flags::parse(&args[1..])?;
+    if flags.get("threads").is_some() {
+        let n: usize = flags.require_num("threads")?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        mqd_par::set_threads(Some(n));
+    }
     let mut log = io::stderr();
 
     match cmd.as_str() {
@@ -162,15 +173,13 @@ fn run() -> Result<(), String> {
         }
         "pack" => {
             let rows = mqd_cli::tsv::read_labeled(open_input(&flags)?)?;
-            mqd_cli::binlog::write_posts(open_output(&flags)?, &rows)
-                .map_err(|e| e.to_string())?;
+            mqd_cli::binlog::write_posts(open_output(&flags)?, &rows).map_err(|e| e.to_string())?;
             eprintln!("packed {} posts", rows.len());
             Ok(())
         }
         "unpack" => {
             let rows = mqd_cli::binlog::read_posts(open_input(&flags)?)?;
-            mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows)
-                .map_err(|e| e.to_string())?;
+            mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows).map_err(|e| e.to_string())?;
             eprintln!("unpacked {} posts", rows.len());
             Ok(())
         }
@@ -179,7 +188,10 @@ fn run() -> Result<(), String> {
             let rows = mqd_cli::tsv::read_labeled(open_input(&flags)?)?;
             let mut store = mqd_cli::store::PostStore::open(dir).map_err(|e| e.to_string())?;
             if !store.quarantined().is_empty() {
-                eprintln!("warning: {} corrupt segment(s) quarantined", store.quarantined().len());
+                eprintln!(
+                    "warning: {} corrupt segment(s) quarantined",
+                    store.quarantined().len()
+                );
             }
             match store.append(&rows).map_err(|e| e.to_string())? {
                 Some(info) => eprintln!(
@@ -215,8 +227,7 @@ fn run() -> Result<(), String> {
                 }
             };
             let n = rows.len();
-            mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows)
-                .map_err(|e| e.to_string())?;
+            mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows).map_err(|e| e.to_string())?;
             eprintln!("{n} posts");
             Ok(())
         }

@@ -153,8 +153,8 @@ impl PostStore {
                 continue;
             }
             let data = fs::read(&seg.path)?;
-            let rows = binlog::decode(&data)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let rows =
+                binlog::decode(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             out.extend(rows.into_iter().filter(|r| (from..=to).contains(&r.value)));
         }
         out.sort_by_key(|r| (r.value, r.id));
@@ -256,12 +256,7 @@ mod tests {
             store.append(&rows(5..9)).unwrap();
         }
         // Flip a byte in one segment.
-        let victim = fs::read_dir(&dir)
-            .unwrap()
-            .next()
-            .unwrap()
-            .unwrap()
-            .path();
+        let victim = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
         let mut data = fs::read(&victim).unwrap();
         let mid = data.len() / 2;
         data[mid] ^= 0xff;

@@ -119,17 +119,20 @@ pub fn read_text(r: impl BufRead) -> Result<Vec<TextRow>, String> {
 /// Writes text rows.
 pub fn write_text(mut w: impl Write, rows: &[TextRow]) -> std::io::Result<()> {
     for r in rows {
-        writeln!(w, "{}\t{}\t{}", r.id, r.time, r.text.replace(['\t', '\n'], " "))?;
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            r.id,
+            r.time,
+            r.text.replace(['\t', '\n'], " ")
+        )?;
     }
     Ok(())
 }
 
 /// Converts labeled rows into an [`Instance`]. The label space is the
 /// maximum label id + 1 unless `num_labels` forces a wider one.
-pub fn to_instance(
-    rows: &[LabeledRow],
-    num_labels: Option<usize>,
-) -> Result<Instance, MqdError> {
+pub fn to_instance(rows: &[LabeledRow], num_labels: Option<usize>) -> Result<Instance, MqdError> {
     let max_label = rows
         .iter()
         .flat_map(|r| r.labels.iter().copied())
@@ -182,10 +185,18 @@ mod tests {
 
     #[test]
     fn malformed_rows_report_line_numbers() {
-        assert!(read_labeled(&b"1\t10\n"[..]).unwrap_err().contains("line 1"));
-        assert!(read_labeled(&b"x\t10\t0\n"[..]).unwrap_err().contains("bad id"));
-        assert!(read_labeled(&b"1\ty\t0\n"[..]).unwrap_err().contains("bad value"));
-        assert!(read_labeled(&b"1\t2\tz\n"[..]).unwrap_err().contains("bad label"));
+        assert!(read_labeled(&b"1\t10\n"[..])
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(read_labeled(&b"x\t10\t0\n"[..])
+            .unwrap_err()
+            .contains("bad id"));
+        assert!(read_labeled(&b"1\ty\t0\n"[..])
+            .unwrap_err()
+            .contains("bad value"));
+        assert!(read_labeled(&b"1\t2\tz\n"[..])
+            .unwrap_err()
+            .contains("bad label"));
         assert!(read_labeled(&b"1\t2\t0\textra\n"[..])
             .unwrap_err()
             .contains("too many fields"));

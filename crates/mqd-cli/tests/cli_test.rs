@@ -25,7 +25,11 @@ fn gen_diversify_stream_pipeline() {
         .args(["--seed", "9", "--out", posts.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = mqdiv()
         .args(["diversify", "--input", posts.to_str().unwrap()])
@@ -33,7 +37,11 @@ fn gen_diversify_stream_pipeline() {
         .args(["--out", digest.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("kept"), "summary missing: {stderr}");
 

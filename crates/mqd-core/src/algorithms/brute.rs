@@ -60,7 +60,12 @@ pub fn solve_brute<L: LambdaProvider + ?Sized>(
         }
     }
 
-    let max_set = covers_mask.iter().map(|s| s.len()).max().unwrap_or(1).max(1);
+    let max_set = covers_mask
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
 
     struct Ctx<'a> {
         covers_mask: &'a [Vec<u32>],
@@ -151,8 +156,7 @@ mod tests {
 
     #[test]
     fn rejects_oversized_instances() {
-        let inst =
-            Instance::from_values((0..10).map(|t| (t as i64, vec![0])), 1).unwrap();
+        let inst = Instance::from_values((0..10).map(|t| (t as i64, vec![0])), 1).unwrap();
         let err = solve_brute(&inst, &FixedLambda(1), Some(5)).unwrap_err();
         assert!(matches!(err, MqdError::BruteTooLarge { posts: 10, .. }));
     }

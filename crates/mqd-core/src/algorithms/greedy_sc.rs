@@ -24,6 +24,15 @@
 //!
 //! All three produce the same cover under the shared tie-break (highest
 //! gain, then smallest post index).
+//!
+//! The lazy variant's dominant cost on large instances is the initial
+//! `gain(k)` pass over every post; [`solve_greedy_sc`] computes it in
+//! parallel with `mqd-par`. This is deterministically byte-identical to the
+//! sequential solver at any thread count: the heap entries `(gain,
+//! Reverse(k))` are distinct totally-ordered values, so a `BinaryHeap` pops
+//! them in the same order no matter how (or on how many threads) they were
+//! produced. The selection loop itself stays sequential — each pick changes
+//! the gains of later picks, which is inherent to greedy set cover.
 
 use crate::instance::Instance;
 use crate::lambda::LambdaProvider;
@@ -69,7 +78,9 @@ impl<'a, L: LambdaProvider + ?Sized> GainOracle<'a, L> {
             if lam < 0 {
                 continue;
             }
-            let w = self.inst.posting_window(a, t.saturating_sub(lam), t.saturating_add(lam));
+            let w = self
+                .inst
+                .posting_window(a, t.saturating_sub(lam), t.saturating_add(lam));
             g += self.fenwicks[a.index()].count_range(w.start, w.end);
         }
         g
@@ -85,7 +96,10 @@ impl<'a, L: LambdaProvider + ?Sized> GainOracle<'a, L> {
             if lam < 0 {
                 continue;
             }
-            for pos in self.inst.posting_window(a, t.saturating_sub(lam), t.saturating_add(lam)) {
+            for pos in self
+                .inst
+                .posting_window(a, t.saturating_sub(lam), t.saturating_add(lam))
+            {
                 if self.fenwicks[a.index()].clear(pos) {
                     newly += 1;
                 }
@@ -94,18 +108,35 @@ impl<'a, L: LambdaProvider + ?Sized> GainOracle<'a, L> {
         self.remaining -= newly as usize;
         newly
     }
-
 }
 
 /// GreedySC with implicit sets and lazy-evaluation selection (default).
-pub fn solve_greedy_sc<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L) -> Solution {
+/// The initial gain pass runs on the configured thread count (see
+/// `mqd_par::configured_threads`); the output is byte-identical to the
+/// sequential run regardless.
+pub fn solve_greedy_sc<L: LambdaProvider + Sync + ?Sized>(inst: &Instance, lp: &L) -> Solution {
+    solve_greedy_sc_threads(mqd_par::configured_threads(), inst, lp)
+}
+
+/// [`solve_greedy_sc`] with an explicit thread count for the init pass.
+pub fn solve_greedy_sc_threads<L: LambdaProvider + Sync + ?Sized>(
+    threads: usize,
+    inst: &Instance,
+    lp: &L,
+) -> Solution {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
     let mut oracle = GainOracle::new(inst, lp);
-    let mut heap: BinaryHeap<(u32, Reverse<u32>)> = (0..inst.len() as u32)
-        .map(|k| (oracle.gain(k), Reverse(k)))
-        .collect();
+    let mut heap: BinaryHeap<(u32, Reverse<u32>)> = {
+        let oracle = &oracle;
+        mqd_par::par_map_range_threads(threads, inst.len(), |k| {
+            let k = k as u32;
+            (oracle.gain(k), Reverse(k))
+        })
+        .into_iter()
+        .collect()
+    };
     let mut selected = Vec::new();
     while oracle.remaining() > 0 {
         let Some((stale, Reverse(k))) = heap.pop() else {
@@ -143,7 +174,7 @@ pub fn solve_greedy_sc<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L) -> S
 /// assert!(sol.selected.contains(&0));
 /// assert!(coverage::is_cover(&inst, &lam, &sol.selected));
 /// ```
-pub fn complete_cover<L: LambdaProvider + ?Sized>(
+pub fn complete_cover<L: LambdaProvider + Sync + ?Sized>(
     inst: &Instance,
     lp: &L,
     pinned: &[u32],
@@ -162,9 +193,15 @@ pub fn complete_cover<L: LambdaProvider + ?Sized>(
         selected.push(p);
         oracle.cover_by(p);
     }
-    let mut heap: BinaryHeap<(u32, Reverse<u32>)> = (0..inst.len() as u32)
-        .map(|k| (oracle.gain(k), Reverse(k)))
-        .collect();
+    let mut heap: BinaryHeap<(u32, Reverse<u32>)> = {
+        let oracle = &oracle;
+        mqd_par::par_map_range(inst.len(), |k| {
+            let k = k as u32;
+            (oracle.gain(k), Reverse(k))
+        })
+        .into_iter()
+        .collect()
+    };
     while oracle.remaining() > 0 {
         let Some((stale, Reverse(k))) = heap.pop() else {
             break;
@@ -187,10 +224,7 @@ pub fn complete_cover<L: LambdaProvider + ?Sized>(
 
 /// GreedySC with implicit sets and the paper's scan-max selection
 /// (Section 7.3). Same output as [`solve_greedy_sc`], slower rounds.
-pub fn solve_greedy_sc_scan_max<L: LambdaProvider + ?Sized>(
-    inst: &Instance,
-    lp: &L,
-) -> Solution {
+pub fn solve_greedy_sc_scan_max<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L) -> Solution {
     let mut oracle = GainOracle::new(inst, lp);
     let mut selected = Vec::new();
     while oracle.remaining() > 0 {
@@ -300,6 +334,31 @@ mod tests {
     }
 
     #[test]
+    fn parallel_init_is_byte_identical_across_thread_counts() {
+        // Large enough to clear the mqd-par inline threshold so chunked
+        // workers actually run.
+        let items: Vec<(i64, Vec<u16>)> = (0..600)
+            .map(|i| {
+                let t = (i * 37 % 5_000) as i64;
+                let l = (i % 7) as u16;
+                if i % 4 == 0 {
+                    (t, vec![l, ((i / 4) % 7) as u16])
+                } else {
+                    (t, vec![l])
+                }
+            })
+            .collect();
+        let inst = Instance::from_values(items, 7).unwrap();
+        let f = FixedLambda(60);
+        let seq = solve_greedy_sc_threads(1, &inst, &f);
+        for threads in [2, 3, 8] {
+            let par = solve_greedy_sc_threads(threads, &inst, &f);
+            assert_eq!(par.selected, seq.selected, "threads={threads}");
+        }
+        assert!(coverage::is_cover(&inst, &f, &seq.selected));
+    }
+
+    #[test]
     fn greedy_prefers_high_overlap_posts() {
         // A post carrying both labels covers 5 occurrences; greedy must pick
         // it first and finish with a single post.
@@ -365,11 +424,8 @@ mod tests {
 
     #[test]
     fn lambda_zero_selects_representatives_per_timestamp() {
-        let inst = Instance::from_values(
-            vec![(5, vec![0]), (5, vec![0]), (7, vec![0])],
-            1,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values(vec![(5, vec![0]), (5, vec![0]), (7, vec![0])], 1).unwrap();
         let f = FixedLambda(0);
         let sol = solve_greedy_sc(&inst, &f);
         assert!(coverage::is_cover(&inst, &f, &sol.selected));

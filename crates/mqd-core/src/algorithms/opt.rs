@@ -212,10 +212,8 @@ pub fn solve_opt(inst: &Instance, lambda: i64, cfg: &OptConfig) -> Result<Soluti
             added.dedup();
 
             let mut merged = vec![0u32; num_l];
-            for (eta_idx, (eta_key, eta_entry)) in prev
-                .index
-                .iter()
-                .map(|(k, &i)| (i, (k, &prev.entries[i])))
+            for (eta_idx, (eta_key, eta_entry)) in
+                prev.index.iter().map(|(k, &i)| (i, (k, &prev.entries[i])))
             {
                 // Consistency η ⪯ ξ and merge of placeholders.
                 let mut ok = true;
@@ -343,19 +341,15 @@ mod tests {
     fn disjoint_labels_need_separate_posts() {
         // Same timestamps, disjoint labels: neither covers the other (the
         // key multi-query property from the introduction).
-        let inst =
-            Instance::from_values(vec![(0, vec![0]), (0, vec![1])], 2).unwrap();
+        let inst = Instance::from_values(vec![(0, vec![0]), (0, vec![1])], 2).unwrap();
         let sol = opt(&inst, 100);
         assert_eq!(sol.size(), 2);
     }
 
     #[test]
     fn one_post_covers_all_when_it_carries_all_labels() {
-        let inst = Instance::from_values(
-            vec![(0, vec![0]), (1, vec![1]), (2, vec![0, 1])],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values(vec![(0, vec![0]), (1, vec![1]), (2, vec![0, 1])], 2).unwrap();
         let sol = opt(&inst, 5);
         assert!(coverage::is_cover(&inst, &FixedLambda(5), &sol.selected));
         assert_eq!(sol.size(), 1);

@@ -81,7 +81,11 @@ fn scan_label<L: LambdaProvider + ?Sized>(
         // Candidates that cover `left`: every post z in LP(a) with
         // |t_z - t_left| <= lambda_a(z). They all live within max_lambda of
         // t_left. Pick the one reaching furthest right (ties: latest post).
-        let w = inst.posting_window(a, t_left.saturating_sub(max_l), t_left.saturating_add(max_l));
+        let w = inst.posting_window(
+            a,
+            t_left.saturating_sub(max_l),
+            t_left.saturating_add(max_l),
+        );
         let mut best: Option<(i64, u32)> = None;
         for pos in w {
             let z = lpa[pos];
@@ -177,7 +181,7 @@ mod tests {
     use crate::coverage;
     use crate::lambda::FixedLambda;
 
-    fn check_cover<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L, sol: &Solution) {
+    fn check_cover<L: LambdaProvider + Sync + ?Sized>(inst: &Instance, lp: &L, sol: &Solution) {
         assert!(
             coverage::is_cover(inst, lp, &sol.selected),
             "{} produced a non-cover: {:?}",
@@ -190,8 +194,7 @@ mod tests {
     fn single_label_scan_is_optimal_on_line() {
         // Posts at 0,1,2,...,9 with lambda=2: optimal single-label cover
         // picks every ~4 apart: {2, 7} covers [0,4] and [5,9] -> size 2.
-        let inst =
-            Instance::from_values((0..10).map(|t| (t as i64, vec![0])), 1).unwrap();
+        let inst = Instance::from_values((0..10).map(|t| (t as i64, vec![0])), 1).unwrap();
         let f = FixedLambda(2);
         let sol = solve_scan(&inst, &f);
         check_cover(&inst, &f, &sol);
@@ -231,11 +234,8 @@ mod tests {
         // Label 0's scan picks the post at t=1, which also carries label 1
         // and covers label 1's whole list — Scan+ then selects nothing for
         // label 1, while plain Scan picks a second post.
-        let inst = Instance::from_values(
-            vec![(0, vec![0]), (1, vec![0, 1]), (2, vec![1])],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values(vec![(0, vec![0]), (1, vec![0, 1]), (2, vec![1])], 2).unwrap();
         let f = FixedLambda(5);
         let scan = solve_scan(&inst, &f);
         let plus = solve_scan_plus(&inst, &f, LabelOrder::Input);
@@ -300,11 +300,8 @@ mod tests {
     fn scan_bound_s_times_single_label_optimum() {
         // With one label Scan is optimal; sanity-check the s-bound shape on
         // a two-label instance: |Scan| <= 2 * |any cover|.
-        let inst = Instance::from_values(
-            (0..20).map(|t| (t as i64, vec![(t % 2) as u16])),
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values((0..20).map(|t| (t as i64, vec![(t % 2) as u16])), 2).unwrap();
         let f = FixedLambda(3);
         let sol = solve_scan(&inst, &f);
         check_cover(&inst, &f, &sol);

@@ -64,49 +64,78 @@ pub struct Violation {
     pub label: LabelId,
 }
 
+/// Selected posts carrying each label, in value order: one pass over the
+/// (deduplicated, index-sorted) selection instead of re-filtering it per
+/// label. Posts are stored in value order, so pushing in index order keeps
+/// each per-label list value-sorted.
+fn selected_by_label(inst: &Instance, selected: &[u32]) -> Vec<Vec<u32>> {
+    let mut sel: Vec<u32> = selected.to_vec();
+    sel.sort_unstable();
+    sel.dedup();
+    let mut per_label: Vec<Vec<u32>> = vec![Vec::new(); inst.num_labels()];
+    for &z in &sel {
+        for &a in inst.labels(z) {
+            per_label[a.index()].push(z);
+        }
+    }
+    per_label
+}
+
 /// Verifies Definition 2: returns every uncovered `(post, label)` occurrence.
 /// An empty result means `selected` is a valid lambda-cover of the instance.
 ///
 /// Runs in `O(sum_a |LP(a)| * w)` where `w` is the number of selected posts
 /// inside a `2*max_lambda` window — fast enough to verify every solution in
-/// the test suite and the experiment harness.
-pub fn violations<L: LambdaProvider + ?Sized>(
+/// the test suite and the experiment harness. Labels are checked in
+/// parallel on the configured thread count; the result is byte-identical
+/// to the sequential verifier (per-label results are concatenated in label
+/// order, matching the sequential label-major loop).
+pub fn violations<L: LambdaProvider + Sync + ?Sized>(
     inst: &Instance,
     lp: &L,
     selected: &[u32],
 ) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let max_l = lp.max_lambda();
-    // Per label: selected posts carrying that label, in value order.
-    let mut selected_sorted: Vec<u32> = selected.to_vec();
-    selected_sorted.sort_unstable();
-    selected_sorted.dedup();
+    violations_threads(mqd_par::configured_threads(), inst, lp, selected)
+}
 
-    for a_idx in 0..inst.num_labels() {
-        let a = LabelId(a_idx as u16);
-        let zs: Vec<u32> = selected_sorted
-            .iter()
-            .copied()
-            .filter(|&z| inst.post(z).has_label(a))
-            .collect();
-        for &i in inst.postings(a) {
-            let t = inst.value(i);
-            // Candidate coverers live within max_lambda of t.
-            let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
-            let hi = zs.partition_point(|&z| inst.value(z) <= t.saturating_add(max_l));
-            let ok = zs[lo..hi]
-                .iter()
-                .any(|&z| (inst.value(z) as i128 - t as i128).abs() <= lp.lambda(inst, z, a) as i128);
-            if !ok {
-                out.push(Violation { post: i, label: a });
+/// [`violations`] with an explicit thread count for the per-label fan-out.
+pub fn violations_threads<L: LambdaProvider + Sync + ?Sized>(
+    threads: usize,
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+) -> Vec<Violation> {
+    let max_l = lp.max_lambda();
+    let per_label = selected_by_label(inst, selected);
+
+    let per: Vec<Vec<Violation>> =
+        mqd_par::par_map_range_coarse_threads(threads, inst.num_labels(), |a_idx| {
+            let a = LabelId(a_idx as u16);
+            let zs = &per_label[a_idx];
+            let mut out = Vec::new();
+            for &i in inst.postings(a) {
+                let t = inst.value(i);
+                // Candidate coverers live within max_lambda of t.
+                let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
+                let hi = zs.partition_point(|&z| inst.value(z) <= t.saturating_add(max_l));
+                let ok = zs[lo..hi].iter().any(|&z| {
+                    (inst.value(z) as i128 - t as i128).abs() <= lp.lambda(inst, z, a) as i128
+                });
+                if !ok {
+                    out.push(Violation { post: i, label: a });
+                }
             }
-        }
-    }
-    out
+            out
+        });
+    per.into_iter().flatten().collect()
 }
 
 /// Whether `selected` lambda-covers the whole instance (Definition 2).
-pub fn is_cover<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L, selected: &[u32]) -> bool {
+pub fn is_cover<L: LambdaProvider + Sync + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+) -> bool {
     violations(inst, lp, selected).is_empty()
 }
 
@@ -133,17 +162,10 @@ pub fn attribution<L: LambdaProvider + ?Sized>(
     selected: &[u32],
 ) -> Vec<Attribution> {
     let max_l = lp.max_lambda();
-    let mut sel: Vec<u32> = selected.to_vec();
-    sel.sort_unstable();
-    sel.dedup();
+    let per_label = selected_by_label(inst, selected);
     let mut out = Vec::with_capacity(inst.num_pairs());
-    for a_idx in 0..inst.num_labels() {
+    for (a_idx, zs) in per_label.iter().enumerate() {
         let a = LabelId(a_idx as u16);
-        let zs: Vec<u32> = sel
-            .iter()
-            .copied()
-            .filter(|&z| inst.post(z).has_label(a))
-            .collect();
         for &i in inst.postings(a) {
             let t = inst.value(i);
             let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
@@ -182,10 +204,10 @@ mod tests {
     fn figure2() -> Instance {
         Instance::from_values(
             vec![
-                (0, vec![0]),      // P1: a
-                (10, vec![0]),     // P2: a
-                (20, vec![0, 1]),  // P3: a, c
-                (30, vec![1]),     // P4: c
+                (0, vec![0]),     // P1: a
+                (10, vec![0]),    // P2: a
+                (20, vec![0, 1]), // P3: a, c
+                (30, vec![1]),    // P4: c
             ],
             2,
         )
@@ -300,6 +322,26 @@ mod tests {
                 .map(|v| (v.post, v.label))
                 .collect();
             assert_eq!(uncovered_attr, viols);
+        }
+    }
+
+    #[test]
+    fn parallel_violations_identical_across_thread_counts() {
+        let items: Vec<(i64, Vec<u16>)> = (0..400)
+            .map(|i| ((i * 13 % 3_000) as i64, vec![(i % 5) as u16]))
+            .collect();
+        let inst = Instance::from_values(items, 5).unwrap();
+        let f = FixedLambda(25);
+        // A deliberately partial selection so violations are non-empty.
+        let sel: Vec<u32> = (0..inst.len() as u32).step_by(9).collect();
+        let seq = violations_threads(1, &inst, &f, &sel);
+        assert!(!seq.is_empty());
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                violations_threads(threads, &inst, &f, &sel),
+                seq,
+                "threads={threads}"
+            );
         }
     }
 

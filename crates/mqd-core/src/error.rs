@@ -43,7 +43,10 @@ impl fmt::Display for MqdError {
                 "OPT state budget exceeded: {patterns} end-patterns > limit {limit}"
             ),
             MqdError::BruteTooLarge { posts, limit } => {
-                write!(f, "brute-force solver limited to {limit} posts, got {posts}")
+                write!(
+                    f,
+                    "brute-force solver limited to {limit} posts, got {posts}"
+                )
             }
         }
     }

@@ -55,8 +55,7 @@ impl CnfFormula {
     pub fn brute_force_sat(&self) -> Option<Vec<bool>> {
         assert!(self.num_vars <= 24, "brute-force SAT capped at 24 vars");
         for mask in 0u32..(1u32 << self.num_vars) {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|v| mask & (1 << v) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|v| mask & (1 << v) != 0).collect();
             if self.satisfied_by(&assignment) {
                 return Some(assignment);
             }
@@ -268,12 +267,7 @@ mod tests {
     #[test]
     fn equal_timestamps_reduce_to_set_cover() {
         // Universe {0..4}; optimal set cover is {S0, S2} (size 2).
-        let sets: Vec<Vec<u16>> = vec![
-            vec![0, 1, 2],
-            vec![1, 3],
-            vec![3, 4],
-            vec![0, 4],
-        ];
+        let sets: Vec<Vec<u16>> = vec![vec![0, 1, 2], vec![1, 3], vec![3, 4], vec![0, 4]];
         let inst = set_cover_to_mqdp(&sets, 5).unwrap();
         assert_eq!(inst.len(), 4);
         // Any lambda works — all posts share t=0.
@@ -297,9 +291,7 @@ mod tests {
             let n_sets = 5usize;
             let sets: Vec<Vec<u16>> = (0..n_sets)
                 .map(|_| {
-                    let mut s: Vec<u16> = (0..n_elems as u16)
-                        .filter(|_| next() % 3 == 0)
-                        .collect();
+                    let mut s: Vec<u16> = (0..n_elems as u16).filter(|_| next() % 3 == 0).collect();
                     if s.is_empty() {
                         s.push((next() % n_elems as u64) as u16);
                     }
@@ -307,8 +299,7 @@ mod tests {
                 })
                 .collect();
             // Restrict the universe to covered elements (see the docs).
-            let covered: std::collections::BTreeSet<u16> =
-                sets.iter().flatten().copied().collect();
+            let covered: std::collections::BTreeSet<u16> = sets.iter().flatten().copied().collect();
             // Brute-force set cover over masks.
             let mut best = usize::MAX;
             for mask in 0u32..(1 << n_sets) {

@@ -83,11 +83,7 @@ impl Instance {
             .into_iter()
             .enumerate()
             .map(|(i, (v, ls))| {
-                Post::new(
-                    PostId(i as u64),
-                    v,
-                    ls.into_iter().map(LabelId).collect(),
-                )
+                Post::new(PostId(i as u64), v, ls.into_iter().map(LabelId).collect())
             })
             .collect();
         Self::from_posts(posts, num_labels)
@@ -210,8 +206,7 @@ impl Instance {
     pub fn slice(&self, min_value: i64, max_value: i64) -> Instance {
         let r = self.window(min_value, max_value);
         let posts = self.posts[r].to_vec();
-        Instance::from_posts(posts, self.num_labels())
-            .expect("slice of a valid instance is valid")
+        Instance::from_posts(posts, self.num_labels()).expect("slice of a valid instance is valid")
     }
 }
 

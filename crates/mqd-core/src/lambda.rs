@@ -102,7 +102,8 @@ impl VariableLambda {
         for post in 0..n as u32 {
             let t = inst.value(post);
             for &a in inst.labels(post) {
-                let w = inst.posting_window(a, t.saturating_sub(lambda0), t.saturating_add(lambda0));
+                let w =
+                    inst.posting_window(a, t.saturating_sub(lambda0), t.saturating_add(lambda0));
                 let ratio = w.len() as f64 / expected_in_window;
                 let lam = (lambda0 as f64 * (1.0 - ratio).exp()).round() as i64;
                 let lam = lam.clamp(0, saturating_e_times(lambda0));
@@ -196,8 +197,7 @@ mod tests {
 
     #[test]
     fn variable_lambda_bounded_by_e_lambda0() {
-        let inst =
-            Instance::from_values(vec![(0, vec![0]), (1_000_000, vec![0])], 1).unwrap();
+        let inst = Instance::from_values(vec![(0, vec![0]), (1_000_000, vec![0])], 1).unwrap();
         let v = VariableLambda::compute(&inst, 60_000);
         for post in 0..2u32 {
             let lam = v.lambda(&inst, post, LabelId(0));

@@ -41,8 +41,8 @@ pub mod coverage;
 mod error;
 pub mod hardness;
 mod instance;
-pub mod metrics;
 mod lambda;
+pub mod metrics;
 mod post;
 mod solution;
 

@@ -115,11 +115,7 @@ pub fn proportionality_l1(inst: &Instance, selected: &[u32]) -> f64 {
     let all: Vec<u32> = (0..inst.len() as u32).collect();
     let input = label_shares(inst, &all);
     let output = label_shares(inst, selected);
-    input
-        .iter()
-        .zip(&output)
-        .map(|(a, b)| (a - b).abs())
-        .sum()
+    input.iter().zip(&output).map(|(a, b)| (a - b).abs()).sum()
 }
 
 #[cfg(test)]
@@ -128,12 +124,7 @@ mod tests {
 
     fn inst() -> Instance {
         Instance::from_values(
-            vec![
-                (0, vec![0]),
-                (10, vec![0]),
-                (20, vec![0, 1]),
-                (30, vec![1]),
-            ],
+            vec![(0, vec![0]), (10, vec![0]), (20, vec![0, 1]), (30, vec![1])],
             2,
         )
         .unwrap()

@@ -75,8 +75,7 @@ mod tests {
 
     #[test]
     fn post_ids_map_back() {
-        let inst =
-            Instance::from_values(vec![(5, vec![0]), (1, vec![0])], 1).unwrap();
+        let inst = Instance::from_values(vec![(5, vec![0]), (1, vec![0])], 1).unwrap();
         let s = Solution::new("test", vec![0, 1]);
         let ids = s.post_ids(&inst);
         // Post with value 1 had input position 1, value 5 had position 0.

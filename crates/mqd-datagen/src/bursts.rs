@@ -4,8 +4,8 @@
 //! which is exactly the regime where Section 6's proportional lambda should
 //! keep more posts than a fixed threshold.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 
 use mqd_core::{LabelId, Post, PostId};
 
@@ -87,8 +87,7 @@ pub fn generate_burst_posts(cfg: &BurstStreamConfig) -> Vec<Post> {
                 .fold(1.0, f64::max);
             let count = sample_poisson(&mut rng, cfg.base_rate * boost);
             for _ in 0..count {
-                let ts = (minute_start + rng.random_range(0..MINUTE_MS))
-                    .min(cfg.duration_ms - 1);
+                let ts = (minute_start + rng.random_range(0..MINUTE_MS)).min(cfg.duration_ms - 1);
                 posts.push(Post::new(PostId(id), ts, vec![LabelId(label)]));
                 id += 1;
             }
@@ -109,15 +108,13 @@ mod tests {
         let in_burst = posts
             .iter()
             .filter(|p| {
-                p.has_label(LabelId(0))
-                    && (20 * MINUTE_MS..30 * MINUTE_MS).contains(&p.value())
+                p.has_label(LabelId(0)) && (20 * MINUTE_MS..30 * MINUTE_MS).contains(&p.value())
             })
             .count();
         let outside = posts
             .iter()
             .filter(|p| {
-                p.has_label(LabelId(0))
-                    && (40 * MINUTE_MS..50 * MINUTE_MS).contains(&p.value())
+                p.has_label(LabelId(0)) && (40 * MINUTE_MS..50 * MINUTE_MS).contains(&p.value())
             })
             .count();
         assert!(

@@ -22,6 +22,6 @@ pub use news::{generate_news, NewsArticle, NewsConfig};
 pub use poisson::sample_poisson;
 pub use profiles::ProfileGenerator;
 pub use tweets::{
-    generate_labeled_posts, generate_tweets, LabeledStreamConfig, Tweet, TweetStreamConfig,
-    DAY_MS, HOUR_MS, MINUTE_MS,
+    generate_labeled_posts, generate_tweets, LabeledStreamConfig, Tweet, TweetStreamConfig, DAY_MS,
+    HOUR_MS, MINUTE_MS,
 };

@@ -4,8 +4,8 @@
 //! generic filler, which is exactly the structure LDA needs to recover the
 //! topics that become queries.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 
 use crate::broad::{BROAD_TOPICS, COMMON_WORDS};
 
@@ -109,11 +109,7 @@ mod tests {
         };
         for a in generate_news(&cfg) {
             let pool = BROAD_TOPICS[a.broad_topic].keywords;
-            let topical = a
-                .text
-                .split(' ')
-                .filter(|w| pool.contains(w))
-                .count() as f64;
+            let topical = a.text.split(' ').filter(|w| pool.contains(w)).count() as f64;
             let total = a.text.split(' ').count() as f64;
             assert!(topical / total > 0.7, "article drifted off topic");
         }

@@ -1,11 +1,11 @@
 //! Poisson sampling (Knuth's method for small means, normal approximation
 //! for large ones) — avoids pulling in `rand_distr` for one distribution.
 
-use rand::RngExt;
+use mqd_rng::RngExt;
 
 /// Samples `Poisson(mean)`. Exact (Knuth) for `mean < 30`, normal
 /// approximation above. `mean <= 0` yields 0.
-pub fn sample_poisson<R: rand::Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+pub fn sample_poisson<R: mqd_rng::Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
     if mean <= 0.0 {
         return 0;
     }
@@ -32,8 +32,8 @@ pub fn sample_poisson<R: rand::Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mqd_rng::rngs::StdRng;
+    use mqd_rng::SeedableRng;
 
     #[test]
     fn zero_and_negative_mean() {

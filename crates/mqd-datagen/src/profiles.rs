@@ -2,8 +2,8 @@
 //! set L, we first randomly pick a broad topic and then randomly pick |L|
 //! topics within the broad topic."
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 
 /// Samples label sets (as topic indices) grouped by broad topic.
 #[derive(Clone, Debug)]
@@ -26,11 +26,8 @@ impl ProfileGenerator {
     /// Samples one label set of `size` topics from a single broad topic, or
     /// `None` if no broad topic holds enough topics.
     pub fn sample(&self, size: usize, rng: &mut StdRng) -> Option<Vec<usize>> {
-        let eligible: Vec<&Vec<usize>> = self
-            .by_broad
-            .iter()
-            .filter(|ts| ts.len() >= size)
-            .collect();
+        let eligible: Vec<&Vec<usize>> =
+            self.by_broad.iter().filter(|ts| ts.len() >= size).collect();
         if eligible.is_empty() {
             return None;
         }

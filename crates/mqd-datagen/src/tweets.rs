@@ -13,8 +13,8 @@
 //!   filler, sentiment words, and a configurable retweet fraction for the
 //!   SimHash stage), used by the end-to-end pipeline examples and tests.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 
 use mqd_core::{LabelId, Post, PostId};
 
@@ -106,8 +106,7 @@ pub fn generate_labeled_posts(cfg: &LabeledStreamConfig) -> Vec<Post> {
 
 /// Weighted sampling of `k` distinct indices from `weights`.
 fn sample_distinct_weighted(rng: &mut StdRng, weights: &[f64], k: usize) -> Vec<usize> {
-    let mut remaining: Vec<(usize, f64)> =
-        weights.iter().copied().enumerate().collect();
+    let mut remaining: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
     let mut chosen = Vec::with_capacity(k);
     for _ in 0..k.min(weights.len()) {
         let total: f64 = remaining.iter().map(|&(_, w)| w).sum();
@@ -173,15 +172,36 @@ pub struct Tweet {
 /// Sentiment-bearing words sprinkled into tweets so the sentiment diversity
 /// dimension is non-degenerate.
 const MOOD_WORDS: &[&str] = &[
-    "great", "love", "win", "amazing", "happy", "awesome", "terrible", "awful", "sad",
-    "crash", "fail", "worry", "crisis", "hope", "proud",
+    "great", "love", "win", "amazing", "happy", "awesome", "terrible", "awful", "sad", "crash",
+    "fail", "worry", "crisis", "hope", "proud",
 ];
 
 /// Off-topic chatter vocabulary (never matches a topic keyword).
 const CHATTER: &[&str] = &[
-    "lunch", "coffee", "weekend", "traffic", "weather", "birthday", "photo", "friends",
-    "morning", "tonight", "watching", "listening", "haha", "lol", "omg", "dinner", "gym",
-    "vacation", "beach", "rain", "sunny", "sleepy", "monday", "friday",
+    "lunch",
+    "coffee",
+    "weekend",
+    "traffic",
+    "weather",
+    "birthday",
+    "photo",
+    "friends",
+    "morning",
+    "tonight",
+    "watching",
+    "listening",
+    "haha",
+    "lol",
+    "omg",
+    "dinner",
+    "gym",
+    "vacation",
+    "beach",
+    "rain",
+    "sunny",
+    "sleepy",
+    "monday",
+    "friday",
 ];
 
 /// Generates a seeded full-text tweet stream, sorted by timestamp.
@@ -344,6 +364,10 @@ mod tests {
         };
         let tweets = generate_tweets(&cfg);
         let rts = tweets.iter().filter(|t| t.text.starts_with("rt ")).count();
-        assert!(rts > tweets.len() / 10, "{rts} retweets of {}", tweets.len());
+        assert!(
+            rts > tweets.len() / 10,
+            "{rts} retweets of {}",
+            tweets.len()
+        );
     }
 }

@@ -270,8 +270,8 @@ mod tests {
 
     #[test]
     fn greedy_and_sweep_bounded_by_brute_on_random() {
-        use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use mqd_rng::rngs::StdRng;
+        use mqd_rng::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..15 {
             let n = rng.random_range(4..12);

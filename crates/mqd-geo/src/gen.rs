@@ -3,8 +3,8 @@
 //! time span — the workload the paper's Section 9 extension targets
 //! ("increasingly, more posts are geotagged").
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 
 use mqd_core::{LabelId, PostId};
 

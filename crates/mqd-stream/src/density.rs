@@ -76,8 +76,7 @@ impl OnlineLambda {
             // Not enough history for a stable baseline.
             return self.lambda0;
         }
-        let density0 =
-            self.total_pairs as f64 / (self.recent.len().max(1) as f64 * elapsed as f64);
+        let density0 = self.total_pairs as f64 / (self.recent.len().max(1) as f64 * elapsed as f64);
         let expected = (density0 * self.window as f64).max(f64::MIN_POSITIVE);
         // Prune lazily on read too, in case this label went quiet.
         let q = &self.recent[a.index()];
@@ -114,9 +113,9 @@ impl AdaptiveInstant {
     /// Processes one post; returns whether it is emitted into the digest.
     pub fn on_post(&mut self, time: i64, labels: &[LabelId]) -> bool {
         self.density.observe(time, labels);
-        let uncovered = labels.iter().any(|&a| {
-            self.cache[a.index()].is_none_or(|(t_lc, lam)| time - t_lc > lam)
-        });
+        let uncovered = labels
+            .iter()
+            .any(|&a| self.cache[a.index()].is_none_or(|(t_lc, lam)| time - t_lc > lam));
         if uncovered {
             for &a in labels {
                 let lam = self.density.lambda_for(a);
@@ -255,12 +254,12 @@ mod tests {
         let mut fixed_kept_burst = 0usize;
 
         let feed = |t: i64,
-                        adaptive: &mut AdaptiveInstant,
-                        in_burst: bool,
-                        fk: &mut usize,
-                        ak: &mut usize,
-                        fixed_last: &mut Option<i64>,
-                        fixed_kept: &mut usize| {
+                    adaptive: &mut AdaptiveInstant,
+                    in_burst: bool,
+                    fk: &mut usize,
+                    ak: &mut usize,
+                    fixed_last: &mut Option<i64>,
+                    fixed_kept: &mut usize| {
             if adaptive.on_post(t, &[L0]) && in_burst {
                 *ak += 1;
             }

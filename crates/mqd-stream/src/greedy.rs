@@ -90,12 +90,7 @@ impl StreamGreedy {
     /// offline `solve_greedy_sc`, which keeps day-scale streams with large
     /// tau windows tractable. Ties break toward the earliest window post,
     /// matching the naive scan-max selection exactly.
-    fn run_window(
-        &mut self,
-        ctx: &StreamContext<'_>,
-        deadline: i64,
-        out: &mut Vec<Emission>,
-    ) {
+    fn run_window(&mut self, ctx: &StreamContext<'_>, deadline: i64, out: &mut Vec<Emission>) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -147,7 +142,12 @@ impl StreamGreedy {
                 if lam < 0 {
                     continue;
                 }
-                let r = list_range(&lists, a.index(), t.saturating_sub(lam), t.saturating_add(lam));
+                let r = list_range(
+                    &lists,
+                    a.index(),
+                    t.saturating_sub(lam),
+                    t.saturating_add(lam),
+                );
                 g += fens[a.index()].count_range(r.start, r.end);
             }
             g
@@ -188,7 +188,12 @@ impl StreamGreedy {
                 if lam < 0 {
                     continue;
                 }
-                let r = list_range(&lists, a.index(), t.saturating_sub(lam), t.saturating_add(lam));
+                let r = list_range(
+                    &lists,
+                    a.index(),
+                    t.saturating_sub(lam),
+                    t.saturating_add(lam),
+                );
                 for lp in r {
                     if fens[a.index()].clear(lp) {
                         remaining -= 1;
@@ -310,11 +315,8 @@ mod tests {
     fn window_greedy_prefers_overlapping_posts() {
         // Within one window the two-label post covers 4 occurrences; greedy
         // must pick it alone.
-        let inst = Instance::from_values(
-            vec![(0, vec![0]), (1, vec![0, 1]), (2, vec![1])],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values(vec![(0, vec![0]), (1, vec![0, 1]), (2, vec![1])], 2).unwrap();
         let f = FixedLambda(5);
         let mut eng = StreamGreedy::new(2, inst.len());
         let res = run_stream(&inst, &f, 5, &mut eng);
@@ -354,12 +356,7 @@ mod tests {
         // Window [0,100]: greedy picks p2@95 (gain 2) before p0/p1; the
         // arrival at t=110 is covered by p2 and must NOT be emitted.
         let inst = Instance::from_values(
-            vec![
-                (0, vec![0]),
-                (5, vec![1]),
-                (95, vec![0, 1]),
-                (110, vec![0]),
-            ],
+            vec![(0, vec![0]), (5, vec![1]), (95, vec![0, 1]), (110, vec![0])],
             2,
         )
         .unwrap();

@@ -14,6 +14,14 @@
 //!
 //! Use [`run_stream`] to replay an [`mqd_core::Instance`] through an engine
 //! and obtain the emitted sub-stream plus delay statistics.
+//!
+//! Scale-out layers (built on `mqd-par` and `std::sync::mpsc` only):
+//!
+//! * [`run_sharded_stream`] — labels partitioned across shard threads, each
+//!   running its own engine behind a bounded channel; merged output keeps
+//!   the per-post delay bound `tau`.
+//! * [`solve_batch_users`] — many users' offline digests solved in parallel
+//!   over one shared read-only instance.
 
 #![warn(missing_docs)]
 
@@ -23,6 +31,7 @@ pub mod greedy;
 pub mod instant;
 pub mod multiuser;
 pub mod scan;
+pub mod shard;
 pub mod simulator;
 pub mod timeline;
 
@@ -30,7 +39,10 @@ pub use density::{AdaptiveEngine, AdaptiveInstant, OnlineLambda};
 pub use engine::{Emission, StreamContext, StreamEngine};
 pub use greedy::StreamGreedy;
 pub use instant::InstantScan;
-pub use multiuser::{MultiUserHub, UserStats};
+pub use multiuser::{
+    solve_batch_users, solve_batch_users_threads, BatchUser, MultiUserHub, UserStats,
+};
 pub use scan::StreamScan;
+pub use shard::{run_sharded_reference, run_sharded_stream, ShardEngineKind};
 pub use simulator::{run_stream, StreamRunResult};
 pub use timeline::{TimelinePost, WindowedTimeline};

@@ -10,8 +10,19 @@
 //!
 //! Equivalence with running [`crate::InstantScan`] independently per user
 //! is covered by tests.
+//!
+//! For **offline** digests (a user opening their timeline and receiving a
+//! diversified recap) the batch solver [`solve_batch_users`] distributes
+//! users across worker threads over one shared read-only [`Instance`]:
+//! each worker builds the user's label-filtered view, runs the sequential
+//! GreedySC on it (no nested parallelism), and maps the digest back to
+//! global post indices. Users are independent, so the output is
+//! byte-identical at any thread count.
 
 use std::collections::HashMap;
+
+use mqd_core::algorithms::solve_greedy_sc_threads;
+use mqd_core::{FixedLambda, Instance, LabelId, Post, PostId};
 
 /// Per-user delivery statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -120,6 +131,74 @@ impl MultiUserHub {
     }
 }
 
+/// One user's digest request: the global labels they subscribe to and
+/// their uniform diversity threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchUser {
+    /// Subscribed global label ids (deduplicated internally; order kept).
+    pub labels: Vec<u16>,
+    /// Uniform threshold on the diversity dimension.
+    pub lambda: i64,
+}
+
+/// Solves one GreedySC digest per user over a shared read-only instance,
+/// distributing users across the configured worker threads. Returns, per
+/// user, the selected **global** post indices (sorted). Byte-identical to
+/// the sequential per-user loop at any thread count.
+pub fn solve_batch_users(inst: &Instance, users: &[BatchUser]) -> Vec<Vec<u32>> {
+    solve_batch_users_threads(mqd_par::configured_threads(), inst, users)
+}
+
+/// [`solve_batch_users`] with an explicit thread count.
+pub fn solve_batch_users_threads(
+    threads: usize,
+    inst: &Instance,
+    users: &[BatchUser],
+) -> Vec<Vec<u32>> {
+    mqd_par::par_map_range_coarse_threads(threads, users.len(), |u| solve_one_user(inst, &users[u]))
+}
+
+/// Builds the user's label-filtered sub-instance and solves it with the
+/// sequential GreedySC (workers must not nest parallelism).
+fn solve_one_user(inst: &Instance, user: &BatchUser) -> Vec<u32> {
+    let mut subscribed = user.labels.clone();
+    subscribed.sort_unstable();
+    subscribed.dedup();
+    // Global label -> dense local id.
+    let local: HashMap<u16, u16> = subscribed
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| (g, i as u16))
+        .collect();
+
+    let mut posts = Vec::new();
+    let mut to_global = Vec::new();
+    for k in 0..inst.len() as u32 {
+        let labels: Vec<LabelId> = inst
+            .labels(k)
+            .iter()
+            .filter_map(|a| local.get(&(a.index() as u16)).map(|&l| LabelId(l)))
+            .collect();
+        if !labels.is_empty() {
+            posts.push(Post::new(PostId(k as u64), inst.value(k), labels));
+            to_global.push(k);
+        }
+    }
+    if posts.is_empty() {
+        return Vec::new();
+    }
+    let sub = Instance::from_posts(posts, subscribed.len())
+        .expect("local labels are dense by construction");
+    let sol = solve_greedy_sc_threads(1, &sub, &FixedLambda(user.lambda));
+    let mut out: Vec<u32> = sol
+        .selected
+        .iter()
+        .map(|&i| to_global[i as usize])
+        .collect();
+    out.sort_unstable();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +223,13 @@ mod tests {
         assert_eq!(hub.on_post(0, &[7]), vec![0]);
         assert!(hub.on_post(5, &[7]).is_empty()); // within lambda
         assert_eq!(hub.on_post(11, &[7]), vec![0]); // beyond lambda
-        assert_eq!(hub.stats()[0], UserStats { matched: 3, delivered: 2 });
+        assert_eq!(
+            hub.stats()[0],
+            UserStats {
+                matched: 3,
+                delivered: 2
+            }
+        );
     }
 
     #[test]
@@ -160,8 +245,8 @@ mod tests {
     /// The hub must behave exactly like one InstantScan per user.
     #[test]
     fn equivalent_to_per_user_instant_engines() {
-        use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use mqd_rng::rngs::StdRng;
+        use mqd_rng::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
         let num_topics = 6u32;
         let users: Vec<Vec<u32>> = (0..5)
@@ -228,5 +313,109 @@ mod tests {
         let mut hub = MultiUserHub::new(vec![], 5);
         assert!(hub.on_post(0, &[1]).is_empty());
         assert_eq!(hub.num_users(), 0);
+    }
+
+    fn batch_fixture() -> (Instance, Vec<BatchUser>) {
+        use mqd_rng::rngs::StdRng;
+        use mqd_rng::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut t = 0i64;
+        let items: Vec<(i64, Vec<u16>)> = (0..300)
+            .map(|_| {
+                t += rng.random_range(0..30i64);
+                let mut ls = vec![rng.random_range(0..8u16)];
+                if rng.random::<f64>() < 0.3 {
+                    ls.push(rng.random_range(0..8u16));
+                    ls.sort_unstable();
+                    ls.dedup();
+                }
+                (t, ls)
+            })
+            .collect();
+        let inst = Instance::from_values(items, 8).unwrap();
+        let users: Vec<BatchUser> = (0..12)
+            .map(|_| {
+                let k = rng.random_range(1..4usize);
+                BatchUser {
+                    labels: (0..k).map(|_| rng.random_range(0..8u16)).collect(),
+                    lambda: rng.random_range(10..120i64),
+                }
+            })
+            .collect();
+        (inst, users)
+    }
+
+    #[test]
+    fn batch_solver_identical_across_thread_counts() {
+        let (inst, users) = batch_fixture();
+        let seq = solve_batch_users_threads(1, &inst, &users);
+        assert_eq!(seq.len(), users.len());
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                solve_batch_users_threads(threads, &inst, &users),
+                seq,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_digests_cover_each_users_view() {
+        use mqd_core::coverage;
+        let (inst, users) = batch_fixture();
+        let digests = solve_batch_users_threads(2, &inst, &users);
+        for (user, digest) in users.iter().zip(&digests) {
+            // Rebuild the user's filtered view and check the digest (mapped
+            // back to local indices) is a lambda-cover of it.
+            let mut subscribed = user.labels.clone();
+            subscribed.sort_unstable();
+            subscribed.dedup();
+            let mut posts = Vec::new();
+            let mut to_global = Vec::new();
+            for k in 0..inst.len() as u32 {
+                let labels: Vec<LabelId> = inst
+                    .labels(k)
+                    .iter()
+                    .filter_map(|a| {
+                        subscribed
+                            .iter()
+                            .position(|&g| g as usize == a.index())
+                            .map(|l| LabelId(l as u16))
+                    })
+                    .collect();
+                if !labels.is_empty() {
+                    posts.push(Post::new(PostId(k as u64), inst.value(k), labels));
+                    to_global.push(k);
+                }
+            }
+            if posts.is_empty() {
+                assert!(digest.is_empty());
+                continue;
+            }
+            let sub = Instance::from_posts(posts, subscribed.len()).unwrap();
+            let local_sel: Vec<u32> = digest
+                .iter()
+                .map(|g| to_global.iter().position(|x| x == g).unwrap() as u32)
+                .collect();
+            assert!(coverage::is_cover(
+                &sub,
+                &FixedLambda(user.lambda),
+                &local_sel
+            ));
+        }
+    }
+
+    #[test]
+    fn batch_user_with_unused_labels_gets_empty_digest() {
+        let inst = Instance::from_values(vec![(0, vec![0]), (5, vec![1])], 2).unwrap();
+        let users = vec![BatchUser {
+            labels: vec![7],
+            lambda: 10,
+        }];
+        // Label 7 never occurs: the filtered view is empty.
+        assert_eq!(
+            solve_batch_users_threads(2, &inst, &users),
+            vec![Vec::<u32>::new()]
+        );
     }
 }

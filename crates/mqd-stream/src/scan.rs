@@ -77,13 +77,7 @@ impl StreamScan {
     }
 
     /// Emit the latest pending post of label `a` at `emit_time`.
-    fn fire(
-        &mut self,
-        ctx: &StreamContext<'_>,
-        a: usize,
-        emit_time: i64,
-        out: &mut Vec<Emission>,
-    ) {
+    fn fire(&mut self, ctx: &StreamContext<'_>, a: usize, emit_time: i64, out: &mut Vec<Emission>) {
         let Some(&z) = self.states[a].pending.back() else {
             return;
         };
@@ -206,11 +200,8 @@ mod tests {
     fn plus_variant_shares_picks_across_labels() {
         // A post carrying both labels is emitted for label 0; StreamScan+
         // must let it satisfy label 1's pending group too.
-        let inst = Instance::from_values(
-            vec![(0, vec![0, 1]), (1, vec![0]), (2, vec![1])],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values(vec![(0, vec![0, 1]), (1, vec![0]), (2, vec![1])], 2).unwrap();
         let f = FixedLambda(10);
         let mut base = StreamScan::new(2, inst.len());
         let mut plus = StreamScan::new_plus(2, inst.len());

@@ -1,0 +1,365 @@
+//! Sharded streaming: partition labels across worker shards, run one
+//! streaming engine per shard behind a bounded channel, and merge the
+//! emitted sub-streams in emission order.
+//!
+//! The MQDP coverage relation never crosses labels — a post covers an
+//! occurrence `⟨P_i, a⟩` only via label `a` — so partitioning *labels*
+//! across shards decomposes the problem exactly: the union of per-shard
+//! lambda-covers is a lambda-cover of the full instance, and each shard's
+//! engine enforces the delay budget `tau` for the occurrences it owns.
+//! Label `a` goes to shard `a.index() % shards`; a post carrying labels
+//! from several shards is fed to each of them (and deduplicated at merge,
+//! keeping its earliest emission, which can only tighten the delay).
+//!
+//! Mechanically this mirrors a real ingestion pipeline: the caller's
+//! thread is the feeder, pushing arrivals in timestamp order into one
+//! bounded [`std::sync::mpsc::sync_channel`] per shard (providing
+//! backpressure), while each shard thread replays the simulator's event
+//! discipline — clock advance to `t - 1`, then the arrival — against its
+//! label-filtered sub-instance, and flushes on channel close.
+//!
+//! Sharding is defined for a **uniform** threshold (`FixedLambda`):
+//! variable per-post thresholds (Section 6) are computed against a
+//! concrete instance and would not survive the per-shard re-indexing.
+//!
+//! Determinism: each shard consumes the same arrival sequence no matter
+//! how threads interleave (one ordered channel per shard), so the merged
+//! output is byte-identical across runs and shard/thread schedules; with
+//! `shards = 1` it equals the unsharded [`run_stream`] of the same engine.
+
+use std::sync::mpsc::sync_channel;
+
+use mqd_core::{FixedLambda, Instance, LabelId, Post, PostId};
+
+use crate::engine::{Emission, StreamContext, StreamEngine};
+use crate::greedy::StreamGreedy;
+use crate::scan::StreamScan;
+use crate::simulator::StreamRunResult;
+
+/// Bounded per-shard channel depth: enough to hide scheduling jitter,
+/// small enough to give real backpressure on a day-scale replay.
+const CHANNEL_DEPTH: usize = 1024;
+
+/// Which engine each shard runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardEngineKind {
+    /// Per-label pending groups (Section 5.1).
+    Scan,
+    /// StreamScan+ — Scan with cross-label cache checks.
+    ScanPlus,
+    /// Windowed greedy set cover (Section 5.2).
+    Greedy,
+    /// StreamGreedySC+ — greedy with the extended window.
+    GreedyPlus,
+}
+
+impl ShardEngineKind {
+    fn build(self, num_labels: usize, capacity: usize) -> Box<dyn StreamEngine> {
+        match self {
+            ShardEngineKind::Scan => Box::new(StreamScan::new(num_labels, capacity)),
+            ShardEngineKind::ScanPlus => Box::new(StreamScan::new_plus(num_labels, capacity)),
+            ShardEngineKind::Greedy => Box::new(StreamGreedy::new(num_labels, capacity)),
+            ShardEngineKind::GreedyPlus => Box::new(StreamGreedy::new_plus(num_labels, capacity)),
+        }
+    }
+
+    fn merged_name(self) -> &'static str {
+        match self {
+            ShardEngineKind::Scan => "Sharded(StreamScan)",
+            ShardEngineKind::ScanPlus => "Sharded(StreamScan+)",
+            ShardEngineKind::Greedy => "Sharded(StreamGreedySC)",
+            ShardEngineKind::GreedyPlus => "Sharded(StreamGreedySC+)",
+        }
+    }
+}
+
+/// One shard's label-filtered view of the instance.
+struct Shard {
+    /// Sub-instance over the posts carrying at least one owned label, with
+    /// owned labels re-indexed densely.
+    inst: Instance,
+    /// Sub-instance post index -> global post index.
+    to_global: Vec<u32>,
+    /// Global post index -> sub-instance post index (or `u32::MAX`).
+    to_local: Vec<u32>,
+}
+
+/// Splits `inst` into `shards` label-partitioned sub-instances. Shards that
+/// own no occurrences still appear (empty) so indices stay aligned.
+fn build_shards(inst: &Instance, shards: usize) -> Vec<Shard> {
+    // Global label -> (owning shard, dense local label id).
+    let num_labels = inst.num_labels();
+    let mut local_label = vec![0u16; num_labels];
+    let mut shard_labels = vec![0usize; shards];
+    for (a, local) in local_label.iter_mut().enumerate() {
+        let s = a % shards;
+        *local = shard_labels[s] as u16;
+        shard_labels[s] += 1;
+    }
+
+    let mut posts: Vec<Vec<Post>> = vec![Vec::new(); shards];
+    let mut to_global: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    let mut to_local: Vec<Vec<u32>> = vec![vec![u32::MAX; inst.len()]; shards];
+    for k in 0..inst.len() as u32 {
+        let t = inst.value(k);
+        // Labels a post carries in each shard (labels are sorted, and
+        // `a % shards` preserves relative order within a shard, so each
+        // local label list stays sorted).
+        let mut per_shard: Vec<Vec<LabelId>> = vec![Vec::new(); shards];
+        for &a in inst.labels(k) {
+            per_shard[a.index() % shards].push(LabelId(local_label[a.index()]));
+        }
+        for (s, labels) in per_shard.into_iter().enumerate() {
+            if labels.is_empty() {
+                continue;
+            }
+            to_local[s][k as usize] = posts[s].len() as u32;
+            to_global[s].push(k);
+            posts[s].push(Post::new(PostId(k as u64), t, labels));
+        }
+    }
+
+    posts
+        .into_iter()
+        .zip(to_global)
+        .zip(to_local)
+        .enumerate()
+        .map(|(s, ((p, tg), tl))| Shard {
+            inst: Instance::from_posts(p, shard_labels[s].max(1))
+                .expect("shard labels are dense by construction"),
+            to_global: tg,
+            to_local: tl,
+        })
+        .collect()
+}
+
+/// Merges per-shard emissions (already mapped to global post indices):
+/// dedup posts keeping each post's earliest emission, then order by
+/// `(emit_time, post)`.
+fn merge_emissions(mut all: Vec<Emission>) -> Vec<Emission> {
+    all.sort_unstable_by_key(|e| (e.post, e.emit_time));
+    all.dedup_by_key(|e| e.post);
+    all.sort_unstable_by_key(|e| (e.emit_time, e.post));
+    all
+}
+
+fn result_from(
+    inst: &Instance,
+    kind: ShardEngineKind,
+    emissions: Vec<Emission>,
+) -> StreamRunResult {
+    let mut selected: Vec<u32> = emissions.iter().map(|e| e.post).collect();
+    selected.sort_unstable();
+    selected.dedup();
+    let max_delay = emissions.iter().map(|e| e.delay(inst)).max().unwrap_or(0);
+    StreamRunResult {
+        algorithm: kind.merged_name(),
+        emissions,
+        selected,
+        max_delay,
+    }
+}
+
+/// Replays one shard's arrival sequence through its engine; `arrivals` are
+/// sub-instance post indices in timestamp order. Returns emissions with
+/// **global** post indices.
+fn replay_shard(
+    shard: &Shard,
+    kind: ShardEngineKind,
+    lambda: i64,
+    tau: i64,
+    arrivals: impl IntoIterator<Item = u32>,
+) -> Vec<Emission> {
+    let lp = FixedLambda(lambda);
+    let ctx = StreamContext::new(&shard.inst, &lp, tau);
+    let mut engine = kind.build(shard.inst.num_labels(), shard.inst.len());
+    let mut out = Vec::new();
+    for local in arrivals {
+        let t = shard.inst.value(local);
+        engine.on_time(&ctx, t.saturating_sub(1), &mut out);
+        engine.on_arrival(&ctx, local, &mut out);
+    }
+    engine.flush(&ctx, &mut out);
+    for e in &mut out {
+        e.post = shard.to_global[e.post as usize];
+    }
+    out
+}
+
+/// Runs `inst` through `shards` parallel shard threads, each owning the
+/// labels `a` with `a.index() % shards == s` and running `kind` with
+/// uniform threshold `lambda` and delay budget `tau`. The caller's thread
+/// feeds arrivals in timestamp order through bounded channels. The merged
+/// result preserves the per-post delay bound `tau` and is byte-identical
+/// to [`run_sharded_reference`] at any shard count.
+pub fn run_sharded_stream(
+    inst: &Instance,
+    lambda: i64,
+    tau: i64,
+    shards: usize,
+    kind: ShardEngineKind,
+) -> StreamRunResult {
+    let shards = shards.max(1).min(inst.num_labels().max(1));
+    let built = build_shards(inst, shards);
+    if shards == 1 {
+        let arrivals: Vec<u32> = (0..built[0].inst.len() as u32).collect();
+        let emissions = merge_emissions(replay_shard(&built[0], kind, lambda, tau, arrivals));
+        return result_from(inst, kind, emissions);
+    }
+
+    let mut all: Vec<Emission> = Vec::new();
+    std::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in &built {
+            let (tx, rx) = sync_channel::<u32>(CHANNEL_DEPTH);
+            senders.push(tx);
+            handles.push(s.spawn(move || replay_shard(shard, kind, lambda, tau, rx)));
+        }
+        // Feeder: global timestamp order; a post goes to every shard that
+        // owns one of its labels.
+        for k in 0..inst.len() as u32 {
+            for (s_idx, shard) in built.iter().enumerate() {
+                let local = shard.to_local[k as usize];
+                if local != u32::MAX {
+                    senders[s_idx]
+                        .send(local)
+                        .expect("shard thread hung up early");
+                }
+            }
+        }
+        drop(senders); // close channels -> shards flush and return
+        for h in handles {
+            all.extend(h.join().expect("shard thread panicked"));
+        }
+    });
+    result_from(inst, kind, merge_emissions(all))
+}
+
+/// Sequential reference for [`run_sharded_stream`]: identical shard
+/// decomposition and merge, no threads or channels. Used by the
+/// equivalence tests and available for debugging.
+pub fn run_sharded_reference(
+    inst: &Instance,
+    lambda: i64,
+    tau: i64,
+    shards: usize,
+    kind: ShardEngineKind,
+) -> StreamRunResult {
+    let shards = shards.max(1).min(inst.num_labels().max(1));
+    let built = build_shards(inst, shards);
+    let mut all = Vec::new();
+    for shard in &built {
+        let arrivals: Vec<u32> = (0..shard.inst.len() as u32).collect();
+        all.extend(replay_shard(shard, kind, lambda, tau, arrivals));
+    }
+    result_from(inst, kind, merge_emissions(all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::run_stream;
+    use mqd_core::coverage;
+
+    fn instance(seed: u64, n: usize, labels: usize) -> Instance {
+        // Simple deterministic LCG-driven instance, strictly time-sorted.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = 0i64;
+        let items: Vec<(i64, Vec<u16>)> = (0..n)
+            .map(|_| {
+                t += (next() % 40) as i64;
+                let mut ls = vec![(next() % labels as u64) as u16];
+                if next() % 3 == 0 {
+                    ls.push((next() % labels as u64) as u16);
+                    ls.sort_unstable();
+                    ls.dedup();
+                }
+                (t, ls)
+            })
+            .collect();
+        Instance::from_values(items, labels).unwrap()
+    }
+
+    #[test]
+    fn single_shard_equals_unsharded_run() {
+        let inst = instance(1, 150, 5);
+        let (lambda, tau) = (60, 45);
+        for (kind, mk) in [
+            (ShardEngineKind::Scan, 0),
+            (ShardEngineKind::ScanPlus, 1),
+            (ShardEngineKind::Greedy, 2),
+            (ShardEngineKind::GreedyPlus, 3),
+        ] {
+            let sharded = run_sharded_stream(&inst, lambda, tau, 1, kind);
+            let mut engine: Box<dyn StreamEngine> = match mk {
+                0 => Box::new(StreamScan::new(5, inst.len())),
+                1 => Box::new(StreamScan::new_plus(5, inst.len())),
+                2 => Box::new(StreamGreedy::new(5, inst.len())),
+                _ => Box::new(StreamGreedy::new_plus(5, inst.len())),
+            };
+            let plain = run_stream(&inst, &FixedLambda(lambda), tau, engine.as_mut());
+            assert_eq!(sharded.selected, plain.selected, "{kind:?}");
+            assert_eq!(sharded.max_delay, plain.max_delay, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_reference_and_covers() {
+        let inst = instance(7, 200, 6);
+        let (lambda, tau) = (80, 50);
+        let f = FixedLambda(lambda);
+        for kind in [
+            ShardEngineKind::Scan,
+            ShardEngineKind::ScanPlus,
+            ShardEngineKind::Greedy,
+            ShardEngineKind::GreedyPlus,
+        ] {
+            for shards in [1usize, 2, 3, 6, 16] {
+                let par = run_sharded_stream(&inst, lambda, tau, shards, kind);
+                let seq = run_sharded_reference(&inst, lambda, tau, shards, kind);
+                assert_eq!(par.selected, seq.selected, "{kind:?} shards={shards}");
+                assert_eq!(par.emissions, seq.emissions, "{kind:?} shards={shards}");
+                assert!(
+                    coverage::is_cover(&inst, &f, &par.selected),
+                    "{kind:?} shards={shards} non-cover"
+                );
+                assert!(
+                    par.max_delay <= tau,
+                    "{kind:?} shards={shards}: delay {} > tau {tau}",
+                    par.max_delay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delay_bound_holds_at_tau_zero() {
+        let inst = instance(3, 120, 4);
+        let res = run_sharded_stream(&inst, 50, 0, 4, ShardEngineKind::Scan);
+        assert_eq!(res.max_delay, 0);
+        assert!(coverage::is_cover(&inst, &FixedLambda(50), &res.selected));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_values(Vec::<(i64, Vec<u16>)>::new(), 3).unwrap();
+        let res = run_sharded_stream(&inst, 10, 5, 4, ShardEngineKind::ScanPlus);
+        assert!(res.selected.is_empty());
+        assert_eq!(res.max_delay, 0);
+    }
+
+    #[test]
+    fn more_shards_than_labels_is_clamped() {
+        let inst = instance(9, 60, 2);
+        let a = run_sharded_stream(&inst, 40, 30, 64, ShardEngineKind::Greedy);
+        let b = run_sharded_stream(&inst, 40, 30, 2, ShardEngineKind::Greedy);
+        assert_eq!(a.selected, b.selected);
+    }
+}

@@ -31,7 +31,7 @@ impl StreamRunResult {
     }
 
     /// Whether the emitted sub-stream lambda-covers the whole input.
-    pub fn is_cover<L: LambdaProvider + ?Sized>(&self, inst: &Instance, lp: &L) -> bool {
+    pub fn is_cover<L: LambdaProvider + Sync + ?Sized>(&self, inst: &Instance, lp: &L) -> bool {
         coverage::is_cover(inst, lp, &self.selected)
     }
 }

@@ -133,11 +133,8 @@ mod tests {
         assert!(!digest.is_empty());
         assert!(digest.len() < tl.len());
         // Verify against a freshly built instance of the window.
-        let inst = Instance::from_values(
-            (0..50).map(|t| (t as i64, vec![(t % 2) as u16])),
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_values((0..50).map(|t| (t as i64, vec![(t % 2) as u16])), 2).unwrap();
         let selected: Vec<u32> = digest
             .iter()
             .map(|p| inst.window(p.time, p.time).start as u32)

@@ -106,11 +106,7 @@ impl RtIndex {
     /// documents were dropped. Doc ids remain valid for the survivors.
     pub fn evict_before(&mut self, cutoff: i64) -> usize {
         let cut_key = self.segment_key(cutoff);
-        let keys: Vec<i64> = self
-            .segments
-            .range(..cut_key)
-            .map(|(&k, _)| k)
-            .collect();
+        let keys: Vec<i64> = self.segments.range(..cut_key).map(|(&k, _)| k).collect();
         let mut dropped = 0;
         for k in keys {
             if let Some(seg) = self.segments.remove(&k) {
@@ -142,7 +138,10 @@ mod tests {
     fn range_search_matches_any_keyword() {
         let idx = sample();
         assert_eq!(idx.search(&kws(&["obama"]), 0, 300), vec![0, 2]);
-        assert_eq!(idx.search(&kws(&["obama", "senate"]), 0, 300), vec![0, 1, 2]);
+        assert_eq!(
+            idx.search(&kws(&["obama", "senate"]), 0, 300),
+            vec![0, 1, 2]
+        );
         assert_eq!(idx.search(&kws(&["obama"]), 100, 300), vec![2]);
         assert!(idx.search(&kws(&["obama"]), 300, 400).is_empty());
         assert!(idx.search(&kws(&["missing"]), 0, 300).is_empty());

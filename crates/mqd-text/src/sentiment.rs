@@ -17,28 +17,115 @@ const NEGATORS: &[&str] = &["never", "cannot", "cant", "dont", "wont", "isnt", "
 
 /// (word, valence) pairs; valence in [-3, 3] following common lexica.
 const LEXICON: &[(&str, i8)] = &[
-    ("abandon", -2), ("abuse", -3), ("amazing", 3), ("angry", -2), ("attack", -2),
-    ("awesome", 3), ("awful", -3), ("bad", -2), ("beautiful", 3), ("best", 3),
-    ("blame", -2), ("boom", 2), ("boost", 2), ("breakthrough", 3), ("brilliant", 3),
-    ("broken", -2), ("celebrate", 3), ("chaos", -2), ("cheer", 2), ("collapse", -3),
-    ("crash", -3), ("crisis", -3), ("cut", -1), ("damage", -2), ("danger", -2),
-    ("dead", -3), ("deal", 1), ("death", -3), ("decline", -2), ("defeat", -2),
-    ("delight", 3), ("disaster", -3), ("doubt", -1), ("drop", -1), ("enjoy", 2),
-    ("excellent", 3), ("excited", 2), ("fail", -2), ("failure", -2), ("fall", -1),
-    ("fantastic", 3), ("fear", -2), ("fine", 1), ("fraud", -3), ("gain", 2),
-    ("glad", 2), ("good", 2), ("great", 3), ("grow", 2), ("growth", 2),
-    ("happy", 3), ("hate", -3), ("hero", 2), ("hope", 2), ("hurt", -2),
-    ("improve", 2), ("inspire", 2), ("joy", 3), ("kill", -3), ("lose", -2),
-    ("loss", -2), ("love", 3), ("lucky", 2), ("miss", -1), ("murder", -3),
-    ("nice", 2), ("panic", -3), ("peace", 2), ("perfect", 3), ("plunge", -3),
-    ("poor", -2), ("praise", 2), ("problem", -2), ("profit", 2), ("progress", 2),
-    ("promise", 1), ("protest", -1), ("proud", 2), ("rally", 2), ("rebound", 2),
-    ("record", 1), ("recover", 2), ("rise", 1), ("risk", -1), ("sad", -2),
-    ("scandal", -3), ("scare", -2), ("slump", -2), ("smile", 2), ("strong", 2),
-    ("stunning", 3), ("succeed", 3), ("success", 3), ("support", 2), ("surge", 2),
-    ("terrible", -3), ("threat", -2), ("tragedy", -3), ("trouble", -2), ("victory", 3),
-    ("violence", -3), ("war", -2), ("weak", -1), ("welcome", 2), ("win", 3),
-    ("wonderful", 3), ("worry", -2), ("worst", -3), ("wrong", -2),
+    ("abandon", -2),
+    ("abuse", -3),
+    ("amazing", 3),
+    ("angry", -2),
+    ("attack", -2),
+    ("awesome", 3),
+    ("awful", -3),
+    ("bad", -2),
+    ("beautiful", 3),
+    ("best", 3),
+    ("blame", -2),
+    ("boom", 2),
+    ("boost", 2),
+    ("breakthrough", 3),
+    ("brilliant", 3),
+    ("broken", -2),
+    ("celebrate", 3),
+    ("chaos", -2),
+    ("cheer", 2),
+    ("collapse", -3),
+    ("crash", -3),
+    ("crisis", -3),
+    ("cut", -1),
+    ("damage", -2),
+    ("danger", -2),
+    ("dead", -3),
+    ("deal", 1),
+    ("death", -3),
+    ("decline", -2),
+    ("defeat", -2),
+    ("delight", 3),
+    ("disaster", -3),
+    ("doubt", -1),
+    ("drop", -1),
+    ("enjoy", 2),
+    ("excellent", 3),
+    ("excited", 2),
+    ("fail", -2),
+    ("failure", -2),
+    ("fall", -1),
+    ("fantastic", 3),
+    ("fear", -2),
+    ("fine", 1),
+    ("fraud", -3),
+    ("gain", 2),
+    ("glad", 2),
+    ("good", 2),
+    ("great", 3),
+    ("grow", 2),
+    ("growth", 2),
+    ("happy", 3),
+    ("hate", -3),
+    ("hero", 2),
+    ("hope", 2),
+    ("hurt", -2),
+    ("improve", 2),
+    ("inspire", 2),
+    ("joy", 3),
+    ("kill", -3),
+    ("lose", -2),
+    ("loss", -2),
+    ("love", 3),
+    ("lucky", 2),
+    ("miss", -1),
+    ("murder", -3),
+    ("nice", 2),
+    ("panic", -3),
+    ("peace", 2),
+    ("perfect", 3),
+    ("plunge", -3),
+    ("poor", -2),
+    ("praise", 2),
+    ("problem", -2),
+    ("profit", 2),
+    ("progress", 2),
+    ("promise", 1),
+    ("protest", -1),
+    ("proud", 2),
+    ("rally", 2),
+    ("rebound", 2),
+    ("record", 1),
+    ("recover", 2),
+    ("rise", 1),
+    ("risk", -1),
+    ("sad", -2),
+    ("scandal", -3),
+    ("scare", -2),
+    ("slump", -2),
+    ("smile", 2),
+    ("strong", 2),
+    ("stunning", 3),
+    ("succeed", 3),
+    ("success", 3),
+    ("support", 2),
+    ("surge", 2),
+    ("terrible", -3),
+    ("threat", -2),
+    ("tragedy", -3),
+    ("trouble", -2),
+    ("victory", 3),
+    ("violence", -3),
+    ("war", -2),
+    ("weak", -1),
+    ("welcome", 2),
+    ("win", 3),
+    ("wonderful", 3),
+    ("worry", -2),
+    ("worst", -3),
+    ("wrong", -2),
 ];
 
 /// A sentiment scorer over the built-in lexicon (optionally extended).

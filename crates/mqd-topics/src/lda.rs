@@ -5,8 +5,8 @@
 //! is the Mallet substitute: a standard collapsed Gibbs sampler
 //! (Griffiths & Steyvers) over interned token sequences.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
 
 /// LDA hyper-parameters.
 #[derive(Clone, Copy, Debug)]

@@ -50,7 +50,10 @@ pub fn extract_topics(
 /// Drops topics whose kept probability mass falls below `min_mass`,
 /// mimicking the manual "too ambiguous" filtering of Section 7.1.
 pub fn filter_ambiguous(topics: Vec<Topic>, min_mass: f64) -> Vec<Topic> {
-    topics.into_iter().filter(|t| t.kept_mass() >= min_mass).collect()
+    topics
+        .into_iter()
+        .filter(|t| t.kept_mass() >= min_mass)
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,17 +91,13 @@ mod tests {
         let (model, vocab) = model_and_vocab();
         let topics = extract_topics(&model, &vocab, 5);
         assert_eq!(topics.len(), 2);
-        let all: Vec<&str> = topics[0]
-            .keywords
-            .iter()
-            .map(|(w, _)| w.as_str())
-            .collect();
+        let all: Vec<&str> = topics[0].keywords.iter().map(|(w, _)| w.as_str()).collect();
         // One coherent cluster per topic.
         let sporty = all.contains(&"golf");
         for (w, weight) in &topics[0].keywords {
             assert!(*weight > 0.0);
-            let is_sport = ["golf", "masters", "tiger", "woods", "championship"]
-                .contains(&w.as_str());
+            let is_sport =
+                ["golf", "masters", "tiger", "woods", "championship"].contains(&w.as_str());
             assert_eq!(is_sport, sporty, "mixed topic: {all:?}");
         }
     }

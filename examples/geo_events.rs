@@ -7,8 +7,7 @@
 //! ```
 
 use mqdiv::geo::{
-    generate_geo_posts, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda,
-    GeoStreamConfig,
+    generate_geo_posts, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda, GeoStreamConfig,
 };
 
 fn main() {

@@ -46,8 +46,12 @@ fn main() {
     let mut instant = InstantScan::new(3);
     let r = run_stream(&inst, &lambda, 0, &mut instant);
     assert!(r.is_cover(&inst, &lambda));
-    println!("{:<18} {:>8} {:>12.1}", "Instant (tau=0)", r.size(),
-        r.max_delay as f64 / 1000.0);
+    println!(
+        "{:<18} {:>8} {:>12.1}",
+        "Instant (tau=0)",
+        r.size(),
+        r.max_delay as f64 / 1000.0
+    );
 
     // Delayed engines at increasing tau: fewer posts, more delay.
     for tau_s in [15i64, 60, 120] {

@@ -25,7 +25,10 @@ fn main() {
         }],
         seed: 99,
     });
-    println!("global stream: {} posts (burst at minute 60-75)", posts.len());
+    println!(
+        "global stream: {} posts (burst at minute 60-75)",
+        posts.len()
+    );
 
     // 1. Fan-out: 5 users, some following topic 0.
     let mut hub = MultiUserHub::new(
@@ -76,7 +79,11 @@ fn main() {
         digest.len()
     );
     for p in digest.iter().take(10) {
-        println!("  [minute {:>5.1}] post #{}", p.time as f64 / MINUTE_MS as f64, p.id);
+        println!(
+            "  [minute {:>5.1}] post #{}",
+            p.time as f64 / MINUTE_MS as f64,
+            p.id
+        );
     }
     if digest.len() > 10 {
         println!("  ... and {} more", digest.len() - 10);

@@ -65,7 +65,10 @@ fn main() {
         .map(|&t| topics[t].keyword_strings())
         .collect();
     for (i, &t) in profile.iter().enumerate() {
-        println!("  L{i}: topic #{t} {:?}", &queries[i][..queries[i].len().min(5)]);
+        println!(
+            "  L{i}: topic #{t} {:?}",
+            &queries[i][..queries[i].len().min(5)]
+        );
     }
 
     // 4. Tweet stream + SimHash near-duplicate elimination.
@@ -103,8 +106,11 @@ fn main() {
         }
     }
     let inst = Instance::from_posts(posts, 3).expect("valid");
-    println!("matched: {} posts ({:.1}/min)", inst.len(),
-        inst.len() as f64 / 30.0);
+    println!(
+        "matched: {} posts ({:.1}/min)",
+        inst.len(),
+        inst.len() as f64 / 30.0
+    );
 
     let lambda = FixedLambda(2 * MINUTE_MS);
     let mut engine = StreamScan::new_plus(3, inst.len());

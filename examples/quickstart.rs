@@ -32,8 +32,12 @@ fn main() {
     .expect("valid instance");
     let lambda = FixedLambda(10);
 
-    println!("Instance: {} posts, {} labels, overlap rate {:.2}",
-        inst.len(), inst.num_labels(), inst.overlap_rate());
+    println!(
+        "Instance: {} posts, {} labels, overlap rate {:.2}",
+        inst.len(),
+        inst.num_labels(),
+        inst.overlap_rate()
+    );
     println!("\nOffline MQDP (Section 4):");
     let opt = solve_opt(&inst, 10, &OptConfig::default()).expect("small instance");
     show(&inst, &opt);

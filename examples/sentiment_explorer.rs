@@ -12,8 +12,9 @@
 //! ```
 
 use mqdiv::core::algorithms::solve_greedy_sc;
-use mqdiv::core::{coverage, FixedLambda, Instance, LabelId, Post, PostId, VariableLambda,
-    SENTIMENT_SCALE};
+use mqdiv::core::{
+    coverage, FixedLambda, Instance, LabelId, Post, PostId, VariableLambda, SENTIMENT_SCALE,
+};
 use mqdiv::datagen::{generate_tweets, TweetStreamConfig, MINUTE_MS};
 use mqdiv::text::{KeywordMatcher, SentimentScorer};
 
@@ -74,8 +75,10 @@ fn main() {
     }
     let inst = Instance::from_posts(posts, 1).expect("valid");
     println!("matched {} economy posts", inst.len());
-    println!("full-set sentiment histogram     {:?}",
-        histogram(&inst, &(0..inst.len() as u32).collect::<Vec<_>>()));
+    println!(
+        "full-set sentiment histogram     {:?}",
+        histogram(&inst, &(0..inst.len() as u32).collect::<Vec<_>>())
+    );
 
     // Fixed lambda: uniform coverage of the polarity axis.
     let lam0 = SENTIMENT_SCALE / 5; // 0.2 polarity units

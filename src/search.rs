@@ -106,11 +106,7 @@ impl DiversifiedSearch {
         let posts: Vec<Post> = doc_labels
             .iter()
             .map(|(&doc, labels)| {
-                Post::new(
-                    PostId(doc as u64),
-                    self.index.doc_time(doc),
-                    labels.clone(),
-                )
+                Post::new(PostId(doc as u64), self.index.doc_time(doc), labels.clone())
             })
             .collect();
         let inst = Instance::from_posts(posts, queries.len().max(1))?;

@@ -32,7 +32,11 @@ fn solver_ordering_on_generated_streams() {
         let f = FixedLambda(lambda_ms);
         let opt = solve_opt(&inst, lambda_ms, &OptConfig::default()).unwrap();
         let brute = solve_brute(&inst, &f, None).unwrap();
-        assert_eq!(opt.size(), brute.size(), "seed {seed}: exact solvers disagree");
+        assert_eq!(
+            opt.size(),
+            brute.size(),
+            "seed {seed}: exact solvers disagree"
+        );
 
         let scan = solve_scan(&inst, &f);
         let scanp = solve_scan_plus(&inst, &f, LabelOrder::Input);
@@ -47,8 +51,7 @@ fn solver_ordering_on_generated_streams() {
         // Paper bounds.
         let s = inst.max_labels_per_post() as f64;
         assert!(scan.size() as f64 <= s * opt.size() as f64 + 1e-9);
-        let ln_bound =
-            ((inst.len() * inst.num_labels()) as f64).ln().max(1.0) * opt.size() as f64;
+        let ln_bound = ((inst.len() * inst.num_labels()) as f64).ln().max(1.0) * opt.size() as f64;
         assert!(greedy.size() as f64 <= ln_bound + 1.0);
     }
 }

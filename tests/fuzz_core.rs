@@ -1,0 +1,221 @@
+//! Seeded fuzz tests for the offline solvers: every algorithm always
+//! returns a valid lambda-cover, the exact solvers agree, and the paper's
+//! approximation bounds hold on randomized instances. Ported from the
+//! former proptest suite to plain `#[test]` loops over `mqd_rng` seeds so
+//! the build needs no external crates; every case is reproducible from the
+//! printed seed.
+
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+
+use mqdiv::core::algorithms::{
+    complete_cover, solve_brute, solve_greedy_sc, solve_greedy_sc_naive, solve_opt, solve_scan,
+    solve_scan_plus, LabelOrder, OptConfig,
+};
+use mqdiv::core::{coverage, FixedLambda, Instance, VariableLambda};
+
+/// A small random instance plus a lambda (exact solvers stay feasible).
+fn tiny_instance(rng: &mut StdRng) -> (Instance, i64) {
+    let n = rng.random_range(1..10usize);
+    let items: Vec<(i64, Vec<u16>)> = (0..n)
+        .map(|_| {
+            let t = rng.random_range(0..80i64);
+            let k = rng.random_range(1..3usize);
+            let labels: Vec<u16> = (0..k).map(|_| rng.random_range(0..3u16)).collect();
+            (t, labels)
+        })
+        .collect();
+    let lambda = rng.random_range(0..30i64);
+    (Instance::from_values(items, 3).expect("labels < 3"), lambda)
+}
+
+/// A medium instance (too big for exact solvers, fine for approximations).
+fn medium_instance(rng: &mut StdRng) -> (Instance, i64) {
+    let n = rng.random_range(1..120usize);
+    let items: Vec<(i64, Vec<u16>)> = (0..n)
+        .map(|_| {
+            let t = rng.random_range(0..5_000i64);
+            let k = rng.random_range(1..4usize);
+            let labels: Vec<u16> = (0..k).map(|_| rng.random_range(0..5u16)).collect();
+            (t, labels)
+        })
+        .collect();
+    let lambda = rng.random_range(0..400i64);
+    (Instance::from_values(items, 5).expect("labels < 5"), lambda)
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn opt_matches_brute_force() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = tiny_instance(&mut rng);
+        let dp = solve_opt(&inst, lambda, &OptConfig::default()).unwrap();
+        let bf = solve_brute(&inst, &FixedLambda(lambda), None).unwrap();
+        assert!(
+            coverage::is_cover(&inst, &FixedLambda(lambda), &dp.selected),
+            "seed {seed}"
+        );
+        assert_eq!(dp.size(), bf.size(), "seed {seed}");
+    }
+}
+
+#[test]
+fn all_approximations_return_valid_covers() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = medium_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        for sol in [
+            solve_scan(&inst, &f),
+            solve_scan_plus(&inst, &f, LabelOrder::Input),
+            solve_scan_plus(&inst, &f, LabelOrder::DensestFirst),
+            solve_scan_plus(&inst, &f, LabelOrder::SparsestFirst),
+            solve_greedy_sc(&inst, &f),
+        ] {
+            assert!(
+                coverage::is_cover(&inst, &f, &sol.selected),
+                "{} produced a non-cover (seed {seed})",
+                sol.algorithm
+            );
+            // Selected posts must be real indices, sorted, unique.
+            assert!(sol.selected.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+            assert!(
+                sol.selected.iter().all(|&i| (i as usize) < inst.len()),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scan_bound_holds() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = tiny_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let opt = solve_brute(&inst, &f, None).unwrap();
+        let scan = solve_scan(&inst, &f);
+        let s = inst.max_labels_per_post().max(1);
+        assert!(
+            scan.size() <= s * opt.size().max(1) || scan.size() <= s * opt.size(),
+            "seed {seed}"
+        );
+        assert!(opt.size() <= scan.size(), "seed {seed}");
+    }
+}
+
+#[test]
+fn greedy_variants_agree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = medium_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let lazy = solve_greedy_sc(&inst, &f);
+        let naive = solve_greedy_sc_naive(&inst, &f);
+        assert_eq!(lazy.selected, naive.selected, "seed {seed}");
+    }
+}
+
+#[test]
+fn greedy_variants_agree_under_variable_lambda() {
+    // The Fenwick fast path and the materialized sets must implement the
+    // same *directional* coverage under Eq. 2 thresholds.
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = medium_instance(&mut rng);
+        let var = VariableLambda::compute(&inst, lambda.max(1));
+        let lazy = solve_greedy_sc(&inst, &var);
+        let naive = solve_greedy_sc_naive(&inst, &var);
+        assert_eq!(lazy.selected, naive.selected, "seed {seed}");
+    }
+}
+
+#[test]
+fn complete_cover_contains_pins_and_covers() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = medium_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let pin = rng.random_range(0..inst.len()) as u32;
+        let sol = complete_cover(&inst, &f, &[pin]);
+        assert!(sol.selected.contains(&pin), "seed {seed}");
+        assert!(coverage::is_cover(&inst, &f, &sol.selected), "seed {seed}");
+    }
+}
+
+#[test]
+fn covers_are_monotone_in_lambda() {
+    // A cover for lambda stays a cover for any larger lambda.
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = tiny_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let sol = solve_scan(&inst, &f);
+        let bigger = FixedLambda(lambda + 17);
+        assert!(
+            coverage::is_cover(&inst, &bigger, &sol.selected),
+            "seed {seed}"
+        );
+        // And the optimum can only shrink.
+        let opt_small = solve_brute(&inst, &f, None).unwrap();
+        let opt_big = solve_brute(&inst, &bigger, None).unwrap();
+        assert!(opt_big.size() <= opt_small.size(), "seed {seed}");
+    }
+}
+
+#[test]
+fn variable_lambda_covers_are_valid() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = medium_instance(&mut rng);
+        let var = VariableLambda::compute(&inst, lambda.max(1));
+        for sol in [
+            solve_scan(&inst, &var),
+            solve_scan_plus(&inst, &var, LabelOrder::Input),
+            solve_greedy_sc(&inst, &var),
+        ] {
+            assert!(
+                coverage::is_cover(&inst, &var, &sol.selected),
+                "{} non-cover under Eq. 2 lambda (seed {seed})",
+                sol.algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_instance_is_always_a_cover() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = medium_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let all: Vec<u32> = (0..inst.len() as u32).collect();
+        assert!(coverage::is_cover(&inst, &f, &all), "seed {seed}");
+    }
+}
+
+#[test]
+fn solution_is_minimal_under_brute() {
+    // Removing any post from the brute-force optimum breaks coverage
+    // (the optimum is inclusion-minimal).
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda) = tiny_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let opt = solve_brute(&inst, &f, None).unwrap();
+        for skip in 0..opt.selected.len() {
+            let reduced: Vec<u32> = opt
+                .selected
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &p)| p)
+                .collect();
+            assert!(
+                !coverage::is_cover(&inst, &f, &reduced),
+                "optimum is not minimal (seed {seed})"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Seeded fuzz tests for the spatiotemporal extension (ported from the
+//! former proptest suite to plain loops over `mqd_rng` seeds).
+
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+
+use mqdiv::core::{LabelId, PostId};
+use mqdiv::geo::{
+    solve_geo_brute, solve_geo_greedy, solve_geo_sweep, GeoInstance, GeoLambda, GeoPost,
+};
+
+fn geo_instance(rng: &mut StdRng) -> GeoInstance {
+    let n = rng.random_range(1..40usize);
+    let posts: Vec<GeoPost> = (0..n)
+        .map(|i| {
+            let t = rng.random_range(0..500i64);
+            let x = rng.random_range(0..1_000i64);
+            let y = rng.random_range(0..1_000i64);
+            let l = rng.random_range(0..3u16);
+            GeoPost::new(PostId(i as u64), t, x, y, vec![LabelId(l)])
+        })
+        .collect();
+    let lt = rng.random_range(1..200i64);
+    let ld = rng.random_range(1..500i64);
+    GeoInstance::new(posts, 3, GeoLambda::new(lt, ld))
+}
+
+const CASES: u64 = 48;
+
+#[test]
+fn greedy_and_sweep_always_cover() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = geo_instance(&mut rng);
+        let g = solve_geo_greedy(&inst);
+        let s = solve_geo_sweep(&inst);
+        assert!(inst.is_cover(&g.selected), "greedy non-cover (seed {seed})");
+        assert!(inst.is_cover(&s.selected), "sweep non-cover (seed {seed})");
+        assert!(
+            g.selected.iter().all(|&i| (i as usize) < inst.len()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn brute_is_a_lower_bound_on_small() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = geo_instance(&mut rng);
+        if inst.len() > 14 {
+            continue;
+        }
+        let b = solve_geo_brute(&inst, Some(14)).expect("within cap");
+        assert!(inst.is_cover(&b.selected), "seed {seed}");
+        let g = solve_geo_greedy(&inst);
+        let s = solve_geo_sweep(&inst);
+        assert!(b.size() <= g.size(), "seed {seed}");
+        assert!(b.size() <= s.size(), "seed {seed}");
+        // Minimality: dropping any brute pick breaks the cover.
+        for skip in 0..b.selected.len() {
+            let reduced: Vec<u32> = b
+                .selected
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &p)| p)
+                .collect();
+            assert!(!inst.is_cover(&reduced), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn coverage_is_symmetric_for_uniform_thresholds() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = geo_instance(&mut rng);
+        for i in 0..inst.len().min(10) as u32 {
+            for j in 0..inst.len().min(10) as u32 {
+                for &a in inst.post(i).labels().to_vec().iter() {
+                    assert_eq!(
+                        inst.covers(i, j, a),
+                        inst.covers(j, i, a),
+                        "geo coverage must be symmetric (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn widening_thresholds_keeps_covers_valid() {
+    // A cover under (lt, ld) stays one under (2lt, 2ld).
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = geo_instance(&mut rng);
+        let g = solve_geo_greedy(&inst);
+        let wider = GeoInstance::new(
+            inst.posts().to_vec(),
+            inst.num_labels(),
+            GeoLambda::new(inst.lambda().time * 2, inst.lambda().dist * 2),
+        );
+        assert!(wider.is_cover(&g.selected), "seed {seed}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded fuzz tests for the streaming engines: covers, delay budgets,
+//! and the structural invariants of Section 5 on randomized streams
+//! (ported from the former proptest suite to plain loops over `mqd_rng`
+//! seeds).
+
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+
+use mqdiv::core::algorithms::solve_scan;
+use mqdiv::core::{FixedLambda, Instance};
+use mqdiv::stream::{run_stream, InstantScan, StreamGreedy, StreamRunResult, StreamScan};
+
+fn stream_instance(rng: &mut StdRng) -> (Instance, i64, i64) {
+    let n = rng.random_range(1..80usize);
+    let items: Vec<(i64, Vec<u16>)> = (0..n)
+        .map(|_| {
+            let t = rng.random_range(0..3_000i64);
+            let k = rng.random_range(1..3usize);
+            let labels: Vec<u16> = (0..k).map(|_| rng.random_range(0..4u16)).collect();
+            (t, labels)
+        })
+        .collect();
+    let lambda = rng.random_range(1..300i64);
+    let tau = rng.random_range(0..400i64);
+    (
+        Instance::from_values(items, 4).expect("labels < 4"),
+        lambda,
+        tau,
+    )
+}
+
+fn run_all(inst: &Instance, lambda: &FixedLambda, tau: i64) -> Vec<StreamRunResult> {
+    let l = inst.num_labels();
+    let n = inst.len();
+    vec![
+        run_stream(inst, lambda, tau, &mut StreamScan::new(l, n)),
+        run_stream(inst, lambda, tau, &mut StreamScan::new_plus(l, n)),
+        run_stream(inst, lambda, tau, &mut StreamGreedy::new(l, n)),
+        run_stream(inst, lambda, tau, &mut StreamGreedy::new_plus(l, n)),
+        run_stream(inst, lambda, 0, &mut InstantScan::new(l)),
+    ]
+}
+
+const CASES: u64 = 48;
+
+#[test]
+fn engines_always_cover_and_respect_tau() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda, tau) = stream_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        for res in run_all(&inst, &f, tau) {
+            assert!(
+                res.is_cover(&inst, &f),
+                "{} non-cover (seed {seed})",
+                res.algorithm
+            );
+            let budget = if res.algorithm == "Instant" { 0 } else { tau };
+            assert!(
+                res.max_delay <= budget,
+                "{}: delay {} > budget {budget} (seed {seed})",
+                res.algorithm,
+                res.max_delay
+            );
+        }
+    }
+}
+
+#[test]
+fn emissions_reference_real_posts_once() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda, tau) = stream_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        for res in run_all(&inst, &f, tau) {
+            let mut seen = std::collections::HashSet::new();
+            for e in &res.emissions {
+                assert!((e.post as usize) < inst.len(), "seed {seed}");
+                assert!(
+                    seen.insert(e.post),
+                    "{} re-emitted a post (seed {seed})",
+                    res.algorithm
+                );
+                assert!(e.emit_time >= inst.value(e.post), "seed {seed}");
+            }
+            assert_eq!(seen.len(), res.selected.len(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn stream_scan_with_huge_tau_equals_offline() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda, _tau) = stream_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let offline = solve_scan(&inst, &f);
+        let mut eng = StreamScan::new(inst.num_labels(), inst.len());
+        let res = run_stream(&inst, &f, lambda * 4 + 1, &mut eng);
+        assert_eq!(res.selected, offline.selected, "seed {seed}");
+    }
+}
+
+#[test]
+fn instant_outputs_are_pairwise_uncovered_single_label() {
+    // The paper's 2s argument (Section 5.1) shows consecutive emissions
+    // are > lambda apart; with multiple labels a post emitted for a
+    // *different* uncovered label may land inside lambda on a shared
+    // label, so the pairwise property is a theorem only per single-label
+    // stream — which is exactly the setting of the paper's proof.
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..80usize);
+        let times: Vec<i64> = (0..n).map(|_| rng.random_range(0..3_000i64)).collect();
+        let lambda = rng.random_range(1..300i64);
+        let inst = Instance::from_values(times.into_iter().map(|t| (t, vec![0u16])), 1).unwrap();
+        let f = FixedLambda(lambda);
+        let mut eng = InstantScan::new(1);
+        let res = run_stream(&inst, &f, 0, &mut eng);
+        let ts: Vec<i64> = res.selected.iter().map(|&i| inst.value(i)).collect();
+        for w in ts.windows(2) {
+            assert!(
+                w[1] - w[0] > lambda,
+                "instant cache admitted a covered emission (seed {seed})"
+            );
+        }
+        // And the 2s bound itself (s = 1): |output| <= 2 * |opt|.
+        let opt = solve_scan(&inst, &f); // optimal for a single label
+        assert!(res.size() <= 2 * opt.size(), "seed {seed}");
+    }
+}
+
+#[test]
+fn greedy_windows_never_exceed_offline_input() {
+    // Sanity: the emitted sub-stream is a subset of the input and not
+    // larger than the trivial cover.
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inst, lambda, tau) = stream_instance(&mut rng);
+        let f = FixedLambda(lambda);
+        let mut eng = StreamGreedy::new(inst.num_labels(), inst.len());
+        let res = run_stream(&inst, &f, tau, &mut eng);
+        assert!(res.size() <= inst.len(), "seed {seed}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded fuzz tests for the text substrates: the tokenizer never panics
+//! and normalizes correctly on randomized input, SimHash is deterministic,
+//! the real-time index agrees with a naive scan, and the sentiment score
+//! stays bounded (ported from the former proptest suite to plain loops
+//! over `mqd_rng` seeds).
+
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+
+use mqdiv::text::{hamming, simhash, tokenize, KeywordMatcher, RtIndex, SentimentScorer};
+
+/// A deliberately messy character pool: case, digits, punctuation,
+/// whitespace, combining/multi-byte unicode, emoji.
+const POOL: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'x', 'y', 'z', 'A', 'B', 'Q', 'Z', '0', '1', '9', ' ', ' ',
+    ' ', '\t', '\n', '.', ',', '!', '?', '#', '@', '-', '_', '(', ')', '/', '\'', '"', 'é', 'ß',
+    'λ', 'П', '中', '界', '🙂', '🚀', '\u{0301}', '\u{200d}',
+];
+
+fn random_text(rng: &mut StdRng, max_len: usize) -> String {
+    let n = rng.random_range(0..=max_len);
+    (0..n)
+        .map(|_| POOL[rng.random_range(0..POOL.len())])
+        .collect()
+}
+
+/// A lowercase word of 2–4 chars from a–f (tokenizer-stable).
+fn word(rng: &mut StdRng) -> String {
+    let n = rng.random_range(2..=4usize);
+    (0..n)
+        .map(|_| (b'a' + rng.random_range(0..6u8)) as char)
+        .collect()
+}
+
+const CASES: u64 = 128;
+
+#[test]
+fn tokenizer_total_and_normalized() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = random_text(&mut rng, 200);
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            assert!(t.chars().count() >= 2, "short token {t:?} (seed {seed})");
+            assert!(
+                t.chars().all(|c| c.is_alphanumeric()),
+                "bad chars in {t:?} (seed {seed})"
+            );
+            assert!(
+                t.chars().all(|c| !c.is_uppercase()),
+                "uppercase survived in {t:?} (seed {seed})"
+            );
+        }
+        // Idempotence: retokenizing the joined tokens yields the same list.
+        let rejoined = tokens.join(" ");
+        assert_eq!(tokenize(&rejoined), tokens, "seed {seed}");
+    }
+}
+
+#[test]
+fn simhash_deterministic_and_hamming_sane() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_text(&mut rng, 100);
+        let b = random_text(&mut rng, 100);
+        let ha = simhash(&a);
+        assert_eq!(ha, simhash(&a), "seed {seed}");
+        let hb = simhash(&b);
+        assert_eq!(hamming(ha, hb), hamming(hb, ha), "seed {seed}");
+        assert!(hamming(ha, hb) <= 64, "seed {seed}");
+        assert_eq!(hamming(ha, ha), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn sentiment_always_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = random_text(&mut rng, 300);
+        let s = SentimentScorer::new().score(&text);
+        assert!(
+            (-1.0..=1.0).contains(&s),
+            "score {s} out of range (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn rt_index_agrees_with_naive_scan() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..30usize);
+        let docs: Vec<(String, i64)> = (0..n)
+            .map(|_| {
+                let words = rng.random_range(1..=6usize);
+                let text = (0..words)
+                    .map(|_| word(&mut rng))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                (text, rng.random_range(-1_000..1_000i64))
+            })
+            .collect();
+        let from = rng.random_range(-1_200..1_200i64);
+        let span = rng.random_range(0..2_000i64);
+        let keyword = word(&mut rng);
+
+        let mut idx = RtIndex::new(100);
+        for (text, t) in &docs {
+            idx.add_document(text, *t);
+        }
+        let to = from + span;
+        let got = idx.search(std::slice::from_ref(&keyword), from, to);
+        let expect: Vec<u32> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, (text, t))| (from..=to).contains(t) && tokenize(text).contains(&keyword))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn matcher_labels_sorted_and_in_range() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = random_text(&mut rng, 120);
+        let nq = rng.random_range(1..6usize);
+        let queries: Vec<Vec<String>> = (0..nq)
+            .map(|_| {
+                let k = rng.random_range(1..4usize);
+                (0..k)
+                    .map(|_| {
+                        let len = rng.random_range(2..=3usize);
+                        (0..len)
+                            .map(|_| (b'a' + rng.random_range(0..5u8)) as char)
+                            .collect::<String>()
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = KeywordMatcher::new(&queries);
+        let labels = m.match_labels(&text);
+        assert!(labels.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < queries.len()),
+            "seed {seed}"
+        );
+    }
+}
