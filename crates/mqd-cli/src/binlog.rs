@@ -12,100 +12,21 @@
 //!
 //! Ids and dimension values are delta-encoded against the previous record
 //! (streams are time-sorted, so deltas are small), and the checksum turns
-//! truncation or bit rot into a typed error instead of silent garbage.
-//! Encoding targets a plain `Vec<u8>`; decoding reads through a bounds-
-//! checked cursor — no external buffer crate needed.
+//! truncation or bit rot into a typed [`MqdError::Corrupt`] — carrying the
+//! byte offset where decoding stopped — instead of silent garbage. The
+//! varint/zigzag/framing primitives live in [`mqd_core::wire`], shared with
+//! the streaming checkpoint codec.
 
 use std::io::{Read, Write};
+
+use mqd_core::wire::{check_framed, put_varint, seal_framed, unzigzag, zigzag, Cursor};
+use mqd_core::MqdError;
 
 use crate::tsv::LabeledRow;
 
 const MAGIC: &[u8; 4] = b"MQDL";
 const FOOTER: &[u8; 4] = b"END!";
 const VERSION: u8 = 1;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-/// Bounds-checked forward reader over a byte slice.
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Cursor { data, pos: 0 }
-    }
-
-    fn has_remaining(&self) -> bool {
-        self.pos < self.data.len()
-    }
-
-    fn get_u8(&mut self) -> Result<u8, String> {
-        let b = *self
-            .data
-            .get(self.pos)
-            .ok_or_else(|| String::from("unexpected end of log"))?;
-        self.pos += 1;
-        Ok(b)
-    }
-
-    fn get_array<const N: usize>(&mut self) -> Result<[u8; N], String> {
-        let end = self.pos + N;
-        if end > self.data.len() {
-            return Err("unexpected end of log".into());
-        }
-        let out: [u8; N] = self.data[self.pos..end].try_into().expect("N bytes");
-        self.pos = end;
-        Ok(out)
-    }
-}
-
-fn get_varint(buf: &mut Cursor<'_>) -> Result<u64, String> {
-    let mut out = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() {
-            return Err("truncated varint".into());
-        }
-        let byte = buf.get_u8()?;
-        if shift >= 64 {
-            return Err("varint overflow".into());
-        }
-        out |= ((byte & 0x7f) as u64) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(out);
-        }
-        shift += 7;
-    }
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
 
 /// Serializes rows into the binary log format.
 pub fn encode(rows: &[LabeledRow]) -> Vec<u8> {
@@ -125,51 +46,47 @@ pub fn encode(rows: &[LabeledRow]) -> Vec<u8> {
         prev_id = r.id;
         prev_value = r.value;
     }
-    let checksum = fnv1a(&buf);
-    buf.extend_from_slice(FOOTER);
-    buf.extend_from_slice(&checksum.to_be_bytes());
+    seal_framed(&mut buf, FOOTER);
     buf
 }
 
-/// Deserializes a binary log, verifying magic, version and checksum.
-pub fn decode(data: &[u8]) -> Result<Vec<LabeledRow>, String> {
-    if data.len() < MAGIC.len() + 1 + FOOTER.len() + 8 {
-        return Err("file too short for a binary log".into());
-    }
-    let (body, tail) = data.split_at(data.len() - FOOTER.len() - 8);
-    if &tail[..4] != FOOTER {
-        return Err("missing end marker (truncated file?)".into());
-    }
-    let stored = u64::from_be_bytes(tail[4..].try_into().expect("8 bytes"));
-    if fnv1a(body) != stored {
-        return Err("checksum mismatch (corrupted file)".into());
-    }
+/// Deserializes a binary log, verifying magic, version and checksum. Every
+/// failure is an [`MqdError::Corrupt`] naming the byte offset (offset 0 for
+/// whole-file checks such as the checksum).
+pub fn decode(data: &[u8]) -> Result<Vec<LabeledRow>, MqdError> {
+    let body = check_framed(data, FOOTER, MAGIC.len() + 1)?;
 
     let mut buf = Cursor::new(body);
     let magic: [u8; 4] = buf.get_array()?;
     if &magic != MAGIC {
-        return Err("bad magic (not an mqdiv binary log)".into());
+        return Err(MqdError::Corrupt {
+            offset: 0,
+            reason: "bad magic (not an mqdiv binary log)".into(),
+        });
     }
     let version = buf.get_u8()?;
     if version != VERSION {
-        return Err(format!("unsupported version {version}"));
+        return Err(MqdError::Corrupt {
+            offset: MAGIC.len(),
+            reason: format!("unsupported version {version}"),
+        });
     }
-    let count = get_varint(&mut buf)? as usize;
+    let count = buf.get_varint()? as usize;
     let mut rows = Vec::with_capacity(count.min(1 << 20));
     let mut prev_id = 0u64;
     let mut prev_value = 0i64;
     for _ in 0..count {
-        let id = prev_id.wrapping_add(unzigzag(get_varint(&mut buf)?) as u64);
-        let value = prev_value.wrapping_add(unzigzag(get_varint(&mut buf)?));
-        let n_labels = get_varint(&mut buf)? as usize;
+        let id = prev_id.wrapping_add(unzigzag(buf.get_varint()?) as u64);
+        let value = prev_value.wrapping_add(buf.get_varint_i64()?);
+        let n_labels = buf.get_varint()? as usize;
         if n_labels > u16::MAX as usize {
-            return Err("label count out of range".into());
+            return Err(buf.corrupt("label count out of range"));
         }
         let mut labels = Vec::with_capacity(n_labels);
         for _ in 0..n_labels {
-            let l = get_varint(&mut buf)?;
+            let l = buf.get_varint()?;
             if l > u16::MAX as u64 {
-                return Err("label id out of range".into());
+                return Err(buf.corrupt("label id out of range"));
             }
             labels.push(l as u16);
         }
@@ -178,7 +95,7 @@ pub fn decode(data: &[u8]) -> Result<Vec<LabeledRow>, String> {
         prev_value = value;
     }
     if buf.has_remaining() {
-        return Err("trailing bytes after last record".into());
+        return Err(buf.corrupt("trailing bytes after last record"));
     }
     Ok(rows)
 }
@@ -189,9 +106,9 @@ pub fn write_posts(mut w: impl Write, rows: &[LabeledRow]) -> std::io::Result<()
 }
 
 /// Reads a whole binary log from a reader.
-pub fn read_posts(mut r: impl Read) -> Result<Vec<LabeledRow>, String> {
+pub fn read_posts(mut r: impl Read) -> Result<Vec<LabeledRow>, MqdError> {
     let mut data = Vec::new();
-    r.read_to_end(&mut data).map_err(|e| e.to_string())?;
+    r.read_to_end(&mut data)?;
     decode(&data)
 }
 
@@ -251,34 +168,50 @@ mod tests {
     }
 
     #[test]
-    fn corruption_detected() {
+    fn corruption_is_a_typed_error() {
         let rows = sample();
         let mut data = encode(&rows);
         let mid = data.len() / 2;
         data[mid] ^= 0xff;
-        let err = decode(&data).unwrap_err();
-        assert!(
-            err.contains("checksum") || err.contains("varint") || err.contains("magic"),
-            "unexpected error: {err}"
-        );
+        match decode(&data).unwrap_err() {
+            MqdError::Corrupt { reason, .. } => {
+                assert!(
+                    reason.contains("checksum") || reason.contains("varint"),
+                    "unexpected reason: {reason}"
+                );
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]
-    fn truncation_detected() {
+    fn truncation_reports_offset() {
         let data = encode(&sample());
-        let err = decode(&data[..data.len() - 3]).unwrap_err();
-        assert!(err.contains("end marker") || err.contains("short"), "{err}");
+        match decode(&data[..data.len() - 3]).unwrap_err() {
+            MqdError::Corrupt { offset, reason } => {
+                assert!(
+                    reason.contains("end marker") || reason.contains("short"),
+                    "{reason}"
+                );
+                assert!(offset <= data.len());
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]
     fn wrong_magic_rejected() {
         let mut data = encode(&sample());
         data[0] = b'X';
-        // checksum covers magic, so this reports a checksum failure first —
-        // rebuild a log with a valid checksum over bad magic to hit the
-        // magic check.
+        // checksum covers magic, so a blind flip reports a checksum
+        // failure; re-seal the frame over the bad magic to reach the
+        // magic check itself.
         let err = decode(&data).unwrap_err();
-        assert!(err.contains("checksum"));
+        assert!(err.to_string().contains("checksum"));
+        let mut body = data[..data.len() - FOOTER.len() - 8].to_vec();
+        seal_framed(&mut body, FOOTER);
+        let err = decode(&body).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
     }
 
     #[test]
@@ -300,20 +233,5 @@ mod tests {
             bin.len(),
             tsv.len()
         );
-    }
-
-    #[test]
-    fn varint_and_zigzag_round_trip() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789] {
-            assert_eq!(unzigzag(zigzag(v)), v);
-        }
-        let mut buf = Vec::new();
-        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
-            put_varint(&mut buf, v);
-        }
-        let mut b = Cursor::new(&buf);
-        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
-            assert_eq!(get_varint(&mut b).unwrap(), v);
-        }
     }
 }

@@ -2,6 +2,7 @@
 //! and writers so they are unit-testable without touching the filesystem.
 
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 
 use mqd_core::algorithms::{
     solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
@@ -33,7 +34,7 @@ pub fn diversify(
     log: &mut impl Write,
     opts: &DiversifyOpts,
 ) -> Result<(), String> {
-    let rows = tsv::read_labeled(input)?;
+    let rows = tsv::read_labeled(input).map_err(|e| e.to_string())?;
     let inst = tsv::to_instance(&rows, None).map_err(|e| e.to_string())?;
 
     let solution: Solution = if opts.proportional {
@@ -113,7 +114,8 @@ pub fn stream(
     opts: &StreamOpts,
 ) -> Result<(), String> {
     use mqd_stream::{run_stream, InstantScan, StreamEngine, StreamGreedy, StreamScan};
-    let rows = tsv::read_labeled(input)?;
+    let rows = tsv::read_labeled(input).map_err(|e| e.to_string())?;
+    tsv::validate_stream(&rows).map_err(|e| e.to_string())?;
     let inst = tsv::to_instance(&rows, None).map_err(|e| e.to_string())?;
     let lam = FixedLambda(opts.lambda);
     let l = inst.num_labels();
@@ -170,6 +172,174 @@ pub fn stream(
     Ok(())
 }
 
+/// Supervised (fault-tolerant) streaming options.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisedStreamOpts {
+    /// Coverage threshold (ms).
+    pub lambda: i64,
+    /// Delay budget (ms).
+    pub tau: i64,
+    /// `scan`, `scan+`, `greedy`, or `greedy+` (the supervisable engines).
+    pub engine: String,
+    /// Requested shard count (clamped to the label count).
+    pub shards: usize,
+    /// Deterministic fault-injection seed; `None` runs fault-free.
+    pub chaos_seed: Option<u64>,
+    /// Rolling checkpoint destination (atomically replaced).
+    pub checkpoint: Option<PathBuf>,
+    /// Arrivals between checkpoint writes.
+    pub checkpoint_every: u64,
+    /// Checkpoint to resume from instead of starting fresh.
+    pub resume: Option<PathBuf>,
+    /// Where to write the machine-readable fault report (JSON).
+    pub fault_report: Option<PathBuf>,
+}
+
+fn shard_engine_kind(engine: &str) -> Result<mqd_stream::ShardEngineKind, String> {
+    use mqd_stream::ShardEngineKind;
+    match engine {
+        "scan" => Ok(ShardEngineKind::Scan),
+        "scan+" => Ok(ShardEngineKind::ScanPlus),
+        "greedy" => Ok(ShardEngineKind::Greedy),
+        "greedy+" => Ok(ShardEngineKind::GreedyPlus),
+        other => Err(format!(
+            "engine '{other}' cannot run supervised (use scan, scan+, greedy, or greedy+)"
+        )),
+    }
+}
+
+/// Replaces `path` with `bytes` via a temp file + rename, so a crash while
+/// checkpointing never leaves a torn checkpoint behind.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// `mqdiv stream` with supervision: shard panics are restarted from the
+/// last snapshot, injected faults come from a seeded plan, overload flips
+/// shards into the Instant scheme, and the run can checkpoint to (and
+/// resume from) disk. Output rows are
+/// `id \t value \t labels \t emit_time \t delay_ms \t degraded`.
+pub fn stream_supervised(
+    input: impl BufRead,
+    mut out: impl Write,
+    log: &mut impl Write,
+    opts: &SupervisedStreamOpts,
+) -> Result<(), String> {
+    use mqd_stream::{
+        encode_checkpoint, resume_supervised, run_supervised_stream, FaultPlan, SupervisedRun,
+        SupervisorConfig,
+    };
+    let rows = tsv::read_labeled(input).map_err(|e| e.to_string())?;
+    tsv::validate_stream(&rows).map_err(|e| e.to_string())?;
+    let inst = tsv::to_instance(&rows, None).map_err(|e| e.to_string())?;
+    let lam = FixedLambda(opts.lambda);
+    let kind = shard_engine_kind(&opts.engine)?;
+    let plan = match opts.chaos_seed {
+        Some(seed) => FaultPlan::for_instance(&inst, opts.shards, seed, opts.tau),
+        None => FaultPlan::none(),
+    };
+    let base = SupervisorConfig::default();
+    let cfg = SupervisorConfig {
+        // The default budget guards against crash loops; injected chaos
+        // panics are planned work, so they get their own allowance on top.
+        max_restarts: base.max_restarts + plan.max_panics_per_shard(),
+        ..base
+    };
+
+    let res = if opts.resume.is_some() || opts.checkpoint.is_some() {
+        // Checkpointing needs the resumable sequential run; its output is
+        // byte-identical to the threaded runner's for any fault plan.
+        let mut run = match &opts.resume {
+            Some(path) => {
+                let bytes =
+                    std::fs::read(path).map_err(|e| format!("--resume {}: {e}", path.display()))?;
+                resume_supervised(
+                    &inst,
+                    opts.lambda,
+                    opts.tau,
+                    opts.shards,
+                    kind,
+                    &plan,
+                    cfg,
+                    &bytes,
+                )
+                .map_err(|e| e.to_string())?
+            }
+            None => SupervisedRun::new(&inst, opts.lambda, opts.tau, opts.shards, kind, &plan, cfg),
+        };
+        if run.position() > 0 {
+            writeln!(
+                log,
+                "resumed at arrival {} of {}",
+                run.position(),
+                inst.len()
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        let every = opts.checkpoint_every.max(1);
+        let mut delivered = 0u64;
+        while run.step().map_err(|e| e.to_string())? {
+            delivered += 1;
+            if let Some(path) = &opts.checkpoint {
+                if delivered.is_multiple_of(every) || run.done() {
+                    write_atomic(path, &encode_checkpoint(&mut run))?;
+                }
+            }
+        }
+        run.finish().map_err(|e| e.to_string())?
+    } else {
+        run_supervised_stream(&inst, opts.lambda, opts.tau, opts.shards, kind, &plan, cfg)
+            .map_err(|e| e.to_string())?
+    };
+
+    if !res.result.is_cover(&inst, &lam) {
+        return Err("internal error: emitted sub-stream is not a cover".into());
+    }
+    if res.report.tau_violations_unflagged > 0 {
+        return Err("internal error: a non-degraded emission exceeded tau".into());
+    }
+    for e in &res.emissions {
+        let labels: Vec<String> = inst
+            .labels(e.post)
+            .iter()
+            .map(|l| l.0.to_string())
+            .collect();
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            inst.post(e.post).id().0,
+            inst.value(e.post),
+            labels.join(","),
+            e.emit_time,
+            e.emit_time - inst.value(e.post),
+            u8::from(e.degraded),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &opts.fault_report {
+        std::fs::write(path, res.report.to_json())
+            .map_err(|e| format!("--fault-report {}: {e}", path.display()))?;
+    }
+    writeln!(
+        log,
+        "{}: emitted {} of {} posts, max delay {} ms (tau {} ms); \
+         {} fault(s) injected, {} restart(s), {} degraded emission(s)",
+        res.result.algorithm,
+        res.result.size(),
+        inst.len(),
+        res.result.max_delay,
+        opts.tau,
+        res.report.faults.len(),
+        res.report.restarts.len(),
+        res.report.counters.degraded_emissions,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 /// Matching options.
 #[derive(Clone, Debug)]
 pub struct MatchOpts {
@@ -200,7 +370,7 @@ pub fn match_posts(
         .collect();
     let matcher = KeywordMatcher::new(&queries);
     let scorer = SentimentScorer::new();
-    let rows = tsv::read_text(input)?;
+    let rows = tsv::read_text(input).map_err(|e| e.to_string())?;
     let total = rows.len();
     let mut dedup = NearDuplicateFilter::new(3);
     let mut matched = Vec::new();
@@ -403,6 +573,135 @@ mod tests {
                 let delay: i64 = fields[4].parse().unwrap();
                 assert!(delay <= 10_000);
             }
+        }
+    }
+
+    #[test]
+    fn stream_rejects_contract_violations() {
+        let unsorted = b"0\t100\t0\n1\t50\t1\n";
+        let err = stream(
+            &unsorted[..],
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &StreamOpts {
+                lambda: 10,
+                tau: 5,
+                engine: "scan".into(),
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("time-sorted"), "{err}");
+
+        let unlabeled = b"0\t100\t0\n1\t200\t\n";
+        let err = stream(
+            &unlabeled[..],
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &StreamOpts {
+                lambda: 10,
+                tau: 5,
+                engine: "scan".into(),
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("empty label set"), "{err}");
+    }
+
+    fn supervised_opts(engine: &str) -> SupervisedStreamOpts {
+        SupervisedStreamOpts {
+            lambda: 30_000,
+            tau: 10_000,
+            engine: engine.into(),
+            shards: 2,
+            checkpoint_every: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_supervised_under_chaos_flags_all_late_emissions() {
+        let data = gen_labeled(5);
+        let dir = std::env::temp_dir().join(format!("mqdiv_sup_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let mut opts = supervised_opts("scan+");
+        opts.chaos_seed = Some(7);
+        opts.fault_report = Some(report_path.clone());
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        stream_supervised(data.as_slice(), &mut out, &mut log, &opts).unwrap();
+        // Unflagged rows must honor tau; a report must have been written.
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let fields: Vec<&str> = line.split('\t').collect();
+            assert_eq!(fields.len(), 6, "{line}");
+            let delay: i64 = fields[4].parse().unwrap();
+            let degraded: u8 = fields[5].parse().unwrap();
+            if degraded == 0 {
+                assert!(delay <= opts.tau, "{line}");
+            }
+        }
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("\"seed\":7"), "{report}");
+        assert!(
+            report.contains("\"tau_violations_unflagged\":0"),
+            "{report}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_supervised_checkpoint_resume_matches_straight_run() {
+        let data = gen_labeled(5);
+        let dir = std::env::temp_dir().join(format!("mqdiv_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state.mqdc");
+
+        // Straight threaded run (no checkpointing) as the reference.
+        let mut reference = Vec::new();
+        stream_supervised(
+            data.as_slice(),
+            &mut reference,
+            &mut Vec::new(),
+            &supervised_opts("greedy+"),
+        )
+        .unwrap();
+
+        // Run once writing rolling checkpoints, then "crash-recover": resume
+        // from the final checkpoint (the whole stream already delivered) and
+        // again from a mid-stream one.
+        let mut opts = supervised_opts("greedy+");
+        opts.checkpoint = Some(ckpt.clone());
+        opts.checkpoint_every = 50;
+        let mut first = Vec::new();
+        stream_supervised(data.as_slice(), &mut first, &mut Vec::new(), &opts).unwrap();
+        assert_eq!(first, reference, "checkpointing must not change output");
+        assert!(ckpt.exists());
+
+        let mut resumed = Vec::new();
+        let mut log = Vec::new();
+        let mut ropts = supervised_opts("greedy+");
+        ropts.resume = Some(ckpt.clone());
+        stream_supervised(data.as_slice(), &mut resumed, &mut log, &ropts).unwrap();
+        // The resumed run replays nothing but still flushes the same cover.
+        assert_eq!(resumed, reference);
+        assert!(String::from_utf8(log).unwrap().contains("resumed at"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_supervised_rejects_unsupervisable_engines() {
+        let data = gen_labeled(1);
+        for engine in ["instant", "adaptive", "magic"] {
+            let err = stream_supervised(
+                data.as_slice(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &supervised_opts(engine),
+            )
+            .unwrap_err();
+            assert!(err.contains("supervised"), "{err}");
         }
     }
 

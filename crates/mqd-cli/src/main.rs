@@ -5,6 +5,8 @@
 //! mqdiv match      --input FILE --query kw1,kw2 [--query ...] [--dedup] [--sentiment] [--out FILE]
 //! mqdiv diversify  --input FILE --lambda MS [--algorithm scan|scan+|greedy|opt] [--proportional] [--out FILE]
 //! mqdiv stream     --input FILE --lambda MS --tau MS [--engine scan|scan+|greedy|greedy+|instant] [--out FILE]
+//!                  [--shards N] [--chaos-seed S] [--checkpoint FILE] [--checkpoint-every N]
+//!                  [--resume FILE] [--fault-report FILE]   (supervised fault-tolerant mode)
 //! mqdiv pack       --input FILE.tsv --out FILE.mqdl   (TSV -> binary log)
 //! mqdiv unpack     --input FILE.mqdl --out FILE.tsv   (binary log -> TSV)
 //! mqdiv ingest     --store DIR --input FILE.tsv         (append a segment)
@@ -18,7 +20,11 @@
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 
-use mqd_cli::commands::{self, DiversifyOpts, GenOpts, MatchOpts, StreamOpts};
+use std::path::PathBuf;
+
+use mqd_cli::commands::{
+    self, DiversifyOpts, GenOpts, MatchOpts, StreamOpts, SupervisedStreamOpts,
+};
 
 struct Flags {
     map: Vec<(String, String)>,
@@ -35,11 +41,12 @@ impl Flags {
                 return Err(format!("unexpected argument '{a}'"));
             }
             let key = a.trim_start_matches("--").to_string();
-            match it.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    map.push((key, it.next().unwrap().clone()));
+            if matches!(it.peek(), Some(v) if !v.starts_with("--")) {
+                if let Some(v) = it.next() {
+                    map.push((key, v.clone()));
                 }
-                _ => bools.push(key),
+            } else {
+                bools.push(key);
             }
         }
         Ok(Flags { map, bools })
@@ -164,28 +171,65 @@ fn run() -> Result<(), String> {
             commands::diversify(open_input(&flags)?, open_output(&flags)?, &mut log, &opts)
         }
         "stream" => {
-            let opts = StreamOpts {
-                lambda: flags.require_num("lambda")?,
-                tau: flags.parse_num("tau", 0i64)?,
-                engine: flags.get("engine").unwrap_or("scan+").to_string(),
-            };
-            commands::stream(open_input(&flags)?, open_output(&flags)?, &mut log, &opts)
+            // Any supervision flag switches to the fault-tolerant sharded
+            // runner (shard restarts, chaos injection, checkpoint/resume).
+            let supervised = [
+                "shards",
+                "chaos-seed",
+                "checkpoint",
+                "resume",
+                "fault-report",
+            ]
+            .iter()
+            .any(|k| flags.get(k).is_some());
+            if supervised {
+                let opts = SupervisedStreamOpts {
+                    lambda: flags.require_num("lambda")?,
+                    tau: flags.parse_num("tau", 0i64)?,
+                    engine: flags.get("engine").unwrap_or("scan+").to_string(),
+                    shards: flags.parse_num("shards", 4usize)?,
+                    chaos_seed: match flags.get("chaos-seed") {
+                        Some(_) => Some(flags.require_num("chaos-seed")?),
+                        None => None,
+                    },
+                    checkpoint: flags.get("checkpoint").map(PathBuf::from),
+                    checkpoint_every: flags.parse_num("checkpoint-every", 512u64)?,
+                    resume: flags.get("resume").map(PathBuf::from),
+                    fault_report: flags.get("fault-report").map(PathBuf::from),
+                };
+                commands::stream_supervised(
+                    open_input(&flags)?,
+                    open_output(&flags)?,
+                    &mut log,
+                    &opts,
+                )
+            } else {
+                let opts = StreamOpts {
+                    lambda: flags.require_num("lambda")?,
+                    tau: flags.parse_num("tau", 0i64)?,
+                    engine: flags.get("engine").unwrap_or("scan+").to_string(),
+                };
+                commands::stream(open_input(&flags)?, open_output(&flags)?, &mut log, &opts)
+            }
         }
         "pack" => {
-            let rows = mqd_cli::tsv::read_labeled(open_input(&flags)?)?;
+            let rows =
+                mqd_cli::tsv::read_labeled(open_input(&flags)?).map_err(|e| e.to_string())?;
             mqd_cli::binlog::write_posts(open_output(&flags)?, &rows).map_err(|e| e.to_string())?;
             eprintln!("packed {} posts", rows.len());
             Ok(())
         }
         "unpack" => {
-            let rows = mqd_cli::binlog::read_posts(open_input(&flags)?)?;
+            let rows =
+                mqd_cli::binlog::read_posts(open_input(&flags)?).map_err(|e| e.to_string())?;
             mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows).map_err(|e| e.to_string())?;
             eprintln!("unpacked {} posts", rows.len());
             Ok(())
         }
         "ingest" => {
             let dir = flags.get("store").ok_or("--store is required")?;
-            let rows = mqd_cli::tsv::read_labeled(open_input(&flags)?)?;
+            let rows =
+                mqd_cli::tsv::read_labeled(open_input(&flags)?).map_err(|e| e.to_string())?;
             let mut store = mqd_cli::store::PostStore::open(dir).map_err(|e| e.to_string())?;
             if !store.quarantined().is_empty() {
                 eprintln!(

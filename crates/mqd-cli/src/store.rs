@@ -79,8 +79,8 @@ impl PostStore {
         if rows.is_empty() {
             return None;
         }
-        let min_value = rows.iter().map(|r| r.value).min().expect("non-empty");
-        let max_value = rows.iter().map(|r| r.value).max().expect("non-empty");
+        let min_value = rows.iter().map(|r| r.value).min()?;
+        let max_value = rows.iter().map(|r| r.value).max()?;
         Some(SegmentInfo {
             path: path.to_path_buf(),
             min_value,
@@ -104,8 +104,11 @@ impl PostStore {
         if rows.is_empty() {
             return Ok(None);
         }
-        let min_value = rows.iter().map(|r| r.value).min().expect("non-empty");
-        let max_value = rows.iter().map(|r| r.value).max().expect("non-empty");
+        // Non-empty is guaranteed by the early return above; fold instead
+        // of unwrapping so a refactor can never turn this into a panic.
+        let (min_value, max_value) = rows.iter().fold((i64::MAX, i64::MIN), |(lo, hi), r| {
+            (lo.min(r.value), hi.max(r.value))
+        });
         let seq = self.next_seq;
         self.next_seq += 1;
         let name = format!("seg-{min_value}-{max_value}-{seq}.mqdl");
@@ -153,6 +156,8 @@ impl PostStore {
                 continue;
             }
             let data = fs::read(&seg.path)?;
+            // Segments were validated at open, but the file may have been
+            // corrupted since; surface the typed error through io::Error.
             let rows =
                 binlog::decode(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             out.extend(rows.into_iter().filter(|r| (from..=to).contains(&r.value)));

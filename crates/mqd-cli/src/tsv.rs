@@ -35,15 +35,19 @@ pub struct TextRow {
     pub text: String,
 }
 
-fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> String {
-    format!("line {line_no}: {msg}")
+fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> MqdError {
+    MqdError::Parse {
+        line: line_no,
+        msg: msg.to_string(),
+    }
 }
 
-/// Parses labeled rows from a reader.
-pub fn read_labeled(r: impl BufRead) -> Result<Vec<LabeledRow>, String> {
+/// Parses labeled rows from a reader. Malformed rows are typed
+/// [`MqdError::Parse`] errors carrying the 1-based line number.
+pub fn read_labeled(r: impl BufRead) -> Result<Vec<LabeledRow>, MqdError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
-        let line = line.map_err(|e| parse_err(i + 1, e))?;
+        let line = line.map_err(MqdError::from)?;
         // Strip only the carriage return: a trailing tab is significant (an
         // empty label list serializes as `id\tvalue\t`).
         let line = line.trim_end_matches('\r');
@@ -89,10 +93,10 @@ pub fn write_labeled(mut w: impl Write, rows: &[LabeledRow]) -> std::io::Result<
 }
 
 /// Parses text rows from a reader.
-pub fn read_text(r: impl BufRead) -> Result<Vec<TextRow>, String> {
+pub fn read_text(r: impl BufRead) -> Result<Vec<TextRow>, MqdError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
-        let line = line.map_err(|e| parse_err(i + 1, e))?;
+        let line = line.map_err(MqdError::from)?;
         if line.trim().is_empty() || line.starts_with('#') {
             continue;
         }
@@ -152,6 +156,34 @@ pub fn to_instance(rows: &[LabeledRow], num_labels: Option<usize>) -> Result<Ins
     Instance::from_posts(posts, n)
 }
 
+/// Enforces the streaming input contract on parsed rows: timestamps must
+/// be non-decreasing (arrival order) and every post must carry at least one
+/// label (a post matching no query has no place in the pipeline).
+///
+/// Offline commands tolerate both — `to_instance` re-sorts and unlabeled
+/// posts are simply never selected — but a streaming deployment must reject
+/// such input up front rather than silently reorder or drop it. Row numbers
+/// are 1-based positions in the parsed stream.
+pub fn validate_stream(rows: &[LabeledRow]) -> Result<(), MqdError> {
+    let mut prev: Option<i64> = None;
+    for (i, r) in rows.iter().enumerate() {
+        if r.labels.is_empty() {
+            return Err(MqdError::EmptyLabelSet { row: i + 1 });
+        }
+        if let Some(p) = prev {
+            if r.value < p {
+                return Err(MqdError::NonMonotoneTimestamp {
+                    row: i + 1,
+                    prev: p,
+                    got: r.value,
+                });
+            }
+        }
+        prev = Some(r.value);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,21 +217,53 @@ mod tests {
 
     #[test]
     fn malformed_rows_report_line_numbers() {
-        assert!(read_labeled(&b"1\t10\n"[..])
-            .unwrap_err()
-            .contains("line 1"));
-        assert!(read_labeled(&b"x\t10\t0\n"[..])
-            .unwrap_err()
-            .contains("bad id"));
-        assert!(read_labeled(&b"1\ty\t0\n"[..])
-            .unwrap_err()
-            .contains("bad value"));
-        assert!(read_labeled(&b"1\t2\tz\n"[..])
-            .unwrap_err()
-            .contains("bad label"));
-        assert!(read_labeled(&b"1\t2\t0\textra\n"[..])
-            .unwrap_err()
-            .contains("too many fields"));
+        match read_labeled(&b"# skip\n1\t10\n"[..]).unwrap_err() {
+            MqdError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("missing labels"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let err = |input: &[u8]| read_labeled(input).unwrap_err().to_string();
+        assert!(err(b"x\t10\t0\n").contains("bad id"));
+        assert!(err(b"1\ty\t0\n").contains("bad value"));
+        assert!(err(b"1\t2\tz\n").contains("bad label"));
+        assert!(err(b"1\t2\t0\textra\n").contains("too many fields"));
+    }
+
+    #[test]
+    fn stream_validation_catches_contract_violations() {
+        let ok = vec![
+            LabeledRow {
+                id: 0,
+                value: 10,
+                labels: vec![0],
+            },
+            LabeledRow {
+                id: 1,
+                value: 10,
+                labels: vec![1],
+            },
+        ];
+        validate_stream(&ok).unwrap();
+
+        let mut unlabeled = ok.clone();
+        unlabeled[1].labels.clear();
+        assert_eq!(
+            validate_stream(&unlabeled).unwrap_err(),
+            MqdError::EmptyLabelSet { row: 2 }
+        );
+
+        let mut backwards = ok;
+        backwards[1].value = 5;
+        assert_eq!(
+            validate_stream(&backwards).unwrap_err(),
+            MqdError::NonMonotoneTimestamp {
+                row: 2,
+                prev: 10,
+                got: 5
+            }
+        );
     }
 
     #[test]

@@ -29,6 +29,51 @@ pub enum MqdError {
         /// The configured cap.
         limit: usize,
     },
+    /// A line-oriented input (TSV) failed to parse.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What went wrong on that line.
+        msg: String,
+    },
+    /// A binary input (binlog, checkpoint) is corrupt or truncated.
+    Corrupt {
+        /// Byte offset where decoding failed (0 for whole-file checks such
+        /// as a checksum or footer mismatch).
+        offset: usize,
+        /// What the decoder expected.
+        reason: String,
+    },
+    /// A stream input violated the arrival-order contract: timestamps must
+    /// be non-decreasing.
+    NonMonotoneTimestamp {
+        /// 1-based row number of the out-of-order post.
+        row: usize,
+        /// The previous (larger) timestamp.
+        prev: i64,
+        /// The offending (smaller) timestamp.
+        got: i64,
+    },
+    /// A stream input row carries no labels; such a post matches no query
+    /// and a streaming pipeline must reject it rather than silently drop it.
+    EmptyLabelSet {
+        /// 1-based row number of the unlabeled post.
+        row: usize,
+    },
+    /// An underlying I/O operation failed (message of the `std::io::Error`).
+    Io(String),
+    /// A shard thread panicked and exhausted its restart budget.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Number of restarts attempted before giving up.
+        restarts: usize,
+    },
+    /// A checkpoint does not match the stream it is being applied to.
+    CheckpointMismatch {
+        /// What differed (lambda, tau, shard count, input digest, ...).
+        what: String,
+    },
 }
 
 impl fmt::Display for MqdError {
@@ -48,11 +93,37 @@ impl fmt::Display for MqdError {
                     "brute-force solver limited to {limit} posts, got {posts}"
                 )
             }
+            MqdError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            MqdError::Corrupt { offset, reason } => {
+                write!(f, "corrupt input at byte {offset}: {reason}")
+            }
+            MqdError::NonMonotoneTimestamp { row, prev, got } => write!(
+                f,
+                "row {row}: timestamp {got} is earlier than the previous row's {prev} \
+                 (stream input must be time-sorted)"
+            ),
+            MqdError::EmptyLabelSet { row } => {
+                write!(f, "row {row}: empty label set (post matches no query)")
+            }
+            MqdError::Io(msg) => write!(f, "I/O error: {msg}"),
+            MqdError::ShardFailed { shard, restarts } => write!(
+                f,
+                "shard {shard} failed after {restarts} restart(s); giving up"
+            ),
+            MqdError::CheckpointMismatch { what } => {
+                write!(f, "checkpoint does not match this stream: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for MqdError {}
+
+impl From<std::io::Error> for MqdError {
+    fn from(e: std::io::Error) -> Self {
+        MqdError::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -76,5 +147,45 @@ mod tests {
             limit: 24,
         };
         assert!(e.to_string().contains("40"));
+    }
+
+    #[test]
+    fn robustness_variants_carry_location() {
+        let e = MqdError::Parse {
+            line: 7,
+            msg: "bad id".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = MqdError::Corrupt {
+            offset: 12,
+            reason: "truncated varint".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        let e = MqdError::NonMonotoneTimestamp {
+            row: 3,
+            prev: 100,
+            got: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("row 3") && s.contains("100") && s.contains("50"));
+        assert!(MqdError::EmptyLabelSet { row: 9 }
+            .to_string()
+            .contains("row 9"));
+        let e = MqdError::ShardFailed {
+            shard: 2,
+            restarts: 3,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        let e = MqdError::CheckpointMismatch {
+            what: "lambda 5 != 7".into(),
+        };
+        assert!(e.to_string().contains("lambda 5 != 7"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let e: MqdError = io.into();
+        assert!(e.to_string().contains("short read"));
     }
 }

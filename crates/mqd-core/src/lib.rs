@@ -45,6 +45,7 @@ mod lambda;
 pub mod metrics;
 mod post;
 mod solution;
+pub mod wire;
 
 pub use error::MqdError;
 pub use instance::Instance;

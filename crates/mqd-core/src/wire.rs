@@ -1,0 +1,225 @@
+//! Shared binary wire primitives for the workspace's on-disk formats.
+//!
+//! The CLI's binlog and the streaming checkpoint format both store integers
+//! as LEB128 varints (signed values zigzag-mapped first) and detect
+//! truncation or bit rot with a trailing FNV-1a checksum. This module is
+//! the single home of those primitives so every codec shares one
+//! bounds-checked reader and reports failures as typed
+//! [`MqdError::Corrupt`] errors carrying the byte offset.
+
+use crate::error::MqdError;
+
+/// FNV-1a over a byte slice — the workspace's integrity checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed value as a zigzag-mapped varint.
+pub fn put_varint_i64(buf: &mut Vec<u8>, v: i64) {
+    put_varint(buf, zigzag(v));
+}
+
+/// Maps a signed value onto the unsigned varint domain.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Bounds-checked forward reader over a byte slice. Every failure is a
+/// [`MqdError::Corrupt`] naming the byte offset where decoding stopped.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether any bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    /// Builds the typed error for a failure at the current offset.
+    pub fn corrupt(&self, reason: impl Into<String>) -> MqdError {
+        MqdError::Corrupt {
+            offset: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, MqdError> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| self.corrupt("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn get_array<const N: usize>(&mut self) -> Result<[u8; N], MqdError> {
+        let end = self.pos.checked_add(N).filter(|&e| e <= self.data.len());
+        let Some(end) = end else {
+            return Err(self.corrupt("unexpected end of input"));
+        };
+        let out: [u8; N] = self.data[self.pos..end].try_into().expect("N bytes");
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads an LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64, MqdError> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if !self.has_remaining() {
+                return Err(self.corrupt("truncated varint"));
+            }
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(self.corrupt("varint overflow"));
+            }
+            out |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-mapped signed varint.
+    pub fn get_varint_i64(&mut self) -> Result<i64, MqdError> {
+        Ok(unzigzag(self.get_varint()?))
+    }
+}
+
+/// Splits a framed buffer `body ++ footer_magic ++ u64 checksum` and
+/// verifies the checksum over the body. Returns the body.
+pub fn check_framed<'a>(
+    data: &'a [u8],
+    footer_magic: &[u8; 4],
+    min_body: usize,
+) -> Result<&'a [u8], MqdError> {
+    let frame = footer_magic.len() + 8;
+    if data.len() < min_body + frame {
+        return Err(MqdError::Corrupt {
+            offset: data.len(),
+            reason: "file too short for this format".into(),
+        });
+    }
+    let (body, tail) = data.split_at(data.len() - frame);
+    if &tail[..4] != footer_magic {
+        return Err(MqdError::Corrupt {
+            offset: body.len(),
+            reason: "missing end marker (truncated file?)".into(),
+        });
+    }
+    let stored = u64::from_be_bytes(tail[4..].try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(MqdError::Corrupt {
+            offset: 0,
+            reason: "checksum mismatch (corrupted file)".into(),
+        });
+    }
+    Ok(body)
+}
+
+/// Appends the footer `footer_magic ++ FNV-1a(body)` to `buf`.
+pub fn seal_framed(buf: &mut Vec<u8>, footer_magic: &[u8; 4]) {
+    let checksum = fnv1a(buf);
+    buf.extend_from_slice(footer_magic);
+    buf.extend_from_slice(&checksum.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            assert_eq!(c.get_varint().unwrap(), v);
+        }
+        assert!(!c.has_remaining());
+    }
+
+    #[test]
+    fn truncated_varint_reports_offset() {
+        let buf = [0x80u8, 0x80]; // continuation bits with no terminator
+        let mut c = Cursor::new(&buf);
+        let err = c.get_varint().unwrap_err();
+        match err {
+            MqdError::Corrupt { offset, reason } => {
+                assert_eq!(offset, 2);
+                assert!(reason.contains("varint"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 10 continuation bytes push shift past 64.
+        let buf = [0xffu8; 11];
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(
+            c.get_varint().unwrap_err(),
+            MqdError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn framed_seal_and_check() {
+        let mut buf = b"payload".to_vec();
+        seal_framed(&mut buf, b"END!");
+        assert_eq!(check_framed(&buf, b"END!", 0).unwrap(), b"payload");
+        // Flip a body byte: checksum failure.
+        let mut bad = buf.clone();
+        bad[2] ^= 0xff;
+        assert!(check_framed(&bad, b"END!", 0).is_err());
+        // Truncate: end-marker failure.
+        assert!(check_framed(&buf[..buf.len() - 3], b"END!", 0).is_err());
+        // Too short entirely.
+        assert!(check_framed(b"x", b"END!", 0).is_err());
+    }
+}

@@ -63,6 +63,17 @@ pub fn configured_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Joins a worker, re-raising its panic (if any) on the caller's thread
+/// with the **original** payload. Swallowing the payload behind a generic
+/// `expect` message would hide the root cause from supervisors and test
+/// harnesses sitting above this layer; `resume_unwind` preserves it.
+fn join_propagating<U>(h: std::thread::ScopedJoinHandle<'_, U>) -> U {
+    match h.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Splits `len` items into at most `threads` contiguous chunks of
 /// near-equal size; returns `(start, end)` pairs covering `0..len`.
 fn chunks(len: usize, threads: usize) -> Vec<(usize, usize)> {
@@ -105,7 +116,7 @@ pub fn par_map_threads<T: Sync, U: Send>(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("par_map worker panicked"));
+            results.push(join_propagating(h));
         }
     });
     let mut out = Vec::with_capacity(items.len());
@@ -141,7 +152,7 @@ pub fn par_map_range_threads<U: Send>(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("par_map_range worker panicked"));
+            results.push(join_propagating(h));
         }
     });
     let mut out = Vec::with_capacity(n);
@@ -179,7 +190,7 @@ pub fn par_map_range_coarse_threads<U: Send>(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("par_map_range_coarse worker panicked"));
+            results.push(join_propagating(h));
         }
     });
     let mut out = Vec::with_capacity(n);
@@ -307,6 +318,26 @@ mod tests {
         assert_eq!(configured_threads(), 3);
         set_threads(None);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_original_payload() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log clean
+        let res = std::panic::catch_unwind(|| {
+            par_map_range_threads(4, 1000, |i| {
+                if i == 700 {
+                    std::panic::panic_any("original payload 700");
+                }
+                i
+            })
+        });
+        std::panic::set_hook(prev);
+        let payload = res.expect_err("panic must cross the join");
+        assert_eq!(
+            *payload.downcast_ref::<&str>().expect("payload type kept"),
+            "original payload 700"
+        );
     }
 
     #[test]

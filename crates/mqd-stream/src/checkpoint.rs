@@ -1,0 +1,521 @@
+//! Checkpoint/recovery for supervised streaming runs.
+//!
+//! [`encode_checkpoint`] serializes a [`SupervisedRun`] at a delivery
+//! boundary — stream parameters, an input digest, and per shard the
+//! supervisor scalars plus the engine's [`EngineSnapshot`] — using the same
+//! binlog-style wire primitives (varints + FNV-1a framing) as the CLI's
+//! post store. [`resume_supervised`] rebuilds a run from those bytes,
+//! refusing with [`MqdError::CheckpointMismatch`] when the checkpoint was
+//! taken against different parameters or a different input stream.
+//!
+//! Recovery guarantee: a run killed at any point and resumed from its last
+//! checkpoint re-delivers the arrivals after the checkpoint position, and —
+//! because the checkpoint carries each shard's emission log — the resumed
+//! run's final output is byte-identical to the uninterrupted run's
+//! (engines are deterministic). In particular every unflagged emission
+//! still honors `delay <= tau`, and a post arriving between the checkpoint
+//! and the kill is released within `tau + checkpoint interval` of its
+//! timestamp.
+
+use mqd_core::wire::{check_framed, put_varint, put_varint_i64, seal_framed, Cursor};
+use mqd_core::{Instance, MqdError};
+
+use crate::chaos::{FaultPlan, ShardCounters};
+use crate::engine::EngineSnapshot;
+use crate::shard::ShardEngineKind;
+use crate::supervisor::{SupervisedRun, SupervisorConfig};
+
+/// File magic of a checkpoint blob.
+pub const MAGIC: [u8; 4] = *b"MQDC";
+/// Footer magic sealing the FNV-1a checksum.
+const FOOTER: [u8; 4] = *b"END!";
+/// Format version.
+const VERSION: u64 = 1;
+
+/// Serializes `run` at its current delivery boundary. Forces a supervisor
+/// snapshot on every shard first so the replay buffers are empty and the
+/// engine snapshots capture the complete state.
+pub fn encode_checkpoint(run: &mut SupervisedRun) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    buf.extend_from_slice(&MAGIC);
+    put_varint(&mut buf, VERSION);
+    put_varint_i64(&mut buf, run.lambda);
+    put_varint_i64(&mut buf, run.tau);
+    put_varint(&mut buf, run.sups.len() as u64);
+    buf.push(run.kind.to_tag());
+    put_varint(&mut buf, run.digest);
+    put_varint(&mut buf, run.seed);
+    put_varint(&mut buf, run.next_post as u64);
+    for sup in &mut run.sups {
+        sup.take_snapshot();
+        put_varint(&mut buf, sup.seq());
+        put_varint(&mut buf, sup.next_expected as u64);
+        put_varint_i64(&mut buf, sup.clock);
+        put_varint_i64(&mut buf, sup.stall_until);
+        buf.push(sup.degraded as u8);
+        encode_counters(&mut buf, &sup.counters);
+        encode_flags(&mut buf, &sup.fired);
+        let emitted: Vec<u32> = bitset_to_indices(sup.emitted_local_bits());
+        put_varint(&mut buf, emitted.len() as u64);
+        for p in emitted {
+            put_varint(&mut buf, p as u64);
+        }
+        encode_engine_snapshot(&mut buf, &sup.engine_snapshot());
+        let log = sup.emissions_so_far();
+        put_varint(&mut buf, log.len() as u64);
+        for e in log {
+            put_varint(&mut buf, e.post as u64);
+            put_varint_i64(&mut buf, e.emit_time);
+            buf.push(e.degraded as u8);
+        }
+        let restarts = sup.restarts_so_far();
+        put_varint(&mut buf, restarts.len() as u64);
+        for r in restarts {
+            put_varint(&mut buf, r.seq);
+            put_varint(&mut buf, r.attempt as u64);
+        }
+    }
+    seal_framed(&mut buf, &FOOTER);
+    buf
+}
+
+/// Rebuilds a [`SupervisedRun`] from checkpoint bytes, validating that the
+/// stream parameters and input digest match. The returned run continues
+/// from the checkpointed position; drive it with [`SupervisedRun::step`]
+/// and [`SupervisedRun::finish`] as usual.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_supervised(
+    inst: &Instance,
+    lambda: i64,
+    tau: i64,
+    shards: usize,
+    kind: ShardEngineKind,
+    plan: &FaultPlan,
+    cfg: SupervisorConfig,
+    bytes: &[u8],
+) -> Result<SupervisedRun, MqdError> {
+    let body = check_framed(bytes, &FOOTER, MAGIC.len() + 1)?;
+    let mut c = Cursor::new(body);
+    let magic: [u8; 4] = c.get_array()?;
+    if magic != MAGIC {
+        return Err(c.corrupt("not a checkpoint file (bad magic)"));
+    }
+    let version = c.get_varint()?;
+    if version != VERSION {
+        return Err(c.corrupt(format!("unsupported checkpoint version {version}")));
+    }
+    let ck_lambda = c.get_varint_i64()?;
+    let ck_tau = c.get_varint_i64()?;
+    let ck_shards = c.get_varint()? as usize;
+    let ck_kind = c.get_u8()?;
+    let ck_digest = c.get_varint()?;
+    let _ck_seed = c.get_varint()?;
+    let next_post = c.get_varint()? as u32;
+
+    let mut run = SupervisedRun::new(inst, lambda, tau, shards, kind, plan, cfg);
+    if ck_lambda != lambda {
+        return Err(mismatch(format!("lambda {ck_lambda} != {lambda}")));
+    }
+    if ck_tau != tau {
+        return Err(mismatch(format!("tau {ck_tau} != {tau}")));
+    }
+    if ck_shards != run.sups.len() {
+        return Err(mismatch(format!(
+            "shard count {ck_shards} != {}",
+            run.sups.len()
+        )));
+    }
+    if ShardEngineKind::from_tag(ck_kind) != Some(kind) {
+        return Err(mismatch(format!("engine kind tag {ck_kind}")));
+    }
+    if ck_digest != run.digest {
+        return Err(mismatch("input stream digest".to_string()));
+    }
+    if next_post as usize > inst.len() {
+        return Err(mismatch(format!(
+            "position {next_post} beyond stream length {}",
+            inst.len()
+        )));
+    }
+
+    for s in 0..ck_shards {
+        let seq = c.get_varint()?;
+        let next_expected = c.get_varint()? as u32;
+        let clock = c.get_varint_i64()?;
+        let stall_until = c.get_varint_i64()?;
+        let degraded = c.get_u8()? != 0;
+        let counters = decode_counters(&mut c)?;
+        let fired = decode_flags(&mut c)?;
+        let sup = &mut run.sups[s];
+        if fired.len() != sup.fired.len() {
+            return Err(mismatch(format!(
+                "fault plan size for shard {s}: {} != {}",
+                fired.len(),
+                sup.fired.len()
+            )));
+        }
+        let local_len = sup.shard.inst.len();
+        let emitted_n = c.get_varint()? as usize;
+        if emitted_n > local_len {
+            return Err(c.corrupt("emitted set larger than shard"));
+        }
+        let mut emitted_local = vec![false; local_len];
+        for _ in 0..emitted_n {
+            let p = c.get_varint()? as usize;
+            if p >= local_len {
+                return Err(c.corrupt("emitted post index out of range"));
+            }
+            emitted_local[p] = true;
+        }
+        let snap = decode_engine_snapshot(&mut c, sup.shard.inst.num_labels(), local_len)?;
+        let n_emissions = c.get_varint()? as usize;
+        if n_emissions > local_len {
+            return Err(c.corrupt("emission log larger than shard"));
+        }
+        let mut emissions = Vec::with_capacity(n_emissions);
+        for _ in 0..n_emissions {
+            let post = c.get_varint()? as u32;
+            if post as usize >= inst.len() {
+                return Err(c.corrupt("emission post index out of range"));
+            }
+            let emit_time = c.get_varint_i64()?;
+            let degraded = c.get_u8()? != 0;
+            emissions.push(crate::supervisor::SupervisedEmission {
+                post,
+                emit_time,
+                degraded,
+            });
+        }
+        let n_restarts = c.get_varint()? as usize;
+        if n_restarts > 1 << 20 {
+            return Err(c.corrupt("implausible restart count"));
+        }
+        let mut restarts = Vec::with_capacity(n_restarts);
+        for _ in 0..n_restarts {
+            restarts.push(crate::chaos::RestartRecord {
+                shard: s,
+                seq: c.get_varint()?,
+                attempt: c.get_varint()? as usize,
+            });
+        }
+        run.sups[s].restore_checkpoint(
+            seq,
+            next_expected,
+            clock,
+            stall_until,
+            degraded,
+            counters,
+            emitted_local,
+            fired,
+            snap,
+            emissions,
+            restarts,
+        );
+    }
+    if c.has_remaining() {
+        return Err(c.corrupt("trailing bytes after checkpoint payload"));
+    }
+    run.next_post = next_post;
+    Ok(run)
+}
+
+fn mismatch(what: String) -> MqdError {
+    MqdError::CheckpointMismatch { what }
+}
+
+fn encode_counters(buf: &mut Vec<u8>, ct: &ShardCounters) {
+    for v in [
+        ct.stalls_applied,
+        ct.duplicates_dropped,
+        ct.late_clamped,
+        ct.garbage_rejected,
+        ct.degraded_emissions,
+        ct.stall_rewrites,
+        ct.mode_switches,
+    ] {
+        put_varint(buf, v);
+    }
+}
+
+fn decode_counters(c: &mut Cursor<'_>) -> Result<ShardCounters, MqdError> {
+    Ok(ShardCounters {
+        stalls_applied: c.get_varint()?,
+        duplicates_dropped: c.get_varint()?,
+        late_clamped: c.get_varint()?,
+        garbage_rejected: c.get_varint()?,
+        degraded_emissions: c.get_varint()?,
+        stall_rewrites: c.get_varint()?,
+        mode_switches: c.get_varint()?,
+    })
+}
+
+fn encode_flags(buf: &mut Vec<u8>, flags: &[bool]) {
+    put_varint(buf, flags.len() as u64);
+    let set: Vec<u64> = flags
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f)
+        .map(|(i, _)| i as u64)
+        .collect();
+    put_varint(buf, set.len() as u64);
+    for i in set {
+        put_varint(buf, i);
+    }
+}
+
+fn decode_flags(c: &mut Cursor<'_>) -> Result<Vec<bool>, MqdError> {
+    let len = c.get_varint()? as usize;
+    if len > 1 << 24 {
+        return Err(c.corrupt("implausible flag vector length"));
+    }
+    let mut flags = vec![false; len];
+    let set = c.get_varint()? as usize;
+    if set > len {
+        return Err(c.corrupt("more set flags than flags"));
+    }
+    for _ in 0..set {
+        let i = c.get_varint()? as usize;
+        if i >= len {
+            return Err(c.corrupt("flag index out of range"));
+        }
+        flags[i] = true;
+    }
+    Ok(flags)
+}
+
+fn encode_engine_snapshot(buf: &mut Vec<u8>, snap: &EngineSnapshot) {
+    put_varint(buf, snap.emitted_per_label.len() as u64);
+    for list in &snap.emitted_per_label {
+        put_varint(buf, list.len() as u64);
+        for &p in list {
+            put_varint(buf, p as u64);
+        }
+    }
+    put_varint(buf, snap.pending.len() as u64);
+    for (post, labels) in &snap.pending {
+        put_varint(buf, *post as u64);
+        put_varint(buf, labels.len() as u64);
+        for &a in labels {
+            put_varint(buf, a as u64);
+        }
+    }
+    put_varint(buf, snap.emitted.len() as u64);
+    for &p in &snap.emitted {
+        put_varint(buf, p as u64);
+    }
+}
+
+fn decode_engine_snapshot(
+    c: &mut Cursor<'_>,
+    num_labels: usize,
+    num_posts: usize,
+) -> Result<EngineSnapshot, MqdError> {
+    let nl = c.get_varint()? as usize;
+    if nl != num_labels {
+        return Err(c.corrupt(format!("snapshot label count {nl} != shard's {num_labels}")));
+    }
+    let mut emitted_per_label = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        let n = c.get_varint()? as usize;
+        if n > num_posts {
+            return Err(c.corrupt("per-label emitted list larger than shard"));
+        }
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = c.get_varint()? as u32;
+            if p as usize >= num_posts {
+                return Err(c.corrupt("emitted post index out of range"));
+            }
+            list.push(p);
+        }
+        emitted_per_label.push(list);
+    }
+    let np = c.get_varint()? as usize;
+    if np > num_posts {
+        return Err(c.corrupt("pending list larger than shard"));
+    }
+    let mut pending = Vec::with_capacity(np);
+    for _ in 0..np {
+        let post = c.get_varint()? as u32;
+        if post as usize >= num_posts {
+            return Err(c.corrupt("pending post index out of range"));
+        }
+        let n = c.get_varint()? as usize;
+        if n > num_labels {
+            return Err(c.corrupt("pending label set larger than label space"));
+        }
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = c.get_varint()? as u16;
+            if (a as usize) >= num_labels {
+                return Err(c.corrupt("pending label out of range"));
+            }
+            labels.push(a);
+        }
+        pending.push((post, labels));
+    }
+    let ne = c.get_varint()? as usize;
+    if ne > num_posts {
+        return Err(c.corrupt("emitted set larger than shard"));
+    }
+    let mut emitted = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let p = c.get_varint()? as u32;
+        if p as usize >= num_posts {
+            return Err(c.corrupt("emitted post index out of range"));
+        }
+        emitted.push(p);
+    }
+    Ok(EngineSnapshot {
+        emitted_per_label,
+        pending,
+        emitted,
+    })
+}
+
+fn bitset_to_indices(bits: &[bool]) -> Vec<u32> {
+    bits.iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::FaultPlan;
+    use crate::supervisor::{run_supervised_reference, SupervisedEmission};
+    use mqd_core::{coverage, FixedLambda};
+
+    fn instance(seed: u64, n: usize, labels: usize) -> Instance {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = 0i64;
+        let items: Vec<(i64, Vec<u16>)> = (0..n)
+            .map(|_| {
+                t += (next() % 40) as i64;
+                (t, vec![(next() % labels as u64) as u16])
+            })
+            .collect();
+        Instance::from_values(items, labels).unwrap()
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_run() {
+        let inst = instance(13, 120, 4);
+        let (lambda, tau, shards) = (60, 35, 4);
+        let kind = ShardEngineKind::ScanPlus;
+        let plan = FaultPlan::for_instance(&inst, shards, 4242, tau);
+        let cfg = SupervisorConfig::default();
+
+        let full = run_supervised_reference(&inst, lambda, tau, shards, kind, &plan, cfg).unwrap();
+
+        for kill_at in [1u32, 30, 60, 119, 120] {
+            // Phase 1: run to the kill point, checkpointing there.
+            let mut run = SupervisedRun::new(&inst, lambda, tau, shards, kind, &plan, cfg);
+            while run.position() < kill_at && run.step().unwrap() {}
+            let bytes = encode_checkpoint(&mut run);
+            // What a process killed here has durably published (no flush)
+            // must be a subset of the uninterrupted run's emissions.
+            let pre: Vec<SupervisedEmission> = run.released_emissions();
+            for e in &pre {
+                assert!(
+                    full.emissions.contains(e),
+                    "kill at {kill_at}: pre-kill emission {e:?} not in full run"
+                );
+            }
+            drop(run);
+            // Phase 2: the process dies; a fresh one resumes from the blob.
+            // The checkpoint carries the emission log, so the resumed run's
+            // final output is the complete stream, byte-identical.
+            let mut resumed =
+                resume_supervised(&inst, lambda, tau, shards, kind, &plan, cfg, &bytes).unwrap();
+            assert_eq!(resumed.position(), kill_at.min(inst.len() as u32));
+            resumed.run_all().unwrap();
+            let post = resumed.finish().unwrap();
+
+            assert_eq!(
+                post.emissions, full.emissions,
+                "kill at {kill_at}: resumed output differs from uninterrupted run"
+            );
+            assert_eq!(post.report.to_json(), full.report.to_json());
+            let selected: Vec<u32> = {
+                let mut s: Vec<u32> = post.emissions.iter().map(|e| e.post).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            };
+            assert!(coverage::is_cover(&inst, &FixedLambda(lambda), &selected));
+        }
+    }
+
+    #[test]
+    fn mismatched_parameters_are_refused() {
+        let inst = instance(5, 50, 3);
+        let plan = FaultPlan::none();
+        let cfg = SupervisorConfig::default();
+        let kind = ShardEngineKind::Scan;
+        let mut run = SupervisedRun::new(&inst, 40, 20, 3, kind, &plan, cfg);
+        run.step().unwrap();
+        let bytes = encode_checkpoint(&mut run);
+
+        let err = resume_supervised(&inst, 41, 20, 3, kind, &plan, cfg, &bytes).unwrap_err();
+        assert!(matches!(err, MqdError::CheckpointMismatch { .. }), "{err}");
+        let err = resume_supervised(&inst, 40, 21, 3, kind, &plan, cfg, &bytes).unwrap_err();
+        assert!(matches!(err, MqdError::CheckpointMismatch { .. }), "{err}");
+        let err = resume_supervised(&inst, 40, 20, 2, kind, &plan, cfg, &bytes).unwrap_err();
+        assert!(matches!(err, MqdError::CheckpointMismatch { .. }), "{err}");
+        let err = resume_supervised(
+            &inst,
+            40,
+            20,
+            3,
+            ShardEngineKind::Greedy,
+            &plan,
+            cfg,
+            &bytes,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MqdError::CheckpointMismatch { .. }), "{err}");
+        let other = instance(6, 50, 3);
+        let err = resume_supervised(&other, 40, 20, 3, kind, &plan, cfg, &bytes).unwrap_err();
+        assert!(matches!(err, MqdError::CheckpointMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_bytes_are_typed_errors() {
+        let inst = instance(7, 40, 2);
+        let plan = FaultPlan::none();
+        let cfg = SupervisorConfig::default();
+        let mut run = SupervisedRun::new(&inst, 30, 15, 2, ShardEngineKind::Scan, &plan, cfg);
+        for _ in 0..10 {
+            run.step().unwrap();
+        }
+        let bytes = encode_checkpoint(&mut run);
+        // Body flip: checksum catches it.
+        let mut bad = bytes.clone();
+        bad[8] ^= 0xff;
+        let err = resume_supervised(&inst, 30, 15, 2, ShardEngineKind::Scan, &plan, cfg, &bad)
+            .unwrap_err();
+        assert!(matches!(err, MqdError::Corrupt { .. }), "{err}");
+        // Truncation: footer check catches it.
+        let err = resume_supervised(
+            &inst,
+            30,
+            15,
+            2,
+            ShardEngineKind::Scan,
+            &plan,
+            cfg,
+            &bytes[..bytes.len() - 5],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MqdError::Corrupt { .. }), "{err}");
+    }
+}

@@ -42,8 +42,51 @@ impl<'a> StreamContext<'a> {
     }
 }
 
-/// A StreamMQDP algorithm.
-pub trait StreamEngine {
+/// A restartable snapshot of a streaming engine: the per-label coverage
+/// frontier plus the posts still buffered (pending) inside the engine.
+///
+/// The snapshot is the unit of fault tolerance: the shard supervisor
+/// captures one every few arrivals so a panicked shard can be restarted
+/// from it, the checkpoint codec serializes it to disk so a killed process
+/// can resume, and the graceful-degradation path hands it to the Instant
+/// (`tau = 0`) scheme so coverage continues seamlessly across mode
+/// switches. Restoring a freshly built engine from a snapshot and replaying
+/// the arrivals delivered since the capture reproduces the original
+/// engine's emissions exactly (engines are deterministic).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct EngineSnapshot {
+    /// Per label: emitted posts carrying the label, sorted by timestamp.
+    /// Scan-family engines only need the latest entry; the greedy family
+    /// keeps the recent suffix for its arrival-time coverage check.
+    pub emitted_per_label: Vec<Vec<u32>>,
+    /// Buffered posts with the labels they are still pending for, in
+    /// arrival (= post index) order.
+    pub pending: Vec<(u32, Vec<u16>)>,
+    /// Every post emitted so far (sorted indices) — the cross-label dedup
+    /// guard. Engines without their own dedup state leave this empty on
+    /// export; the supervisor maintains it across mode switches.
+    pub emitted: Vec<u32>,
+}
+
+impl EngineSnapshot {
+    /// An empty snapshot over `num_labels` labels (a fresh engine).
+    pub fn empty(num_labels: usize) -> Self {
+        EngineSnapshot {
+            emitted_per_label: vec![Vec::new(); num_labels],
+            pending: Vec::new(),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// The latest emitted post carrying label `a`, if any.
+    pub fn last_emitted(&self, a: usize) -> Option<u32> {
+        self.emitted_per_label[a].last().copied()
+    }
+}
+
+/// A StreamMQDP algorithm. `Send` so supervised shards (which own their
+/// engine across restarts) can run on worker threads.
+pub trait StreamEngine: Send {
     /// Display name ("StreamScan", "StreamGreedySC+", ...).
     fn name(&self) -> &'static str;
 
@@ -59,5 +102,19 @@ pub trait StreamEngine {
     /// End of stream: fire all remaining deadlines.
     fn flush(&mut self, ctx: &StreamContext<'_>, out: &mut Vec<Emission>) {
         self.on_time(ctx, i64::MAX, out);
+    }
+
+    /// Export a restartable snapshot, or `None` if this engine does not
+    /// support supervision/checkpointing (the default).
+    fn snapshot(&self) -> Option<EngineSnapshot> {
+        None
+    }
+
+    /// Restore state from a snapshot. The engine must be freshly
+    /// constructed with the same dimensions. Returns `false` (and leaves
+    /// the engine untouched) when unsupported.
+    fn restore(&mut self, ctx: &StreamContext<'_>, snap: &EngineSnapshot) -> bool {
+        let _ = (ctx, snap);
+        false
     }
 }

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use mqd_core::{coverage, LabelId};
 use mqd_setcover::PresenceFenwick;
 
-use crate::engine::{Emission, StreamContext, StreamEngine};
+use crate::engine::{Emission, EngineSnapshot, StreamContext, StreamEngine};
 
 /// A buffered post with its still-uncovered labels.
 #[derive(Clone, Debug)]
@@ -66,7 +66,7 @@ impl StreamGreedy {
     fn deadline(&self, ctx: &StreamContext<'_>) -> Option<i64> {
         self.buffer
             .front()
-            .map(|p| ctx.inst.value(p.post) + ctx.tau)
+            .map(|p| ctx.inst.value(p.post).saturating_add(ctx.tau))
     }
 
     /// Whether an already-emitted post covers `a ∈ post`.
@@ -266,6 +266,55 @@ impl StreamEngine for StreamGreedy {
             self.buffer.push_back(PendingPost { post, uncovered });
         }
     }
+
+    fn snapshot(&self) -> Option<EngineSnapshot> {
+        Some(EngineSnapshot {
+            emitted_per_label: self.emitted_per_label.clone(),
+            pending: self
+                .buffer
+                .iter()
+                .map(|p| {
+                    (
+                        p.post,
+                        p.uncovered.iter().map(|a| a.index() as u16).collect(),
+                    )
+                })
+                .collect(),
+            emitted: self
+                .emitted
+                .iter()
+                .enumerate()
+                .filter(|(_, &e)| e)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        })
+    }
+
+    fn restore(&mut self, ctx: &StreamContext<'_>, snap: &EngineSnapshot) -> bool {
+        let _ = ctx;
+        for list in &mut self.emitted_per_label {
+            list.clear();
+        }
+        for (a, list) in snap.emitted_per_label.iter().enumerate() {
+            if a < self.emitted_per_label.len() {
+                self.emitted_per_label[a] = list.clone();
+            }
+        }
+        self.emitted.iter_mut().for_each(|e| *e = false);
+        for &p in &snap.emitted {
+            if let Some(slot) = self.emitted.get_mut(p as usize) {
+                *slot = true;
+            }
+        }
+        self.buffer.clear();
+        for (post, labels) in &snap.pending {
+            self.buffer.push_back(PendingPost {
+                post: *post,
+                uncovered: labels.iter().map(|&a| LabelId(a)).collect(),
+            });
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +427,43 @@ mod tests {
         let mut eng = StreamGreedy::new(1, 0);
         let res = run_stream(&inst, &f, 5, &mut eng);
         assert!(res.selected.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let inst = two_label_instance();
+        let f = FixedLambda(5);
+        let tau = 4;
+        let ctx = StreamContext::new(&inst, &f, tau);
+        for plus in [false, true] {
+            let mk = || {
+                if plus {
+                    StreamGreedy::new_plus(2, inst.len())
+                } else {
+                    StreamGreedy::new(2, inst.len())
+                }
+            };
+            let mut base = mk();
+            let full = run_stream(&inst, &f, tau, &mut base);
+            for cut in 0..inst.len() {
+                let mut eng = mk();
+                let mut out = Vec::new();
+                for p in 0..cut as u32 {
+                    let t = inst.value(p);
+                    eng.on_time(&ctx, t.saturating_sub(1), &mut out);
+                    eng.on_arrival(&ctx, p, &mut out);
+                }
+                let snap = eng.snapshot().expect("greedy supports snapshots");
+                let mut restored = mk();
+                assert!(restored.restore(&ctx, &snap));
+                for p in cut as u32..inst.len() as u32 {
+                    let t = inst.value(p);
+                    restored.on_time(&ctx, t.saturating_sub(1), &mut out);
+                    restored.on_arrival(&ctx, p, &mut out);
+                }
+                restored.flush(&ctx, &mut out);
+                assert_eq!(out, full.emissions, "plus={plus} cut={cut}");
+            }
+        }
     }
 }

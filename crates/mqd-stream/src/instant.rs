@@ -9,7 +9,7 @@
 
 use mqd_core::coverage;
 
-use crate::engine::{Emission, StreamContext, StreamEngine};
+use crate::engine::{Emission, EngineSnapshot, StreamContext, StreamEngine};
 
 /// The cache-based instant-output engine.
 pub struct InstantScan {
@@ -49,6 +49,32 @@ impl StreamEngine for InstantScan {
                 self.cache[a.index()] = Some(post);
             }
         }
+    }
+
+    fn snapshot(&self) -> Option<EngineSnapshot> {
+        Some(EngineSnapshot {
+            emitted_per_label: self
+                .cache
+                .iter()
+                .map(|c| c.iter().copied().collect())
+                .collect(),
+            pending: Vec::new(),
+            emitted: Vec::new(),
+        })
+    }
+
+    fn restore(&mut self, ctx: &StreamContext<'_>, snap: &EngineSnapshot) -> bool {
+        let _ = ctx;
+        for (a, slot) in self.cache.iter_mut().enumerate() {
+            *slot = if a < snap.emitted_per_label.len() {
+                snap.last_emitted(a)
+            } else {
+                None
+            };
+        }
+        // Pending posts carry over nowhere: the Instant scheme emits or drops
+        // on arrival, so the supervisor re-delivers them through on_arrival.
+        true
     }
 }
 

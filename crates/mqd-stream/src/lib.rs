@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod density;
 pub mod engine;
 pub mod greedy;
@@ -33,10 +35,13 @@ pub mod multiuser;
 pub mod scan;
 pub mod shard;
 pub mod simulator;
+pub mod supervisor;
 pub mod timeline;
 
+pub use chaos::{Fault, FaultKind, FaultPlan, FaultReport, RestartRecord, ShardCounters};
+pub use checkpoint::{encode_checkpoint, resume_supervised};
 pub use density::{AdaptiveEngine, AdaptiveInstant, OnlineLambda};
-pub use engine::{Emission, StreamContext, StreamEngine};
+pub use engine::{Emission, EngineSnapshot, StreamContext, StreamEngine};
 pub use greedy::StreamGreedy;
 pub use instant::InstantScan;
 pub use multiuser::{
@@ -45,4 +50,8 @@ pub use multiuser::{
 pub use scan::StreamScan;
 pub use shard::{run_sharded_reference, run_sharded_stream, ShardEngineKind};
 pub use simulator::{run_stream, StreamRunResult};
+pub use supervisor::{
+    run_supervised_reference, run_supervised_stream, SupervisedEmission, SupervisedRun,
+    SupervisedRunResult, SupervisorConfig,
+};
 pub use timeline::{TimelinePost, WindowedTimeline};

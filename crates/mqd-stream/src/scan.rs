@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 
 use mqd_core::{coverage, LabelId};
 
-use crate::engine::{Emission, StreamContext, StreamEngine};
+use crate::engine::{Emission, EngineSnapshot, StreamContext, StreamEngine};
 
 #[derive(Clone, Debug, Default)]
 struct LabelState {
@@ -70,7 +70,14 @@ impl StreamScan {
                 // oldest pending post's own threshold is the natural local
                 // estimate (exact for fixed lambda).
                 let lam = ctx.lambda.lambda(ctx.inst, ou, LabelId(a as u16));
-                Some((ctx.inst.value(lu) + ctx.tau).min(ctx.inst.value(ou) + lam))
+                // Saturating: extreme (garbage) timestamps near i64::MAX must
+                // degrade to "flush at the end of time", not overflow.
+                Some(
+                    ctx.inst
+                        .value(lu)
+                        .saturating_add(ctx.tau)
+                        .min(ctx.inst.value(ou).saturating_add(lam)),
+                )
             }
             _ => None,
         };
@@ -142,6 +149,49 @@ impl StreamEngine for StreamScan {
             self.states[a.index()].pending.push_back(post);
             self.recompute_deadline(ctx, a.index());
         }
+    }
+
+    fn snapshot(&self) -> Option<EngineSnapshot> {
+        let mut snap = EngineSnapshot::empty(self.states.len());
+        // Per-post pending-label sets, in arrival (= index) order.
+        let mut pending: std::collections::BTreeMap<u32, Vec<u16>> = Default::default();
+        for (a, st) in self.states.iter().enumerate() {
+            if let Some(lc) = st.last_emitted {
+                snap.emitted_per_label[a].push(lc);
+            }
+            for &p in &st.pending {
+                pending.entry(p).or_default().push(a as u16);
+            }
+        }
+        snap.pending = pending.into_iter().collect();
+        snap.emitted = (0..self.emitted.len() as u32)
+            .filter(|&p| self.emitted[p as usize])
+            .collect();
+        Some(snap)
+    }
+
+    fn restore(&mut self, ctx: &StreamContext<'_>, snap: &EngineSnapshot) -> bool {
+        for st in &mut self.states {
+            *st = LabelState::default();
+        }
+        self.emitted.iter_mut().for_each(|e| *e = false);
+        for &p in &snap.emitted {
+            self.emitted[p as usize] = true;
+        }
+        for (a, st) in self.states.iter_mut().enumerate() {
+            st.last_emitted = snap.last_emitted(a);
+        }
+        // Entries are post-index sorted = arrival order, so queues rebuild
+        // in their original order.
+        for (p, labels) in &snap.pending {
+            for &a in labels {
+                self.states[a as usize].pending.push_back(*p);
+            }
+        }
+        for a in 0..self.states.len() {
+            self.recompute_deadline(ctx, a);
+        }
+        true
     }
 }
 
@@ -233,5 +283,75 @@ mod tests {
         let res = run_stream(&inst, &f, 5, &mut eng);
         assert!(res.selected.is_empty());
         assert!(res.emissions.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Split a replay at every midpoint: the restored engine must finish
+        // the stream with exactly the emissions the uninterrupted one makes.
+        let inst = Instance::from_values(
+            vec![
+                (0, vec![0]),
+                (3, vec![1]),
+                (7, vec![0, 1]),
+                (12, vec![0]),
+                (30, vec![1]),
+                (33, vec![0]),
+            ],
+            2,
+        )
+        .unwrap();
+        let f = FixedLambda(6);
+        let tau = 4;
+        let ctx = StreamContext::new(&inst, &f, tau);
+        for plus in [false, true] {
+            let mk = || {
+                if plus {
+                    StreamScan::new_plus(2, inst.len())
+                } else {
+                    StreamScan::new(2, inst.len())
+                }
+            };
+            let mut base = mk();
+            let full = run_stream(&inst, &f, tau, &mut base);
+            for cut in 0..inst.len() {
+                let mut eng = mk();
+                let mut out = Vec::new();
+                for p in 0..cut as u32 {
+                    let t = inst.value(p);
+                    eng.on_time(&ctx, t.saturating_sub(1), &mut out);
+                    eng.on_arrival(&ctx, p, &mut out);
+                }
+                let snap = eng.snapshot().expect("scan supports snapshots");
+                let mut restored = mk();
+                assert!(restored.restore(&ctx, &snap));
+                for p in cut as u32..inst.len() as u32 {
+                    let t = inst.value(p);
+                    restored.on_time(&ctx, t.saturating_sub(1), &mut out);
+                    restored.on_arrival(&ctx, p, &mut out);
+                }
+                restored.flush(&ctx, &mut out);
+                assert_eq!(out, full.emissions, "plus={plus} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_timestamps_do_not_overflow() {
+        // Garbage dimension values near the i64 edges must saturate into
+        // "flush at end of stream", never panic on overflow (debug builds).
+        let inst = Instance::from_values(
+            vec![
+                (i64::MIN + 1, vec![0]),
+                (0, vec![0]),
+                (i64::MAX - 1, vec![0]),
+            ],
+            1,
+        )
+        .unwrap();
+        let f = FixedLambda(i64::MAX);
+        let mut eng = StreamScan::new(1, inst.len());
+        let res = run_stream(&inst, &f, i64::MAX, &mut eng);
+        assert!(coverage::is_cover(&inst, &f, &res.selected));
     }
 }

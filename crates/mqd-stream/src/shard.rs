@@ -54,7 +54,7 @@ pub enum ShardEngineKind {
 }
 
 impl ShardEngineKind {
-    fn build(self, num_labels: usize, capacity: usize) -> Box<dyn StreamEngine> {
+    pub(crate) fn build(self, num_labels: usize, capacity: usize) -> Box<dyn StreamEngine> {
         match self {
             ShardEngineKind::Scan => Box::new(StreamScan::new(num_labels, capacity)),
             ShardEngineKind::ScanPlus => Box::new(StreamScan::new_plus(num_labels, capacity)),
@@ -63,7 +63,7 @@ impl ShardEngineKind {
         }
     }
 
-    fn merged_name(self) -> &'static str {
+    pub(crate) fn merged_name(self) -> &'static str {
         match self {
             ShardEngineKind::Scan => "Sharded(StreamScan)",
             ShardEngineKind::ScanPlus => "Sharded(StreamScan+)",
@@ -71,22 +71,58 @@ impl ShardEngineKind {
             ShardEngineKind::GreedyPlus => "Sharded(StreamGreedySC+)",
         }
     }
+
+    pub(crate) fn supervised_name(self) -> &'static str {
+        match self {
+            ShardEngineKind::Scan => "Supervised(StreamScan)",
+            ShardEngineKind::ScanPlus => "Supervised(StreamScan+)",
+            ShardEngineKind::Greedy => "Supervised(StreamGreedySC)",
+            ShardEngineKind::GreedyPlus => "Supervised(StreamGreedySC+)",
+        }
+    }
+
+    /// Stable on-disk tag for checkpoint files.
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            ShardEngineKind::Scan => 0,
+            ShardEngineKind::ScanPlus => 1,
+            ShardEngineKind::Greedy => 2,
+            ShardEngineKind::GreedyPlus => 3,
+        }
+    }
+
+    /// Inverse of [`Self::to_tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ShardEngineKind::Scan),
+            1 => Some(ShardEngineKind::ScanPlus),
+            2 => Some(ShardEngineKind::Greedy),
+            3 => Some(ShardEngineKind::GreedyPlus),
+            _ => None,
+        }
+    }
+}
+
+/// The clamp every sharded entry point applies to a requested shard count:
+/// at least one shard, at most one per label.
+pub(crate) fn clamp_shards(inst: &Instance, shards: usize) -> usize {
+    shards.max(1).min(inst.num_labels().max(1))
 }
 
 /// One shard's label-filtered view of the instance.
-struct Shard {
+pub(crate) struct Shard {
     /// Sub-instance over the posts carrying at least one owned label, with
     /// owned labels re-indexed densely.
-    inst: Instance,
+    pub(crate) inst: Instance,
     /// Sub-instance post index -> global post index.
-    to_global: Vec<u32>,
+    pub(crate) to_global: Vec<u32>,
     /// Global post index -> sub-instance post index (or `u32::MAX`).
-    to_local: Vec<u32>,
+    pub(crate) to_local: Vec<u32>,
 }
 
 /// Splits `inst` into `shards` label-partitioned sub-instances. Shards that
 /// own no occurrences still appear (empty) so indices stay aligned.
-fn build_shards(inst: &Instance, shards: usize) -> Vec<Shard> {
+pub(crate) fn build_shards(inst: &Instance, shards: usize) -> Vec<Shard> {
     // Global label -> (owning shard, dense local label id).
     let num_labels = inst.num_labels();
     let mut local_label = vec![0u16; num_labels];
@@ -136,7 +172,7 @@ fn build_shards(inst: &Instance, shards: usize) -> Vec<Shard> {
 /// Merges per-shard emissions (already mapped to global post indices):
 /// dedup posts keeping each post's earliest emission, then order by
 /// `(emit_time, post)`.
-fn merge_emissions(mut all: Vec<Emission>) -> Vec<Emission> {
+pub(crate) fn merge_emissions(mut all: Vec<Emission>) -> Vec<Emission> {
     all.sort_unstable_by_key(|e| (e.post, e.emit_time));
     all.dedup_by_key(|e| e.post);
     all.sort_unstable_by_key(|e| (e.emit_time, e.post));
@@ -199,7 +235,7 @@ pub fn run_sharded_stream(
     shards: usize,
     kind: ShardEngineKind,
 ) -> StreamRunResult {
-    let shards = shards.max(1).min(inst.num_labels().max(1));
+    let shards = clamp_shards(inst, shards);
     let built = build_shards(inst, shards);
     if shards == 1 {
         let arrivals: Vec<u32> = (0..built[0].inst.len() as u32).collect();
@@ -221,16 +257,19 @@ pub fn run_sharded_stream(
         for k in 0..inst.len() as u32 {
             for (s_idx, shard) in built.iter().enumerate() {
                 let local = shard.to_local[k as usize];
-                if local != u32::MAX {
-                    senders[s_idx]
-                        .send(local)
-                        .expect("shard thread hung up early");
+                if local != u32::MAX && senders[s_idx].send(local).is_err() {
+                    // A shard hung up early only if its thread died; the
+                    // panic payload is re-raised at join below.
+                    continue;
                 }
             }
         }
         drop(senders); // close channels -> shards flush and return
         for h in handles {
-            all.extend(h.join().expect("shard thread panicked"));
+            match h.join() {
+                Ok(emissions) => all.extend(emissions),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     result_from(inst, kind, merge_emissions(all))
@@ -246,7 +285,7 @@ pub fn run_sharded_reference(
     shards: usize,
     kind: ShardEngineKind,
 ) -> StreamRunResult {
-    let shards = shards.max(1).min(inst.num_labels().max(1));
+    let shards = clamp_shards(inst, shards);
     let built = build_shards(inst, shards);
     let mut all = Vec::new();
     for shard in &built {

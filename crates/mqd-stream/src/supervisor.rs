@@ -1,0 +1,1148 @@
+//! Shard supervision: catch shard panics, restart from the last coverage
+//! frontier, absorb injected faults, and degrade gracefully under overload.
+//!
+//! Every shard runs behind a supervisor state machine ([`ShardSup`]) that
+//! wraps engine event processing in [`std::panic::catch_unwind`]. The
+//! supervisor keeps a rolling [`EngineSnapshot`] (the per-label coverage
+//! frontier plus buffered posts) and a replay buffer of the arrivals
+//! delivered since the snapshot; when processing panics — injected by a
+//! [`FaultPlan`] or a genuine engine bug — the shard is rebuilt from the
+//! snapshot, the replay buffer is re-run, and a [`RestartRecord`] lands in
+//! the [`FaultReport`]. A shard that exhausts its restart budget fails the
+//! run with [`MqdError::ShardFailed`].
+//!
+//! **Clock model.** All supervision decisions use logical (timestamp)
+//! quantities only: a stall fault sets `stall_until = max(stall_until,
+//! t + duration)`, the processing time of an arrival is
+//! `max(t, stall_until)`, and the shard's *lag* is their difference.
+//! Nothing depends on wall clocks, queue depths, or thread scheduling, so
+//! the threaded supervised run and its sequential reference are
+//! byte-identical — including the fault report.
+//!
+//! **Graceful degradation.** When the lag exceeds the degrade threshold
+//! (default `tau / 2`), the shard flushes its primary engine and switches
+//! to the Instant (`tau = 0`) scheme seeded from the current coverage
+//! frontier; when the lag drains to zero it switches back, restoring the
+//! primary engine from the Instant cache. Every emission produced on the
+//! degraded path — or released late because of a stall — is flagged, so
+//! the invariant *unflagged implies `delay <= tau`* holds structurally and
+//! [`FaultReport::tau_violations_unflagged`] counts its violations (always
+//! zero unless the accounting itself is broken).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::sync_channel;
+use std::sync::OnceLock;
+
+use mqd_core::{FixedLambda, Instance, MqdError};
+
+use crate::chaos::{Fault, FaultKind, FaultPlan, FaultReport, RestartRecord, ShardCounters};
+use crate::engine::{Emission, EngineSnapshot, StreamContext, StreamEngine};
+use crate::instant::InstantScan;
+use crate::shard::{build_shards, clamp_shards, Shard, ShardEngineKind};
+use crate::simulator::StreamRunResult;
+
+/// Payload of supervisor-injected panics; the panic hook swallows these so
+/// chaos runs don't spray backtraces.
+pub(crate) const INJECTED_PANIC: &str = "injected shard fault (chaos)";
+
+/// Installs (once per process) a panic hook that silences injected chaos
+/// panics and forwards everything else to the previous hook.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync>;
+
+fn silence_injected_panics() {
+    static PREV: OnceLock<PanicHook> = OnceLock::new();
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        let _ = PREV.set(prev);
+        std::panic::set_hook(Box::new(|info| {
+            // The payload is a `String` (panic! with interpolation), but
+            // check the `&str` shape too so a literal panic also matches.
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied());
+            let injected = msg.is_some_and(|s| s.contains(INJECTED_PANIC));
+            if !injected {
+                if let Some(prev) = PREV.get() {
+                    prev(info);
+                }
+            }
+        }));
+    });
+}
+
+/// Tuning knobs for the shard supervisor.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Arrivals between rolling snapshots (restart granularity). The replay
+    /// buffer never grows past this, so a restart re-processes at most this
+    /// many arrivals.
+    pub snapshot_every: u64,
+    /// Restarts a single shard may consume before the run fails with
+    /// [`MqdError::ShardFailed`].
+    pub max_restarts: usize,
+    /// Lag (processing time minus arrival time) above which the shard
+    /// degrades to the Instant scheme. `None` means `tau / 2`.
+    pub degrade_threshold: Option<i64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            snapshot_every: 32,
+            max_restarts: 8,
+            degrade_threshold: None,
+        }
+    }
+}
+
+/// An emission annotated with its degradation flag. `degraded` is true when
+/// the emission was produced by the degraded (Instant) path **or** its
+/// release was pushed past its schedule by a stall — exactly the emissions
+/// exempt from the `delay <= tau` invariant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SupervisedEmission {
+    /// Global post index.
+    pub post: u32,
+    /// Actual release time (schedule, possibly stall-delayed).
+    pub emit_time: i64,
+    /// Whether this emission is exempt from the delay budget.
+    pub degraded: bool,
+}
+
+/// Outcome of a supervised run: the merged stream result, the flag-annotated
+/// emissions, and the deterministic fault report.
+#[derive(Clone, Debug)]
+pub struct SupervisedRunResult {
+    /// Merged emissions/selection/delays, as for the plain sharded runs.
+    pub result: StreamRunResult,
+    /// Merged emissions with degradation flags, ordered by
+    /// `(emit_time, post)`.
+    pub emissions: Vec<SupervisedEmission>,
+    /// The full fault/restart/degradation account.
+    pub report: FaultReport,
+}
+
+/// Rolling restart point: everything needed to rebuild the shard as it was
+/// at a delivery boundary.
+#[derive(Clone)]
+struct SupSnapshot {
+    /// Deliveries fully processed when the snapshot was taken.
+    seq: u64,
+    next_expected: u32,
+    clock: i64,
+    stall_until: i64,
+    degraded: bool,
+    counters: ShardCounters,
+    engine: EngineSnapshot,
+    emitted_local: Vec<bool>,
+    /// `emissions.len()` at capture; a restart truncates back to this.
+    emission_mark: usize,
+}
+
+/// The supervisor state machine for one shard.
+pub(crate) struct ShardSup {
+    pub(crate) index: usize,
+    pub(crate) shard: Shard,
+    lambda: FixedLambda,
+    tau: i64,
+    kind: ShardEngineKind,
+    cfg: SupervisorConfig,
+    faults: Vec<Fault>,
+    /// Panic faults that already fired (never rolled back by restarts, so
+    /// each panic fires exactly once).
+    pub(crate) fired: Vec<bool>,
+    engine: Box<dyn StreamEngine>,
+    pub(crate) degraded: bool,
+    pub(crate) clock: i64,
+    pub(crate) stall_until: i64,
+    pub(crate) next_expected: u32,
+    pub(crate) counters: ShardCounters,
+    /// Cumulative emitted set (local indices), across mode switches.
+    emitted_local: Vec<bool>,
+    emissions: Vec<SupervisedEmission>,
+    restarts: Vec<RestartRecord>,
+    snap: SupSnapshot,
+    /// Arrivals delivered since the snapshot (replayed after a restart).
+    pending_replay: Vec<u32>,
+    /// How many `pending_replay` entries are fully processed.
+    replay_done: usize,
+    want_snapshot: bool,
+}
+
+impl ShardSup {
+    pub(crate) fn new(
+        index: usize,
+        shard: Shard,
+        lambda: i64,
+        tau: i64,
+        kind: ShardEngineKind,
+        cfg: SupervisorConfig,
+        faults: Vec<Fault>,
+    ) -> Self {
+        let labels = shard.inst.num_labels();
+        let engine = kind.build(labels, shard.inst.len());
+        let fired = vec![false; faults.len()];
+        let emitted_local = vec![false; shard.inst.len()];
+        let snap = SupSnapshot {
+            seq: 0,
+            next_expected: 0,
+            clock: i64::MIN,
+            stall_until: i64::MIN,
+            degraded: false,
+            counters: ShardCounters::default(),
+            engine: engine
+                .snapshot()
+                .unwrap_or_else(|| EngineSnapshot::empty(labels)),
+            emitted_local: emitted_local.clone(),
+            emission_mark: 0,
+        };
+        ShardSup {
+            index,
+            shard,
+            lambda: FixedLambda(lambda),
+            tau,
+            kind,
+            cfg,
+            faults,
+            fired,
+            engine,
+            degraded: false,
+            clock: i64::MIN,
+            stall_until: i64::MIN,
+            next_expected: 0,
+            counters: ShardCounters::default(),
+            emitted_local,
+            emissions: Vec::new(),
+            restarts: Vec::new(),
+            snap,
+            pending_replay: Vec::new(),
+            replay_done: 0,
+            want_snapshot: false,
+        }
+    }
+
+    /// Total deliveries fully processed (the next arrival's seq number).
+    pub(crate) fn seq(&self) -> u64 {
+        self.snap.seq + self.replay_done as u64
+    }
+
+    fn degrade_threshold(&self) -> i64 {
+        self.cfg.degrade_threshold.unwrap_or(self.tau / 2).max(0)
+    }
+
+    fn fault_at(&self, seq: u64) -> Option<usize> {
+        self.faults.binary_search_by_key(&seq, |f| f.seq).ok()
+    }
+
+    /// Delivers one arrival (a local post index, in feeder order), absorbing
+    /// panics via restart.
+    pub(crate) fn deliver(&mut self, idx: u32) -> Result<(), MqdError> {
+        self.pending_replay.push(idx);
+        self.run_pending()?;
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    fn run_pending(&mut self) -> Result<(), MqdError> {
+        while self.replay_done < self.pending_replay.len() {
+            let i = self.replay_done;
+            match catch_unwind(AssertUnwindSafe(|| self.process_one(i))) {
+                Ok(()) => self.replay_done += 1,
+                Err(_) => self.restart(self.snap.seq + i as u64)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes the `i`-th replay entry. May panic (that's the point); the
+    /// caller restores from the snapshot, so a torn engine state is
+    /// discarded rather than observed.
+    fn process_one(&mut self, i: usize) {
+        let idx = self.pending_replay[i];
+        let seq = self.snap.seq + i as u64;
+        let true_t = self.shard.inst.value(idx);
+        if let Some(fi) = self.fault_at(seq) {
+            match self.faults[fi].kind {
+                FaultKind::Panic => {
+                    if !self.fired[fi] {
+                        // Mark fired *before* unwinding so the post-restart
+                        // replay proceeds past this seq.
+                        self.fired[fi] = true;
+                        panic!("{INJECTED_PANIC}");
+                    }
+                }
+                FaultKind::Stall { duration } => {
+                    self.stall_until = self.stall_until.max(true_t.saturating_add(duration));
+                    self.counters.stalls_applied += 1;
+                }
+                FaultKind::Duplicate => {
+                    // The previous arrival shows up again; the sequence
+                    // check rejects anything below the expected index.
+                    if let Some(dup) = idx.checked_sub(1) {
+                        if dup < self.next_expected {
+                            self.counters.duplicates_dropped += 1;
+                        }
+                    }
+                }
+                FaultKind::Late { .. } => {
+                    // Observed timestamp is behind the durable store's; the
+                    // clock below is clamped monotone on the true value.
+                    self.counters.late_clamped += 1;
+                }
+                FaultKind::Garbage { .. } => {
+                    // Observed diversity value disagrees with the durable
+                    // store; reject the observation, keep the true value.
+                    self.counters.garbage_rejected += 1;
+                }
+            }
+        }
+
+        self.clock = self.clock.max(true_t);
+        let lag = self.stall_until.saturating_sub(self.clock).max(0);
+        if !self.degraded && lag > self.degrade_threshold() {
+            self.degrade();
+        } else if self.degraded && lag == 0 {
+            self.recover();
+        }
+
+        let mut out = Vec::new();
+        {
+            let ctx = StreamContext::new(&self.shard.inst, &self.lambda, self.tau);
+            self.engine
+                .on_time(&ctx, true_t.saturating_sub(1), &mut out);
+            if idx >= self.next_expected {
+                self.engine.on_arrival(&ctx, idx, &mut out);
+                self.next_expected = idx + 1;
+            } else {
+                // A real duplicate delivery (same local index again).
+                self.counters.duplicates_dropped += 1;
+            }
+        }
+        self.sink(out, false);
+    }
+
+    /// Switches to the Instant (`tau = 0`) scheme: flush the primary engine
+    /// (preserving the lambda-cover), then continue from its coverage
+    /// frontier with zero buffering.
+    fn degrade(&mut self) {
+        let labels = self.shard.inst.num_labels();
+        let mut out = Vec::new();
+        {
+            let ctx = StreamContext::new(&self.shard.inst, &self.lambda, self.tau);
+            self.engine.flush(&ctx, &mut out);
+            let frontier = self
+                .engine
+                .snapshot()
+                .unwrap_or_else(|| EngineSnapshot::empty(labels));
+            let mut instant = InstantScan::new(labels);
+            instant.restore(&ctx, &frontier);
+            self.engine = Box::new(instant);
+        }
+        self.degraded = true;
+        self.counters.mode_switches += 1;
+        self.sink(out, true);
+        self.want_snapshot = true;
+    }
+
+    /// Switches back to the primary engine, seeded from the Instant cache's
+    /// frontier and the cumulative emitted set.
+    fn recover(&mut self) {
+        let labels = self.shard.inst.num_labels();
+        let mut snap = self
+            .engine
+            .snapshot()
+            .unwrap_or_else(|| EngineSnapshot::empty(labels));
+        snap.emitted = self
+            .emitted_local
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut primary = self.kind.build(labels, self.shard.inst.len());
+        {
+            let ctx = StreamContext::new(&self.shard.inst, &self.lambda, self.tau);
+            primary.restore(&ctx, &snap);
+        }
+        self.engine = primary;
+        self.degraded = false;
+        self.counters.mode_switches += 1;
+        self.want_snapshot = true;
+    }
+
+    /// Records emissions: stall-delayed releases are rewritten to the stall
+    /// end and flagged; degraded-path emissions are flagged and counted.
+    fn sink(&mut self, out: Vec<Emission>, degraded_path: bool) {
+        for e in out {
+            let actual = e.emit_time.max(self.stall_until);
+            let rewritten = actual != e.emit_time;
+            if rewritten {
+                self.counters.stall_rewrites += 1;
+            }
+            let deg = degraded_path || self.degraded;
+            if deg {
+                self.counters.degraded_emissions += 1;
+            }
+            self.emitted_local[e.post as usize] = true;
+            self.emissions.push(SupervisedEmission {
+                post: self.shard.to_global[e.post as usize],
+                emit_time: actual,
+                degraded: deg || rewritten,
+            });
+        }
+    }
+
+    fn restart(&mut self, seq: u64) -> Result<(), MqdError> {
+        if self.restarts.len() >= self.cfg.max_restarts {
+            return Err(MqdError::ShardFailed {
+                shard: self.index,
+                restarts: self.restarts.len(),
+            });
+        }
+        self.restarts.push(RestartRecord {
+            shard: self.index,
+            seq,
+            attempt: self.restarts.len() + 1,
+        });
+        self.restore_from_snap();
+        Ok(())
+    }
+
+    fn restore_from_snap(&mut self) {
+        let labels = self.shard.inst.num_labels();
+        self.next_expected = self.snap.next_expected;
+        self.clock = self.snap.clock;
+        self.stall_until = self.snap.stall_until;
+        self.degraded = self.snap.degraded;
+        self.counters = self.snap.counters;
+        self.emitted_local = self.snap.emitted_local.clone();
+        self.emissions.truncate(self.snap.emission_mark);
+        let mut engine: Box<dyn StreamEngine> = if self.snap.degraded {
+            Box::new(InstantScan::new(labels))
+        } else {
+            self.kind.build(labels, self.shard.inst.len())
+        };
+        {
+            let ctx = StreamContext::new(&self.shard.inst, &self.lambda, self.tau);
+            engine.restore(&ctx, &self.snap.engine);
+        }
+        self.engine = engine;
+        self.replay_done = 0;
+    }
+
+    fn maybe_snapshot(&mut self) {
+        if self.want_snapshot || self.pending_replay.len() as u64 >= self.cfg.snapshot_every.max(1)
+        {
+            self.take_snapshot();
+        }
+    }
+
+    /// Captures a restart point. Only valid at delivery boundaries.
+    pub(crate) fn take_snapshot(&mut self) {
+        debug_assert_eq!(self.replay_done, self.pending_replay.len());
+        let labels = self.shard.inst.num_labels();
+        self.snap = SupSnapshot {
+            seq: self.snap.seq + self.replay_done as u64,
+            next_expected: self.next_expected,
+            clock: self.clock,
+            stall_until: self.stall_until,
+            degraded: self.degraded,
+            counters: self.counters,
+            engine: self
+                .engine
+                .snapshot()
+                .unwrap_or_else(|| EngineSnapshot::empty(labels)),
+            emitted_local: self.emitted_local.clone(),
+            emission_mark: self.emissions.len(),
+        };
+        self.pending_replay.clear();
+        self.replay_done = 0;
+        self.want_snapshot = false;
+    }
+
+    /// The cumulative emitted set (local post indices) as a bitset.
+    pub(crate) fn emitted_local_bits(&self) -> &[bool] {
+        &self.emitted_local
+    }
+
+    /// Emissions this shard has released so far (pre-flush).
+    pub(crate) fn emissions_so_far(&self) -> &[SupervisedEmission] {
+        &self.emissions
+    }
+
+    /// Restarts recorded so far (for checkpointing, so a resumed run's
+    /// fault report matches the uninterrupted one).
+    pub(crate) fn restarts_so_far(&self) -> &[RestartRecord] {
+        &self.restarts
+    }
+
+    /// The engine's current restartable snapshot (for checkpointing; call
+    /// [`Self::take_snapshot`] first so the replay buffer is empty).
+    pub(crate) fn engine_snapshot(&self) -> EngineSnapshot {
+        self.engine
+            .snapshot()
+            .unwrap_or_else(|| EngineSnapshot::empty(self.shard.inst.num_labels()))
+    }
+
+    /// Overwrites the supervisor state from checkpointed fields. The engine
+    /// is rebuilt and restored from `engine_snap`; `emissions` is the
+    /// checkpointed emission log, so the resumed run's final output is the
+    /// complete emission stream, not just the post-checkpoint tail.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore_checkpoint(
+        &mut self,
+        seq: u64,
+        next_expected: u32,
+        clock: i64,
+        stall_until: i64,
+        degraded: bool,
+        counters: ShardCounters,
+        emitted_local: Vec<bool>,
+        fired: Vec<bool>,
+        engine_snap: EngineSnapshot,
+        emissions: Vec<SupervisedEmission>,
+        restarts: Vec<RestartRecord>,
+    ) {
+        self.next_expected = next_expected;
+        self.clock = clock;
+        self.stall_until = stall_until;
+        self.degraded = degraded;
+        self.counters = counters;
+        self.emitted_local = emitted_local;
+        self.fired = fired;
+        let labels = self.shard.inst.num_labels();
+        let mut engine: Box<dyn StreamEngine> = if degraded {
+            Box::new(InstantScan::new(labels))
+        } else {
+            self.kind.build(labels, self.shard.inst.len())
+        };
+        {
+            let ctx = StreamContext::new(&self.shard.inst, &self.lambda, self.tau);
+            engine.restore(&ctx, &engine_snap);
+        }
+        self.engine = engine;
+        self.emissions = emissions;
+        self.restarts = restarts;
+        self.pending_replay.clear();
+        self.replay_done = 0;
+        self.want_snapshot = false;
+        self.snap = SupSnapshot {
+            seq,
+            next_expected,
+            clock,
+            stall_until,
+            degraded,
+            counters,
+            engine: engine_snap,
+            emitted_local: self.emitted_local.clone(),
+            emission_mark: self.emissions.len(),
+        };
+    }
+
+    /// End of stream: flush the engine (absorbing panics like any other
+    /// event) and return the shard's outcome.
+    pub(crate) fn finish(mut self) -> Result<ShardOutcome, MqdError> {
+        loop {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let mut out = Vec::new();
+                let ctx = StreamContext::new(&self.shard.inst, &self.lambda, self.tau);
+                self.engine.flush(&ctx, &mut out);
+                out
+            }));
+            match res {
+                Ok(out) => {
+                    self.sink(out, false);
+                    break;
+                }
+                Err(_) => {
+                    self.restart(self.seq())?;
+                    self.run_pending()?;
+                }
+            }
+        }
+        Ok(ShardOutcome {
+            index: self.index,
+            emissions: self.emissions,
+            counters: self.counters,
+            restarts: self.restarts,
+        })
+    }
+}
+
+/// What one supervised shard hands back to the merger.
+pub(crate) struct ShardOutcome {
+    pub(crate) index: usize,
+    pub(crate) emissions: Vec<SupervisedEmission>,
+    pub(crate) counters: ShardCounters,
+    pub(crate) restarts: Vec<RestartRecord>,
+}
+
+/// Merges per-shard outcomes into the final result and report.
+fn assemble(
+    global_times: &[i64],
+    tau: i64,
+    seed: u64,
+    plan_faults: Vec<Fault>,
+    kind: ShardEngineKind,
+    mut outcomes: Vec<ShardOutcome>,
+) -> SupervisedRunResult {
+    outcomes.sort_by_key(|o| o.index);
+    let shards = outcomes.len();
+    let mut counters = ShardCounters::default();
+    let mut restarts = Vec::new();
+    let mut all: Vec<SupervisedEmission> = Vec::new();
+    for o in outcomes {
+        counters.add(&o.counters);
+        restarts.extend(o.restarts);
+        all.extend(o.emissions);
+    }
+    // Dedup per post, keeping the earliest release (ties prefer unflagged);
+    // then global release order.
+    all.sort_by_key(|e| (e.post, e.emit_time, e.degraded));
+    all.dedup_by_key(|e| e.post);
+    all.sort_by_key(|e| (e.emit_time, e.post));
+
+    let mut selected: Vec<u32> = all.iter().map(|e| e.post).collect();
+    selected.sort_unstable();
+    selected.dedup();
+    let delay = |e: &SupervisedEmission| e.emit_time.saturating_sub(global_times[e.post as usize]);
+    let max_delay = all.iter().map(delay).max().unwrap_or(0);
+    let max_unflagged_delay = all
+        .iter()
+        .filter(|e| !e.degraded)
+        .map(delay)
+        .max()
+        .unwrap_or(0);
+    let tau_violations_unflagged = all.iter().filter(|e| !e.degraded && delay(e) > tau).count();
+
+    let emissions_plain: Vec<Emission> = all
+        .iter()
+        .map(|e| Emission {
+            post: e.post,
+            emit_time: e.emit_time,
+        })
+        .collect();
+    let report = FaultReport {
+        seed,
+        shards,
+        tau,
+        faults: plan_faults,
+        restarts,
+        counters,
+        emissions: all.len(),
+        max_delay,
+        max_unflagged_delay,
+        tau_violations_unflagged,
+    };
+    SupervisedRunResult {
+        result: StreamRunResult {
+            algorithm: kind.supervised_name(),
+            emissions: emissions_plain,
+            selected,
+            max_delay,
+        },
+        emissions: all,
+        report,
+    }
+}
+
+/// A resumable sequential supervised run: the unit the checkpoint codec
+/// serializes. Feed it arrival-by-arrival with [`Self::step`], snapshot it
+/// at any boundary, kill it, and rebuild it with the checkpoint codec — the
+/// resumed run emits exactly what the uninterrupted one would have from
+/// that point on.
+pub struct SupervisedRun {
+    pub(crate) sups: Vec<ShardSup>,
+    pub(crate) next_post: u32,
+    pub(crate) global_times: Vec<i64>,
+    pub(crate) lambda: i64,
+    pub(crate) tau: i64,
+    pub(crate) kind: ShardEngineKind,
+    pub(crate) seed: u64,
+    pub(crate) plan_faults: Vec<Fault>,
+    pub(crate) digest: u64,
+}
+
+impl std::fmt::Debug for SupervisedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedRun")
+            .field("shards", &self.sups.len())
+            .field("next_post", &self.next_post)
+            .field("posts", &self.global_times.len())
+            .field("lambda", &self.lambda)
+            .field("tau", &self.tau)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SupervisedRun {
+    /// Builds the run over `inst` with the given fault plan.
+    pub fn new(
+        inst: &Instance,
+        lambda: i64,
+        tau: i64,
+        shards: usize,
+        kind: ShardEngineKind,
+        plan: &FaultPlan,
+        cfg: SupervisorConfig,
+    ) -> Self {
+        silence_injected_panics();
+        let shards = clamp_shards(inst, shards);
+        let sups = build_shards(inst, shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, sh)| ShardSup::new(s, sh, lambda, tau, kind, cfg, plan.for_shard(s)))
+            .collect();
+        SupervisedRun {
+            sups,
+            next_post: 0,
+            global_times: (0..inst.len() as u32).map(|k| inst.value(k)).collect(),
+            lambda,
+            tau,
+            kind,
+            seed: plan.seed,
+            plan_faults: plan.faults.clone(),
+            digest: instance_digest(inst),
+        }
+    }
+
+    /// Global posts delivered so far.
+    pub fn position(&self) -> u32 {
+        self.next_post
+    }
+
+    /// Whether every arrival has been delivered.
+    pub fn done(&self) -> bool {
+        self.next_post as usize >= self.global_times.len()
+    }
+
+    /// Delivers the next global arrival to every shard owning one of its
+    /// labels. Returns `Ok(false)` once the stream is exhausted.
+    pub fn step(&mut self) -> Result<bool, MqdError> {
+        if self.done() {
+            return Ok(false);
+        }
+        let k = self.next_post;
+        for sup in &mut self.sups {
+            let local = sup.shard.to_local[k as usize];
+            if local != u32::MAX {
+                sup.deliver(local)?;
+            }
+        }
+        self.next_post += 1;
+        Ok(true)
+    }
+
+    /// Runs to end of stream.
+    pub fn run_all(&mut self) -> Result<(), MqdError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Emissions released so far, across shards, in `(emit_time, post)`
+    /// order (without the end-of-stream flush). This is what a process
+    /// killed right now would have durably published.
+    pub fn released_emissions(&self) -> Vec<SupervisedEmission> {
+        let mut all: Vec<SupervisedEmission> = self
+            .sups
+            .iter()
+            .flat_map(|s| s.emissions_so_far().iter().copied())
+            .collect();
+        all.sort_by_key(|e| (e.post, e.emit_time, e.degraded));
+        all.dedup_by_key(|e| e.post);
+        all.sort_by_key(|e| (e.emit_time, e.post));
+        all
+    }
+
+    /// Flushes every shard and assembles the merged result and report.
+    pub fn finish(self) -> Result<SupervisedRunResult, MqdError> {
+        let mut outcomes = Vec::with_capacity(self.sups.len());
+        for sup in self.sups {
+            outcomes.push(sup.finish()?);
+        }
+        Ok(assemble(
+            &self.global_times,
+            self.tau,
+            self.seed,
+            self.plan_faults,
+            self.kind,
+            outcomes,
+        ))
+    }
+}
+
+/// Canonical digest of an instance (timestamps and label sets), used to
+/// refuse applying a checkpoint to the wrong stream.
+pub(crate) fn instance_digest(inst: &Instance) -> u64 {
+    let mut buf = Vec::with_capacity(inst.len() * 6);
+    mqd_core::wire::put_varint(&mut buf, inst.len() as u64);
+    for k in 0..inst.len() as u32 {
+        mqd_core::wire::put_varint_i64(&mut buf, inst.value(k));
+        let labels = inst.labels(k);
+        mqd_core::wire::put_varint(&mut buf, labels.len() as u64);
+        for &a in labels {
+            mqd_core::wire::put_varint(&mut buf, a.index() as u64);
+        }
+    }
+    mqd_core::wire::fnv1a(&buf)
+}
+
+/// Sequential supervised run: build, drive to completion, finish. The
+/// reference implementation the threaded runner must match byte-for-byte.
+pub fn run_supervised_reference(
+    inst: &Instance,
+    lambda: i64,
+    tau: i64,
+    shards: usize,
+    kind: ShardEngineKind,
+    plan: &FaultPlan,
+    cfg: SupervisorConfig,
+) -> Result<SupervisedRunResult, MqdError> {
+    let mut run = SupervisedRun::new(inst, lambda, tau, shards, kind, plan, cfg);
+    run.run_all()?;
+    run.finish()
+}
+
+/// Threaded supervised run: the PR-1 feeder/worker topology with every
+/// worker wrapped in a [`ShardSup`]. Fault interpretation is keyed by the
+/// per-shard arrival sequence, so the output — emissions *and* report — is
+/// byte-identical to [`run_supervised_reference`] for any thread schedule.
+pub fn run_supervised_stream(
+    inst: &Instance,
+    lambda: i64,
+    tau: i64,
+    shards: usize,
+    kind: ShardEngineKind,
+    plan: &FaultPlan,
+    cfg: SupervisorConfig,
+) -> Result<SupervisedRunResult, MqdError> {
+    silence_injected_panics();
+    let shards = clamp_shards(inst, shards);
+    let built = build_shards(inst, shards);
+    let routing: Vec<Vec<u32>> = built.iter().map(|s| s.to_local.clone()).collect();
+    let mut sups: Vec<ShardSup> = built
+        .into_iter()
+        .enumerate()
+        .map(|(s, sh)| ShardSup::new(s, sh, lambda, tau, kind, cfg, plan.for_shard(s)))
+        .collect();
+
+    let mut results: Vec<Result<ShardOutcome, MqdError>> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for mut sup in sups.drain(..) {
+            let (tx, rx) = sync_channel::<u32>(1024);
+            senders.push(tx);
+            handles.push(scope.spawn(move || -> Result<ShardOutcome, MqdError> {
+                while let Ok(idx) = rx.recv() {
+                    if let Err(e) = sup.deliver(idx) {
+                        // Keep draining so the feeder never blocks on a
+                        // failed shard's full channel.
+                        while rx.recv().is_ok() {}
+                        return Err(e);
+                    }
+                }
+                sup.finish()
+            }));
+        }
+        for k in 0..inst.len() {
+            for (s, routes) in routing.iter().enumerate() {
+                let local = routes[k];
+                if local != u32::MAX && senders[s].send(local).is_err() {
+                    // The shard exited early (restart budget exhausted);
+                    // its typed error surfaces when we join below.
+                    continue;
+                }
+            }
+        }
+        drop(senders);
+        for h in handles {
+            results.push(match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            });
+        }
+    });
+
+    let mut outcomes = Vec::with_capacity(shards);
+    for r in results {
+        outcomes.push(r?);
+    }
+    let global_times: Vec<i64> = (0..inst.len() as u32).map(|k| inst.value(k)).collect();
+    Ok(assemble(
+        &global_times,
+        tau,
+        plan.seed,
+        plan.faults.clone(),
+        kind,
+        outcomes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::run_sharded_reference;
+    use mqd_core::{coverage, FixedLambda};
+
+    fn instance(seed: u64, n: usize, labels: usize) -> Instance {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = 0i64;
+        let items: Vec<(i64, Vec<u16>)> = (0..n)
+            .map(|_| {
+                t += (next() % 40) as i64;
+                let mut ls = vec![(next() % labels as u64) as u16];
+                if next() % 3 == 0 {
+                    ls.push((next() % labels as u64) as u16);
+                    ls.sort_unstable();
+                    ls.dedup();
+                }
+                (t, ls)
+            })
+            .collect();
+        Instance::from_values(items, labels).unwrap()
+    }
+
+    #[test]
+    fn no_faults_matches_plain_sharding() {
+        let inst = instance(5, 150, 4);
+        let (lambda, tau) = (60, 40);
+        for kind in [ShardEngineKind::Scan, ShardEngineKind::Greedy] {
+            let sup = run_supervised_reference(
+                &inst,
+                lambda,
+                tau,
+                4,
+                kind,
+                &FaultPlan::none(),
+                SupervisorConfig::default(),
+            )
+            .unwrap();
+            let plain = run_sharded_reference(&inst, lambda, tau, 4, kind);
+            assert_eq!(sup.result.selected, plain.selected, "{kind:?}");
+            assert_eq!(sup.result.emissions, plain.emissions, "{kind:?}");
+            assert!(sup.report.restarts.is_empty());
+            assert_eq!(sup.report.counters, ShardCounters::default());
+        }
+    }
+
+    #[test]
+    fn panic_restart_is_transparent() {
+        // Only panic faults: after restart+replay the output must equal the
+        // fault-free run exactly, with every restart on record.
+        let inst = instance(11, 120, 4);
+        let (lambda, tau) = (60, 40);
+        let faults = vec![
+            Fault {
+                shard: 0,
+                seq: 3,
+                kind: FaultKind::Panic,
+            },
+            Fault {
+                shard: 1,
+                seq: 10,
+                kind: FaultKind::Panic,
+            },
+            Fault {
+                shard: 2,
+                seq: 0,
+                kind: FaultKind::Panic,
+            },
+        ];
+        let plan = FaultPlan::from_faults(99, faults);
+        let sup = run_supervised_reference(
+            &inst,
+            lambda,
+            tau,
+            4,
+            ShardEngineKind::ScanPlus,
+            &plan,
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        let clean = run_sharded_reference(&inst, lambda, tau, 4, ShardEngineKind::ScanPlus);
+        assert_eq!(sup.result.emissions, clean.emissions);
+        assert_eq!(sup.report.restarts.len(), 3);
+        assert_eq!(sup.report.tau_violations_unflagged, 0);
+    }
+
+    #[test]
+    fn stall_rewrites_are_flagged_and_budget_holds() {
+        let inst = instance(3, 150, 3);
+        let (lambda, tau) = (80, 30);
+        let plan = FaultPlan::from_faults(
+            7,
+            vec![Fault {
+                shard: 0,
+                seq: 5,
+                kind: FaultKind::Stall { duration: 500 },
+            }],
+        );
+        let sup = run_supervised_reference(
+            &inst,
+            lambda,
+            tau,
+            3,
+            ShardEngineKind::Scan,
+            &plan,
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert!(sup.report.counters.stalls_applied >= 1);
+        assert!(
+            sup.report.counters.stall_rewrites + sup.report.counters.degraded_emissions > 0,
+            "a 500-tick stall with tau=30 must delay or degrade something"
+        );
+        assert_eq!(sup.report.tau_violations_unflagged, 0);
+        assert!(sup.report.max_unflagged_delay <= tau);
+        // Long stall must have pushed the shard into degraded mode.
+        assert!(sup.report.counters.mode_switches >= 1);
+        assert!(coverage::is_cover(
+            &inst,
+            &FixedLambda(lambda),
+            &sup.result.selected
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let inst = instance(9, 80, 2);
+        let plan = FaultPlan::from_faults(
+            1,
+            vec![
+                Fault {
+                    shard: 0,
+                    seq: 4,
+                    kind: FaultKind::Duplicate,
+                },
+                Fault {
+                    shard: 1,
+                    seq: 6,
+                    kind: FaultKind::Duplicate,
+                },
+            ],
+        );
+        let sup = run_supervised_reference(
+            &inst,
+            40,
+            20,
+            2,
+            ShardEngineKind::Greedy,
+            &plan,
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(sup.report.counters.duplicates_dropped, 2);
+        assert!(coverage::is_cover(
+            &inst,
+            &FixedLambda(40),
+            &sup.result.selected
+        ));
+    }
+
+    #[test]
+    fn threaded_matches_reference_under_chaos() {
+        let inst = instance(21, 200, 5);
+        let (lambda, tau) = (70, 45);
+        for seed in [1u64, 42, 1234] {
+            let plan = FaultPlan::for_instance(&inst, 5, seed, tau);
+            for kind in [ShardEngineKind::ScanPlus, ShardEngineKind::GreedyPlus] {
+                let a = run_supervised_stream(
+                    &inst,
+                    lambda,
+                    tau,
+                    5,
+                    kind,
+                    &plan,
+                    SupervisorConfig::default(),
+                )
+                .unwrap();
+                let b = run_supervised_reference(
+                    &inst,
+                    lambda,
+                    tau,
+                    5,
+                    kind,
+                    &plan,
+                    SupervisorConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(a.emissions, b.emissions, "seed {seed} {kind:?}");
+                assert_eq!(a.report, b.report, "seed {seed} {kind:?}");
+                assert_eq!(
+                    a.report.to_json(),
+                    b.report.to_json(),
+                    "seed {seed} {kind:?}"
+                );
+                assert_eq!(a.report.tau_violations_unflagged, 0);
+                assert!(coverage::is_cover(
+                    &inst,
+                    &FixedLambda(lambda),
+                    &a.result.selected
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_fails_the_run() {
+        let inst = instance(2, 40, 2);
+        let plan = FaultPlan::from_faults(
+            3,
+            vec![Fault {
+                shard: 0,
+                seq: 1,
+                kind: FaultKind::Panic,
+            }],
+        );
+        let cfg = SupervisorConfig {
+            max_restarts: 0,
+            ..Default::default()
+        };
+        let err = run_supervised_reference(&inst, 30, 10, 2, ShardEngineKind::Scan, &plan, cfg)
+            .unwrap_err();
+        assert!(matches!(err, MqdError::ShardFailed { shard: 0, .. }));
+    }
+
+    #[test]
+    fn tiny_snapshot_interval_still_correct() {
+        // Snapshot after every arrival: restarts replay a single delivery.
+        let inst = instance(17, 100, 3);
+        let plan = FaultPlan::for_instance(&inst, 3, 77, 25);
+        let cfg = SupervisorConfig {
+            snapshot_every: 1,
+            ..Default::default()
+        };
+        let a =
+            run_supervised_reference(&inst, 50, 25, 3, ShardEngineKind::Scan, &plan, cfg).unwrap();
+        let b = run_supervised_reference(
+            &inst,
+            50,
+            25,
+            3,
+            ShardEngineKind::Scan,
+            &plan,
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            a.emissions, b.emissions,
+            "snapshot cadence must not change output"
+        );
+        assert!(coverage::is_cover(
+            &inst,
+            &FixedLambda(50),
+            &a.result.selected
+        ));
+    }
+}
