@@ -466,6 +466,63 @@ pub fn generate(out: impl Write, log: &mut impl Write, opts: &GenOpts) -> Result
     Ok(())
 }
 
+/// `mqdiv oracle` options.
+#[derive(Clone, Debug)]
+pub struct OracleOpts {
+    /// Seeds per profile.
+    pub seeds: u64,
+    /// First seed of the sweep (re-run a single reported seed with
+    /// `--first-seed N --seeds 1`).
+    pub first_seed: u64,
+    /// Restrict to one profile by name; `None` sweeps all of them.
+    pub profile: Option<String>,
+    /// Where shrunk reproducers are written on failure.
+    pub report_dir: PathBuf,
+}
+
+/// `mqdiv oracle`: run the differential/metamorphic correctness sweep.
+/// Returns `Err` when any invariant fails, so the process exits nonzero.
+pub fn oracle(log: &mut impl Write, opts: &OracleOpts) -> Result<(), String> {
+    let profile = match opts.profile.as_deref() {
+        None => None,
+        Some(name) => Some(mqd_oracle::Profile::from_name(name).ok_or_else(|| {
+            format!(
+                "--profile {name}: unknown (expected one of: {})",
+                mqd_oracle::Profile::all()
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?),
+    };
+    let cfg = mqd_oracle::OracleConfig {
+        seeds: opts.seeds,
+        first_seed: opts.first_seed,
+        profile,
+        report_dir: opts.report_dir.clone(),
+        write_reports: true,
+    };
+    let summary = mqd_oracle::run_oracle(&cfg, log);
+    writeln!(
+        log,
+        "oracle: {} cases, {} checks, {} failure(s)",
+        summary.cases,
+        summary.checks,
+        summary.failures.len()
+    )
+    .map_err(|e| e.to_string())?;
+    if summary.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant failure(s); shrunk repros under {}",
+            summary.failures.len(),
+            opts.report_dir.display()
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,7 @@
 //! mqdiv unpack     --input FILE.mqdl --out FILE.tsv   (binary log -> TSV)
 //! mqdiv ingest     --store DIR --input FILE.tsv         (append a segment)
 //! mqdiv query      --store DIR --from MS --to MS [--lambda MS] [--out FILE]
+//! mqdiv oracle     [--seeds N] [--first-seed S] [--profile NAME] [--report-dir DIR]
 //! ```
 //!
 //! Every subcommand also accepts `--threads N`, setting the worker count
@@ -23,7 +24,7 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::PathBuf;
 
 use mqd_cli::commands::{
-    self, DiversifyOpts, GenOpts, MatchOpts, StreamOpts, SupervisedStreamOpts,
+    self, DiversifyOpts, GenOpts, MatchOpts, OracleOpts, StreamOpts, SupervisedStreamOpts,
 };
 
 struct Flags {
@@ -112,7 +113,7 @@ fn open_output(flags: &Flags) -> Result<Box<dyn Write>, String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query> [flags]; see --help".into());
+        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle> [flags]; see --help".into());
     };
     if cmd == "--help" || cmd == "help" {
         println!(
@@ -127,6 +128,7 @@ fn run() -> Result<(), String> {
              \x20 unpack     convert a binary log back to TSV\n\
              \x20 ingest     append a labeled TSV into a segmented store\n\
              \x20 query      range-scan a store (optionally diversified)\n\
+             \x20 oracle     differential/metamorphic correctness sweep over all solvers\n\
              \n\
              see the crate docs / README for the full flag reference"
         );
@@ -274,6 +276,15 @@ fn run() -> Result<(), String> {
             mqd_cli::tsv::write_labeled(open_output(&flags)?, &rows).map_err(|e| e.to_string())?;
             eprintln!("{n} posts");
             Ok(())
+        }
+        "oracle" => {
+            let opts = OracleOpts {
+                seeds: flags.parse_num("seeds", 50u64)?,
+                first_seed: flags.parse_num("first-seed", 0u64)?,
+                profile: flags.get("profile").map(String::from),
+                report_dir: PathBuf::from(flags.get("report-dir").unwrap_or("reports/oracle")),
+            };
+            commands::oracle(&mut log, &opts)
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }

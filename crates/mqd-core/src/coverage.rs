@@ -14,6 +14,41 @@ use crate::instance::Instance;
 use crate::lambda::LambdaProvider;
 use crate::post::LabelId;
 
+/// Test-only fault-injection hooks, compiled into debug builds so the
+/// differential oracle (`mqd-oracle`) can prove it detects a broken coverage
+/// comparator. Release builds carry no hook and no atomic load.
+#[cfg(debug_assertions)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STRICT_COMPARATOR: AtomicBool = AtomicBool::new(false);
+
+    /// When set, the coverage comparator is mutated from `d <= lambda` to
+    /// the off-by-one `d < lambda`. The oracle's mutation smoke test flips
+    /// this and must observe a failure; nothing else may ever set it.
+    pub fn set_strict_comparator(on: bool) {
+        STRICT_COMPARATOR.store(on, Ordering::SeqCst);
+    }
+
+    /// Current state of the comparator mutation.
+    pub fn strict_comparator() -> bool {
+        STRICT_COMPARATOR.load(Ordering::SeqCst)
+    }
+}
+
+/// The one coverage comparator: `|F(P_i) - F(P_j)| <= lambda_a(P_j)` in
+/// `i128` so no value pair can overflow. Every coverage decision in this
+/// module funnels through here, which is what makes the mutation hook a
+/// faithful single-point fault.
+#[inline]
+fn within(d: i128, lam: i128) -> bool {
+    #[cfg(debug_assertions)]
+    if test_hooks::strict_comparator() {
+        return d < lam;
+    }
+    d <= lam
+}
+
 /// Whether `coverer` lambda-covers the occurrence of label `a` in `covered`.
 /// Returns `false` when either post does not carry `a`.
 #[inline]
@@ -28,7 +63,7 @@ pub fn covers<L: LambdaProvider + ?Sized>(
         return false;
     }
     let d = (inst.value(coverer) as i128 - inst.value(covered) as i128).abs();
-    d <= lp.lambda(inst, coverer, a) as i128
+    within(d, lp.lambda(inst, coverer, a) as i128)
 }
 
 /// Whether the occurrence of label `a` in `post` is covered by any member of
@@ -119,7 +154,10 @@ pub fn violations_threads<L: LambdaProvider + Sync + ?Sized>(
                 let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
                 let hi = zs.partition_point(|&z| inst.value(z) <= t.saturating_add(max_l));
                 let ok = zs[lo..hi].iter().any(|&z| {
-                    (inst.value(z) as i128 - t as i128).abs() <= lp.lambda(inst, z, a) as i128
+                    within(
+                        (inst.value(z) as i128 - t as i128).abs(),
+                        lp.lambda(inst, z, a) as i128,
+                    )
                 });
                 if !ok {
                     out.push(Violation { post: i, label: a });
@@ -170,17 +208,20 @@ pub fn attribution<L: LambdaProvider + ?Sized>(
             let t = inst.value(i);
             let lo = zs.partition_point(|&z| inst.value(z) < t.saturating_sub(max_l));
             let hi = zs.partition_point(|&z| inst.value(z) <= t.saturating_add(max_l));
+            // Distance in i128: raw i64 subtraction overflows when the
+            // instance spans most of the i64 range (see `violations`).
             let best = zs[lo..hi]
                 .iter()
                 .filter(|&&z| covers(inst, lp, z, i, a))
-                .map(|&z| ((inst.value(z) - t).abs(), z))
+                .map(|&z| ((inst.value(z) as i128 - t as i128).abs(), z))
                 .min();
             out.push(match best {
+                // d <= lambda_a(z) <= i64::MAX, so the narrowing is lossless.
                 Some((d, z)) => Attribution {
                     post: i,
                     label: a,
                     coverer: Some(z),
-                    distance: d,
+                    distance: d as i64,
                 },
                 None => Attribution {
                     post: i,
@@ -343,6 +384,44 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn attribution_survives_extreme_values() {
+        // Regression: `attribution` used to compute `(value(z) - t).abs()`
+        // in raw i64, which overflows (debug panic / wrong nearest coverer
+        // in release) on instances spanning most of the i64 range.
+        let inst = Instance::from_values(
+            vec![
+                (i64::MIN + 1, vec![0]),
+                (i64::MIN + 2, vec![0]),
+                (i64::MAX - 1, vec![0]),
+                (i64::MAX, vec![0]),
+            ],
+            1,
+        )
+        .unwrap();
+        let f = FixedLambda(i64::MAX);
+        // Selection at both extremes: every occurrence has a same-value-side
+        // coverer at distance <= 1, but the candidate window spans the whole
+        // domain so the cross-extreme distances are evaluated too.
+        let attr = attribution(&inst, &f, &[0, 3]);
+        assert_eq!(attr.len(), 4);
+        for x in &attr {
+            assert!(x.coverer.is_some());
+            assert!(x.distance <= 1, "nearest coverer is the same-side one");
+        }
+        // Nearest-coverer choice: post 1 is closer to post 0 than to post 3.
+        let p1 = attr.iter().find(|x| x.post == 1).unwrap();
+        assert_eq!(p1.coverer, Some(0));
+        assert_eq!(p1.distance, 1);
+        // A lone extreme selection still attributes without overflow.
+        let attr = attribution(&inst, &f, &[3]);
+        let p0 = attr.iter().find(|x| x.post == 0).unwrap();
+        // |MAX - (MIN+1)| > i64::MAX, so post 3 cannot cover post 0 even
+        // with lambda = i64::MAX; it must be unattributed, not wrapped.
+        assert_eq!(p0.coverer, None);
+        assert_eq!(p0.distance, i64::MAX);
     }
 
     #[test]

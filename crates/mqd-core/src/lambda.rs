@@ -97,7 +97,10 @@ impl VariableLambda {
         // Average number of matching posts a single label accumulates over a
         // window of length 2*lambda0.
         let avg_label_rate = inst.num_pairs() as f64 / (inst.num_labels().max(1) as f64 * span);
-        let expected_in_window = (avg_label_rate * (2 * lambda0) as f64).max(f64::MIN_POSITIVE);
+        // 2*lambda0 in f64: the i64 product overflows for lambda0 near
+        // i64::MAX (multiplying by 2.0 is exact, so small lambdas are
+        // unchanged).
+        let expected_in_window = (avg_label_rate * 2.0 * lambda0 as f64).max(f64::MIN_POSITIVE);
 
         for post in 0..n as u32 {
             let t = inst.value(post);
@@ -211,6 +214,59 @@ mod tests {
         let inst = Instance::from_values(vec![(0, vec![0]), (5, vec![1])], 2).unwrap();
         let v = VariableLambda::compute(&inst, 10);
         assert_eq!(v.lambda(&inst, 0, LabelId(1)), -1);
+    }
+
+    #[test]
+    fn negative_sentinel_never_covers() {
+        use crate::coverage::{covers, is_cover, violations};
+        // Post 0 carries only label 0, post 1 only label 1, both at the
+        // same value. The -1 sentinel for the missing (post, label) pair
+        // must make every coverage predicate unsatisfiable — even at
+        // distance 0, where a buggy `d <= lambda` with lambda = -1 could
+        // only fail because -1 < 0, and any sign mix-up would flip it.
+        let inst = Instance::from_values(vec![(5, vec![0]), (5, vec![1])], 2).unwrap();
+        let v = VariableLambda::compute(&inst, 10);
+        assert_eq!(v.lambda(&inst, 0, LabelId(1)), -1);
+        assert_eq!(v.lambda(&inst, 1, LabelId(0)), -1);
+        assert!(!covers(&inst, &v, 0, 1, LabelId(1)));
+        assert!(!covers(&inst, &v, 1, 0, LabelId(0)));
+        // Neither post alone covers the other's label occurrence.
+        assert!(!is_cover(&inst, &v, &[0]));
+        assert!(!is_cover(&inst, &v, &[1]));
+        assert_eq!(violations(&inst, &v, &[0]).len(), 1);
+        assert!(is_cover(&inst, &v, &[0, 1]));
+        // max_lambda (used for window pruning) ignores the sentinel: it
+        // must stay an upper bound on the *real* thresholds, not -1.
+        assert!(v.max_lambda() >= 0);
+    }
+
+    #[test]
+    fn every_solver_respects_negative_sentinel() {
+        use crate::algorithms::{solve_greedy_sc, solve_scan, solve_scan_plus, LabelOrder};
+        use crate::coverage::is_cover;
+        // Interleaved single-label posts at identical values: any solver
+        // that ever lets a post cover a label it does not carry would
+        // return a 1-post "cover" here. The correct answer needs both
+        // labels represented.
+        let inst = Instance::from_values(
+            vec![(0, vec![0]), (0, vec![1]), (1, vec![0]), (1, vec![1])],
+            2,
+        )
+        .unwrap();
+        let v = VariableLambda::compute(&inst, 3);
+        for sol in [
+            solve_greedy_sc(&inst, &v),
+            solve_scan(&inst, &v),
+            solve_scan_plus(&inst, &v, LabelOrder::Input),
+        ] {
+            assert!(is_cover(&inst, &v, &sol.selected), "{}", sol.algorithm);
+            let has = |a: u16| {
+                sol.selected
+                    .iter()
+                    .any(|&z| inst.post(z).has_label(LabelId(a)))
+            };
+            assert!(has(0) && has(1), "{} must pick both labels", sol.algorithm);
+        }
     }
 
     #[test]

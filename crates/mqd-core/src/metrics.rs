@@ -58,12 +58,17 @@ pub fn representation_error(inst: &Instance, selected: &[u32]) -> Representation
             }
             let t = inst.value(i);
             let pos = reps.partition_point(|&r| r < t);
+            // Unlike the coverage checks there is no lambda bound here, so
+            // the gap to the nearest representative can exceed i64: compute
+            // in i128 and clamp the reported distance.
             let mut best = i64::MAX;
             if pos < reps.len() {
-                best = best.min((reps[pos] - t).abs());
+                let d = (reps[pos] as i128 - t as i128).unsigned_abs();
+                best = best.min(d.min(i64::MAX as u128) as i64);
             }
             if pos > 0 {
-                best = best.min((t - reps[pos - 1]).abs());
+                let d = (t as i128 - reps[pos - 1] as i128).unsigned_abs();
+                best = best.min(d.min(i64::MAX as u128) as i64);
             }
             sum += best as f64;
             max = max.max(best);
@@ -176,6 +181,20 @@ mod tests {
         // Selecting only a-posts maximizes skew toward label a.
         let skewed = proportionality_l1(&i, &[0, 1]);
         assert!(skewed > 0.3);
+    }
+
+    #[test]
+    fn representation_error_survives_extreme_values() {
+        // Regression: the nearest-representative gap was computed with raw
+        // i64 subtraction, which overflows when the only representative
+        // sits at the other end of the i64 range.
+        let i =
+            Instance::from_values(vec![(i64::MIN + 1, vec![0]), (i64::MAX, vec![0])], 1).unwrap();
+        let r = representation_error(&i, &[1]);
+        assert_eq!(r.unrepresented, 0);
+        // The true gap exceeds i64::MAX; the report clamps instead of
+        // wrapping to a small (or negative-then-abs'd) value.
+        assert_eq!(r.max, i64::MAX);
     }
 
     #[test]

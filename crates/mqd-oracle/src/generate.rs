@@ -1,0 +1,306 @@
+//! Seeded instance generators: one family ("profile") per failure regime
+//! the oracle hunts in.
+//!
+//! Every generated [`Case`] is fully described by `(profile, seed)`, so a
+//! failure report containing those two values reproduces the exact input,
+//! and the shrunk TSV is only a convenience on top.
+
+use mqd_core::wire::fnv1a;
+use mqd_core::Instance;
+use mqd_datagen::{generate_burst_posts, Burst, BurstStreamConfig};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
+
+/// An instance family with a characteristic failure regime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Uniform random values, at most 2 labels per post (`s <= 2`, so the
+    /// full `|Scan| <= 2*|OPT|` form of Theorem 4 applies).
+    Uniform,
+    /// The datagen bursty workload: dense event clusters in a sparse
+    /// background (Section 6's motivating density skew).
+    Burst,
+    /// Heavy label overlap (`s` up to 4): stresses the multi-label
+    /// set-cover interactions and the `s`-factor bounds.
+    Overlap,
+    /// Adversarial boundaries: values near `i64::MIN`/`i64::MAX`, duplicate
+    /// timestamps, `lambda = 0`, huge lambda, single-label floods.
+    Boundary,
+    /// The uniform-density grid on which Equation 2 provably degenerates to
+    /// the fixed threshold: every per-pair variable lambda equals lambda0.
+    Grid,
+}
+
+impl Profile {
+    /// Every profile, in CI-matrix order.
+    pub fn all() -> &'static [Profile] {
+        &[
+            Profile::Uniform,
+            Profile::Burst,
+            Profile::Overlap,
+            Profile::Boundary,
+            Profile::Grid,
+        ]
+    }
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Uniform => "uniform",
+            Profile::Burst => "burst",
+            Profile::Overlap => "overlap",
+            Profile::Boundary => "boundary",
+            Profile::Grid => "grid",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(s: &str) -> Option<Profile> {
+        Profile::all().iter().copied().find(|p| p.name() == s)
+    }
+}
+
+/// One generated test input: posts plus the stream parameters the checks
+/// run with. `items` is the canonical, TSV-writable form.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Which family produced this case.
+    pub profile: Profile,
+    /// The generation seed (`mqdiv oracle` reports it on failure).
+    pub seed: u64,
+    /// `(value, labels)` rows, in generation order.
+    pub items: Vec<(i64, Vec<u16>)>,
+    /// Declared label-universe size.
+    pub num_labels: usize,
+    /// Fixed diversity threshold for this case.
+    pub lambda: i64,
+    /// Streaming delay budget for this case.
+    pub tau: i64,
+}
+
+impl Case {
+    /// Builds the (sorted, deduplicated-label) instance.
+    pub fn instance(&self) -> Instance {
+        Instance::from_values(self.items.clone(), self.num_labels)
+            .expect("generators only emit in-range labels")
+    }
+
+    /// Whether the case is small enough for the exact solvers.
+    pub fn exact_sized(&self) -> bool {
+        self.items.len() <= 16
+    }
+}
+
+/// Decorrelates the user-facing seed across profiles so `--seeds N` walks a
+/// different instance sequence in each family.
+fn rng_for(profile: Profile, seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ fnv1a(profile.name().as_bytes()))
+}
+
+/// Generates the case for `(profile, seed)`.
+pub fn generate(profile: Profile, seed: u64) -> Case {
+    let mut rng = rng_for(profile, seed);
+    let (items, num_labels, lambda) = match profile {
+        Profile::Uniform => uniform(&mut rng),
+        Profile::Burst => burst(seed, &mut rng),
+        Profile::Overlap => overlap(&mut rng),
+        Profile::Boundary => boundary(&mut rng),
+        Profile::Grid => grid(&mut rng),
+    };
+    let tau = sample_tau(lambda, &mut rng);
+    Case {
+        profile,
+        seed,
+        items,
+        num_labels,
+        lambda,
+        tau,
+    }
+}
+
+/// Delay budgets worth exercising relative to lambda: instant, tighter than
+/// lambda, equal (the StreamScan == Scan regime), and slack.
+fn sample_tau(lambda: i64, rng: &mut StdRng) -> i64 {
+    match rng.random_range(0..4u32) {
+        0 => 0,
+        1 => lambda / 2,
+        2 => lambda,
+        _ => lambda.saturating_mul(2).saturating_add(1),
+    }
+}
+
+fn uniform(rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
+    // Alternate exact-sized and larger approx/streaming-sized cases.
+    let n = if rng.random::<f64>() < 0.5 {
+        rng.random_range(1..=14usize)
+    } else {
+        rng.random_range(40..=220usize)
+    };
+    let num_labels = rng.random_range(1..=3usize);
+    let span = rng.random_range(50..=4000i64);
+    let items = (0..n)
+        .map(|_| {
+            let v = rng.random_range(0..=span);
+            let mut ls = vec![rng.random_range(0..num_labels) as u16];
+            if num_labels > 1 && rng.random::<f64>() < 0.25 {
+                ls.push(rng.random_range(0..num_labels) as u16);
+            }
+            (v, ls)
+        })
+        .collect();
+    let lambda = rng.random_range(0..=span / 2 + 1);
+    (items, num_labels, lambda)
+}
+
+fn burst(seed: u64, rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
+    let num_labels = rng.random_range(1..=3usize);
+    let minute = 60_000i64;
+    let cfg = BurstStreamConfig {
+        num_labels,
+        base_rate: 0.4 + rng.random::<f64>() * 1.2,
+        duration_ms: rng.random_range(4..=10i64) * minute,
+        bursts: vec![Burst {
+            label: rng.random_range(0..num_labels) as u16,
+            start_ms: rng.random_range(0..=2i64) * minute,
+            duration_ms: rng.random_range(1..=3i64) * minute,
+            intensity: 2.0 + rng.random::<f64>() * 8.0,
+        }],
+        seed,
+    };
+    let items: Vec<(i64, Vec<u16>)> = generate_burst_posts(&cfg)
+        .iter()
+        .map(|p| (p.value(), p.labels().iter().map(|a| a.0).collect()))
+        .collect();
+    let lambda = rng.random_range(0..=4 * minute);
+    if items.is_empty() {
+        // Rare empty stream at the lowest rates: degenerate but still a
+        // legal case (everything must hold vacuously).
+        return (items, num_labels, lambda);
+    }
+    (items, num_labels, lambda)
+}
+
+fn overlap(rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
+    let n = if rng.random::<f64>() < 0.5 {
+        rng.random_range(1..=13usize)
+    } else {
+        rng.random_range(30..=150usize)
+    };
+    let num_labels = rng.random_range(2..=5usize);
+    let span = rng.random_range(50..=2000i64);
+    let items = (0..n)
+        .map(|_| {
+            let v = rng.random_range(0..=span);
+            let k = rng.random_range(1..=num_labels.min(4));
+            let ls: Vec<u16> = (0..k)
+                .map(|_| rng.random_range(0..num_labels) as u16)
+                .collect();
+            (v, ls)
+        })
+        .collect();
+    let lambda = rng.random_range(0..=span / 2 + 1);
+    (items, num_labels, lambda)
+}
+
+fn boundary(rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
+    let num_labels = rng.random_range(1..=2usize);
+    let lambda = match rng.random_range(0..4u32) {
+        0 => 0,
+        1 => 1,
+        2 => rng.random_range(0..=1_000i64),
+        _ => i64::MAX - rng.random_range(0..=2i64),
+    };
+    let n = rng.random_range(2..=12usize);
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = match rng.random_range(0..5u32) {
+            // Near the bottom of the domain. i64::MIN itself is excluded:
+            // |MIN| overflows even i64 negation in external consumers; the
+            // instance contract is MIN+1 and up.
+            0 => i64::MIN + 1 + rng.random_range(0..=3i64),
+            // Near the top.
+            1 => i64::MAX - rng.random_range(0..=3i64),
+            // Duplicate-heavy midfield: ties on the diversity dimension.
+            2 => rng.random_range(0..=2i64),
+            // Around zero, signed.
+            3 => rng.random_range(-5..=5i64),
+            // Single-label flood at one value.
+            _ => 7,
+        };
+        let ls = if rng.random::<f64>() < 0.8 {
+            vec![0u16]
+        } else {
+            vec![rng.random_range(0..num_labels) as u16]
+        };
+        items.push((v, ls));
+    }
+    (items, num_labels, lambda)
+}
+
+/// The uniform-density family: `n` posts spaced exactly `2*n*k` apart, all
+/// carrying all `l` labels, with `lambda0 = k*(n-1)`.
+///
+/// Every posting window `[t - lambda0, t + lambda0]` then contains exactly
+/// one post (the spacing exceeds lambda0), and Equation 2's expected count
+/// works out to exactly 1.0 — `span = (n-1)*2nk`, per-label rate
+/// `n / span`, expectation `2*lambda0 * n / span = 1` — so the density
+/// ratio is exactly 1, `e^0 = 1`, and every per-pair threshold rounds to
+/// `lambda0` itself. On this family `VariableLambda::compute` must equal
+/// `FixedLambda(lambda0)` pair-for-pair.
+pub fn grid_case(n: usize, k: i64, num_labels: usize) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
+    assert!(n >= 2 && k >= 1 && num_labels >= 1);
+    let all: Vec<u16> = (0..num_labels as u16).collect();
+    let step = 2 * n as i64 * k;
+    let items = (0..n).map(|i| (i as i64 * step, all.clone())).collect();
+    (items, num_labels, k * (n as i64 - 1))
+}
+
+fn grid(rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
+    let n = rng.random_range(2..=20usize);
+    let k = rng.random_range(1..=1000i64);
+    let l = rng.random_range(1..=3usize);
+    grid_case(n, k, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        for &p in Profile::all() {
+            let a = generate(p, 12);
+            let b = generate(p, 12);
+            assert_eq!(a.items, b.items, "{}", p.name());
+            assert_eq!(a.lambda, b.lambda);
+            assert_eq!(a.tau, b.tau);
+            let c = generate(p, 13);
+            assert!(
+                a.items != c.items || a.lambda != c.lambda || a.tau != c.tau,
+                "{} seed 12 vs 13 collided",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_round_trip_names() {
+        for &p in Profile::all() {
+            assert_eq!(Profile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Profile::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cases_build_instances() {
+        for &p in Profile::all() {
+            for seed in 0..10 {
+                let c = generate(p, seed);
+                let inst = c.instance();
+                assert!(inst.len() <= c.items.len());
+                assert!(c.lambda >= 0);
+                assert!(c.tau >= 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! The executable theorems: every invariant the paper (and this repo's
+//! design docs) promise, checked against one generated [`Case`].
+//!
+//! | # | Invariant | Source |
+//! |---|-----------|--------|
+//! | 1 | library `violations` == reference model, on every selection | Def. 2 |
+//! | 2 | every solver output is a cover (reference-verified) | Def. 2 |
+//! | 3 | all GreedySC variants are byte-identical | PR 1 contract |
+//! | 4 | `\|OPT\| == \|Brute\|` | Thm. 2 (OPT exact) |
+//! | 5 | `max_a opt_a <= \|Brute\| <= sum_a opt_a` | set-cover structure |
+//! | 6 | `\|Scan\| <= s * \|OPT\|`; `\|Scan\|, \|Scan+\| <= sum_a opt_a` | Thm. 4 |
+//! | 7 | `\|GreedySC\| <= (ln m + 1) * \|OPT\|` | Thm. 3 |
+//! | 8 | streaming emission delay `<= tau`; output is a cover | Problem 2 |
+//! | 9 | `StreamScan(tau >= lambda)` == offline Scan | §5.1 |
+//! | 10 | batch multi-user == sequential; all-labels user == GreedySC | PR 1 |
+//! | 11 | checkpoint kill/restore == uninterrupted run | PR 2 |
+//! | 12 | variable lambda == fixed lambda on the uniform-density grid | Eq. 2 |
+//!
+//! Checks 1 and 5–6 are the differential core: they compare the library
+//! against [`crate::reference`], an independent quadratic model, so a
+//! shared bug cannot self-certify.
+
+use mqd_core::algorithms::{
+    solve_brute, solve_greedy_sc_naive, solve_greedy_sc_scan_max, solve_greedy_sc_threads,
+    solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+};
+use mqd_core::{coverage, FixedLambda, Instance, LambdaProvider, MqdError, VariableLambda};
+use mqd_rng::rngs::StdRng;
+use mqd_rng::{RngExt, SeedableRng};
+use mqd_stream::{
+    encode_checkpoint, resume_supervised, run_stream, solve_batch_users_threads, BatchUser,
+    FaultPlan, InstantScan, ShardEngineKind, StreamEngine, StreamGreedy, StreamScan, SupervisedRun,
+    SupervisorConfig,
+};
+
+use crate::generate::{Case, Profile};
+use crate::reference::{ref_label_optima, ref_violations};
+
+/// A violated invariant, with enough context to reproduce and triage.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Stable invariant name (`verifier-agreement`, `opt-equals-brute`, ...).
+    pub invariant: String,
+    /// Human-readable specifics (sizes, selections, the disagreeing pair).
+    pub detail: String,
+}
+
+impl Failure {
+    /// Builds a failure record.
+    pub fn new_pub(invariant: &str, detail: String) -> Self {
+        Failure {
+            invariant: invariant.to_string(),
+            detail,
+        }
+    }
+
+    fn new(invariant: &str, detail: String) -> Self {
+        Failure::new_pub(invariant, detail)
+    }
+}
+
+/// Runs every applicable invariant against the case. Returns the number of
+/// individual checks performed, or the first failure.
+pub fn check_case(case: &Case) -> Result<u64, Failure> {
+    let mut k = Checker { checks: 0 };
+    k.run(case)?;
+    Ok(k.checks)
+}
+
+/// [`check_case`] with panics converted into a `no-panic` failure, so a
+/// debug-overflow or solver panic is reported (and shrunk) like any other
+/// invariant violation.
+pub fn check_case_caught(case: &Case) -> Result<u64, Failure> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check_case(case)));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(Failure::new("no-panic", format!("panicked: {msg}")))
+        }
+    }
+}
+
+struct Checker {
+    checks: u64,
+}
+
+impl Checker {
+    fn ensure(
+        &mut self,
+        cond: bool,
+        invariant: &str,
+        detail: impl FnOnce() -> String,
+    ) -> Result<(), Failure> {
+        self.checks += 1;
+        if cond {
+            Ok(())
+        } else {
+            Err(Failure::new(invariant, detail()))
+        }
+    }
+
+    fn run(&mut self, case: &Case) -> Result<(), Failure> {
+        let inst = case.instance();
+        let fixed = FixedLambda(case.lambda);
+
+        self.offline(case, &inst, &fixed)?;
+        self.variable(case, &inst)?;
+        self.streaming(case, &inst, &fixed)?;
+        self.batch(case, &inst)?;
+        self.checkpoint(case, &inst)?;
+        self.checks += crate::metamorphic::check(case)?;
+        Ok(())
+    }
+
+    /// Invariant 1: the production verifier and the oracle's independent
+    /// model must name exactly the same uncovered occurrences.
+    fn verifier_agreement<L: LambdaProvider + Sync + ?Sized>(
+        &mut self,
+        inst: &Instance,
+        lp: &L,
+        sel: &[u32],
+        ctx: &str,
+    ) -> Result<(), Failure> {
+        let lib: Vec<(u32, u16)> = coverage::violations(inst, lp, sel)
+            .iter()
+            .map(|v| (v.post, v.label.0))
+            .collect();
+        let model: Vec<(u32, u16)> = ref_violations(inst, lp, sel)
+            .iter()
+            .map(|&(p, a)| (p, a.0))
+            .collect();
+        self.ensure(lib == model, "verifier-agreement", || {
+            format!(
+                "{ctx}: library violations {lib:?} != reference model {model:?} \
+                 for selection {sel:?}"
+            )
+        })
+    }
+
+    /// Invariant 2: a solver output must be a cover under the reference.
+    fn is_ref_cover<L: LambdaProvider + ?Sized>(
+        &mut self,
+        inst: &Instance,
+        lp: &L,
+        sel: &[u32],
+        who: &str,
+    ) -> Result<(), Failure> {
+        let v = ref_violations(inst, lp, sel);
+        self.ensure(v.is_empty(), "solver-output-covers", || {
+            format!("{who} output {sel:?} leaves uncovered occurrences {v:?}")
+        })
+    }
+
+    fn offline(
+        &mut self,
+        case: &Case,
+        inst: &Instance,
+        fixed: &FixedLambda,
+    ) -> Result<(), Failure> {
+        let optima = ref_label_optima(inst, fixed);
+        let sum_opt: usize = optima.iter().sum();
+        let max_opt: usize = optima.iter().copied().max().unwrap_or(0);
+        let s = inst.max_labels_per_post().max(1);
+
+        // Greedy family: the lazy heap, the scan-max variant, the naive
+        // reference, and every thread count are one algorithm.
+        let greedy = solve_greedy_sc_threads(1, inst, fixed);
+        for (name, other) in [
+            ("greedy-threads-4", solve_greedy_sc_threads(4, inst, fixed)),
+            ("greedy-scan-max", solve_greedy_sc_scan_max(inst, fixed)),
+            ("greedy-naive", solve_greedy_sc_naive(inst, fixed)),
+        ] {
+            self.ensure(
+                other.selected == greedy.selected,
+                "greedy-variants-agree",
+                || {
+                    format!(
+                        "{name} selected {:?} but reference greedy selected {:?}",
+                        other.selected, greedy.selected
+                    )
+                },
+            )?;
+        }
+
+        let scan = solve_scan(inst, fixed);
+        let orders = [
+            LabelOrder::Input,
+            LabelOrder::DensestFirst,
+            LabelOrder::SparsestFirst,
+        ];
+        let pluses: Vec<_> = orders
+            .iter()
+            .map(|&o| solve_scan_plus(inst, fixed, o))
+            .collect();
+
+        let brute = if case.exact_sized() {
+            match solve_brute(inst, fixed, None) {
+                Ok(sol) => Some(sol),
+                Err(e) => {
+                    return Err(Failure::new(
+                        "brute-runs-on-small-instances",
+                        format!("solve_brute failed on {} posts: {e}", inst.len()),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        let opt = if inst.len() <= 64 {
+            match solve_opt(inst, case.lambda, &OptConfig::default()) {
+                Ok(sol) => Some(sol),
+                Err(MqdError::OptBudgetExceeded { .. }) => None, // declared out of scope
+                Err(e) => {
+                    return Err(Failure::new(
+                        "opt-runs-or-declines",
+                        format!("solve_opt failed unexpectedly: {e}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+
+        // Invariants 1 + 2 on every produced solution.
+        let mut outputs: Vec<(&str, &[u32])> =
+            vec![("GreedySC", &greedy.selected), ("Scan", &scan.selected)];
+        for p in &pluses {
+            outputs.push(("Scan+", &p.selected));
+        }
+        if let Some(b) = &brute {
+            outputs.push(("Brute", &b.selected));
+        }
+        if let Some(o) = &opt {
+            outputs.push(("OPT", &o.selected));
+        }
+        for (who, sel) in &outputs {
+            self.is_ref_cover(inst, fixed, sel, who)?;
+            self.verifier_agreement(inst, fixed, sel, who)?;
+        }
+
+        // Invariant 1 on non-solutions: empty, full, prefixes, and random
+        // subsets. These hit marginal pairs (distance exactly lambda) that
+        // solver outputs alone might not.
+        let all: Vec<u32> = (0..inst.len() as u32).collect();
+        self.verifier_agreement(inst, fixed, &[], "empty-selection")?;
+        self.verifier_agreement(inst, fixed, &all, "full-selection")?;
+        let mut rng = StdRng::seed_from_u64(case.seed ^ 0x0000_ac1e_5eed);
+        for round in 0..3 {
+            let sel: Vec<u32> = all
+                .iter()
+                .copied()
+                .filter(|_| rng.random::<f64>() < 0.35)
+                .collect();
+            self.verifier_agreement(inst, fixed, &sel, &format!("random-subset-{round}"))?;
+        }
+
+        // Invariant 4.
+        if let (Some(b), Some(o)) = (&brute, &opt) {
+            self.ensure(o.size() == b.size(), "opt-equals-brute", || {
+                format!(
+                    "|OPT| = {} != |Brute| = {} (OPT {:?}, Brute {:?})",
+                    o.size(),
+                    b.size(),
+                    o.selected,
+                    b.selected
+                )
+            })?;
+        }
+
+        // Invariant 5: the reference per-label optima sandwich the true
+        // optimum.
+        if let Some(b) = &brute {
+            self.ensure(
+                max_opt <= b.size() && b.size() <= sum_opt,
+                "brute-within-label-optima",
+                || {
+                    format!(
+                        "|Brute| = {} outside [max_a opt_a, sum_a opt_a] = [{max_opt}, {sum_opt}] \
+                         (per-label optima {optima:?})",
+                        b.size()
+                    )
+                },
+            )?;
+        }
+
+        // Invariant 6.
+        self.ensure(scan.size() <= sum_opt, "scan-within-label-optima", || {
+            format!(
+                "|Scan| = {} > sum of per-label optima {sum_opt} ({optima:?})",
+                scan.size()
+            )
+        })?;
+        // Scan+ is NOT always <= Scan: skipping already-covered labels can
+        // commit it to posts a fresh per-label pass would avoid. The oracle
+        // itself found the counterexample (overlap profile, seed 171, shrunk
+        // to 4 posts: values 446{0,2}, 529{4,3,0,2}, 742{0,3,1}, 871{3},
+        // lambda 219 — Scan covers with {529, 742}, Scan+ under DensestFirst
+        // takes {529, 742, 871}). What IS provable: each label Scan+
+        // processes adds at most the per-label optimum, because the
+        // per-label scan is optimal on the residual uncovered points.
+        for (p, o) in pluses.iter().zip(&orders) {
+            self.ensure(p.size() <= sum_opt, "scan-plus-within-label-optima", || {
+                format!(
+                    "|Scan+ ({o:?})| = {} > sum of per-label optima {sum_opt} ({optima:?})",
+                    p.size()
+                )
+            })?;
+        }
+        if let Some(b) = &brute {
+            self.ensure(scan.size() <= s * b.size(), "scan-s-approximation", || {
+                format!(
+                    "|Scan| = {} > s * |OPT| = {s} * {} (Theorem 4)",
+                    scan.size(),
+                    b.size()
+                )
+            })?;
+            // Invariant 7.
+            let m = inst.num_pairs().max(1) as f64;
+            let bound = (m.ln() + 1.0) * b.size() as f64;
+            self.ensure(
+                greedy.size() as f64 <= bound + 1e-9,
+                "greedy-ln-approximation",
+                || {
+                    format!(
+                        "|GreedySC| = {} > (ln {m} + 1) * |OPT| = {bound:.3} (Theorem 3)",
+                        greedy.size()
+                    )
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The variable-lambda regime: directional coverage, same invariants
+    /// where they apply, plus the grid-profile degeneration (invariant 12).
+    fn variable(&mut self, case: &Case, inst: &Instance) -> Result<(), Failure> {
+        let var = VariableLambda::compute(inst, case.lambda);
+        let optima = ref_label_optima(inst, &var);
+        let sum_opt: usize = optima.iter().sum();
+
+        let greedy = solve_greedy_sc_threads(1, inst, &var);
+        let scan = solve_scan(inst, &var);
+        let plus = solve_scan_plus(inst, &var, LabelOrder::Input);
+        for (who, sel) in [
+            ("GreedySC/var", &greedy.selected),
+            ("Scan/var", &scan.selected),
+            ("Scan+/var", &plus.selected),
+        ] {
+            self.is_ref_cover(inst, &var, sel, who)?;
+            self.verifier_agreement(inst, &var, sel, who)?;
+        }
+        self.ensure(scan.size() <= sum_opt, "scan-within-label-optima", || {
+            format!(
+                "variable lambda: |Scan| = {} > sum of per-label optima {sum_opt}",
+                scan.size()
+            )
+        })?;
+        self.ensure(
+            plus.size() <= sum_opt,
+            "scan-plus-within-label-optima",
+            || {
+                format!(
+                    "variable lambda: |Scan+| = {} > sum of per-label optima {sum_opt}",
+                    plus.size()
+                )
+            },
+        )?;
+
+        if case.profile == Profile::Grid {
+            // Invariant 12: on the uniform-density grid Equation 2 yields
+            // exactly lambda0 for every pair...
+            let bad: Vec<(usize, i64)> = var
+                .per_pair()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l != case.lambda)
+                .map(|(i, &l)| (i, l))
+                .collect();
+            self.ensure(bad.is_empty(), "grid-lambda-degenerates", || {
+                format!(
+                    "uniform-density grid: per-pair lambdas differ from lambda0 = {} at {bad:?}",
+                    case.lambda
+                )
+            })?;
+            // ... and every solver must therefore behave identically under
+            // both providers.
+            let fixed = FixedLambda(case.lambda);
+            let pairs: [(&str, Vec<u32>, Vec<u32>); 3] = [
+                (
+                    "GreedySC",
+                    solve_greedy_sc_threads(1, inst, &fixed).selected,
+                    greedy.selected.clone(),
+                ),
+                (
+                    "Scan",
+                    solve_scan(inst, &fixed).selected,
+                    scan.selected.clone(),
+                ),
+                (
+                    "Scan+",
+                    solve_scan_plus(inst, &fixed, LabelOrder::Input).selected,
+                    plus.selected.clone(),
+                ),
+            ];
+            for (who, f_sel, v_sel) in &pairs {
+                self.ensure(f_sel == v_sel, "grid-fixed-equals-variable", || {
+                    format!("{who}: fixed selected {f_sel:?} but variable selected {v_sel:?}")
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn streaming(
+        &mut self,
+        case: &Case,
+        inst: &Instance,
+        fixed: &FixedLambda,
+    ) -> Result<(), Failure> {
+        if inst.is_empty() {
+            return Ok(());
+        }
+        let nl = inst.num_labels();
+        let cap = inst.len();
+        type Build = fn(usize, usize) -> Box<dyn StreamEngine>;
+        let engines: [(&str, Build); 5] = [
+            ("StreamScan", |nl, cap| Box::new(StreamScan::new(nl, cap))),
+            ("StreamScan+", |nl, cap| {
+                Box::new(StreamScan::new_plus(nl, cap))
+            }),
+            ("StreamGreedy", |nl, cap| {
+                Box::new(StreamGreedy::new(nl, cap))
+            }),
+            ("StreamGreedy+", |nl, cap| {
+                Box::new(StreamGreedy::new_plus(nl, cap))
+            }),
+            ("InstantScan", |nl, _| Box::new(InstantScan::new(nl))),
+        ];
+        for (name, build) in engines {
+            // InstantScan is the tau = 0 scheme by construction.
+            let tau = if name == "InstantScan" { 0 } else { case.tau };
+            let mut engine = build(nl, cap);
+            let res = run_stream(inst, fixed, tau, engine.as_mut());
+            // Invariant 8a: every emission within the delay budget, in
+            // i128 so the check itself cannot overflow.
+            let late: Vec<(u32, i64)> = res
+                .emissions
+                .iter()
+                .filter(|e| e.emit_time as i128 - inst.value(e.post) as i128 > tau as i128)
+                .map(|e| (e.post, e.emit_time))
+                .collect();
+            self.ensure(late.is_empty(), "stream-delay-within-tau", || {
+                format!("{name}: emissions past tau = {tau}: {late:?}")
+            })?;
+            // Invariant 8b: the emitted sub-stream is a cover.
+            self.is_ref_cover(inst, fixed, &res.selected, name)?;
+            self.verifier_agreement(inst, fixed, &res.selected, name)?;
+        }
+
+        // Invariant 9: with tau >= lambda, StreamScan collapses to offline
+        // Scan exactly.
+        let tau = case.tau.max(case.lambda);
+        let mut engine = StreamScan::new(nl, cap);
+        let res = run_stream(inst, fixed, tau, &mut engine);
+        let offline = solve_scan(inst, fixed);
+        self.ensure(
+            res.selected == offline.selected,
+            "stream-scan-equals-offline",
+            || {
+                format!(
+                    "StreamScan(tau = {tau} >= lambda = {}) selected {:?} but offline Scan \
+                     selected {:?}",
+                    case.lambda, res.selected, offline.selected
+                )
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Invariant 10: the batched multi-user solver is the sequential
+    /// per-user loop, and an all-labels user is plain GreedySC.
+    fn batch(&mut self, case: &Case, inst: &Instance) -> Result<(), Failure> {
+        if inst.is_empty() || inst.num_labels() == 0 {
+            return Ok(());
+        }
+        let all_labels: Vec<u16> = (0..inst.num_labels() as u16).collect();
+        let mut users = vec![BatchUser {
+            labels: all_labels,
+            lambda: case.lambda,
+        }];
+        let mut rng = StdRng::seed_from_u64(case.seed ^ 0xba7c4);
+        for _ in 0..2 {
+            let labels: Vec<u16> = (0..inst.num_labels() as u16)
+                .filter(|_| rng.random::<f64>() < 0.6)
+                .collect();
+            if !labels.is_empty() {
+                users.push(BatchUser {
+                    labels,
+                    lambda: case.lambda,
+                });
+            }
+        }
+        let seq = solve_batch_users_threads(1, inst, &users);
+        for threads in [2, 4] {
+            let par = solve_batch_users_threads(threads, inst, &users);
+            self.ensure(par == seq, "batch-equals-sequential", || {
+                format!("batch digests differ at {threads} threads: {par:?} vs {seq:?}")
+            })?;
+        }
+        let direct = solve_greedy_sc_threads(1, inst, &FixedLambda(case.lambda));
+        self.ensure(
+            seq[0] == direct.selected,
+            "batch-all-labels-is-greedy",
+            || {
+                format!(
+                    "all-labels user digest {:?} != GreedySC {:?}",
+                    seq[0], direct.selected
+                )
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Invariant 11: killing a supervised run at an arbitrary arrival and
+    /// resuming from its checkpoint reproduces the uninterrupted run
+    /// byte-for-byte (emissions, flags, and final selection).
+    fn checkpoint(&mut self, case: &Case, inst: &Instance) -> Result<(), Failure> {
+        // Boundary values stress the solver layer; the supervised runner is
+        // exercised on the realistic profiles (and has its own chaos suite).
+        if inst.is_empty() || inst.len() > 300 || case.profile == Profile::Boundary {
+            return Ok(());
+        }
+        let kinds = [
+            ShardEngineKind::Scan,
+            ShardEngineKind::ScanPlus,
+            ShardEngineKind::Greedy,
+            ShardEngineKind::GreedyPlus,
+        ];
+        let kind = kinds[(case.seed % 4) as usize];
+        let shards = 1 + (case.seed % 3) as usize;
+        let plan = FaultPlan::none();
+        let cfg = SupervisorConfig::default();
+        let lambda = case.lambda;
+        let tau = case.tau;
+
+        let mut straight = SupervisedRun::new(inst, lambda, tau, shards, kind, &plan, cfg);
+        straight
+            .run_all()
+            .map_err(|e| Failure::new("checkpoint-roundtrip", format!("straight run: {e}")))?;
+        let want = straight
+            .finish()
+            .map_err(|e| Failure::new("checkpoint-roundtrip", format!("straight finish: {e}")))?;
+
+        // Kill mid-stream (position derived from the seed), checkpoint,
+        // resume, drain.
+        let cut = (case.seed % inst.len() as u64) as u32;
+        let mut run = SupervisedRun::new(inst, lambda, tau, shards, kind, &plan, cfg);
+        while run.position() < cut {
+            run.step()
+                .map_err(|e| Failure::new("checkpoint-roundtrip", format!("pre-cut step: {e}")))?;
+        }
+        let bytes = encode_checkpoint(&mut run);
+        drop(run); // the "kill"
+        let mut resumed = resume_supervised(inst, lambda, tau, shards, kind, &plan, cfg, &bytes)
+            .map_err(|e| Failure::new("checkpoint-roundtrip", format!("resume: {e}")))?;
+        resumed
+            .run_all()
+            .map_err(|e| Failure::new("checkpoint-roundtrip", format!("resumed run: {e}")))?;
+        let got = resumed
+            .finish()
+            .map_err(|e| Failure::new("checkpoint-roundtrip", format!("resumed finish: {e}")))?;
+
+        let flat = |r: &mqd_stream::SupervisedRunResult| -> Vec<(u32, i64, bool)> {
+            r.emissions
+                .iter()
+                .map(|e| (e.post, e.emit_time, e.degraded))
+                .collect()
+        };
+        self.ensure(
+            flat(&got) == flat(&want) && got.result.selected == want.result.selected,
+            "checkpoint-roundtrip",
+            || {
+                format!(
+                    "kill at arrival {cut} + resume diverged: resumed emissions {:?} vs \
+                     uninterrupted {:?}",
+                    flat(&got),
+                    flat(&want)
+                )
+            },
+        )?;
+        Ok(())
+    }
+}

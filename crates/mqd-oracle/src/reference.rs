@@ -1,0 +1,178 @@
+//! The oracle's independent model of Definitions 1–2: a deliberately naive
+//! re-implementation of the coverage semantics, sharing **no code** with
+//! `mqd_core::coverage`.
+//!
+//! Everything here is quadratic, windowless, and computed in `i128`. That
+//! is the point: the production verifier prunes candidates with
+//! `max_lambda` windows and saturating endpoint arithmetic, so a bug in
+//! that machinery (or a mutated comparator) shows up as a disagreement
+//! with this model rather than as two implementations failing identically.
+
+use mqd_core::{Instance, LabelId, LambdaProvider};
+
+/// Whether `coverer` lambda-covers the occurrence of label `a` in
+/// `covered`, straight from Definition 1: both posts carry `a` and
+/// `|F(P_i) - F(P_j)| <= lambda_a(P_j)`, evaluated in `i128`.
+pub fn ref_covers<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    coverer: u32,
+    covered: u32,
+    a: LabelId,
+) -> bool {
+    let carries = |p: u32| inst.labels(p).contains(&a);
+    if !carries(coverer) || !carries(covered) {
+        return false;
+    }
+    let d = (inst.value(coverer) as i128 - inst.value(covered) as i128).abs();
+    d <= lp.lambda(inst, coverer, a) as i128
+}
+
+/// Every uncovered `(post, label)` occurrence under `selected`, by brute
+/// force over all candidate coverers (no windows, no pruning). Ordered
+/// label-major then posting order — the same order `coverage::violations`
+/// reports, so the two are directly comparable.
+pub fn ref_violations<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    selected: &[u32],
+) -> Vec<(u32, LabelId)> {
+    let mut sel: Vec<u32> = selected.to_vec();
+    sel.sort_unstable();
+    sel.dedup();
+    let mut out = Vec::new();
+    for a_idx in 0..inst.num_labels() {
+        let a = LabelId(a_idx as u16);
+        for &i in inst.postings(a) {
+            if !sel.iter().any(|&z| ref_covers(inst, lp, z, i, a)) {
+                out.push((i, a));
+            }
+        }
+    }
+    out
+}
+
+/// Whether `selected` is a lambda-cover under the reference model.
+pub fn ref_is_cover<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L, selected: &[u32]) -> bool {
+    ref_violations(inst, lp, selected).is_empty()
+}
+
+/// The exact minimum number of posts needed to cover every occurrence of
+/// label `a` **in isolation** (the single-label subproblem Scan solves per
+/// label). Each candidate `z ∈ LP(a)` covers the value interval
+/// `[t_z - lambda_a(z), t_z + lambda_a(z)]`; covering all points of
+/// `LP(a)` with fewest intervals is the classic greedy: repeatedly take
+/// the leftmost uncovered point and, among intervals containing it, the
+/// one reaching furthest right. All interval arithmetic in `i128`.
+///
+/// Two independent theorem bounds fall out of these per-label optima:
+/// `|OPT| >= max_a opt_a` (a global cover restricted to `a` covers `a`)
+/// and `|OPT| <= sum_a opt_a` (the union of per-label optima is a cover).
+pub fn ref_label_optimum<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L, a: LabelId) -> usize {
+    let points: Vec<i128> = inst
+        .postings(a)
+        .iter()
+        .map(|&i| inst.value(i) as i128)
+        .collect();
+    // Candidate intervals, sorted by left endpoint.
+    let mut ivals: Vec<(i128, i128)> = inst
+        .postings(a)
+        .iter()
+        .filter_map(|&z| {
+            let lam = lp.lambda(inst, z, a) as i128;
+            if lam < 0 {
+                return None; // sentinel: never covers
+            }
+            let t = inst.value(z) as i128;
+            Some((t - lam, t + lam))
+        })
+        .collect();
+    ivals.sort_unstable();
+
+    let mut picks = 0usize;
+    let mut idx = 0usize; // next interval whose left end we have not passed
+    let mut best_reach = i128::MIN;
+    // All points <= this are covered; i64 values always exceed i128::MIN,
+    // so the first point is never "already covered".
+    let mut covered_to = i128::MIN;
+    for &p in &points {
+        if p <= covered_to {
+            continue;
+        }
+        // Every interval starting at or before p is a candidate; keep the
+        // furthest reach seen so far (reaches only grow relevant as p
+        // advances because intervals are sorted by left end).
+        while idx < ivals.len() && ivals[idx].0 <= p {
+            best_reach = best_reach.max(ivals[idx].1);
+            idx += 1;
+        }
+        // Every point is itself the center of an interval (a post covers
+        // itself when lambda >= 0), so best_reach >= p always holds here
+        // unless every interval is the -1 sentinel — impossible for posts
+        // in LP(a). Guard anyway so a broken provider surfaces as a count
+        // mismatch, not a panic.
+        if best_reach < p {
+            picks += 1; // uncoverable point: count it and move on
+            covered_to = p;
+            continue;
+        }
+        picks += 1;
+        covered_to = best_reach;
+    }
+    picks
+}
+
+/// Per-label optima for every label.
+pub fn ref_label_optima<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L) -> Vec<usize> {
+    (0..inst.num_labels() as u16)
+        .map(|a| ref_label_optimum(inst, lp, LabelId(a)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_core::FixedLambda;
+
+    fn figure2() -> Instance {
+        Instance::from_values(
+            vec![(0, vec![0]), (10, vec![0]), (20, vec![0, 1]), (30, vec![1])],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        let inst = figure2();
+        let f = FixedLambda(10);
+        assert!(ref_is_cover(&inst, &f, &[1, 3]));
+        assert_eq!(ref_violations(&inst, &f, &[1]).len(), 2);
+        // One pick covers all a-occurrences (P2 at t=10 reaches 0..=20);
+        // one pick covers c.
+        assert_eq!(ref_label_optimum(&inst, &f, LabelId(0)), 1);
+        assert_eq!(ref_label_optimum(&inst, &f, LabelId(1)), 1);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let inst =
+            Instance::from_values(vec![(i64::MIN + 1, vec![0]), (i64::MAX, vec![0])], 1).unwrap();
+        let f = FixedLambda(i64::MAX);
+        // The true gap exceeds i64::MAX, so even lambda = i64::MAX cannot
+        // bridge it.
+        assert!(!ref_is_cover(&inst, &f, &[0]));
+        assert!(ref_is_cover(&inst, &f, &[0, 1]));
+        assert_eq!(ref_label_optimum(&inst, &f, LabelId(0)), 2);
+    }
+
+    #[test]
+    fn label_optimum_zero_lambda_counts_distinct_values() {
+        let inst = Instance::from_values(
+            vec![(5, vec![0]), (5, vec![0]), (6, vec![0]), (9, vec![0])],
+            1,
+        )
+        .unwrap();
+        assert_eq!(ref_label_optimum(&inst, &FixedLambda(0), LabelId(0)), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! The oracle driver: sweep `(profile, seed)` space, check every case,
+//! shrink and persist failures.
+
+use std::path::PathBuf;
+
+use crate::generate::{generate, Profile};
+use crate::invariants::{check_case_caught, Failure};
+use crate::shrink::{shrink, write_repro};
+
+/// What to sweep and where to put failure artifacts.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Seeds per profile (`--seeds`).
+    pub seeds: u64,
+    /// First seed (`--first-seed`), so a reported seed can be re-run alone.
+    pub first_seed: u64,
+    /// Profiles to sweep; `None` = all.
+    pub profile: Option<Profile>,
+    /// Where shrunk repros are written.
+    pub report_dir: PathBuf,
+    /// Whether to write repro files at all (tests turn this off).
+    pub write_reports: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            seeds: 50,
+            first_seed: 0,
+            profile: None,
+            report_dir: PathBuf::from("reports/oracle"),
+            write_reports: true,
+        }
+    }
+}
+
+/// One failed case, after shrinking.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Profile the failing seed came from.
+    pub profile: Profile,
+    /// The failing seed.
+    pub seed: u64,
+    /// The violated invariant and its detail.
+    pub failure: Failure,
+    /// Post count of the shrunk reproducer.
+    pub shrunk_posts: usize,
+    /// Where the shrunk TSV was written (when reports are enabled).
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Sweep totals.
+#[derive(Clone, Debug, Default)]
+pub struct OracleSummary {
+    /// Cases generated and checked.
+    pub cases: u64,
+    /// Individual invariant checks that passed.
+    pub checks: u64,
+    /// Failures, in discovery order.
+    pub failures: Vec<FailureReport>,
+}
+
+impl OracleSummary {
+    /// True when every case passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the sweep. `log` receives one line per profile plus one per
+/// failure (pass `std::io::sink()` for silence).
+pub fn run_oracle(cfg: &OracleConfig, log: &mut dyn std::io::Write) -> OracleSummary {
+    let profiles: Vec<Profile> = match cfg.profile {
+        Some(p) => vec![p],
+        None => Profile::all().to_vec(),
+    };
+    let mut summary = OracleSummary::default();
+    for profile in profiles {
+        let mut profile_checks = 0u64;
+        let mut profile_failures = 0usize;
+        for seed in cfg.first_seed..cfg.first_seed + cfg.seeds {
+            let case = generate(profile, seed);
+            summary.cases += 1;
+            match check_case_caught(&case) {
+                Ok(n) => {
+                    summary.checks += n;
+                    profile_checks += n;
+                }
+                Err(failure) => {
+                    profile_failures += 1;
+                    let shrunk = shrink(&case, &failure.invariant);
+                    // Re-derive the (possibly sharper) detail from the
+                    // shrunk case; fall back to the original failure.
+                    let failure = match check_case_caught(&shrunk) {
+                        Err(f) if f.invariant == failure.invariant => f,
+                        _ => failure,
+                    };
+                    let repro_path = if cfg.write_reports {
+                        match write_repro(&cfg.report_dir, &shrunk, &failure) {
+                            Ok(p) => Some(p),
+                            Err(e) => {
+                                let _ = writeln!(log, "warning: cannot write repro: {e}");
+                                None
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    let _ = writeln!(
+                        log,
+                        "FAIL {}/seed {}: {} — {} (shrunk to {} posts{})",
+                        profile.name(),
+                        seed,
+                        failure.invariant,
+                        failure.detail,
+                        shrunk.items.len(),
+                        repro_path
+                            .as_deref()
+                            .map(|p| format!(", repro {}", p.display()))
+                            .unwrap_or_default(),
+                    );
+                    summary.failures.push(FailureReport {
+                        profile,
+                        seed,
+                        failure,
+                        shrunk_posts: shrunk.items.len(),
+                        repro_path,
+                    });
+                }
+            }
+        }
+        let _ = writeln!(
+            log,
+            "profile {:<9} {} seeds, {} checks, {} failure(s)",
+            profile.name(),
+            cfg.seeds,
+            profile_checks,
+            profile_failures
+        );
+    }
+    summary
+}

@@ -1,0 +1,154 @@
+//! Greedy case minimization: when an invariant fails, shrink the instance
+//! while the **same** invariant keeps failing, then write the minimal
+//! reproducer to `reports/oracle/`.
+//!
+//! The strategy is classic ddmin-flavoured greedy:
+//!
+//! 1. remove chunks of posts (halves, quarters, ..., single posts),
+//! 2. halve `lambda` and `tau` toward 0,
+//! 3. pull values toward 0 (`v -> v / 2`), which turns `i64::MIN`-adjacent
+//!    monsters into small, readable timestamps whenever smallness is not
+//!    what triggers the bug.
+//!
+//! Each candidate is accepted only if [`check_case_caught`] still fails
+//! with the original invariant name, so the written repro provably
+//! reproduces the reported failure, not some other one uncovered along the
+//! way.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::generate::Case;
+use crate::invariants::{check_case_caught, Failure};
+
+/// Keeps `case.num_labels` consistent after row removal (permutation
+/// metamorphs index labels by `num_labels - 1`, so a stale universe size
+/// would change which invariant fires).
+fn renumber(case: &mut Case) {
+    let max = case
+        .items
+        .iter()
+        .flat_map(|(_, ls)| ls.iter().copied())
+        .max();
+    case.num_labels = max.map_or(0, |m| m as usize + 1);
+}
+
+fn still_fails(case: &Case, invariant: &str) -> bool {
+    matches!(check_case_caught(case), Err(f) if f.invariant == invariant)
+}
+
+/// Shrinks `case` while `invariant` keeps failing. Bounded work: each pass
+/// is linear in the case size and the loop stops at a fixed point.
+pub fn shrink(case: &Case, invariant: &str) -> Case {
+    let mut best = case.clone();
+
+    // Pass 1: chunked row removal.
+    let mut chunk = (best.items.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < best.items.len() {
+            let mut cand = best.clone();
+            let end = (i + chunk).min(cand.items.len());
+            cand.items.drain(i..end);
+            renumber(&mut cand);
+            if !cand.items.is_empty() && still_fails(&cand, invariant) {
+                best = cand; // do not advance: the next chunk slid into i
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Pass 2: shrink the thresholds.
+    for _ in 0..64 {
+        let mut cand = best.clone();
+        cand.lambda /= 2;
+        cand.tau /= 2;
+        if (cand.lambda, cand.tau) != (best.lambda, best.tau) && still_fails(&cand, invariant) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+
+    // Pass 3: pull values toward 0.
+    for _ in 0..64 {
+        let mut cand = best.clone();
+        for (v, _) in &mut cand.items {
+            *v /= 2;
+        }
+        if cand.items != best.items && still_fails(&cand, invariant) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+
+    best
+}
+
+/// Writes the shrunk reproducer: a labeled TSV (`id \t value \t labels`,
+/// the `mqdiv` interchange format) plus a `.meta` sidecar with the seed,
+/// profile, parameters, and failure text. Returns the TSV path.
+pub fn write_repro(dir: &Path, case: &Case, failure: &Failure) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let stem = format!(
+        "{}-seed{}-{}",
+        case.profile.name(),
+        case.seed,
+        failure.invariant
+    );
+    let tsv_path = dir.join(format!("{stem}.tsv"));
+    let mut tsv = fs::File::create(&tsv_path)?;
+    for (id, (v, ls)) in case.items.iter().enumerate() {
+        let labels = ls
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(tsv, "{id}\t{v}\t{labels}")?;
+    }
+    let mut meta = fs::File::create(dir.join(format!("{stem}.meta")))?;
+    writeln!(meta, "profile: {}", case.profile.name())?;
+    writeln!(meta, "seed: {}", case.seed)?;
+    writeln!(meta, "num_labels: {}", case.num_labels)?;
+    writeln!(meta, "lambda: {}", case.lambda)?;
+    writeln!(meta, "tau: {}", case.tau)?;
+    writeln!(meta, "invariant: {}", failure.invariant)?;
+    writeln!(meta, "detail: {}", failure.detail)?;
+    writeln!(
+        meta,
+        "repro: mqdiv oracle --profile {} --seeds 1 --first-seed {}",
+        case.profile.name(),
+        case.seed
+    )?;
+    Ok(tsv_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Profile;
+
+    #[test]
+    fn renumber_tracks_max_label() {
+        let mut c = Case {
+            profile: Profile::Uniform,
+            seed: 0,
+            items: vec![(0, vec![0]), (5, vec![3])],
+            num_labels: 9,
+            lambda: 1,
+            tau: 0,
+        };
+        renumber(&mut c);
+        assert_eq!(c.num_labels, 4);
+        c.items.pop();
+        renumber(&mut c);
+        assert_eq!(c.num_labels, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Proof the oracle has teeth: mutate the coverage comparator from
+//! `d <= lambda` to `d < lambda` behind the debug-only hook and the sweep
+//! must fail — with a shrunk reproducer — via the verifier-differential
+//! invariant (the library's `violations` now disagrees with the oracle's
+//! independent model on every pair at distance exactly lambda).
+//!
+//! This test owns the process-global hook, so it lives alone in its own
+//! integration-test binary (cargo gives each `tests/*.rs` file its own
+//! process); nothing else can race it.
+
+#![cfg(debug_assertions)]
+
+use mqd_core::coverage::test_hooks;
+use mqd_oracle::{run_oracle, OracleConfig, Profile};
+
+/// RAII guard so a failing assertion cannot leave the mutation switched on
+/// for some future test added to this binary.
+struct Mutated;
+impl Drop for Mutated {
+    fn drop(&mut self) {
+        test_hooks::set_strict_comparator(false);
+    }
+}
+
+#[test]
+fn flipped_comparator_is_caught_and_shrunk() {
+    let dir = std::env::temp_dir().join(format!("mqd-oracle-mutation-{}", std::process::id()));
+    let cfg = OracleConfig {
+        seeds: 10,
+        first_seed: 0,
+        profile: Some(Profile::Uniform),
+        report_dir: dir.clone(),
+        write_reports: true,
+    };
+
+    // Sanity: the same sweep passes un-mutated.
+    let mut log = Vec::new();
+    let clean = run_oracle(&cfg, &mut log);
+    assert!(
+        clean.ok(),
+        "sweep must pass before mutation:\n{}",
+        String::from_utf8_lossy(&log)
+    );
+
+    let _guard = Mutated;
+    test_hooks::set_strict_comparator(true);
+    let mut log = Vec::new();
+    let mutated = run_oracle(&cfg, &mut log);
+    drop(_guard);
+
+    assert!(
+        !mutated.failures.is_empty(),
+        "the mutated comparator went undetected over {} checks",
+        mutated.checks
+    );
+    let f = &mutated.failures[0];
+    assert_eq!(
+        f.failure.invariant, "verifier-agreement",
+        "expected the verifier differential to fire, got {}: {}",
+        f.failure.invariant, f.failure.detail
+    );
+    // The shrunk repro exists and is tiny: the minimal disagreement is a
+    // handful of posts, not the original instance.
+    let path = f.repro_path.as_ref().expect("repro file written");
+    assert!(path.exists(), "missing repro {}", path.display());
+    assert!(
+        f.shrunk_posts <= 4,
+        "shrinker left {} posts in the repro",
+        f.shrunk_posts
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,25 @@
+//! A modest oracle sweep over every profile: the tier-1 guarantee that the
+//! harness itself stays green. CI runs the full 200-seed matrix via
+//! `mqdiv oracle`.
+
+use mqd_oracle::{run_oracle, OracleConfig};
+
+#[test]
+fn all_profiles_pass_a_short_sweep() {
+    let cfg = OracleConfig {
+        seeds: 12,
+        first_seed: 0,
+        profile: None,
+        write_reports: false,
+        ..OracleConfig::default()
+    };
+    let mut log = Vec::new();
+    let summary = run_oracle(&cfg, &mut log);
+    assert!(
+        summary.ok(),
+        "oracle failures:\n{}",
+        String::from_utf8_lossy(&log)
+    );
+    assert_eq!(summary.cases, 12 * 5);
+    assert!(summary.checks > 1000, "only {} checks ran", summary.checks);
+}

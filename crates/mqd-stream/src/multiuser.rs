@@ -114,10 +114,12 @@ impl MultiUserHub {
                 .copied()
                 .filter(|t| topics.contains(t))
                 .collect();
+            // Gap in i128: `time - last` overflows i64 when the stream
+            // spans most of the timestamp domain.
             let uncovered = shared.iter().any(|&t| {
                 self.cache
                     .get(&(u, t))
-                    .is_none_or(|&last| time - last > self.lambda)
+                    .is_none_or(|&last| time as i128 - last as i128 > self.lambda as i128)
             });
             if uncovered {
                 for &t in &shared {
@@ -306,6 +308,24 @@ mod tests {
                 "user {u} hub vs standalone mismatch"
             );
         }
+    }
+
+    #[test]
+    fn hub_survives_extreme_timestamps() {
+        // Regression: the staleness check `time - last > lambda` was raw
+        // i64 and overflowed once a stream spanned most of the timestamp
+        // domain.
+        let mut hub = MultiUserHub::new(vec![vec![0]], 10);
+        assert_eq!(hub.on_post(i64::MIN + 1, &[0]), vec![0]);
+        // Far beyond lambda: must deliver, not wrap around.
+        assert_eq!(hub.on_post(i64::MAX, &[0]), vec![0]);
+        assert_eq!(
+            hub.stats()[0],
+            UserStats {
+                matched: 2,
+                delivered: 2
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Workspace-level oracle acceptance: a short differential sweep over every
+//! instance family, plus the fixed-vs-variable lambda property on the
+//! uniform-density grid (Equation 2 degenerates to `lambda0` there, so the
+//! two providers must be interchangeable for every solver — brute included).
+
+use mqd_core::algorithms::{solve_brute, solve_greedy_sc, solve_scan, solve_scan_plus, LabelOrder};
+use mqd_core::{FixedLambda, Instance, VariableLambda};
+use mqd_oracle::generate::grid_case;
+use mqd_oracle::{run_oracle, OracleConfig};
+
+#[test]
+fn oracle_sweep_all_profiles() {
+    let cfg = OracleConfig {
+        seeds: 8,
+        write_reports: false,
+        ..OracleConfig::default()
+    };
+    let mut log = Vec::new();
+    let summary = run_oracle(&cfg, &mut log);
+    assert!(
+        summary.ok(),
+        "oracle failures:\n{}",
+        String::from_utf8_lossy(&log)
+    );
+}
+
+#[test]
+fn fixed_and_variable_lambda_agree_on_uniform_density() {
+    for (n, k, num_labels) in [
+        (2, 1, 1),
+        (3, 7, 2),
+        (5, 1, 3),
+        (8, 250, 2),
+        (12, 1000, 1),
+        (16, 33, 3),
+    ] {
+        let (items, labels, lambda0) = grid_case(n, k, num_labels);
+        let inst = Instance::from_values(items, labels).expect("grid instance");
+        let var = VariableLambda::compute(&inst, lambda0);
+
+        // Eq. 2 thresholds: expected_in_window is exactly 1 on the grid, so
+        // every per-pair lambda equals lambda0.
+        for (i, &l) in var.per_pair().iter().enumerate() {
+            assert_eq!(
+                l, lambda0,
+                "grid n={n} k={k} L={num_labels}: pair {i} got lambda {l}, want {lambda0}"
+            );
+        }
+
+        // Interchangeable providers => identical covers from every solver.
+        let fixed = FixedLambda(lambda0);
+        assert_eq!(
+            solve_greedy_sc(&inst, &fixed).selected,
+            solve_greedy_sc(&inst, &var).selected,
+            "GreedySC diverged on grid n={n} k={k} L={num_labels}"
+        );
+        assert_eq!(
+            solve_scan(&inst, &fixed).selected,
+            solve_scan(&inst, &var).selected,
+            "Scan diverged on grid n={n} k={k} L={num_labels}"
+        );
+        for order in [
+            LabelOrder::Input,
+            LabelOrder::DensestFirst,
+            LabelOrder::SparsestFirst,
+        ] {
+            assert_eq!(
+                solve_scan_plus(&inst, &fixed, order).selected,
+                solve_scan_plus(&inst, &var, order).selected,
+                "Scan+ {order:?} diverged on grid n={n} k={k} L={num_labels}"
+            );
+        }
+        if n <= 12 {
+            let bf = solve_brute(&inst, &fixed, None).expect("brute fixed");
+            let bv = solve_brute(&inst, &var, None).expect("brute variable");
+            assert_eq!(
+                bf.selected, bv.selected,
+                "Brute diverged on grid n={n} k={k} L={num_labels}"
+            );
+        }
+    }
+}
