@@ -1,0 +1,203 @@
+//! Serving-layer benchmark: end-to-end `QUERY` latency and throughput
+//! through a loopback `mqd-server`.
+//!
+//! Spins an in-process server, ingests a seeded corpus over the wire
+//! (`INGESTB` batches), then hammers it with concurrent clients, each
+//! issuing a deterministic mix of solver / label-subset / range /
+//! variable-lambda queries. Half the mix is drawn from a small shared
+//! pool so the generation-invalidated cover cache sees repeats.
+//!
+//! Reports client-observed p50/p95/p99 latency and aggregate qps, and
+//! writes `BENCH_server.json` at the working-directory root (repo root
+//! when run via `cargo run`). `--quick` shrinks to 8 clients x 20
+//! queries on a smaller corpus.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mqd_bench::BenchArgs;
+use mqd_core::record::Record;
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+use mqd_server::{format_query, Client, Server, ServerConfig};
+use mqd_store::{Algorithm, QuerySpec};
+
+const NUM_LABELS: u16 = 6;
+
+fn corpus(seed: u64, rows: usize) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e2e);
+    let mut value = 0i64;
+    (0..rows)
+        .map(|i| {
+            value += rng.random_range(0..250i64); // ~8 posts/sec, ties included
+            let k = rng.random_range(1..=3usize);
+            let labels = (0..k).map(|_| rng.random_range(0..NUM_LABELS)).collect();
+            Record {
+                id: i as u64,
+                value,
+                labels,
+            }
+        })
+        .collect()
+}
+
+fn random_spec(rng: &mut StdRng, span: i64) -> QuerySpec {
+    let algs = [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus];
+    let mut labels: Vec<u16> = (0..NUM_LABELS)
+        .filter(|_| rng.random::<f64>() < 0.5)
+        .collect();
+    if labels.is_empty() {
+        labels.push(rng.random_range(0..NUM_LABELS));
+    }
+    let (from, to) = if rng.random::<f64>() < 0.2 {
+        let a = rng.random_range(0..span.max(1));
+        let b = rng.random_range(0..span.max(1));
+        (a.min(b), a.max(b))
+    } else {
+        (i64::MIN, i64::MAX)
+    };
+    QuerySpec {
+        labels,
+        lambda: rng.random_range(1_000..10_000i64),
+        proportional: rng.random::<f64>() < 0.2,
+        algorithm: algs[rng.random_range(0..algs.len())],
+        from,
+        to,
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (clients, queries_per_client, corpus_rows) = if args.quick {
+        (8usize, 20usize, 2_000usize)
+    } else {
+        (64usize, 50usize, 20_000usize)
+    };
+    let rows = corpus(args.seed, corpus_rows);
+    let span = rows.last().map(|r| r.value).unwrap_or(0);
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 0,
+        max_queue: clients * 2,
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Ingest the corpus over the wire, in MQDL batches.
+    let ingest_start = Instant::now();
+    let mut feeder = Client::connect(addr).expect("connect feeder");
+    for chunk in rows.chunks(4_096) {
+        let resp = feeder.ingest_batch(chunk).expect("ingest batch");
+        assert!(resp.is_ok(), "ingest rejected: {}", resp.status);
+    }
+    let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1e3;
+    // Release the feeder's worker before the sweep: a worker owns its
+    // connection, so an idle-but-open client shrinks the effective pool.
+    drop(feeder);
+
+    // A small shared pool: repeated specs exercise the cover cache.
+    let mut pool_rng = StdRng::seed_from_u64(args.seed ^ 0x9001);
+    let pool: Vec<QuerySpec> = (0..16).map(|_| random_spec(&mut pool_rng, span)).collect();
+
+    println!(
+        "bench_server: {} rows ingested in {:.1} ms, {} clients x {} queries, addr {}",
+        rows.len(),
+        ingest_ms,
+        clients,
+        queries_per_client,
+        addr
+    );
+
+    let sweep_start = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC11E47 ^ (c as u64) << 17);
+                    let mut client = Client::connect(addr).expect("connect client");
+                    let mut lat = Vec::with_capacity(queries_per_client);
+                    for _ in 0..queries_per_client {
+                        let spec = if rng.random::<f64>() < 0.5 {
+                            pool[rng.random_range(0..pool.len())].clone()
+                        } else {
+                            random_spec(&mut rng, span)
+                        };
+                        let t0 = Instant::now();
+                        let (resp, _rows) = client.query(&spec).expect("query");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        assert!(resp.is_ok(), "{} -> {}", format_query(&spec), resp.status);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = sweep_start.elapsed().as_secs_f64();
+
+    let total = latencies_ms.len();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&latencies_ms, 50.0);
+    let p95 = percentile(&latencies_ms, 95.0);
+    let p99 = percentile(&latencies_ms, 99.0);
+    let qps = total as f64 / wall_s;
+
+    // Pull the server-side cache/served counters, then drain.
+    let mut feeder = Client::connect(addr).expect("reconnect for stats");
+    let stats = feeder.request("STATS").expect("stats");
+    assert!(stats.is_ok());
+    let stats_json = stats.status.trim_start_matches("+OK ").to_string();
+    let drain = feeder.request("DRAIN").expect("drain");
+    assert!(drain.is_ok());
+    server_thread.join().expect("server thread");
+
+    println!(
+        "{total} queries in {:.2}s: {qps:.0} qps, latency p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms",
+        wall_s
+    );
+    println!("server stats: {stats_json}");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"server_loopback\",");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"quick\": {},", args.quick);
+    let _ = writeln!(json, "  \"corpus_rows\": {},", rows.len());
+    let _ = writeln!(json, "  \"num_labels\": {NUM_LABELS},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"queries_per_client\": {queries_per_client},");
+    let _ = writeln!(json, "  \"total_queries\": {total},");
+    let _ = writeln!(json, "  \"ingest_ms\": {ingest_ms:.1},");
+    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
+    let _ = writeln!(json, "  \"qps\": {qps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"server_stats\": {stats_json}");
+    json.push_str("}\n");
+
+    let path = "BENCH_server.json";
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    println!("wrote {path}");
+}

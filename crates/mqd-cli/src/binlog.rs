@@ -14,107 +14,45 @@
 //! (streams are time-sorted, so deltas are small), and the checksum turns
 //! truncation or bit rot into a typed [`MqdError::Corrupt`] — carrying the
 //! byte offset where decoding stopped — instead of silent garbage. The
-//! varint/zigzag/framing primitives live in [`mqd_core::wire`], shared with
-//! the streaming checkpoint codec.
+//! codec itself lives in [`mqd_core::record`], shared with the store and
+//! the server's `INGESTB` wire batches, so the formats cannot drift; this
+//! module keeps the CLI-facing names.
 
 use std::io::{Read, Write};
 
-use mqd_core::wire::{check_framed, put_varint, seal_framed, unzigzag, zigzag, Cursor};
+use mqd_core::record;
 use mqd_core::MqdError;
 
 use crate::tsv::LabeledRow;
 
-const MAGIC: &[u8; 4] = b"MQDL";
-const FOOTER: &[u8; 4] = b"END!";
-const VERSION: u8 = 1;
-
 /// Serializes rows into the binary log format.
 pub fn encode(rows: &[LabeledRow]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + rows.len() * 8);
-    buf.extend_from_slice(MAGIC);
-    buf.push(VERSION);
-    put_varint(&mut buf, rows.len() as u64);
-    let mut prev_id = 0u64;
-    let mut prev_value = 0i64;
-    for r in rows {
-        put_varint(&mut buf, zigzag(r.id.wrapping_sub(prev_id) as i64));
-        put_varint(&mut buf, zigzag(r.value.wrapping_sub(prev_value)));
-        put_varint(&mut buf, r.labels.len() as u64);
-        for &l in &r.labels {
-            put_varint(&mut buf, l as u64);
-        }
-        prev_id = r.id;
-        prev_value = r.value;
-    }
-    seal_framed(&mut buf, FOOTER);
-    buf
+    record::encode_records(rows)
 }
 
 /// Deserializes a binary log, verifying magic, version and checksum. Every
 /// failure is an [`MqdError::Corrupt`] naming the byte offset (offset 0 for
 /// whole-file checks such as the checksum).
 pub fn decode(data: &[u8]) -> Result<Vec<LabeledRow>, MqdError> {
-    let body = check_framed(data, FOOTER, MAGIC.len() + 1)?;
-
-    let mut buf = Cursor::new(body);
-    let magic: [u8; 4] = buf.get_array()?;
-    if &magic != MAGIC {
-        return Err(MqdError::Corrupt {
-            offset: 0,
-            reason: "bad magic (not an mqdiv binary log)".into(),
-        });
-    }
-    let version = buf.get_u8()?;
-    if version != VERSION {
-        return Err(MqdError::Corrupt {
-            offset: MAGIC.len(),
-            reason: format!("unsupported version {version}"),
-        });
-    }
-    let count = buf.get_varint()? as usize;
-    let mut rows = Vec::with_capacity(count.min(1 << 20));
-    let mut prev_id = 0u64;
-    let mut prev_value = 0i64;
-    for _ in 0..count {
-        let id = prev_id.wrapping_add(unzigzag(buf.get_varint()?) as u64);
-        let value = prev_value.wrapping_add(buf.get_varint_i64()?);
-        let n_labels = buf.get_varint()? as usize;
-        if n_labels > u16::MAX as usize {
-            return Err(buf.corrupt("label count out of range"));
-        }
-        let mut labels = Vec::with_capacity(n_labels);
-        for _ in 0..n_labels {
-            let l = buf.get_varint()?;
-            if l > u16::MAX as u64 {
-                return Err(buf.corrupt("label id out of range"));
-            }
-            labels.push(l as u16);
-        }
-        rows.push(LabeledRow { id, value, labels });
-        prev_id = id;
-        prev_value = value;
-    }
-    if buf.has_remaining() {
-        return Err(buf.corrupt("trailing bytes after last record"));
-    }
-    Ok(rows)
+    record::decode_records(data)
 }
 
 /// Writes rows to a writer in binary-log format.
-pub fn write_posts(mut w: impl Write, rows: &[LabeledRow]) -> std::io::Result<()> {
-    w.write_all(&encode(rows))
+pub fn write_posts(w: impl Write, rows: &[LabeledRow]) -> std::io::Result<()> {
+    record::write_records(w, rows)
 }
 
 /// Reads a whole binary log from a reader.
-pub fn read_posts(mut r: impl Read) -> Result<Vec<LabeledRow>, MqdError> {
-    let mut data = Vec::new();
-    r.read_to_end(&mut data)?;
-    decode(&data)
+pub fn read_posts(r: impl Read) -> Result<Vec<LabeledRow>, MqdError> {
+    record::read_records(r)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqd_core::wire::seal_framed;
+
+    const FOOTER: &[u8; 4] = b"END!";
 
     fn sample() -> Vec<LabeledRow> {
         vec![
@@ -212,6 +150,17 @@ mod tests {
         seal_framed(&mut body, FOOTER);
         let err = decode(&body).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn cli_binlog_is_byte_identical_to_core_codec() {
+        // The guarantee this module exists for: a CLI binlog and a server
+        // INGESTB batch of the same rows are the same bytes, decodable by
+        // either side.
+        let rows = sample();
+        let cli = encode(&rows);
+        assert_eq!(cli, record::encode_records(&rows));
+        assert_eq!(record::decode_records(&cli).unwrap(), rows);
     }
 
     #[test]

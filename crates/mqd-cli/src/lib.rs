@@ -7,5 +7,6 @@
 
 pub mod binlog;
 pub mod commands;
+pub mod serve;
 pub mod store;
 pub mod tsv;

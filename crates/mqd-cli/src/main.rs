@@ -12,6 +12,8 @@
 //! mqdiv ingest     --store DIR --input FILE.tsv         (append a segment)
 //! mqdiv query      --store DIR --from MS --to MS [--lambda MS] [--out FILE]
 //! mqdiv oracle     [--seeds N] [--first-seed S] [--profile NAME] [--report-dir DIR]
+//! mqdiv serve      [--addr HOST:PORT] [--max-queue N]   (:0 picks an ephemeral port)
+//! mqdiv client     --addr HOST:PORT [--input SCRIPT] [--check]
 //! ```
 //!
 //! Every subcommand also accepts `--threads N`, setting the worker count
@@ -113,7 +115,7 @@ fn open_output(flags: &Flags) -> Result<Box<dyn Write>, String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle> [flags]; see --help".into());
+        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|client> [flags]; see --help".into());
     };
     if cmd == "--help" || cmd == "help" {
         println!(
@@ -129,6 +131,8 @@ fn run() -> Result<(), String> {
              \x20 ingest     append a labeled TSV into a segmented store\n\
              \x20 query      range-scan a store (optionally diversified)\n\
              \x20 oracle     differential/metamorphic correctness sweep over all solvers\n\
+             \x20 serve      run the TCP query server over an in-memory indexed store\n\
+             \x20 client     forward a request script to a running server\n\
              \n\
              see the crate docs / README for the full flag reference"
         );
@@ -285,6 +289,25 @@ fn run() -> Result<(), String> {
                 report_dir: PathBuf::from(flags.get("report-dir").unwrap_or("reports/oracle")),
             };
             commands::oracle(&mut log, &opts)
+        }
+        "serve" => {
+            let opts = mqd_cli::serve::ServeOpts {
+                addr: flags.get("addr").unwrap_or("127.0.0.1:7744").to_string(),
+                max_queue: flags.parse_num("max-queue", 64usize)?,
+            };
+            mqd_cli::serve::serve(io::stdout(), &mut log, &opts)
+        }
+        "client" => {
+            let opts = mqd_cli::serve::ClientOpts {
+                addr: flags.get("addr").ok_or("--addr is required")?.to_string(),
+                check: flags.has("check"),
+            };
+            mqd_cli::serve::client_script(
+                open_input(&flags)?,
+                open_output(&flags)?,
+                &mut log,
+                &opts,
+            )
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }

@@ -13,16 +13,10 @@ use std::io::{BufRead, Write};
 
 use mqd_core::{Instance, LabelId, MqdError, Post, PostId};
 
-/// One labeled post row.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct LabeledRow {
-    /// External post id.
-    pub id: u64,
-    /// Diversity-dimension value.
-    pub value: i64,
-    /// Matched label ids.
-    pub labels: Vec<u16>,
-}
+/// One labeled post row — the workspace-shared [`mqd_core::record::Record`],
+/// so CLI files, store segments and server `INGEST` batches are one type
+/// with one codec.
+pub use mqd_core::record::Record as LabeledRow;
 
 /// One raw text row.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -43,42 +37,15 @@ fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> MqdError {
 }
 
 /// Parses labeled rows from a reader. Malformed rows are typed
-/// [`MqdError::Parse`] errors carrying the 1-based line number.
+/// [`MqdError::Parse`] errors carrying the 1-based line number. Row parsing
+/// delegates to the shared [`mqd_core::record::parse_tsv_line`].
 pub fn read_labeled(r: impl BufRead) -> Result<Vec<LabeledRow>, MqdError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
         let line = line.map_err(MqdError::from)?;
-        // Strip only the carriage return: a trailing tab is significant (an
-        // empty label list serializes as `id\tvalue\t`).
-        let line = line.trim_end_matches('\r');
-        if line.trim().is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(row) = mqd_core::record::parse_tsv_line(&line, i + 1)? {
+            out.push(row);
         }
-        let mut parts = line.split('\t');
-        let id: u64 = parts
-            .next()
-            .ok_or_else(|| parse_err(i + 1, "missing id"))?
-            .parse()
-            .map_err(|e| parse_err(i + 1, format!("bad id: {e}")))?;
-        let value: i64 = parts
-            .next()
-            .ok_or_else(|| parse_err(i + 1, "missing value"))?
-            .parse()
-            .map_err(|e| parse_err(i + 1, format!("bad value: {e}")))?;
-        let labels_str = parts
-            .next()
-            .ok_or_else(|| parse_err(i + 1, "missing labels"))?;
-        let mut labels = Vec::new();
-        for l in labels_str.split(',').filter(|s| !s.is_empty()) {
-            labels.push(
-                l.parse()
-                    .map_err(|e| parse_err(i + 1, format!("bad label '{l}': {e}")))?,
-            );
-        }
-        if parts.next().is_some() {
-            return Err(parse_err(i + 1, "too many fields (expected 3)"));
-        }
-        out.push(LabeledRow { id, value, labels });
     }
     Ok(out)
 }
@@ -86,8 +53,7 @@ pub fn read_labeled(r: impl BufRead) -> Result<Vec<LabeledRow>, MqdError> {
 /// Writes labeled rows.
 pub fn write_labeled(mut w: impl Write, rows: &[LabeledRow]) -> std::io::Result<()> {
     for r in rows {
-        let labels: Vec<String> = r.labels.iter().map(|l| l.to_string()).collect();
-        writeln!(w, "{}\t{}\t{}", r.id, r.value, labels.join(","))?;
+        writeln!(w, "{}", mqd_core::record::format_tsv(r))?;
     }
     Ok(())
 }

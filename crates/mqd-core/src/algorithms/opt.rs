@@ -65,6 +65,11 @@ struct Entry {
 #[derive(Default)]
 struct Layer {
     index: HashMap<Vec<u32>, usize>,
+    /// Pattern of each entry, in insertion order. Iterating parents through
+    /// this (never through the HashMap) keeps tie-breaking — and therefore
+    /// the reconstructed cover — deterministic across runs, which the
+    /// serving layer's answer-identity guarantees rely on.
+    keys: Vec<Vec<u32>>,
     entries: Vec<Entry>,
 }
 
@@ -145,6 +150,7 @@ pub fn solve_opt(inst: &Instance, lambda: i64, cfg: &OptConfig) -> Result<Soluti
     let mut layers: Vec<Layer> = Vec::with_capacity(n + 1);
     let mut l0 = Layer::default();
     l0.index.insert(vec![0u32; num_l], 0);
+    l0.keys.push(vec![0u32; num_l]);
     l0.entries.push(Entry {
         count: 1,
         parent: u32::MAX,
@@ -212,9 +218,8 @@ pub fn solve_opt(inst: &Instance, lambda: i64, cfg: &OptConfig) -> Result<Soluti
             added.dedup();
 
             let mut merged = vec![0u32; num_l];
-            for (eta_idx, (eta_key, eta_entry)) in
-                prev.index.iter().map(|(k, &i)| (i, (k, &prev.entries[i])))
-            {
+            for eta_idx in 0..prev.entries.len() {
+                let (eta_key, eta_entry) = (&prev.keys[eta_idx], &prev.entries[eta_idx]);
                 // Consistency η ⪯ ξ and merge of placeholders.
                 let mut ok = true;
                 for a in 0..num_l {
@@ -253,6 +258,7 @@ pub fn solve_opt(inst: &Instance, lambda: i64, cfg: &OptConfig) -> Result<Soluti
                             });
                         }
                         next.index.insert(merged.clone(), next.entries.len());
+                        next.keys.push(merged.clone());
                         next.entries.push(Entry {
                             count,
                             parent: eta_idx as u32,

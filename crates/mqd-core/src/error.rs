@@ -74,6 +74,13 @@ pub enum MqdError {
         /// What differed (lambda, tau, shard count, input digest, ...).
         what: String,
     },
+    /// A client spoke the serving protocol incorrectly (unknown command,
+    /// missing argument, oversized request, ...). Servers answer these with
+    /// a typed error response instead of dropping the connection.
+    Protocol {
+        /// What the server expected.
+        msg: String,
+    },
 }
 
 impl fmt::Display for MqdError {
@@ -113,6 +120,7 @@ impl fmt::Display for MqdError {
             MqdError::CheckpointMismatch { what } => {
                 write!(f, "checkpoint does not match this stream: {what}")
             }
+            MqdError::Protocol { msg } => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -180,6 +188,10 @@ mod tests {
             what: "lambda 5 != 7".into(),
         };
         assert!(e.to_string().contains("lambda 5 != 7"));
+        let e = MqdError::Protocol {
+            msg: "unknown command FROB".into(),
+        };
+        assert!(e.to_string().contains("unknown command FROB"));
     }
 
     #[test]

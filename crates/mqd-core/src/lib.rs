@@ -44,6 +44,7 @@ mod instance;
 mod lambda;
 pub mod metrics;
 mod post;
+pub mod record;
 mod solution;
 pub mod wire;
 

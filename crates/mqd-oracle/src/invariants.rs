@@ -15,15 +15,17 @@
 //! | 10 | batch multi-user == sequential; all-labels user == GreedySC | PR 1 |
 //! | 11 | checkpoint kill/restore == uninterrupted run | PR 2 |
 //! | 12 | variable lambda == fixed lambda on the uniform-density grid | Eq. 2 |
+//! | 13 | loopback-served `QUERY` answers == offline solver, byte-identical | PR 4 |
 //!
 //! Checks 1 and 5–6 are the differential core: they compare the library
 //! against [`crate::reference`], an independent quadratic model, so a
 //! shared bug cannot self-certify.
 
 use mqd_core::algorithms::{
-    solve_brute, solve_greedy_sc_naive, solve_greedy_sc_scan_max, solve_greedy_sc_threads,
-    solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+    solve_brute, solve_greedy_sc, solve_greedy_sc_naive, solve_greedy_sc_scan_max,
+    solve_greedy_sc_threads, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
 };
+use mqd_core::record::Record;
 use mqd_core::{coverage, FixedLambda, Instance, LambdaProvider, MqdError, VariableLambda};
 use mqd_rng::rngs::StdRng;
 use mqd_rng::{RngExt, SeedableRng};
@@ -113,6 +115,7 @@ impl Checker {
         self.streaming(case, &inst, &fixed)?;
         self.batch(case, &inst)?;
         self.checkpoint(case, &inst)?;
+        self.serving(case)?;
         self.checks += crate::metamorphic::check(case)?;
         Ok(())
     }
@@ -594,5 +597,227 @@ impl Checker {
             },
         )?;
         Ok(())
+    }
+
+    /// Invariant 13: a loopback server must answer every `QUERY` with bytes
+    /// identical to the offline solver on the equivalent slice. The
+    /// reference rebuilds the canonical slicing semantics by hand (it does
+    /// NOT call into `mqd-store`), so a slicing bug cannot self-certify.
+    fn serving(&mut self, case: &Case) -> Result<(), Failure> {
+        use mqd_server::{Client, Server, ServerConfig};
+
+        let fail = |detail: String| Failure::new("server-agreement", detail);
+
+        // The store's ingest contract: non-decreasing values, >= 1 label.
+        // Ids are the generation indexes, so the reference can reproduce
+        // the slice's (value, id) ordering exactly.
+        let mut rows: Vec<Record> = case
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, labels))| !labels.is_empty())
+            .map(|(i, (value, labels))| Record {
+                id: i as u64,
+                value: *value,
+                labels: labels.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.value, r.id));
+        if rows.is_empty() || rows.len() > 400 {
+            return Ok(());
+        }
+
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_queue: 16,
+        })
+        .map_err(|e| fail(format!("bind: {e}")))?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let outcome = self.serving_session(case, &rows, addr, &fail);
+        // Always drain so the server thread exits, even on failure.
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.request("DRAIN");
+        }
+        let _ = handle.join();
+        outcome?;
+        Ok(())
+    }
+
+    /// The client side of invariant 13: ingest, query every solver over a
+    /// deterministic mix of label subsets / ranges / lambda modes, and
+    /// compare each payload byte-for-byte with [`Self::served_reference`].
+    fn serving_session(
+        &mut self,
+        case: &Case,
+        rows: &[Record],
+        addr: std::net::SocketAddr,
+        fail: &impl Fn(String) -> Failure,
+    ) -> Result<(), Failure> {
+        use mqd_server::{format_query, Client};
+        use mqd_store::{Algorithm, QuerySpec};
+
+        let mut client = Client::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
+        let resp = client
+            .ingest_batch(rows)
+            .map_err(|e| fail(format!("ingest: {e}")))?;
+        self.ensure(resp.is_ok(), "server-agreement", || {
+            format!("ingest of {} rows rejected: {}", rows.len(), resp.status)
+        })?;
+
+        let num_labels = case.num_labels.max(1) as u16;
+        let all: Vec<u16> = (0..num_labels).collect();
+        let mut rng = StdRng::seed_from_u64(case.seed ^ 0x5e2ea6e);
+        let lo = rows.first().map(|r| r.value).unwrap_or(0);
+        let hi = rows.last().map(|r| r.value).unwrap_or(0);
+
+        let mut specs: Vec<QuerySpec> = Vec::new();
+        for alg in [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus] {
+            // Full range, all labels, fixed lambda.
+            specs.push(QuerySpec {
+                labels: all.clone(),
+                lambda: case.lambda,
+                proportional: false,
+                algorithm: alg,
+                from: i64::MIN,
+                to: i64::MAX,
+            });
+            // A seeded subrange over a seeded label subset. The span is
+            // computed in i128: boundary cases use the full i64 range.
+            let span = (hi as i128 - lo as i128 + 1) as u128;
+            let pick = |rng: &mut StdRng| -> i64 {
+                (lo as i128 + (rng.random::<u64>() as u128 % span) as i128) as i64
+            };
+            let a = pick(&mut rng);
+            let b = pick(&mut rng);
+            let mut labels: Vec<u16> = (0..num_labels)
+                .filter(|_| rng.random::<f64>() < 0.7)
+                .collect();
+            if labels.is_empty() {
+                labels.push((rng.random::<u64>() % num_labels as u64) as u16);
+            }
+            specs.push(QuerySpec {
+                labels,
+                lambda: case.lambda,
+                proportional: false,
+                algorithm: alg,
+                from: a.min(b),
+                to: a.max(b),
+            });
+            // Variable (density-proportional) lambda, full range.
+            specs.push(QuerySpec {
+                labels: all.clone(),
+                lambda: case.lambda,
+                proportional: true,
+                algorithm: alg,
+                from: i64::MIN,
+                to: i64::MAX,
+            });
+        }
+        if case.exact_sized() {
+            specs.push(QuerySpec {
+                labels: all.clone(),
+                lambda: case.lambda,
+                proportional: false,
+                algorithm: Algorithm::Opt,
+                from: i64::MIN,
+                to: i64::MAX,
+            });
+        }
+        // Re-issue the first spec at the end: the second answer comes from
+        // the cover cache and must still be byte-identical.
+        specs.push(specs[0].clone());
+
+        for spec in &specs {
+            let want = Self::served_reference(rows, spec).map_err(|e| {
+                fail(format!(
+                    "offline reference failed on {}: {e}",
+                    format_query(spec)
+                ))
+            })?;
+            let resp = client
+                .request(&format_query(spec))
+                .map_err(|e| fail(format!("query {}: {e}", format_query(spec))))?;
+            self.ensure(resp.is_ok(), "server-agreement", || {
+                format!("{} rejected: {}", format_query(spec), resp.status)
+            })?;
+            self.ensure(resp.lines == want, "server-agreement", || {
+                format!(
+                    "served answer differs from offline solver on {}:\n  served  {:?}\n  offline {:?}",
+                    format_query(spec),
+                    resp.lines,
+                    want
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Independent re-derivation of the served answer: canonical slice
+    /// semantics (sorted-deduped query labels -> dense local ids, external
+    /// ids preserved, labels intersected) plus the documented solver
+    /// dispatch, rendered through the shared TSV writer.
+    fn served_reference(
+        rows: &[Record],
+        spec: &mqd_store::QuerySpec,
+    ) -> Result<Vec<String>, MqdError> {
+        use mqd_core::record::format_tsv;
+        use mqd_core::{LabelId, Post, PostId};
+        use mqd_store::Algorithm;
+
+        let mut qlabels = spec.labels.clone();
+        qlabels.sort_unstable();
+        qlabels.dedup();
+        let mut posts = Vec::new();
+        for r in rows {
+            if r.value < spec.from || r.value > spec.to {
+                continue;
+            }
+            let locals: Vec<LabelId> = r
+                .labels
+                .iter()
+                .filter_map(|l| qlabels.binary_search(l).ok().map(|i| LabelId(i as u16)))
+                .collect();
+            if locals.is_empty() {
+                continue;
+            }
+            posts.push(Post::new(PostId(r.id), r.value, locals));
+        }
+        let inst = Instance::from_posts(posts, qlabels.len())?;
+        let mut solution = match (spec.algorithm, spec.proportional) {
+            (Algorithm::Opt, _) => solve_opt(&inst, spec.lambda, &OptConfig::default())?,
+            (Algorithm::GreedySc, false) => solve_greedy_sc(&inst, &FixedLambda(spec.lambda)),
+            (Algorithm::Scan, false) => solve_scan(&inst, &FixedLambda(spec.lambda)),
+            (Algorithm::ScanPlus, false) => {
+                solve_scan_plus(&inst, &FixedLambda(spec.lambda), LabelOrder::Input)
+            }
+            (alg, true) => {
+                let v = VariableLambda::compute(&inst, spec.lambda);
+                match alg {
+                    Algorithm::GreedySc => solve_greedy_sc(&inst, &v),
+                    Algorithm::Scan => solve_scan(&inst, &v),
+                    Algorithm::ScanPlus => solve_scan_plus(&inst, &v, LabelOrder::Input),
+                    Algorithm::Opt => unreachable!("matched above"),
+                }
+            }
+        };
+        solution.selected.sort_unstable();
+        solution.selected.dedup();
+        Ok(solution
+            .selected
+            .iter()
+            .map(|&z| {
+                format_tsv(&Record {
+                    id: inst.post(z).id().0,
+                    value: inst.value(z),
+                    labels: inst
+                        .labels(z)
+                        .iter()
+                        .map(|&LabelId(l)| qlabels[l as usize])
+                        .collect(),
+                })
+            })
+            .collect())
     }
 }

@@ -1,0 +1,214 @@
+//! Minimal blocking client for the serving protocol, used by `mqdiv
+//! client`, the oracle's loopback agreement check, the benches and the
+//! end-to-end tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mqd_core::record::{encode_records, parse_tsv_line, Record};
+use mqd_core::MqdError;
+use mqd_store::QuerySpec;
+
+use crate::protocol::TERMINATOR;
+
+/// One framed server response: the status line and the payload lines
+/// (everything between the status and the `.` terminator).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// The status line (`+OK ...`, `-ERR ...`, or `-OVERLOADED ...`).
+    pub status: String,
+    /// Payload lines, terminator excluded.
+    pub lines: Vec<String>,
+}
+
+impl Response {
+    /// Whether the status line is `+OK`.
+    pub fn is_ok(&self) -> bool {
+        self.status.starts_with("+OK")
+    }
+
+    /// Whether the server rejected the request for load (`-OVERLOADED`).
+    pub fn is_overloaded(&self) -> bool {
+        self.status.starts_with("-OVERLOADED")
+    }
+}
+
+/// Builds the wire form of a [`QuerySpec`] — shared by every caller so a
+/// spec always serializes to the identical request line.
+pub fn format_query(spec: &QuerySpec) -> String {
+    let labels: Vec<String> = spec.labels.iter().map(|l| l.to_string()).collect();
+    let mut line = format!(
+        "QUERY {} {} {}",
+        labels.join(","),
+        spec.lambda,
+        spec.algorithm.as_str()
+    );
+    if spec.from != i64::MIN {
+        line.push_str(&format!(" FROM {}", spec.from));
+    }
+    if spec.to != i64::MAX {
+        line.push_str(&format!(" TO {}", spec.to));
+    }
+    if spec.proportional {
+        line.push_str(" PROP");
+    }
+    line
+}
+
+/// A blocking connection to an mqd server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, MqdError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the framed response.
+    pub fn request(&mut self, line: &str) -> Result<Response, MqdError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes verbatim (test hook for malformed traffic) and reads
+    /// one framed response.
+    pub fn request_raw(&mut self, bytes: &[u8]) -> Result<Response, MqdError> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Ingests a batch of rows as one MQDL-framed `INGESTB` request.
+    pub fn ingest_batch(&mut self, rows: &[Record]) -> Result<Response, MqdError> {
+        let body = encode_records(rows);
+        writeln!(self.writer, "INGESTB {}", body.len())?;
+        self.writer.write_all(&body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Runs a query and parses the payload back into records. A non-OK
+    /// status is returned as-is with an empty row list.
+    pub fn query(&mut self, spec: &QuerySpec) -> Result<(Response, Vec<Record>), MqdError> {
+        let resp = self.request(&format_query(spec))?;
+        if !resp.is_ok() {
+            return Ok((resp, Vec::new()));
+        }
+        let mut rows = Vec::new();
+        for (i, line) in resp.lines.iter().enumerate() {
+            if let Some(r) = parse_tsv_line(line, i + 1)? {
+                rows.push(r);
+            }
+        }
+        Ok((resp, rows))
+    }
+
+    /// Reads one framed response: status line, payload lines, `.`.
+    pub fn read_response(&mut self) -> Result<Response, MqdError> {
+        let status = match self.read_line()? {
+            Some(s) => s,
+            None => {
+                return Err(MqdError::Protocol {
+                    msg: "connection closed before a response".into(),
+                })
+            }
+        };
+        let mut lines = Vec::new();
+        loop {
+            match self.read_line()? {
+                Some(l) if l == TERMINATOR => break,
+                Some(l) => lines.push(l),
+                None => {
+                    return Err(MqdError::Protocol {
+                        msg: "connection closed mid-response".into(),
+                    })
+                }
+            }
+        }
+        Ok(Response { status, lines })
+    }
+
+    /// Half-closes the write side (test hook for half-closed sockets).
+    pub fn shutdown_write(&mut self) -> Result<(), MqdError> {
+        self.writer.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+
+    /// Writes raw bytes without waiting for a response (test hook for
+    /// partial frames; pair with [`Client::read_response`]).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> Result<(), MqdError> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<Option<String>, MqdError> {
+        let mut buf = Vec::new();
+        let n = self.reader.by_ref().read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_store::Algorithm;
+
+    #[test]
+    fn query_lines_serialize_canonically() {
+        let spec = QuerySpec {
+            labels: vec![0, 2],
+            lambda: 50,
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+        };
+        assert_eq!(format_query(&spec), "QUERY 0,2 50 scan");
+        let spec = QuerySpec {
+            labels: vec![1],
+            lambda: 9,
+            proportional: true,
+            algorithm: Algorithm::GreedySc,
+            from: -5,
+            to: 77,
+        };
+        assert_eq!(format_query(&spec), "QUERY 1 9 greedysc FROM -5 TO 77 PROP");
+    }
+
+    #[test]
+    fn formatted_queries_parse_back() {
+        use crate::protocol::{parse_request, Request};
+        let spec = QuerySpec {
+            labels: vec![3, 1],
+            lambda: 0,
+            proportional: true,
+            algorithm: Algorithm::ScanPlus,
+            from: i64::MIN + 1,
+            to: i64::MAX - 1,
+        };
+        match parse_request(&format_query(&spec)).unwrap() {
+            Request::Query(q) => assert_eq!(q, spec),
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+}

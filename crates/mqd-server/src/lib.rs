@@ -1,0 +1,33 @@
+//! Zero-dependency TCP serving layer for MQDP queries.
+//!
+//! The offline pipeline answers one query per process; this crate turns the
+//! workspace into a long-lived service: a multi-threaded TCP server that
+//! holds an [`mqd_store::Store`], answers `QUERY` requests through the
+//! canonical [`mqd_store::run_query`] path (with the generation-invalidated
+//! cover cache in front), ingests posts one at a time (`INGEST`) or as MQDL
+//! binary batches (`INGESTB`), replays `SUBSCRIBE` sessions through the
+//! supervised `mqd-stream` engines, and reports `STATS`.
+//!
+//! Consistent with the workspace's offline-build policy, the server uses
+//! only `std`: an acceptor thread feeds a bounded [`std::sync::mpsc`]
+//! channel drained by a worker pool sized via [`mqd_par::configured_threads`].
+//! The bounded channel **is** the admission controller — when it is full the
+//! acceptor answers `-OVERLOADED` and closes, a typed response rather than a
+//! dropped connection, mirroring the graceful-degradation philosophy of the
+//! streaming supervisor.
+//!
+//! The wire protocol ([`protocol`]) is line-oriented: one request line
+//! (plus a raw binary body for `INGESTB`), one response of a status line
+//! (`+OK <json>`, `-ERR <Kind> <msg>`, or `-OVERLOADED <msg>`), optional
+//! payload lines, and a lone `.` terminator. Every malformed input maps to
+//! a typed [`mqd_core::MqdError`] response; the connection handler never
+//! panics the server.
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{format_query, Client, Response};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,440 @@
+//! The line/JSON wire protocol: request grammar, limits, response framing.
+//!
+//! Requests are single lines of whitespace-separated tokens (`INGESTB`
+//! additionally carries a raw MQDL body after its header line):
+//!
+//! ```text
+//! PING
+//! STATS
+//! INGEST <id> <value> <label,label,...>
+//! INGESTB <nbytes>\n<nbytes of MQDL binary log>
+//! QUERY <label,...> <lambda> <opt|greedysc|scan|scanplus> [FROM v] [TO v] [PROP]
+//! SUBSCRIBE <label,...> <lambda> <tau> <scan|scanplus|greedy|greedyplus>
+//!           [FROM v] [TO v] [SHARDS n]
+//! DRAIN
+//! QUIT
+//! ```
+//!
+//! Responses are a status line — `+OK <json>`, `-ERR <Kind> <msg>` (the
+//! kind is the [`MqdError`] variant name), or `-OVERLOADED <msg>` — then
+//! zero or more payload lines, then a lone `.`.
+
+use std::io::Write;
+
+use mqd_core::record::Record;
+use mqd_core::MqdError;
+use mqd_store::{Algorithm, QuerySpec};
+use mqd_stream::ShardEngineKind;
+
+/// Longest accepted request line (bytes, incl. newline). Longer lines get a
+/// typed Protocol error and the connection is closed (no way to resync).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Largest accepted `INGESTB` body.
+pub const MAX_BATCH_BYTES: usize = 64 * 1024 * 1024;
+
+/// Most rows accepted in one `INGESTB` batch.
+pub const MAX_BATCH_ROWS: usize = 1 << 20;
+
+/// The response terminator line.
+pub const TERMINATOR: &str = ".";
+
+/// One parsed request line. `IngestBatch` carries only the announced body
+/// size — the raw bytes follow the line and are read by the server.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Store + cache + serving counters.
+    Stats,
+    /// Append one post.
+    Ingest(Record),
+    /// Append a binary batch of `bytes` MQDL bytes (body follows the line).
+    IngestBatch {
+        /// Announced body size in bytes.
+        bytes: usize,
+    },
+    /// Solve a cover over a label/range slice.
+    Query(QuerySpec),
+    /// Replay the slice through a supervised streaming engine.
+    Subscribe(SubscribeSpec),
+    /// Stop accepting connections, finish in-flight work, shut down.
+    Drain,
+    /// Close this connection.
+    Quit,
+}
+
+/// Parameters of a `SUBSCRIBE` session.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubscribeSpec {
+    /// Global label ids subscribed to.
+    pub labels: Vec<u16>,
+    /// Fixed coverage threshold.
+    pub lambda: i64,
+    /// Delay budget per emission.
+    pub tau: i64,
+    /// Which streaming engine runs the session.
+    pub engine: ShardEngineKind,
+    /// Inclusive lower bound on the dimension value.
+    pub from: i64,
+    /// Inclusive upper bound on the dimension value.
+    pub to: i64,
+    /// Number of shards for the supervised run.
+    pub shards: usize,
+}
+
+fn perr(msg: impl Into<String>) -> MqdError {
+    MqdError::Protocol { msg: msg.into() }
+}
+
+fn parse_labels(s: &str) -> Result<Vec<u16>, MqdError> {
+    let mut labels = Vec::new();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        labels.push(
+            part.parse::<u16>()
+                .map_err(|e| perr(format!("bad label '{part}': {e}")))?,
+        );
+    }
+    if labels.is_empty() {
+        return Err(perr("need at least one label"));
+    }
+    Ok(labels)
+}
+
+fn parse_i64(tok: &str, what: &str) -> Result<i64, MqdError> {
+    tok.parse::<i64>()
+        .map_err(|e| perr(format!("bad {what} '{tok}': {e}")))
+}
+
+fn parse_engine(s: &str) -> Result<ShardEngineKind, MqdError> {
+    match s {
+        "scan" => Ok(ShardEngineKind::Scan),
+        "scanplus" => Ok(ShardEngineKind::ScanPlus),
+        "greedy" => Ok(ShardEngineKind::Greedy),
+        "greedyplus" => Ok(ShardEngineKind::GreedyPlus),
+        other => Err(perr(format!(
+            "unknown engine '{other}' (want scan|scanplus|greedy|greedyplus)"
+        ))),
+    }
+}
+
+/// Range/option tail shared by QUERY and SUBSCRIBE.
+struct Tail {
+    from: i64,
+    to: i64,
+    prop: bool,
+    shards: usize,
+}
+
+fn parse_tail<'a>(
+    mut toks: impl Iterator<Item = &'a str>,
+    allow_prop: bool,
+    allow_shards: bool,
+) -> Result<Tail, MqdError> {
+    let mut tail = Tail {
+        from: i64::MIN,
+        to: i64::MAX,
+        prop: false,
+        shards: 1,
+    };
+    while let Some(tok) = toks.next() {
+        match tok.to_ascii_uppercase().as_str() {
+            "FROM" => {
+                let v = toks.next().ok_or_else(|| perr("FROM needs a value"))?;
+                tail.from = parse_i64(v, "FROM value")?;
+            }
+            "TO" => {
+                let v = toks.next().ok_or_else(|| perr("TO needs a value"))?;
+                tail.to = parse_i64(v, "TO value")?;
+            }
+            "PROP" if allow_prop => tail.prop = true,
+            "SHARDS" if allow_shards => {
+                let v = toks.next().ok_or_else(|| perr("SHARDS needs a value"))?;
+                tail.shards = v
+                    .parse::<usize>()
+                    .map_err(|e| perr(format!("bad SHARDS value '{v}': {e}")))?
+                    .clamp(1, 64);
+            }
+            other => return Err(perr(format!("unexpected token '{other}'"))),
+        }
+    }
+    if tail.from > tail.to {
+        return Err(perr(format!(
+            "empty range: FROM {} > TO {}",
+            tail.from, tail.to
+        )));
+    }
+    Ok(tail)
+}
+
+/// Parses one request line. All failures are typed [`MqdError::Protocol`].
+pub fn parse_request(line: &str) -> Result<Request, MqdError> {
+    let mut toks = line.split_whitespace();
+    let cmd = toks.next().ok_or_else(|| perr("empty request"))?;
+    match cmd.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
+        "DRAIN" => Ok(Request::Drain),
+        "QUIT" => Ok(Request::Quit),
+        "INGEST" => {
+            let id = toks.next().ok_or_else(|| perr("INGEST needs <id>"))?;
+            let id = id
+                .parse::<u64>()
+                .map_err(|e| perr(format!("bad id '{id}': {e}")))?;
+            let value = toks.next().ok_or_else(|| perr("INGEST needs <value>"))?;
+            let value = parse_i64(value, "value")?;
+            let labels = toks.next().ok_or_else(|| perr("INGEST needs <labels>"))?;
+            let labels = parse_labels(labels)?;
+            if let Some(extra) = toks.next() {
+                return Err(perr(format!("unexpected token '{extra}'")));
+            }
+            Ok(Request::Ingest(Record { id, value, labels }))
+        }
+        "INGESTB" => {
+            let n = toks.next().ok_or_else(|| perr("INGESTB needs <nbytes>"))?;
+            let bytes = n
+                .parse::<usize>()
+                .map_err(|e| perr(format!("bad byte count '{n}': {e}")))?;
+            if bytes > MAX_BATCH_BYTES {
+                return Err(perr(format!(
+                    "batch of {bytes} bytes exceeds limit {MAX_BATCH_BYTES}"
+                )));
+            }
+            if let Some(extra) = toks.next() {
+                return Err(perr(format!("unexpected token '{extra}'")));
+            }
+            Ok(Request::IngestBatch { bytes })
+        }
+        "QUERY" => {
+            let labels = toks.next().ok_or_else(|| perr("QUERY needs <labels>"))?;
+            let labels = parse_labels(labels)?;
+            let lambda = toks.next().ok_or_else(|| perr("QUERY needs <lambda>"))?;
+            let lambda = parse_i64(lambda, "lambda")?;
+            let alg = toks.next().ok_or_else(|| perr("QUERY needs <algorithm>"))?;
+            let algorithm = Algorithm::parse(alg)?;
+            let tail = parse_tail(toks, true, false)?;
+            Ok(Request::Query(QuerySpec {
+                labels,
+                lambda,
+                proportional: tail.prop,
+                algorithm,
+                from: tail.from,
+                to: tail.to,
+            }))
+        }
+        "SUBSCRIBE" => {
+            let labels = toks
+                .next()
+                .ok_or_else(|| perr("SUBSCRIBE needs <labels>"))?;
+            let labels = parse_labels(labels)?;
+            let lambda = toks
+                .next()
+                .ok_or_else(|| perr("SUBSCRIBE needs <lambda>"))?;
+            let lambda = parse_i64(lambda, "lambda")?;
+            let tau = toks.next().ok_or_else(|| perr("SUBSCRIBE needs <tau>"))?;
+            let tau = parse_i64(tau, "tau")?;
+            let engine = toks
+                .next()
+                .ok_or_else(|| perr("SUBSCRIBE needs <engine>"))?;
+            let engine = parse_engine(engine)?;
+            let tail = parse_tail(toks, false, true)?;
+            Ok(Request::Subscribe(SubscribeSpec {
+                labels,
+                lambda,
+                tau,
+                engine,
+                from: tail.from,
+                to: tail.to,
+                shards: tail.shards,
+            }))
+        }
+        other => Err(perr(format!("unknown command '{other}'"))),
+    }
+}
+
+/// The wire name of an error: its [`MqdError`] variant name.
+pub fn error_kind(e: &MqdError) -> &'static str {
+    match e {
+        MqdError::LabelOutOfRange { .. } => "LabelOutOfRange",
+        MqdError::NegativeLambda(_) => "NegativeLambda",
+        MqdError::OptBudgetExceeded { .. } => "OptBudgetExceeded",
+        MqdError::BruteTooLarge { .. } => "BruteTooLarge",
+        MqdError::Parse { .. } => "Parse",
+        MqdError::Corrupt { .. } => "Corrupt",
+        MqdError::NonMonotoneTimestamp { .. } => "NonMonotoneTimestamp",
+        MqdError::EmptyLabelSet { .. } => "EmptyLabelSet",
+        MqdError::Io(_) => "Io",
+        MqdError::ShardFailed { .. } => "ShardFailed",
+        MqdError::CheckpointMismatch { .. } => "CheckpointMismatch",
+        MqdError::Protocol { .. } => "Protocol",
+    }
+}
+
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// Writes `+OK <json>`, the payload lines, and the terminator.
+pub fn write_ok<W: Write>(w: &mut W, json: &str, payload: &[String]) -> std::io::Result<()> {
+    writeln!(w, "+OK {}", one_line(json))?;
+    for line in payload {
+        writeln!(w, "{}", one_line(line))?;
+    }
+    writeln!(w, "{TERMINATOR}")?;
+    w.flush()
+}
+
+/// Writes `-ERR <Kind> <msg>` and the terminator.
+pub fn write_err<W: Write>(w: &mut W, e: &MqdError) -> std::io::Result<()> {
+    writeln!(w, "-ERR {} {}", error_kind(e), one_line(&e.to_string()))?;
+    writeln!(w, "{TERMINATOR}")?;
+    w.flush()
+}
+
+/// Writes `-OVERLOADED <msg>` and the terminator — the typed admission-
+/// control rejection.
+pub fn write_overloaded<W: Write>(w: &mut W, msg: &str) -> std::io::Result<()> {
+    writeln!(w, "-OVERLOADED {}", one_line(msg))?;
+    writeln!(w, "{TERMINATOR}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_commands_parse() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("  DRAIN  ").unwrap(), Request::Drain);
+        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn ingest_parses_a_record() {
+        let r = parse_request("INGEST 42 1000 0,3,3").unwrap();
+        assert_eq!(
+            r,
+            Request::Ingest(Record {
+                id: 42,
+                value: 1000,
+                labels: vec![0, 3, 3],
+            })
+        );
+        assert!(parse_request("INGEST 42 1000").is_err());
+        assert!(parse_request("INGEST x 1000 0").is_err());
+        assert!(parse_request("INGEST 42 1000 0 extra").is_err());
+        assert!(parse_request("INGEST 1 2 ,").is_err()); // no labels
+    }
+
+    #[test]
+    fn ingestb_enforces_the_byte_limit() {
+        assert_eq!(
+            parse_request("INGESTB 128").unwrap(),
+            Request::IngestBatch { bytes: 128 }
+        );
+        let too_big = format!("INGESTB {}", MAX_BATCH_BYTES + 1);
+        assert!(matches!(
+            parse_request(&too_big).unwrap_err(),
+            MqdError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn query_parses_full_form() {
+        let r = parse_request("QUERY 0,2 50 scanplus FROM -10 TO 99 PROP").unwrap();
+        let Request::Query(q) = r else {
+            panic!("not a query")
+        };
+        assert_eq!(q.labels, vec![0, 2]);
+        assert_eq!(q.lambda, 50);
+        assert_eq!(q.algorithm, Algorithm::ScanPlus);
+        assert_eq!((q.from, q.to, q.proportional), (-10, 99, true));
+    }
+
+    #[test]
+    fn query_defaults_to_the_full_range() {
+        let Request::Query(q) = parse_request("QUERY 1 5 opt").unwrap() else {
+            panic!()
+        };
+        assert_eq!((q.from, q.to, q.proportional), (i64::MIN, i64::MAX, false));
+    }
+
+    #[test]
+    fn query_rejects_garbage() {
+        for bad in [
+            "QUERY",
+            "QUERY 0",
+            "QUERY 0 5",
+            "QUERY 0 5 sort",
+            "QUERY 0 x scan",
+            "QUERY 0 5 scan FROM",
+            "QUERY 0 5 scan FROM x",
+            "QUERY 0 5 scan WAT 3",
+            "QUERY 0 5 scan FROM 9 TO 1",
+            "QUERY 0 5 scan SHARDS 2", // SHARDS is subscribe-only
+            "FROB 1 2 3",
+            "",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(MqdError::Protocol { .. })),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn subscribe_parses() {
+        let r = parse_request("SUBSCRIBE 0,1 10 20 greedy FROM 0 TO 100 SHARDS 2").unwrap();
+        let Request::Subscribe(s) = r else { panic!() };
+        assert_eq!(s.labels, vec![0, 1]);
+        assert_eq!((s.lambda, s.tau), (10, 20));
+        assert_eq!(s.engine, ShardEngineKind::Greedy);
+        assert_eq!((s.from, s.to, s.shards), (0, 100, 2));
+        // PROP is query-only.
+        assert!(parse_request("SUBSCRIBE 0 10 20 scan PROP").is_err());
+        assert!(parse_request("SUBSCRIBE 0 10 20 turbo").is_err());
+    }
+
+    #[test]
+    fn responses_frame_with_a_terminator() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, r#"{"n":1}"#, &["1\t2\t0".into()]).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "+OK {\"n\":1}\n1\t2\t0\n.\n"
+        );
+        let mut buf = Vec::new();
+        write_err(
+            &mut buf,
+            &MqdError::Protocol {
+                msg: "bad\nthing".into(),
+            },
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("-ERR Protocol "));
+        assert!(!s.contains("bad\nthing"), "newlines must be flattened");
+        assert!(s.ends_with(".\n"));
+        let mut buf = Vec::new();
+        write_overloaded(&mut buf, "queue full").unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "-OVERLOADED queue full\n.\n"
+        );
+    }
+
+    #[test]
+    fn error_kinds_name_every_variant() {
+        assert_eq!(error_kind(&MqdError::NegativeLambda(-1)), "NegativeLambda");
+        assert_eq!(
+            error_kind(&MqdError::Protocol { msg: String::new() }),
+            "Protocol"
+        );
+        assert_eq!(
+            error_kind(&MqdError::EmptyLabelSet { row: 1 }),
+            "EmptyLabelSet"
+        );
+    }
+}

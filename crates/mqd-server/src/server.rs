@@ -1,0 +1,719 @@
+//! The server runtime: acceptor, bounded admission queue, worker pool,
+//! per-connection request loop, and graceful drain.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mqd_core::record::{decode_records, format_tsv};
+use mqd_core::MqdError;
+use mqd_store::{run_query, CoverCache, Store};
+use mqd_stream::{FaultPlan, SupervisedRun, SupervisorConfig};
+
+use crate::protocol::{
+    parse_request, write_err, write_ok, write_overloaded, Request, SubscribeSpec, MAX_BATCH_ROWS,
+    MAX_LINE_BYTES, TERMINATOR,
+};
+
+/// How often a blocked read wakes up to check the drain flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Arrivals delivered between emission flushes in a SUBSCRIBE session.
+const SUBSCRIBE_CHUNK: usize = 256;
+
+/// Server settings, as exposed by `mqdiv serve`.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads; 0 uses [`mqd_par::configured_threads`], floored at
+    /// 4. A worker owns its connection for the connection's lifetime, and
+    /// connection handling is blocking I/O, not CPU-bound — without the
+    /// floor, a single-core host serves one connection at a time and an
+    /// idle-but-open client starves everyone else.
+    pub threads: usize,
+    /// Admission queue depth: connections waiting for a worker beyond this
+    /// are answered `-OVERLOADED` instead of queued.
+    pub max_queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            max_queue: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    ingested_rows: AtomicU64,
+    subscribes: AtomicU64,
+    errors: AtomicU64,
+    overloads: AtomicU64,
+}
+
+struct State {
+    store: Mutex<Store>,
+    cache: Mutex<CoverCache>,
+    counters: Counters,
+    draining: AtomicBool,
+    addr: SocketAddr,
+    threads: usize,
+}
+
+/// A bound, ready-to-run server. [`Server::run`] blocks until a `DRAIN`
+/// request shuts it down.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+    max_queue: usize,
+}
+
+impl Server {
+    /// Binds the listen socket and sizes the worker pool.
+    pub fn bind(cfg: &ServerConfig) -> Result<Self, MqdError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = if cfg.threads == 0 {
+            mqd_par::configured_threads().max(4)
+        } else {
+            cfg.threads
+        };
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                store: Mutex::new(Store::new()),
+                cache: Mutex::new(CoverCache::new()),
+                counters: Counters::default(),
+                draining: AtomicBool::new(false),
+                addr,
+                threads,
+            }),
+            max_queue: cfg.max_queue.max(1),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until drained: the acceptor feeds a bounded channel, workers
+    /// drain it, and a full channel is answered with a typed `-OVERLOADED`
+    /// response — admission control, not a dropped connection. Returns once
+    /// a `DRAIN` request has been honored and all in-flight work finished.
+    pub fn run(self) -> Result<(), MqdError> {
+        let (tx, rx) = sync_channel::<TcpStream>(self.max_queue);
+        let rx = Arc::new(Mutex::new(rx));
+        let state = self.state;
+        std::thread::scope(|s| {
+            for _ in 0..state.threads {
+                let rx = Arc::clone(&rx);
+                let st = Arc::clone(&state);
+                s.spawn(move || worker_loop(&rx, &st));
+            }
+            for conn in self.listener.incoming() {
+                if state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(conn)) => {
+                        state.counters.overloads.fetch_add(1, Ordering::Relaxed);
+                        let mut w = BufWriter::new(conn);
+                        let _ = write_overloaded(&mut w, "server at capacity, retry later");
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &State) {
+    loop {
+        // Take the lock only to wait for the next connection; holding it
+        // while serving would serialize the pool.
+        let conn = {
+            let guard = rx.lock().expect("receiver mutex");
+            guard.recv()
+        };
+        match conn {
+            Ok(c) => {
+                let _ = handle_conn(c, state);
+            }
+            Err(_) => return, // acceptor dropped the sender: drain complete
+        }
+    }
+}
+
+/// Bounded, timeout-tolerant line reader. A read timeout between requests
+/// just re-checks the drain flag; a timeout mid-line keeps the partial
+/// bytes, so slow writers are never corrupted.
+struct LineReader<R: BufRead> {
+    inner: R,
+    partial: Vec<u8>,
+}
+
+enum LineEvent {
+    /// A complete request line (lossy UTF-8; garbage parses to a typed
+    /// protocol error downstream, never a panic).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line outgrew [`MAX_LINE_BYTES`]; the connection cannot resync.
+    Oversized,
+    /// The server is draining and the connection was idle.
+    Drained,
+}
+
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            partial: Vec::new(),
+        }
+    }
+
+    fn take_line(&mut self) -> LineEvent {
+        let mut bytes = std::mem::take(&mut self.partial);
+        if bytes.last() == Some(&b'\n') {
+            bytes.pop();
+        }
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        LineEvent::Line(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<LineEvent> {
+        loop {
+            if self.partial.len() > MAX_LINE_BYTES {
+                return Ok(LineEvent::Oversized);
+            }
+            let budget = (MAX_LINE_BYTES + 1 - self.partial.len()) as u64;
+            match self
+                .inner
+                .by_ref()
+                .take(budget)
+                .read_until(b'\n', &mut self.partial)
+            {
+                Ok(0) => {
+                    // Peer EOF (possibly a half-closed socket mid-line).
+                    if self.partial.is_empty() {
+                        return Ok(LineEvent::Eof);
+                    }
+                    return Ok(self.take_line());
+                }
+                Ok(_) => {
+                    if self.partial.last() == Some(&b'\n') {
+                        return Ok(self.take_line());
+                    }
+                    // Hit the take budget without a newline: either the
+                    // line is oversized (caught at loop top) or more bytes
+                    // are coming.
+                }
+                Err(e) if retryable(&e) => {
+                    if draining.load(Ordering::SeqCst) {
+                        return Ok(LineEvent::Drained);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads exactly `n` body bytes. `Ok(Err(got))` means the peer closed
+    /// (or the server drained) after `got` bytes — a typed protocol error
+    /// for the caller, not an I/O failure.
+    fn read_exact_body(
+        &mut self,
+        n: usize,
+        draining: &AtomicBool,
+    ) -> std::io::Result<Result<Vec<u8>, usize>> {
+        let mut buf = Vec::with_capacity(n.min(1 << 20));
+        let mut chunk = [0u8; 16 * 1024];
+        while buf.len() < n {
+            let want = (n - buf.len()).min(chunk.len());
+            match self.inner.read(&mut chunk[..want]) {
+                Ok(0) => return Ok(Err(buf.len())),
+                Ok(k) => buf.extend_from_slice(&chunk[..k]),
+                Err(e) if retryable(&e) => {
+                    if draining.load(Ordering::SeqCst) {
+                        return Ok(Err(buf.len()));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Ok(buf))
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(READ_TICK))?;
+    let _ = conn.set_nodelay(true);
+    let write_half = conn.try_clone()?;
+    let mut reader = LineReader::new(BufReader::new(conn));
+    let mut w = BufWriter::new(write_half);
+
+    loop {
+        let line = match reader.next_line(&state.draining)? {
+            LineEvent::Line(line) => line,
+            LineEvent::Eof | LineEvent::Drained => return Ok(()),
+            LineEvent::Oversized => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_err(
+                    &mut w,
+                    &MqdError::Protocol {
+                        msg: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    },
+                );
+                return Ok(()); // cannot find the next request boundary
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+
+        let req = match parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_err(&mut w, &e)?;
+                continue;
+            }
+        };
+
+        // INGESTB: pull the raw body before executing, so the stream stays
+        // framed even when the batch turns out to be invalid.
+        let body = match req {
+            Request::IngestBatch { bytes } => {
+                match reader.read_exact_body(bytes, &state.draining)? {
+                    Ok(body) => Some(body),
+                    Err(got) => {
+                        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_err(
+                            &mut w,
+                            &MqdError::Protocol {
+                                msg: format!("truncated batch body: got {got} of {bytes} bytes"),
+                            },
+                        );
+                        return Ok(()); // body boundary lost
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute(state, &req, body.as_deref(), &mut w)
+        }));
+        match outcome {
+            Ok(Ok(Flow::Continue)) => {}
+            Ok(Ok(Flow::Close)) => return Ok(()),
+            Ok(Err(io)) => return Err(io),
+            Err(_) => {
+                // Backstop: a handler panic answers as a typed error and
+                // closes this connection; the worker and server live on.
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_err(
+                    &mut w,
+                    &MqdError::Protocol {
+                        msg: "internal error (request handler panicked)".into(),
+                    },
+                );
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn execute(
+    state: &State,
+    req: &Request,
+    body: Option<&[u8]>,
+    w: &mut impl Write,
+) -> std::io::Result<Flow> {
+    match req {
+        Request::Ping => {
+            write_ok(w, r#"{"pong":true}"#, &[])?;
+            Ok(Flow::Continue)
+        }
+        Request::Stats => {
+            let json = stats_json(state);
+            write_ok(w, &json, &[])?;
+            Ok(Flow::Continue)
+        }
+        Request::Ingest(row) => {
+            let result = {
+                let mut store = state.store.lock().expect("store mutex");
+                store.append(row.clone()).map(|()| store.generation())
+            };
+            match result {
+                Ok(generation) => {
+                    state.counters.ingested_rows.fetch_add(1, Ordering::Relaxed);
+                    write_ok(
+                        w,
+                        &format!(r#"{{"ingested":1,"generation":{generation}}}"#),
+                        &[],
+                    )?;
+                }
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::IngestBatch { .. } => {
+            let body = body.expect("batch body read by caller");
+            match ingest_batch(state, body) {
+                Ok((n, generation)) => {
+                    write_ok(
+                        w,
+                        &format!(r#"{{"ingested":{n},"generation":{generation}}}"#),
+                        &[],
+                    )?;
+                }
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Query(spec) => {
+            state.counters.queries.fetch_add(1, Ordering::Relaxed);
+            // Lock order everywhere: store, then cache.
+            let result = {
+                let store = state.store.lock().expect("store mutex");
+                let mut cache = state.cache.lock().expect("cache mutex");
+                cache.get_or_compute(store.generation(), spec, || run_query(&store, spec))
+            };
+            match result {
+                Ok((rows, cached)) => {
+                    let payload: Vec<String> = rows.iter().map(format_tsv).collect();
+                    let json = format!(
+                        r#"{{"algorithm":"{}","count":{},"cached":{}}}"#,
+                        spec.algorithm.as_str(),
+                        rows.len(),
+                        cached
+                    );
+                    write_ok(w, &json, &payload)?;
+                }
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Subscribe(spec) => {
+            state.counters.subscribes.fetch_add(1, Ordering::Relaxed);
+            subscribe(state, spec, w)?;
+            Ok(Flow::Continue)
+        }
+        Request::Drain => {
+            state.draining.store(true, Ordering::SeqCst);
+            write_ok(w, r#"{"draining":true}"#, &[])?;
+            // Kick the acceptor out of its blocking accept so it observes
+            // the flag; the connection itself is discarded there.
+            let _ = TcpStream::connect_timeout(&state.addr, Duration::from_millis(500));
+            Ok(Flow::Close)
+        }
+        Request::Quit => {
+            write_ok(w, r#"{"bye":true}"#, &[])?;
+            Ok(Flow::Close)
+        }
+    }
+}
+
+fn ingest_batch(state: &State, body: &[u8]) -> Result<(usize, u64), MqdError> {
+    let rows = decode_records(body)?;
+    if rows.len() > MAX_BATCH_ROWS {
+        return Err(MqdError::Protocol {
+            msg: format!(
+                "batch of {} rows exceeds limit {MAX_BATCH_ROWS}",
+                rows.len()
+            ),
+        });
+    }
+    let mut store = state.store.lock().expect("store mutex");
+    let mut n = 0usize;
+    for row in rows {
+        store.append(row)?; // rows before the failure stay (stream prefix)
+        n += 1;
+        state.counters.ingested_rows.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok((n, store.generation()))
+}
+
+fn stats_json(state: &State) -> String {
+    // Lock order: store, then cache.
+    let store_stats = state.store.lock().expect("store mutex").stats();
+    let cache_stats = state.cache.lock().expect("cache mutex").stats();
+    let c = &state.counters;
+    let opt_i64 = |v: Option<i64>| v.map_or("null".to_string(), |x| x.to_string());
+    format!(
+        concat!(
+            r#"{{"rows":{},"segments":{},"labels":{},"generation":{},"#,
+            r#""min_value":{},"max_value":{},"#,
+            r#""cache":{{"hits":{},"misses":{},"invalidations":{},"entries":{}}},"#,
+            r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{}}},"#,
+            r#""threads":{},"draining":{}}}"#
+        ),
+        store_stats.rows,
+        store_stats.segments,
+        store_stats.labels,
+        store_stats.generation,
+        opt_i64(store_stats.min_value),
+        opt_i64(store_stats.max_value),
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.invalidations,
+        cache_stats.entries,
+        c.connections.load(Ordering::Relaxed),
+        c.queries.load(Ordering::Relaxed),
+        c.ingested_rows.load(Ordering::Relaxed),
+        c.subscribes.load(Ordering::Relaxed),
+        c.errors.load(Ordering::Relaxed),
+        c.overloads.load(Ordering::Relaxed),
+        state.threads,
+        state.draining.load(Ordering::SeqCst),
+    )
+}
+
+/// Replays the slice through a supervised streaming engine, streaming
+/// emissions as they become *stable*: an emission is sent once its release
+/// time is strictly earlier than the next arrival's timestamp, so the
+/// streamed prefix is identical no matter how the replay is chunked.
+fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io::Result<()> {
+    if spec.lambda < 0 {
+        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return write_err(w, &MqdError::NegativeLambda(spec.lambda));
+    }
+    if spec.tau < 0 {
+        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return write_err(
+            w,
+            &MqdError::Protocol {
+                msg: format!("tau must be >= 0, got {}", spec.tau),
+            },
+        );
+    }
+    let slice = {
+        let store = state.store.lock().expect("store mutex");
+        store.slice(&spec.labels, spec.from, spec.to)
+    };
+    let inst = &slice.instance;
+    let mut run = SupervisedRun::new(
+        inst,
+        spec.lambda,
+        spec.tau,
+        spec.shards,
+        spec.engine,
+        &FaultPlan::none(),
+        SupervisorConfig::default(),
+    );
+
+    writeln!(
+        w,
+        r#"+OK {{"posts":{},"shards":{}}}"#,
+        inst.len(),
+        spec.shards
+    )?;
+    let mut sent: HashSet<u32> = HashSet::new();
+    let mut degraded = 0u64;
+    let emit = |w: &mut dyn Write, post: u32, time: i64, flag: bool| -> std::io::Result<()> {
+        let r = slice.record_for(post);
+        writeln!(w, "EMIT {} {} {} {}", r.id, r.value, time, u8::from(flag))
+    };
+
+    loop {
+        for _ in 0..SUBSCRIBE_CHUNK {
+            match run.step() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    // Mid-stream failure: the +OK header is out, so abort
+                    // inside the payload, keeping the framing intact.
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    writeln!(w, "ABORT {} {}", crate::protocol::error_kind(&e), e)?;
+                    writeln!(w, "{TERMINATOR}")?;
+                    return w.flush();
+                }
+            }
+        }
+        let watermark = if run.done() {
+            i64::MAX
+        } else {
+            inst.value(run.position())
+        };
+        for e in run.released_emissions() {
+            if e.emit_time < watermark && sent.insert(e.post) {
+                degraded += u64::from(e.degraded);
+                emit(w, e.post, e.emit_time, e.degraded)?;
+            }
+        }
+        w.flush()?;
+        if run.done() {
+            break;
+        }
+    }
+    match run.finish() {
+        Ok(res) => {
+            for e in &res.emissions {
+                if sent.insert(e.post) {
+                    degraded += u64::from(e.degraded);
+                    emit(w, e.post, e.emit_time, e.degraded)?;
+                }
+            }
+            writeln!(
+                w,
+                r#"DONE {{"emissions":{},"degraded":{}}}"#,
+                sent.len(),
+                degraded
+            )?;
+        }
+        Err(e) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            writeln!(w, "ABORT {} {}", crate::protocol::error_kind(&e), e)?;
+        }
+    }
+    writeln!(w, "{TERMINATOR}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn start(threads: usize, max_queue: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            max_queue,
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn ping_ingest_query_stats_drain() {
+        let (addr, handle) = start(2, 8);
+        let mut c = Client::connect(addr).unwrap();
+        assert!(c.request("PING").unwrap().is_ok());
+
+        for (id, value, labels) in [(1, 0, "0"), (2, 10, "0"), (3, 20, "0,1"), (4, 30, "1")] {
+            let r = c.request(&format!("INGEST {id} {value} {labels}")).unwrap();
+            assert!(r.is_ok(), "{}", r.status);
+        }
+        let r = c.request("QUERY 0,1 10 opt").unwrap();
+        assert!(r.is_ok(), "{}", r.status);
+        // An optimal cover has 2 posts; this DP reconstructs {P1, P3}.
+        assert_eq!(r.lines.len(), 2);
+        assert_eq!(r.lines[0], "1\t0\t0");
+        assert_eq!(r.lines[1], "3\t20\t0,1");
+
+        // Second identical query must be served from the cache.
+        let r2 = c.request("QUERY 0,1 10 opt").unwrap();
+        assert!(r2.status.contains(r#""cached":true"#), "{}", r2.status);
+        assert_eq!(r2.lines, r.lines);
+
+        let stats = c.request("STATS").unwrap();
+        assert!(stats.status.contains(r#""rows":4"#), "{}", stats.status);
+        assert!(stats.status.contains(r#""hits":1"#), "{}", stats.status);
+
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn subscribe_streams_emissions() {
+        let (addr, handle) = start(2, 8);
+        let mut c = Client::connect(addr).unwrap();
+        for i in 0..20 {
+            let r = c
+                .request(&format!("INGEST {} {} {}", i + 1, i * 10, i % 2))
+                .unwrap();
+            assert!(r.is_ok());
+        }
+        let r = c.request("SUBSCRIBE 0,1 10 30 scan").unwrap();
+        assert!(r.is_ok(), "{}", r.status);
+        let emits: Vec<&String> = r.lines.iter().filter(|l| l.starts_with("EMIT ")).collect();
+        assert!(!emits.is_empty());
+        let done = r.lines.last().unwrap();
+        assert!(done.starts_with("DONE "), "{done}");
+        assert!(done.contains(r#""degraded":0"#), "{done}");
+        // Emissions are (emit_time, ...) ordered.
+        let times: Vec<i64> = emits
+            .iter()
+            .map(|l| l.split_whitespace().nth(3).unwrap().parse().unwrap())
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn typed_errors_keep_the_connection_alive() {
+        let (addr, handle) = start(1, 4);
+        let mut c = Client::connect(addr).unwrap();
+        let r = c.request("FROB 1 2").unwrap();
+        assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+        let r = c.request("QUERY 0 -5 scan").unwrap();
+        assert!(r.status.starts_with("-ERR NegativeLambda "), "{}", r.status);
+        let r = c.request("INGEST 1 5 ''").unwrap();
+        assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+        // The same connection still works.
+        assert!(c.request("PING").unwrap().is_ok());
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn quit_closes_only_the_connection() {
+        let (addr, handle) = start(1, 4);
+        let mut c = Client::connect(addr).unwrap();
+        assert!(c.request("QUIT").unwrap().is_ok());
+        let mut c2 = Client::connect(addr).unwrap();
+        assert!(c2.request("PING").unwrap().is_ok());
+        assert!(c2.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+}

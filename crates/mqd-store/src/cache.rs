@@ -1,0 +1,192 @@
+//! Generation-invalidated cover cache.
+//!
+//! Serving workloads repeat queries: the same user polls the same label set
+//! and range, dashboards re-issue the same STATS-adjacent covers. A cover
+//! is only valid for the exact store contents it was computed against, so
+//! the cache is keyed by the full [`QuerySpec`] and stamped with the
+//! store's generation counter: the first lookup after **any** append sees a
+//! different generation and flushes every entry (lazy, O(1) per append).
+
+use std::collections::HashMap;
+
+use mqd_core::record::Record;
+use mqd_core::MqdError;
+
+use crate::query::QuerySpec;
+
+/// Default maximum number of cached covers.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// Counters reported by [`CoverCache::stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Times the whole cache was flushed by a generation change.
+    pub invalidations: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// A bounded cover cache keyed by [`QuerySpec`] and a store generation.
+pub struct CoverCache {
+    map: HashMap<QuerySpec, Vec<Record>>,
+    /// Store generation the current entries were computed at.
+    generation: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl CoverCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` covers. When full, an
+    /// insert flushes the map — covers are cheap to recompute relative to
+    /// tracking per-entry recency, and appends flush everything anyway.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CoverCache {
+            map: HashMap::new(),
+            generation: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Returns the cached answer for `spec` at `store_generation`, or
+    /// computes, caches and returns it. The `bool` is `true` on a hit.
+    pub fn get_or_compute(
+        &mut self,
+        store_generation: u64,
+        spec: &QuerySpec,
+        compute: impl FnOnce() -> Result<Vec<Record>, MqdError>,
+    ) -> Result<(Vec<Record>, bool), MqdError> {
+        if self.generation != store_generation {
+            if !self.map.is_empty() {
+                self.invalidations += 1;
+                self.map.clear();
+            }
+            self.generation = store_generation;
+        }
+        if let Some(hit) = self.map.get(spec) {
+            self.hits += 1;
+            return Ok((hit.clone(), true));
+        }
+        self.misses += 1;
+        let answer = compute()?;
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+        }
+        self.map.insert(spec.clone(), answer.clone());
+        Ok((answer, false))
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: self.map.len(),
+        }
+    }
+}
+
+impl Default for CoverCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Algorithm;
+
+    fn spec(lambda: i64) -> QuerySpec {
+        QuerySpec {
+            labels: vec![0],
+            lambda,
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: 0,
+            to: 100,
+        }
+    }
+
+    fn answer(id: u64) -> Vec<Record> {
+        vec![Record {
+            id,
+            value: 1,
+            labels: vec![0],
+        }]
+    }
+
+    #[test]
+    fn hits_after_first_compute() {
+        let mut c = CoverCache::new();
+        let (a, hit) = c.get_or_compute(1, &spec(5), || Ok(answer(7))).unwrap();
+        assert!(!hit);
+        let (b, hit) = c
+            .get_or_compute(1, &spec(5), || panic!("must not recompute"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(a, b);
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_change_flushes() {
+        let mut c = CoverCache::new();
+        c.get_or_compute(1, &spec(5), || Ok(answer(7))).unwrap();
+        // Same spec, newer store generation: must recompute.
+        let (a, hit) = c.get_or_compute(2, &spec(5), || Ok(answer(8))).unwrap();
+        assert!(!hit);
+        assert_eq!(a[0].id, 8);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn distinct_specs_do_not_collide() {
+        let mut c = CoverCache::new();
+        c.get_or_compute(1, &spec(5), || Ok(answer(1))).unwrap();
+        let (b, hit) = c.get_or_compute(1, &spec(6), || Ok(answer(2))).unwrap();
+        assert!(!hit);
+        assert_eq!(b[0].id, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let mut c = CoverCache::new();
+        let err = c
+            .get_or_compute(1, &spec(5), || {
+                Err(MqdError::Protocol { msg: "boom".into() })
+            })
+            .unwrap_err();
+        assert!(matches!(err, MqdError::Protocol { .. }));
+        // A later good compute for the same spec succeeds and caches.
+        let (_, hit) = c.get_or_compute(1, &spec(5), || Ok(answer(3))).unwrap();
+        assert!(!hit);
+        let (_, hit) = c.get_or_compute(1, &spec(5), || Ok(answer(3))).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let mut c = CoverCache::with_capacity(2);
+        for lam in 0..5 {
+            c.get_or_compute(1, &spec(lam), || Ok(answer(lam as u64)))
+                .unwrap();
+        }
+        assert!(c.stats().entries <= 2);
+    }
+}

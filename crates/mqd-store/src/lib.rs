@@ -1,0 +1,34 @@
+//! In-memory, time-partitioned post store for the MQDP serving layer.
+//!
+//! The offline pipeline solves one TSV file and exits; a serving deployment
+//! instead holds a growing corpus and answers many `(label set, lambda,
+//! time range)` queries against slices of it. This crate provides the three
+//! pieces that make that cheap:
+//!
+//! * [`Store`] — an append-only, time-partitioned store. Posts arrive in
+//!   arrival order (monotone non-decreasing dimension value, the same
+//!   contract as the streaming pipeline) and land in bounded-size
+//!   *segments*, each with an inverted label → posting-list index, so a
+//!   query touches only the segments and postings its labels and range
+//!   intersect — never the full corpus.
+//! * [`query`] — the canonical slice-and-solve path: carve a
+//!   [`mqd_core::Instance`] out of the store for a `(labels, range)` pair
+//!   and run one of the paper's solvers over it. Both the server and the
+//!   oracle's loopback agreement check go through the exact same
+//!   definitions, which is what makes "served answer == offline answer"
+//!   a checkable byte-identity.
+//! * [`CoverCache`] — a per-`(labels, lambda, algorithm, range)` answer
+//!   cache invalidated by the store's generation counter: any append bumps
+//!   the generation and lazily flushes every cached cover.
+//!
+//! Like the rest of the workspace, this crate depends only on `std`.
+
+#![warn(missing_docs)]
+
+mod cache;
+pub mod query;
+mod store;
+
+pub use cache::{CacheStats, CoverCache};
+pub use query::{run_query, Algorithm, QuerySpec};
+pub use store::{Slice, Store, StoreStats, SEGMENT_TARGET_ROWS};

@@ -1,0 +1,229 @@
+//! The canonical slice-and-solve query path.
+//!
+//! Every served `QUERY` — whether it comes over a socket, from the CLI, or
+//! from the oracle's loopback agreement check — resolves through
+//! [`run_query`]: carve the [`crate::Slice`] for the spec's labels and
+//! range, run the requested solver, and map the selected posts back to
+//! external [`Record`]s. Keeping this in one place is what makes
+//! "served answer == offline answer on the same slice" a meaningful,
+//! checkable identity.
+
+use mqd_core::algorithms::{
+    solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+};
+use mqd_core::record::Record;
+use mqd_core::{FixedLambda, MqdError, VariableLambda};
+
+use crate::store::Store;
+
+/// Which solver answers the query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Algorithm {
+    /// Exact DP (Section 4.1); fixed lambda only, may exceed its budget.
+    Opt,
+    /// Greedy set cover (Section 4.2).
+    GreedySc,
+    /// Per-label optimal scan (Section 4.3).
+    Scan,
+    /// Scan with cross-label pruning (Section 4.3).
+    ScanPlus,
+}
+
+impl Algorithm {
+    /// The wire name, as accepted by [`Algorithm::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::Opt => "opt",
+            Algorithm::GreedySc => "greedysc",
+            Algorithm::Scan => "scan",
+            Algorithm::ScanPlus => "scanplus",
+        }
+    }
+
+    /// Parses a wire name; unknown names are typed [`MqdError::Protocol`]
+    /// errors.
+    pub fn parse(s: &str) -> Result<Self, MqdError> {
+        match s {
+            "opt" => Ok(Algorithm::Opt),
+            "greedysc" => Ok(Algorithm::GreedySc),
+            "scan" => Ok(Algorithm::Scan),
+            "scanplus" => Ok(Algorithm::ScanPlus),
+            other => Err(MqdError::Protocol {
+                msg: format!("unknown algorithm '{other}' (want opt|greedysc|scan|scanplus)"),
+            }),
+        }
+    }
+
+    /// All four algorithms, in wire-name order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Opt,
+        Algorithm::GreedySc,
+        Algorithm::Scan,
+        Algorithm::ScanPlus,
+    ];
+}
+
+/// One fully-specified query against a [`Store`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct QuerySpec {
+    /// Global label ids the user subscribed to.
+    pub labels: Vec<u16>,
+    /// Threshold (fixed lambda, or `lambda0` when `proportional`).
+    pub lambda: i64,
+    /// Use the variable, density-proportional lambda of Section 6.
+    pub proportional: bool,
+    /// Solver choice.
+    pub algorithm: Algorithm,
+    /// Inclusive lower bound on the dimension value.
+    pub from: i64,
+    /// Inclusive upper bound on the dimension value.
+    pub to: i64,
+}
+
+/// Runs `spec` against `store`: slice, solve, map back. The answer lists
+/// the selected posts in ascending slice order, each with its external id,
+/// value, and the intersection of its labels with the query labels.
+pub fn run_query(store: &Store, spec: &QuerySpec) -> Result<Vec<Record>, MqdError> {
+    if spec.lambda < 0 {
+        return Err(MqdError::NegativeLambda(spec.lambda));
+    }
+    if spec.labels.is_empty() {
+        return Err(MqdError::Protocol {
+            msg: "query needs at least one label".into(),
+        });
+    }
+    let slice = store.slice(&spec.labels, spec.from, spec.to);
+    let inst = &slice.instance;
+    let mut solution = match spec.algorithm {
+        Algorithm::Opt => {
+            if spec.proportional {
+                return Err(MqdError::Protocol {
+                    msg: "opt supports fixed lambda only (use greedysc/scan/scanplus for prop)"
+                        .into(),
+                });
+            }
+            solve_opt(inst, spec.lambda, &OptConfig::default())?
+        }
+        _ if spec.proportional => {
+            let v = VariableLambda::compute(inst, spec.lambda);
+            match spec.algorithm {
+                Algorithm::GreedySc => solve_greedy_sc(inst, &v),
+                Algorithm::Scan => solve_scan(inst, &v),
+                Algorithm::ScanPlus => solve_scan_plus(inst, &v, LabelOrder::Input),
+                Algorithm::Opt => unreachable!("handled above"),
+            }
+        }
+        Algorithm::GreedySc => solve_greedy_sc(inst, &FixedLambda(spec.lambda)),
+        Algorithm::Scan => solve_scan(inst, &FixedLambda(spec.lambda)),
+        Algorithm::ScanPlus => solve_scan_plus(inst, &FixedLambda(spec.lambda), LabelOrder::Input),
+    };
+    solution.selected.sort_unstable();
+    solution.selected.dedup();
+    Ok(solution
+        .selected
+        .iter()
+        .map(|&z| slice.record_for(z))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        // The paper's Example 2 shape on label 0, plus label 1 activity.
+        for (id, value, labels) in [
+            (1u64, 0i64, vec![0u16]),
+            (2, 10, vec![0]),
+            (3, 20, vec![0, 1]),
+            (4, 30, vec![1]),
+        ] {
+            s.append(Record { id, value, labels }).unwrap();
+        }
+        s
+    }
+
+    fn spec(algorithm: Algorithm) -> QuerySpec {
+        QuerySpec {
+            labels: vec![0, 1],
+            lambda: 10,
+            proportional: false,
+            algorithm,
+            from: i64::MIN,
+            to: i64::MAX,
+        }
+    }
+
+    #[test]
+    fn all_algorithms_answer_and_opt_matches_the_paper() {
+        let s = store();
+        let opt = run_query(&s, &spec(Algorithm::Opt)).unwrap();
+        assert_eq!(opt.len(), 2); // {P2, P4} — Example 2
+        for alg in [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus] {
+            let ans = run_query(&s, &spec(alg)).unwrap();
+            assert!(!ans.is_empty(), "{:?}", alg);
+            // Answers are ascending in slice order (value, then id).
+            let vals: Vec<i64> = ans.iter().map(|r| r.value).collect();
+            let mut sorted = vals.clone();
+            sorted.sort();
+            assert_eq!(vals, sorted);
+        }
+    }
+
+    #[test]
+    fn range_restriction_changes_the_slice() {
+        let s = store();
+        let mut q = spec(Algorithm::Scan);
+        q.from = 15;
+        q.to = 25;
+        let ans = run_query(&s, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].id, 3);
+        assert_eq!(ans[0].labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors() {
+        let s = store();
+        let mut q = spec(Algorithm::Scan);
+        q.lambda = -1;
+        assert!(matches!(
+            run_query(&s, &q).unwrap_err(),
+            MqdError::NegativeLambda(-1)
+        ));
+        let mut q = spec(Algorithm::Scan);
+        q.labels.clear();
+        assert!(matches!(
+            run_query(&s, &q).unwrap_err(),
+            MqdError::Protocol { .. }
+        ));
+        let mut q = spec(Algorithm::Opt);
+        q.proportional = true;
+        assert!(matches!(
+            run_query(&s, &q).unwrap_err(),
+            MqdError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn proportional_mode_runs_on_the_approximations() {
+        let s = store();
+        for alg in [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus] {
+            let mut q = spec(alg);
+            q.proportional = true;
+            run_query(&s, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(alg.as_str()).unwrap(), alg);
+        }
+        assert!(matches!(
+            Algorithm::parse("bogus").unwrap_err(),
+            MqdError::Protocol { .. }
+        ));
+    }
+}

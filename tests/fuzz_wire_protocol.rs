@@ -1,0 +1,213 @@
+//! Seeded fuzzing of the serving protocol: malformed frames, oversized
+//! requests, corrupt and truncated `INGESTB` bodies, half-closed sockets,
+//! and concurrent ingest+query traffic. The contract under test: every
+//! bad input maps to a typed error response — the server never panics and
+//! never silently drops a connection it could have answered.
+
+use std::net::SocketAddr;
+
+use mqd_core::record::{encode_records, Record};
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+use mqd_server::{Client, Server, ServerConfig};
+
+fn start(threads: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        max_queue: 64,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run().unwrap()))
+}
+
+fn drain(addr: SocketAddr) {
+    let mut c = Client::connect(addr).unwrap();
+    assert!(c.request("DRAIN").unwrap().is_ok());
+}
+
+/// The server is still healthy: a fresh connection round-trips a PING.
+fn assert_alive(addr: SocketAddr) {
+    let mut c = Client::connect(addr).unwrap();
+    let resp = c.request("PING").unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    assert!(c.request("QUIT").unwrap().is_ok());
+}
+
+#[test]
+fn garbage_lines_get_typed_errors_and_keep_the_connection() {
+    let (addr, server) = start(2);
+    let mut rng = StdRng::seed_from_u64(0xF0220);
+    let mut client = Client::connect(addr).unwrap();
+    for round in 0..200 {
+        let len = rng.random_range(0..120usize);
+        let mut line: String = (0..len)
+            .map(|_| (rng.random_range(0x20..0x7fu8)) as char)
+            .collect();
+        // `INGESTB <n>` is the one prefix that legitimately consumes raw
+        // bytes after the line; exclude it so the stream stays line-framed
+        // (dedicated body tests below cover that path).
+        if line.to_ascii_uppercase().starts_with("INGESTB") {
+            line.insert(0, '#');
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = client
+            .request(&line)
+            .unwrap_or_else(|e| panic!("round {round}: no response to {line:?}: {e}"));
+        assert!(
+            resp.status.starts_with("-ERR ") || resp.is_ok(),
+            "round {round}: unframed status {:?} for {line:?}",
+            resp.status
+        );
+        assert!(
+            !resp.status.contains("panicked"),
+            "round {round}: handler panicked on {line:?}"
+        );
+    }
+    // Same connection still serves real requests.
+    let resp = client.request("PING").unwrap();
+    assert!(resp.is_ok());
+    drop(client);
+    drain(addr);
+    server.join().unwrap();
+}
+
+#[test]
+fn corrupt_ingestb_bodies_are_typed_and_consume_the_frame() {
+    let (addr, server) = start(2);
+    let rows: Vec<Record> = (0..50)
+        .map(|i| Record {
+            id: i,
+            value: i as i64 * 10,
+            labels: vec![(i % 3) as u16],
+        })
+        .collect();
+    let good = encode_records(&rows);
+    let mut rng = StdRng::seed_from_u64(0xBADB0D);
+    let mut client = Client::connect(addr).unwrap();
+    for _ in 0..50 {
+        let mut body = good.clone();
+        let flips = rng.random_range(1..8usize);
+        for _ in 0..flips {
+            let at = rng.random_range(0..body.len());
+            body[at] ^= 1 << rng.random_range(0..8u8);
+        }
+        let mut raw = format!("INGESTB {}\n", body.len()).into_bytes();
+        raw.extend_from_slice(&body);
+        let resp = client.request_raw(&raw).unwrap();
+        // A flip the checksum can detect must be a typed error; a flip
+        // that keeps the log valid may ingest. Either way the connection
+        // stays framed: the next request must round-trip.
+        assert!(
+            resp.is_ok() || resp.status.starts_with("-ERR "),
+            "{}",
+            resp.status
+        );
+        let ping = client.request("PING").unwrap();
+        assert!(ping.is_ok(), "connection lost framing: {}", ping.status);
+    }
+    drop(client);
+    drain(addr);
+    server.join().unwrap();
+}
+
+#[test]
+fn truncated_body_and_half_close_is_a_typed_error() {
+    let (addr, server) = start(2);
+    let mut client = Client::connect(addr).unwrap();
+    // Announce 100 bytes, deliver 10, half-close: the server cannot
+    // recover the frame but must still answer with the typed error.
+    let mut raw = b"INGESTB 100\n".to_vec();
+    raw.extend_from_slice(&[0u8; 10]);
+    client.write_raw(&raw).unwrap();
+    client.shutdown_write().unwrap();
+    let resp = client.read_response().unwrap();
+    assert!(resp.status.starts_with("-ERR Protocol"), "{}", resp.status);
+    assert!(
+        resp.status.contains("truncated batch body"),
+        "{}",
+        resp.status
+    );
+    assert_alive(addr);
+    drain(addr);
+    server.join().unwrap();
+}
+
+#[test]
+fn half_closed_mid_line_still_gets_an_answer() {
+    let (addr, server) = start(2);
+    // Write a fragment with no trailing newline, then half-close: the
+    // fragment is treated as a complete request line and answered.
+    let mut c = Client::connect(addr).unwrap();
+    c.write_raw(b"PI").unwrap();
+    c.shutdown_write().unwrap();
+    let resp = c.read_response().unwrap();
+    assert!(resp.status.starts_with("-ERR Protocol"), "{}", resp.status);
+    assert_alive(addr);
+    drain(addr);
+    server.join().unwrap();
+}
+
+#[test]
+fn oversized_requests_are_rejected_typed() {
+    let (addr, server) = start(2);
+
+    // Oversized request line (> 64 KiB): typed error, then close.
+    let mut client = Client::connect(addr).unwrap();
+    let big = "QUERY ".to_string() + &"1,".repeat(40_000) + "1 5 scan";
+    let resp = client.request(&big).unwrap();
+    assert!(resp.status.starts_with("-ERR Protocol"), "{}", resp.status);
+
+    // Oversized batch announcement: typed error without reading a body.
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.request("INGESTB 999999999999").unwrap();
+    assert!(resp.status.starts_with("-ERR "), "{}", resp.status);
+    let ping = client.request("PING").unwrap();
+    assert!(ping.is_ok(), "{}", ping.status);
+
+    assert_alive(addr);
+    drain(addr);
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_ingest_and_query_stay_typed() {
+    let (addr, server) = start(4);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            // Monotone with ties; interleaved with the reader under load.
+            for i in 0..300u64 {
+                let resp = c
+                    .request(&format!("INGEST {i} {} {}", (i / 2) * 5, i % 4))
+                    .unwrap();
+                assert!(resp.is_ok(), "{}", resp.status);
+            }
+        });
+        let reader = scope.spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut rng = StdRng::seed_from_u64(0x9EAD);
+            for _ in 0..150 {
+                let alg = ["greedysc", "scan", "scanplus"][rng.random_range(0..3usize)];
+                let resp = c.request(&format!("QUERY 0,1,2,3 25 {alg}")).unwrap();
+                assert!(
+                    resp.is_ok() || resp.status.starts_with("-ERR "),
+                    "{}",
+                    resp.status
+                );
+                assert!(!resp.status.contains("panicked"), "{}", resp.status);
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+    // Post-contention, a full-range query answers and the store is intact.
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.request("STATS").unwrap();
+    assert!(stats.status.contains(r#""rows":300"#), "{}", stats.status);
+    drop(c);
+    drain(addr);
+    server.join().unwrap();
+}
