@@ -43,6 +43,7 @@ fn main() {
         &["lambda_s", "lazy_us", "scanmax_us", "size", "identical"],
     );
     for &ls in lambdas_s {
+        // lint:allow(overflow-arith): experiment grid, seconds-to-ms on small literals
         let lambda = FixedLambda(ls * 1000);
         let (lazy, d_lazy) = mqd_bench::time_it(|| solve_greedy_sc(&inst, &lambda));
         let (scan, d_scan) = mqd_bench::time_it(|| solve_greedy_sc_scan_max(&inst, &lambda));

@@ -15,6 +15,7 @@ use mqd_stream::AdaptiveInstant;
 
 fn main() {
     let args = BenchArgs::parse();
+    // lint:allow(overflow-arith): experiment parameter, tiny literal times a minute constant
     let lambda0 = 2 * MINUTE_MS;
     let cfg = BurstStreamConfig {
         num_labels: 1,
@@ -55,7 +56,7 @@ fn main() {
         if adaptive.on_post(p.value(), &[LabelId(0)]) {
             kept_adaptive[b] += 1;
         }
-        if fixed_last.is_none_or(|t| p.value() - t > lambda0) {
+        if fixed_last.is_none_or(|t| p.value() as i128 - t as i128 > lambda0 as i128) {
             fixed_last = Some(p.value());
             kept_fixed[b] += 1;
         }

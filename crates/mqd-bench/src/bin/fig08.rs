@@ -26,6 +26,7 @@ fn main() {
     report.note("paper: Figures 8a-8b; Scan linear in |L|, GreedySC best and gap widens with |L|");
 
     for &lm in lambdas_min {
+        // lint:allow(overflow-arith): experiment grid, minutes-to-ms on small literals
         let lambda = FixedLambda(lm * MINUTE_MS);
         let mut t = Table::new(
             format!("Fig 8 panel: lambda = {lm} minutes"),

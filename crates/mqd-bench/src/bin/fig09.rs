@@ -31,6 +31,7 @@ fn main() {
     report.note("paper: Figures 9a-9c");
 
     for &tau_s in taus_s {
+        // lint:allow(overflow-arith): experiment grid, seconds-to-ms on small literals
         let tau = tau_s * 1000;
         let mut t = Table::new(
             format!("Fig 9 panel: tau = {tau_s} s"),

@@ -43,6 +43,7 @@ fn main() {
             ],
         );
         for &tau_s in taus_s {
+            // lint:allow(overflow-arith): experiment grid, seconds-to-ms on small literals
             let tau = tau_s * 1000;
             let mut errs = [0f64; 4];
             let mut n_ok = 0usize;

@@ -25,6 +25,7 @@ fn main() {
     report.note("paper: Figures 12a-12b");
 
     for &lm in lambdas_min {
+        // lint:allow(overflow-arith): experiment grid, minutes-to-ms on small literals
         let lambda = FixedLambda(lm * MINUTE_MS);
         let mut t = Table::new(
             format!("Fig 12 panel: lambda = {lm} minutes"),

@@ -38,6 +38,7 @@ fn main() {
             &["lambda_s", "scan_us", "scanplus_us", "greedy_us"],
         );
         for &ls in lambdas_s {
+            // lint:allow(overflow-arith): experiment grid, seconds-to-ms on small literals
             let lambda = FixedLambda(ls * 1000);
             let (_, d_scan) = mqd_bench::time_it(|| solve_scan(&inst, &lambda));
             let (_, d_scanp) =

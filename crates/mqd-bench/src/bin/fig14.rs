@@ -43,6 +43,7 @@ fn main() {
             ],
         );
         for &ls in lambdas_s {
+            // lint:allow(overflow-arith): experiment grid, seconds-to-ms on small literals
             let lambda = FixedLambda(ls * 1000);
             let mut cells = vec![ls.to_string()];
             for name in STREAM_ENGINES {

@@ -43,6 +43,7 @@ fn main() {
             ],
         );
         for &ts in taus_s {
+            // lint:allow(overflow-arith): experiment grid, seconds-to-ms on small literals
             let tau = ts * 1000;
             let mut cells = vec![ts.to_string()];
             for name in STREAM_ENGINES {

@@ -52,7 +52,7 @@ mod tests {
     use super::*;
     use mqd_core::wire::seal_framed;
 
-    const FOOTER: &[u8; 4] = b"END!";
+    const FOOTER: &[u8; 4] = mqd_core::wire::FRAME_FOOTER;
 
     fn sample() -> Vec<LabeledRow> {
         vec![

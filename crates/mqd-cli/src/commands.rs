@@ -314,7 +314,7 @@ pub fn stream_supervised(
             inst.value(e.post),
             labels.join(","),
             e.emit_time,
-            e.emit_time - inst.value(e.post),
+            e.delay(&inst),
             u8::from(e.degraded),
         )
         .map_err(|e| e.to_string())?;

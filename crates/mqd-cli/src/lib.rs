@@ -7,6 +7,7 @@
 
 pub mod binlog;
 pub mod commands;
+pub mod lint;
 pub mod serve;
 pub mod store;
 pub mod tsv;

@@ -14,6 +14,7 @@
 //! mqdiv oracle     [--seeds N] [--first-seed S] [--profile NAME] [--report-dir DIR]
 //! mqdiv serve      [--addr HOST:PORT] [--max-queue N]   (:0 picks an ephemeral port)
 //! mqdiv client     --addr HOST:PORT [--input SCRIPT] [--check]
+//! mqdiv lint       [--deny] [--json] [--rules a,b] [--out FILE]   (workspace static analysis)
 //! ```
 //!
 //! Every subcommand also accepts `--threads N`, setting the worker count
@@ -115,7 +116,7 @@ fn open_output(flags: &Flags) -> Result<Box<dyn Write>, String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|client> [flags]; see --help".into());
+        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|client|lint> [flags]; see --help".into());
     };
     if cmd == "--help" || cmd == "help" {
         println!(
@@ -133,6 +134,7 @@ fn run() -> Result<(), String> {
              \x20 oracle     differential/metamorphic correctness sweep over all solvers\n\
              \x20 serve      run the TCP query server over an in-memory indexed store\n\
              \x20 client     forward a request script to a running server\n\
+             \x20 lint       static-analysis pass over the workspace's own sources\n\
              \n\
              see the crate docs / README for the full flag reference"
         );
@@ -308,6 +310,17 @@ fn run() -> Result<(), String> {
                 &mut log,
                 &opts,
             )
+        }
+        "lint" => {
+            let opts = mqd_cli::lint::LintOpts {
+                deny: flags.has("deny"),
+                json: flags.has("json"),
+                rules: flags
+                    .get("rules")
+                    .map(|r| r.split(',').map(str::to_string).collect()),
+                root: None,
+            };
+            mqd_cli::lint::run(open_output(&flags)?, &mut log, &opts)
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }

@@ -95,6 +95,7 @@ pub fn solve_opt(inst: &Instance, lambda: i64, cfg: &OptConfig) -> Result<Soluti
     let num_l = inst.num_labels();
 
     // `code` space: 0 = sentinel P0, code c >= 1 is post index c-1.
+    // lint:allow(overflow-arith): index math on codes >= 1 by construction, not an F/lambda value
     let tval = |code: u32| -> i64 { inst.value(code - 1) };
 
     // f[j] for 1-based j: the largest code whose value is <= t_j + lambda.

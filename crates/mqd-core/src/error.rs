@@ -81,6 +81,13 @@ pub enum MqdError {
         /// What the server expected.
         msg: String,
     },
+    /// A shared mutex was poisoned: another thread panicked while holding
+    /// it. The lock holder's state may be torn, so the operation is
+    /// refused rather than served from suspect data.
+    Poisoned {
+        /// Which lock (store, cache, ...).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for MqdError {
@@ -121,6 +128,10 @@ impl fmt::Display for MqdError {
                 write!(f, "checkpoint does not match this stream: {what}")
             }
             MqdError::Protocol { msg } => write!(f, "protocol error: {msg}"),
+            MqdError::Poisoned { what } => write!(
+                f,
+                "{what} lock poisoned by a panicking thread; refusing to serve from it"
+            ),
         }
     }
 }
@@ -192,6 +203,8 @@ mod tests {
             msg: "unknown command FROB".into(),
         };
         assert!(e.to_string().contains("unknown command FROB"));
+        let e = MqdError::Poisoned { what: "store" };
+        assert!(e.to_string().contains("store lock poisoned"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::error::MqdError;
 use crate::wire::{check_framed, put_varint, seal_framed, unzigzag, zigzag, Cursor};
 
 const MAGIC: &[u8; 4] = b"MQDL";
-const FOOTER: &[u8; 4] = b"END!";
+const FOOTER: &[u8; 4] = crate::wire::FRAME_FOOTER;
 const VERSION: u8 = 1;
 
 /// One labeled post row: the unit of ingest, binlogs and store segments.

@@ -9,6 +9,16 @@
 
 use crate::error::MqdError;
 
+/// Footer magic sealing every framed blob (binlog, store segment,
+/// checkpoint) ahead of its FNV-1a checksum. This module and
+/// `mqd_core::record` are the only places wire magic may be minted —
+/// everywhere else aliases these constants (enforced by the `wire-drift`
+/// lint), so a format bump can never leave a stale copy behind.
+pub const FRAME_FOOTER: &[u8; 4] = b"END!";
+
+/// File magic of a streaming checkpoint blob (`mqd-stream::checkpoint`).
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"MQDC";
+
 /// FNV-1a over a byte slice — the workspace's integrity checksum.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;

@@ -92,7 +92,7 @@ pub fn solve_geo_sweep(inst: &GeoInstance) -> Solution {
             let mut best: Option<(i64, u32)> = None;
             for z in inst.candidates(left, a) {
                 if inst.covers(z, left, a) {
-                    let reach = inst.post(z).time() + inst.lambda().time;
+                    let reach = inst.post(z).time().saturating_add(inst.lambda().time);
                     if best.is_none_or(|(r, bz)| reach > r || (reach == r && z > bz)) {
                         best = Some((reach, z));
                     }
@@ -103,7 +103,7 @@ pub fn solve_geo_sweep(inst: &GeoInstance) -> Solution {
             // Mark what z covers within this label; the sweep pointer only
             // advances past *covered* posts, so spatial misses are revisited.
             for (pos, &p) in lp.iter().enumerate().skip(j) {
-                if inst.post(p).time() > inst.post(z).time() + inst.lambda().time {
+                if inst.post(p).time() > inst.post(z).time().saturating_add(inst.lambda().time) {
                     break;
                 }
                 if !covered[pos] && inst.covers(z, p, a) {

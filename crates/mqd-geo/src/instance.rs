@@ -135,7 +135,7 @@ impl GeoInstance {
         let cp = &self.posts[covered as usize];
         cz.has_label(a)
             && cp.has_label(a)
-            && (cz.time() - cp.time()).abs() <= self.lambda.time
+            && (cz.time() as i128 - cp.time() as i128).abs() <= self.lambda.time as i128
             && cz.dist2(cp) <= (self.lambda.dist as i128) * (self.lambda.dist as i128)
     }
 
@@ -146,10 +146,12 @@ impl GeoInstance {
     pub fn candidates(&self, i: u32, a: LabelId) -> Vec<u32> {
         let p = &self.posts[i as usize];
         let lp = &self.postings[a.index()];
-        let lo =
-            lp.partition_point(|&j| self.posts[j as usize].time() < p.time() - self.lambda.time);
-        let hi =
-            lp.partition_point(|&j| self.posts[j as usize].time() <= p.time() + self.lambda.time);
+        let lo = lp.partition_point(|&j| {
+            self.posts[j as usize].time() < p.time().saturating_sub(self.lambda.time)
+        });
+        let hi = lp.partition_point(|&j| {
+            self.posts[j as usize].time() <= p.time().saturating_add(self.lambda.time)
+        });
         let window = hi - lo;
         // Choose the cheaper enumeration: the time window or the spatial
         // neighbourhood.
@@ -158,7 +160,10 @@ impl GeoInstance {
             spatial
                 .into_iter()
                 .map(|pos| lp[pos as usize])
-                .filter(|&j| (self.posts[j as usize].time() - p.time()).abs() <= self.lambda.time)
+                .filter(|&j| {
+                    (self.posts[j as usize].time() as i128 - p.time() as i128).abs()
+                        <= self.lambda.time as i128
+                })
                 .collect()
         } else {
             lp[lo..hi].to_vec()

@@ -1,0 +1,26 @@
+// Fixture: blocking-call must fire on unbounded recv/join/read_line in
+// worker code — the PR 4 pool-deadlock class. Linted under the virtual
+// path crates/mqd-server/src/server.rs.
+pub fn worker_loop(rx: &Mutex<Receiver<Conn>>, handles: Vec<JoinHandle<()>>) {
+    loop {
+        let guard = match rx.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        let Ok(conn) = guard.recv() else { return };
+        drop(guard);
+        serve(conn);
+    }
+}
+
+pub fn shutdown(handles: Vec<JoinHandle<()>>) {
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+pub fn read_command(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+    line
+}

@@ -1,0 +1,16 @@
+// Fixture: bounded variants and non-thread join() stay clean under
+// blocking-call.
+pub fn worker_loop(rx: &Receiver<Conn>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(conn) => serve(conn),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+pub fn checkpoint_path(dir: &Path, parts: &[String]) -> PathBuf {
+    // Path::join and slice::join take arguments — not thread joins.
+    dir.join(parts.join("-"))
+}

@@ -1,0 +1,24 @@
+// Fixture: nondet-iter must fire on HashMap/HashSet iteration in a
+// determinism-critical module. Linted under the virtual path
+// crates/mqd-store/src/store.rs by tests/fixtures.rs.
+use std::collections::{HashMap, HashSet};
+
+pub fn posting_lists(index: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_, list) in index.iter() {
+        out.extend_from_slice(list);
+    }
+    out
+}
+
+pub fn drain_seen(seen: &mut HashSet<u32>) -> Vec<u32> {
+    seen.drain().collect()
+}
+
+pub fn loop_over_map(counts: HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned shapes — keyed access, sorted materialization,
+// and BTreeMap — must stay clean under nondet-iter.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn keyed_access(index: &HashMap<u32, Vec<u32>>, key: u32) -> Option<&Vec<u32>> {
+    index.get(&key)
+}
+
+pub fn sorted_materialization(index: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut keys: Vec<u32> = Vec::new();
+    for k in 0..1000 {
+        if index.contains_key(&k) {
+            keys.push(k);
+        }
+    }
+    keys.iter().map(|k| (*k, index[k])).collect()
+}
+
+pub fn btree_iteration(ordered: &BTreeMap<u32, u64>) -> u64 {
+    ordered.values().sum()
+}

@@ -1,0 +1,39 @@
+// Regression fixture: the PR 4 OPT tie-break bug, verbatim in shape.
+//
+// The DP layer indexed entries by end-pattern in a HashMap and then
+// iterated the map itself to enumerate parent states. HashMap iteration
+// order is randomized per process, so equal-cost parents tied in
+// arbitrary order and the reconstructed cover differed across runs —
+// caught only because the serving layer's answer-identity check hashed
+// the cover bytes. The fix (mqd-core/src/algorithms/opt.rs) carries an
+// insertion-order `keys: Vec<Vec<u32>>` beside the map and iterates
+// that instead. nondet-iter exists to catch this shape mechanically;
+// this fixture must always produce findings.
+use std::collections::HashMap;
+
+struct Entry {
+    cost: u32,
+    parent: usize,
+}
+
+struct Layer {
+    index: HashMap<Vec<u32>, usize>,
+    entries: Vec<Entry>,
+}
+
+impl Layer {
+    // BUG (the PR 4 shape): iterating `self.index` makes the argmin's
+    // tie-break depend on per-process hash order.
+    fn best_parent(&self) -> usize {
+        let mut best_cost = u32::MAX;
+        let mut best = 0usize;
+        for (_pattern, &slot) in self.index.iter() {
+            let e = &self.entries[slot];
+            if e.cost < best_cost {
+                best_cost = e.cost;
+                best = e.parent;
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: overflow-arith must fire on raw i64 F/lambda arithmetic —
+// the PR 3 attribution/expected_in_window bug class. Linted under the
+// virtual path crates/mqd-stream/src/engine.rs.
+pub struct Emission {
+    emit_time: i64,
+    post: usize,
+}
+
+impl Emission {
+    pub fn delay(&self, inst: &Instance) -> i64 {
+        self.emit_time - inst.value(self.post)
+    }
+}
+
+pub fn window_width(lambda0: i64) -> i64 {
+    2 * lambda0
+}
+
+pub fn stale(time: i64, t_lc: i64, lam: i64) -> bool {
+    time - t_lc > lam
+}

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned widenings stay clean under overflow-arith.
+pub fn delay(emit_time: i64, value: i64) -> i64 {
+    emit_time.saturating_sub(value)
+}
+
+pub fn stale(time: i64, t_lc: i64, lam: i64) -> bool {
+    time as i128 - t_lc as i128 > lam as i128
+}
+
+pub fn interval(lp: &LambdaProfile, t: i64) -> (i128, i128) {
+    let lam = lp.threshold() as i128;
+    let t = t as i128;
+    (t - lam, t + lam)
+}
+
+pub fn checked_width(lambda0: i64) -> Option<i64> {
+    lambda0.checked_mul(2)
+}

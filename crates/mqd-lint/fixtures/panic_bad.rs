@@ -1,0 +1,21 @@
+// Fixture: panic-path must fire on unwrap/expect/panic!/risky indexing
+// in serving-path production code. Linted under the virtual path
+// crates/mqd-server/src/server.rs.
+pub fn handle(state: &Mutex<Store>, body: Option<Vec<u8>>, chunk: &[u8], want: usize) {
+    let store = state.lock().unwrap();
+    let body = body.expect("batch body read by caller");
+    let head = &chunk[..want];
+    let first = chunk[0];
+    if head.is_empty() {
+        panic!("empty frame");
+    }
+    drop((store, body, first));
+}
+
+pub fn dispatch(op: u8) -> &'static str {
+    match op {
+        0 => "query",
+        1 => "stats",
+        _ => unreachable!("validated by caller"),
+    }
+}

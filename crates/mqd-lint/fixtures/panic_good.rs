@@ -1,0 +1,25 @@
+// Fixture: the sanctioned shapes stay clean under panic-path — typed
+// error returns, let-else, dense-id indexing, and test code.
+pub fn handle(state: &Mutex<Store>, body: Option<Vec<u8>>) -> Result<(), MqdError> {
+    let store = state.lock().map_err(|_| MqdError::Poisoned { what: "store" })?;
+    let Some(body) = body else {
+        return Err(MqdError::Protocol("missing batch body".into()));
+    };
+    drop((store, body));
+    Ok(())
+}
+
+pub fn dense_indexing(values: &[i64], post: usize, i: u32) -> i64 {
+    // Plain dense-id indexing is the workspace's core access pattern and
+    // is deliberately NOT flagged.
+    values[post] + values[i as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

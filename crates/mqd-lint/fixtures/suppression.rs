@@ -1,0 +1,22 @@
+// Fixture: suppression semantics. A reasoned lint:allow silences its
+// line (or the line below); a bare one is itself a finding; an unknown
+// rule id is itself a finding. Linted under the virtual path
+// crates/mqd-server/src/server.rs.
+pub fn reasoned(rx: &Receiver<Conn>) {
+    // lint:allow(blocking-call): acceptor drop closes the channel, so recv returns Err
+    let _ = rx.recv();
+}
+
+pub fn same_line(buffer: &[u32]) -> u32 {
+    buffer[0] // lint:allow(panic-path): caller guarantees non-empty buffer
+}
+
+pub fn bare(rx: &Receiver<Conn>) {
+    // lint:allow(blocking-call)
+    let _ = rx.recv();
+}
+
+pub fn unknown_rule(rx: &Receiver<Conn>) {
+    // lint:allow(no-such-rule): confidently wrong
+    let _ = rx.recv();
+}

@@ -1,0 +1,15 @@
+// Fixture: wire-drift must fire on wire constants minted outside
+// mqd_core::{wire, record}. Linted under the virtual path
+// crates/mqd-stream/src/checkpoint.rs — the real pre-fix shape of that
+// file, where the checkpoint format kept private copies of its magic
+// and reused the binlog's footer bytes by retyping them.
+pub const MAGIC: [u8; 4] = *b"MQDC";
+const FOOTER: [u8; 4] = *b"END!";
+const OPCODE_QUERY: u8 = 0x51;
+
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"HDR!");
+    out.extend_from_slice(payload);
+    out
+}

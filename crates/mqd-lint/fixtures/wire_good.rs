@@ -1,0 +1,13 @@
+// Fixture: aliasing the sanctioned constants stays clean under
+// wire-drift — this is the post-fix shape of checkpoint.rs.
+pub const MAGIC: [u8; 4] = mqd_core::wire::CHECKPOINT_MAGIC;
+const FOOTER: [u8; 4] = mqd_core::wire::FRAME_FOOTER;
+const VERSION: u64 = 1;
+
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&FOOTER);
+    out
+}

@@ -1,0 +1,61 @@
+//! `mqd-lint` — a zero-dependency static-analysis pass over the
+//! workspace's own Rust sources.
+//!
+//! Three of the four shipped PRs fixed the same bug classes by hand:
+//! i64 overflow in coverage math (PR 3), HashMap-iteration-order
+//! nondeterminism in the OPT DP, and a blocking-I/O pool deadlock (both
+//! PR 4). The serving north-star — byte-identical answers from
+//! `mqd-server`, enforced by the oracle's `server-agreement` check —
+//! depends on exactly these invariants, so they are enforced by a tool
+//! instead of reviewer memory. The five rules and the incidents behind
+//! them are cataloged in DESIGN.md §13.
+//!
+//! The pass is a lightweight tokenizer (comments/strings/attributes
+//! aware — deliberately not a parser) plus token-pattern rules scoped by
+//! workspace path. Findings carry `file:line`, rule id and snippet;
+//! per-site suppression is `// lint:allow(<rule>): <reason>` with the
+//! reason mandatory. Run it as `mqdiv lint [--deny] [--json] [--rules]`.
+//!
+//! ```
+//! use mqd_lint::{lint_source, LintConfig};
+//! let findings = lint_source(
+//!     "crates/mqd-store/src/store.rs",
+//!     "fn f(m: &std::collections::HashMap<u16, u32>) { for k in m.keys() { drop(k); } }",
+//!     &LintConfig::all(),
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "nondet-iter");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use engine::{lint_source, LintConfig};
+pub use report::{render_human, render_json, Finding};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every Rust source under `root` with the given config. Returns
+/// the findings (sorted by file, line, rule) and the number of files
+/// scanned.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<(Vec<Finding>, usize)> {
+    let files = walk::rust_sources(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((findings, files.len()))
+}
+
+/// The rule catalog as `(id, summary)` pairs, for CLI listings.
+pub fn rule_catalog() -> Vec<(&'static str, &'static str)> {
+    rules::ALL.iter().map(|r| (r.id, r.summary)).collect()
+}

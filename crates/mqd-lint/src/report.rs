@@ -1,0 +1,128 @@
+//! Findings and their two renderings: human-readable lines for terminals
+//! and a stable JSON array for CI artifacts. No serde — the shape is five
+//! flat fields, written with a hand-rolled escaper so key order (and
+//! therefore the bytes) can never drift with a library upgrade.
+
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes on every platform).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (`nondet-iter`, `panic-path`, ...).
+    pub rule: &'static str,
+    /// What is wrong and why it matters.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Renders findings as `file:line: [rule] message` blocks with the
+/// offending line indented underneath — the format grep and editors
+/// understand.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    {}", f.snippet);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} finding{} in {} file{} scanned",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        files_scanned,
+        if files_scanned == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// Renders findings as a JSON array, one object per finding, keys always
+/// in the order `file, line, rule, message, snippet`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(out, "\"file\":{},", json_str(&f.file));
+        let _ = write!(out, "\"line\":{},", f.line);
+        let _ = write!(out, "\"rule\":{},", json_str(f.rule));
+        let _ = write!(out, "\"message\":{},", json_str(&f.message));
+        let _ = write!(out, "\"snippet\":{}", json_str(&f.snippet));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "panic-path",
+            message: "`.unwrap()` on a hot path".into(),
+            snippet: "let v = m.get(&k).unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn human_format_is_grepable() {
+        let s = render_human(&[f()], 3);
+        assert!(s.starts_with("crates/x/src/lib.rs:7: [panic-path] "));
+        assert!(s.contains("1 finding in 3 files scanned"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut bad = f();
+        bad.message = "quote \" backslash \\ tab\t".into();
+        let s = render_json(&[bad]);
+        assert!(s.contains(r#""rule":"panic-path""#));
+        assert!(s.contains(r#"quote \" backslash \\ tab\t"#));
+        // Key order is part of the byte-stable contract.
+        let file_at = s.find("\"file\"").unwrap();
+        let line_at = s.find("\"line\"").unwrap();
+        let rule_at = s.find("\"rule\"").unwrap();
+        assert!(file_at < line_at && line_at < rule_at);
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,75 @@
+//! The rule catalog. Each rule is a token-pattern check over one file,
+//! scoped by workspace path to the modules where its bug class actually
+//! bites (see DESIGN.md §13 for the incident history behind each rule).
+
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+mod blocking;
+mod nondet;
+mod overflow;
+mod panics;
+mod wire;
+
+/// One lint rule: stable id, one-line summary, and the per-file check.
+pub struct Rule {
+    /// Stable rule id — what `--rules` and `lint:allow(...)` name.
+    pub id: &'static str,
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+    /// The check itself; pushes findings for one file.
+    pub check: fn(&FileCtx, &mut Vec<Finding>),
+}
+
+/// Every rule, in reporting order.
+pub const ALL: &[Rule] = &[
+    Rule {
+        id: nondet::ID,
+        summary: "HashMap/HashSet iteration in determinism-critical modules",
+        check: nondet::check,
+    },
+    Rule {
+        id: panics::ID,
+        summary: "unwrap/expect/panic!/risky indexing on serving hot paths",
+        check: panics::check,
+    },
+    Rule {
+        id: overflow::ID,
+        summary: "raw i64 arithmetic on F/lambda values outside the i128 helpers",
+        check: overflow::check,
+    },
+    Rule {
+        id: blocking::ID,
+        summary: "recv()/join()/read_line without timeout in worker loops",
+        check: blocking::check,
+    },
+    Rule {
+        id: wire::ID,
+        summary: "wire magic/opcodes defined outside mqd_core::{wire, record}",
+        check: wire::check,
+    },
+];
+
+/// `code[i..]` starts the method call `.name(` — returns the index of the
+/// opening paren.
+pub(crate) fn method_call(ctx: &FileCtx, i: usize, name: &str) -> Option<usize> {
+    if ctx.code[i].is_punct('.')
+        && ctx.code.get(i + 1).is_some_and(|t| t.is_ident(name))
+        && ctx.code.get(i + 2).is_some_and(|t| t.is_punct('('))
+    {
+        Some(i + 2)
+    } else {
+        None
+    }
+}
+
+/// Whether `code[i]` sits in an expression position where a preceding
+/// value exists — i.e. a following `[` is indexing and a following
+/// `+`/`-`/`*` is a binary operator.
+pub(crate) fn after_value(ctx: &FileCtx, i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| ctx.code.get(p)) else {
+        return false;
+    };
+    matches!(prev.kind, TokKind::Ident | TokKind::Num) || prev.is_punct(')') || prev.is_punct(']')
+}

@@ -1,0 +1,192 @@
+//! `overflow-arith`: raw `i64` arithmetic on F/λ values.
+//!
+//! The bug class: PR 3's oracle found `attribution` and
+//! `expected_in_window` overflowing `i64` on extreme (but valid) timestamp
+//! values — `t1 - t2` wraps when the operands straddle the i64 range, and
+//! `2 * lambda0` wraps near the top. The sanctioned pattern is to widen to
+//! `i128` first (what `mqd_core::coverage` does for every coverage
+//! decision), use `saturating_*`/`checked_*`, or move to `f64` where the
+//! math is statistical anyway.
+//!
+//! Heuristic: a `+`/`-`/`*` binary operator on a line that touches an F/λ
+//! expression — a `.value(..)`/`.lambda(..)` call or an identifier named
+//! `lambda`/`lambda0`/`lam`/`tau`/`emit_time` — with no widening or
+//! saturating marker on that line, and (for bare identifiers) no `i128`
+//! binding for them in this file. `mqd_core::coverage` itself is exempt:
+//! it IS the sanctioned i128 helper module.
+
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::after_value;
+
+pub const ID: &str = "overflow-arith";
+
+/// Identifiers that carry F (dimension-value) or λ semantics by
+/// workspace-wide naming convention.
+const MARKER_IDENTS: &[&str] = &["lambda", "lambda0", "lam", "tau", "emit_time"];
+
+/// Method calls producing F/λ values.
+const MARKER_CALLS: &[&str] = &["value", "lambda"];
+
+fn applies(rel: &str) -> bool {
+    // coverage.rs is the sanctioned home of the i128 comparators.
+    rel != "crates/mqd-core/src/coverage.rs"
+}
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !applies(ctx.rel) {
+        return;
+    }
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    for i in 0..ctx.code.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &ctx.code[i];
+        if !(t.is_punct('+') || t.is_punct('-') || t.is_punct('*')) {
+            continue;
+        }
+        if !after_value(ctx, i) {
+            continue; // unary minus, deref, `&*`, pattern position, ...
+        }
+        // `->` return-type arrows follow `)` and would otherwise look like
+        // binary minus.
+        if t.is_punct('-') && ctx.code.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            continue;
+        }
+        if flagged_lines.contains(&t.line) {
+            continue;
+        }
+        let line_toks: Vec<&crate::lexer::Tok> =
+            ctx.code.iter().filter(|c| c.line == t.line).collect();
+        // Markers: does this line touch an F/λ expression at all?
+        let mut marker_idents: Vec<&str> = Vec::new();
+        let mut marker_call = false;
+        for (k, lt) in line_toks.iter().enumerate() {
+            if lt.kind == TokKind::Ident {
+                if MARKER_IDENTS.iter().any(|m| lt.is_ident(m)) {
+                    marker_idents.push(&lt.text);
+                }
+                if MARKER_CALLS.iter().any(|m| lt.is_ident(m))
+                    && k > 0
+                    && line_toks[k - 1].is_punct('.')
+                    && line_toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    marker_call = true;
+                }
+            }
+        }
+        if marker_idents.is_empty() && !marker_call {
+            continue;
+        }
+        // Sanctioners: widening, saturating/checked/wrapping, float math.
+        let sanctioned_line = line_toks.iter().any(|lt| {
+            lt.is_ident("i128")
+                || lt.is_ident("f64")
+                || (lt.kind == TokKind::Ident
+                    && (lt.text.starts_with("saturating_")
+                        || lt.text.starts_with("checked_")
+                        || lt.text.starts_with("wrapping_")))
+        });
+        if sanctioned_line {
+            continue;
+        }
+        // Bare-ident markers whose binding is already i128 are safe.
+        if !marker_call && marker_idents.iter().all(|m| ctx.i128_idents.contains(*m)) {
+            continue;
+        }
+        flagged_lines.push(t.line);
+        out.push(
+            ctx.finding(
+                t.line,
+                ID,
+                "raw i64 arithmetic on an F/lambda value can overflow on extreme timestamps \
+             (the PR 3 attribution/expected_in_window bug class); widen to i128 first, or \
+             use saturating_*/checked_*"
+                    .into(),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_source, LintConfig};
+
+    const PATH: &str = "crates/mqd-stream/src/engine.rs";
+
+    fn lint(src: &str) -> Vec<crate::report::Finding> {
+        lint_source(PATH, src, &LintConfig::subset(&[super::ID]).unwrap())
+    }
+
+    #[test]
+    fn flags_raw_value_subtraction() {
+        let src = "\
+fn delay(&self, inst: &Instance) -> i64 {
+    self.emit_time - inst.value(self.post)
+}
+";
+        let out = lint(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn flags_lambda_multiplication() {
+        let src = "fn f(lambda0: i64) -> i64 { 2 * lambda0 }\n";
+        let out = lint(src);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn i128_widening_is_sanctioned() {
+        let src = "\
+fn f(time: i64, last: i64, lam: i64) -> bool {
+    time as i128 - last as i128 > lam as i128
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn saturating_is_sanctioned() {
+        let src = "fn f(t: i64, lam: i64) -> i64 { t.saturating_add(lam) }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn i128_bound_idents_are_sanctioned() {
+        let src = "\
+fn f(lp: &L) {
+    let lam = lp.threshold() as i128;
+    let t = point() as i128;
+    push((t - lam, t + lam));
+}
+";
+        // `lam` is i128-bound by its binding; `t` is not a marker ident.
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn arithmetic_without_f_lambda_markers_is_clean() {
+        let src = "fn f(a: usize, b: usize) -> usize { a * b + 7 }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn coverage_module_is_exempt() {
+        let out = lint_source(
+            "crates/mqd-core/src/coverage.rs",
+            "fn f(t: i64, lam: i64) -> i64 { t + lam }\n",
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn return_arrow_is_not_binary_minus() {
+        let src = "fn lambda_of(&self) -> i64 { self.threshold }\n";
+        assert!(lint(src).is_empty());
+    }
+}

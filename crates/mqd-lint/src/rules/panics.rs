@@ -1,0 +1,233 @@
+//! `panic-path`: code that can abort a serving hot path.
+//!
+//! The bug class: a panic inside `mqd-server`'s worker pool or a stream
+//! shard either kills a worker (capacity silently halves until the pool is
+//! gone) or poisons a shared mutex so every later request panics too. PR 2
+//! and PR 4 swept these by hand; this rule keeps them out.
+//!
+//! Flagged in non-test code of `mqd-server`/`mqd-stream`/`mqd-store`:
+//! `.unwrap()`, `.expect(..)`, the `panic!`/`unreachable!`/`todo!`/
+//! `unimplemented!` macros, range slicing (`&buf[..n]` — panics when `n`
+//! exceeds the buffer) and fixed-index access (`buf[0]` — panics when
+//! empty). Dense-id indexing (`rows[idx as usize]`) is deliberately NOT
+//! flagged: dense local ids are the workspace's core data layout and
+//! flagging every use would bury the signal (see DESIGN.md §13).
+//!
+//! The fix is a typed `MqdError` return; a deliberate invariant keeps the
+//! call and documents itself with `// lint:allow(panic-path): <invariant>`.
+
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::{after_value, method_call};
+
+pub const ID: &str = "panic-path";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn applies(rel: &str) -> bool {
+    rel.starts_with("crates/mqd-server/src")
+        || rel.starts_with("crates/mqd-stream/src")
+        || rel.starts_with("crates/mqd-store/src")
+}
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !applies(ctx.rel) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &ctx.code[i];
+        if method_call(ctx, i, "unwrap").is_some()
+            && ctx.code.get(i + 3).is_some_and(|p| p.is_punct(')'))
+        {
+            out.push(
+                ctx.finding(
+                    t.line,
+                    ID,
+                    "`.unwrap()` on a hot path — a panic here kills a worker or poisons a \
+                 shared mutex; return a typed MqdError instead"
+                        .into(),
+                ),
+            );
+        } else if method_call(ctx, i, "expect").is_some() {
+            out.push(
+                ctx.finding(
+                    t.line,
+                    ID,
+                    "`.expect(..)` on a hot path — a panic here kills a worker or poisons a \
+                 shared mutex; return a typed MqdError instead"
+                        .into(),
+                ),
+            );
+        } else if t.kind == TokKind::Ident
+            && PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && ctx.code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(ctx.finding(
+                t.line,
+                ID,
+                format!(
+                    "`{}!` on a hot path — a panic here kills a worker or poisons a shared \
+                     mutex; return a typed MqdError instead",
+                    t.text
+                ),
+            ));
+        } else if t.is_punct('[') && after_value(ctx, i) {
+            if let Some(f) = risky_index(ctx, i) {
+                out.push(f);
+            }
+        }
+    }
+}
+
+/// Classifies the index expression starting at `code[open] == '['`. Range
+/// slicing and fixed literal indices panic on short inputs; anything else
+/// (dense-id indexing) is exempt by design.
+fn risky_index(ctx: &FileCtx, open: usize) -> Option<Finding> {
+    let mut depth = 0i32;
+    let mut j = open;
+    let mut content: Vec<usize> = Vec::new();
+    loop {
+        let t = ctx.code.get(j)?;
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 {
+            content.push(j);
+        }
+        j += 1;
+    }
+    let is_range = content
+        .windows(2)
+        .any(|w| ctx.code[w[0]].is_punct('.') && ctx.code[w[1]].is_punct('.'))
+        || (content.len() == 2
+            && ctx.code[content[0]].is_punct('.')
+            && ctx.code[content[1]].is_punct('.'))
+        || (content.len() == 1 && ctx.code[content[0]].is_punct('.'));
+    if is_range {
+        return Some(
+            ctx.finding(
+                ctx.code[open].line,
+                ID,
+                "range slicing panics when the bounds exceed the buffer; use `.get(..)` or \
+             prove the bound and annotate"
+                    .into(),
+            ),
+        );
+    }
+    if content.len() == 1 && ctx.code[content[0]].kind == TokKind::Num {
+        return Some(ctx.finding(
+            ctx.code[open].line,
+            ID,
+            format!(
+                "fixed index `[{}]` panics on a short buffer; use `.first()`/`.get({})` or \
+                 prove non-emptiness and annotate",
+                ctx.code[content[0]].text, ctx.code[content[0]].text
+            ),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_source, LintConfig};
+
+    const PATH: &str = "crates/mqd-server/src/server.rs";
+
+    fn lint(src: &str) -> Vec<crate::report::Finding> {
+        lint_source(PATH, src, &LintConfig::subset(&[super::ID]).unwrap())
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "\
+fn f(m: &Mutex<u32>) {
+    let a = m.lock().unwrap();
+    let b = m.lock().expect(\"mutex\");
+    if bad { panic!(\"boom\"); }
+    match x { _ => unreachable!(\"nope\") }
+}
+";
+        let out = lint(src);
+        let rules: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(rules, [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_clean() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    o.unwrap_or(0) + o.unwrap_or_else(|| 1) + o.unwrap_or_default()
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn range_slice_and_fixed_index_flagged_dense_id_clean() {
+        let src = "\
+fn f(buf: &[u8], rows: &[Row], idx: u32, want: usize) {
+    let head = &buf[..want];
+    let first = buf[0];
+    let row = &rows[idx as usize];
+    let ranged = &buf[4..want];
+}
+";
+        let out = lint(src);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [2, 3, 5]);
+    }
+
+    #[test]
+    fn array_types_and_macros_not_confused_with_indexing() {
+        let src = "\
+const M: [u8; 4] = *b\"ABCD\";
+fn f() -> [u8; 2] {
+    let v = vec![0u8; 8];
+    let arr = [1, 2];
+    arr
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "\
+fn f(buf: &[u8]) {
+    let head = &buf[..4]; // lint:allow(panic-path): caller guarantees >= 4 bytes
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { build().unwrap(); }
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_clean() {
+        let out = lint_source(
+            "crates/mqd-datagen/src/lib.rs",
+            "fn f(o: Option<u8>) { o.unwrap(); }",
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert!(out.is_empty());
+    }
+}

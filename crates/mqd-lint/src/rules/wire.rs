@@ -1,0 +1,186 @@
+//! `wire-drift`: wire-format magic defined outside the sanctioned home.
+//!
+//! The bug class: the binlog, the store's `INGESTB` batches and the
+//! checkpoint format all frame their bytes with magic + checksum footers.
+//! When each codec keeps its own copy of those constants, the copies
+//! drift — a format bump touches one and silently corrupts the other
+//! (PR 4 unified the binlog/TSV codecs into `mqd_core::record` for exactly
+//! this reason). Magic bytes and opcodes live in `mqd_core::wire` and
+//! `mqd_core::record`, full stop; everyone else imports or aliases them.
+//!
+//! Flagged outside those two files (non-test code): short printable
+//! byte-string literals (`b"MQDC"`-shaped magic), and `const` items whose
+//! name contains `MAGIC`/`FOOTER`/`OPCODE` initialized from a literal.
+//! Aliasing the sanctioned constant (`pub use` or `const M = wire::X;`)
+//! is fine — that is the point.
+
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+pub const ID: &str = "wire-drift";
+
+const NAME_MARKERS: &[&str] = &["MAGIC", "FOOTER", "OPCODE"];
+
+fn applies(rel: &str) -> bool {
+    rel != "crates/mqd-core/src/wire.rs" && rel != "crates/mqd-core/src/record.rs"
+}
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !applies(ctx.rel) {
+        return;
+    }
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    for i in 0..ctx.code.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &ctx.code[i];
+        if t.kind == TokKind::ByteStr && magic_shaped(&t.text) && !flagged_lines.contains(&t.line) {
+            flagged_lines.push(t.line);
+            out.push(ctx.finding(
+                t.line,
+                ID,
+                format!(
+                    "byte-string magic {} defined outside mqd_core::{{wire, record}} — \
+                     duplicated wire constants drift; import the sanctioned constant instead",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_ident("const") {
+            if let Some(f) = drifting_const(ctx, i) {
+                if !flagged_lines.contains(&f.line) {
+                    flagged_lines.push(f.line);
+                    out.push(f);
+                }
+            }
+        }
+    }
+}
+
+/// A byte-string literal that looks like format magic: 2–8 plain printable
+/// ASCII characters, no escapes. `b"MQDC"` qualifies; `b"0\t100\n"` (test
+/// data) and long payloads do not.
+fn magic_shaped(text: &str) -> bool {
+    let Some(inner) = text
+        .strip_prefix('b')
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+    else {
+        return false; // raw byte strings (br"...") — not used for magic
+    };
+    (2..=8).contains(&inner.len())
+        && inner.bytes().all(|b| b.is_ascii_graphic() || b == b' ')
+        && !inner.contains('\\')
+}
+
+/// `const <NAME..MAGIC..> [: T] = <literal>` — a wire constant minted in
+/// place rather than aliased from the sanctioned module.
+fn drifting_const(ctx: &FileCtx, const_idx: usize) -> Option<Finding> {
+    let name = ctx.code.get(const_idx + 1)?;
+    if name.kind != TokKind::Ident || !NAME_MARKERS.iter().any(|m| name.text.contains(m)) {
+        return None;
+    }
+    // Scan the initializer up to the terminating `;` (the `;` inside an
+    // `[u8; 4]` type is at bracket depth 1 and does not terminate) — a
+    // literal (byte string or number) is drift, a pure path expression is
+    // an alias and is fine.
+    let mut j = const_idx + 2;
+    let mut saw_eq = false;
+    let mut depth = 0i32;
+    while let Some(t) = ctx.code.get(j) {
+        if t.is_punct('[') || t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(']') || t.is_punct(')') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth <= 0 {
+            break;
+        }
+        if t.is_punct('=') {
+            saw_eq = true;
+        } else if saw_eq && matches!(t.kind, TokKind::ByteStr | TokKind::Str | TokKind::Num) {
+            return Some(ctx.finding(
+                name.line,
+                ID,
+                format!(
+                    "wire constant `{}` minted from a literal outside \
+                     mqd_core::{{wire, record}}; move it there and alias it here",
+                    name.text
+                ),
+            ));
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{lint_source, LintConfig};
+
+    const PATH: &str = "crates/mqd-stream/src/checkpoint.rs";
+
+    fn lint(src: &str) -> Vec<crate::report::Finding> {
+        lint_source(PATH, src, &LintConfig::subset(&[super::ID]).unwrap())
+    }
+
+    #[test]
+    fn flags_minted_magic_and_footer() {
+        let src = "\
+pub const MAGIC: [u8; 4] = *b\"MQDC\";
+const FOOTER: [u8; 4] = *b\"END!\";
+";
+        let out = lint(src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("MQDC") || out[0].message.contains("MAGIC"));
+    }
+
+    #[test]
+    fn aliasing_the_sanctioned_constant_is_clean() {
+        let src = "\
+pub const MAGIC: [u8; 4] = mqd_core::wire::CHECKPOINT_MAGIC;
+use mqd_core::wire::FRAME_FOOTER as FOOTER;
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn sanctioned_files_are_exempt() {
+        for rel in [
+            "crates/mqd-core/src/wire.rs",
+            "crates/mqd-core/src/record.rs",
+        ] {
+            let out = lint_source(
+                rel,
+                "const MAGIC: &[u8; 4] = b\"MQDL\";",
+                &LintConfig::subset(&[super::ID]).unwrap(),
+            );
+            assert!(out.is_empty(), "{rel} must be exempt");
+        }
+    }
+
+    #[test]
+    fn long_or_escaped_byte_strings_are_not_magic() {
+        let src = "\
+fn f() {
+    let script = b\"STATS DRAIN QUIT PING OVER\";
+    let row = b\"0\\t100\\t0\\n\";
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn opcode_consts_from_numbers_are_flagged() {
+        let src = "const OPCODE_QUERY: u8 = 0x51;\n";
+        let out = lint(src);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn test_fixtures_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    const FOOTER: &[u8; 4] = b\"END!\";\n}\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace file discovery: every `.rs` file under the root, in sorted
+//! (therefore deterministic) order, skipping build output, VCS metadata
+//! and the linter's own known-bad fixtures.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Returns workspace-relative paths (forward slashes) of every Rust source
+/// under `root`, sorted. The mqd-lint fixtures are excluded — they are
+/// known-bad snippets that exist to fail.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.iter().any(|s| *s == name) {
+                    continue;
+                }
+                if rel_of(root, &path).is_some_and(|r| r == "crates/mqd-lint/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Some(rel) = rel_of(root, &path) {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Forward-slash relative path of `path` under `root`.
+fn rel_of(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Locates the workspace root: walks up from `start` looking for the
+/// directory that contains both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_workspace_and_excludes_fixtures() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let files = rust_sources(&root).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/mqd-lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "crates/mqd-core/src/coverage.rs"));
+        assert!(!files
+            .iter()
+            .any(|f| f.starts_with("crates/mqd-lint/fixtures/")));
+        assert!(!files.iter().any(|f| f.contains("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be deterministic");
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixture-based self-tests: every rule must fire on its known-bad
+//! fixture and stay silent on the known-good one.
+//!
+//! Fixtures live in `crates/mqd-lint/fixtures/` as real `.rs` files (so
+//! they stay readable and greppable) but are linted under *virtual*
+//! workspace-relative paths — both because the walker excludes the
+//! fixtures directory from real scans, and because path-scoped rules
+//! need the file to appear inside their critical module.
+
+use std::path::Path;
+
+use mqd_lint::{lint_source, Finding, LintConfig};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints a fixture under a virtual path with ALL rules enabled — bad
+/// fixtures must trip exactly their own rule, proving the rules do not
+/// bleed into each other.
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Finding> {
+    lint_source(virtual_path, &fixture(name), &LintConfig::all())
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn nondet_bad_fires() {
+    let out = lint_fixture("nondet_bad.rs", "crates/mqd-store/src/store.rs");
+    assert_eq!(lines_of(&out, "nondet-iter"), [8, 15, 20], "{out:?}");
+    assert_eq!(out.len(), 3, "no other rule may fire: {out:?}");
+}
+
+#[test]
+fn nondet_good_is_clean() {
+    let out = lint_fixture("nondet_good.rs", "crates/mqd-store/src/store.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn opt_regression_fixture_always_fires() {
+    // The PR 4 OPT tie-break bug, reduced: iterating the DP layer's
+    // pattern->slot HashMap to pick a parent. If this fixture ever lints
+    // clean, nondet-iter has regressed below the bug that motivated it.
+    let out = lint_fixture("opt_regression.rs", "crates/mqd-core/src/algorithms/opt.rs");
+    let nondet = lines_of(&out, "nondet-iter");
+    assert_eq!(nondet.len(), 1, "{out:?}");
+    let f = out.iter().find(|f| f.rule == "nondet-iter").unwrap();
+    assert!(
+        f.snippet.contains("self.index.iter()"),
+        "must anchor on the map iteration: {f:?}"
+    );
+}
+
+#[test]
+fn panic_bad_fires() {
+    let out = lint_fixture("panic_bad.rs", "crates/mqd-server/src/server.rs");
+    assert_eq!(
+        lines_of(&out, "panic-path"),
+        [5, 6, 7, 8, 10, 19],
+        "{out:?}"
+    );
+    assert_eq!(out.len(), 6, "no other rule may fire: {out:?}");
+}
+
+#[test]
+fn panic_good_is_clean() {
+    let out = lint_fixture("panic_good.rs", "crates/mqd-server/src/server.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn overflow_bad_fires() {
+    let out = lint_fixture("overflow_bad.rs", "crates/mqd-stream/src/engine.rs");
+    assert_eq!(lines_of(&out, "overflow-arith"), [11, 16, 20], "{out:?}");
+    assert_eq!(out.len(), 3, "no other rule may fire: {out:?}");
+}
+
+#[test]
+fn overflow_good_is_clean() {
+    let out = lint_fixture("overflow_good.rs", "crates/mqd-stream/src/engine.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn blocking_bad_fires() {
+    let out = lint_fixture("blocking_bad.rs", "crates/mqd-server/src/server.rs");
+    assert_eq!(lines_of(&out, "blocking-call"), [10, 18, 24], "{out:?}");
+    assert_eq!(out.len(), 3, "no other rule may fire: {out:?}");
+}
+
+#[test]
+fn blocking_good_is_clean() {
+    let out = lint_fixture("blocking_good.rs", "crates/mqd-server/src/server.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn wire_bad_fires() {
+    let out = lint_fixture("wire_bad.rs", "crates/mqd-stream/src/checkpoint.rs");
+    assert_eq!(lines_of(&out, "wire-drift"), [6, 7, 8, 12], "{out:?}");
+    assert_eq!(out.len(), 4, "no other rule may fire: {out:?}");
+}
+
+#[test]
+fn wire_good_is_clean() {
+    let out = lint_fixture("wire_good.rs", "crates/mqd-stream/src/checkpoint.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn suppression_semantics() {
+    let out = lint_fixture("suppression.rs", "crates/mqd-server/src/server.rs");
+    // Reasoned suppressions (trailing or line-above) silence their site;
+    // a reasonless one still suppresses but is itself a finding; an
+    // unknown rule id is a finding AND fails to suppress.
+    assert_eq!(lines_of(&out, "bad-suppression"), [15, 20], "{out:?}");
+    assert_eq!(lines_of(&out, "blocking-call"), [21], "{out:?}");
+    assert_eq!(out.len(), 3, "{out:?}");
+}
+
+#[test]
+fn fixtures_are_excluded_from_real_scans() {
+    let root =
+        mqd_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = mqd_lint::walk::rust_sources(&root).expect("walk");
+    assert!(
+        !files
+            .iter()
+            .any(|f| f.starts_with("crates/mqd-lint/fixtures/")),
+        "known-bad fixtures must never reach the workspace gate"
+    );
+}

@@ -1,0 +1,30 @@
+//! The linter's own CI tooth: the real workspace must lint clean.
+//!
+//! Every finding is either fixed at the site or carries a reasoned
+//! `// lint:allow(<rule>): <reason>` annotation; this test is what keeps
+//! that invariant from rotting between `mqdiv lint --deny` runs.
+
+use mqd_lint::engine::LintConfig;
+use mqd_lint::walk::find_root;
+
+#[test]
+fn workspace_lints_clean_under_all_rules() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_root(manifest).expect("workspace root above the mqd-lint manifest");
+    let (findings, scanned) =
+        mqd_lint::lint_workspace(&root, &LintConfig::all()).expect("scan the workspace");
+    assert!(
+        scanned > 100,
+        "suspiciously small scan ({scanned} files) — did find_root land on the wrong directory?"
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; fix each site or annotate it with \
+         `// lint:allow(<rule>): <reason>`:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

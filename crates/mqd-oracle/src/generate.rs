@@ -148,6 +148,7 @@ fn uniform(rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
             (v, ls)
         })
         .collect();
+    // lint:allow(overflow-arith): generator-bounded synthetic spans, far from i64 limits
     let lambda = rng.random_range(0..=span / 2 + 1);
     (items, num_labels, lambda)
 }
@@ -171,6 +172,7 @@ fn burst(seed: u64, rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
         .iter()
         .map(|p| (p.value(), p.labels().iter().map(|a| a.0).collect()))
         .collect();
+    // lint:allow(overflow-arith): generator-bounded synthetic spans, far from i64 limits
     let lambda = rng.random_range(0..=4 * minute);
     if items.is_empty() {
         // Rare empty stream at the lowest rates: degenerate but still a
@@ -198,6 +200,7 @@ fn overlap(rng: &mut StdRng) -> (Vec<(i64, Vec<u16>)>, usize, i64) {
             (v, ls)
         })
         .collect();
+    // lint:allow(overflow-arith): generator-bounded synthetic spans, far from i64 limits
     let lambda = rng.random_range(0..=span / 2 + 1);
     (items, num_labels, lambda)
 }

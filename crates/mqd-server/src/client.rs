@@ -115,6 +115,7 @@ impl Client {
 
     /// Reads one framed response: status line, payload lines, `.`.
     pub fn read_response(&mut self) -> Result<Response, MqdError> {
+        // lint:allow(blocking-call): a request is outstanding — blocking for the server's reply IS the request/response contract
         let status = match self.read_line()? {
             Some(s) => s,
             None => {
@@ -125,6 +126,7 @@ impl Client {
         };
         let mut lines = Vec::new();
         loop {
+            // lint:allow(blocking-call): mid-response read; the server frames every response with a terminator line
             match self.read_line()? {
                 Some(l) if l == TERMINATOR => break,
                 Some(l) => lines.push(l),

@@ -267,6 +267,7 @@ pub fn error_kind(e: &MqdError) -> &'static str {
         MqdError::ShardFailed { .. } => "ShardFailed",
         MqdError::CheckpointMismatch { .. } => "CheckpointMismatch",
         MqdError::Protocol { .. } => "Protocol",
+        MqdError::Poisoned { .. } => "Poisoned",
     }
 }
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use mqd_core::record::{decode_records, format_tsv};
 use mqd_core::MqdError;
-use mqd_store::{run_query, CoverCache, Store};
+use mqd_store::{run_query, CacheStats, CoverCache, Store, StoreStats};
 use mqd_stream::{FaultPlan, SupervisedRun, SupervisorConfig};
 
 use crate::protocol::{
@@ -144,12 +144,27 @@ impl Server {
     }
 }
 
+/// Locks a shared mutex, mapping poisoning to a typed error. The
+/// catch_unwind backstop in [`handle_conn`] makes poisoning reachable
+/// without killing the process, so lock failures must flow to the client
+/// as `-ERR`, not take down the worker with a second panic.
+fn lock_or_poisoned<'a, T>(
+    m: &'a Mutex<T>,
+    what: &'static str,
+) -> Result<std::sync::MutexGuard<'a, T>, MqdError> {
+    m.lock().map_err(|_| MqdError::Poisoned { what })
+}
+
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &State) {
     loop {
         // Take the lock only to wait for the next connection; holding it
         // while serving would serialize the pool.
         let conn = {
-            let guard = rx.lock().expect("receiver mutex");
+            // A poisoned receiver mutex means a sibling worker panicked
+            // mid-recv; the pool is already compromised, so this worker
+            // retires instead of panicking too.
+            let Ok(guard) = rx.lock() else { return };
+            // lint:allow(blocking-call): bounded by the acceptor — dropping the sender disconnects recv with Err
             guard.recv()
         };
         match conn {
@@ -258,8 +273,10 @@ impl<R: BufRead> LineReader<R> {
         let mut chunk = [0u8; 16 * 1024];
         while buf.len() < n {
             let want = (n - buf.len()).min(chunk.len());
+            // lint:allow(panic-path): want is clamped to chunk.len() on the line above
             match self.inner.read(&mut chunk[..want]) {
                 Ok(0) => return Ok(Err(buf.len())),
+                // lint:allow(panic-path): read contract gives k <= want <= chunk.len()
                 Ok(k) => buf.extend_from_slice(&chunk[..k]),
                 Err(e) if retryable(&e) => {
                     if draining.load(Ordering::SeqCst) {
@@ -369,15 +386,18 @@ fn execute(
             Ok(Flow::Continue)
         }
         Request::Stats => {
-            let json = stats_json(state);
-            write_ok(w, &json, &[])?;
+            match stats_json(state) {
+                Ok(json) => write_ok(w, &json, &[])?,
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
             Ok(Flow::Continue)
         }
         Request::Ingest(row) => {
-            let result = {
-                let mut store = state.store.lock().expect("store mutex");
-                store.append(row.clone()).map(|()| store.generation())
-            };
+            let result = lock_or_poisoned(&state.store, "store")
+                .and_then(|mut store| store.append(row.clone()).map(|()| store.generation()));
             match result {
                 Ok(generation) => {
                     state.counters.ingested_rows.fetch_add(1, Ordering::Relaxed);
@@ -395,7 +415,19 @@ fn execute(
             Ok(Flow::Continue)
         }
         Request::IngestBatch { .. } => {
-            let body = body.expect("batch body read by caller");
+            // The caller reads the body before dispatching; a missing one
+            // is a dispatch bug, reported to the client as a typed error
+            // rather than panicking the worker.
+            let Some(body) = body else {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_err(
+                    w,
+                    &MqdError::Protocol {
+                        msg: "batch body missing for INGESTB".into(),
+                    },
+                )?;
+                return Ok(Flow::Continue);
+            };
             match ingest_batch(state, body) {
                 Ok((n, generation)) => {
                     write_ok(
@@ -414,11 +446,10 @@ fn execute(
         Request::Query(spec) => {
             state.counters.queries.fetch_add(1, Ordering::Relaxed);
             // Lock order everywhere: store, then cache.
-            let result = {
-                let store = state.store.lock().expect("store mutex");
-                let mut cache = state.cache.lock().expect("cache mutex");
+            let result = lock_or_poisoned(&state.store, "store").and_then(|store| {
+                let mut cache = lock_or_poisoned(&state.cache, "cache")?;
                 cache.get_or_compute(store.generation(), spec, || run_query(&store, spec))
-            };
+            });
             match result {
                 Ok((rows, cached)) => {
                     let payload: Vec<String> = rows.iter().map(format_tsv).collect();
@@ -467,7 +498,7 @@ fn ingest_batch(state: &State, body: &[u8]) -> Result<(usize, u64), MqdError> {
             ),
         });
     }
-    let mut store = state.store.lock().expect("store mutex");
+    let mut store = lock_or_poisoned(&state.store, "store")?;
     let mut n = 0usize;
     for row in rows {
         store.append(row)?; // rows before the failure stay (stream prefix)
@@ -477,11 +508,30 @@ fn ingest_batch(state: &State, body: &[u8]) -> Result<(usize, u64), MqdError> {
     Ok((n, store.generation()))
 }
 
-fn stats_json(state: &State) -> String {
+fn stats_json(state: &State) -> Result<String, MqdError> {
     // Lock order: store, then cache.
-    let store_stats = state.store.lock().expect("store mutex").stats();
-    let cache_stats = state.cache.lock().expect("cache mutex").stats();
-    let c = &state.counters;
+    let store_stats = lock_or_poisoned(&state.store, "store")?.stats();
+    let cache_stats = lock_or_poisoned(&state.cache, "cache")?.stats();
+    Ok(render_stats(
+        &store_stats,
+        &cache_stats,
+        &state.counters,
+        state.threads,
+        state.draining.load(Ordering::SeqCst),
+    ))
+}
+
+/// Renders the STATS payload. Pure so the key order — part of the wire
+/// contract clients parse and the oracle's byte-identity checks rely on —
+/// is pinned by a regression test below, not by whoever edits the
+/// `format!` last.
+fn render_stats(
+    store_stats: &StoreStats,
+    cache_stats: &CacheStats,
+    c: &Counters,
+    threads: usize,
+    draining: bool,
+) -> String {
     let opt_i64 = |v: Option<i64>| v.map_or("null".to_string(), |x| x.to_string());
     format!(
         concat!(
@@ -507,8 +557,8 @@ fn stats_json(state: &State) -> String {
         c.subscribes.load(Ordering::Relaxed),
         c.errors.load(Ordering::Relaxed),
         c.overloads.load(Ordering::Relaxed),
-        state.threads,
-        state.draining.load(Ordering::SeqCst),
+        threads,
+        draining,
     )
 }
 
@@ -531,7 +581,13 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
         );
     }
     let slice = {
-        let store = state.store.lock().expect("store mutex");
+        let store = match lock_or_poisoned(&state.store, "store") {
+            Ok(store) => store,
+            Err(e) => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return write_err(w, &e);
+            }
+        };
         store.slice(&spec.labels, spec.from, spec.to)
     };
     let inst = &slice.instance;
@@ -628,6 +684,56 @@ mod tests {
         let addr = server.local_addr();
         let handle = std::thread::spawn(move || server.run().unwrap());
         (addr, handle)
+    }
+
+    #[test]
+    fn stats_rendering_is_byte_stable() {
+        // The STATS payload is parsed by clients and diffed byte-for-byte
+        // by the oracle's server-agreement harness, so its key order is
+        // wire contract: render twice and pin the exact bytes.
+        let store = StoreStats {
+            rows: 4,
+            segments: 1,
+            labels: 2,
+            generation: 4,
+            min_value: Some(0),
+            max_value: Some(30),
+        };
+        let cache = CacheStats {
+            hits: 1,
+            misses: 1,
+            invalidations: 0,
+            entries: 1,
+        };
+        let counters = Counters::default();
+        counters.connections.store(3, Ordering::Relaxed);
+        counters.queries.store(2, Ordering::Relaxed);
+        counters.ingested_rows.store(4, Ordering::Relaxed);
+        let a = render_stats(&store, &cache, &counters, 4, false);
+        let b = render_stats(&store, &cache, &counters, 4, false);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0},"threads":4,"draining":false}"#
+        );
+        // An empty store renders nulls, not a panic or a 0 placeholder.
+        let empty = StoreStats {
+            rows: 0,
+            segments: 0,
+            labels: 0,
+            generation: 0,
+            min_value: None,
+            max_value: None,
+        };
+        let s = render_stats(
+            &empty,
+            &CacheStats::default(),
+            &Counters::default(),
+            1,
+            true,
+        );
+        assert!(s.contains(r#""min_value":null,"max_value":null"#), "{s}");
+        assert!(s.ends_with(r#""threads":1,"draining":true}"#), "{s}");
     }
 
     #[test]

@@ -110,6 +110,7 @@ pub fn run_query(store: &Store, spec: &QuerySpec) -> Result<Vec<Record>, MqdErro
                 Algorithm::GreedySc => solve_greedy_sc(inst, &v),
                 Algorithm::Scan => solve_scan(inst, &v),
                 Algorithm::ScanPlus => solve_scan_plus(inst, &v, LabelOrder::Input),
+                // lint:allow(panic-path): the Opt arm above this match guards on the same discriminant
                 Algorithm::Opt => unreachable!("handled above"),
             }
         }

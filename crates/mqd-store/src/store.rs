@@ -233,6 +233,7 @@ impl Store {
             }
         }
         let instance = Instance::from_posts(posts, label_map.len())
+            // lint:allow(panic-path): label_map assigns ids 0..len in this function, so density holds by construction
             .expect("local labels are dense by construction");
         Slice {
             instance,

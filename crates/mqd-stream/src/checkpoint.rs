@@ -25,10 +25,11 @@ use crate::engine::EngineSnapshot;
 use crate::shard::ShardEngineKind;
 use crate::supervisor::{SupervisedRun, SupervisorConfig};
 
-/// File magic of a checkpoint blob.
-pub const MAGIC: [u8; 4] = *b"MQDC";
-/// Footer magic sealing the FNV-1a checksum.
-const FOOTER: [u8; 4] = *b"END!";
+/// File magic of a checkpoint blob — aliased from the sanctioned wire
+/// module so the constant can never drift from the decoder's copy.
+pub const MAGIC: [u8; 4] = *mqd_core::wire::CHECKPOINT_MAGIC;
+/// Footer magic sealing the FNV-1a checksum (the shared frame footer).
+const FOOTER: [u8; 4] = *mqd_core::wire::FRAME_FOOTER;
 /// Format version.
 const VERSION: u64 = 1;
 

@@ -113,9 +113,10 @@ impl AdaptiveInstant {
     /// Processes one post; returns whether it is emitted into the digest.
     pub fn on_post(&mut self, time: i64, labels: &[LabelId]) -> bool {
         self.density.observe(time, labels);
-        let uncovered = labels
-            .iter()
-            .any(|&a| self.cache[a.index()].is_none_or(|(t_lc, lam)| time - t_lc > lam));
+        let uncovered = labels.iter().any(|&a| {
+            self.cache[a.index()]
+                .is_none_or(|(t_lc, lam)| time as i128 - t_lc as i128 > lam as i128)
+        });
         if uncovered {
             for &a in labels {
                 let lam = self.density.lambda_for(a);

@@ -19,9 +19,11 @@ pub struct Emission {
 }
 
 impl Emission {
-    /// The reporting delay of this emission.
+    /// The reporting delay of this emission. Saturating: emit/arrival
+    /// times straddling the i64 range must clamp, not wrap to a negative
+    /// delay.
     pub fn delay(&self, inst: &Instance) -> i64 {
-        self.emit_time - inst.value(self.post)
+        self.emit_time.saturating_sub(inst.value(self.post))
     }
 }
 

@@ -125,6 +125,7 @@ impl StreamGreedy {
             .map(|l| PresenceFenwick::all_present(l.len()))
             .collect();
         let mut remaining: usize = lists.iter().map(|l| l.len()).sum();
+        // lint:allow(panic-path): run_window is only entered when deadline() returned Some, which requires a non-empty buffer
         let mut front_remaining = self.buffer[0].uncovered.len();
 
         let list_range = |lists: &[Vec<u32>], a: usize, lo_t: i64, hi_t: i64| {

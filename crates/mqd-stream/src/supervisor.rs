@@ -112,6 +112,15 @@ pub struct SupervisedEmission {
     pub degraded: bool,
 }
 
+impl SupervisedEmission {
+    /// The reporting delay of this emission. Saturating: emit/arrival
+    /// times straddling the i64 range must clamp, not wrap to a negative
+    /// delay.
+    pub fn delay(&self, inst: &mqd_core::Instance) -> i64 {
+        self.emit_time.saturating_sub(inst.value(self.post))
+    }
+}
+
 /// Outcome of a supervised run: the merged stream result, the flag-annotated
 /// emissions, and the deterministic fault report.
 #[derive(Clone, Debug)]
@@ -271,6 +280,7 @@ impl ShardSup {
                         // Mark fired *before* unwinding so the post-restart
                         // replay proceeds past this seq.
                         self.fired[fi] = true;
+                        // lint:allow(panic-path): deliberate chaos injection — the supervisor's restart path exists to absorb exactly this panic
                         panic!("{INJECTED_PANIC}");
                     }
                 }
@@ -838,10 +848,12 @@ pub fn run_supervised_stream(
             let (tx, rx) = sync_channel::<u32>(1024);
             senders.push(tx);
             handles.push(scope.spawn(move || -> Result<ShardOutcome, MqdError> {
+                // lint:allow(blocking-call): the feeder drops all senders after the routing loop, ending this recv with Err
                 while let Ok(idx) = rx.recv() {
                     if let Err(e) = sup.deliver(idx) {
                         // Keep draining so the feeder never blocks on a
                         // failed shard's full channel.
+                        // lint:allow(blocking-call): same sender-drop bound as the loop above
                         while rx.recv().is_ok() {}
                         return Err(e);
                     }
@@ -861,6 +873,7 @@ pub fn run_supervised_stream(
         }
         drop(senders);
         for h in handles {
+            // lint:allow(blocking-call): the sender drop above ends each shard's recv loop, so the join is bounded
             results.push(match h.join() {
                 Ok(r) => r,
                 Err(payload) => std::panic::resume_unwind(payload),

@@ -104,6 +104,7 @@ impl WindowedTimeline {
             })
             .collect();
         let inst = Instance::from_posts(posts, self.num_labels)
+            // lint:allow(panic-path): ingest() rejects labels >= num_labels, so construction cannot fail here
             .expect("timeline inputs are validated on ingest");
         let lam = FixedLambda(self.lambda);
         let sol = solve_scan(&inst, &lam);
