@@ -1,19 +1,27 @@
 //! Serving-layer benchmark: end-to-end `QUERY` latency and throughput
-//! through a loopback `mqd-server`.
+//! through a loopback `mqd-server`, in two modes.
 //!
-//! Spins an in-process server, ingests a seeded corpus over the wire
-//! (`INGESTB` batches), then hammers it with concurrent clients, each
-//! issuing a deterministic mix of solver / label-subset / range /
-//! variable-lambda queries. Half the mix is drawn from a small shared
-//! pool so the generation-invalidated cover cache sees repeats.
+//! * **isolated** — the PR 4 shape, kept byte-for-byte comparable with the
+//!   pinned `baseline_pr4` trajectory: ingest the whole corpus up front,
+//!   then hammer it with concurrent clients issuing a 50/50 mix of pooled
+//!   (cache-hitting) and random specs.
+//! * **interleaved** — the shape the incremental-repair work exists for:
+//!   preload 75% of the corpus, then mix a paced writer (`--interleave`
+//!   rows/sec, default 200) into the query phase. Queries draw from a
+//!   dedicated pool that is mostly fixed-lambda Scan (repaired in place on
+//!   every ingest) plus two non-repairable specs whose range covers the
+//!   early interleaved window, so stale-but-bounded serving and background
+//!   refresh show up in the counters too.
 //!
-//! Reports client-observed p50/p95/p99 latency and aggregate qps, and
-//! writes `BENCH_server.json` at the working-directory root (repo root
-//! when run via `cargo run`). `--quick` shrinks to 8 clients x 20
-//! queries on a smaller corpus.
+//! Reports client-observed p50/p95/p99 latency, aggregate qps, and the
+//! number of `"stale":true` responses per mode, and writes
+//! `BENCH_server.json` at the working-directory root (repo root when run
+//! via `cargo run`) with both modes plus the pre-repair PR 4 trajectory.
+//! `--quick` shrinks clients, queries, and corpus for a CI smoke run.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use mqd_bench::BenchArgs;
 use mqd_core::record::Record;
@@ -40,14 +48,19 @@ fn corpus(seed: u64, rows: usize) -> Vec<Record> {
         .collect()
 }
 
-fn random_spec(rng: &mut StdRng, span: i64) -> QuerySpec {
-    let algs = [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus];
+fn random_labels(rng: &mut StdRng) -> Vec<u16> {
     let mut labels: Vec<u16> = (0..NUM_LABELS)
         .filter(|_| rng.random::<f64>() < 0.5)
         .collect();
     if labels.is_empty() {
         labels.push(rng.random_range(0..NUM_LABELS));
     }
+    labels
+}
+
+fn random_spec(rng: &mut StdRng, span: i64) -> QuerySpec {
+    let algs = [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus];
+    let labels = random_labels(rng);
     let (from, to) = if rng.random::<f64>() < 0.2 {
         let a = rng.random_range(0..span.max(1));
         let b = rng.random_range(0..span.max(1));
@@ -65,6 +78,43 @@ fn random_spec(rng: &mut StdRng, span: i64) -> QuerySpec {
     }
 }
 
+/// The interleaved-mode pool: 14 fixed-lambda full-range Scan specs (the
+/// repairable hot path — large lambda keeps covers small enough that a
+/// cache hit is dominated by the wire round-trip, not rendering) plus two
+/// non-repairable specs range-bounded to the early interleaved window, so
+/// they go stale and get background-refreshed while the window is live and
+/// revalidate by footprint miss afterwards.
+fn interleaved_pool(seed: u64, early_to: i64) -> Vec<QuerySpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A7E);
+    let mut pool: Vec<QuerySpec> = (0..14)
+        .map(|_| QuerySpec {
+            labels: random_labels(&mut rng),
+            lambda: rng.random_range(100_000..400_000i64),
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+        })
+        .collect();
+    pool.push(QuerySpec {
+        labels: random_labels(&mut rng),
+        lambda: rng.random_range(100_000..400_000i64),
+        proportional: false,
+        algorithm: Algorithm::ScanPlus,
+        from: i64::MIN,
+        to: early_to,
+    });
+    pool.push(QuerySpec {
+        labels: random_labels(&mut rng),
+        lambda: rng.random_range(100_000..400_000i64),
+        proportional: true,
+        algorithm: Algorithm::Scan,
+        from: i64::MIN,
+        to: early_to,
+    });
+    pool
+}
+
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
@@ -73,78 +123,170 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
-fn main() {
-    let args = BenchArgs::parse();
-    let (clients, queries_per_client, corpus_rows) = if args.quick {
-        (8usize, 20usize, 2_000usize)
-    } else {
-        (64usize, 50usize, 20_000usize)
-    };
-    let rows = corpus(args.seed, corpus_rows);
-    let span = rows.last().map(|r| r.value).unwrap_or(0);
+/// One mode's results, as recorded in `BENCH_server.json`.
+struct ModeReport {
+    clients: usize,
+    queries_per_client: usize,
+    total_queries: usize,
+    preload_rows: usize,
+    interleaved_rows: usize,
+    interleave_rate: f64,
+    preload_ms: f64,
+    wall_s: f64,
+    qps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    stale_responses: u64,
+    server_stats: String,
+}
+
+struct ModeConfig {
+    name: &'static str,
+    clients: usize,
+    queries_per_client: usize,
+    /// Explicit worker-thread count; 0 uses the server default.
+    threads: usize,
+    /// Rows preloaded over `INGESTB` before the query phase.
+    preload_rows: usize,
+    /// Paced single-`INGEST` writer during the query phase (rows/sec);
+    /// 0.0 means no writer (isolated mode).
+    interleave_rate: f64,
+}
+
+fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
+    let preload = &rows[..cfg.preload_rows.min(rows.len())];
+    let tail = &rows[cfg.preload_rows.min(rows.len())..];
+    let full_span = rows.last().map(|r| r.value).unwrap_or(0);
+    let preload_span = preload.last().map(|r| r.value).unwrap_or(0);
 
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".into(),
-        threads: 0,
-        max_queue: clients * 2,
+        threads: cfg.threads,
+        max_queue: cfg.clients * 2 + 4,
     })
     .expect("bind loopback server");
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
-    // Ingest the corpus over the wire, in MQDL batches.
-    let ingest_start = Instant::now();
+    // Preload over the wire, in MQDL batches.
+    let preload_start = Instant::now();
     let mut feeder = Client::connect(addr).expect("connect feeder");
-    for chunk in rows.chunks(4_096) {
+    for chunk in preload.chunks(4_096) {
         let resp = feeder.ingest_batch(chunk).expect("ingest batch");
         assert!(resp.is_ok(), "ingest rejected: {}", resp.status);
     }
-    let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1e3;
+    let preload_ms = preload_start.elapsed().as_secs_f64() * 1e3;
     // Release the feeder's worker before the sweep: a worker owns its
     // connection, so an idle-but-open client shrinks the effective pool.
     drop(feeder);
 
-    // A small shared pool: repeated specs exercise the cover cache.
-    let mut pool_rng = StdRng::seed_from_u64(args.seed ^ 0x9001);
-    let pool: Vec<QuerySpec> = (0..16).map(|_| random_spec(&mut pool_rng, span)).collect();
+    let pool: Vec<QuerySpec> = if cfg.interleave_rate > 0.0 {
+        // The first eighth of the interleaved value range: the window the
+        // two non-repairable pool specs stay footprint-sensitive in.
+        let early_to =
+            preload_span.saturating_add((full_span.saturating_sub(preload_span) / 8).max(1));
+        interleaved_pool(seed, early_to)
+    } else {
+        let mut pool_rng = StdRng::seed_from_u64(seed ^ 0x9001);
+        (0..16)
+            .map(|_| random_spec(&mut pool_rng, preload_span))
+            .collect()
+    };
 
     println!(
-        "bench_server: {} rows ingested in {:.1} ms, {} clients x {} queries, addr {}",
-        rows.len(),
-        ingest_ms,
-        clients,
-        queries_per_client,
+        "bench_server[{}]: {} rows preloaded in {:.1} ms, {} clients x {} queries, \
+         writer {} rows @ {:.0}/s, addr {}",
+        cfg.name,
+        preload.len(),
+        preload_ms,
+        cfg.clients,
+        cfg.queries_per_client,
+        tail.len(),
+        cfg.interleave_rate,
         addr
     );
 
+    let stop = AtomicBool::new(false);
     let sweep_start = Instant::now();
-    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
+    let (mut latencies_ms, stale_responses, interleaved_rows) = std::thread::scope(|scope| {
+        let writer = (cfg.interleave_rate > 0.0 && !tail.is_empty()).then(|| {
+            let stop = &stop;
+            let rate = cfg.interleave_rate;
+            scope.spawn(move || {
+                let mut w = Client::connect(addr).expect("connect writer");
+                let interval = Duration::from_secs_f64(1.0 / rate);
+                let mut next = Instant::now();
+                let mut sent = 0usize;
+                for row in tail {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let labels: Vec<String> = row.labels.iter().map(|l| l.to_string()).collect();
+                    let resp = w
+                        .request(&format!(
+                            "INGEST {} {} {}",
+                            row.id,
+                            row.value,
+                            labels.join(",")
+                        ))
+                        .expect("interleaved ingest");
+                    assert!(resp.is_ok(), "interleaved ingest rejected: {}", resp.status);
+                    sent += 1;
+                    next += interval;
+                    let now = Instant::now();
+                    if next > now {
+                        std::thread::sleep(next - now);
+                    }
+                }
+                sent
+            })
+        });
+
+        let handles: Vec<_> = (0..cfg.clients)
             .map(|c| {
                 let pool = &pool;
+                let interleaved = cfg.interleave_rate > 0.0;
+                let qpc = cfg.queries_per_client;
                 scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC11E47 ^ (c as u64) << 17);
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xC11E47 ^ (c as u64) << 17);
                     let mut client = Client::connect(addr).expect("connect client");
-                    let mut lat = Vec::with_capacity(queries_per_client);
-                    for _ in 0..queries_per_client {
-                        let spec = if rng.random::<f64>() < 0.5 {
+                    let mut lat = Vec::with_capacity(qpc);
+                    let mut stale = 0u64;
+                    for _ in 0..qpc {
+                        // Interleaved mode queries pool-only: the point is
+                        // the hit path under ingest pressure, not cold
+                        // solves. Isolated keeps the PR 4 50/50 mix.
+                        let spec = if interleaved || rng.random::<f64>() < 0.5 {
                             pool[rng.random_range(0..pool.len())].clone()
                         } else {
-                            random_spec(&mut rng, span)
+                            random_spec(&mut rng, preload_span)
                         };
                         let t0 = Instant::now();
                         let (resp, _rows) = client.query(&spec).expect("query");
                         lat.push(t0.elapsed().as_secs_f64() * 1e3);
                         assert!(resp.is_ok(), "{} -> {}", format_query(&spec), resp.status);
+                        if resp.status.contains("\"stale\":true") {
+                            stale += 1;
+                        }
                     }
-                    lat
+                    (lat, stale)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+
+        let mut lat = Vec::with_capacity(cfg.clients * cfg.queries_per_client);
+        let mut stale = 0u64;
+        for h in handles {
+            let (l, s) = h.join().expect("client thread");
+            lat.extend(l);
+            stale += s;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let sent = writer
+            .map(|h| h.join().expect("writer thread"))
+            .unwrap_or(0);
+        (lat, stale, sent)
     });
     let wall_s = sweep_start.elapsed().as_secs_f64();
 
@@ -159,16 +301,101 @@ fn main() {
     let mut feeder = Client::connect(addr).expect("reconnect for stats");
     let stats = feeder.request("STATS").expect("stats");
     assert!(stats.is_ok());
-    let stats_json = stats.status.trim_start_matches("+OK ").to_string();
+    let server_stats = stats.status.trim_start_matches("+OK ").to_string();
     let drain = feeder.request("DRAIN").expect("drain");
     assert!(drain.is_ok());
     server_thread.join().expect("server thread");
 
     println!(
-        "{total} queries in {:.2}s: {qps:.0} qps, latency p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms",
-        wall_s
+        "bench_server[{}]: {total} queries in {wall_s:.2}s: {qps:.0} qps, \
+         p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms, {stale_responses} stale, \
+         {interleaved_rows} rows interleaved",
+        cfg.name
     );
-    println!("server stats: {stats_json}");
+    println!("bench_server[{}]: server stats: {server_stats}", cfg.name);
+
+    ModeReport {
+        clients: cfg.clients,
+        queries_per_client: cfg.queries_per_client,
+        total_queries: total,
+        preload_rows: preload.len(),
+        interleaved_rows,
+        interleave_rate: cfg.interleave_rate,
+        preload_ms,
+        wall_s,
+        qps,
+        p50,
+        p95,
+        p99,
+        stale_responses,
+        server_stats,
+    }
+}
+
+fn mode_json(r: &ModeReport) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "      \"clients\": {},", r.clients);
+    let _ = writeln!(j, "      \"queries_per_client\": {},", r.queries_per_client);
+    let _ = writeln!(j, "      \"total_queries\": {},", r.total_queries);
+    let _ = writeln!(j, "      \"preload_rows\": {},", r.preload_rows);
+    let _ = writeln!(j, "      \"interleaved_rows\": {},", r.interleaved_rows);
+    let _ = writeln!(j, "      \"interleave_rate\": {:.1},", r.interleave_rate);
+    let _ = writeln!(j, "      \"preload_ms\": {:.1},", r.preload_ms);
+    let _ = writeln!(j, "      \"wall_s\": {:.3},", r.wall_s);
+    let _ = writeln!(j, "      \"qps\": {:.1},", r.qps);
+    let _ = writeln!(
+        j,
+        "      \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},",
+        r.p50, r.p95, r.p99
+    );
+    let _ = writeln!(j, "      \"stale_responses\": {},", r.stale_responses);
+    let _ = writeln!(j, "      \"server_stats\": {}", r.server_stats);
+    j.push_str("    }");
+    j
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (clients, isolated_qpc, interleaved_qpc, corpus_rows) = if args.quick {
+        (8usize, 20usize, 40usize, 2_000usize)
+    } else {
+        (64usize, 50usize, 500usize, 20_000usize)
+    };
+    let rows = corpus(args.seed, corpus_rows);
+
+    // Mode 1: the PR 4 shape, for trajectory comparison against the pinned
+    // pre-repair baseline below. The default (1-cpu-floored) worker pool is
+    // deliberately kept: the multi-second tail it produces under 64
+    // persistent connections is part of the trajectory being compared.
+    let isolated = run_mode(
+        &ModeConfig {
+            name: "isolated",
+            clients,
+            queries_per_client: isolated_qpc,
+            threads: 0,
+            preload_rows: rows.len(),
+            interleave_rate: 0.0,
+        },
+        &rows,
+        args.seed,
+    );
+
+    // Mode 2: ingest mixed into the query phase. One worker per connection
+    // (clients + writer + a spare) so latency measures the serving path,
+    // not connection queueing.
+    let interleaved = run_mode(
+        &ModeConfig {
+            name: "interleaved",
+            clients,
+            queries_per_client: interleaved_qpc,
+            threads: clients + 2,
+            preload_rows: rows.len() * 3 / 4,
+            interleave_rate: args.interleave,
+        },
+        &rows,
+        args.seed,
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -177,16 +404,6 @@ fn main() {
     let _ = writeln!(json, "  \"quick\": {},", args.quick);
     let _ = writeln!(json, "  \"corpus_rows\": {},", rows.len());
     let _ = writeln!(json, "  \"num_labels\": {NUM_LABELS},");
-    let _ = writeln!(json, "  \"clients\": {clients},");
-    let _ = writeln!(json, "  \"queries_per_client\": {queries_per_client},");
-    let _ = writeln!(json, "  \"total_queries\": {total},");
-    let _ = writeln!(json, "  \"ingest_ms\": {ingest_ms:.1},");
-    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
-    let _ = writeln!(json, "  \"qps\": {qps:.1},");
-    let _ = writeln!(
-        json,
-        "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}},"
-    );
     let _ = writeln!(
         json,
         "  \"host_cpus\": {},",
@@ -194,7 +411,25 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    let _ = writeln!(json, "  \"server_stats\": {stats_json}");
+    // The pre-repair trajectory (PR 4, this host): every ingest bumped the
+    // store generation and the next hit on each cached entry re-solved
+    // from scratch, so the tail was dominated by multi-second re-solve
+    // convoys. Pinned here so the repair win stays visible in one file.
+    json.push_str("  \"baseline_pr4\": {\n");
+    let _ = writeln!(json, "    \"mode\": \"isolated\",");
+    let _ = writeln!(json, "    \"total_queries\": 3200,");
+    let _ = writeln!(json, "    \"corpus_rows\": 20000,");
+    let _ = writeln!(json, "    \"wall_s\": 10.506,");
+    let _ = writeln!(json, "    \"qps\": 304.6,");
+    let _ = writeln!(
+        json,
+        "    \"latency_ms\": {{\"p50\": 10.790, \"p95\": 40.592, \"p99\": 4124.069}}"
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"modes\": {\n");
+    let _ = writeln!(json, "    \"isolated\": {},", mode_json(&isolated));
+    let _ = writeln!(json, "    \"interleaved\": {}", mode_json(&interleaved));
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     let path = "BENCH_server.json";

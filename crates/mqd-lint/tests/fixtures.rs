@@ -129,6 +129,34 @@ fn suppression_semantics() {
 }
 
 #[test]
+fn repair_hot_loop_is_clean() {
+    // Not a fixture: the *real* incremental-repair module, linted under
+    // its own workspace path with every rule armed. `CoverRepair::observe`
+    // runs on the ingest path for every cached Scan entry, so a panic or
+    // an unbounded block in here is an outage, not a bug — the full
+    // workspace gate would catch it too, but this test names the contract
+    // so a regression fails with "the repair hot loop" in the test name
+    // rather than inside a 40-file sweep.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("mqd-stream")
+        .join("src")
+        .join("repair.rs");
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let out = lint_source("crates/mqd-stream/src/repair.rs", &src, &LintConfig::all());
+    assert!(
+        lines_of(&out, "panic-path").is_empty(),
+        "repair hot loop must be panic-free: {out:?}"
+    );
+    assert!(
+        lines_of(&out, "blocking-call").is_empty(),
+        "repair hot loop must never block: {out:?}"
+    );
+    assert!(out.is_empty(), "repair module must lint clean: {out:?}");
+}
+
+#[test]
 fn fixtures_are_excluded_from_real_scans() {
     let root =
         mqd_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");

@@ -16,6 +16,10 @@
 //! | 11 | checkpoint kill/restore == uninterrupted run | PR 2 |
 //! | 12 | variable lambda == fixed lambda on the uniform-density grid | Eq. 2 |
 //! | 13 | loopback-served `QUERY` answers == offline solver, byte-identical | PR 4 |
+//! | 15 | repaired / stale-served cached covers == cold solve at their watermark generation | PR 6 |
+//!
+//! (#14 is reserved for the `cluster-agreement` check of the planned
+//! multi-node scale-out, ROADMAP item 2.)
 //!
 //! Checks 1 and 5–6 are the differential core: they compare the library
 //! against [`crate::reference`], an independent quadratic model, so a
@@ -116,6 +120,7 @@ impl Checker {
         self.batch(case, &inst)?;
         self.checkpoint(case, &inst)?;
         self.serving(case)?;
+        self.repairing(case)?;
         self.checks += crate::metamorphic::check(case)?;
         Ok(())
     }
@@ -819,5 +824,239 @@ impl Checker {
                 })
             })
             .collect())
+    }
+
+    /// Invariant 15: incremental cache maintenance agrees with cold
+    /// solving. Prime a [`mqd_store::CoverCache`] against a prefix of the
+    /// case, seal the suffix append-by-append through `apply_delta`, then
+    /// require:
+    ///
+    /// * fixed-lambda Scan entries stayed *fresh* the whole way (the
+    ///   in-place repair path answered them, not the fallback) and are
+    ///   byte-identical to a cold full solve at the final generation;
+    /// * entries served stale are byte-identical to a cold solve of the
+    ///   store *at their watermark generation*;
+    /// * a simulated background refresh converges every stale entry to
+    ///   fresh;
+    /// * with a zero repair-debt bound even a repairable entry takes the
+    ///   stale-then-refresh fallback, and its watermark stays exact.
+    fn repairing(&mut self, case: &Case) -> Result<(), Failure> {
+        use mqd_core::record::format_tsv;
+        use mqd_store::{
+            repairable, run_query, run_query_with_repair, Algorithm, CoverCache, Lookup, QuerySpec,
+            Store,
+        };
+
+        let inv = "repair-agreement";
+        let fail = |detail: String| Failure::new(inv, detail);
+        let tsv = |records: &[Record]| -> Vec<String> { records.iter().map(format_tsv).collect() };
+
+        // Same row construction as invariant 13: ids are generation
+        // indexes, rows sorted into ingest (value, id) order.
+        let mut rows: Vec<Record> = case
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, labels))| !labels.is_empty())
+            .map(|(i, (value, labels))| Record {
+                id: i as u64,
+                value: *value,
+                labels: labels.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.value, r.id));
+        if rows.len() < 2 || rows.len() > 400 {
+            return Ok(());
+        }
+        let split = rows.len() / 2;
+        // Rebuilds the store as it stood at generation `g` (one append
+        // per generation, starting from empty).
+        let store_at = |g: usize| -> Result<Store, Failure> {
+            let mut s = Store::new();
+            for r in rows.iter().take(g) {
+                s.append(r.clone())
+                    .map_err(|e| fail(format!("append to generation {g}: {e}")))?;
+            }
+            Ok(s)
+        };
+
+        let num_labels = case.num_labels.max(1) as u16;
+        let all: Vec<u16> = (0..num_labels).collect();
+        let lo = rows.first().map(|r| r.value).unwrap_or(0);
+        let hi = rows.last().map(|r| r.value).unwrap_or(0);
+        // A deterministic strict subrange (middle half, i128-safe).
+        let span = hi as i128 - lo as i128;
+        let mid_from = (lo as i128 + span / 4) as i64;
+        let mid_to = (hi as i128 - span / 4) as i64;
+
+        let mut specs: Vec<QuerySpec> = Vec::new();
+        for alg in [Algorithm::GreedySc, Algorithm::Scan, Algorithm::ScanPlus] {
+            specs.push(QuerySpec {
+                labels: all.clone(),
+                lambda: case.lambda,
+                proportional: false,
+                algorithm: alg,
+                from: i64::MIN,
+                to: i64::MAX,
+            });
+        }
+        specs.push(QuerySpec {
+            labels: all.clone(),
+            lambda: case.lambda,
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: mid_from.min(mid_to),
+            to: mid_from.max(mid_to),
+        });
+        specs.push(QuerySpec {
+            labels: all.clone(),
+            lambda: case.lambda,
+            proportional: true,
+            algorithm: Algorithm::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+        });
+
+        let mut store = store_at(split)?;
+        let mut cache = CoverCache::new();
+        for spec in &specs {
+            let (records, repair) = run_query_with_repair(&store, spec)
+                .map_err(|e| fail(format!("prime solve: {e}")))?;
+            cache.insert_fresh(spec, records, store.generation(), repair);
+        }
+        for r in rows.iter().skip(split) {
+            store
+                .append(r.clone())
+                .map_err(|e| fail(format!("suffix append: {e}")))?;
+            // Newly-dirty specs are background work in the server; here
+            // the refresh is simulated after the loop instead.
+            let _ = cache.apply_delta(std::slice::from_ref(r), store.generation());
+        }
+
+        let generation = store.generation();
+        for spec in &specs {
+            match cache.lookup(spec, generation) {
+                Lookup::Fresh(records) => {
+                    let cold =
+                        run_query(&store, spec).map_err(|e| fail(format!("cold solve: {e}")))?;
+                    self.ensure(tsv(&records) == tsv(&cold), inv, || {
+                        format!(
+                            "repaired cover differs from cold solve at generation \
+                             {generation} for {spec:?}:\n  repaired {:?}\n  cold {:?}",
+                            tsv(&records),
+                            tsv(&cold)
+                        )
+                    })?;
+                }
+                Lookup::Stale {
+                    records,
+                    generation: watermark,
+                    ..
+                } => {
+                    // Within the default debt bound a fixed-lambda Scan
+                    // entry must never fall back to staleness.
+                    self.ensure(!repairable(spec), inv, || {
+                        format!(
+                            "repairable spec went stale (watermark {watermark}) after \
+                             {} appends within the debt bound: {spec:?}",
+                            rows.len() - split
+                        )
+                    })?;
+                    let prefix = store_at(watermark as usize)?;
+                    let cold = run_query(&prefix, spec)
+                        .map_err(|e| fail(format!("watermark solve: {e}")))?;
+                    self.ensure(tsv(&records) == tsv(&cold), inv, || {
+                        format!(
+                            "stale cover differs from cold solve at its watermark \
+                             {watermark} for {spec:?}:\n  stale {:?}\n  cold {:?}",
+                            tsv(&records),
+                            tsv(&cold)
+                        )
+                    })?;
+                    // Simulate the background refresher and require
+                    // convergence to a fresh, cold-identical answer.
+                    let (renewed, repair) = run_query_with_repair(&store, spec)
+                        .map_err(|e| fail(format!("refresh solve: {e}")))?;
+                    let still_stale = cache.install_refreshed(spec, renewed, generation, repair);
+                    self.ensure(!still_stale, inv, || {
+                        format!("refresh at the latest generation left {spec:?} stale")
+                    })?;
+                    let Lookup::Fresh(records) = cache.lookup(spec, generation) else {
+                        return Err(fail(format!("refreshed {spec:?} did not serve fresh")));
+                    };
+                    let cold =
+                        run_query(&store, spec).map_err(|e| fail(format!("cold solve: {e}")))?;
+                    self.ensure(tsv(&records) == tsv(&cold), inv, || {
+                        format!(
+                            "refreshed cover differs from cold solve for {spec:?}:\n  \
+                             refreshed {:?}\n  cold {:?}",
+                            tsv(&records),
+                            tsv(&cold)
+                        )
+                    })?;
+                }
+                Lookup::Miss => {
+                    return Err(fail(format!(
+                        "entry for {spec:?} vanished (lag {} far below the bound)",
+                        rows.len() - split
+                    )));
+                }
+            }
+        }
+
+        // Debt-bound fallback: with a zero bound even the repairable Scan
+        // entry must go stale on its first in-footprint append — and its
+        // watermark must stay exact.
+        let scan_full = QuerySpec {
+            labels: all.clone(),
+            lambda: case.lambda,
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+        };
+        let mut store = store_at(split)?;
+        let mut strict = CoverCache::new();
+        strict.set_debt_bound(0);
+        let (records, repair) = run_query_with_repair(&store, &scan_full)
+            .map_err(|e| fail(format!("strict prime solve: {e}")))?;
+        strict.insert_fresh(&scan_full, records, store.generation(), repair);
+        for r in rows.iter().skip(split) {
+            store
+                .append(r.clone())
+                .map_err(|e| fail(format!("strict suffix append: {e}")))?;
+            let _ = strict.apply_delta(std::slice::from_ref(r), store.generation());
+        }
+        match strict.lookup(&scan_full, store.generation()) {
+            Lookup::Stale {
+                records,
+                generation: watermark,
+                ..
+            } => {
+                self.ensure(watermark == split as u64, inv, || {
+                    format!(
+                        "zero debt bound: expected staleness from the first suffix \
+                         append (watermark {split}), got watermark {watermark}"
+                    )
+                })?;
+                let prefix = store_at(watermark as usize)?;
+                let cold = run_query(&prefix, &scan_full)
+                    .map_err(|e| fail(format!("strict watermark solve: {e}")))?;
+                self.ensure(tsv(&records) == tsv(&cold), inv, || {
+                    format!(
+                        "zero debt bound: stale cover differs from cold solve at \
+                         watermark {watermark}:\n  stale {:?}\n  cold {:?}",
+                        tsv(&records),
+                        tsv(&cold)
+                    )
+                })?;
+            }
+            other => {
+                return Err(fail(format!(
+                    "zero debt bound: expected the Scan entry to go stale, got {other:?}"
+                )));
+            }
+        }
+        Ok(())
     }
 }

@@ -6,13 +6,16 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
-use mqd_core::record::{decode_records, format_tsv};
+use mqd_core::record::{decode_records, format_tsv, Record};
 use mqd_core::MqdError;
-use mqd_store::{run_query, CacheStats, CoverCache, Store, StoreStats};
+use mqd_store::{
+    repair_state, solve_slice, validate_spec, CacheStats, CoverCache, Lookup, QuerySpec, Store,
+    StoreStats,
+};
 use mqd_stream::{FaultPlan, SupervisedRun, SupervisorConfig};
 
 use crate::protocol::{
@@ -22,6 +25,10 @@ use crate::protocol::{
 
 /// How often a blocked read wakes up to check the drain flag.
 const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Pending background re-solve jobs; a full queue drops the job (the next
+/// stale hit on the entry re-claims the refresh, so nothing is lost).
+const REFRESH_QUEUE: usize = 256;
 
 /// Arrivals delivered between emission flushes in a SUBSCRIBE session.
 const SUBSCRIBE_CHUNK: usize = 256;
@@ -63,8 +70,12 @@ struct Counters {
 }
 
 struct State {
-    store: Mutex<Store>,
+    /// Many queries read concurrently; only ingest takes the write half.
+    store: RwLock<Store>,
     cache: Mutex<CoverCache>,
+    /// Hands stale specs to the background refresher pool. `try_send`
+    /// only: the request path never blocks on refresh scheduling.
+    refresh_tx: SyncSender<QuerySpec>,
     counters: Counters,
     draining: AtomicBool,
     addr: SocketAddr,
@@ -77,6 +88,7 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<State>,
     max_queue: usize,
+    refresh_rx: Receiver<QuerySpec>,
 }
 
 impl Server {
@@ -89,17 +101,20 @@ impl Server {
         } else {
             cfg.threads
         };
+        let (refresh_tx, refresh_rx) = sync_channel::<QuerySpec>(REFRESH_QUEUE);
         Ok(Server {
             listener,
             state: Arc::new(State {
-                store: Mutex::new(Store::new()),
+                store: RwLock::new(Store::new()),
                 cache: Mutex::new(CoverCache::new()),
+                refresh_tx,
                 counters: Counters::default(),
                 draining: AtomicBool::new(false),
                 addr,
                 threads,
             }),
             max_queue: cfg.max_queue.max(1),
+            refresh_rx,
         })
     }
 
@@ -116,11 +131,21 @@ impl Server {
         let (tx, rx) = sync_channel::<TcpStream>(self.max_queue);
         let rx = Arc::new(Mutex::new(rx));
         let state = self.state;
+        let refresh_rx = Arc::new(Mutex::new(self.refresh_rx));
         std::thread::scope(|s| {
             for _ in 0..state.threads {
                 let rx = Arc::clone(&rx);
                 let st = Arc::clone(&state);
                 s.spawn(move || worker_loop(&rx, &st));
+            }
+            // The refresher pool mirrors the worker pool's shape (shared
+            // receiver behind a mutex, sized off the same thread budget):
+            // re-solves are CPU work, so a fraction of the I/O pool is
+            // enough and leaves cores for serving.
+            for _ in 0..(state.threads / 4).max(1) {
+                let rx = Arc::clone(&refresh_rx);
+                let st = Arc::clone(&state);
+                s.spawn(move || refresher_loop(&rx, &st));
             }
             for conn in self.listener.incoming() {
                 if state.draining.load(Ordering::SeqCst) {
@@ -153,6 +178,71 @@ fn lock_or_poisoned<'a, T>(
     what: &'static str,
 ) -> Result<std::sync::MutexGuard<'a, T>, MqdError> {
     m.lock().map_err(|_| MqdError::Poisoned { what })
+}
+
+/// Read-locks the store (see [`lock_or_poisoned`] for the poisoning story).
+fn read_or_poisoned(m: &RwLock<Store>) -> Result<std::sync::RwLockReadGuard<'_, Store>, MqdError> {
+    m.read().map_err(|_| MqdError::Poisoned { what: "store" })
+}
+
+/// Write-locks the store (see [`lock_or_poisoned`] for the poisoning story).
+fn write_or_poisoned(
+    m: &RwLock<Store>,
+) -> Result<std::sync::RwLockWriteGuard<'_, Store>, MqdError> {
+    m.write().map_err(|_| MqdError::Poisoned { what: "store" })
+}
+
+/// The background refresher: drains stale specs off the request path and
+/// re-solves them. Wakes every [`READ_TICK`] to observe the drain flag.
+fn refresher_loop(rx: &Mutex<Receiver<QuerySpec>>, state: &State) {
+    loop {
+        let job = {
+            let Ok(guard) = rx.lock() else { return };
+            guard.recv_timeout(READ_TICK)
+        };
+        match job {
+            Ok(spec) => refresh_entry(state, &spec),
+            Err(RecvTimeoutError::Timeout) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// One background refresh: snapshot the slice under the read lock, solve
+/// with no lock held, then install the answer. If ingest moved the store
+/// on while solving, the entry is still stale at install time — re-enqueue
+/// it (or, on a full queue, release the claim so the next stale hit
+/// re-schedules it).
+fn refresh_entry(state: &State, spec: &QuerySpec) {
+    let snapshot = read_or_poisoned(&state.store).map(|store| {
+        (
+            store.generation(),
+            store.slice(&spec.labels, spec.from, spec.to),
+        )
+    });
+    let Ok((generation, slice)) = snapshot else {
+        return;
+    };
+    let Ok(records) = solve_slice(&slice, spec) else {
+        // Invalid specs are rejected before ever being cached; release the
+        // claim defensively and drop the job.
+        if let Ok(mut cache) = lock_or_poisoned(&state.cache, "cache") {
+            cache.refresh_not_queued(spec);
+        }
+        return;
+    };
+    let repair = repair_state(&slice, spec);
+    let Ok(mut cache) = lock_or_poisoned(&state.cache, "cache") else {
+        return;
+    };
+    let still_stale = cache.install_refreshed(spec, records, generation, repair);
+    if still_stale && state.refresh_tx.try_send(spec.clone()).is_err() {
+        cache.refresh_not_queued(spec);
+    }
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &State) {
@@ -261,6 +351,24 @@ impl<R: BufRead> LineReader<R> {
         }
     }
 
+    /// Swallows remaining peer input (briefly, bounded) before the caller
+    /// abandons an unsyncable connection. Closing a socket with unread
+    /// bytes makes the kernel send RST, which can destroy a typed error
+    /// response the peer has not read yet; draining until the peer closes
+    /// lets the `-ERR` frame arrive intact.
+    fn drain_peer(&mut self) {
+        let mut scratch = [0u8; 16 * 1024];
+        // ~20 read-timeout ticks bounds a stalling peer to ~2 s.
+        for _ in 0..20 {
+            match self.inner.read(&mut scratch) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if retryable(&e) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
     /// Reads exactly `n` body bytes. `Ok(Err(got))` means the peer closed
     /// (or the server drained) after `got` bytes — a typed protocol error
     /// for the caller, not an I/O failure.
@@ -314,6 +422,7 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
                         msg: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
                     },
                 );
+                reader.drain_peer();
                 return Ok(()); // cannot find the next request boundary
             }
         };
@@ -344,6 +453,7 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
                                 msg: format!("truncated batch body: got {got} of {bytes} bytes"),
                             },
                         );
+                        reader.drain_peer();
                         return Ok(()); // body boundary lost
                     }
                 }
@@ -368,6 +478,7 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
                         msg: "internal error (request handler panicked)".into(),
                     },
                 );
+                reader.drain_peer();
                 return Ok(());
             }
         }
@@ -396,11 +507,8 @@ fn execute(
             Ok(Flow::Continue)
         }
         Request::Ingest(row) => {
-            let result = lock_or_poisoned(&state.store, "store")
-                .and_then(|mut store| store.append(row.clone()).map(|()| store.generation()));
-            match result {
-                Ok(generation) => {
-                    state.counters.ingested_rows.fetch_add(1, Ordering::Relaxed);
+            match ingest_rows(state, std::slice::from_ref(row)) {
+                Ok((_, generation)) => {
                     write_ok(
                         w,
                         &format!(r#"{{"ingested":1,"generation":{generation}}}"#),
@@ -445,19 +553,16 @@ fn execute(
         }
         Request::Query(spec) => {
             state.counters.queries.fetch_add(1, Ordering::Relaxed);
-            // Lock order everywhere: store, then cache.
-            let result = lock_or_poisoned(&state.store, "store").and_then(|store| {
-                let mut cache = lock_or_poisoned(&state.cache, "cache")?;
-                cache.get_or_compute(store.generation(), spec, || run_query(&store, spec))
-            });
-            match result {
-                Ok((rows, cached)) => {
+            match answer_query(state, spec) {
+                Ok((rows, generation, cached, stale)) => {
                     let payload: Vec<String> = rows.iter().map(format_tsv).collect();
                     let json = format!(
-                        r#"{{"algorithm":"{}","count":{},"cached":{}}}"#,
+                        r#"{{"algorithm":"{}","count":{},"cached":{},"stale":{},"generation":{}}}"#,
                         spec.algorithm.as_str(),
                         rows.len(),
-                        cached
+                        cached,
+                        stale,
+                        generation,
                     );
                     write_ok(w, &json, &payload)?;
                 }
@@ -488,6 +593,102 @@ fn execute(
     }
 }
 
+/// Serves a query through the repairable cache. The hot path is one store
+/// read-lock (for the generation) plus one cache lookup — nothing solves
+/// under a lock. A stale hit is served at its watermark generation and
+/// hands the entry to the refresher. A miss solves against a slice
+/// *snapshot* with the store lock released; if ingest advances the store
+/// mid-solve, the answer is inserted already-stale at its watermark and
+/// the refresher catches it up.
+///
+/// Returns `(rows, watermark generation, cached, stale)`.
+fn answer_query(
+    state: &State,
+    spec: &QuerySpec,
+) -> Result<(Vec<Record>, u64, bool, bool), MqdError> {
+    validate_spec(spec)?;
+    // Lock order everywhere: store, then cache.
+    let (generation, looked) = {
+        let store = read_or_poisoned(&state.store)?;
+        let generation = store.generation();
+        let mut cache = lock_or_poisoned(&state.cache, "cache")?;
+        (generation, cache.lookup(spec, generation))
+    };
+    match looked {
+        Lookup::Fresh(records) => Ok((records, generation, true, false)),
+        Lookup::Stale {
+            records,
+            generation: watermark,
+            enqueue_refresh,
+        } => {
+            if enqueue_refresh && state.refresh_tx.try_send(spec.clone()).is_err() {
+                lock_or_poisoned(&state.cache, "cache")?.refresh_not_queued(spec);
+            }
+            Ok((records, watermark, true, true))
+        }
+        Lookup::Miss => {
+            let (snap_gen, slice) = {
+                let store = read_or_poisoned(&state.store)?;
+                (
+                    store.generation(),
+                    store.slice(&spec.labels, spec.from, spec.to),
+                )
+            };
+            let records = solve_slice(&slice, spec)?;
+            let repair = repair_state(&slice, spec);
+            let mut cache = lock_or_poisoned(&state.cache, "cache")?;
+            cache.insert_fresh(spec, records.clone(), snap_gen, repair);
+            Ok((records, snap_gen, false, false))
+        }
+    }
+}
+
+/// Appends rows and seals the resulting delta into the cache *under the
+/// same store write lock*, so no query can observe the new generation
+/// before the cache has classified every entry against it (repaired,
+/// revalidated, or dirtied). Newly-dirty specs go to the refresher after
+/// the locks drop. On a mid-batch append failure the valid prefix stays
+/// (stream-prefix semantics) and is still sealed before the error returns.
+fn ingest_rows(state: &State, rows: &[Record]) -> Result<(usize, u64), MqdError> {
+    let mut appended = 0usize;
+    let (failure, generation, to_refresh) = {
+        let mut store = write_or_poisoned(&state.store)?;
+        let mut failure = None;
+        for row in rows {
+            match store.append(row.clone()) {
+                Ok(()) => appended += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let generation = store.generation();
+        let to_refresh = match lock_or_poisoned(&state.cache, "cache") {
+            Ok(mut cache) => cache.apply_delta(rows.get(..appended).unwrap_or(&[]), generation),
+            // A poisoned cache degrades to stale serving; the store is
+            // still authoritative.
+            Err(_) => Vec::new(),
+        };
+        (failure, generation, to_refresh)
+    };
+    state
+        .counters
+        .ingested_rows
+        .fetch_add(appended as u64, Ordering::Relaxed);
+    for spec in to_refresh {
+        if state.refresh_tx.try_send(spec.clone()).is_err() {
+            if let Ok(mut cache) = lock_or_poisoned(&state.cache, "cache") {
+                cache.refresh_not_queued(&spec);
+            }
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok((appended, generation)),
+    }
+}
+
 fn ingest_batch(state: &State, body: &[u8]) -> Result<(usize, u64), MqdError> {
     let rows = decode_records(body)?;
     if rows.len() > MAX_BATCH_ROWS {
@@ -498,19 +699,12 @@ fn ingest_batch(state: &State, body: &[u8]) -> Result<(usize, u64), MqdError> {
             ),
         });
     }
-    let mut store = lock_or_poisoned(&state.store, "store")?;
-    let mut n = 0usize;
-    for row in rows {
-        store.append(row)?; // rows before the failure stay (stream prefix)
-        n += 1;
-        state.counters.ingested_rows.fetch_add(1, Ordering::Relaxed);
-    }
-    Ok((n, store.generation()))
+    ingest_rows(state, &rows)
 }
 
 fn stats_json(state: &State) -> Result<String, MqdError> {
     // Lock order: store, then cache.
-    let store_stats = lock_or_poisoned(&state.store, "store")?.stats();
+    let store_stats = read_or_poisoned(&state.store)?.stats();
     let cache_stats = lock_or_poisoned(&state.cache, "cache")?.stats();
     Ok(render_stats(
         &store_stats,
@@ -537,7 +731,7 @@ fn render_stats(
         concat!(
             r#"{{"rows":{},"segments":{},"labels":{},"generation":{},"#,
             r#""min_value":{},"max_value":{},"#,
-            r#""cache":{{"hits":{},"misses":{},"invalidations":{},"entries":{}}},"#,
+            r#""cache":{{"hits":{},"misses":{},"invalidations":{},"repairs":{},"refreshes":{},"stale_served":{},"entries":{}}},"#,
             r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{}}},"#,
             r#""threads":{},"draining":{}}}"#
         ),
@@ -550,6 +744,9 @@ fn render_stats(
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.invalidations,
+        cache_stats.repairs,
+        cache_stats.refreshes,
+        cache_stats.stale_served,
         cache_stats.entries,
         c.connections.load(Ordering::Relaxed),
         c.queries.load(Ordering::Relaxed),
@@ -581,7 +778,7 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
         );
     }
     let slice = {
-        let store = match lock_or_poisoned(&state.store, "store") {
+        let store = match read_or_poisoned(&state.store) {
             Ok(store) => store,
             Err(e) => {
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -703,6 +900,9 @@ mod tests {
             hits: 1,
             misses: 1,
             invalidations: 0,
+            repairs: 0,
+            refreshes: 0,
+            stale_served: 0,
             entries: 1,
         };
         let counters = Counters::default();
@@ -714,7 +914,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(
             a,
-            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0},"threads":4,"draining":false}"#
+            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"repairs":0,"refreshes":0,"stale_served":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0},"threads":4,"draining":false}"#
         );
         // An empty store renders nulls, not a panic or a 0 placeholder.
         let empty = StoreStats {
@@ -753,15 +953,72 @@ mod tests {
         assert_eq!(r.lines[0], "1\t0\t0");
         assert_eq!(r.lines[1], "3\t20\t0,1");
 
-        // Second identical query must be served from the cache.
+        // Second identical query must be served from the cache, fresh at
+        // the current store generation.
         let r2 = c.request("QUERY 0,1 10 opt").unwrap();
         assert!(r2.status.contains(r#""cached":true"#), "{}", r2.status);
+        assert!(r2.status.contains(r#""stale":false"#), "{}", r2.status);
+        assert!(r2.status.contains(r#""generation":4"#), "{}", r2.status);
         assert_eq!(r2.lines, r.lines);
 
         let stats = c.request("STATS").unwrap();
         assert!(stats.status.contains(r#""rows":4"#), "{}", stats.status);
         assert!(stats.status.contains(r#""hits":1"#), "{}", stats.status);
 
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ingest_after_caching_repairs_scan_and_refreshes_the_rest() {
+        let (addr, handle) = start(2, 8);
+        let mut c = Client::connect(addr).unwrap();
+        for (id, value, labels) in [(1, 0, "0"), (2, 10, "0"), (3, 20, "0,1"), (4, 30, "1")] {
+            assert!(c
+                .request(&format!("INGEST {id} {value} {labels}"))
+                .unwrap()
+                .is_ok());
+        }
+        // Prime a repairable (scan) and a non-repairable (greedysc) cover.
+        assert!(c.request("QUERY 0,1 10 scan").unwrap().is_ok());
+        assert!(c.request("QUERY 0,1 10 greedysc").unwrap().is_ok());
+
+        // A post inside both footprints: scan repairs in place, greedysc
+        // goes stale and is handed to the background refresher.
+        assert!(c.request("INGEST 5 40 0").unwrap().is_ok());
+
+        let scan = c.request("QUERY 0,1 10 scan").unwrap();
+        assert!(scan.is_ok(), "{}", scan.status);
+        assert!(scan.status.contains(r#""cached":true"#), "{}", scan.status);
+        assert!(scan.status.contains(r#""stale":false"#), "{}", scan.status);
+        assert!(scan.status.contains(r#""generation":5"#), "{}", scan.status);
+
+        // The greedysc entry converges: stale at watermark 4 at first,
+        // fresh at generation 5 once the refresher lands.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let r = c.request("QUERY 0,1 10 greedysc").unwrap();
+            assert!(r.is_ok(), "{}", r.status);
+            if r.status.contains(r#""stale":false"#) {
+                assert!(r.status.contains(r#""generation":5"#), "{}", r.status);
+                break;
+            }
+            assert!(r.status.contains(r#""generation":4"#), "{}", r.status);
+            assert!(
+                std::time::Instant::now() < deadline,
+                "refresher never converged: {}",
+                r.status
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        let stats = c.request("STATS").unwrap();
+        assert!(stats.status.contains(r#""repairs":1"#), "{}", stats.status);
+        assert!(
+            stats.status.contains(r#""refreshes":1"#),
+            "{}",
+            stats.status
+        );
         assert!(c.request("DRAIN").unwrap().is_ok());
         handle.join().unwrap();
     }

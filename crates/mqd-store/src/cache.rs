@@ -1,44 +1,143 @@
-//! Generation-invalidated cover cache.
+//! Repairable cover cache with per-entry generations.
 //!
 //! Serving workloads repeat queries: the same user polls the same label set
-//! and range, dashboards re-issue the same STATS-adjacent covers. A cover
-//! is only valid for the exact store contents it was computed against, so
-//! the cache is keyed by the full [`QuerySpec`] and stamped with the
-//! store's generation counter: the first lookup after **any** append sees a
-//! different generation and flushes every entry (lazy, O(1) per append).
+//! and range, dashboards re-issue the same covers. The first cache keyed
+//! answers by [`QuerySpec`] but stamped the whole map with one store
+//! generation — any append flushed every entry, and the next query paid a
+//! full re-solve inline on the request thread (the 4-second p99 of
+//! `BENCH_server.json`). This version keeps entries useful across appends:
+//!
+//! * **Footprint check** — a new post only matters to a cached entry if it
+//!   joins that entry's slice: it carries one of the spec's labels *and*
+//!   its value lies in `[from, to]`. Entries outside the footprint are
+//!   revalidated at the new generation untouched.
+//! * **In-place repair** — fixed-lambda Scan entries carry a
+//!   [`CoverRepair`] tail state; posts inside the footprint are folded in
+//!   (O(query labels) each) and the entry stays byte-identical to a cold
+//!   solve at the new generation. Each entry tracks its *repair debt* (rows
+//!   folded since the last full solve); past [`DEFAULT_DEBT_BOUND`] the
+//!   entry falls back to a full re-solve like the non-repairable cases.
+//! * **Stale-but-bounded serving** — entries whose solver cannot be
+//!   repaired locally (Scan+ cascades across labels, GreedySC re-ranks
+//!   globally, OPT is a global DP, proportional lambda is density-coupled)
+//!   go *dirty* on a footprint hit: their records stay exact at their
+//!   recorded watermark generation and keep being served (stamped stale)
+//!   while a background refresher re-solves them off the request path.
+//!   [`DEFAULT_MAX_LAG`] hard-bounds the staleness: a dirty entry lagging
+//!   further than that is treated as a miss and recomputed inline.
+//! * **Second-chance eviction** — a full cache evicts via the clock
+//!   algorithm over the insertion ring instead of dropping everything, so
+//!   repeatedly-hit specs survive capacity pressure.
+//!
+//! Contract: [`CoverCache::apply_delta`] must see every appended row
+//! exactly once, in append order, stamped with the store generation after
+//! the batch. The cache verifies contiguity (`new_generation ==
+//! latest + rows.len()`) and degrades safely — by marking everything dirty
+//! rather than certifying wrong freshness — if a caller breaks the
+//! contract. Staleness is always sound: an entry's records are exact at
+//! its watermark generation no matter what, because appends never retract.
 
 use std::collections::HashMap;
 
 use mqd_core::record::Record;
-use mqd_core::MqdError;
+use mqd_stream::CoverRepair;
 
 use crate::query::QuerySpec;
 
 /// Default maximum number of cached covers.
 const DEFAULT_CAPACITY: usize = 1024;
 
+/// Default repair-debt bound: rows folded into an entry since its last
+/// full solve before it falls back to a background re-solve. Repair is
+/// exact, so the bound is about bounding per-entry state drift and
+/// guaranteeing every hot entry is periodically re-derived from scratch.
+pub const DEFAULT_DEBT_BOUND: u64 = 4096;
+
+/// Default staleness hard bound, in generations: a dirty entry lagging
+/// beyond this is treated as a miss (inline recompute) instead of served.
+pub const DEFAULT_MAX_LAG: u64 = 1 << 16;
+
 /// Counters reported by [`CoverCache::stats`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (fresh or stale).
     pub hits: u64,
-    /// Lookups that had to compute.
+    /// Lookups that had to compute inline.
     pub misses: u64,
-    /// Times the whole cache was flushed by a generation change.
+    /// Entries marked dirty by an in-footprint append they could not
+    /// repair (previously: whole-cache flushes).
     pub invalidations: u64,
+    /// In-place entry repairs (one per entry per delta that touched it).
+    pub repairs: u64,
+    /// Background re-solves installed via [`CoverCache::install_refreshed`].
+    pub refreshes: u64,
+    /// Stale (watermarked) answers served while a refresh was pending.
+    pub stale_served: u64,
     /// Entries currently held.
     pub entries: usize,
 }
 
-/// A bounded cover cache keyed by [`QuerySpec`] and a store generation.
-pub struct CoverCache {
-    map: HashMap<QuerySpec, Vec<Record>>,
-    /// Store generation the current entries were computed at.
+/// Outcome of [`CoverCache::lookup`].
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// The records are exact at the looked-up generation.
+    Fresh(Vec<Record>),
+    /// The entry lags the store: records are exact at `generation` (the
+    /// watermark to stamp on the response). When `enqueue_refresh` is
+    /// true the caller owns scheduling a background re-solve (the cache
+    /// marked the entry queued; undo with
+    /// [`CoverCache::refresh_not_queued`] if scheduling fails).
+    Stale {
+        /// The cached cover, exact at `generation`.
+        records: Vec<Record>,
+        /// Watermark generation the records were computed against.
+        generation: u64,
+        /// True when this lookup claimed responsibility for queueing a
+        /// background refresh of the entry.
+        enqueue_refresh: bool,
+    },
+    /// Nothing serviceable cached; compute and [`CoverCache::insert_fresh`].
+    Miss,
+}
+
+struct Entry {
+    records: Vec<Record>,
+    /// Store generation the records are exact at (the watermark).
     generation: u64,
+    /// Incremental tail state, for fixed-lambda Scan entries only.
+    repair: Option<CoverRepair>,
+    /// Rows folded into `repair` since the last full solve.
+    debt: u64,
+    /// True when the records lag the latest generation and a background
+    /// re-solve is wanted.
+    dirty: bool,
+    /// True while a refresh job for this entry is (believed) queued.
+    refresh_queued: bool,
+    /// Second-chance bit: set on hit, cleared by the clock hand.
+    referenced: bool,
+}
+
+/// A bounded, repairable cover cache keyed by [`QuerySpec`] (see the
+/// module docs for the maintenance protocol).
+pub struct CoverCache {
+    map: HashMap<QuerySpec, Entry>,
+    /// Insertion ring for the clock hand; holds exactly the map's keys.
+    /// All iteration over entries goes through this ring, never the map,
+    /// so delta application and eviction are deterministic.
+    ring: Vec<QuerySpec>,
+    /// Clock hand: index into `ring` of the next eviction candidate.
+    hand: usize,
+    /// Newest store generation [`CoverCache::apply_delta`] has sealed.
+    latest_generation: u64,
     capacity: usize,
+    debt_bound: u64,
+    max_lag: u64,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    repairs: u64,
+    refreshes: u64,
+    stale_served: u64,
 }
 
 impl CoverCache {
@@ -47,46 +146,263 @@ impl CoverCache {
         Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// An empty cache holding at most `capacity` covers. When full, an
-    /// insert flushes the map — covers are cheap to recompute relative to
-    /// tracking per-entry recency, and appends flush everything anyway.
+    /// An empty cache holding at most `capacity` covers; a full cache
+    /// evicts one entry via second-chance/clock on insert.
     pub fn with_capacity(capacity: usize) -> Self {
         CoverCache {
             map: HashMap::new(),
-            generation: 0,
+            ring: Vec::new(),
+            hand: 0,
+            latest_generation: 0,
             capacity: capacity.max(1),
+            debt_bound: DEFAULT_DEBT_BOUND,
+            max_lag: DEFAULT_MAX_LAG,
             hits: 0,
             misses: 0,
             invalidations: 0,
+            repairs: 0,
+            refreshes: 0,
+            stale_served: 0,
         }
     }
 
-    /// Returns the cached answer for `spec` at `store_generation`, or
-    /// computes, caches and returns it. The `bool` is `true` on a hit.
-    pub fn get_or_compute(
-        &mut self,
-        store_generation: u64,
-        spec: &QuerySpec,
-        compute: impl FnOnce() -> Result<Vec<Record>, MqdError>,
-    ) -> Result<(Vec<Record>, bool), MqdError> {
-        if self.generation != store_generation {
-            if !self.map.is_empty() {
-                self.invalidations += 1;
-                self.map.clear();
-            }
-            self.generation = store_generation;
-        }
-        if let Some(hit) = self.map.get(spec) {
+    /// Overrides the repair-debt bound (test/tuning hook).
+    pub fn set_debt_bound(&mut self, bound: u64) {
+        self.debt_bound = bound;
+    }
+
+    /// Overrides the staleness hard bound (test/tuning hook).
+    pub fn set_max_lag(&mut self, lag: u64) {
+        self.max_lag = lag;
+    }
+
+    /// Looks up `spec` against the store generation the caller is serving
+    /// at. Never computes: on [`Lookup::Miss`] the caller computes and
+    /// [`CoverCache::insert_fresh`]es.
+    pub fn lookup(&mut self, spec: &QuerySpec, store_generation: u64) -> Lookup {
+        let Some(entry) = self.map.get_mut(spec) else {
+            self.misses += 1;
+            return Lookup::Miss;
+        };
+        if entry.generation == store_generation {
+            entry.referenced = true;
             self.hits += 1;
-            return Ok((hit.clone(), true));
+            return Lookup::Fresh(entry.records.clone());
         }
-        self.misses += 1;
-        let answer = compute()?;
+        let lag = store_generation.saturating_sub(entry.generation);
+        if lag > self.max_lag {
+            // Staleness hard bound: recompute inline rather than serve
+            // arbitrarily old data.
+            self.misses += 1;
+            return Lookup::Miss;
+        }
+        entry.referenced = true;
+        self.hits += 1;
+        self.stale_served += 1;
+        let enqueue_refresh = !entry.refresh_queued;
+        entry.refresh_queued = true;
+        Lookup::Stale {
+            records: entry.records.clone(),
+            generation: entry.generation,
+            enqueue_refresh,
+        }
+    }
+
+    /// Undoes the `enqueue_refresh` claim of a [`Lookup::Stale`] (or the
+    /// re-enqueue claim of [`CoverCache::install_refreshed`]) after the
+    /// caller failed to schedule the job, so a later lookup retries.
+    pub fn refresh_not_queued(&mut self, spec: &QuerySpec) {
+        if let Some(entry) = self.map.get_mut(spec) {
+            entry.refresh_queued = false;
+        }
+    }
+
+    /// Caches a freshly computed answer. `generation` is the store
+    /// generation the computation was exact at; if deltas were sealed
+    /// past it while the caller was solving, the entry comes in already
+    /// stale (records remain exact at their watermark) and the repair
+    /// state — which would be missing those rows — is dropped.
+    pub fn insert_fresh(
+        &mut self,
+        spec: &QuerySpec,
+        records: Vec<Record>,
+        generation: u64,
+        repair: Option<CoverRepair>,
+    ) {
+        debug_assert!(
+            repair.as_ref().is_none_or(|r| {
+                r.cover().iter().zip(records.iter()).all(|(a, b)| a == b)
+                    && r.len() == records.len()
+            }),
+            "repair state out of sync with the solved records"
+        );
+        self.latest_generation = self.latest_generation.max(generation);
+        let dirty = generation < self.latest_generation;
+        let entry = Entry {
+            records,
+            generation,
+            repair: if dirty { None } else { repair },
+            debt: 0,
+            dirty,
+            refresh_queued: false,
+            // New entries start unreferenced and earn their second chance
+            // on the first re-hit; otherwise a full sweep sees every bit
+            // set and the clock degrades to FIFO, evicting hot entries.
+            referenced: false,
+        };
+        if let Some(slot) = self.map.get_mut(spec) {
+            *slot = entry;
+            return;
+        }
         if self.map.len() >= self.capacity {
-            self.map.clear();
+            self.evict_one();
         }
-        self.map.insert(spec.clone(), answer.clone());
-        Ok((answer, false))
+        self.ring.push(spec.clone());
+        self.map.insert(spec.clone(), entry);
+    }
+
+    /// Seals `rows` (the rows appended since the last call, in append
+    /// order) at `new_generation`. Every entry is either revalidated
+    /// (footprint miss), repaired in place (fixed-lambda Scan, within the
+    /// debt bound), or marked dirty. Returns the specs newly needing a
+    /// background re-solve; the caller owns scheduling them.
+    pub fn apply_delta(&mut self, rows: &[Record], new_generation: u64) -> Vec<QuerySpec> {
+        let mut rows_norm: Vec<Record> = rows.to_vec();
+        for r in &mut rows_norm {
+            r.labels.sort_unstable();
+            r.labels.dedup();
+        }
+        // Contract check: the delta must be exactly the rows between the
+        // sealed generation and the new one. On a gap (a caller that
+        // appended without telling the cache), freshness can no longer be
+        // certified — degrade every entry to stale instead of lying.
+        let contiguous =
+            new_generation.saturating_sub(rows_norm.len() as u64) == self.latest_generation;
+        let mut to_refresh = Vec::new();
+        for i in 0..self.ring.len() {
+            let spec = &self.ring[i];
+            let Some(entry) = self.map.get_mut(spec) else {
+                continue; // ring/map desync is repaired by the clock hand
+            };
+            if entry.dirty {
+                continue; // already lagging; the pending refresh catches up
+            }
+            if !contiguous {
+                entry.dirty = true;
+                self.invalidations += 1;
+                if !entry.refresh_queued {
+                    entry.refresh_queued = true;
+                    to_refresh.push(spec.clone());
+                }
+                continue;
+            }
+            // The footprint test: a row matters iff it joins this spec's
+            // slice (value in range, shares a label).
+            let relevant: Vec<usize> = rows_norm
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    r.value >= spec.from
+                        && r.value <= spec.to
+                        && r.labels.iter().any(|l| spec.labels.contains(l))
+                })
+                .map(|(j, _)| j)
+                .collect();
+            if relevant.is_empty() {
+                // Outside the footprint: the slice is unchanged, so the
+                // cover is exact at the new generation as-is.
+                entry.generation = new_generation;
+                continue;
+            }
+            let repairable = entry.repair.is_some()
+                && entry.debt.saturating_add(relevant.len() as u64) <= self.debt_bound;
+            if repairable {
+                if let Some(rep) = entry.repair.as_mut() {
+                    for &j in &relevant {
+                        rep.observe(&rows_norm[j]);
+                    }
+                    entry.records = rep.cover();
+                    entry.debt += relevant.len() as u64;
+                    entry.generation = new_generation;
+                    self.repairs += 1;
+                    continue;
+                }
+            }
+            entry.dirty = true;
+            self.invalidations += 1;
+            if !entry.refresh_queued {
+                entry.refresh_queued = true;
+                to_refresh.push(spec.clone());
+            }
+        }
+        self.latest_generation = self.latest_generation.max(new_generation);
+        to_refresh
+    }
+
+    /// Installs a background re-solve computed at `generation`. Returns
+    /// true when the entry is *still* stale (the store moved on while the
+    /// refresher was solving) — the caller should re-enqueue; the entry
+    /// is already marked queued for it (undo with
+    /// [`CoverCache::refresh_not_queued`] on scheduling failure).
+    pub fn install_refreshed(
+        &mut self,
+        spec: &QuerySpec,
+        records: Vec<Record>,
+        generation: u64,
+        repair: Option<CoverRepair>,
+    ) -> bool {
+        self.refreshes += 1;
+        let latest = self.latest_generation.max(generation);
+        self.latest_generation = latest;
+        let Some(entry) = self.map.get_mut(spec) else {
+            // Evicted while the refresh was in flight; it was hot enough
+            // to be refreshed, so reinstall it.
+            self.insert_fresh(spec, records, generation, repair);
+            return self.map.get(spec).is_some_and(|e| e.dirty);
+        };
+        if generation >= entry.generation {
+            let dirty = generation < latest;
+            entry.records = records;
+            entry.generation = generation;
+            entry.repair = if dirty { None } else { repair };
+            entry.debt = 0;
+            entry.dirty = dirty;
+            entry.refresh_queued = dirty;
+            return dirty;
+        }
+        // A newer answer beat this refresh; keep it.
+        entry.refresh_queued = entry.dirty;
+        entry.dirty
+    }
+
+    /// Second-chance/clock eviction: sweep the ring from the hand,
+    /// clearing referenced bits; the first unreferenced entry goes. Two
+    /// full laps always find a victim (the first lap clears every bit).
+    fn evict_one(&mut self) {
+        let mut budget = self.ring.len().saturating_mul(2).saturating_add(1);
+        while budget > 0 && !self.ring.is_empty() {
+            budget -= 1;
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let spec = &self.ring[self.hand];
+            match self.map.get_mut(spec) {
+                Some(entry) if entry.referenced => {
+                    entry.referenced = false;
+                    self.hand += 1;
+                }
+                Some(_) => {
+                    self.map.remove(&self.ring[self.hand]);
+                    self.ring.remove(self.hand);
+                    return;
+                }
+                None => {
+                    // Ring slot without a map entry: drop the slot and
+                    // keep sweeping.
+                    self.ring.remove(self.hand);
+                }
+            }
+        }
     }
 
     /// Cache counters.
@@ -95,6 +411,9 @@ impl CoverCache {
             hits: self.hits,
             misses: self.misses,
             invalidations: self.invalidations,
+            repairs: self.repairs,
+            refreshes: self.refreshes,
+            stale_served: self.stale_served,
             entries: self.map.len(),
         }
     }
@@ -109,84 +428,317 @@ impl Default for CoverCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::Algorithm;
+    use crate::query::{repair_state, run_query, solve_slice, Algorithm};
+    use crate::store::Store;
 
-    fn spec(lambda: i64) -> QuerySpec {
-        QuerySpec {
-            labels: vec![0],
-            lambda,
-            proportional: false,
-            algorithm: Algorithm::Scan,
-            from: 0,
-            to: 100,
+    fn row(id: u64, value: i64, labels: &[u16]) -> Record {
+        Record {
+            id,
+            value,
+            labels: labels.to_vec(),
         }
     }
 
-    fn answer(id: u64) -> Vec<Record> {
-        vec![Record {
-            id,
-            value: 1,
-            labels: vec![0],
-        }]
+    fn spec(algorithm: Algorithm, labels: &[u16], lambda: i64) -> QuerySpec {
+        QuerySpec {
+            labels: labels.to_vec(),
+            lambda,
+            proportional: false,
+            algorithm,
+            from: i64::MIN,
+            to: i64::MAX,
+        }
+    }
+
+    /// Stores rows 0..n with value 10*i on alternating labels 0/1.
+    fn store(n: u64) -> Store {
+        let mut s = Store::new();
+        for i in 0..n {
+            s.append(row(i, 10 * i as i64, &[(i % 2) as u16])).unwrap();
+        }
+        s
+    }
+
+    /// Primes the cache with a fresh solve of `spec` against `store`.
+    fn prime(cache: &mut CoverCache, store: &Store, q: &QuerySpec) {
+        assert!(matches!(cache.lookup(q, store.generation()), Lookup::Miss));
+        let slice = store.slice(&q.labels, q.from, q.to);
+        let records = solve_slice(&slice, q).unwrap();
+        let repair = repair_state(&slice, q);
+        cache.insert_fresh(q, records, store.generation(), repair);
     }
 
     #[test]
-    fn hits_after_first_compute() {
+    fn hits_after_insert_fresh() {
+        let s = store(4);
+        let q = spec(Algorithm::Scan, &[0, 1], 15);
         let mut c = CoverCache::new();
-        let (a, hit) = c.get_or_compute(1, &spec(5), || Ok(answer(7))).unwrap();
-        assert!(!hit);
-        let (b, hit) = c
-            .get_or_compute(1, &spec(5), || panic!("must not recompute"))
-            .unwrap();
-        assert!(hit);
-        assert_eq!(a, b);
+        prime(&mut c, &s, &q);
+        let Lookup::Fresh(records) = c.lookup(&q, s.generation()) else {
+            panic!("expected a fresh hit");
+        };
+        assert_eq!(records, run_query(&s, &q).unwrap());
         let st = c.stats();
         assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
     }
 
     #[test]
-    fn generation_change_flushes() {
+    fn footprint_miss_revalidates_without_repair() {
+        let mut s = store(4);
+        let q = spec(Algorithm::GreedySc, &[0], 15);
         let mut c = CoverCache::new();
-        c.get_or_compute(1, &spec(5), || Ok(answer(7))).unwrap();
-        // Same spec, newer store generation: must recompute.
-        let (a, hit) = c.get_or_compute(2, &spec(5), || Ok(answer(8))).unwrap();
-        assert!(!hit);
-        assert_eq!(a[0].id, 8);
-        assert_eq!(c.stats().invalidations, 1);
+        prime(&mut c, &s, &q);
+        // Label 5 is outside the spec's footprint: no repair, no dirt.
+        s.append(row(100, 40, &[5])).unwrap();
+        let dirty = c.apply_delta(&[row(100, 40, &[5])], s.generation());
+        assert!(dirty.is_empty());
+        assert!(matches!(c.lookup(&q, s.generation()), Lookup::Fresh(_)));
+        let st = c.stats();
+        assert_eq!((st.invalidations, st.repairs, st.stale_served), (0, 0, 0));
     }
 
     #[test]
-    fn distinct_specs_do_not_collide() {
+    fn range_bounded_specs_ignore_out_of_range_appends() {
+        let mut s = store(4);
+        let mut q = spec(Algorithm::ScanPlus, &[0, 1], 15);
+        q.to = 30; // the slice ends at value 30
         let mut c = CoverCache::new();
-        c.get_or_compute(1, &spec(5), || Ok(answer(1))).unwrap();
-        let (b, hit) = c.get_or_compute(1, &spec(6), || Ok(answer(2))).unwrap();
-        assert!(!hit);
-        assert_eq!(b[0].id, 2);
+        prime(&mut c, &s, &q);
+        s.append(row(100, 500, &[0])).unwrap();
+        assert!(c
+            .apply_delta(&[row(100, 500, &[0])], s.generation())
+            .is_empty());
+        assert!(matches!(c.lookup(&q, s.generation()), Lookup::Fresh(_)));
     }
 
     #[test]
-    fn errors_are_not_cached() {
+    fn scan_entries_are_repaired_in_place() {
+        let mut s = store(6);
+        let q = spec(Algorithm::Scan, &[0, 1], 15);
         let mut c = CoverCache::new();
-        let err = c
-            .get_or_compute(1, &spec(5), || {
-                Err(MqdError::Protocol { msg: "boom".into() })
-            })
-            .unwrap_err();
-        assert!(matches!(err, MqdError::Protocol { .. }));
-        // A later good compute for the same spec succeeds and caches.
-        let (_, hit) = c.get_or_compute(1, &spec(5), || Ok(answer(3))).unwrap();
-        assert!(!hit);
-        let (_, hit) = c.get_or_compute(1, &spec(5), || Ok(answer(3))).unwrap();
-        assert!(hit);
-    }
-
-    #[test]
-    fn capacity_bounds_entries() {
-        let mut c = CoverCache::with_capacity(2);
-        for lam in 0..5 {
-            c.get_or_compute(1, &spec(lam), || Ok(answer(lam as u64)))
-                .unwrap();
+        prime(&mut c, &s, &q);
+        for i in 6..40u64 {
+            let r = row(i, 10 * i as i64, &[(i % 2) as u16]);
+            s.append(r.clone()).unwrap();
+            let dirty = c.apply_delta(std::slice::from_ref(&r), s.generation());
+            assert!(dirty.is_empty(), "scan entries must repair, not dirty");
+            let Lookup::Fresh(records) = c.lookup(&q, s.generation()) else {
+                panic!("expected a fresh (repaired) hit at generation {i}");
+            };
+            assert_eq!(
+                records,
+                run_query(&s, &q).unwrap(),
+                "repaired cover must be byte-identical to a cold solve"
+            );
         }
-        assert!(c.stats().entries <= 2);
+        assert_eq!(c.stats().repairs, 34);
+        assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn non_repairable_entries_serve_stale_then_refresh() {
+        let mut s = store(6);
+        let q = spec(Algorithm::GreedySc, &[0, 1], 15);
+        let mut c = CoverCache::new();
+        prime(&mut c, &s, &q);
+        let stale_answer = run_query(&s, &q).unwrap();
+        let watermark = s.generation();
+
+        let r = row(100, 100, &[0]);
+        s.append(r.clone()).unwrap();
+        let dirty = c.apply_delta(std::slice::from_ref(&r), s.generation());
+        assert_eq!(dirty, vec![q.clone()], "entry must be queued for refresh");
+        assert_eq!(c.stats().invalidations, 1);
+
+        // Served stale, stamped with its exact watermark.
+        let Lookup::Stale {
+            records,
+            generation,
+            enqueue_refresh,
+        } = c.lookup(&q, s.generation())
+        else {
+            panic!("expected a stale hit");
+        };
+        assert_eq!(records, stale_answer);
+        assert_eq!(generation, watermark);
+        assert!(!enqueue_refresh, "apply_delta already queued the refresh");
+        assert_eq!(c.stats().stale_served, 1);
+
+        // The background refresher lands: fresh again, at the new gen.
+        let refreshed = run_query(&s, &q).unwrap();
+        let still_stale = c.install_refreshed(&q, refreshed.clone(), s.generation(), None);
+        assert!(!still_stale);
+        let Lookup::Fresh(records) = c.lookup(&q, s.generation()) else {
+            panic!("expected a fresh hit after refresh");
+        };
+        assert_eq!(records, refreshed);
+        assert_eq!(c.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn debt_bound_forces_fallback_to_refresh() {
+        let mut s = store(4);
+        let q = spec(Algorithm::Scan, &[0, 1], 15);
+        let mut c = CoverCache::new();
+        c.set_debt_bound(2);
+        prime(&mut c, &s, &q);
+        let mut dirtied = Vec::new();
+        for i in 4..8u64 {
+            let r = row(i, 10 * i as i64, &[0]);
+            s.append(r.clone()).unwrap();
+            dirtied.extend(c.apply_delta(std::slice::from_ref(&r), s.generation()));
+        }
+        // Two repairs fit the bound; the third append tips it over.
+        assert_eq!(dirtied, vec![q.clone()]);
+        assert_eq!(c.stats().repairs, 2);
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(matches!(c.lookup(&q, s.generation()), Lookup::Stale { .. }));
+    }
+
+    #[test]
+    fn lag_past_the_bound_is_a_miss() {
+        let mut s = store(4);
+        let q = spec(Algorithm::GreedySc, &[0], 15);
+        let mut c = CoverCache::new();
+        c.set_max_lag(3);
+        prime(&mut c, &s, &q);
+        for i in 4..10u64 {
+            let r = row(i, 10 * i as i64, &[0]);
+            s.append(r.clone()).unwrap();
+            c.apply_delta(std::slice::from_ref(&r), s.generation());
+        }
+        // Lag is 6 > 3: too stale to serve.
+        assert!(matches!(c.lookup(&q, s.generation()), Lookup::Miss));
+    }
+
+    #[test]
+    fn non_contiguous_delta_degrades_to_stale_not_wrong() {
+        let mut s = store(4);
+        let q = spec(Algorithm::Scan, &[0, 1], 15);
+        let mut c = CoverCache::new();
+        prime(&mut c, &s, &q);
+        // Append two rows but only tell the cache about the second: it
+        // must refuse to certify freshness.
+        s.append(row(50, 100, &[0])).unwrap();
+        let r = row(51, 110, &[0]);
+        s.append(r.clone()).unwrap();
+        let dirty = c.apply_delta(std::slice::from_ref(&r), s.generation());
+        assert_eq!(dirty, vec![q.clone()]);
+        match c.lookup(&q, s.generation()) {
+            Lookup::Stale { generation, .. } => assert_eq!(generation, 4),
+            other => panic!("expected stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeatedly_hit_entry_outlives_capacity_pressure() {
+        // The satellite regression: the old cache cleared the whole map
+        // on insert-when-full; second-chance must keep the hot entry.
+        let s = store(8);
+        let hot = spec(Algorithm::Scan, &[0], 15);
+        let mut c = CoverCache::with_capacity(2);
+        prime(&mut c, &s, &hot);
+        for lambda in 0..20 {
+            // Keep the hot entry referenced, then pressure the cache.
+            assert!(
+                matches!(c.lookup(&hot, s.generation()), Lookup::Fresh(_)),
+                "hot entry evicted at lambda {lambda}"
+            );
+            let cold = spec(Algorithm::GreedySc, &[1], 100 + lambda);
+            let slice = s.slice(&cold.labels, cold.from, cold.to);
+            let records = solve_slice(&slice, &cold).unwrap();
+            c.insert_fresh(&cold, records, s.generation(), None);
+            assert!(c.stats().entries <= 2);
+        }
+        assert!(matches!(c.lookup(&hot, s.generation()), Lookup::Fresh(_)));
+    }
+
+    #[test]
+    fn unreferenced_entries_are_the_eviction_victims() {
+        let s = store(8);
+        let mut c = CoverCache::with_capacity(3);
+        let specs: Vec<QuerySpec> = (0..3)
+            .map(|i| spec(Algorithm::Scan, &[0], 10 + i))
+            .collect();
+        for q in &specs {
+            prime(&mut c, &s, q);
+        }
+        // Touch all but specs[1], then insert one more.
+        assert!(matches!(
+            c.lookup(&specs[0], s.generation()),
+            Lookup::Fresh(_)
+        ));
+        assert!(matches!(
+            c.lookup(&specs[2], s.generation()),
+            Lookup::Fresh(_)
+        ));
+        // Age out the referenced bits set by insertion: one pressure pass
+        // clears them, a second pass picks the never-rehit victim.
+        let newcomer = spec(Algorithm::Scan, &[1], 99);
+        prime(&mut c, &s, &newcomer);
+        assert!(c.stats().entries <= 3);
+        // specs[1] (never re-hit) must be the entry that disappeared.
+        assert!(matches!(c.lookup(&specs[1], s.generation()), Lookup::Miss));
+        assert!(matches!(
+            c.lookup(&specs[0], s.generation()),
+            Lookup::Fresh(_)
+        ));
+    }
+
+    #[test]
+    fn stale_lookup_claims_refresh_exactly_once() {
+        let mut s = store(4);
+        let q = spec(Algorithm::GreedySc, &[0], 15);
+        let mut c = CoverCache::new();
+        prime(&mut c, &s, &q);
+        s.append(row(50, 100, &[5])).unwrap(); // footprint miss
+        s.append(row(51, 110, &[0])).unwrap(); // footprint hit
+                                               // Simulate a caller that applies deltas but drops the refresh
+                                               // list (e.g. a full queue): the first stale lookup re-claims it.
+        let _ = c.apply_delta(&[row(50, 100, &[5]), row(51, 110, &[0])], s.generation());
+        c.refresh_not_queued(&q);
+        let Lookup::Stale {
+            enqueue_refresh, ..
+        } = c.lookup(&q, s.generation())
+        else {
+            panic!("expected stale");
+        };
+        assert!(enqueue_refresh);
+        let Lookup::Stale {
+            enqueue_refresh, ..
+        } = c.lookup(&q, s.generation())
+        else {
+            panic!("expected stale");
+        };
+        assert!(!enqueue_refresh, "second lookup must not double-queue");
+    }
+
+    #[test]
+    fn install_refreshed_reports_continued_staleness() {
+        let mut s = store(4);
+        let q = spec(Algorithm::GreedySc, &[0], 15);
+        let mut c = CoverCache::new();
+        prime(&mut c, &s, &q);
+        let r1 = row(10, 100, &[0]);
+        s.append(r1.clone()).unwrap();
+        let _ = c.apply_delta(std::slice::from_ref(&r1), s.generation());
+        let refresh_gen = s.generation();
+        let refreshed = run_query(&s, &q).unwrap();
+        // The store moves again before the refresh lands.
+        let r2 = row(11, 110, &[0]);
+        s.append(r2.clone()).unwrap();
+        let _ = c.apply_delta(std::slice::from_ref(&r2), s.generation());
+        assert!(c.install_refreshed(&q, refreshed.clone(), refresh_gen, None));
+        match c.lookup(&q, s.generation()) {
+            Lookup::Stale {
+                generation,
+                records,
+                ..
+            } => {
+                assert_eq!(generation, refresh_gen);
+                assert_eq!(records, refreshed);
+            }
+            other => panic!("expected stale at the refresh watermark, got {other:?}"),
+        }
     }
 }

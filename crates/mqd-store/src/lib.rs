@@ -18,17 +18,25 @@
 //!   definitions, which is what makes "served answer == offline answer"
 //!   a checkable byte-identity.
 //! * [`CoverCache`] — a per-`(labels, lambda, algorithm, range)` answer
-//!   cache invalidated by the store's generation counter: any append bumps
-//!   the generation and lazily flushes every cached cover.
+//!   cache maintained *incrementally*: each append is checked against every
+//!   entry's (label, value-range) footprint; entries outside it revalidate
+//!   untouched, fixed-lambda Scan entries inside it are repaired in place
+//!   (byte-identical to a cold solve), and everything else goes stale —
+//!   still servable at its watermark generation — until a background
+//!   refresher re-solves it. See the [`cache`] module docs for the
+//!   protocol.
 //!
 //! Like the rest of the workspace, this crate depends only on `std`.
 
 #![warn(missing_docs)]
 
-mod cache;
+pub mod cache;
 pub mod query;
 mod store;
 
-pub use cache::{CacheStats, CoverCache};
-pub use query::{run_query, Algorithm, QuerySpec};
+pub use cache::{CacheStats, CoverCache, Lookup, DEFAULT_DEBT_BOUND, DEFAULT_MAX_LAG};
+pub use query::{
+    repair_state, repairable, run_query, run_query_with_repair, solve_slice, validate_spec,
+    Algorithm, QuerySpec,
+};
 pub use store::{Slice, Store, StoreStats, SEGMENT_TARGET_ROWS};

@@ -13,8 +13,9 @@ use mqd_core::algorithms::{
 };
 use mqd_core::record::Record;
 use mqd_core::{FixedLambda, MqdError, VariableLambda};
+use mqd_stream::CoverRepair;
 
-use crate::store::Store;
+use crate::store::{Slice, Store};
 
 /// Which solver answers the query.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -80,10 +81,9 @@ pub struct QuerySpec {
     pub to: i64,
 }
 
-/// Runs `spec` against `store`: slice, solve, map back. The answer lists
-/// the selected posts in ascending slice order, each with its external id,
-/// value, and the intersection of its labels with the query labels.
-pub fn run_query(store: &Store, spec: &QuerySpec) -> Result<Vec<Record>, MqdError> {
+/// Validates a spec without touching the store: lambda must be
+/// non-negative, at least one label, and Opt rejects proportional mode.
+pub fn validate_spec(spec: &QuerySpec) -> Result<(), MqdError> {
     if spec.lambda < 0 {
         return Err(MqdError::NegativeLambda(spec.lambda));
     }
@@ -92,26 +92,76 @@ pub fn run_query(store: &Store, spec: &QuerySpec) -> Result<Vec<Record>, MqdErro
             msg: "query needs at least one label".into(),
         });
     }
+    if spec.algorithm == Algorithm::Opt && spec.proportional {
+        return Err(MqdError::Protocol {
+            msg: "opt supports fixed lambda only (use greedysc/scan/scanplus for prop)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// True when a cached answer for `spec` can be patched in place by
+/// [`CoverRepair`] as the store grows: only the fixed-lambda Scan family
+/// qualifies. Scan+'s cross-label pruning, GreedySC's global ranking, the
+/// OPT DP, and the density-proportional lambda of Section 6 all couple the
+/// answer to the whole slice, so an in-footprint append invalidates them.
+pub fn repairable(spec: &QuerySpec) -> bool {
+    spec.algorithm == Algorithm::Scan && !spec.proportional
+}
+
+/// Runs `spec` against `store`: slice, solve, map back. The answer lists
+/// the selected posts in ascending slice order, each with its external id,
+/// value, and the intersection of its labels with the query labels.
+pub fn run_query(store: &Store, spec: &QuerySpec) -> Result<Vec<Record>, MqdError> {
+    validate_spec(spec)?;
     let slice = store.slice(&spec.labels, spec.from, spec.to);
+    solve_slice(&slice, spec)
+}
+
+/// [`run_query`] plus, when the spec is [`repairable`], the
+/// [`CoverRepair`] tail state equivalent to having streamed the slice —
+/// ready for [`crate::CoverCache::insert_fresh`].
+pub fn run_query_with_repair(
+    store: &Store,
+    spec: &QuerySpec,
+) -> Result<(Vec<Record>, Option<CoverRepair>), MqdError> {
+    validate_spec(spec)?;
+    let slice = store.slice(&spec.labels, spec.from, spec.to);
+    let records = solve_slice(&slice, spec)?;
+    Ok((records, repair_state(&slice, spec)))
+}
+
+/// Builds the [`CoverRepair`] tail state for a [`repairable`] spec by
+/// replaying the slice (already in `(value, id)` order) through the fold;
+/// `None` for non-repairable specs. The caller is expected to have solved
+/// the same slice — the fold's cover is byte-identical to that answer.
+pub fn repair_state(slice: &Slice, spec: &QuerySpec) -> Option<CoverRepair> {
+    if !repairable(spec) {
+        return None;
+    }
+    let mut rep = CoverRepair::new(&spec.labels, spec.lambda);
+    for i in 0..slice.instance.len() as u32 {
+        rep.observe(&slice.record_for(i));
+    }
+    Some(rep)
+}
+
+/// Solves an already-carved slice (see [`run_query`]; the spec must have
+/// passed [`validate_spec`]). Split out so the background refresher can
+/// solve against a slice snapshot without holding the store lock.
+pub fn solve_slice(slice: &Slice, spec: &QuerySpec) -> Result<Vec<Record>, MqdError> {
+    validate_spec(spec)?;
     let inst = &slice.instance;
     let mut solution = match spec.algorithm {
-        Algorithm::Opt => {
-            if spec.proportional {
-                return Err(MqdError::Protocol {
-                    msg: "opt supports fixed lambda only (use greedysc/scan/scanplus for prop)"
-                        .into(),
-                });
-            }
-            solve_opt(inst, spec.lambda, &OptConfig::default())?
-        }
+        Algorithm::Opt => solve_opt(inst, spec.lambda, &OptConfig::default())?,
         _ if spec.proportional => {
             let v = VariableLambda::compute(inst, spec.lambda);
             match spec.algorithm {
                 Algorithm::GreedySc => solve_greedy_sc(inst, &v),
                 Algorithm::Scan => solve_scan(inst, &v),
                 Algorithm::ScanPlus => solve_scan_plus(inst, &v, LabelOrder::Input),
-                // lint:allow(panic-path): the Opt arm above this match guards on the same discriminant
-                Algorithm::Opt => unreachable!("handled above"),
+                // lint:allow(panic-path): validate_spec rejects proportional Opt before this match
+                Algorithm::Opt => unreachable!("rejected by validate_spec"),
             }
         }
         Algorithm::GreedySc => solve_greedy_sc(inst, &FixedLambda(spec.lambda)),

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod greedy;
 pub mod instant;
 pub mod multiuser;
+pub mod repair;
 pub mod scan;
 pub mod shard;
 pub mod simulator;
@@ -44,6 +45,8 @@ pub use density::{AdaptiveEngine, AdaptiveInstant, OnlineLambda};
 pub use engine::{Emission, EngineSnapshot, StreamContext, StreamEngine};
 pub use greedy::StreamGreedy;
 pub use instant::InstantScan;
+pub use repair::CoverRepair;
+
 pub use multiuser::{
     solve_batch_users, solve_batch_users_threads, BatchUser, MultiUserHub, UserStats,
 };

@@ -1,0 +1,446 @@
+//! Incremental repair of cached fixed-lambda Scan covers.
+//!
+//! The serving layer caches one cover per `QuerySpec`. Under ingest, the
+//! old cache invalidated *everything* on every append and the next query
+//! paid a full re-solve inline — the 4-second p99 of `BENCH_server.json`.
+//! But the paper's own §5 machinery proves a monotone stream only perturbs
+//! coverage locally: a new post lands at the value frontier, and for the
+//! per-label interval greedy of offline Scan, everything strictly more
+//! than lambda left of the last uncovered group start is already *frozen*
+//! — no future arrival can change those picks.
+//!
+//! [`CoverRepair`] exploits that: it is the `tau -> infinity`
+//! specialization of [`crate::StreamScan`]'s pending-group rule, keeping
+//! per query label only
+//!
+//! * the committed coverage frontier `reach = pick + lambda` of the last
+//!   frozen group, and
+//! * the still-open tail group `(left, best-candidate-so-far)`,
+//!
+//! plus the multiset of currently picked posts. Feeding it the slice rows
+//! in `(value, id)` order reproduces offline Scan **byte-for-byte** (the
+//! oracle's `repair-agreement` invariant pins this), and feeding it each
+//! newly ingested row advances the answer in O(query labels) — no
+//! re-solve, no slice rebuild.
+//!
+//! Why byte-identity holds: `scan_label` opens a group at the leftmost
+//! uncovered post `left` and picks the candidate maximizing
+//! `(reach, index)`; with a fixed lambda that is exactly the max
+//! `(value, id)` post with `value <= left + lambda`, every candidate
+//! precedes the first post past `left + lambda` in `(value, id)` order,
+//! and the skip rule `value <= pick + lambda` is a pure function of the
+//! frozen pick. So a left fold over `(value, id)`-ordered rows with the
+//! three-way transition below (extend the open group / freeze it / skip a
+//! covered row) visits exactly the same picks. All comparisons are done
+//! in `i128`, which agrees with the solver's saturating `i64` arithmetic
+//! on every input (saturation only collapses reaches past `i64::MAX`,
+//! where both orderings already tie and fall back to `(value, id)`).
+//!
+//! Only fixed-lambda Scan is repairable this way. Scan+ lets a changed
+//! tail pick re-cover occurrences of *other* labels arbitrarily far back
+//! in their passes, GreedySC re-ranks globally, OPT is a global DP, and
+//! the proportional lambda of §6 depends on slice-wide density — for all
+//! of those the serving cache falls back to a background re-solve (see
+//! `mqd-store`'s cache documentation).
+
+use std::collections::BTreeMap;
+
+use mqd_core::record::Record;
+
+/// The open (not yet frozen) tail group of one label's interval greedy.
+#[derive(Clone, Debug)]
+struct OpenGroup {
+    /// Value of the group's leftmost uncovered post.
+    left: i64,
+    /// Best candidate so far: the max `(value, id)` with
+    /// `value <= left + lambda`.
+    pick: (i64, u64),
+}
+
+/// Per-query-label fold state.
+#[derive(Clone, Debug, Default)]
+struct Lane {
+    /// Coverage frontier of the last frozen group (`pick + lambda`,
+    /// exact in `i128`); `None` until the first group freezes.
+    reach: Option<i128>,
+    /// The still-open tail group, if any.
+    open: Option<OpenGroup>,
+}
+
+/// A picked post: its rendered labels (intersection with the query
+/// labels) and how many lanes currently select it.
+#[derive(Clone, Debug)]
+struct Pick {
+    labels: Vec<u16>,
+    refs: u32,
+}
+
+/// Incrementally maintained fixed-lambda Scan cover over a monotone
+/// record stream (see the module docs for the equivalence argument).
+///
+/// Feed every slice row once via [`CoverRepair::observe`], in `(value,
+/// id)` order; [`CoverRepair::cover`] then renders the same records, in
+/// the same order, as `run_query` would produce for the equivalent
+/// fixed-lambda Scan spec.
+#[derive(Clone, Debug)]
+pub struct CoverRepair {
+    /// Sorted, deduplicated query labels; lane `i` folds `labels[i]`.
+    labels: Vec<u16>,
+    lambda: i64,
+    lanes: Vec<Lane>,
+    /// Current picks, keyed by `(value, id)` — exactly the slice order
+    /// the offline answer is rendered in.
+    picks: BTreeMap<(i64, u64), Pick>,
+}
+
+impl CoverRepair {
+    /// Empty state for a fixed-lambda Scan query over `labels`.
+    /// `lambda` must be non-negative (enforced upstream by the query
+    /// validator; negative lambdas would make "covers itself" false).
+    pub fn new(labels: &[u16], lambda: i64) -> Self {
+        let mut labels = labels.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        let lanes = vec![Lane::default(); labels.len()];
+        CoverRepair {
+            labels,
+            lambda,
+            lanes,
+            picks: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one record into the cover. Rows must arrive in
+    /// non-decreasing `(value, id)` order overall (slice order for the
+    /// initial replay, ingest order afterwards — the store's monotone
+    /// contract guarantees the two splice correctly). Rows carrying no
+    /// query label are ignored; returns `true` iff the row joined.
+    pub fn observe(&mut self, row: &Record) -> bool {
+        // Intersect with the query labels, preserving sorted order —
+        // the same rendering `Slice::record_for` produces. Ingested rows
+        // are store-normalized (sorted, deduped) already; tolerate raw
+        // input by normalizing locally when needed.
+        let mut matched: Vec<u16> = Vec::new();
+        for &l in &row.labels {
+            if self.labels.binary_search(&l).is_ok() {
+                matched.push(l);
+            }
+        }
+        if matched.is_empty() {
+            return false;
+        }
+        matched.sort_unstable();
+        matched.dedup();
+
+        let key = (row.value, row.id);
+        let v = row.value as i128;
+        let lambda = self.lambda as i128;
+        for &l in &matched {
+            let Ok(lane_idx) = self.labels.binary_search(&l) else {
+                continue; // unreachable: `matched` is a subset of `labels`
+            };
+            let lane = &mut self.lanes[lane_idx];
+            if let Some(group) = &mut lane.open {
+                if v <= group.left as i128 + lambda {
+                    // Still a candidate for the open group: keep the max
+                    // (value, id) pick, exactly scan_label's tie-break.
+                    if key > group.pick {
+                        let old = group.pick;
+                        group.pick = key;
+                        incref(&mut self.picks, key, &matched);
+                        decref(&mut self.picks, old);
+                    }
+                    continue;
+                }
+                // First row past left + lambda: the group freezes and its
+                // pick's reach becomes the committed frontier.
+                lane.reach = Some(group.pick.0 as i128 + lambda);
+                lane.open = None;
+            }
+            if lane.reach.is_some_and(|r| v <= r) {
+                continue; // covered by the last frozen pick
+            }
+            // Leftmost uncovered row of a new group: it covers itself
+            // (lambda >= 0), so it starts as the group's pick.
+            lane.open = Some(OpenGroup {
+                left: row.value,
+                pick: key,
+            });
+            incref(&mut self.picks, key, &matched);
+        }
+        true
+    }
+
+    /// Renders the current cover: selected records in ascending
+    /// `(value, id)` order, labels intersected with the query labels —
+    /// byte-identical (via `format_tsv`) to a cold offline solve over
+    /// the same rows.
+    pub fn cover(&self) -> Vec<Record> {
+        self.picks
+            .iter()
+            .map(|(&(value, id), pick)| Record {
+                id,
+                value,
+                labels: pick.labels.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of currently selected posts.
+    pub fn len(&self) -> usize {
+        self.picks.len()
+    }
+
+    /// True when nothing is selected yet.
+    pub fn is_empty(&self) -> bool {
+        self.picks.is_empty()
+    }
+}
+
+fn incref(picks: &mut BTreeMap<(i64, u64), Pick>, key: (i64, u64), labels: &[u16]) {
+    picks
+        .entry(key)
+        .and_modify(|p| p.refs += 1)
+        .or_insert_with(|| Pick {
+            labels: labels.to_vec(),
+            refs: 1,
+        });
+}
+
+fn decref(picks: &mut BTreeMap<(i64, u64), Pick>, key: (i64, u64)) {
+    if let Some(p) = picks.get_mut(&key) {
+        p.refs -= 1;
+        if p.refs == 0 {
+            picks.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_core::algorithms::solve_scan;
+    use mqd_core::record::format_tsv;
+    use mqd_core::{FixedLambda, Instance, LabelId, Post, PostId};
+    use mqd_rng::{RngExt, SeedableRng, StdRng};
+
+    /// Offline reference: the canonical slice + solve + render pipeline,
+    /// restated here so the test does not depend on `mqd-store`.
+    fn offline_scan(rows: &[Record], labels: &[u16], lambda: i64) -> Vec<String> {
+        let mut qlabels = labels.to_vec();
+        qlabels.sort_unstable();
+        qlabels.dedup();
+        let mut posts = Vec::new();
+        for r in rows {
+            let locals: Vec<LabelId> = r
+                .labels
+                .iter()
+                .filter_map(|l| qlabels.binary_search(l).ok().map(|i| LabelId(i as u16)))
+                .collect();
+            if !locals.is_empty() {
+                posts.push(Post::new(PostId(r.id), r.value, locals));
+            }
+        }
+        let inst = Instance::from_posts(posts, qlabels.len()).unwrap();
+        let mut sol = solve_scan(&inst, &FixedLambda(lambda));
+        sol.selected.sort_unstable();
+        sol.selected.dedup();
+        sol.selected
+            .iter()
+            .map(|&z| {
+                format_tsv(&Record {
+                    id: inst.post(z).id().0,
+                    value: inst.value(z),
+                    labels: inst
+                        .labels(z)
+                        .iter()
+                        .map(|&LabelId(l)| qlabels[l as usize])
+                        .collect(),
+                })
+            })
+            .collect()
+    }
+
+    fn rendered(repair: &CoverRepair) -> Vec<String> {
+        repair.cover().iter().map(format_tsv).collect()
+    }
+
+    fn random_rows(seed: u64, n: usize, num_labels: u16, max_step: i64) -> Vec<Record> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut value = 0i64;
+        (0..n)
+            .map(|i| {
+                value += rng.random_range(0..max_step); // 0 steps => ties
+                let k = rng.random_range(1..=3usize);
+                Record {
+                    id: i as u64,
+                    value,
+                    labels: (0..k).map(|_| rng.random_range(0..num_labels)).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Sort ingest-ordered rows into slice `(value, id)` order.
+    fn slice_order(rows: &[Record]) -> Vec<Record> {
+        let mut v = rows.to_vec();
+        v.sort_by_key(|r| (r.value, r.id));
+        v
+    }
+
+    #[test]
+    fn replay_matches_offline_scan_across_seeds() {
+        for seed in 0..40u64 {
+            let rows = random_rows(seed, 120, 4, if seed % 3 == 0 { 3 } else { 40 });
+            let labels: Vec<u16> = match seed % 4 {
+                0 => vec![0],
+                1 => vec![0, 1],
+                2 => vec![1, 2, 3],
+                _ => vec![0, 1, 2, 3],
+            };
+            let lambda = [0, 1, 7, 50, 400][seed as usize % 5];
+            let mut repair = CoverRepair::new(&labels, lambda);
+            for r in slice_order(&rows) {
+                repair.observe(&r);
+            }
+            assert_eq!(
+                rendered(&repair),
+                offline_scan(&rows, &labels, lambda),
+                "seed {seed} lambda {lambda} labels {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_appends_match_cold_solve_at_every_generation() {
+        for seed in 100..130u64 {
+            let rows = random_rows(seed, 90, 3, 25);
+            let labels = vec![0u16, 2];
+            let lambda = 30 + (seed as i64 % 4) * 13;
+            let split = 30 + (seed as usize % 30);
+            let mut repair = CoverRepair::new(&labels, lambda);
+            for r in slice_order(&rows[..split]) {
+                repair.observe(&r);
+            }
+            // Append the suffix one row at a time, in ingest order, and
+            // demand byte-identity with a cold solve after every append.
+            for g in split..rows.len() {
+                repair.observe(&rows[g]);
+                assert_eq!(
+                    rendered(&repair),
+                    offline_scan(&rows[..=g], &labels, lambda),
+                    "seed {seed} generation {}",
+                    g + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_value_appends_are_order_invariant() {
+        // Two rows with the same value arriving in either id order must
+        // fold to the same state (the slice sorts by (value, id), ingest
+        // does not).
+        let base = vec![
+            Record {
+                id: 1,
+                value: 0,
+                labels: vec![0],
+            },
+            Record {
+                id: 2,
+                value: 40,
+                labels: vec![0],
+            },
+        ];
+        let tie_a = Record {
+            id: 9,
+            value: 100,
+            labels: vec![0],
+        };
+        let tie_b = Record {
+            id: 3,
+            value: 100,
+            labels: vec![0],
+        };
+        let mut fwd = CoverRepair::new(&[0], 10);
+        let mut rev = CoverRepair::new(&[0], 10);
+        for r in &base {
+            fwd.observe(r);
+            rev.observe(r);
+        }
+        fwd.observe(&tie_a);
+        fwd.observe(&tie_b);
+        rev.observe(&tie_b);
+        rev.observe(&tie_a);
+        assert_eq!(rendered(&fwd), rendered(&rev));
+        let mut all = base;
+        all.push(tie_b.clone());
+        all.push(tie_a.clone());
+        assert_eq!(rendered(&fwd), offline_scan(&all, &[0], 10));
+    }
+
+    #[test]
+    fn rows_without_query_labels_are_ignored() {
+        let mut repair = CoverRepair::new(&[0], 10);
+        assert!(repair.observe(&Record {
+            id: 1,
+            value: 0,
+            labels: vec![0, 5],
+        }));
+        assert!(!repair.observe(&Record {
+            id: 2,
+            value: 5,
+            labels: vec![5],
+        }));
+        assert_eq!(repair.len(), 1);
+        // Rendered labels are intersected: label 5 is dropped.
+        assert_eq!(rendered(&repair), vec!["1\t0\t0"]);
+    }
+
+    #[test]
+    fn saturating_extremes_match_offline_scan() {
+        // Values at the i64 extremes: reach saturates in the solver and
+        // overflows naive i64 math; both must agree.
+        let rows = vec![
+            Record {
+                id: 1,
+                value: i64::MIN,
+                labels: vec![0],
+            },
+            Record {
+                id: 2,
+                value: i64::MAX - 1,
+                labels: vec![0],
+            },
+            Record {
+                id: 3,
+                value: i64::MAX,
+                labels: vec![0],
+            },
+        ];
+        for lambda in [0, 1, i64::MAX] {
+            let mut repair = CoverRepair::new(&[0], lambda);
+            for r in &rows {
+                repair.observe(r);
+            }
+            assert_eq!(
+                rendered(&repair),
+                offline_scan(&rows, &[0], lambda),
+                "lambda {lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_query_labels_are_deduped() {
+        let mut repair = CoverRepair::new(&[1, 0, 1, 0], 5);
+        repair.observe(&Record {
+            id: 1,
+            value: 0,
+            labels: vec![0, 1],
+        });
+        assert_eq!(repair.len(), 1);
+        assert_eq!(rendered(&repair), vec!["1\t0\t0,1"]);
+    }
+}

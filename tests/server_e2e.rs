@@ -144,6 +144,118 @@ fn sixty_four_clients_get_offline_identical_answers() {
     server.join().unwrap();
 }
 
+/// Rebuilds an offline store from the first `g` rows — the store state the
+/// server reported via its `"generation":g` watermark (one append per
+/// generation, in ingest order).
+fn store_at(rows: &[Record], g: usize) -> Store {
+    let mut s = Store::new();
+    for r in &rows[..g] {
+        s.append(r.clone()).unwrap();
+    }
+    s
+}
+
+/// Pulls the `"generation":N` watermark out of a `+OK` query status line.
+fn parse_generation(status: &str) -> u64 {
+    let tail = status
+        .split("\"generation\":")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no generation watermark in {status}"));
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("bad generation in {status}"))
+}
+
+/// Acceptance for incremental cover maintenance: 64 clients query while a
+/// writer ingests, and **every** response — fresh, repaired in place, or
+/// served stale — must verify byte-identically against an offline solve on
+/// the store state at its reported watermark generation. Staleness is
+/// allowed; a wrong cover at the claimed watermark is not.
+#[test]
+fn concurrent_ingest_answers_verify_at_their_watermark() {
+    const CLIENTS: usize = 64;
+    const QUERIES_PER_CLIENT: usize = 4;
+    const PRELOAD: usize = 600;
+
+    let rows = corpus(0x3A7E12, 1_200);
+    let span = rows.last().unwrap().value;
+
+    // One worker per connection (clients + writer + stats), so no query
+    // waits on connection queueing and the interleaving is real.
+    let (addr, server) = start(CLIENTS + 2, 2 * CLIENTS);
+    let mut feeder = Client::connect(addr).unwrap();
+    let resp = feeder.ingest_batch(&rows[..PRELOAD]).unwrap();
+    assert!(resp.is_ok(), "{}", resp.status);
+    drop(feeder);
+
+    let mismatches = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let rows = &rows;
+        scope.spawn(move || {
+            let mut w = Client::connect(addr).unwrap();
+            for r in &rows[PRELOAD..] {
+                let labels: Vec<String> = r.labels.iter().map(|l| l.to_string()).collect();
+                let line = format!("INGEST {} {} {}", r.id, r.value, labels.join(","));
+                let resp = w.request(&line).unwrap();
+                assert!(resp.is_ok(), "{line} -> {}", resp.status);
+                // Spread the writes across the clients' query window.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        });
+        for c in 0..CLIENTS {
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x3A7E ^ (c as u64) << 20);
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..QUERIES_PER_CLIENT {
+                    let spec = random_spec(&mut rng, span);
+                    let resp = client.request(&format_query(&spec)).unwrap();
+                    assert!(resp.is_ok(), "{} -> {}", format_query(&spec), resp.status);
+                    let g = parse_generation(&resp.status) as usize;
+                    assert!(
+                        (PRELOAD..=rows.len()).contains(&g),
+                        "watermark {g} outside [{PRELOAD}, {}]",
+                        rows.len()
+                    );
+                    let offline = store_at(rows, g);
+                    let want: Vec<String> = run_query(&offline, &spec)
+                        .unwrap()
+                        .iter()
+                        .map(format_tsv)
+                        .collect();
+                    if resp.lines != want {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "watermark mismatch on {} at generation {g}: served {:?} offline {:?}",
+                            format_query(&spec),
+                            resp.lines,
+                            want
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0);
+
+    // The writer ran to completion before the scope closed, so the store
+    // must have advanced past the preload watermark.
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.request("STATS").unwrap();
+    assert!(stats.is_ok());
+    assert!(
+        stats
+            .status
+            .contains(&format!(r#""generation":{}"#, rows.len())),
+        "{}",
+        stats.status
+    );
+    drop(c);
+    drain(addr);
+    server.join().unwrap();
+}
+
 /// Overload is a typed `-OVERLOADED` response, not a dropped connection:
 /// with one worker (held busy) and a queue of one, the third connection
 /// must be answered and turned away.
