@@ -28,6 +28,7 @@ use mqd_core::record::Record;
 use mqd_rng::{RngExt, SeedableRng, StdRng};
 use mqd_server::{format_query, Client, Server, ServerConfig};
 use mqd_store::{Algorithm, QuerySpec};
+use mqd_wal::{DurableOptions, DurableStore};
 
 const NUM_LABELS: u16 = 6;
 
@@ -164,6 +165,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
         addr: "127.0.0.1:0".into(),
         threads: cfg.threads,
         max_queue: cfg.clients * 2 + 4,
+        ..ServerConfig::default()
     })
     .expect("bind loopback server");
     let addr = server.local_addr();
@@ -355,6 +357,113 @@ fn mode_json(r: &ModeReport) -> String {
     j
 }
 
+/// One durable-ingest leg: WAL-append + ack-barrier `sync()` per row, the
+/// exact per-request path `mqdiv serve --data-dir` takes.
+struct DurableLeg {
+    rows: usize,
+    wall_s: f64,
+    rows_per_s: f64,
+    us_per_append: f64,
+}
+
+fn durable_ingest(dir: &std::path::Path, rows: &[Record], fsync: bool) -> DurableLeg {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut store = DurableStore::open(
+        dir,
+        &DurableOptions {
+            fsync,
+            // Keep every row in the WAL (no sealing) so the recovery leg
+            // below times a pure WAL-tail replay.
+            segment_rows: usize::MAX,
+            retain: None,
+        },
+    )
+    .expect("open durable dir");
+    let t0 = Instant::now();
+    for row in rows {
+        store.append(row).expect("append");
+        store.sync().expect("ack barrier");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    DurableLeg {
+        rows: rows.len(),
+        wall_s,
+        rows_per_s: rows.len() as f64 / wall_s,
+        us_per_append: wall_s * 1e6 / rows.len().max(1) as f64,
+    }
+}
+
+fn leg_json(l: &DurableLeg) -> String {
+    format!(
+        "{{\"rows\": {}, \"wall_s\": {:.3}, \"rows_per_s\": {:.0}, \"us_per_append\": {:.2}}}",
+        l.rows, l.wall_s, l.rows_per_s, l.us_per_append
+    )
+}
+
+/// The durability tax and the recovery bill, measured through the same
+/// `DurableStore` API the server uses: fsync-per-ack ingest vs `--no-fsync`,
+/// then a cold reopen of the no-fsync leg's WAL (100k rows in the full run).
+fn run_durable(seed: u64, quick: bool) -> String {
+    let (fsync_rows, nofsync_rows) = if quick {
+        (200usize, 10_000usize)
+    } else {
+        (2_000usize, 100_000usize)
+    };
+    let rows = corpus(seed ^ 0xD07A, nofsync_rows.max(fsync_rows));
+    let base = std::env::temp_dir().join(format!("mqd-bench-durable-{}", std::process::id()));
+
+    let fsync_leg = durable_ingest(&base.join("fsync"), &rows[..fsync_rows], true);
+    println!(
+        "bench_server[durable]: fsync ingest {} rows in {:.2}s ({:.0} rows/s, {:.1} us/append)",
+        fsync_leg.rows, fsync_leg.wall_s, fsync_leg.rows_per_s, fsync_leg.us_per_append
+    );
+    let nofsync_dir = base.join("nofsync");
+    let nofsync_leg = durable_ingest(&nofsync_dir, &rows[..nofsync_rows], false);
+    println!(
+        "bench_server[durable]: no-fsync ingest {} rows in {:.2}s ({:.0} rows/s, {:.1} us/append)",
+        nofsync_leg.rows, nofsync_leg.wall_s, nofsync_leg.rows_per_s, nofsync_leg.us_per_append
+    );
+
+    let wal_bytes = std::fs::metadata(nofsync_dir.join("wal"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let t0 = Instant::now();
+    let recovered = DurableStore::open(
+        &nofsync_dir,
+        &DurableOptions {
+            fsync: false,
+            segment_rows: usize::MAX,
+            retain: None,
+        },
+    )
+    .expect("recover");
+    let rec_s = t0.elapsed().as_secs_f64();
+    let rec_rows = recovered.durable_stats().recovered_rows;
+    assert_eq!(
+        rec_rows as usize, nofsync_rows,
+        "recovery must replay every row"
+    );
+    println!(
+        "bench_server[durable]: recovered {rec_rows} rows ({wal_bytes} WAL bytes) in {rec_s:.3}s"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "    \"fsync\": {},", leg_json(&fsync_leg));
+    let _ = writeln!(j, "    \"no_fsync\": {},", leg_json(&nofsync_leg));
+    let _ = writeln!(
+        j,
+        "    \"recovery\": {{\"rows\": {}, \"wal_bytes\": {}, \"wall_s\": {:.3}, \"rows_per_s\": {:.0}}}",
+        rec_rows,
+        wal_bytes,
+        rec_s,
+        rec_rows as f64 / rec_s.max(1e-9)
+    );
+    j.push_str("  }");
+    j
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let (clients, isolated_qpc, interleaved_qpc, corpus_rows) = if args.quick {
@@ -429,7 +538,12 @@ fn main() {
     json.push_str("  \"modes\": {\n");
     let _ = writeln!(json, "    \"isolated\": {},", mode_json(&isolated));
     let _ = writeln!(json, "    \"interleaved\": {}", mode_json(&interleaved));
-    json.push_str("  }\n");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"durable\": {}",
+        run_durable(args.seed, args.quick)
+    );
     json.push_str("}\n");
 
     let path = "BENCH_server.json";

@@ -12,7 +12,8 @@
 //! mqdiv ingest     --store DIR --input FILE.tsv         (append a segment)
 //! mqdiv query      --store DIR --from MS --to MS [--lambda MS] [--out FILE]
 //! mqdiv oracle     [--seeds N] [--first-seed S] [--profile NAME] [--report-dir DIR]
-//! mqdiv serve      [--addr HOST:PORT] [--max-queue N]   (:0 picks an ephemeral port)
+//! mqdiv serve      [--addr HOST:PORT] [--max-queue N] [--data-dir DIR]
+//!                  [--no-fsync] [--retain SPAN]         (:0 picks an ephemeral port)
 //! mqdiv client     --addr HOST:PORT [--input SCRIPT] [--check]
 //! mqdiv lint       [--deny] [--json] [--rules a,b] [--out FILE]   (workspace static analysis)
 //! ```
@@ -132,7 +133,7 @@ fn run() -> Result<(), String> {
              \x20 ingest     append a labeled TSV into a segmented store\n\
              \x20 query      range-scan a store (optionally diversified)\n\
              \x20 oracle     differential/metamorphic correctness sweep over all solvers\n\
-             \x20 serve      run the TCP query server over an in-memory indexed store\n\
+             \x20 serve      run the TCP query server (--data-dir makes it durable)\n\
              \x20 client     forward a request script to a running server\n\
              \x20 lint       static-analysis pass over the workspace's own sources\n\
              \n\
@@ -293,9 +294,16 @@ fn run() -> Result<(), String> {
             commands::oracle(&mut log, &opts)
         }
         "serve" => {
+            let retain = match flags.get("retain") {
+                Some(_) => Some(flags.require_num::<i64>("retain")?),
+                None => None,
+            };
             let opts = mqd_cli::serve::ServeOpts {
                 addr: flags.get("addr").unwrap_or("127.0.0.1:7744").to_string(),
                 max_queue: flags.parse_num("max-queue", 64usize)?,
+                data_dir: flags.get("data-dir").map(PathBuf::from),
+                fsync: !flags.has("no-fsync"),
+                retain,
             };
             mqd_cli::serve::serve(io::stdout(), &mut log, &opts)
         }

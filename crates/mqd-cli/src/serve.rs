@@ -17,6 +17,13 @@ pub struct ServeOpts {
     pub addr: String,
     /// Admission-control bound: connections queued beyond the worker pool.
     pub max_queue: usize,
+    /// Data directory for WAL + sealed segments (`--data-dir`); `None`
+    /// serves memory-only.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// `--no-fsync` clears this: skip fsync on the durability points.
+    pub fsync: bool,
+    /// `--retain <span>`: GC sealed windows older than this value span.
+    pub retain: Option<i64>,
 }
 
 /// Binds the server, announces the bound address on `out`, and serves
@@ -26,6 +33,9 @@ pub fn serve(mut out: impl Write, log: &mut impl Write, opts: &ServeOpts) -> Res
         addr: opts.addr.clone(),
         threads: 0, // resolved from --threads / MQD_THREADS via mqd-par
         max_queue: opts.max_queue,
+        data_dir: opts.data_dir.clone(),
+        fsync: opts.fsync,
+        retain: opts.retain,
     };
     let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", opts.addr))?;
     writeln!(out, "listening on {}", server.local_addr()).map_err(|e| e.to_string())?;
@@ -37,6 +47,16 @@ pub fn serve(mut out: impl Write, log: &mut impl Write, opts: &ServeOpts) -> Res
         opts.max_queue
     )
     .map_err(|e| e.to_string())?;
+    if let Some(dir) = &opts.data_dir {
+        writeln!(
+            log,
+            "durable store at {} (fsync {}, retain {})",
+            dir.display(),
+            if opts.fsync { "on" } else { "off" },
+            opts.retain.map_or("off".to_string(), |r| r.to_string()),
+        )
+        .map_err(|e| e.to_string())?;
+    }
     server.run().map_err(|e| e.to_string())
 }
 
@@ -133,6 +153,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 2,
             max_queue: 8,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr();

@@ -19,6 +19,17 @@ pub const FRAME_FOOTER: &[u8; 4] = b"END!";
 /// File magic of a streaming checkpoint blob (`mqd-stream::checkpoint`).
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"MQDC";
 
+/// File magic of the durable store's write-ahead log (`mqd-wal::wal`).
+pub const WAL_MAGIC: &[u8; 4] = b"WAL!";
+
+/// File magic of a sealed on-disk store segment (`mqd-wal::segment`).
+pub const SEGMENT_MAGIC: &[u8; 4] = b"MQDS";
+
+/// File magic of a durable `SUBSCRIBE` checkpoint wrapper (the server's
+/// named-subscription files; the inner payload is a [`CHECKPOINT_MAGIC`]
+/// blob).
+pub const SUBSCRIPTION_MAGIC: &[u8; 4] = b"MQSB";
+
 /// FNV-1a over a byte slice — the workspace's integrity checksum.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;

@@ -1,0 +1,22 @@
+//! Known-bad durability fixture: raw filesystem mutation inside mqd-wal,
+//! skipping the fsync pairing that `mqd_wal::fsio` exists to enforce.
+
+use std::fs::{File, OpenOptions};
+
+pub fn seal(tmp: &std::path::Path, dst: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(tmp, bytes)?;
+    std::fs::rename(tmp, dst)?;
+    Ok(())
+}
+
+pub fn reset(file: &File, stale: &std::path::Path) -> std::io::Result<()> {
+    file.set_len(0)?;
+    std::fs::remove_file(stale)?;
+    Ok(())
+}
+
+pub fn reopen(path: &std::path::Path) -> std::io::Result<File> {
+    let wal = OpenOptions::new().append(true).open(path)?;
+    drop(wal);
+    File::create(path)
+}

@@ -1,0 +1,25 @@
+//! Known-good durability fixture: every mutation goes through the
+//! `mqd_wal::fsio` wrappers; raw reads stay allowed (the rule polices
+//! mutation, not access).
+
+pub fn seal(dir: &std::path::Path, name: &str, bytes: &[u8], fsync: bool) -> Result<(), MqdError> {
+    let path = dir.join(name);
+    crate::fsio::write_atomic(&path, bytes, fsync)
+}
+
+pub fn prune(path: &std::path::Path, fsync: bool) -> Result<(), MqdError> {
+    crate::fsio::remove_durable(path, fsync)
+}
+
+pub fn drop_tail(file: &std::fs::File, keep: u64, fsync: bool) -> Result<(), MqdError> {
+    crate::fsio::truncate_file(file, keep, fsync)
+}
+
+pub fn scan(dir: &std::path::Path) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut blocks = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        blocks.push(std::fs::read(entry.path())?);
+    }
+    Ok(blocks)
+}

@@ -7,6 +7,7 @@ use crate::lexer::TokKind;
 use crate::report::Finding;
 
 mod blocking;
+mod durability;
 mod nondet;
 mod overflow;
 mod panics;
@@ -48,6 +49,11 @@ pub const ALL: &[Rule] = &[
         id: wire::ID,
         summary: "wire magic/opcodes defined outside mqd_core::{wire, record}",
         check: wire::check,
+    },
+    Rule {
+        id: durability::ID,
+        summary: "raw filesystem mutation in mqd-wal outside the fsio module",
+        check: durability::check,
     },
 ];
 

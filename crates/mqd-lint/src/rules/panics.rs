@@ -5,7 +5,9 @@
 //! gone) or poisons a shared mutex so every later request panics too. PR 2
 //! and PR 4 swept these by hand; this rule keeps them out.
 //!
-//! Flagged in non-test code of `mqd-server`/`mqd-stream`/`mqd-store`:
+//! Flagged in non-test code of `mqd-server`/`mqd-stream`/`mqd-store`/
+//! `mqd-wal` (the durability layer serves recovery — a panic there turns a
+//! survivable torn write into a server that cannot boot):
 //! `.unwrap()`, `.expect(..)`, the `panic!`/`unreachable!`/`todo!`/
 //! `unimplemented!` macros, range slicing (`&buf[..n]` — panics when `n`
 //! exceeds the buffer) and fixed-index access (`buf[0]` — panics when
@@ -29,6 +31,7 @@ fn applies(rel: &str) -> bool {
     rel.starts_with("crates/mqd-server/src")
         || rel.starts_with("crates/mqd-stream/src")
         || rel.starts_with("crates/mqd-store/src")
+        || rel.starts_with("crates/mqd-wal/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {

@@ -118,6 +118,36 @@ fn wire_good_is_clean() {
 }
 
 #[test]
+fn durability_bad_fires() {
+    let out = lint_fixture("durability_bad.rs", "crates/mqd-wal/src/segment.rs");
+    assert_eq!(
+        lines_of(&out, "durability-path"),
+        [7, 8, 13, 14, 19, 21],
+        "{out:?}"
+    );
+    assert_eq!(out.len(), 6, "no other rule may fire: {out:?}");
+}
+
+#[test]
+fn durability_good_is_clean() {
+    let out = lint_fixture("durability_good.rs", "crates/mqd-wal/src/segment.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn durability_rule_is_scoped_to_mqd_wal() {
+    // The same raw mutations are fine elsewhere — e.g. the CLI writing a
+    // report file — and inside fsio.rs itself, which implements the pairing.
+    for path in ["crates/mqd-cli/src/report.rs", "crates/mqd-wal/src/fsio.rs"] {
+        let out = lint_fixture("durability_bad.rs", path);
+        assert!(
+            lines_of(&out, "durability-path").is_empty(),
+            "{path}: {out:?}"
+        );
+    }
+}
+
+#[test]
 fn suppression_semantics() {
     let out = lint_fixture("suppression.rs", "crates/mqd-server/src/server.rs");
     // Reasoned suppressions (trailing or line-above) silence their site;

@@ -636,6 +636,7 @@ impl Checker {
             addr: "127.0.0.1:0".into(),
             threads: 2,
             max_queue: 16,
+            ..ServerConfig::default()
         })
         .map_err(|e| fail(format!("bind: {e}")))?;
         let addr = server.local_addr();

@@ -28,6 +28,7 @@
 mod client;
 pub mod protocol;
 mod server;
+pub mod subs;
 
 pub use client::{format_query, Client, Response};
 pub use server::{Server, ServerConfig};

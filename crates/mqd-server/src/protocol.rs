@@ -10,7 +10,7 @@
 //! INGESTB <nbytes>\n<nbytes of MQDL binary log>
 //! QUERY <label,...> <lambda> <opt|greedysc|scan|scanplus> [FROM v] [TO v] [PROP]
 //! SUBSCRIBE <label,...> <lambda> <tau> <scan|scanplus|greedy|greedyplus>
-//!           [FROM v] [TO v] [SHARDS n]
+//!           [FROM v] [TO v] [SHARDS n] [NAME id] [AFTER n]
 //! DRAIN
 //! QUIT
 //! ```
@@ -81,6 +81,15 @@ pub struct SubscribeSpec {
     pub to: i64,
     /// Number of shards for the supervised run.
     pub shards: usize,
+    /// Durable session name: the server checkpoints the run under this
+    /// name in its data dir and resumes it on a later `SUBSCRIBE` with the
+    /// same name and parameters.
+    pub name: Option<String>,
+    /// Number of leading emissions to skip on the wire (a resuming client
+    /// passes the count it already received; the run itself is not
+    /// shortened, so `DONE` totals stay identical to an uninterrupted
+    /// session).
+    pub after: u64,
 }
 
 fn perr(msg: impl Into<String>) -> MqdError {
@@ -124,18 +133,46 @@ struct Tail {
     to: i64,
     prop: bool,
     shards: usize,
+    name: Option<String>,
+    after: u64,
+}
+
+/// Longest accepted `NAME` token (it becomes a checkpoint file name).
+const MAX_NAME_BYTES: usize = 64;
+
+fn parse_name(s: &str) -> Result<String, MqdError> {
+    if s.is_empty() || s.len() > MAX_NAME_BYTES {
+        return Err(perr(format!(
+            "NAME must be 1..={MAX_NAME_BYTES} bytes, got {}",
+            s.len()
+        )));
+    }
+    if !s
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return Err(perr(format!(
+            "NAME '{s}' may only use letters, digits, '.', '_', '-'"
+        )));
+    }
+    if s.starts_with('.') {
+        return Err(perr(format!("NAME '{s}' must not start with '.'")));
+    }
+    Ok(s.to_string())
 }
 
 fn parse_tail<'a>(
     mut toks: impl Iterator<Item = &'a str>,
     allow_prop: bool,
-    allow_shards: bool,
+    allow_subscribe: bool,
 ) -> Result<Tail, MqdError> {
     let mut tail = Tail {
         from: i64::MIN,
         to: i64::MAX,
         prop: false,
         shards: 1,
+        name: None,
+        after: 0,
     };
     while let Some(tok) = toks.next() {
         match tok.to_ascii_uppercase().as_str() {
@@ -148,12 +185,22 @@ fn parse_tail<'a>(
                 tail.to = parse_i64(v, "TO value")?;
             }
             "PROP" if allow_prop => tail.prop = true,
-            "SHARDS" if allow_shards => {
+            "SHARDS" if allow_subscribe => {
                 let v = toks.next().ok_or_else(|| perr("SHARDS needs a value"))?;
                 tail.shards = v
                     .parse::<usize>()
                     .map_err(|e| perr(format!("bad SHARDS value '{v}': {e}")))?
                     .clamp(1, 64);
+            }
+            "NAME" if allow_subscribe => {
+                let v = toks.next().ok_or_else(|| perr("NAME needs a value"))?;
+                tail.name = Some(parse_name(v)?);
+            }
+            "AFTER" if allow_subscribe => {
+                let v = toks.next().ok_or_else(|| perr("AFTER needs a value"))?;
+                tail.after = v
+                    .parse::<u64>()
+                    .map_err(|e| perr(format!("bad AFTER value '{v}': {e}")))?;
             }
             other => return Err(perr(format!("unexpected token '{other}'"))),
         }
@@ -246,6 +293,8 @@ pub fn parse_request(line: &str) -> Result<Request, MqdError> {
                 from: tail.from,
                 to: tail.to,
                 shards: tail.shards,
+                name: tail.name,
+                after: tail.after,
             }))
         }
         other => Err(perr(format!("unknown command '{other}'"))),
@@ -393,9 +442,37 @@ mod tests {
         assert_eq!((s.lambda, s.tau), (10, 20));
         assert_eq!(s.engine, ShardEngineKind::Greedy);
         assert_eq!((s.from, s.to, s.shards), (0, 100, 2));
+        assert_eq!((s.name, s.after), (None, 0));
         // PROP is query-only.
         assert!(parse_request("SUBSCRIBE 0 10 20 scan PROP").is_err());
         assert!(parse_request("SUBSCRIBE 0 10 20 turbo").is_err());
+    }
+
+    #[test]
+    fn subscribe_parses_durable_sessions() {
+        let r = parse_request("SUBSCRIBE 0 10 20 scan NAME feed-1 AFTER 7").unwrap();
+        let Request::Subscribe(s) = r else { panic!() };
+        assert_eq!(s.name.as_deref(), Some("feed-1"));
+        assert_eq!(s.after, 7);
+        // NAME becomes a file name: path-ish or oversized tokens are typed
+        // protocol errors, not filesystem surprises.
+        for bad in [
+            "SUBSCRIBE 0 10 20 scan NAME ../escape",
+            "SUBSCRIBE 0 10 20 scan NAME a/b",
+            "SUBSCRIBE 0 10 20 scan NAME .hidden",
+            "SUBSCRIBE 0 10 20 scan NAME",
+            "SUBSCRIBE 0 10 20 scan AFTER x",
+            // NAME/AFTER are subscribe-only.
+            "QUERY 0 5 scan NAME q",
+            "QUERY 0 5 scan AFTER 3",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(MqdError::Protocol { .. })),
+                "should reject {bad:?}"
+            );
+        }
+        let long = format!("SUBSCRIBE 0 10 20 scan NAME {}", "x".repeat(65));
+        assert!(parse_request(&long).is_err());
     }
 
     #[test]

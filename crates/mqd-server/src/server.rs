@@ -5,6 +5,7 @@ use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -13,10 +14,12 @@ use std::time::Duration;
 use mqd_core::record::{decode_records, format_tsv, Record};
 use mqd_core::MqdError;
 use mqd_store::{
-    repair_state, solve_slice, validate_spec, CacheStats, CoverCache, Lookup, QuerySpec, Store,
-    StoreStats,
+    repair_state, solve_slice, validate_spec, CacheStats, CoverCache, Lookup, QuerySpec, StoreStats,
 };
-use mqd_stream::{FaultPlan, SupervisedRun, SupervisorConfig};
+use mqd_stream::{resume_supervised, FaultPlan, SupervisedRun, SupervisorConfig};
+use mqd_wal::{fsio, DurableOptions, DurableStats, DurableStore};
+
+use crate::subs::{self, LeaseRegistry, SubParams};
 
 use crate::protocol::{
     parse_request, write_err, write_ok, write_overloaded, Request, SubscribeSpec, MAX_BATCH_ROWS,
@@ -47,6 +50,19 @@ pub struct ServerConfig {
     /// Admission queue depth: connections waiting for a worker beyond this
     /// are answered `-OVERLOADED` instead of queued.
     pub max_queue: usize,
+    /// Data directory for the durable store. `None` serves memory-only
+    /// (the pre-durability behavior); `Some` opens/recovers a WAL and
+    /// sealed segments there and checkpoints named subscriptions under
+    /// `<dir>/subs/`.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync on the durability points (WAL ack barrier, seals, checkpoint
+    /// writes). `--no-fsync` trades crash safety for ingest throughput.
+    pub fsync: bool,
+    /// Retention span in value units: sealed windows entirely older than
+    /// `newest value - retain` (and not pinned by any live cache entry or
+    /// named subscription lease) are garbage-collected. `None` keeps
+    /// everything.
+    pub retain: Option<i64>,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +71,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
             max_queue: 64,
+            data_dir: None,
+            fsync: true,
+            retain: None,
         }
     }
 }
@@ -71,8 +90,15 @@ struct Counters {
 
 struct State {
     /// Many queries read concurrently; only ingest takes the write half.
-    store: RwLock<Store>,
+    store: RwLock<DurableStore>,
     cache: Mutex<CoverCache>,
+    /// GC leases of named durable subscriptions. Lock order everywhere:
+    /// store, then cache, then subs.
+    subs: Mutex<LeaseRegistry>,
+    /// `<data-dir>/subs` when durable; named `SUBSCRIBE` sessions need it.
+    subs_dir: Option<PathBuf>,
+    /// Whether checkpoint writes fsync (mirrors the store's setting).
+    fsync: bool,
     /// Hands stale specs to the background refresher pool. `try_send`
     /// only: the request path never blocks on refresh scheduling.
     refresh_tx: SyncSender<QuerySpec>,
@@ -92,7 +118,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listen socket and sizes the worker pool.
+    /// Binds the listen socket and sizes the worker pool. With a data dir
+    /// configured this also opens (or crash-recovers) the durable store
+    /// and re-registers the GC leases of checkpointed subscriptions, so a
+    /// `bind` that returns `Ok` is already fully recovered.
     pub fn bind(cfg: &ServerConfig) -> Result<Self, MqdError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -101,12 +130,32 @@ impl Server {
         } else {
             cfg.threads
         };
+        let store = match &cfg.data_dir {
+            Some(dir) => DurableStore::open(
+                dir,
+                &DurableOptions {
+                    fsync: cfg.fsync,
+                    retain: cfg.retain,
+                    ..DurableOptions::default()
+                },
+            )?,
+            None => DurableStore::memory(),
+        };
+        let subs_dir = cfg.data_dir.as_ref().map(|d| d.join("subs"));
+        let mut leases = LeaseRegistry::default();
+        if let Some(dir) = &subs_dir {
+            fsio::ensure_dir(dir)?;
+            subs::scan_leases(dir, &mut leases);
+        }
         let (refresh_tx, refresh_rx) = sync_channel::<QuerySpec>(REFRESH_QUEUE);
         Ok(Server {
             listener,
             state: Arc::new(State {
-                store: RwLock::new(Store::new()),
+                store: RwLock::new(store),
                 cache: Mutex::new(CoverCache::new()),
+                subs: Mutex::new(leases),
+                subs_dir,
+                fsync: cfg.fsync,
                 refresh_tx,
                 counters: Counters::default(),
                 draining: AtomicBool::new(false),
@@ -181,14 +230,16 @@ fn lock_or_poisoned<'a, T>(
 }
 
 /// Read-locks the store (see [`lock_or_poisoned`] for the poisoning story).
-fn read_or_poisoned(m: &RwLock<Store>) -> Result<std::sync::RwLockReadGuard<'_, Store>, MqdError> {
+fn read_or_poisoned(
+    m: &RwLock<DurableStore>,
+) -> Result<std::sync::RwLockReadGuard<'_, DurableStore>, MqdError> {
     m.read().map_err(|_| MqdError::Poisoned { what: "store" })
 }
 
 /// Write-locks the store (see [`lock_or_poisoned`] for the poisoning story).
 fn write_or_poisoned(
-    m: &RwLock<Store>,
-) -> Result<std::sync::RwLockWriteGuard<'_, Store>, MqdError> {
+    m: &RwLock<DurableStore>,
+) -> Result<std::sync::RwLockWriteGuard<'_, DurableStore>, MqdError> {
     m.write().map_err(|_| MqdError::Poisoned { what: "store" })
 }
 
@@ -221,7 +272,7 @@ fn refresh_entry(state: &State, spec: &QuerySpec) {
     let snapshot = read_or_poisoned(&state.store).map(|store| {
         (
             store.generation(),
-            store.slice(&spec.labels, spec.from, spec.to),
+            store.store().slice(&spec.labels, spec.from, spec.to),
         )
     });
     let Ok((generation, slice)) = snapshot else {
@@ -580,6 +631,12 @@ fn execute(
         }
         Request::Drain => {
             state.draining.store(true, Ordering::SeqCst);
+            // Graceful shutdown seals the WAL tail into a (partial) block,
+            // so a clean restart replays nothing. Failure is non-fatal:
+            // the WAL still holds the rows and recovery replays it.
+            if let Ok(mut store) = write_or_poisoned(&state.store) {
+                let _ = store.flush();
+            }
             write_ok(w, r#"{"draining":true}"#, &[])?;
             // Kick the acceptor out of its blocking accept so it observes
             // the flag; the connection itself is discarded there.
@@ -631,7 +688,7 @@ fn answer_query(
                 let store = read_or_poisoned(&state.store)?;
                 (
                     store.generation(),
-                    store.slice(&spec.labels, spec.from, spec.to),
+                    store.store().slice(&spec.labels, spec.from, spec.to),
                 )
             };
             let records = solve_slice(&slice, spec)?;
@@ -655,7 +712,9 @@ fn ingest_rows(state: &State, rows: &[Record]) -> Result<(usize, u64), MqdError>
         let mut store = write_or_poisoned(&state.store)?;
         let mut failure = None;
         for row in rows {
-            match store.append(row.clone()) {
+            // WAL-first: the row is validated, logged, then applied in
+            // memory; an invalid row fails before it is ever logged.
+            match store.append(row) {
                 Ok(()) => appended += 1,
                 Err(e) => {
                     failure = Some(e);
@@ -663,13 +722,39 @@ fn ingest_rows(state: &State, rows: &[Record]) -> Result<(usize, u64), MqdError>
                 }
             }
         }
+        // The ack barrier: whatever prefix was appended becomes durable
+        // before this request is answered (even a prefix-error response
+        // acknowledges the prefix).
+        if appended > 0 {
+            if let Err(e) = store.sync() {
+                failure.get_or_insert(e);
+            }
+        }
         let generation = store.generation();
-        let to_refresh = match lock_or_poisoned(&state.cache, "cache") {
-            Ok(mut cache) => cache.apply_delta(rows.get(..appended).unwrap_or(&[]), generation),
+        let (to_refresh, cache_floor) = match lock_or_poisoned(&state.cache, "cache") {
+            Ok(mut cache) => (
+                cache.apply_delta(rows.get(..appended).unwrap_or(&[]), generation),
+                // Smallest value any live cached cover may still touch on
+                // repair/refresh: its slice start, widened by its λ.
+                cache
+                    .live_lease()
+                    .map_or(i64::MAX, |(from, lambda)| from.saturating_sub(lambda)),
+            ),
             // A poisoned cache degrades to stale serving; the store is
-            // still authoritative.
-            Err(_) => Vec::new(),
+            // still authoritative. GC is blocked (floor i64::MIN): with
+            // the lease bookkeeping unreadable, dropping rows would be a
+            // guess.
+            Err(_) => (Vec::new(), i64::MIN),
         };
+        if failure.is_none() && store.wants_gc() {
+            let subs_floor = match lock_or_poisoned(&state.subs, "subs") {
+                Ok(reg) => reg.floor(),
+                Err(_) => i64::MIN,
+            };
+            // GC failure (a disk error unlinking a dead block) never fails
+            // the ingest that triggered it — the rows are already durable.
+            let _ = store.run_gc(cache_floor.min(subs_floor));
+        }
         (failure, generation, to_refresh)
     };
     state
@@ -704,11 +789,15 @@ fn ingest_batch(state: &State, body: &[u8]) -> Result<(usize, u64), MqdError> {
 
 fn stats_json(state: &State) -> Result<String, MqdError> {
     // Lock order: store, then cache.
-    let store_stats = read_or_poisoned(&state.store)?.stats();
+    let (store_stats, durable_stats) = {
+        let store = read_or_poisoned(&state.store)?;
+        (store.store_stats(), store.durable_stats())
+    };
     let cache_stats = lock_or_poisoned(&state.cache, "cache")?.stats();
     Ok(render_stats(
         &store_stats,
         &cache_stats,
+        &durable_stats,
         &state.counters,
         state.threads,
         state.draining.load(Ordering::SeqCst),
@@ -722,6 +811,7 @@ fn stats_json(state: &State) -> Result<String, MqdError> {
 fn render_stats(
     store_stats: &StoreStats,
     cache_stats: &CacheStats,
+    durable: &DurableStats,
     c: &Counters,
     threads: usize,
     draining: bool,
@@ -733,6 +823,7 @@ fn render_stats(
             r#""min_value":{},"max_value":{},"#,
             r#""cache":{{"hits":{},"misses":{},"invalidations":{},"repairs":{},"refreshes":{},"stale_served":{},"entries":{}}},"#,
             r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{}}},"#,
+            r#""durable":{{"wal_bytes":{},"segments_flushed":{},"compactions":{},"recovered_rows":{},"gc_segments":{}}},"#,
             r#""threads":{},"draining":{}}}"#
         ),
         store_stats.rows,
@@ -754,6 +845,11 @@ fn render_stats(
         c.subscribes.load(Ordering::Relaxed),
         c.errors.load(Ordering::Relaxed),
         c.overloads.load(Ordering::Relaxed),
+        durable.wal_bytes,
+        durable.segments_flushed,
+        durable.compactions,
+        durable.recovered_rows,
+        durable.gc_segments,
         threads,
         draining,
     )
@@ -763,6 +859,15 @@ fn render_stats(
 /// emissions as they become *stable*: an emission is sent once its release
 /// time is strictly earlier than the next arrival's timestamp, so the
 /// streamed prefix is identical no matter how the replay is chunked.
+///
+/// A named session (`NAME id`, durable servers only) is additionally
+/// checkpointed into `<data-dir>/subs/<id>` after every chunk (atomic
+/// write through `mqd_wal::fsio`), registers a GC lease for its λ-widened
+/// slice, and — on a later `SUBSCRIBE` with the same name — resumes from
+/// the checkpoint. The resumed run replays the checkpoint's emission log,
+/// so the full emission sequence (and the `DONE` totals) are byte-identical
+/// to an uninterrupted session; `AFTER n` merely skips the first `n`
+/// emissions on the wire for a client that already received them.
 fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io::Result<()> {
     if spec.lambda < 0 {
         state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -777,6 +882,26 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
             },
         );
     }
+    let params = SubParams::of(spec);
+    let checkpoint_path = match (&spec.name, &state.subs_dir) {
+        (Some(name), Some(dir)) => Some(dir.join(name)),
+        (Some(_), None) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return write_err(
+                w,
+                &MqdError::Protocol {
+                    msg: "NAME needs a durable server (start with --data-dir)".into(),
+                },
+            );
+        }
+        (None, _) => None,
+    };
+    // Lease before slicing: from here on GC cannot drop rows this session
+    // (or its future resumes) may need. Registering an already-leased name
+    // just refreshes the same floor.
+    if let (Some(name), Ok(mut reg)) = (&spec.name, lock_or_poisoned(&state.subs, "subs")) {
+        reg.register(name, &params);
+    }
     let slice = {
         let store = match read_or_poisoned(&state.store) {
             Ok(store) => store,
@@ -785,27 +910,75 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
                 return write_err(w, &e);
             }
         };
-        store.slice(&spec.labels, spec.from, spec.to)
+        store.store().slice(&spec.labels, spec.from, spec.to)
     };
     let inst = &slice.instance;
-    let mut run = SupervisedRun::new(
-        inst,
-        spec.lambda,
-        spec.tau,
-        spec.shards,
-        spec.engine,
-        &FaultPlan::none(),
-        SupervisorConfig::default(),
-    );
+    // A named session resumes from its checkpoint when one exists and
+    // still matches: parameter drift is a client mistake (typed error),
+    // while an instance-digest mismatch (rows ingested since the
+    // checkpoint) or a corrupt file falls back to a fresh deterministic
+    // run — the client's AFTER skip stays valid either way because the
+    // emission sequence is a pure function of (instance, params).
+    let mut resumed = false;
+    let mut run = None;
+    if let Some(path) = &checkpoint_path {
+        // An unreadable file means no checkpoint yet; a corrupt wrapper
+        // or a stale/corrupt inner digest drops through to the fresh
+        // run below. Only a parameter mismatch is the client's error.
+        if let Ok(bytes) = std::fs::read(path) {
+            if let Ok((have, inner)) = subs::decode_wrapper(&bytes) {
+                if have != params {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return write_err(
+                        w,
+                        &MqdError::CheckpointMismatch {
+                            what: format!(
+                                "session '{}' was started with different parameters",
+                                spec.name.as_deref().unwrap_or("")
+                            ),
+                        },
+                    );
+                }
+                if let Ok(r) = resume_supervised(
+                    inst,
+                    spec.lambda,
+                    spec.tau,
+                    spec.shards,
+                    spec.engine,
+                    &FaultPlan::none(),
+                    SupervisorConfig::default(),
+                    &inner,
+                ) {
+                    resumed = true;
+                    run = Some(r);
+                }
+            }
+        }
+    }
+    let mut run = run.unwrap_or_else(|| {
+        SupervisedRun::new(
+            inst,
+            spec.lambda,
+            spec.tau,
+            spec.shards,
+            spec.engine,
+            &FaultPlan::none(),
+            SupervisorConfig::default(),
+        )
+    });
 
     writeln!(
         w,
-        r#"+OK {{"posts":{},"shards":{}}}"#,
+        r#"+OK {{"posts":{},"shards":{},"resumed":{}}}"#,
         inst.len(),
-        spec.shards
+        spec.shards,
+        resumed,
     )?;
     let mut sent: HashSet<u32> = HashSet::new();
     let mut degraded = 0u64;
+    // Emissions counted so far in the deterministic stream order; the
+    // first `spec.after` are counted but not written.
+    let mut emitted = 0u64;
     let emit = |w: &mut dyn Write, post: u32, time: i64, flag: bool| -> std::io::Result<()> {
         let r = slice.record_for(post);
         writeln!(w, "EMIT {} {} {} {}", r.id, r.value, time, u8::from(flag))
@@ -818,7 +991,9 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
                 Ok(false) => break,
                 Err(e) => {
                     // Mid-stream failure: the +OK header is out, so abort
-                    // inside the payload, keeping the framing intact.
+                    // inside the payload, keeping the framing intact. A
+                    // named session keeps its checkpoint and lease for a
+                    // later resume.
                     state.counters.errors.fetch_add(1, Ordering::Relaxed);
                     writeln!(w, "ABORT {} {}", crate::protocol::error_kind(&e), e)?;
                     writeln!(w, "{TERMINATOR}")?;
@@ -834,10 +1009,20 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
         for e in run.released_emissions() {
             if e.emit_time < watermark && sent.insert(e.post) {
                 degraded += u64::from(e.degraded);
-                emit(w, e.post, e.emit_time, e.degraded)?;
+                emitted += 1;
+                if emitted > spec.after {
+                    emit(w, e.post, e.emit_time, e.degraded)?;
+                }
             }
         }
         w.flush()?;
+        if let Some(path) = &checkpoint_path {
+            // Roll the checkpoint only after the chunk's emissions are on
+            // the wire. Best-effort: a failed write means a resume replays
+            // from an older (still consistent) checkpoint or starts fresh.
+            let blob = subs::encode_wrapper(&params, &mqd_stream::encode_checkpoint(&mut run));
+            let _ = fsio::write_atomic(path, &blob, state.fsync);
+        }
         if run.done() {
             break;
         }
@@ -847,7 +1032,10 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
             for e in &res.emissions {
                 if sent.insert(e.post) {
                     degraded += u64::from(e.degraded);
-                    emit(w, e.post, e.emit_time, e.degraded)?;
+                    emitted += 1;
+                    if emitted > spec.after {
+                        emit(w, e.post, e.emit_time, e.degraded)?;
+                    }
                 }
             }
             writeln!(
@@ -856,6 +1044,13 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
                 sent.len(),
                 degraded
             )?;
+            // The session is complete: its checkpoint and GC lease go.
+            if let (Some(path), Some(name)) = (&checkpoint_path, &spec.name) {
+                let _ = fsio::remove_durable(path, state.fsync);
+                if let Ok(mut reg) = lock_or_poisoned(&state.subs, "subs") {
+                    reg.release(name);
+                }
+            }
         }
         Err(e) => {
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -876,6 +1071,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads,
             max_queue,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr();
@@ -909,12 +1105,19 @@ mod tests {
         counters.connections.store(3, Ordering::Relaxed);
         counters.queries.store(2, Ordering::Relaxed);
         counters.ingested_rows.store(4, Ordering::Relaxed);
-        let a = render_stats(&store, &cache, &counters, 4, false);
-        let b = render_stats(&store, &cache, &counters, 4, false);
+        let durable = DurableStats {
+            wal_bytes: 117,
+            segments_flushed: 2,
+            compactions: 1,
+            recovered_rows: 4096,
+            gc_segments: 0,
+        };
+        let a = render_stats(&store, &cache, &durable, &counters, 4, false);
+        let b = render_stats(&store, &cache, &durable, &counters, 4, false);
         assert_eq!(a, b);
         assert_eq!(
             a,
-            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"repairs":0,"refreshes":0,"stale_served":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0},"threads":4,"draining":false}"#
+            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"repairs":0,"refreshes":0,"stale_served":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0},"durable":{"wal_bytes":117,"segments_flushed":2,"compactions":1,"recovered_rows":4096,"gc_segments":0},"threads":4,"draining":false}"#
         );
         // An empty store renders nulls, not a panic or a 0 placeholder.
         let empty = StoreStats {
@@ -928,6 +1131,7 @@ mod tests {
         let s = render_stats(
             &empty,
             &CacheStats::default(),
+            &DurableStats::default(),
             &Counters::default(),
             1,
             true,
@@ -1067,6 +1271,161 @@ mod tests {
         assert!(c.request("PING").unwrap().is_ok());
         assert!(c.request("DRAIN").unwrap().is_ok());
         handle.join().unwrap();
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mqd-server-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn start_durable(dir: &std::path::Path) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_queue: 8,
+            data_dir: Some(dir.to_path_buf()),
+            fsync: false, // tests exercise recovery logic, not the disk cache
+            retain: None,
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn durable_server_recovers_identically_after_drain() {
+        let dir = tmpdir("recover");
+        let (addr, handle) = start_durable(&dir);
+        let mut c = Client::connect(addr).unwrap();
+        for (id, value, labels) in [(1, 0, "0"), (2, 10, "0"), (3, 20, "0,1"), (4, 30, "1")] {
+            assert!(c
+                .request(&format!("INGEST {id} {value} {labels}"))
+                .unwrap()
+                .is_ok());
+        }
+        let q1 = c.request("QUERY 0,1 10 opt").unwrap();
+        assert!(q1.is_ok(), "{}", q1.status);
+        let s1 = c.request("STATS").unwrap();
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+
+        // Same data dir, new process-equivalent: rows, generation, and
+        // query answers must come back byte-identical.
+        let (addr, handle) = start_durable(&dir);
+        let mut c = Client::connect(addr).unwrap();
+        let s2 = c.request("STATS").unwrap();
+        let core = |s: &str| s[..s.find(r#","cache""#).unwrap()].to_string();
+        assert_eq!(
+            core(&s1.status),
+            core(&s2.status),
+            "store stats must survive restart"
+        );
+        assert!(s2.status.contains(r#""recovered_rows":4"#), "{}", s2.status);
+        let q2 = c.request("QUERY 0,1 10 opt").unwrap();
+        assert_eq!(q1.lines, q2.lines, "query answers must survive restart");
+        // Recovered generation continues, not restarts.
+        let r = c.request("INGEST 5 40 0").unwrap();
+        assert!(r.status.contains(r#""generation":5"#), "{}", r.status);
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn named_subscribe_needs_a_data_dir() {
+        let (addr, handle) = start(1, 4);
+        let mut c = Client::connect(addr).unwrap();
+        assert!(c.request("INGEST 1 0 0").unwrap().is_ok());
+        let r = c.request("SUBSCRIBE 0 10 10 scan NAME s1").unwrap();
+        assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn named_subscribe_checkpoints_skip_and_complete() {
+        let dir = tmpdir("subs");
+        let (addr, handle) = start_durable(&dir);
+        let mut c = Client::connect(addr).unwrap();
+        for i in 0..20 {
+            assert!(c
+                .request(&format!("INGEST {} {} {}", i + 1, i * 10, i % 2))
+                .unwrap()
+                .is_ok());
+        }
+        let full = c.request("SUBSCRIBE 0,1 10 30 scan NAME s1").unwrap();
+        assert!(full.is_ok(), "{}", full.status);
+        assert!(
+            full.status.contains(r#""resumed":false"#),
+            "{}",
+            full.status
+        );
+        let emits: Vec<&String> = full
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("EMIT "))
+            .collect();
+        assert!(emits.len() >= 3, "{emits:?}");
+        // Completion removed the checkpoint.
+        assert!(!dir.join("subs").join("s1").exists());
+
+        // AFTER skips the wire prefix but DONE totals are unchanged —
+        // exactly what a resuming client needs for a byte-identical
+        // reassembled stream.
+        let skip = c
+            .request("SUBSCRIBE 0,1 10 30 scan NAME s1 AFTER 2")
+            .unwrap();
+        assert!(skip.is_ok(), "{}", skip.status);
+        let skipped: Vec<&String> = skip
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("EMIT "))
+            .collect();
+        assert_eq!(
+            &emits[2..],
+            &skipped[..],
+            "AFTER must skip exactly the prefix"
+        );
+        assert_eq!(
+            full.lines.last(),
+            skip.lines.last(),
+            "DONE must be skip-independent"
+        );
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn named_subscribe_rejects_parameter_drift() {
+        let dir = tmpdir("drift");
+        let (addr, handle) = start_durable(&dir);
+        let mut c = Client::connect(addr).unwrap();
+        assert!(c.request("INGEST 1 0 0").unwrap().is_ok());
+        // A checkpoint left behind by a (simulated) killed session.
+        let params = crate::subs::SubParams {
+            labels: vec![0],
+            lambda: 99,
+            tau: 30,
+            engine: mqd_stream::ShardEngineKind::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+            shards: 1,
+        };
+        let blob = crate::subs::encode_wrapper(&params, &[1, 2, 3]);
+        std::fs::write(dir.join("subs").join("s9"), blob).unwrap();
+        let r = c.request("SUBSCRIBE 0 10 30 scan NAME s9").unwrap();
+        assert!(
+            r.status.starts_with("-ERR CheckpointMismatch "),
+            "{}",
+            r.status
+        );
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -405,6 +405,25 @@ impl CoverCache {
         }
     }
 
+    /// The retention lease held by the live cache entries: the smallest
+    /// `from` bound and the largest non-negative λ across all entries
+    /// (`None` when the cache is empty). The durable layer's retention GC
+    /// must keep every segment a live entry's slice — or its λ-sized
+    /// repair window — can still touch, so it folds this lease into its
+    /// horizon. Iterates the ring, never the map, for determinism.
+    pub fn live_lease(&self) -> Option<(i64, i64)> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let mut min_from = i64::MAX;
+        let mut max_lambda = 0i64;
+        for spec in &self.ring {
+            min_from = min_from.min(spec.from);
+            max_lambda = max_lambda.max(spec.lambda);
+        }
+        Some((min_from, max_lambda))
+    }
+
     /// Cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

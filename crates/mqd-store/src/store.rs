@@ -174,6 +174,83 @@ impl Store {
         Ok(())
     }
 
+    /// Validates `row` against the append contract *without* mutating the
+    /// store, returning the normalized (sorted, deduped labels) record.
+    /// The durable layer uses this to reject a row before it is written to
+    /// the WAL — an invalid row must never be acked, logged, or replayed.
+    pub fn check_append(&self, row: &Record) -> Result<Record, MqdError> {
+        let row_no = self.total_rows as usize + 1;
+        let mut labels = row.labels.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.is_empty() {
+            return Err(MqdError::EmptyLabelSet { row: row_no });
+        }
+        if let Some(prev) = self.last_value {
+            if row.value < prev {
+                return Err(MqdError::NonMonotoneTimestamp {
+                    row: row_no,
+                    prev,
+                    got: row.value,
+                });
+            }
+        }
+        Ok(Record {
+            id: row.id,
+            value: row.value,
+            labels,
+        })
+    }
+
+    /// Seeds the cumulative counters of an **empty** store before recovery
+    /// replays a retained suffix of the ingest history: `rows` earlier rows
+    /// existed once (and were GC'd), so row numbering, `rows`, and the
+    /// generation counter continue exactly where the uninterrupted process
+    /// left them. No-op on a non-empty store.
+    pub fn set_origin(&mut self, rows: u64) {
+        if self.segments.is_empty() && self.total_rows == 0 {
+            self.total_rows = rows;
+            self.generation = rows;
+        }
+    }
+
+    /// Retention GC: drops the `n` oldest segments (the durable layer
+    /// decides `n` from its sealed-window metadata and the live λ-window
+    /// leases). Cumulative counters (`rows`, `generation`) are untouched —
+    /// they count ingest history, not residency — but `labels` and the
+    /// value span are recomputed from the retained rows, so a restarted
+    /// process replaying only the retained suffix reports identical stats.
+    /// The newest segment is never dropped. Returns the rows dropped.
+    pub fn drop_leading_segments(&mut self, n: usize) -> u64 {
+        let n = n.min(self.segments.len().saturating_sub(1));
+        if n == 0 {
+            return 0;
+        }
+        // lint:allow(panic-path): n is clamped to segments.len() - 1 above
+        let dropped: u64 = self.segments[..n].iter().map(|s| s.rows.len() as u64).sum();
+        self.segments.drain(..n);
+        self.label_counts.clear();
+        for seg in &self.segments {
+            for row in &seg.rows {
+                for &l in &row.labels {
+                    *self.label_counts.entry(l).or_insert(0) += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Rows per segment before a new one is opened.
+    pub fn segment_target(&self) -> usize {
+        self.segment_target
+    }
+
+    /// The newest ingested dimension value (`None` when nothing was ever
+    /// appended since the origin). This is the retention clock's "now".
+    pub fn last_value(&self) -> Option<i64> {
+        self.last_value
+    }
+
     /// Current generation; bumps on every append.
     pub fn generation(&self) -> u64 {
         self.generation

@@ -1,0 +1,694 @@
+//! [`DurableStore`]: an [`mqd_store::Store`] with a crash-safe disk life.
+//!
+//! ## Data layout
+//!
+//! A data directory holds one `wal` file (the [`crate::wal`] format) and
+//! zero or more immutable `seg-<first_seq>.mqds` blocks (the
+//! [`crate::segment`] format). The global row sequence number (`seq`,
+//! 0-based, equal to the store generation after that row) partitions into
+//! fixed *windows* of `segment_rows` rows — the same unit the in-memory
+//! store uses for its segments, which is what keeps the recovered
+//! process's segmentation (and therefore its `STATS`) byte-identical to
+//! the uninterrupted one.
+//!
+//! ## Write path
+//!
+//! `append` validates the row against the store contract **first** (an
+//! invalid row is never logged), writes the WAL frame, then applies the
+//! row in memory. [`DurableStore::sync`] is the ack barrier: the server
+//! calls it before answering `+OK`, so an acked row is always replayable.
+//! When a window completes, the pending rows are sealed into one block
+//! (atomic tempfile+rename, directory synced) and the WAL is reset — a
+//! crash between those two steps leaves both the block and a stale WAL,
+//! which recovery deduplicates by seq. A graceful shutdown may seal a
+//! *partial* block mid-window ([`DurableStore::flush`]); compaction later
+//! merges the partial blocks of a completed window into one full block.
+//!
+//! ## Retention GC
+//!
+//! With a `retain` span configured, [`DurableStore::run_gc`] drops leading
+//! *complete* windows whose newest value lies below both the retention
+//! horizon (`tip - retain`) and the caller-supplied live-lease horizon
+//! (the smallest `from` / largest λ window any live cache entry,
+//! subscription, or named checkpoint may still touch). Whole windows only,
+//! never the newest one: the in-memory store drops exactly the same
+//! segments, so a query can never observe a half-collected window, and a
+//! restart replays exactly the retained suffix (cumulative counters are
+//! re-seeded via [`mqd_store::Store::set_origin`]).
+
+use std::path::{Path, PathBuf};
+
+use mqd_core::record::Record;
+use mqd_core::MqdError;
+use mqd_store::{Store, StoreStats, SEGMENT_TARGET_ROWS};
+
+use crate::fsio;
+use crate::segment::{decode_segment, encode_segment};
+use crate::wal::Wal;
+
+/// Options for opening a durable store.
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    /// Fsync on the durability points (WAL ack barrier, block seal,
+    /// directory mutations). Disabling trades crash safety for ingest
+    /// throughput; ordering guarantees are kept either way.
+    pub fsync: bool,
+    /// Rows per window (= in-memory segment target = sealed block size).
+    pub segment_rows: usize,
+    /// Retention span in value units; windows whose values all lie more
+    /// than this far behind the newest value become GC candidates. `None`
+    /// retains everything.
+    pub retain: Option<i64>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            fsync: true,
+            segment_rows: SEGMENT_TARGET_ROWS,
+            retain: None,
+        }
+    }
+}
+
+/// Durability counters, as reported under `"durable"` in `STATS`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct DurableStats {
+    /// Current WAL size in bytes (0 for a memory-only store).
+    pub wal_bytes: u64,
+    /// Blocks sealed (full windows and partial flushes alike).
+    pub segments_flushed: u64,
+    /// Window compactions (partial blocks merged into one full block).
+    pub compactions: u64,
+    /// Rows replayed from disk when this process opened the store.
+    pub recovered_rows: u64,
+    /// Windows dropped by retention GC over this process's lifetime.
+    pub gc_segments: u64,
+}
+
+/// One sealed block on disk.
+struct BlockMeta {
+    first_seq: u64,
+    rows: u64,
+    max_value: i64,
+    path: PathBuf,
+}
+
+impl BlockMeta {
+    fn window(&self, window: u64) -> u64 {
+        self.first_seq / window
+    }
+}
+
+/// The disk half of a durable store.
+struct Disk {
+    dir: PathBuf,
+    wal: Wal,
+    /// Sealed blocks, sorted by `first_seq`, contiguous.
+    blocks: Vec<BlockMeta>,
+    /// Rows appended since the last seal (mirrors the WAL frames).
+    pending: Vec<Record>,
+    /// Next global row sequence number.
+    next_seq: u64,
+    window: u64,
+    fsync: bool,
+    retain: Option<i64>,
+}
+
+/// An [`mqd_store::Store`] with optional WAL + sealed-segment persistence.
+/// Memory-only mode ([`DurableStore::memory`]) behaves exactly like the
+/// bare store, so the server has a single code path.
+pub struct DurableStore {
+    store: Store,
+    disk: Option<Disk>,
+    segments_flushed: u64,
+    compactions: u64,
+    recovered_rows: u64,
+    gc_segments: u64,
+}
+
+impl DurableStore {
+    /// A memory-only store (no data dir): nothing is persisted.
+    pub fn memory() -> Self {
+        Self::memory_with_target(SEGMENT_TARGET_ROWS)
+    }
+
+    /// Memory-only with a custom segment target (test hook).
+    pub fn memory_with_target(target: usize) -> Self {
+        DurableStore {
+            store: Store::with_segment_target(target),
+            disk: None,
+            segments_flushed: 0,
+            compactions: 0,
+            recovered_rows: 0,
+            gc_segments: 0,
+        }
+    }
+
+    /// Opens (creating or recovering) the durable store in `dir`.
+    ///
+    /// Recovery order: leftover `.tmp` files are removed, sealed blocks
+    /// are decoded and replayed in seq order (validating contiguity and
+    /// window alignment), then the WAL tail is replayed — tolerating a
+    /// torn final frame (truncated, never a panic) and deduplicating
+    /// frames whose seq a sealed block already covers.
+    pub fn open(dir: &Path, opts: &DurableOptions) -> Result<Self, MqdError> {
+        let window = opts.segment_rows.max(1) as u64;
+        fsio::ensure_dir(dir)?;
+        let mut store = Store::with_segment_target(opts.segment_rows.max(1));
+
+        // Crashed mid-write leftovers are not data: remove them first.
+        let mut blocks: Vec<BlockMeta> = Vec::new();
+        let mut names: Vec<(PathBuf, bool)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_tmp = name.ends_with(".tmp");
+            if is_tmp || (name.starts_with("seg-") && name.ends_with(".mqds")) {
+                names.push((entry.path(), is_tmp));
+            }
+        }
+        names.sort();
+        for (path, is_tmp) in names {
+            if is_tmp {
+                fsio::remove_durable(&path, opts.fsync)?;
+                continue;
+            }
+            let seg = decode_segment(&std::fs::read(&path)?)?;
+            blocks.push(BlockMeta {
+                first_seq: seg.first_seq,
+                rows: seg.rows.len() as u64,
+                max_value: seg.max_value,
+                path: path.clone(),
+            });
+        }
+        blocks.sort_by_key(|b| b.first_seq);
+        if let Some(first) = blocks.first() {
+            if first.first_seq % window != 0 {
+                return Err(MqdError::Corrupt {
+                    offset: 0,
+                    reason: format!(
+                        "first block seq {} is not aligned to the {window}-row window",
+                        first.first_seq
+                    ),
+                });
+            }
+            store.set_origin(first.first_seq);
+        }
+        let mut expected = blocks.first().map_or(0, |b| b.first_seq);
+        for b in &blocks {
+            if b.first_seq != expected {
+                return Err(MqdError::Corrupt {
+                    offset: 0,
+                    reason: format!(
+                        "block {} starts at seq {}, expected {expected} (missing or overlapping block)",
+                        b.path.display(),
+                        b.first_seq
+                    ),
+                });
+            }
+            expected += b.rows;
+        }
+        // Replay the blocks into memory (this re-derives the inverted
+        // indexes the store keeps; the block's own index was validated on
+        // decode). Decoding twice (meta pass above, rows here) keeps the
+        // meta scan allocation-light; blocks are read at most twice.
+        let mut recovered_rows = 0u64;
+        for b in &blocks {
+            let seg = decode_segment(&std::fs::read(&b.path)?)?;
+            for row in seg.rows {
+                store.append(row)?;
+                recovered_rows += 1;
+            }
+        }
+
+        // WAL tail: skip frames a sealed block already covers (the
+        // seal-then-reset crash window), then replay the rest in order.
+        let rec = Wal::open(&dir.join("wal"), opts.fsync)?;
+        let mut wal = rec.wal;
+        let mut pending: Vec<Record> = Vec::new();
+        let mut skipped = 0usize;
+        for (seq, row) in rec.rows {
+            if seq < expected {
+                skipped += 1;
+                continue;
+            }
+            if seq != expected {
+                return Err(MqdError::Corrupt {
+                    offset: 0,
+                    reason: format!("WAL frame seq {seq} leaves a gap (expected {expected})"),
+                });
+            }
+            store.append(row.clone())?;
+            recovered_rows += 1;
+            pending.push(row);
+            expected += 1;
+        }
+        if skipped > 0 {
+            // Restore the invariant "WAL contents == pending rows" so the
+            // next seal/reset cycle starts clean.
+            wal.reset()?;
+            let base = expected - pending.len() as u64;
+            for (i, row) in pending.iter().enumerate() {
+                wal.append(base + i as u64, row)?;
+            }
+            wal.sync()?;
+        }
+
+        let mut out = DurableStore {
+            store,
+            disk: Some(Disk {
+                dir: dir.to_path_buf(),
+                wal,
+                blocks,
+                pending,
+                next_seq: expected,
+                window,
+                fsync: opts.fsync,
+                retain: opts.retain,
+            }),
+            segments_flushed: 0,
+            compactions: 0,
+            recovered_rows,
+            gc_segments: 0,
+        };
+        // Catch up on compactions a crash interrupted.
+        out.compact_complete_windows()?;
+        Ok(out)
+    }
+
+    /// The wrapped store (all read paths go through this).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Current generation (bumps on every append).
+    pub fn generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// Store-wide counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Durability counters.
+    pub fn durable_stats(&self) -> DurableStats {
+        DurableStats {
+            wal_bytes: self.disk.as_ref().map_or(0, |d| d.wal.bytes()),
+            segments_flushed: self.segments_flushed,
+            compactions: self.compactions,
+            recovered_rows: self.recovered_rows,
+            gc_segments: self.gc_segments,
+        }
+    }
+
+    /// Whether a data dir backs this store.
+    pub fn is_durable(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// The data directory, when durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Whether retention GC is configured.
+    pub fn wants_gc(&self) -> bool {
+        self.disk.as_ref().is_some_and(|d| d.retain.is_some())
+    }
+
+    /// Appends one row: validate, WAL, then memory. Not durable until
+    /// [`DurableStore::sync`] — the server syncs once per ingest request,
+    /// before acking.
+    pub fn append(&mut self, row: &Record) -> Result<(), MqdError> {
+        let normalized = self.store.check_append(row)?;
+        if let Some(disk) = self.disk.as_mut() {
+            disk.wal.append(disk.next_seq, &normalized)?;
+            disk.pending.push(normalized.clone());
+            disk.next_seq += 1;
+        }
+        self.store.append(normalized)?;
+        if self
+            .disk
+            .as_ref()
+            .is_some_and(|d| d.next_seq % d.window == 0 && !d.pending.is_empty())
+        {
+            self.seal()?;
+            self.compact_complete_windows()?;
+        }
+        Ok(())
+    }
+
+    /// The ack barrier: fsyncs WAL appends since the last sync.
+    pub fn sync(&mut self) -> Result<(), MqdError> {
+        match self.disk.as_mut() {
+            Some(disk) => disk.wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Seals any pending rows into a (possibly partial) block — the
+    /// graceful-shutdown path, leaving an empty WAL behind.
+    pub fn flush(&mut self) -> Result<(), MqdError> {
+        if self.disk.as_ref().is_some_and(|d| !d.pending.is_empty()) {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the pending rows into one immutable block, then resets the
+    /// WAL. The block write is atomic and directory-synced *before* the
+    /// reset, so a crash in between only leaves benign duplicates.
+    fn seal(&mut self) -> Result<(), MqdError> {
+        let Some(disk) = self.disk.as_mut() else {
+            return Ok(());
+        };
+        let first_seq = disk.next_seq - disk.pending.len() as u64;
+        let blob = encode_segment(first_seq, &disk.pending);
+        let path = disk.dir.join(format!("seg-{first_seq:016}.mqds"));
+        fsio::write_atomic(&path, &blob, disk.fsync)?;
+        disk.blocks.push(BlockMeta {
+            first_seq,
+            rows: disk.pending.len() as u64,
+            max_value: disk.pending.last().map_or(0, |r| r.value),
+            path,
+        });
+        disk.pending.clear();
+        disk.wal.reset()?;
+        self.segments_flushed += 1;
+        Ok(())
+    }
+
+    /// Merges every *complete* window that is split across several blocks
+    /// (partial seals from graceful shutdowns) into one full-window block.
+    /// Runs after each window-completing seal and once at open, so a
+    /// crash mid-compaction is retried, not lost. Pure bookkeeping: the
+    /// row set, the in-memory store, and every query answer are unchanged.
+    fn compact_complete_windows(&mut self) -> Result<(), MqdError> {
+        let Some(disk) = self.disk.as_mut() else {
+            return Ok(());
+        };
+        let window = disk.window;
+        let mut at = 0usize;
+        while at < disk.blocks.len() {
+            let w = disk.blocks[at].window(window);
+            let mut end = at;
+            let mut rows = 0u64;
+            while end < disk.blocks.len() && disk.blocks[end].window(window) == w {
+                rows += disk.blocks[end].rows;
+                end += 1;
+            }
+            let complete = rows == window;
+            if !complete || end - at < 2 {
+                at = end;
+                continue;
+            }
+            // Merge blocks [at, end) into one full-window block.
+            let mut merged: Vec<Record> = Vec::with_capacity(rows as usize);
+            // lint:allow(panic-path): at < end <= blocks.len() by the scan loop above
+            for b in &disk.blocks[at..end] {
+                merged.extend(decode_segment(&std::fs::read(&b.path)?)?.rows);
+            }
+            let first_seq = disk.blocks[at].first_seq;
+            let blob = encode_segment(first_seq, &merged);
+            let path = disk.dir.join(format!("seg-{first_seq:016}.mqds"));
+            fsio::write_atomic(&path, &blob, disk.fsync)?;
+            // lint:allow(panic-path): same bound as the merge loop above
+            let removed: Vec<PathBuf> = disk.blocks[at..end]
+                .iter()
+                .filter(|b| b.path != path)
+                .map(|b| b.path.clone())
+                .collect();
+            for p in removed {
+                fsio::remove_durable(&p, disk.fsync)?;
+            }
+            let max_value = merged.last().map_or(0, |r| r.value);
+            disk.blocks.splice(
+                at..end,
+                [BlockMeta {
+                    first_seq,
+                    rows: window,
+                    max_value,
+                    path,
+                }],
+            );
+            self.compactions += 1;
+            at += 1;
+        }
+        Ok(())
+    }
+
+    /// Retention GC. `live_horizon` is the smallest value any live lease
+    /// (cache entry slice, active subscription, named checkpoint — each
+    /// widened by its λ window) may still touch; pass `i64::MAX` when no
+    /// lease exists. Drops leading complete windows that are entirely
+    /// below both horizons — whole windows only, never the newest — from
+    /// disk *and* the in-memory store in lockstep. Returns the number of
+    /// windows dropped.
+    pub fn run_gc(&mut self, live_horizon: i64) -> Result<u64, MqdError> {
+        let Some(disk) = self.disk.as_mut() else {
+            return Ok(0);
+        };
+        let Some(retain) = disk.retain else {
+            return Ok(0);
+        };
+        let Some(tip) = self.store.last_value() else {
+            return Ok(0);
+        };
+        let horizon = tip.saturating_sub(retain).min(live_horizon);
+        let window = disk.window;
+        let last_window = (disk.next_seq.saturating_sub(1)) / window;
+        let mut drop_windows = 0u64;
+        let mut drop_blocks = 0usize;
+        loop {
+            let at = drop_blocks;
+            let Some(first) = disk.blocks.get(at) else {
+                break;
+            };
+            let w = first.window(window);
+            if w >= last_window {
+                break; // never the newest window
+            }
+            let mut end = at;
+            let mut rows = 0u64;
+            let mut max_value = i64::MIN;
+            while end < disk.blocks.len() && disk.blocks[end].window(window) == w {
+                rows += disk.blocks[end].rows;
+                max_value = max_value.max(disk.blocks[end].max_value);
+                end += 1;
+            }
+            if rows != window || max_value >= horizon {
+                break; // incomplete window, or still inside a horizon
+            }
+            drop_windows += 1;
+            drop_blocks = end;
+        }
+        if drop_windows == 0 {
+            return Ok(0);
+        }
+        for b in disk.blocks.drain(..drop_blocks) {
+            fsio::remove_durable(&b.path, disk.fsync)?;
+        }
+        self.store.drop_leading_segments(drop_windows as usize);
+        self.gc_segments += drop_windows;
+        Ok(drop_windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64, value: i64, labels: &[u16]) -> Record {
+        Record {
+            id,
+            value,
+            labels: labels.to_vec(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mqd-durable-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(window: usize) -> DurableOptions {
+        DurableOptions {
+            fsync: false, // tests exercise logic, not the disk cache
+            segment_rows: window,
+            retain: None,
+        }
+    }
+
+    fn ingest(ds: &mut DurableStore, range: std::ops::Range<u64>) {
+        for i in range {
+            ds.append(&row(i, i as i64 * 10, &[(i % 3) as u16]))
+                .unwrap();
+        }
+        ds.sync().unwrap();
+    }
+
+    #[test]
+    fn recovery_matches_the_uninterrupted_store() {
+        let dir = tmpdir("recover");
+        // 10 rows over 4-row windows: 2 sealed blocks + 2 rows in the WAL.
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ingest(&mut ds, 0..10);
+        let want_stats = ds.store_stats();
+        assert_eq!(ds.durable_stats().segments_flushed, 2);
+        drop(ds); // no flush: simulates a kill (WAL tail replay required)
+
+        let ds2 = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds2.store_stats(), want_stats);
+        assert_eq!(ds2.durable_stats().recovered_rows, 10);
+        // Same slices, byte for byte.
+        let a = ds2.store().slice(&[0, 1, 2], i64::MIN, i64::MAX);
+        assert_eq!(a.instance.len(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_continues_the_sequence_exactly() {
+        let dir = tmpdir("continue");
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ingest(&mut ds, 0..6);
+        drop(ds);
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.generation(), 6);
+        ingest(&mut ds, 6..9);
+        assert_eq!(ds.generation(), 9);
+        assert_eq!(ds.store_stats().segments, 3); // 4 + 4 + 1
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn graceful_flush_seals_partials_and_compaction_merges_them() {
+        let dir = tmpdir("compact");
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ingest(&mut ds, 0..2);
+        ds.flush().unwrap(); // partial block [0,2)
+        drop(ds);
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.durable_stats().recovered_rows, 2);
+        ingest(&mut ds, 2..4); // completes window 0 -> seal [2,4) -> compact
+        assert_eq!(ds.durable_stats().compactions, 1);
+        let blocks: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".mqds"))
+            .collect();
+        assert_eq!(blocks.len(), 1, "{blocks:?}");
+        drop(ds);
+        let ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.store_stats().rows, 4);
+        assert_eq!(ds.durable_stats().recovered_rows, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_after_seal_crash_is_deduplicated() {
+        let dir = tmpdir("dedupe");
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ingest(&mut ds, 0..4); // sealed block, WAL reset
+        drop(ds);
+        // Re-create the crash window: a WAL that still carries the sealed
+        // rows (seal completed, reset did not).
+        let rec = Wal::open(&dir.join("wal"), false).unwrap();
+        let mut wal = rec.wal;
+        for i in 0..4u64 {
+            wal.append(i, &row(i, i as i64 * 10, &[(i % 3) as u16]))
+                .unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(
+            ds.store_stats().rows,
+            4,
+            "stale frames must not double-apply"
+        );
+        drop(ds);
+        // And the rewritten WAL reopens clean.
+        let ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.store_stats().rows, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_mode_is_the_plain_store() {
+        let mut ds = DurableStore::memory_with_target(4);
+        ingest(&mut ds, 0..10);
+        assert!(!ds.is_durable());
+        assert_eq!(ds.durable_stats(), DurableStats::default());
+        assert_eq!(ds.store_stats().rows, 10);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected_before_the_wal() {
+        let dir = tmpdir("reject");
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ds.append(&row(1, 10, &[0])).unwrap();
+        let wal_bytes = ds.durable_stats().wal_bytes;
+        assert!(ds.append(&row(2, 5, &[0])).is_err()); // non-monotone
+        assert!(ds.append(&row(3, 20, &[])).is_err()); // empty labels
+        assert_eq!(
+            ds.durable_stats().wal_bytes,
+            wal_bytes,
+            "rejected rows must never reach the WAL"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_drops_only_dead_complete_windows_in_lockstep() {
+        let dir = tmpdir("gc");
+        let mut o = opts(4);
+        o.retain = Some(100);
+        let mut ds = DurableStore::open(&dir, &o).unwrap();
+        // Values 0,10,...,190: windows span 40 value units each.
+        ingest(&mut ds, 0..20);
+        let before = ds.store_stats();
+        assert_eq!(before.segments, 5);
+
+        // A live lease pinning everything: nothing may drop.
+        assert_eq!(ds.run_gc(i64::MIN).unwrap(), 0);
+
+        // No lease: horizon = 190 - 100 = 90 -> window 0 (max 30) and
+        // window 1 (max 70) die; window 2 (max 110) survives.
+        assert_eq!(ds.run_gc(i64::MAX).unwrap(), 2);
+        let after = ds.store_stats();
+        assert_eq!(after.segments, 3);
+        assert_eq!(after.rows, 20, "cumulative counters survive GC");
+        assert_eq!(after.generation, 20);
+        assert_eq!(after.min_value, Some(80));
+        assert_eq!(ds.durable_stats().gc_segments, 2);
+        // GC is idempotent at the same tip.
+        assert_eq!(ds.run_gc(i64::MAX).unwrap(), 0);
+
+        // A restart replays only the retained suffix and reports the
+        // exact same stats (set_origin seeds the cumulative counters).
+        drop(ds);
+        let ds = DurableStore::open(&dir, &o).unwrap();
+        assert_eq!(ds.store_stats(), after);
+        assert_eq!(ds.durable_stats().recovered_rows, 12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_never_drops_the_newest_window() {
+        let dir = tmpdir("gc-newest");
+        let mut o = opts(4);
+        o.retain = Some(0);
+        let mut ds = DurableStore::open(&dir, &o).unwrap();
+        ingest(&mut ds, 0..8); // exactly two sealed windows
+                               // retain=0: horizon is the tip itself, both windows are "dead",
+                               // but the newest must survive.
+        assert_eq!(ds.run_gc(i64::MAX).unwrap(), 1);
+        assert_eq!(ds.store_stats().segments, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

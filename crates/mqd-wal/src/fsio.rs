@@ -1,0 +1,89 @@
+//! The sanctioned durable-mutation module.
+//!
+//! Every filesystem mutation that must survive a crash lives here, paired
+//! with the fsync that makes it durable: an atomic write is tempfile +
+//! `rename` + directory sync, a delete is `remove_file` + directory sync,
+//! and a truncation is `set_len` + data sync. The `durability-path` lint
+//! rule flags these primitives anywhere else in this crate, so a future
+//! edit cannot quietly add a rename that is durable on the developer's
+//! laptop and lost on the first production power cut.
+//!
+//! `fsync` is a parameter, not a constant: `--no-fsync` trades the
+//! durability point for ingest throughput (the bench quantifies it), and
+//! the *ordering* guarantees — tempfile before rename, WAL before ack —
+//! hold either way.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use mqd_core::MqdError;
+
+/// Syncs a directory so a preceding rename/unlink in it is durable.
+/// No-op when `fsync` is false.
+pub fn sync_dir(dir: &Path, fsync: bool) -> Result<(), MqdError> {
+    if fsync {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Atomically replaces `path` with `bytes`: write to a `.tmp` sibling,
+/// sync it, rename over `path`, sync the directory. Readers see either
+/// the old file or the complete new one, never a torn write.
+pub fn write_atomic(path: &Path, bytes: &[u8], fsync: bool) -> Result<(), MqdError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if fsync {
+            f.sync_all()?;
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir, fsync)?;
+    }
+    Ok(())
+}
+
+/// Durably deletes `path` (remove + directory sync). Missing files are
+/// fine — a crash between a previous remove and its directory sync must
+/// be re-runnable.
+pub fn remove_durable(path: &Path, fsync: bool) -> Result<(), MqdError> {
+    match std::fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    }
+    if let Some(dir) = path.parent() {
+        sync_dir(dir, fsync)?;
+    }
+    Ok(())
+}
+
+/// Truncates an open file to `len` bytes and syncs the new length. Used
+/// by WAL recovery (drop a torn tail) and WAL reset after a seal.
+pub fn truncate_file(file: &File, len: u64, fsync: bool) -> Result<(), MqdError> {
+    file.set_len(len)?;
+    if fsync {
+        file.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Opens (creating if absent) a file for append-style writing with read
+/// access, without truncating existing contents.
+pub fn open_rw(path: &Path) -> Result<File, MqdError> {
+    Ok(OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?)
+}
+
+/// Creates `dir` (and parents) if it does not exist yet.
+pub fn ensure_dir(dir: &Path) -> Result<(), MqdError> {
+    Ok(std::fs::create_dir_all(dir)?)
+}

@@ -1,0 +1,42 @@
+//! Durable persistence for [`mqd_store::Store`].
+//!
+//! The serving layer's store is memory-only; this crate gives it a
+//! crash-safe on-disk life without touching its query semantics:
+//!
+//! * [`wal`] — an append-only, fsync'd write-ahead log. Every row is one
+//!   independently-checksummed frame (no cross-frame delta coding), so a
+//!   torn or truncated final frame is detected and cleanly truncated on
+//!   replay — never a panic, never a phantom row.
+//! * [`segment`] — sealed, immutable on-disk blocks of rows carrying their
+//!   inverted label → posting index and per-label value summaries, so a
+//!   recovered process re-indexes nothing and coverage slicing works off
+//!   the same metadata the in-memory store would have built.
+//! * [`durable`] — [`DurableStore`]: the orchestration layer. Appends go
+//!   WAL-first (ack only after [`DurableStore::sync`]), the WAL is sealed
+//!   into a block whenever a segment-sized window of rows completes,
+//!   partial blocks from graceful shutdowns are compacted into full-window
+//!   blocks, and retention GC drops whole windows that no live λ-window
+//!   lease can ever touch again. Recovery replays blocks + WAL tail and
+//!   restores the store byte-identically (rows, generation, stats) to the
+//!   uninterrupted process at the same ingest prefix.
+//! * [`fsio`] — the single sanctioned home of durable filesystem mutation
+//!   (atomic tempfile+rename writes, deletes, truncation — each paired
+//!   with the directory/file fsync that makes it actually durable). The
+//!   `durability-path` lint rule keeps every other module out of the
+//!   mutation business.
+//!
+//! All formats use the shared [`mqd_core::wire`] varint + FNV-1a framing;
+//! the file magics (`WAL!`, `MQDS`) are minted in `mqd_core::wire` and
+//! only aliased here, so the `wire-drift` lint stays authoritative.
+//! Like the rest of the workspace, this crate depends only on `std`.
+
+#![warn(missing_docs)]
+
+pub mod durable;
+pub mod fsio;
+pub mod segment;
+pub mod wal;
+
+pub use durable::{DurableOptions, DurableStats, DurableStore};
+pub use segment::{decode_segment, encode_segment, SegmentFile};
+pub use wal::Wal;

@@ -1,0 +1,149 @@
+//! Retention-GC oracle: on seeded ingest profiles with sliding live
+//! queries, the durable store after any number of `run_gc` calls must
+//! answer every live slice identically to an un-GC'd reference store.
+//! That is the safety contract from DESIGN.md §15 — GC may only drop
+//! windows no live λ-widened query can reach — checked here by direct
+//! comparison rather than by trusting the horizon arithmetic.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mqd_core::record::Record;
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+use mqd_store::Store;
+use mqd_wal::{DurableOptions, DurableStore};
+
+const WINDOW: usize = 32;
+const NUM_LABELS: u16 = 6;
+const ROWS: usize = 600;
+const RETAIN: i64 = 5_000;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mqd-gc-oracle-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A live subscription/query profile: `labels` over the sliding span
+/// `[tip - span, tip]`, with λ lookback `lambda`.
+struct LiveSpec {
+    labels: Vec<u16>,
+    lambda: i64,
+    span: i64,
+}
+
+impl LiveSpec {
+    fn random(rng: &mut StdRng) -> LiveSpec {
+        let k = rng.random_range(1..4usize);
+        let mut labels: Vec<u16> = (0..k)
+            .map(|_| rng.random_range(0..NUM_LABELS as u32) as u16)
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        LiveSpec {
+            labels,
+            lambda: rng.random_range(500..2_000i64),
+            span: rng.random_range(1_000..4_000i64),
+        }
+    }
+
+    /// Smallest value this spec may still read at `tip`: the slice start
+    /// widened by λ.
+    fn floor(&self, tip: i64) -> i64 {
+        (tip - self.span).saturating_sub(self.lambda)
+    }
+}
+
+/// The content a slice serves, in a comparable shape.
+fn materialize(store: &Store, labels: &[u16], from: i64, to: i64) -> Vec<(u64, i64, Vec<u16>)> {
+    let slice = store.slice(labels, from, to);
+    (0..slice.instance.posts().len())
+        .map(|i| {
+            let r = slice.record_for(i as u32);
+            (r.id, r.value, r.labels)
+        })
+        .collect()
+}
+
+#[test]
+fn gc_never_drops_a_row_any_live_lambda_window_can_reach() {
+    for seed in [3u64, 11, 77] {
+        let dir = tmpdir(&format!("s{seed}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut durable = DurableStore::open(
+            &dir,
+            &DurableOptions {
+                fsync: false,
+                segment_rows: WINDOW,
+                retain: Some(RETAIN),
+            },
+        )
+        .expect("open fresh dir");
+        let mut reference = Store::with_segment_target(WINDOW);
+        let specs: Vec<LiveSpec> = (0..3).map(|_| LiveSpec::random(&mut rng)).collect();
+
+        let mut value = 0i64;
+        for i in 0..ROWS {
+            value += rng.random_range(1..100i64);
+            let k = rng.random_range(1..4usize);
+            let row = Record {
+                id: i as u64 + 1,
+                value,
+                labels: (0..k)
+                    .map(|_| rng.random_range(0..NUM_LABELS as u32) as u16)
+                    .collect(),
+            };
+            durable.append(&row).expect("append durable");
+            reference.append(row).expect("append reference");
+
+            if (i + 1) % 100 == 0 {
+                let tip = value;
+                let live_floor = specs
+                    .iter()
+                    .map(|s| s.floor(tip))
+                    .min()
+                    .expect("specs nonempty");
+                durable.run_gc(live_floor).expect("gc");
+                for (si, spec) in specs.iter().enumerate() {
+                    let from = spec.floor(tip);
+                    let got = materialize(durable.store(), &spec.labels, from, tip);
+                    let want = materialize(&reference, &spec.labels, from, tip);
+                    assert_eq!(
+                        got,
+                        want,
+                        "seed {seed} @ row {}: live spec {si} lost rows to GC",
+                        i + 1
+                    );
+                }
+            }
+        }
+
+        // The oracle is vacuous if nothing was ever collected.
+        assert!(
+            durable.durable_stats().gc_segments > 0,
+            "seed {seed}: profile never triggered GC — tighten RETAIN/spans"
+        );
+
+        // And what survives GC must also survive a restart: reopen and
+        // re-check every live slice at the final tip.
+        let tip = value;
+        drop(durable);
+        let reopened = DurableStore::open(
+            &dir,
+            &DurableOptions {
+                fsync: false,
+                segment_rows: WINDOW,
+                retain: Some(RETAIN),
+            },
+        )
+        .expect("reopen after gc");
+        for (si, spec) in specs.iter().enumerate() {
+            let from = spec.floor(tip);
+            let got = materialize(reopened.store(), &spec.labels, from, tip);
+            let want = materialize(&reference, &spec.labels, from, tip);
+            assert_eq!(got, want, "seed {seed}: spec {si} differs after restart");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

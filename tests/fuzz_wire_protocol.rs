@@ -15,6 +15,7 @@ fn start(threads: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
         addr: "127.0.0.1:0".into(),
         threads,
         max_queue: 64,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr();

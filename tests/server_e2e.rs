@@ -33,6 +33,7 @@ fn start(threads: usize, max_queue: usize) -> (SocketAddr, std::thread::JoinHand
         addr: "127.0.0.1:0".into(),
         threads,
         max_queue,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr();
