@@ -158,6 +158,12 @@ fn parse_name(s: &str) -> Result<String, MqdError> {
     if s.starts_with('.') {
         return Err(perr(format!("NAME '{s}' must not start with '.'")));
     }
+    // Reserved for the atomic-write tempfiles next to the checkpoints: a
+    // session literally named '*.tmp' would be swept at boot and skipped
+    // by the lease scan.
+    if s.ends_with(".tmp") {
+        return Err(perr(format!("NAME '{s}' must not end with '.tmp'")));
+    }
     Ok(s.to_string())
 }
 

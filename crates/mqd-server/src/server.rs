@@ -896,12 +896,6 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
         }
         (None, _) => None,
     };
-    // Lease before slicing: from here on GC cannot drop rows this session
-    // (or its future resumes) may need. Registering an already-leased name
-    // just refreshes the same floor.
-    if let (Some(name), Ok(mut reg)) = (&spec.name, lock_or_poisoned(&state.subs, "subs")) {
-        reg.register(name, &params);
-    }
     let slice = {
         let store = match read_or_poisoned(&state.store) {
             Ok(store) => store,
@@ -910,6 +904,16 @@ fn subscribe(state: &State, spec: &SubscribeSpec, w: &mut impl Write) -> std::io
                 return write_err(w, &e);
             }
         };
+        // Lease before slicing, *while holding the store read lock*
+        // (store-then-subs, the global lock order): ingest samples the
+        // subs floor and runs GC under the store write lock, so a lease
+        // registered here is ordered against that whole critical section
+        // — it can never land between the floor sample and the drop, and
+        // the slice below sees every row the lease pins. Registering an
+        // already-leased name just refreshes the same floor.
+        if let (Some(name), Ok(mut reg)) = (&spec.name, lock_or_poisoned(&state.subs, "subs")) {
+            reg.register(name, &params);
+        }
         store.store().slice(&spec.labels, spec.from, spec.to)
     };
     let inst = &slice.instance;

@@ -149,9 +149,12 @@ impl DurableStore {
     ///
     /// Recovery order: leftover `.tmp` files are removed, sealed blocks
     /// are decoded and replayed in seq order (validating contiguity and
-    /// window alignment), then the WAL tail is replayed — tolerating a
-    /// torn final frame (truncated, never a panic) and deduplicating
-    /// frames whose seq a sealed block already covers.
+    /// window alignment; a block fully covered by its predecessors is a
+    /// crashed compaction's leftover and is deleted, not fatal), then the
+    /// WAL tail is replayed — tolerating a torn final frame (truncated,
+    /// never a panic) and deduplicating frames whose seq a sealed block
+    /// already covers. Complete windows the crash left pending are sealed
+    /// before returning.
     pub fn open(dir: &Path, opts: &DurableOptions) -> Result<Self, MqdError> {
         let window = opts.segment_rows.max(1) as u64;
         fsio::ensure_dir(dir)?;
@@ -196,7 +199,16 @@ impl DurableStore {
             store.set_origin(first.first_seq);
         }
         let mut expected = blocks.first().map_or(0, |b| b.first_seq);
-        for b in &blocks {
+        let mut kept: Vec<BlockMeta> = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            if b.first_seq.saturating_add(b.rows) <= expected {
+                // Every row of this block is already covered by the kept
+                // prefix: a compaction crashed between the merged block's
+                // rename and this partial's removal. Finish the
+                // interrupted delete instead of refusing to open.
+                fsio::remove_durable(&b.path, opts.fsync)?;
+                continue;
+            }
             if b.first_seq != expected {
                 return Err(MqdError::Corrupt {
                     offset: 0,
@@ -208,7 +220,9 @@ impl DurableStore {
                 });
             }
             expected += b.rows;
+            kept.push(b);
         }
+        let blocks = kept;
         // Replay the blocks into memory (this re-derives the inverted
         // indexes the store keeps; the block's own index was validated on
         // decode). Decoding twice (meta pass above, rows here) keeps the
@@ -245,14 +259,12 @@ impl DurableStore {
             expected += 1;
         }
         if skipped > 0 {
-            // Restore the invariant "WAL contents == pending rows" so the
-            // next seal/reset cycle starts clean.
-            wal.reset()?;
-            let base = expected - pending.len() as u64;
-            for (i, row) in pending.iter().enumerate() {
-                wal.append(base + i as u64, row)?;
-            }
-            wal.sync()?;
+            // Restore the invariant "WAL contents == pending rows". The
+            // rewrite is atomic (build aside, rename over), so a crash
+            // here leaves either the stale-but-complete old log or the
+            // deduplicated new one — never a half-written file that loses
+            // the acked tail.
+            wal.rewrite(expected - pending.len() as u64, &pending)?;
         }
 
         let mut out = DurableStore {
@@ -272,7 +284,14 @@ impl DurableStore {
             recovered_rows,
             gc_segments: 0,
         };
-        // Catch up on compactions a crash interrupted.
+        // A kill after the WAL write of a window's final row but before
+        // its seal leaves one or more complete windows pending: seal them
+        // now (window-aligned chunks, partial tail stays pending) so no
+        // later seal emits a block crossing a window boundary — GC and
+        // compaction group blocks strictly by window and would otherwise
+        // skip the oversized leading group forever. Then catch up on
+        // compactions a crash interrupted.
+        out.seal(false)?;
         out.compact_complete_windows()?;
         Ok(out)
     }
@@ -334,7 +353,7 @@ impl DurableStore {
             .as_ref()
             .is_some_and(|d| d.next_seq % d.window == 0 && !d.pending.is_empty())
         {
-            self.seal()?;
+            self.seal(false)?;
             self.compact_complete_windows()?;
         }
         Ok(())
@@ -348,35 +367,62 @@ impl DurableStore {
         }
     }
 
-    /// Seals any pending rows into a (possibly partial) block — the
+    /// Seals any pending rows into (possibly partial) blocks — the
     /// graceful-shutdown path, leaving an empty WAL behind.
     pub fn flush(&mut self) -> Result<(), MqdError> {
-        if self.disk.as_ref().is_some_and(|d| !d.pending.is_empty()) {
-            self.seal()?;
-        }
-        Ok(())
+        self.seal(true)
     }
 
-    /// Seals the pending rows into one immutable block, then resets the
-    /// WAL. The block write is atomic and directory-synced *before* the
-    /// reset, so a crash in between only leaves benign duplicates.
-    fn seal(&mut self) -> Result<(), MqdError> {
+    /// Seals pending rows into immutable blocks, one chunk per window
+    /// boundary crossed — a block never spans two windows, the invariant
+    /// GC and compaction group by. With `partial_tail` the trailing
+    /// sub-window rows seal too (graceful shutdown); without it they stay
+    /// pending. Block writes are atomic and directory-synced *before* the
+    /// WAL shrinks, so a crash in between only leaves benign duplicates;
+    /// the shrink itself is a reset when nothing stays pending and an
+    /// atomic rewrite otherwise.
+    fn seal(&mut self, partial_tail: bool) -> Result<(), MqdError> {
         let Some(disk) = self.disk.as_mut() else {
             return Ok(());
         };
-        let first_seq = disk.next_seq - disk.pending.len() as u64;
-        let blob = encode_segment(first_seq, &disk.pending);
-        let path = disk.dir.join(format!("seg-{first_seq:016}.mqds"));
-        fsio::write_atomic(&path, &blob, disk.fsync)?;
-        disk.blocks.push(BlockMeta {
-            first_seq,
-            rows: disk.pending.len() as u64,
-            max_value: disk.pending.last().map_or(0, |r| r.value),
-            path,
-        });
-        disk.pending.clear();
-        disk.wal.reset()?;
-        self.segments_flushed += 1;
+        let mut sealed = 0usize;
+        loop {
+            let left = disk.pending.len() - sealed;
+            if left == 0 {
+                break;
+            }
+            let first_seq = disk.next_seq - left as u64;
+            let to_boundary = (disk.window - first_seq % disk.window) as usize;
+            let take = if left >= to_boundary {
+                to_boundary
+            } else if partial_tail {
+                left
+            } else {
+                break;
+            };
+            // lint:allow(panic-path): sealed + take <= pending.len() by the bounds above
+            let chunk = &disk.pending[sealed..sealed + take];
+            let blob = encode_segment(first_seq, chunk);
+            let path = disk.dir.join(format!("seg-{first_seq:016}.mqds"));
+            fsio::write_atomic(&path, &blob, disk.fsync)?;
+            disk.blocks.push(BlockMeta {
+                first_seq,
+                rows: take as u64,
+                max_value: chunk.last().map_or(0, |r| r.value),
+                path,
+            });
+            sealed += take;
+            self.segments_flushed += 1;
+        }
+        if sealed > 0 {
+            disk.pending.drain(..sealed);
+            if disk.pending.is_empty() {
+                disk.wal.reset()?;
+            } else {
+                let tail_first = disk.next_seq - disk.pending.len() as u64;
+                disk.wal.rewrite(tail_first, &disk.pending)?;
+            }
+        }
         Ok(())
     }
 
@@ -585,6 +631,82 @@ mod tests {
         let ds = DurableStore::open(&dir, &opts(4)).unwrap();
         assert_eq!(ds.store_stats().rows, 4);
         assert_eq!(ds.durable_stats().recovered_rows, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_leftover_after_crash_is_deleted_not_fatal() {
+        let dir = tmpdir("leftover");
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ingest(&mut ds, 0..5); // merged-shape block [0,4) + WAL tail [4,5)
+        drop(ds);
+        // Re-create the crash window: a compaction renamed the merged
+        // block into place but died before removing the partial [2,4) it
+        // subsumed.
+        let rows: Vec<Record> = (2..4u64)
+            .map(|i| row(i, i as i64 * 10, &[(i % 3) as u16]))
+            .collect();
+        std::fs::write(
+            dir.join("seg-0000000000000002.mqds"),
+            encode_segment(2, &rows),
+        )
+        .unwrap();
+
+        let ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.store_stats().rows, 5, "leftover must not block recovery");
+        assert!(
+            !dir.join("seg-0000000000000002.mqds").exists(),
+            "the interrupted delete must be finished"
+        );
+        drop(ds);
+        let ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.store_stats().rows, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn full_windows_left_pending_by_a_crash_are_sealed_at_open() {
+        let dir = tmpdir("pending-window");
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        ingest(&mut ds, 0..3);
+        drop(ds);
+        // Re-create the crash window: the WAL holds the final rows of
+        // window 0 and all of window 1 (kill landed after the WAL writes
+        // but before any seal).
+        let rec = Wal::open(&dir.join("wal"), false).unwrap();
+        let mut wal = rec.wal;
+        for i in 3..9u64 {
+            wal.append(i, &row(i, i as i64 * 10, &[(i % 3) as u16]))
+                .unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        assert_eq!(ds.store_stats().rows, 9);
+        // Windows 0 and 1 sealed as separate boundary-aligned blocks; the
+        // tail row stays in the WAL.
+        let mut blocks: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".mqds"))
+            .collect();
+        blocks.sort();
+        assert_eq!(
+            blocks,
+            [
+                "seg-0000000000000000.mqds".to_string(),
+                "seg-0000000000000004.mqds".to_string()
+            ]
+        );
+        // GC still walks the leading windows (no oversized group blocks it).
+        let mut o = opts(4);
+        o.retain = Some(0);
+        drop(ds);
+        let mut ds = DurableStore::open(&dir, &o).unwrap();
+        assert_eq!(ds.run_gc(i64::MAX).unwrap(), 2);
+        ingest(&mut ds, 9..10);
+        assert_eq!(ds.store_stats().generation, 10);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,8 +16,16 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mqd_core::MqdError;
+
+/// Distinguishes concurrent tempfiles. Checkpoint names may contain '.'
+/// ("foo.bar" and "foo.baz"), so a stem-derived tmp like "foo.tmp" would
+/// let two writers rename each other's half-written blob into place; a
+/// per-process counter (plus the pid, against a restarted process racing
+/// its predecessor's leftover) makes every tmp path unique.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Syncs a directory so a preceding rename/unlink in it is durable.
 /// No-op when `fsync` is false.
@@ -28,11 +36,20 @@ pub fn sync_dir(dir: &Path, fsync: bool) -> Result<(), MqdError> {
     Ok(())
 }
 
-/// Atomically replaces `path` with `bytes`: write to a `.tmp` sibling,
-/// sync it, rename over `path`, sync the directory. Readers see either
-/// the old file or the complete new one, never a torn write.
+/// Atomically replaces `path` with `bytes`: write to a uniquely-named
+/// `.tmp` sibling, sync it, rename over `path`, sync the directory.
+/// Readers see either the old file or the complete new one, never a torn
+/// write; concurrent writers never share a tmp path.
 pub fn write_atomic(path: &Path, bytes: &[u8], fsync: bool) -> Result<(), MqdError> {
-    let tmp = path.with_extension("tmp");
+    let mut tmp_name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("file"), |n| n.to_os_string());
+    tmp_name.push(format!(
+        ".{}-{}.tmp",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
     {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;

@@ -59,15 +59,24 @@ pub struct WalRecovery {
 
 impl Wal {
     /// Opens (or creates) the log at `path`, replaying every intact frame
-    /// and truncating a torn tail. A missing or empty file becomes a fresh
-    /// log; a corrupt *header* is a typed error (that is not a torn tail —
-    /// the file is not a WAL).
+    /// and truncating a torn tail. A missing, empty, or sub-header-length
+    /// file becomes a fresh log (a short file is a torn initial header —
+    /// nothing was ever acked through it); a full-length header with the
+    /// wrong magic or version is a typed error (the file is not a WAL).
     pub fn open(path: &Path, fsync: bool) -> Result<WalRecovery, MqdError> {
         let mut file = fsio::open_rw(path)?;
         let mut data = Vec::new();
         file.read_to_end(&mut data)?;
 
-        if data.is_empty() {
+        if data.len() < HEADER_LEN as usize {
+            // Missing, empty, or shorter than the header: a fresh log, or
+            // a kill between `write_header`'s two writes (or a power cut
+            // before its sync). No frame — and therefore no acked row —
+            // can precede a complete header, so a sub-header file is a
+            // torn initial creation, not fatal corruption: rewrite the
+            // header and serve an empty log.
+            file.seek(SeekFrom::Start(0))?;
+            fsio::truncate_file(&file, 0, fsync)?;
             let mut wal = Wal {
                 file,
                 path: path.to_path_buf(),
@@ -78,10 +87,10 @@ impl Wal {
             return Ok(WalRecovery {
                 wal,
                 rows: Vec::new(),
-                truncated_bytes: 0,
+                truncated_bytes: data.len() as u64,
             });
         }
-        if data.len() < HEADER_LEN as usize || !data.starts_with(&MAGIC) {
+        if !data.starts_with(&MAGIC) {
             return Err(MqdError::Corrupt {
                 offset: 0,
                 reason: "not a WAL file (bad magic)".into(),
@@ -138,20 +147,34 @@ impl Wal {
 
     /// Appends one frame (buffered — not durable until [`Wal::sync`]).
     pub fn append(&mut self, seq: u64, row: &Record) -> Result<(), MqdError> {
-        let mut body = Vec::with_capacity(16 + 2 * row.labels.len());
-        put_varint(&mut body, seq);
-        put_varint(&mut body, row.id);
-        put_varint_i64(&mut body, row.value);
-        put_varint(&mut body, row.labels.len() as u64);
-        for &l in &row.labels {
-            put_varint(&mut body, l as u64);
-        }
-        let mut frame = Vec::with_capacity(body.len() + 12);
-        put_varint(&mut frame, body.len() as u64);
-        frame.extend_from_slice(&body);
-        frame.extend_from_slice(&fnv1a(&body).to_be_bytes());
+        let mut frame = Vec::with_capacity(28 + 2 * row.labels.len());
+        put_frame(&mut frame, seq, row);
         self.file.write_all(&frame)?;
         self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically replaces the log's contents with exactly `rows`
+    /// (contiguous seqs from `first_seq`): the new file is built aside and
+    /// renamed over the old one through [`fsio::write_atomic`], so a crash
+    /// mid-rewrite leaves either the old complete log or the new one —
+    /// never a half-truncated file that loses acked rows. Used when the
+    /// log must shrink to a *non-empty* suffix (recovery dedup, boundary
+    /// seals that keep a pending tail); a shrink to empty can use the
+    /// cheaper [`Wal::reset`] because no unsealed acked row remains.
+    pub fn rewrite(&mut self, first_seq: u64, rows: &[Record]) -> Result<(), MqdError> {
+        let mut buf = Vec::with_capacity(HEADER_LEN as usize + 32 * rows.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        for (i, row) in rows.iter().enumerate() {
+            put_frame(&mut buf, first_seq + i as u64, row);
+        }
+        fsio::write_atomic(&self.path, &buf, self.fsync)?;
+        // The old handle points at the replaced inode; reopen the new file
+        // positioned for appends.
+        self.file = fsio::open_rw(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.bytes = buf.len() as u64;
         Ok(())
     }
 
@@ -184,6 +207,21 @@ impl Wal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Encodes one frame (length-prefixed checksummed body) onto `buf`.
+fn put_frame(buf: &mut Vec<u8>, seq: u64, row: &Record) {
+    let mut body = Vec::with_capacity(16 + 2 * row.labels.len());
+    put_varint(&mut body, seq);
+    put_varint(&mut body, row.id);
+    put_varint_i64(&mut body, row.value);
+    put_varint(&mut body, row.labels.len() as u64);
+    for &l in &row.labels {
+        put_varint(&mut body, l as u64);
+    }
+    put_varint(buf, body.len() as u64);
+    buf.extend_from_slice(&body);
+    buf.extend_from_slice(&fnv1a(&body).to_be_bytes());
 }
 
 /// Decodes the frame at `at`. Returns `(end_offset, seq, row)` for an
@@ -320,6 +358,49 @@ mod tests {
             assert_eq!(*seq, i as u64);
             assert_eq!(r.id, i as u64);
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_header_reopens_as_a_fresh_log() {
+        let dir = tmpdir("torn-hdr");
+        let path = dir.join("wal");
+        // Every sub-header prefix — including garbage a torn write could
+        // leave — recovers to an empty log instead of refusing to boot.
+        for keep in 0..HEADER_LEN as usize {
+            std::fs::write(&path, &b"WAL!\x01"[..keep]).unwrap();
+            let rec = Wal::open(&path, false).unwrap();
+            assert!(rec.rows.is_empty(), "torn to {keep} bytes");
+            assert_eq!(rec.truncated_bytes, keep as u64);
+            assert_eq!(rec.wal.bytes(), HEADER_LEN);
+            drop(rec);
+            let rec = Wal::open(&path, false).unwrap();
+            assert_eq!(rec.truncated_bytes, 0, "rewritten header must be clean");
+        }
+        std::fs::write(&path, b"XY").unwrap();
+        assert!(Wal::open(&path, false).is_ok(), "short garbage is torn too");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_contents_atomically() {
+        let dir = tmpdir("rewrite");
+        let path = dir.join("wal");
+        let mut rec = Wal::open(&path, false).unwrap();
+        for i in 0..6u64 {
+            rec.wal.append(i, &row(i, i as i64, &[0])).unwrap();
+        }
+        // Shrink to the suffix [4, 6), as a boundary seal would.
+        let tail: Vec<Record> = (4..6u64).map(|i| row(i, i as i64, &[0])).collect();
+        rec.wal.rewrite(4, &tail).unwrap();
+        // Appends continue seamlessly on the new file.
+        rec.wal.append(6, &row(6, 6, &[0])).unwrap();
+        rec.wal.sync().unwrap();
+        drop(rec);
+        let rec = Wal::open(&path, false).unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        let seqs: Vec<u64> = rec.rows.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
