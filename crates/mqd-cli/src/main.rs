@@ -14,6 +14,9 @@
 //! mqdiv oracle     [--seeds N] [--first-seed S] [--profile NAME] [--report-dir DIR]
 //! mqdiv serve      [--addr HOST:PORT] [--max-queue N] [--data-dir DIR]
 //!                  [--no-fsync] [--retain SPAN]         (:0 picks an ephemeral port)
+//!                  [--shard-id I --shard-count N]       (serve as shard I of an N-shard cluster)
+//! mqdiv route      --backends HOST:PORT[,HOST:PORT...] --shards N
+//!                  [--addr HOST:PORT] [--max-queue N]   (cluster scatter-gather frontend)
 //! mqdiv client     --addr HOST:PORT [--input SCRIPT] [--check]
 //! mqdiv lint       [--deny] [--json] [--rules a,b] [--out FILE]   (workspace static analysis)
 //! ```
@@ -117,7 +120,7 @@ fn open_output(flags: &Flags) -> Result<Box<dyn Write>, String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|client|lint> [flags]; see --help".into());
+        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|route|client|lint> [flags]; see --help".into());
     };
     if cmd == "--help" || cmd == "help" {
         println!(
@@ -133,8 +136,10 @@ fn run() -> Result<(), String> {
              \x20 ingest     append a labeled TSV into a segmented store\n\
              \x20 query      range-scan a store (optionally diversified)\n\
              \x20 oracle     differential/metamorphic correctness sweep over all solvers\n\
-             \x20 serve      run the TCP query server (--data-dir makes it durable)\n\
-             \x20 client     forward a request script to a running server\n\
+             \x20 serve      run the TCP query server (--data-dir makes it durable,\n\
+             \x20            --shard-id/--shard-count pin it as one cluster shard)\n\
+             \x20 route      front a sharded cluster: one endpoint over N shard backends\n\
+             \x20 client     forward a request script to a running server or router\n\
              \x20 lint       static-analysis pass over the workspace's own sources\n\
              \n\
              see the crate docs / README for the full flag reference"
@@ -298,14 +303,45 @@ fn run() -> Result<(), String> {
                 Some(_) => Some(flags.require_num::<i64>("retain")?),
                 None => None,
             };
+            let shard = match (flags.get("shard-id"), flags.get("shard-count")) {
+                (None, None) => None,
+                (Some(_), Some(_)) => Some(mqd_core::wire::ShardIdentity {
+                    shard_id: flags.require_num("shard-id")?,
+                    shard_count: flags.require_num("shard-count")?,
+                }),
+                _ => return Err("--shard-id and --shard-count go together".into()),
+            };
             let opts = mqd_cli::serve::ServeOpts {
                 addr: flags.get("addr").unwrap_or("127.0.0.1:7744").to_string(),
                 max_queue: flags.parse_num("max-queue", 64usize)?,
                 data_dir: flags.get("data-dir").map(PathBuf::from),
                 fsync: !flags.has("no-fsync"),
                 retain,
+                shard,
             };
             mqd_cli::serve::serve(io::stdout(), &mut log, &opts)
+        }
+        "route" => {
+            let mut backends = Vec::new();
+            for chunk in flags.get_all("backends") {
+                backends.extend(
+                    chunk
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            if backends.is_empty() {
+                return Err("--backends is required (comma-separated or repeated)".into());
+            }
+            let opts = mqd_cli::serve::RouteOpts {
+                addr: flags.get("addr").unwrap_or("127.0.0.1:7745").to_string(),
+                backends,
+                shards: flags.require_num("shards")?,
+                max_queue: flags.parse_num("max-queue", 64usize)?,
+            };
+            mqd_cli::serve::route(io::stdout(), &mut log, &opts)
         }
         "client" => {
             let opts = mqd_cli::serve::ClientOpts {

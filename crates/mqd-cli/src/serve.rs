@@ -1,14 +1,20 @@
-//! `mqdiv serve` and `mqdiv client`: wire the TCP serving layer
-//! ([`mqd_server`]) into the command-line tool.
+//! `mqdiv serve`, `mqdiv route`, and `mqdiv client`: wire the TCP serving
+//! layer ([`mqd_server`]) and the cluster router ([`mqd_router`]) into the
+//! command-line tool.
 //!
 //! `serve` binds, prints `listening on <addr>` (the one stdout line, so
 //! scripts can grab an ephemeral port), and blocks until a client sends
-//! `DRAIN`. `client` forwards a request script — one request per line,
-//! blank lines and `#` comments skipped, `INGESTB <n>` followed by `n`
-//! raw body bytes — and echoes each framed response verbatim.
+//! `DRAIN`; `--shard-id I --shard-count N` pins it as shard `I` of an
+//! `N`-shard cluster. `route` binds the router frontend over `--backends`
+//! with the same announcement line. `client` forwards a request script —
+//! one request per line, blank lines and `#` comments skipped, `INGESTB
+//! <n>` followed by `n` raw body bytes — and echoes each framed response
+//! verbatim.
 
 use std::io::{BufRead, Write};
 
+use mqd_core::wire::ShardIdentity;
+use mqd_router::{Router, RouterConfig};
 use mqd_server::{Client, Server, ServerConfig};
 
 /// Options for `mqdiv serve`.
@@ -24,6 +30,10 @@ pub struct ServeOpts {
     pub fsync: bool,
     /// `--retain <span>`: GC sealed windows older than this value span.
     pub retain: Option<i64>,
+    /// `--shard-id I --shard-count N`: serve as shard `I` of an `N`-shard
+    /// cluster — reject rows owning none of the shard's labels and pin
+    /// router `HELLO` handshakes to this map. `None` serves standalone.
+    pub shard: Option<ShardIdentity>,
 }
 
 /// Binds the server, announces the bound address on `out`, and serves
@@ -36,6 +46,7 @@ pub fn serve(mut out: impl Write, log: &mut impl Write, opts: &ServeOpts) -> Res
         data_dir: opts.data_dir.clone(),
         fsync: opts.fsync,
         retain: opts.retain,
+        shard: opts.shard,
     };
     let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", opts.addr))?;
     writeln!(out, "listening on {}", server.local_addr()).map_err(|e| e.to_string())?;
@@ -47,6 +58,10 @@ pub fn serve(mut out: impl Write, log: &mut impl Write, opts: &ServeOpts) -> Res
         opts.max_queue
     )
     .map_err(|e| e.to_string())?;
+    if let Some(shard) = &opts.shard {
+        writeln!(log, "shard {}/{}", shard.shard_id, shard.shard_count)
+            .map_err(|e| e.to_string())?;
+    }
     if let Some(dir) = &opts.data_dir {
         writeln!(
             log,
@@ -58,6 +73,43 @@ pub fn serve(mut out: impl Write, log: &mut impl Write, opts: &ServeOpts) -> Res
         .map_err(|e| e.to_string())?;
     }
     server.run().map_err(|e| e.to_string())
+}
+
+/// Options for `mqdiv route`.
+pub struct RouteOpts {
+    /// Frontend listen address (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Ordered backend addresses (repeatable `--backends a --backends b`,
+    /// or comma-separated); backend `j` serves shard `j mod --shards`.
+    pub backends: Vec<String>,
+    /// Number of label shards.
+    pub shards: u32,
+    /// Admission-control bound, as on `serve`.
+    pub max_queue: usize,
+}
+
+/// Binds the router, announces the frontend address on `out` (same
+/// `listening on <addr>` line as `serve`), and routes until drained.
+pub fn route(mut out: impl Write, log: &mut impl Write, opts: &RouteOpts) -> Result<(), String> {
+    let cfg = RouterConfig {
+        addr: opts.addr.clone(),
+        backends: opts.backends.clone(),
+        shards: opts.shards,
+        threads: 0,
+        max_queue: opts.max_queue,
+    };
+    let router = Router::bind(&cfg).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    writeln!(out, "listening on {}", router.local_addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    writeln!(
+        log,
+        "routing {} shard(s) over {} backend(s): {}",
+        opts.shards,
+        opts.backends.len(),
+        opts.backends.join(", ")
+    )
+    .map_err(|e| e.to_string())?;
+    router.run().map_err(|e| e.to_string())
 }
 
 /// Options for `mqdiv client`.
@@ -250,6 +302,87 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains(r#""ingested":2"#), "{text}");
         assert!(text.contains(r#""rows":2"#), "{text}");
+    }
+
+    /// A `Write` the test can read back while `route` still owns it — the
+    /// announce line carries the router's ephemeral port.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn route_fronts_a_sharded_cluster_for_client_scripts() {
+        let spawn_shard = |shard_id: u32| {
+            let server = Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                max_queue: 8,
+                shard: Some(ShardIdentity {
+                    shard_id,
+                    shard_count: 2,
+                }),
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || server.run().unwrap());
+            (addr, handle)
+        };
+        let (b0, h0) = spawn_shard(0);
+        let (b1, h1) = spawn_shard(1);
+
+        let announce = SharedBuf::default();
+        let opts = RouteOpts {
+            addr: "127.0.0.1:0".into(),
+            backends: vec![b0.to_string(), b1.to_string()],
+            shards: 2,
+            max_queue: 8,
+        };
+        let hr = {
+            let mut out = announce.clone();
+            std::thread::spawn(move || route(&mut out, &mut Vec::new(), &opts).unwrap())
+        };
+        let addr = loop {
+            let snapshot = String::from_utf8(announce.0.lock().unwrap().clone()).unwrap();
+            if let Some(rest) = snapshot.strip_prefix("listening on ") {
+                break rest.trim().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let script = "INGEST 1 10 0\n\
+                      INGEST 2 20 1\n\
+                      INGEST 3 30 0,1\n\
+                      QUERY 0,1 15 greedysc\n\
+                      DRAIN\n";
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        client_script(
+            Cursor::new(script),
+            &mut out,
+            &mut log,
+            &ClientOpts { addr, check: true },
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(r#""ingested":1,"generation":3"#), "{text}");
+        assert!(text.contains("3\t30\t0,1"), "{text}");
+        assert!(text.contains(r#""generations":["#), "{text}");
+
+        // The router's DRAIN forwarded DRAIN to both backends before
+        // shutting its own acceptor down.
+        hr.join().unwrap();
+        h0.join().unwrap();
+        h1.join().unwrap();
     }
 
     #[test]

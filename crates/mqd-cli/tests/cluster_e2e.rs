@@ -1,0 +1,372 @@
+//! Cluster acceptance: real `mqdiv serve` shard backends behind a real
+//! `mqdiv route` process. The router-fronted cluster must answer every
+//! QUERY algorithm (plus PROP), ingest acks, and the STATS core
+//! byte-identically to one standalone node fed the same rows — and when
+//! the primary replica of a shard is SIGKILLed, a named SUBSCRIBE resumed
+//! through the router must reassemble the exact emission stream of an
+//! uninterrupted single-node run: zero duplicates, zero missing.
+//!
+//! Everything is seed-deterministic; no RNG crate, no sleeps on the
+//! happy path. Backends run in-memory (`--data-dir` stays off): replicas
+//! receive every fanned-out row over the wire, so durability is the
+//! durability e2e's concern, not this one's.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use mqd_server::protocol::TERMINATOR;
+
+/// Deterministic per-seed parameters without an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Spawns one `mqdiv` serving process (`serve` or `route`) with the given
+/// arguments plus an ephemeral `--addr`, and returns the child with the
+/// announced address.
+fn spawn_mqdiv(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mqdiv"))
+        .args(args)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mqdiv");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announce line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+fn spawn_shard(shard_id: u32, shard_count: u32) -> (Child, String) {
+    let id = shard_id.to_string();
+    let count = shard_count.to_string();
+    spawn_mqdiv(&["serve", "--shard-id", &id, "--shard-count", &count])
+}
+
+/// A shard backend with a scratch data dir (`NAME`d subscriptions need a
+/// durable server for their checkpoints).
+fn spawn_durable_shard(
+    shard_id: u32,
+    shard_count: u32,
+    tag: &str,
+) -> (Child, String, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("mqdiv-cluster-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let id = shard_id.to_string();
+    let count = shard_count.to_string();
+    let (child, addr) = spawn_mqdiv(&[
+        "serve",
+        "--shard-id",
+        &id,
+        "--shard-count",
+        &count,
+        "--no-fsync",
+        "--data-dir",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    (child, addr, dir)
+}
+
+fn spawn_route(backends: &[&str], shards: u32) -> (Child, String) {
+    let list = backends.join(",");
+    let shards = shards.to_string();
+    spawn_mqdiv(&["route", "--backends", &list, "--shards", &shards])
+}
+
+/// Minimal framed-protocol client over a raw socket (raw so the failover
+/// test can abandon a half-read subscription stream).
+struct Conn {
+    r: BufReader<TcpStream>,
+    w: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Conn {
+        let s = TcpStream::connect(addr).expect("connect");
+        Conn {
+            r: BufReader::new(s.try_clone().expect("clone stream")),
+            w: s,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.w
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut l = String::new();
+        assert!(
+            self.r.read_line(&mut l).expect("read line") > 0,
+            "peer closed"
+        );
+        l.trim_end_matches('\n').to_string()
+    }
+
+    /// Full framed response: status line plus payload lines, terminator
+    /// stripped.
+    fn request(&mut self, line: &str) -> Vec<String> {
+        self.send(line);
+        self.read_frame()
+    }
+
+    fn read_frame(&mut self) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let l = self.read_line();
+            if l == TERMINATOR {
+                return lines;
+            }
+            lines.push(l);
+        }
+    }
+
+    /// Pipelines many one-line requests and collects each response's
+    /// status line. Request and response fit comfortably inside the
+    /// kernel socket buffers, so the bulk write cannot deadlock against
+    /// the response stream.
+    fn pipeline(&mut self, lines: &[String]) -> Vec<String> {
+        let mut buf = String::new();
+        for l in lines {
+            buf.push_str(l);
+            buf.push('\n');
+        }
+        self.w.write_all(buf.as_bytes()).expect("pipeline requests");
+        lines
+            .iter()
+            .map(|_| {
+                let mut frame = self.read_frame();
+                assert!(!frame.is_empty(), "empty response frame");
+                frame.remove(0)
+            })
+            .collect()
+    }
+}
+
+/// Seeded monotone ingest rows as INGEST request lines. Labels land in
+/// 0..5, so under two shards the even labels (0, 2, 4) belong to shard 0
+/// and the odd ones (1, 3) to shard 1; most rows are single-shard, some
+/// span both.
+fn ingest_lines(seed: u64, n: usize) -> Vec<String> {
+    let mut s = seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+    let mut value = 0i64;
+    (0..n)
+        .map(|i| {
+            value += 1 + (splitmix64(&mut s) % 50) as i64;
+            let k = 1 + (splitmix64(&mut s) % 3) as usize;
+            let labels: Vec<String> = (0..k)
+                .map(|_| (splitmix64(&mut s) % 5).to_string())
+                .collect();
+            format!("INGEST {} {} {}", i + 1, value, labels.join(","))
+        })
+        .collect()
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let tail = json
+        .split(&format!(r#""{key}":"#))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no {key} field: {json}"));
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} field: {json}"))
+}
+
+fn drain(addr: &str) {
+    let mut c = Conn::connect(addr);
+    let resp = c.request("DRAIN");
+    assert!(resp[0].starts_with("+OK"), "{resp:?}");
+}
+
+#[test]
+fn router_fronted_cluster_answers_byte_identically() {
+    let (mut b0, addr0) = spawn_shard(0, 2);
+    let (mut b1, addr1) = spawn_shard(1, 2);
+    let (mut router, addr_r) = spawn_route(&[&addr0, &addr1], 2);
+    let (mut single, addr_s) = spawn_mqdiv(&["serve"]);
+
+    let rows = ingest_lines(11, 160);
+    let mut through = Conn::connect(&addr_r);
+    let mut direct = Conn::connect(&addr_s);
+    let cluster_acks = through.pipeline(&rows);
+    let single_acks = direct.pipeline(&rows);
+    for (i, (c, s)) in cluster_acks.iter().zip(&single_acks).enumerate() {
+        assert!(c.starts_with("+OK"), "{}: {c}", rows[i]);
+        assert_eq!(c, s, "ingest acks must match byte-for-byte: {}", rows[i]);
+    }
+
+    // Every algorithm, PROP, single-label routing, and a cross-shard label
+    // subset — all byte-identical to the standalone node.
+    let queries = [
+        "QUERY 0,1,2,3,4 300 opt",
+        "QUERY 0,1,2,3,4 300 greedysc",
+        "QUERY 0,1,2,3,4 300 scan",
+        "QUERY 0,1,2,3,4 300 scanplus",
+        "QUERY 0,1,2,3,4 300 greedysc PROP",
+        "QUERY 3 300 scan",
+        "QUERY 0,2,4 300 scan",
+        "QUERY 1,2 300 opt",
+    ];
+    for q in queries {
+        let cluster = through.request(q);
+        let node = direct.request(q);
+        // Status shapes differ by design — the router stamps vector
+        // watermarks (`"generations":[..]`), the single node stamps cache
+        // metadata — but the result count and every payload row must be
+        // byte-identical.
+        assert!(cluster[0].starts_with("+OK"), "{q}: {cluster:?}");
+        assert_eq!(
+            field_u64(&cluster[0], "count"),
+            field_u64(&node[0], "count"),
+            "{q}: result count diverged"
+        );
+        assert_eq!(
+            &cluster[1..],
+            &node[1..],
+            "{q} diverged between the cluster and the single node"
+        );
+    }
+
+    // STATS shapes differ (the router adds cluster and served sections)
+    // but the core ledger fields must agree.
+    let cluster_stats = through.request("STATS");
+    let single_stats = direct.request("STATS");
+    for key in ["rows", "labels", "generation"] {
+        assert_eq!(
+            field_u64(&cluster_stats[0], key),
+            field_u64(&single_stats[0], key),
+            "STATS {key} diverged"
+        );
+    }
+
+    // DRAIN through the router cascades: backends exit too.
+    drain(&addr_r);
+    drain(&addr_s);
+    router.wait().expect("reap router");
+    b0.wait().expect("reap shard 0");
+    b1.wait().expect("reap shard 1");
+    single.wait().expect("reap single node");
+}
+
+#[test]
+fn killed_primary_fails_over_and_resumes_the_subscription() {
+    const ROWS: usize = 600;
+    const SUB: &str = "SUBSCRIBE 0,2,4 10 120 scan";
+    const CUT: usize = 300;
+    let rows = ingest_lines(42, ROWS);
+
+    // Reference stream: one uninterrupted standalone run.
+    let (mut single, addr_s) = spawn_mqdiv(&["serve"]);
+    let mut r = Conn::connect(&addr_s);
+    for ack in r.pipeline(&rows) {
+        assert!(ack.starts_with("+OK"), "{ack}");
+    }
+    let full = r.request(SUB);
+    assert!(full[0].starts_with("+OK"), "{full:?}");
+    let full_emits: Vec<&String> = full.iter().filter(|l| l.starts_with("EMIT ")).collect();
+    let done = full.last().expect("DONE line");
+    assert!(done.starts_with("DONE "), "{done}");
+    assert!(
+        full_emits.len() > CUT + 20,
+        "profile must emit well past the cut: {}",
+        full_emits.len()
+    );
+
+    // Cluster: two shards, each with two replicas (backend j serves shard
+    // j % 2, so backends 0 and 2 both hold shard 0).
+    let (mut b0, addr0, dir0) = spawn_durable_shard(0, 2, "b0");
+    let (mut b1, addr1, dir1) = spawn_durable_shard(1, 2, "b1");
+    let (mut b2, addr2, dir2) = spawn_durable_shard(0, 2, "b2");
+    let (mut b3, addr3, dir3) = spawn_durable_shard(1, 2, "b3");
+    let (mut router, addr_r) = spawn_route(&[&addr0, &addr1, &addr2, &addr3], 2);
+    let mut c = Conn::connect(&addr_r);
+    for ack in c.pipeline(&rows) {
+        assert!(ack.starts_with("+OK"), "{ack}");
+    }
+
+    // Phase A: a named subscription through the router (labels 0,2,4 all
+    // live on shard 0, served by its primary, backend 0). Read the first
+    // CUT emissions, then abandon the connection mid-stream.
+    let mut sub = Conn::connect(&addr_r);
+    sub.send(&format!("{SUB} NAME feed-1"));
+    let status = sub.read_line();
+    assert!(status.starts_with("+OK"), "{status}");
+    let mut first: Vec<String> = Vec::new();
+    while first.len() < CUT {
+        let l = sub.read_line();
+        assert!(
+            !l.starts_with("DONE "),
+            "stream finished before the cut — raise ROWS or lower CUT"
+        );
+        if l.starts_with("EMIT ") {
+            first.push(l);
+        }
+    }
+    drop(sub);
+
+    // SIGKILL the primary replica of the owning shard. The replica
+    // (backend 2) holds the same fanned-out rows, so the emission
+    // sequence is a pure function of what it already has.
+    b0.kill().expect("SIGKILL shard 0 primary");
+    b0.wait().expect("reap shard 0 primary");
+
+    // Phase B: resume through the router. It must discover the dead
+    // primary, fail over to the replica, and serve the remainder.
+    let mut back = Conn::connect(&addr_r);
+    let resumed = back.request(&format!("{SUB} NAME feed-1 AFTER {CUT}"));
+    assert!(resumed[0].starts_with("+OK"), "{resumed:?}");
+    let rest: Vec<&String> = resumed.iter().filter(|l| l.starts_with("EMIT ")).collect();
+    let reassembled: Vec<&String> = first.iter().chain(rest.iter().copied()).collect();
+    assert_eq!(
+        reassembled, full_emits,
+        "resumed stream must reassemble the uninterrupted single-node \
+         emission sequence — zero duplicates, zero missing"
+    );
+    assert_eq!(
+        resumed.last(),
+        Some(done),
+        "DONE totals must be skip-independent"
+    );
+
+    // The router's STATS now reports exactly one dead backend.
+    let stats = back.request("STATS");
+    assert_eq!(
+        stats[0].matches(r#""alive":false"#).count(),
+        1,
+        "exactly one backend should read dead: {}",
+        stats[0]
+    );
+    assert_eq!(
+        stats[0].matches(r#""alive":true"#).count(),
+        3,
+        "the other three should read alive: {}",
+        stats[0]
+    );
+
+    drain(&addr_r);
+    drain(&addr_s);
+    router.wait().expect("reap router");
+    b1.wait().expect("reap shard 1 primary");
+    b2.wait().expect("reap shard 0 replica");
+    b3.wait().expect("reap shard 1 replica");
+    single.wait().expect("reap single node");
+    for dir in [dir0, dir1, dir2, dir3] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

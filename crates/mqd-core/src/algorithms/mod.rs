@@ -12,4 +12,4 @@ pub use greedy_sc::{
     solve_greedy_sc_threads,
 };
 pub use opt::{solve_opt, OptConfig};
-pub use scan::{solve_scan, solve_scan_plus, LabelOrder};
+pub use scan::{solve_scan, solve_scan_cover, solve_scan_plus, LabelOrder};

@@ -122,9 +122,30 @@ fn scan_label<L: LambdaProvider + ?Sized>(
 /// assert_eq!(sol.size(), 2);
 /// ```
 pub fn solve_scan<L: LambdaProvider + ?Sized>(inst: &Instance, lp: &L) -> Solution {
+    let all: Vec<LabelId> = (0..inst.num_labels() as u16).map(LabelId).collect();
+    solve_scan_cover(inst, lp, &all)
+}
+
+/// Algorithm Scan restricted to a label subset: the optimal per-label
+/// covers of exactly the labels in `cover`, unioned. [`solve_scan`] is the
+/// all-labels special case.
+///
+/// This restriction is what makes Scan shard-decomposable: each per-label
+/// pass reads only `LP(a)`, so a node holding every post that carries `a`
+/// computes `S_a` exactly, and unioning the passes over any partition of
+/// the labels reproduces the single-node selection post-for-post. Labels
+/// outside the instance are ignored (a shard may own labels the slice
+/// never matched).
+pub fn solve_scan_cover<L: LambdaProvider + ?Sized>(
+    inst: &Instance,
+    lp: &L,
+    cover: &[LabelId],
+) -> Solution {
     let mut selected = Vec::new();
-    for a_idx in 0..inst.num_labels() as u16 {
-        scan_label(inst, lp, LabelId(a_idx), None, |z| selected.push(z));
+    for &a in cover {
+        if (a.0 as usize) < inst.num_labels() {
+            scan_label(inst, lp, a, None, |z| selected.push(z));
+        }
     }
     Solution::new("Scan", selected)
 }
@@ -269,6 +290,45 @@ mod tests {
             let sol = solve_scan_plus(&inst, &f, order);
             check_cover(&inst, &f, &sol);
         }
+    }
+
+    #[test]
+    fn cover_partition_unions_to_full_scan() {
+        // Any partition of the labels reproduces full Scan's selection:
+        // the per-label passes are independent, so sharded solving is
+        // byte-identical after a sort/dedup union.
+        let inst = Instance::from_values(
+            vec![
+                (0, vec![0, 1]),
+                (3, vec![1]),
+                (5, vec![0]),
+                (9, vec![2]),
+                (12, vec![0, 2]),
+                (15, vec![1, 2]),
+            ],
+            3,
+        )
+        .unwrap();
+        let f = FixedLambda(4);
+        let mut full = solve_scan(&inst, &f).selected;
+        full.sort_unstable();
+        full.dedup();
+        for split in [
+            vec![vec![0u16], vec![1], vec![2]],
+            vec![vec![0, 2], vec![1]],
+            vec![vec![1, 2, 0]],
+        ] {
+            let mut union = Vec::new();
+            for part in &split {
+                let cover: Vec<LabelId> = part.iter().copied().map(LabelId).collect();
+                union.extend(solve_scan_cover(&inst, &f, &cover).selected);
+            }
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(union, full, "partition {split:?} diverged");
+        }
+        // Labels beyond the instance are ignored, not a panic.
+        assert_eq!(solve_scan_cover(&inst, &f, &[LabelId(7)]).size(), 0);
     }
 
     #[test]

@@ -30,6 +30,76 @@ pub const SEGMENT_MAGIC: &[u8; 4] = b"MQDS";
 /// blob).
 pub const SUBSCRIPTION_MAGIC: &[u8; 4] = b"MQSB";
 
+/// Frame magic of the router/backend `HELLO` handshake (`mqd-router`).
+pub const ROUTER_MAGIC: &[u8; 4] = b"MQRT";
+
+/// Version byte of the router handshake frame.
+pub const ROUTER_VERSION: u8 = 1;
+
+/// Upper bound on cluster shard count — matches the `SHARDS` clamp the
+/// serving protocol already applies to per-query label sharding.
+pub const MAX_SHARD_COUNT: u32 = 64;
+
+/// The canonical shard map: a label is owned by exactly one shard, and
+/// every node (router, backends, oracle) derives ownership from this one
+/// function so the map can never drift.
+pub fn shard_of_label(label: u16, shard_count: u32) -> u32 {
+    (label as u32) % shard_count.max(1)
+}
+
+/// A backend's position in the cluster shard map, exchanged in the
+/// router handshake and pinned by `mqdiv serve --shard-id/--shard-count`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardIdentity {
+    /// Which shard this backend serves (`0..shard_count`).
+    pub shard_id: u32,
+    /// Total shards in the cluster map.
+    pub shard_count: u32,
+}
+
+/// Encodes the router handshake frame: magic, version, and the shard map
+/// coordinates the router expects the backend to hold.
+pub fn encode_hello(identity: &ShardIdentity) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(ROUTER_MAGIC);
+    buf.push(ROUTER_VERSION);
+    put_varint(&mut buf, identity.shard_id as u64);
+    put_varint(&mut buf, identity.shard_count as u64);
+    seal_framed(&mut buf, FRAME_FOOTER);
+    buf
+}
+
+/// Decodes and validates a router handshake frame.
+pub fn decode_hello(data: &[u8]) -> Result<ShardIdentity, MqdError> {
+    let body = check_framed(data, FRAME_FOOTER, 7)?;
+    let mut c = Cursor::new(body);
+    let magic = c.get_array::<4>()?;
+    if &magic != ROUTER_MAGIC {
+        return Err(c.corrupt("not a router hello frame"));
+    }
+    let version = c.get_u8()?;
+    if version != ROUTER_VERSION {
+        return Err(c.corrupt(format!("unsupported router frame version {version}")));
+    }
+    let shard_id = c.get_varint()?;
+    let shard_count = c.get_varint()?;
+    if shard_count == 0 || shard_count > MAX_SHARD_COUNT as u64 {
+        return Err(c.corrupt(format!("shard count {shard_count} out of range")));
+    }
+    if shard_id >= shard_count {
+        return Err(c.corrupt(format!(
+            "shard id {shard_id} outside shard count {shard_count}"
+        )));
+    }
+    if c.has_remaining() {
+        return Err(c.corrupt("trailing bytes after hello frame"));
+    }
+    Ok(ShardIdentity {
+        shard_id: shard_id as u32,
+        shard_count: shard_count as u32,
+    })
+}
+
 /// FNV-1a over a byte slice — the workspace's integrity checksum.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -89,6 +159,33 @@ impl<'a> Cursor<'a> {
     /// Whether any bytes remain.
     pub fn has_remaining(&self) -> bool {
         self.pos < self.data.len()
+    }
+
+    /// Unread bytes left in the buffer.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Validates an untrusted element count against the bytes actually
+    /// left: each element occupies at least `min_encoded_size` bytes, so a
+    /// count beyond `remaining / min_encoded_size` cannot be satisfied by
+    /// any suffix of the input and is reported as [`MqdError::Corrupt`]
+    /// before a single byte is allocated for it. Returns the count as a
+    /// capacity safe to pass to `Vec::with_capacity`.
+    pub fn plausible_len(
+        &self,
+        n: u64,
+        min_encoded_size: usize,
+        what: &str,
+    ) -> Result<usize, MqdError> {
+        let cap = (self.remaining() / min_encoded_size.max(1)) as u64;
+        if n > cap {
+            return Err(self.corrupt(format!(
+                "{what} count {n} exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
     }
 
     /// Builds the typed error for a failure at the current offset.
@@ -227,6 +324,60 @@ mod tests {
             c.get_varint().unwrap_err(),
             MqdError::Corrupt { .. }
         ));
+    }
+
+    #[test]
+    fn plausible_len_rejects_impossible_counts() {
+        let buf = [0u8; 16];
+        let mut c = Cursor::new(&buf);
+        c.get_u8().unwrap();
+        assert_eq!(c.remaining(), 15);
+        // 15 one-byte elements fit; 16 cannot.
+        assert_eq!(c.plausible_len(15, 1, "labels").unwrap(), 15);
+        assert!(matches!(
+            c.plausible_len(16, 1, "labels").unwrap_err(),
+            MqdError::Corrupt { .. }
+        ));
+        // 5 three-byte elements fit; 6 cannot; u64::MAX certainly cannot.
+        assert_eq!(c.plausible_len(5, 3, "rows").unwrap(), 5);
+        assert!(c.plausible_len(6, 3, "rows").is_err());
+        assert!(c.plausible_len(u64::MAX, 3, "rows").is_err());
+    }
+
+    #[test]
+    fn hello_frame_round_trips_and_rejects_bad_maps() {
+        let id = ShardIdentity {
+            shard_id: 1,
+            shard_count: 2,
+        };
+        let frame = encode_hello(&id);
+        assert_eq!(decode_hello(&frame).unwrap(), id);
+        // Corruption is caught by the checksum.
+        let mut bad = frame.clone();
+        bad[5] ^= 0x01;
+        assert!(decode_hello(&bad).is_err());
+        // Out-of-range maps are rejected even when correctly framed.
+        for (sid, count) in [(0u32, 0u32), (2, 2), (0, MAX_SHARD_COUNT + 1)] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(ROUTER_MAGIC);
+            buf.push(ROUTER_VERSION);
+            put_varint(&mut buf, sid as u64);
+            put_varint(&mut buf, count as u64);
+            seal_framed(&mut buf, FRAME_FOOTER);
+            assert!(decode_hello(&buf).is_err(), "accepted {sid}/{count}");
+        }
+    }
+
+    #[test]
+    fn shard_map_is_total_and_stable() {
+        for label in 0..u16::MAX {
+            let s = shard_of_label(label, 4);
+            assert!(s < 4);
+            assert_eq!(s, (label % 4) as u32);
+        }
+        // A single-shard map owns everything; zero is clamped, not a panic.
+        assert_eq!(shard_of_label(123, 1), 0);
+        assert_eq!(shard_of_label(123, 0), 0);
     }
 
     #[test]

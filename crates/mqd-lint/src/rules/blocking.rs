@@ -22,6 +22,7 @@ fn applies(rel: &str) -> bool {
     rel.starts_with("crates/mqd-server/src")
         || rel.starts_with("crates/mqd-stream/src")
         || rel.starts_with("crates/mqd-par/src")
+        || rel.starts_with("crates/mqd-router/src")
         || rel == "crates/mqd-cli/src/serve.rs"
 }
 
@@ -145,5 +146,15 @@ fn worker(rx: &Receiver<Conn>) {
             &LintConfig::subset(&[super::ID]).unwrap(),
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn router_sources_are_in_scope() {
+        let out = lint_source(
+            "crates/mqd-router/src/router.rs",
+            "fn f(rx: &Receiver<u8>) { rx.recv(); }",
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 }

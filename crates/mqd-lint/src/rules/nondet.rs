@@ -40,6 +40,7 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-store/src")
         || rel == "crates/mqd-server/src/protocol.rs"
         || rel.starts_with("crates/mqd-stream/src")
+        || rel.starts_with("crates/mqd-router/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -219,5 +220,20 @@ mod tests {
 }
 ";
         assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn router_sources_are_in_scope() {
+        let src = "\
+fn f(m: &HashMap<u16, u32>) {
+    for (k, v) in m.iter() { use_it(k, v); }
+}
+";
+        let out = lint_source(
+            "crates/mqd-router/src/backend.rs",
+            src,
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 }

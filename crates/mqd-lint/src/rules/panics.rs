@@ -7,7 +7,8 @@
 //!
 //! Flagged in non-test code of `mqd-server`/`mqd-stream`/`mqd-store`/
 //! `mqd-wal` (the durability layer serves recovery — a panic there turns a
-//! survivable torn write into a server that cannot boot):
+//! survivable torn write into a server that cannot boot) and `mqd-router`
+//! (one routing worker serves many clients; same blast radius):
 //! `.unwrap()`, `.expect(..)`, the `panic!`/`unreachable!`/`todo!`/
 //! `unimplemented!` macros, range slicing (`&buf[..n]` — panics when `n`
 //! exceeds the buffer) and fixed-index access (`buf[0]` — panics when
@@ -32,6 +33,7 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-stream/src")
         || rel.starts_with("crates/mqd-store/src")
         || rel.starts_with("crates/mqd-wal/src")
+        || rel.starts_with("crates/mqd-router/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -232,5 +234,15 @@ mod tests {
             &LintConfig::subset(&[super::ID]).unwrap(),
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn router_sources_are_in_scope() {
+        let out = lint_source(
+            "crates/mqd-router/src/merge.rs",
+            "fn f(o: Option<u8>) { o.unwrap(); }",
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 }

@@ -17,9 +17,11 @@
 //! | 12 | variable lambda == fixed lambda on the uniform-density grid | Eq. 2 |
 //! | 13 | loopback-served `QUERY` answers == offline solver, byte-identical | PR 4 |
 //! | 15 | repaired / stale-served cached covers == cold solve at their watermark generation | PR 6 |
+//! | 16 | router-fronted 2-shard cluster == single node, byte-identical (QUERY mix, STATS core, relayed SUBSCRIBE) | PR 8 |
 //!
-//! (#14 is reserved for the `cluster-agreement` check of the planned
-//! multi-node scale-out, ROADMAP item 2.)
+//! (#14 stays unassigned: it was reserved for the cluster-agreement check,
+//! which landed as #16 once the scale-out design added the STATS and
+//! SUBSCRIBE legs.)
 //!
 //! Checks 1 and 5–6 are the differential core: they compare the library
 //! against [`crate::reference`], an independent quadratic model, so a
@@ -121,6 +123,7 @@ impl Checker {
         self.checkpoint(case, &inst)?;
         self.serving(case)?;
         self.repairing(case)?;
+        self.clustered(case)?;
         self.checks += crate::metamorphic::check(case)?;
         Ok(())
     }
@@ -662,7 +665,6 @@ impl Checker {
         fail: &impl Fn(String) -> Failure,
     ) -> Result<(), Failure> {
         use mqd_server::{format_query, Client};
-        use mqd_store::{Algorithm, QuerySpec};
 
         let mut client = Client::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
         let resp = client
@@ -671,6 +673,42 @@ impl Checker {
         self.ensure(resp.is_ok(), "server-agreement", || {
             format!("ingest of {} rows rejected: {}", rows.len(), resp.status)
         })?;
+
+        let specs = Self::query_mix(case, rows);
+
+        for spec in &specs {
+            let want = Self::served_reference(rows, spec).map_err(|e| {
+                fail(format!(
+                    "offline reference failed on {}: {e}",
+                    format_query(spec)
+                ))
+            })?;
+            let resp = client
+                .request(&format_query(spec))
+                .map_err(|e| fail(format!("query {}: {e}", format_query(spec))))?;
+            self.ensure(resp.is_ok(), "server-agreement", || {
+                format!("{} rejected: {}", format_query(spec), resp.status)
+            })?;
+            self.ensure(resp.lines == want, "server-agreement", || {
+                format!(
+                    "served answer differs from offline solver on {}:\n  served  {:?}\n  offline {:?}",
+                    format_query(spec),
+                    resp.lines,
+                    want
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The deterministic query mix invariants 13 and 16 both sweep: for
+    /// each list algorithm a full-range/all-labels fixed-lambda query, a
+    /// seeded subrange over a seeded label subset, and a proportional
+    /// (variable-lambda) full-range query; OPT on exact-sized cases; and
+    /// the first spec re-issued last so the second answer exercises the
+    /// cover cache.
+    fn query_mix(case: &Case, rows: &[Record]) -> Vec<mqd_store::QuerySpec> {
+        use mqd_store::{Algorithm, QuerySpec};
 
         let num_labels = case.num_labels.max(1) as u16;
         let all: Vec<u16> = (0..num_labels).collect();
@@ -734,30 +772,7 @@ impl Checker {
         // Re-issue the first spec at the end: the second answer comes from
         // the cover cache and must still be byte-identical.
         specs.push(specs[0].clone());
-
-        for spec in &specs {
-            let want = Self::served_reference(rows, spec).map_err(|e| {
-                fail(format!(
-                    "offline reference failed on {}: {e}",
-                    format_query(spec)
-                ))
-            })?;
-            let resp = client
-                .request(&format_query(spec))
-                .map_err(|e| fail(format!("query {}: {e}", format_query(spec))))?;
-            self.ensure(resp.is_ok(), "server-agreement", || {
-                format!("{} rejected: {}", format_query(spec), resp.status)
-            })?;
-            self.ensure(resp.lines == want, "server-agreement", || {
-                format!(
-                    "served answer differs from offline solver on {}:\n  served  {:?}\n  offline {:?}",
-                    format_query(spec),
-                    resp.lines,
-                    want
-                )
-            })?;
-        }
-        Ok(())
+        specs
     }
 
     /// Independent re-derivation of the served answer: canonical slice
@@ -1057,6 +1072,213 @@ impl Checker {
                     "zero debt bound: expected the Scan entry to go stale, got {other:?}"
                 )));
             }
+        }
+        Ok(())
+    }
+
+    /// Invariant 16 (`cluster-agreement`): a 2-shard cluster behind the
+    /// router answers every query in the invariant-13 mix — all list
+    /// algorithms, OPT on exact-sized cases, and PROP — byte-identically
+    /// to a single node fed the same ingest, and its STATS core fields
+    /// (`rows`, `labels`, `generation`, `min_value`, `max_value`) match
+    /// the single node's. A single-shard `SUBSCRIBE` relayed through the
+    /// router must also reproduce the single node's emission stream.
+    fn clustered(&mut self, case: &Case) -> Result<(), Failure> {
+        use mqd_core::wire::ShardIdentity;
+        use mqd_router::{Router, RouterConfig};
+        use mqd_server::{Client, Server, ServerConfig};
+
+        let inv = "cluster-agreement";
+        let fail = |detail: String| Failure::new(inv, detail);
+
+        // Same row construction as invariant 13 (ids are generation
+        // indexes, ingest order is (value, id)).
+        let mut rows: Vec<Record> = case
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, labels))| !labels.is_empty())
+            .map(|(i, (value, labels))| Record {
+                id: i as u64,
+                value: *value,
+                labels: labels.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.value, r.id));
+        if rows.is_empty() || rows.len() > 400 {
+            return Ok(());
+        }
+
+        let bind_backend = |shard: Option<ShardIdentity>| -> Result<Server, Failure> {
+            Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                max_queue: 16,
+                shard,
+                ..ServerConfig::default()
+            })
+            .map_err(|e| fail(format!("bind backend: {e}")))
+        };
+        const SHARDS: u32 = 2;
+        let b0 = bind_backend(Some(ShardIdentity {
+            shard_id: 0,
+            shard_count: SHARDS,
+        }))?;
+        let b1 = bind_backend(Some(ShardIdentity {
+            shard_id: 1,
+            shard_count: SHARDS,
+        }))?;
+        let single = bind_backend(None)?;
+        let (a0, a1, a_single) = (b0.local_addr(), b1.local_addr(), single.local_addr());
+        let router = Router::bind(&RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: vec![a0.to_string(), a1.to_string()],
+            shards: SHARDS,
+            threads: 2,
+            max_queue: 16,
+        })
+        .map_err(|e| fail(format!("bind router: {e}")))?;
+        let a_router = router.local_addr();
+        let handles = [
+            std::thread::spawn(move || b0.run()),
+            std::thread::spawn(move || b1.run()),
+            std::thread::spawn(move || single.run()),
+        ];
+        let rh = std::thread::spawn(move || router.run());
+
+        let outcome = self.clustered_session(case, &rows, a_router, a_single, &fail);
+        // Drain everything, failure or not: the router's DRAIN fans out to
+        // the backends before the router itself shuts down.
+        if let Ok(mut c) = Client::connect(a_router) {
+            let _ = c.request("DRAIN");
+        }
+        if let Ok(mut c) = Client::connect(a_single) {
+            let _ = c.request("DRAIN");
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = rh.join();
+        outcome?;
+        Ok(())
+    }
+
+    /// The client side of invariant 16: mirrored ingest, the shared query
+    /// mix compared byte-for-byte, STATS core fields, and a single-shard
+    /// SUBSCRIBE relay.
+    fn clustered_session(
+        &mut self,
+        case: &Case,
+        rows: &[Record],
+        a_router: std::net::SocketAddr,
+        a_single: std::net::SocketAddr,
+        fail: &impl Fn(String) -> Failure,
+    ) -> Result<(), Failure> {
+        use mqd_core::wire::shard_of_label;
+        use mqd_server::{format_query, Client};
+
+        let mut via_router =
+            Client::connect(a_router).map_err(|e| fail(format!("connect router: {e}")))?;
+        let mut via_single =
+            Client::connect(a_single).map_err(|e| fail(format!("connect single: {e}")))?;
+
+        let ra = via_router
+            .ingest_batch(rows)
+            .map_err(|e| fail(format!("cluster ingest: {e}")))?;
+        let rb = via_single
+            .ingest_batch(rows)
+            .map_err(|e| fail(format!("single ingest: {e}")))?;
+        self.ensure(
+            ra.is_ok() && ra.status == rb.status,
+            "cluster-agreement",
+            || {
+                format!(
+                    "ingest acks differ: cluster '{}' vs single '{}'",
+                    ra.status, rb.status
+                )
+            },
+        )?;
+
+        for spec in &Self::query_mix(case, rows) {
+            let q = format_query(spec);
+            let a = via_router
+                .request(&q)
+                .map_err(|e| fail(format!("cluster {q}: {e}")))?;
+            let b = via_single
+                .request(&q)
+                .map_err(|e| fail(format!("single {q}: {e}")))?;
+            self.ensure(a.is_ok(), "cluster-agreement", || {
+                format!("cluster rejected {q}: {}", a.status)
+            })?;
+            self.ensure(a.lines == b.lines, "cluster-agreement", || {
+                format!(
+                    "cluster answer differs from single node on {q}:\n  cluster {:?}\n  single  {:?}",
+                    a.lines, b.lines
+                )
+            })?;
+        }
+
+        // STATS core fields: the router's exact ledger vs the single
+        // node's store counters.
+        let sa = via_router
+            .request("STATS")
+            .map_err(|e| fail(format!("cluster STATS: {e}")))?;
+        let sb = via_single
+            .request("STATS")
+            .map_err(|e| fail(format!("single STATS: {e}")))?;
+        let field = |status: &str, key: &str| -> Option<String> {
+            let needle = format!("\"{key}\":");
+            let at = status.find(&needle)? + needle.len();
+            let digits: String = status
+                .get(at..)?
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '-')
+                .collect();
+            (!digits.is_empty()).then_some(digits)
+        };
+        for key in ["rows", "labels", "generation", "min_value", "max_value"] {
+            self.ensure(
+                field(&sa.status, key) == field(&sb.status, key),
+                "cluster-agreement",
+                || {
+                    format!(
+                        "STATS {key} differs: cluster {} vs single {}",
+                        sa.status, sb.status
+                    )
+                },
+            )?;
+        }
+
+        // A SUBSCRIBE whose labels live on one shard must relay the single
+        // node's exact emission stream (header fields aside — the router
+        // forwards the backend header verbatim, so compare lines only).
+        let num_labels = case.num_labels.max(1) as u16;
+        let shard0: Vec<String> = (0..num_labels)
+            .filter(|&l| shard_of_label(l, 2) == 0)
+            .map(|l| l.to_string())
+            .collect();
+        if !shard0.is_empty() {
+            let sub = format!(
+                "SUBSCRIBE {} {} {} greedy",
+                shard0.join(","),
+                case.lambda,
+                case.lambda.max(1),
+            );
+            let a = via_router
+                .request(&sub)
+                .map_err(|e| fail(format!("cluster {sub}: {e}")))?;
+            let b = via_single
+                .request(&sub)
+                .map_err(|e| fail(format!("single {sub}: {e}")))?;
+            self.ensure(a.is_ok(), "cluster-agreement", || {
+                format!("cluster rejected {sub}: {}", a.status)
+            })?;
+            self.ensure(a.lines == b.lines, "cluster-agreement", || {
+                format!(
+                    "relayed subscribe differs on {sub}:\n  cluster {:?}\n  single  {:?}",
+                    a.lines, b.lines
+                )
+            })?;
         }
         Ok(())
     }

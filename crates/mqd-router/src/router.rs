@@ -1,0 +1,1069 @@
+//! The router runtime: frontend acceptor/worker pool, per-verb routing,
+//! scatter-gather execution, and the `SUBSCRIBE` failover relay.
+
+use std::collections::BTreeSet;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mqd_core::record::{decode_records, Record};
+use mqd_core::MqdError;
+use mqd_server::lineio::{LineEvent, LineReader, READ_TICK};
+use mqd_server::protocol::{
+    parse_request, write_err, write_ok, write_overloaded, Request, SubscribeSpec, MAX_BATCH_ROWS,
+    MAX_LINE_BYTES, TERMINATOR,
+};
+use mqd_server::{format_query, Client, Response};
+use mqd_store::{repairable, QuerySpec};
+use mqd_stream::ShardEngineKind;
+
+use crate::backend::{BackendPool, Topology};
+use crate::merge::{merge_rows, solve_merged};
+
+fn perr(msg: impl Into<String>) -> MqdError {
+    MqdError::Protocol { msg: msg.into() }
+}
+
+/// Router settings, as exposed by `mqdiv route`.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Ordered backend addresses; backend `j` serves shard
+    /// `j mod shards`, so the list length must be a multiple of `shards`.
+    pub backends: Vec<String>,
+    /// Number of label shards the cluster is partitioned into.
+    pub shards: u32,
+    /// Worker threads; 0 sizes off [`mqd_par::configured_threads`],
+    /// floored at 4 (same reasoning as the server: handlers block on
+    /// backend I/O, not CPU).
+    pub threads: usize,
+    /// Admission queue depth, as on the server.
+    pub max_queue: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            shards: 1,
+            threads: 0,
+            max_queue: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Served {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    ingested_rows: AtomicU64,
+    subscribes: AtomicU64,
+    errors: AtomicU64,
+    overloads: AtomicU64,
+}
+
+/// The router's exact corpus ledger. The router is the cluster's single
+/// ingest door, so counting at the door reproduces the single-node STATS
+/// core fields (`rows`, `labels`, `generation`, `min_value`, `max_value`)
+/// without a scatter — and `watermarks[s]` is the generation backend
+/// replicas of shard `s` must have reached once they have applied every
+/// routed row, which is what `QUERY` responses stamp as the vector
+/// watermark.
+struct Ledger {
+    rows: u64,
+    labels: BTreeSet<u16>,
+    min_value: Option<i64>,
+    max_value: Option<i64>,
+    watermarks: Vec<u64>,
+}
+
+impl Ledger {
+    fn apply(&mut self, rows: &[Record], per_shard: &[u64]) {
+        self.rows += rows.len() as u64;
+        for row in rows {
+            self.labels.extend(row.labels.iter().copied());
+            self.min_value = Some(self.min_value.map_or(row.value, |m| m.min(row.value)));
+            self.max_value = Some(self.max_value.map_or(row.value, |m| m.max(row.value)));
+        }
+        for (w, add) in self.watermarks.iter_mut().zip(per_shard) {
+            *w += add;
+        }
+    }
+}
+
+struct RouterState {
+    topo: Topology,
+    ledger: Mutex<Ledger>,
+    served: Served,
+    draining: AtomicBool,
+    addr: SocketAddr,
+    threads: usize,
+}
+
+/// A bound, ready-to-run router. [`Router::run`] blocks until a `DRAIN`
+/// request shuts it down (after forwarding the drain to every backend).
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    max_queue: usize,
+}
+
+impl Router {
+    /// Validates the topology and binds the frontend socket. Backends are
+    /// dialed lazily per connection, so `bind` succeeds even while the
+    /// backends are still starting.
+    pub fn bind(cfg: &RouterConfig) -> Result<Self, MqdError> {
+        let topo = Topology::new(cfg.backends.clone(), cfg.shards)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = if cfg.threads == 0 {
+            mqd_par::configured_threads().max(4)
+        } else {
+            cfg.threads
+        };
+        let shard_count = topo.shard_count() as usize;
+        Ok(Router {
+            listener,
+            state: Arc::new(RouterState {
+                topo,
+                ledger: Mutex::new(Ledger {
+                    rows: 0,
+                    labels: BTreeSet::new(),
+                    min_value: None,
+                    max_value: None,
+                    watermarks: vec![0; shard_count],
+                }),
+                served: Served::default(),
+                draining: AtomicBool::new(false),
+                addr,
+                threads,
+            }),
+            max_queue: cfg.max_queue.max(1),
+        })
+    }
+
+    /// The bound frontend address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until drained — the same acceptor/bounded-queue/worker-pool
+    /// shape as `mqd-server`, minus the store.
+    pub fn run(self) -> Result<(), MqdError> {
+        let (tx, rx) = sync_channel::<TcpStream>(self.max_queue);
+        let rx = Arc::new(Mutex::new(rx));
+        let state = self.state;
+        std::thread::scope(|s| {
+            for _ in 0..state.threads {
+                let rx = Arc::clone(&rx);
+                let st = Arc::clone(&state);
+                s.spawn(move || worker_loop(&rx, &st));
+            }
+            for conn in self.listener.incoming() {
+                if state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                state.served.connections.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(conn)) => {
+                        state.served.overloads.fetch_add(1, Ordering::Relaxed);
+                        let mut w = BufWriter::new(conn);
+                        let _ = write_overloaded(&mut w, "router at capacity, retry later");
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &RouterState) {
+    loop {
+        let conn = {
+            // A poisoned receiver mutex means a sibling worker panicked
+            // mid-recv; the pool is already compromised, so this worker
+            // retires instead of panicking too.
+            let Ok(guard) = rx.lock() else { return };
+            // lint:allow(blocking-call): bounded by the acceptor — dropping the sender disconnects recv with Err
+            guard.recv()
+        };
+        match conn {
+            Ok(c) => {
+                let _ = handle_conn(c, state);
+            }
+            Err(_) => return, // acceptor dropped the sender: drain complete
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn handle_conn(conn: TcpStream, state: &RouterState) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(READ_TICK))?;
+    let _ = conn.set_nodelay(true);
+    let write_half = conn.try_clone()?;
+    let mut reader = LineReader::new(BufReader::new(conn));
+    let mut w = BufWriter::new(write_half);
+    let mut pool = BackendPool::new(&state.topo);
+
+    loop {
+        let line = match reader.next_line(&state.draining)? {
+            LineEvent::Line(line) => line,
+            LineEvent::Eof | LineEvent::Drained => return Ok(()),
+            LineEvent::Oversized => {
+                state.served.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_err(
+                    &mut w,
+                    &perr(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+                );
+                reader.drain_peer();
+                return Ok(());
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                state.served.errors.fetch_add(1, Ordering::Relaxed);
+                write_err(&mut w, &e)?;
+                continue;
+            }
+        };
+
+        // Framed bodies are consumed before dispatch so the stream stays
+        // line-synced even for requests the router then rejects (HELLO is
+        // a backend-only verb, but its body still has to leave the pipe).
+        let body = match req {
+            Request::IngestBatch { bytes } | Request::Hello { bytes } => {
+                match reader.read_exact_body(bytes, &state.draining)? {
+                    Ok(body) => Some(body),
+                    Err(got) => {
+                        state.served.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_err(
+                            &mut w,
+                            &perr(format!("truncated body: got {got} of {bytes} bytes")),
+                        );
+                        reader.drain_peer();
+                        return Ok(());
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute(state, &mut pool, &req, body.as_deref(), &mut w)
+        }));
+        match outcome {
+            Ok(Ok(Flow::Continue)) => {}
+            Ok(Ok(Flow::Close)) => return Ok(()),
+            Ok(Err(io)) => return Err(io),
+            Err(_) => {
+                state.served.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_err(&mut w, &perr("internal error (request handler panicked)"));
+                reader.drain_peer();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Relays a complete backend response frame to the client verbatim.
+fn relay(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    writeln!(w, "{}", resp.status)?;
+    for line in &resp.lines {
+        writeln!(w, "{line}")?;
+    }
+    writeln!(w, "{TERMINATOR}")?;
+    w.flush()
+}
+
+fn execute(
+    state: &RouterState,
+    pool: &mut BackendPool,
+    req: &Request,
+    body: Option<&[u8]>,
+    w: &mut impl Write,
+) -> std::io::Result<Flow> {
+    match req {
+        Request::Ping => {
+            write_ok(w, r#"{"pong":true}"#, &[])?;
+            Ok(Flow::Continue)
+        }
+        Request::Stats => {
+            match cluster_stats(state, pool) {
+                Ok(json) => write_ok(w, &json, &[])?,
+                Err(e) => {
+                    state.served.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Ingest(row) => {
+            route_ingest(state, pool, std::slice::from_ref(row), w)?;
+            Ok(Flow::Continue)
+        }
+        Request::IngestBatch { .. } => {
+            let Some(body) = body else {
+                state.served.errors.fetch_add(1, Ordering::Relaxed);
+                write_err(w, &perr("batch body missing for INGESTB"))?;
+                return Ok(Flow::Continue);
+            };
+            match decode_batch(body) {
+                Ok(rows) => route_ingest(state, pool, &rows, w)?,
+                Err(e) => {
+                    state.served.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Query(spec) => {
+            state.served.queries.fetch_add(1, Ordering::Relaxed);
+            route_query(state, pool, spec, w)?;
+            Ok(Flow::Continue)
+        }
+        Request::QueryCover { .. } | Request::Slice { .. } | Request::Hello { .. } => {
+            // Backend-internal verbs: accepting them at the frontend would
+            // let a client bypass the shard map the router exists to
+            // enforce.
+            state.served.errors.fetch_add(1, Ordering::Relaxed);
+            write_err(
+                w,
+                &perr("COVER/SLICE/HELLO are backend verbs; the router serves client verbs only"),
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::Subscribe(spec) => {
+            state.served.subscribes.fetch_add(1, Ordering::Relaxed);
+            route_subscribe(state, pool, spec, w)?;
+            Ok(Flow::Continue)
+        }
+        Request::Drain => {
+            // Drain the backends first (best-effort: a dead backend is
+            // already drained for our purposes), then the router itself.
+            for idx in 0..state.topo.backends().len() {
+                let _ = pool.session(idx).and_then(|c| c.request("DRAIN"));
+                pool.drop_session(idx);
+            }
+            state.draining.store(true, Ordering::SeqCst);
+            write_ok(w, r#"{"draining":true}"#, &[])?;
+            // Kick the acceptor out of its blocking accept.
+            let _ = TcpStream::connect_timeout(&state.addr, Duration::from_millis(500));
+            Ok(Flow::Close)
+        }
+        Request::Quit => {
+            write_ok(w, r#"{"bye":true}"#, &[])?;
+            Ok(Flow::Close)
+        }
+    }
+}
+
+fn decode_batch(body: &[u8]) -> Result<Vec<Record>, MqdError> {
+    let rows = decode_records(body)?;
+    if rows.len() > MAX_BATCH_ROWS {
+        return Err(perr(format!(
+            "batch of {} rows exceeds limit {MAX_BATCH_ROWS}",
+            rows.len()
+        )));
+    }
+    Ok(rows)
+}
+
+/// Fans `rows` to every replica of every owning shard (order preserved —
+/// each backend sees the monotone subsequence of the feed its labels
+/// select) and answers with the single-node ingest acknowledgement shape,
+/// `generation` being the router's global row count.
+fn route_ingest(
+    state: &RouterState,
+    pool: &mut BackendPool,
+    rows: &[Record],
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    let shard_count = state.topo.shard_count() as usize;
+    let mut per_shard: Vec<Vec<Record>> = vec![Vec::new(); shard_count];
+    for row in rows {
+        for shard in state.topo.owning_shards(&row.labels) {
+            per_shard[shard as usize].push(row.clone());
+        }
+    }
+    for (shard, part) in per_shard.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let sent = pool.fan_write(shard as u32, &mut |c| c.ingest_batch(part));
+        match sent {
+            Ok(resp) if resp.is_ok() => {}
+            Ok(resp) => {
+                // A typed backend rejection (non-monotone row, …): relay
+                // it verbatim. Shards already written keep their prefix —
+                // the same stream-prefix semantics a single node has for a
+                // mid-batch failure.
+                state.served.errors.fetch_add(1, Ordering::Relaxed);
+                return relay(w, &resp);
+            }
+            Err(e) => {
+                state.served.errors.fetch_add(1, Ordering::Relaxed);
+                return write_err(w, &e);
+            }
+        }
+    }
+    let per_shard_counts: Vec<u64> = per_shard.iter().map(|p| p.len() as u64).collect();
+    let generation = match lock_ledger(state) {
+        Ok(mut ledger) => {
+            ledger.apply(rows, &per_shard_counts);
+            ledger.rows
+        }
+        Err(e) => {
+            state.served.errors.fetch_add(1, Ordering::Relaxed);
+            return write_err(w, &e);
+        }
+    };
+    state
+        .served
+        .ingested_rows
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+    write_ok(
+        w,
+        &format!(r#"{{"ingested":{},"generation":{generation}}}"#, rows.len()),
+        &[],
+    )
+}
+
+fn lock_ledger(state: &RouterState) -> Result<std::sync::MutexGuard<'_, Ledger>, MqdError> {
+    state
+        .ledger
+        .lock()
+        .map_err(|_| MqdError::Poisoned { what: "ledger" })
+}
+
+/// The vector watermark stamped into query responses: per shard, the
+/// generation its replicas reach once every routed row is applied.
+fn watermarks(state: &RouterState) -> Result<Vec<u64>, MqdError> {
+    Ok(lock_ledger(state)?.watermarks.clone())
+}
+
+/// Scatter-gathers one `QUERY`:
+///
+/// * all labels on one shard — forward verbatim, relay the rows;
+/// * multi-shard fixed-λ Scan — per-shard `COVER` halves, merged;
+/// * anything else multi-shard — per-shard `SLICE`, dedup-merge, solve
+///   locally over the reconstructed slice.
+fn route_query(
+    state: &RouterState,
+    pool: &mut BackendPool,
+    spec: &QuerySpec,
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    let owning = state.topo.owning_shards(&spec.labels);
+    let gathered: Result<Result<Vec<String>, Response>, MqdError> = (|| {
+        if owning.len() <= 1 {
+            let shard = owning.first().copied().unwrap_or(0);
+            let resp = pool.shard_request(shard, &format_query(spec))?;
+            if !resp.is_ok() {
+                return Ok(Err(resp));
+            }
+            return Ok(Ok(resp.lines));
+        }
+        if repairable(spec) {
+            // Fixed-λ Scan: per-label greedy covers are independent, so
+            // each shard solves exactly the labels it owns (against the
+            // full query's slice) and the union is the global answer.
+            let mut parts = Vec::with_capacity(owning.len());
+            for &shard in &owning {
+                let owned: BTreeSet<u16> = spec
+                    .labels
+                    .iter()
+                    .copied()
+                    .filter(|&l| state.topo.owning_shards(&[l]) == [shard])
+                    .collect();
+                let cover: Vec<String> = owned.iter().map(|l| l.to_string()).collect();
+                let line = format!("{} COVER {}", format_query(spec), cover.join(","));
+                let resp = pool.shard_request(shard, &line)?;
+                if !resp.is_ok() {
+                    return Ok(Err(resp));
+                }
+                parts.push(resp.lines);
+            }
+            return Ok(Ok(merge_rows(&parts)?));
+        }
+        // Global objective: gather the raw shard slices, reconstruct the
+        // single-node slice, and solve through the shared definition.
+        let mut parts = Vec::with_capacity(owning.len());
+        for &shard in &owning {
+            let resp = pool.shard_request(shard, &slice_line(&spec.labels, spec.from, spec.to))?;
+            if !resp.is_ok() {
+                return Ok(Err(resp));
+            }
+            parts.push(resp.lines);
+        }
+        let merged = merge_rows(&parts)?;
+        Ok(Ok(solve_merged(&merged, spec)?))
+    })();
+    match gathered {
+        Ok(Ok(rows)) => {
+            let stamped = match watermarks(state) {
+                Ok(gens) => gens,
+                Err(e) => {
+                    state.served.errors.fetch_add(1, Ordering::Relaxed);
+                    return write_err(w, &e);
+                }
+            };
+            let gens: Vec<String> = stamped.iter().map(|g| g.to_string()).collect();
+            let json = format!(
+                r#"{{"algorithm":"{}","count":{},"generations":[{}]}}"#,
+                spec.algorithm.as_str(),
+                rows.len(),
+                gens.join(","),
+            );
+            write_ok(w, &json, &rows)
+        }
+        Ok(Err(resp)) => {
+            state.served.errors.fetch_add(1, Ordering::Relaxed);
+            relay(w, &resp)
+        }
+        Err(e) => {
+            state.served.errors.fetch_add(1, Ordering::Relaxed);
+            write_err(w, &e)
+        }
+    }
+}
+
+fn slice_line(labels: &[u16], from: i64, to: i64) -> String {
+    let l: Vec<String> = labels.iter().map(|x| x.to_string()).collect();
+    let mut line = format!("SLICE {}", l.join(","));
+    if from != i64::MIN {
+        line.push_str(&format!(" FROM {from}"));
+    }
+    if to != i64::MAX {
+        line.push_str(&format!(" TO {to}"));
+    }
+    line
+}
+
+fn engine_str(k: ShardEngineKind) -> &'static str {
+    match k {
+        ShardEngineKind::Scan => "scan",
+        ShardEngineKind::ScanPlus => "scanplus",
+        ShardEngineKind::Greedy => "greedy",
+        ShardEngineKind::GreedyPlus => "greedyplus",
+    }
+}
+
+/// Rebuilds the wire form of a `SUBSCRIBE` with the skip count replaced —
+/// the router's failover reissues the session with `AFTER` advanced by the
+/// emissions it already relayed.
+fn subscribe_line(spec: &SubscribeSpec, after: u64) -> String {
+    let labels: Vec<String> = spec.labels.iter().map(|l| l.to_string()).collect();
+    let mut line = format!(
+        "SUBSCRIBE {} {} {} {}",
+        labels.join(","),
+        spec.lambda,
+        spec.tau,
+        engine_str(spec.engine),
+    );
+    if spec.from != i64::MIN {
+        line.push_str(&format!(" FROM {}", spec.from));
+    }
+    if spec.to != i64::MAX {
+        line.push_str(&format!(" TO {}", spec.to));
+    }
+    if spec.shards != 1 {
+        line.push_str(&format!(" SHARDS {}", spec.shards));
+    }
+    if let Some(name) = &spec.name {
+        line.push_str(&format!(" NAME {name}"));
+    }
+    if after != 0 {
+        line.push_str(&format!(" AFTER {after}"));
+    }
+    line
+}
+
+enum StreamEnd {
+    /// The response frame completed (terminator relayed or synthesized).
+    Complete,
+    /// The backend died mid-stream; fail over to the next replica.
+    Died,
+}
+
+/// Relays one `SUBSCRIBE` attempt against an already-pinned session.
+/// `relayed` counts the EMIT lines actually forwarded across *all*
+/// attempts — the reissue skip count — and `header_sent` suppresses the
+/// duplicate `+OK` header a failover replica would otherwise inject.
+fn relay_stream(
+    client: &mut Client,
+    line: &str,
+    relayed: &mut u64,
+    header_sent: &mut bool,
+    w: &mut impl Write,
+) -> std::io::Result<StreamEnd> {
+    if client.send_line(line).is_err() {
+        return Ok(StreamEnd::Died);
+    }
+    let header = match client.next_line() {
+        Ok(Some(h)) => h,
+        _ => return Ok(StreamEnd::Died),
+    };
+    if !header.starts_with("+OK") {
+        // A typed pre-stream rejection (bad parameters, checkpoint
+        // mismatch). Deterministic across replicas, so relay rather than
+        // fail over — except mid-failover, where the header is already
+        // out and the rejection must travel inside the payload framing.
+        if *header_sent {
+            writeln!(w, "ABORT Protocol failover rejected: {header}")?;
+            writeln!(w, "{TERMINATOR}")?;
+            w.flush()?;
+            return Ok(StreamEnd::Complete);
+        }
+        writeln!(w, "{header}")?;
+        loop {
+            match client.next_line() {
+                Ok(Some(l)) => {
+                    let done = l == TERMINATOR;
+                    writeln!(w, "{l}")?;
+                    if done {
+                        break;
+                    }
+                }
+                _ => {
+                    writeln!(w, "{TERMINATOR}")?;
+                    break;
+                }
+            }
+        }
+        w.flush()?;
+        return Ok(StreamEnd::Complete);
+    }
+    if !*header_sent {
+        writeln!(w, "{header}")?;
+        w.flush()?;
+        *header_sent = true;
+    }
+    // DONE/ABORT already relayed: the stream's substance is complete, so a
+    // death before the trailing terminator only needs the frame closed —
+    // failing over would replay a finished session and duplicate its DONE.
+    let mut finished = false;
+    loop {
+        match client.next_line() {
+            Ok(Some(l)) if l == TERMINATOR => {
+                writeln!(w, "{TERMINATOR}")?;
+                w.flush()?;
+                return Ok(StreamEnd::Complete);
+            }
+            Ok(Some(l)) => {
+                if l.starts_with("EMIT ") {
+                    *relayed += 1;
+                } else if l.starts_with("DONE") || l.starts_with("ABORT") {
+                    finished = true;
+                }
+                writeln!(w, "{l}")?;
+                w.flush()?;
+            }
+            _ => {
+                if finished {
+                    writeln!(w, "{TERMINATOR}")?;
+                    w.flush()?;
+                    return Ok(StreamEnd::Complete);
+                }
+                return Ok(StreamEnd::Died);
+            }
+        }
+    }
+}
+
+/// Routes a `SUBSCRIBE` to its owning shard and relays the stream with
+/// replica failover. The resumability contract that makes this exact: the
+/// emission sequence is a pure function of (instance, parameters), every
+/// replica of the shard holds the same instance, and `AFTER n` skips
+/// exactly `n` leading emissions without changing the `DONE` totals — so
+/// reissuing on a fresh replica with `AFTER (client's skip + relayed)`
+/// continues the stream with zero duplicated and zero missing emissions.
+fn route_subscribe(
+    state: &RouterState,
+    pool: &mut BackendPool,
+    spec: &SubscribeSpec,
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    let owning = state.topo.owning_shards(&spec.labels);
+    let Some((&shard, rest)) = owning.split_first() else {
+        state.served.errors.fetch_add(1, Ordering::Relaxed);
+        return write_err(w, &perr("SUBSCRIBE needs at least one label"));
+    };
+    if !rest.is_empty() {
+        state.served.errors.fetch_add(1, Ordering::Relaxed);
+        return write_err(
+            w,
+            &perr(format!(
+                "SUBSCRIBE labels span shards {owning:?}; a session streams from one shard \
+                 (split the subscription per shard)"
+            )),
+        );
+    }
+    let mut relayed: u64 = 0;
+    let mut header_sent = false;
+    for idx in state.topo.replicas(shard) {
+        let line = subscribe_line(spec, spec.after + relayed);
+        let end = match pool.session(idx) {
+            Ok(client) => relay_stream(client, &line, &mut relayed, &mut header_sent, w)?,
+            Err(_) => StreamEnd::Died,
+        };
+        match end {
+            StreamEnd::Complete => return Ok(()),
+            StreamEnd::Died => pool.drop_session(idx),
+        }
+    }
+    state.served.errors.fetch_add(1, Ordering::Relaxed);
+    let reason = format!(
+        "shard {shard}/{} has no live backend",
+        state.topo.shard_count()
+    );
+    if header_sent {
+        writeln!(w, "ABORT Protocol {reason}")?;
+        writeln!(w, "{TERMINATOR}")?;
+        w.flush()
+    } else {
+        write_err(w, &perr(reason))
+    }
+}
+
+/// Extracts a top-level `"key":<uint>` field from a response status line.
+fn json_u64(status: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = status.find(&needle)? + needle.len();
+    let digits: String = status
+        .get(at..)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Renders the router `STATS`: the single-node core fields from the
+/// ledger (`segments` is a per-backend physical detail, reported as 0),
+/// the cluster map with per-backend liveness probes, and the router's own
+/// serving counters.
+fn cluster_stats(state: &RouterState, pool: &mut BackendPool) -> Result<String, MqdError> {
+    let (rows, label_count, min_value, max_value, marks) = {
+        let ledger = lock_ledger(state)?;
+        (
+            ledger.rows,
+            ledger.labels.len(),
+            ledger.min_value,
+            ledger.max_value,
+            ledger.watermarks.clone(),
+        )
+    };
+    let opt_i64 = |v: Option<i64>| v.map_or("null".to_string(), |x| x.to_string());
+    let mut backends = String::new();
+    for idx in 0..state.topo.backends().len() {
+        let shard = state.topo.identity_of(idx).shard_id;
+        let generation = pool
+            .session(idx)
+            .and_then(|c| c.request("STATS"))
+            .ok()
+            .filter(Response::is_ok)
+            .and_then(|r| json_u64(&r.status, "generation"));
+        if generation.is_none() {
+            pool.drop_session(idx);
+        }
+        if !backends.is_empty() {
+            backends.push(',');
+        }
+        backends.push_str(&format!(
+            r#"{{"shard":{shard},"alive":{},"generation":{}}}"#,
+            generation.is_some(),
+            generation.map_or("null".to_string(), |g| g.to_string()),
+        ));
+    }
+    let marks: Vec<String> = marks.iter().map(|m| m.to_string()).collect();
+    let s = &state.served;
+    Ok(format!(
+        concat!(
+            r#"{{"rows":{},"segments":0,"labels":{},"generation":{},"#,
+            r#""min_value":{},"max_value":{},"#,
+            r#""cluster":{{"shards":{},"backends":[{}],"watermarks":[{}]}},"#,
+            r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{}}},"#,
+            r#""threads":{},"draining":{}}}"#
+        ),
+        rows,
+        label_count,
+        rows,
+        opt_i64(min_value),
+        opt_i64(max_value),
+        state.topo.shard_count(),
+        backends,
+        marks.join(","),
+        s.connections.load(Ordering::Relaxed),
+        s.queries.load(Ordering::Relaxed),
+        s.ingested_rows.load(Ordering::Relaxed),
+        s.subscribes.load(Ordering::Relaxed),
+        s.errors.load(Ordering::Relaxed),
+        s.overloads.load(Ordering::Relaxed),
+        state.threads,
+        state.draining.load(Ordering::SeqCst),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_core::wire::ShardIdentity;
+    use mqd_server::{Server, ServerConfig};
+
+    fn start_backend(shard: Option<ShardIdentity>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_queue: 16,
+            shard,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn start_router(
+        backends: Vec<String>,
+        shards: u32,
+    ) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let router = Router::bind(&RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends,
+            shards,
+            threads: 2,
+            max_queue: 16,
+        })
+        .unwrap();
+        let addr = router.local_addr();
+        let handle = std::thread::spawn(move || router.run().unwrap());
+        (addr, handle)
+    }
+
+    fn feed() -> Vec<(u64, i64, &'static str)> {
+        let mut rows = Vec::new();
+        for i in 0..60u64 {
+            let labels = ["0", "1", "0,1", "2,3", "1,2", "3"][(i % 6) as usize];
+            rows.push((i + 1, (i as i64 / 3) * 5, labels));
+        }
+        rows
+    }
+
+    #[test]
+    fn two_shard_cluster_matches_a_single_node() {
+        let (b0, h0) = start_backend(Some(ShardIdentity {
+            shard_id: 0,
+            shard_count: 2,
+        }));
+        let (b1, h1) = start_backend(Some(ShardIdentity {
+            shard_id: 1,
+            shard_count: 2,
+        }));
+        let (single, hs) = start_backend(None);
+        let (router, hr) = start_router(vec![b0.to_string(), b1.to_string()], 2);
+
+        let mut via_router = Client::connect(router).unwrap();
+        let mut via_single = Client::connect(single).unwrap();
+        for (id, value, labels) in feed() {
+            let line = format!("INGEST {id} {value} {labels}");
+            let a = via_router.request(&line).unwrap();
+            let b = via_single.request(&line).unwrap();
+            assert!(a.is_ok(), "{}", a.status);
+            // The ingest ack is byte-identical to the single node's.
+            assert_eq!(a.status, b.status);
+        }
+
+        for q in [
+            "QUERY 0,1,2,3 10 scan",               // multi-shard COVER merge
+            "QUERY 0,1,2,3 10 scanplus",           // multi-shard SLICE + local solve
+            "QUERY 0,1,2,3 15 greedysc",           //
+            "QUERY 0,1,2,3 15 opt FROM 10 TO 80",  //
+            "QUERY 0,1,2,3 40 scan PROP",          // proportional goes the SLICE path
+            "QUERY 0,2 10 scan",                   // single-shard forward
+            "QUERY 1 0 greedysc",                  //
+            "QUERY 0,1 25 scanplus FROM 20 TO 60", //
+        ] {
+            let a = via_router.request(q).unwrap();
+            let b = via_single.request(q).unwrap();
+            assert!(a.is_ok(), "{q}: {}", a.status);
+            assert_eq!(a.lines, b.lines, "{q}");
+            // The router stamps the per-shard vector watermark instead of
+            // the single generation.
+            assert!(a.status.contains(r#""generations":["#), "{}", a.status);
+        }
+
+        // SUBSCRIBE through the router: single-shard label sets relay the
+        // stream; spanning sets are a typed error.
+        let sub = "SUBSCRIBE 0,2 10 20 greedy";
+        let a = via_router.request(sub).unwrap();
+        let b = via_single.request(sub).unwrap();
+        assert!(a.is_ok(), "{}", a.status);
+        assert_eq!(a.lines, b.lines);
+        let spanning = via_router.request("SUBSCRIBE 0,1 10 20 greedy").unwrap();
+        assert!(
+            spanning.status.starts_with("-ERR Protocol "),
+            "{}",
+            spanning.status
+        );
+        assert!(spanning.status.contains("span"), "{}", spanning.status);
+
+        // STATS core fields match the single node; cluster section reports
+        // both backends alive at their watermarks.
+        let a = via_router.request("STATS").unwrap();
+        let b = via_single.request("STATS").unwrap();
+        for key in ["rows", "labels", "generation"] {
+            assert_eq!(
+                json_u64(&a.status, key),
+                json_u64(&b.status, key),
+                "{key}: {} vs {}",
+                a.status,
+                b.status
+            );
+        }
+        assert!(a.status.contains(r#""min_value":0"#), "{}", a.status);
+        assert!(a.status.contains(r#""alive":true"#), "{}", a.status);
+
+        // Backend verbs are rejected at the frontend.
+        for bad in ["QUERY 0 5 scan COVER 0", "SLICE 0", "HELLO 7"] {
+            if bad.starts_with("HELLO") {
+                let r = via_router.request_raw(b"HELLO 7\n0123456").unwrap();
+                assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+            } else {
+                let r = via_router.request(bad).unwrap();
+                assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+            }
+        }
+
+        // DRAIN through the router shuts down the whole cluster.
+        assert!(via_router.request("DRAIN").unwrap().is_ok());
+        assert!(via_single.request("DRAIN").unwrap().is_ok());
+        for h in [h0, h1, hs, hr] {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn replicated_shard_fails_over_between_backends() {
+        // Shard 0 twice (replicas), one-shard map: both backends hold the
+        // full corpus, and DRAIN-ing one mid-session must not lose QUERYs.
+        let (b0, h0) = start_backend(Some(ShardIdentity {
+            shard_id: 0,
+            shard_count: 1,
+        }));
+        let (b1, h1) = start_backend(Some(ShardIdentity {
+            shard_id: 0,
+            shard_count: 1,
+        }));
+        let (router, hr) = start_router(vec![b0.to_string(), b1.to_string()], 1);
+        let mut c = Client::connect(router).unwrap();
+        for (id, value, labels) in feed() {
+            assert!(c
+                .request(&format!("INGEST {id} {value} {labels}"))
+                .unwrap()
+                .is_ok());
+        }
+        let before = c.request("QUERY 0,1,2,3 10 scan").unwrap();
+        assert!(before.is_ok(), "{}", before.status);
+
+        // Kill the primary replica directly (behind the router's back).
+        let mut direct = Client::connect(b0).unwrap();
+        assert!(direct.request("DRAIN").unwrap().is_ok());
+        h0.join().unwrap();
+
+        // The router's next query fails over to the second replica and
+        // returns the same rows.
+        let after = c.request("QUERY 0,1,2,3 10 scan").unwrap();
+        assert!(after.is_ok(), "{}", after.status);
+        assert_eq!(after.lines, before.lines);
+        let stats = c.request("STATS").unwrap();
+        assert!(
+            stats.status.contains(r#""alive":false"#),
+            "{}",
+            stats.status
+        );
+        assert!(stats.status.contains(r#""alive":true"#), "{}", stats.status);
+
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        h1.join().unwrap();
+        hr.join().unwrap();
+    }
+
+    #[test]
+    fn bad_topologies_fail_at_bind() {
+        for (n, shards) in [(0usize, 1u32), (3, 2), (1, 2), (2, 0)] {
+            let cfg = RouterConfig {
+                backends: (0..n).map(|i| format!("127.0.0.1:{}", 20000 + i)).collect(),
+                shards,
+                ..RouterConfig::default()
+            };
+            assert!(
+                Router::bind(&cfg).is_err(),
+                "{n} backends / {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn subscribe_lines_round_trip_through_the_parser() {
+        let spec = SubscribeSpec {
+            labels: vec![0, 2],
+            lambda: 10,
+            tau: 20,
+            engine: ShardEngineKind::GreedyPlus,
+            from: -5,
+            to: 99,
+            shards: 3,
+            name: Some("feed-1".into()),
+            after: 0,
+        };
+        let line = subscribe_line(&spec, 7);
+        let Ok(Request::Subscribe(parsed)) = parse_request(&line) else {
+            panic!("unparseable relay line: {line}");
+        };
+        assert_eq!(parsed.labels, spec.labels);
+        assert_eq!((parsed.lambda, parsed.tau), (10, 20));
+        assert_eq!(parsed.engine, ShardEngineKind::GreedyPlus);
+        assert_eq!((parsed.from, parsed.to, parsed.shards), (-5, 99, 3));
+        assert_eq!(parsed.name.as_deref(), Some("feed-1"));
+        assert_eq!(parsed.after, 7);
+        // Defaults stay off the wire.
+        let plain = SubscribeSpec {
+            labels: vec![1],
+            lambda: 5,
+            tau: 0,
+            engine: ShardEngineKind::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+            shards: 1,
+            name: None,
+            after: 0,
+        };
+        assert_eq!(subscribe_line(&plain, 0), "SUBSCRIBE 1 5 0 scan");
+    }
+
+    #[test]
+    fn json_u64_reads_top_level_fields() {
+        let s = r#"+OK {"rows":42,"generation":17,"draining":false}"#;
+        assert_eq!(json_u64(s, "rows"), Some(42));
+        assert_eq!(json_u64(s, "generation"), Some(17));
+        assert_eq!(json_u64(s, "missing"), None);
+    }
+}

@@ -6,6 +6,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use mqd_core::record::{encode_records, parse_tsv_line, Record};
+use mqd_core::wire::{encode_hello, ShardIdentity};
 use mqd_core::MqdError;
 use mqd_store::QuerySpec;
 
@@ -86,6 +87,46 @@ impl Client {
         self.writer.write_all(bytes)?;
         self.writer.flush()?;
         self.read_response()
+    }
+
+    /// Performs the router handshake: sends the shard-map frame and reads
+    /// the backend's verdict.
+    pub fn hello(&mut self, identity: &ShardIdentity) -> Result<Response, MqdError> {
+        let frame = encode_hello(identity);
+        writeln!(self.writer, "HELLO {}", frame.len())?;
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends one request line without reading a response — the first half
+    /// of a streaming exchange (`SUBSCRIBE`), whose payload the caller
+    /// consumes line-by-line via [`Client::next_line`].
+    pub fn send_line(&mut self, line: &str) -> Result<(), MqdError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one raw response line — the line-granular half of a streaming
+    /// relay, where waiting for the `.` terminator before forwarding would
+    /// defeat the stream. Returns `None` on EOF *and* on a torn trailing
+    /// fragment (bytes with no newline from a peer that died mid-write): a
+    /// healthy stream always ends with a terminated `.` line, so an
+    /// unterminated fragment is by definition an interrupted stream and
+    /// must not be forwarded as if it were a complete emission.
+    pub fn next_line(&mut self) -> Result<Option<String>, MqdError> {
+        let mut buf = Vec::new();
+        // lint:allow(blocking-call): mid-stream read; the caller opted into line-granular streaming
+        let n = self.reader.by_ref().read_until(b'\n', &mut buf)?;
+        if n == 0 || buf.last() != Some(&b'\n') {
+            return Ok(None);
+        }
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
     }
 
     /// Ingests a batch of rows as one MQDL-framed `INGESTB` request.

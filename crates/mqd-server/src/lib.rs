@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod lineio;
 pub mod protocol;
 mod server;
 pub mod subs;

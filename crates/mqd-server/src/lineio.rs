@@ -1,0 +1,155 @@
+//! Bounded, timeout-tolerant socket line reading, shared by the server's
+//! connection handler and the router's frontend (`mqd-router`).
+//!
+//! The serving processes read request lines off sockets with a short read
+//! timeout so a blocked read can observe the drain flag; [`LineReader`]
+//! wraps that loop, enforces the request-line size limit, and keeps
+//! partial bytes across timeouts so slow writers are never corrupted.
+
+use std::io::{BufRead, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::protocol::MAX_LINE_BYTES;
+
+/// How often a blocked read wakes up to check the drain flag.
+pub const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Bounded, timeout-tolerant line reader. A read timeout between requests
+/// just re-checks the drain flag; a timeout mid-line keeps the partial
+/// bytes, so slow writers are never corrupted.
+pub struct LineReader<R: BufRead> {
+    inner: R,
+    partial: Vec<u8>,
+}
+
+/// One read outcome from [`LineReader::next_line`].
+pub enum LineEvent {
+    /// A complete request line (lossy UTF-8; garbage parses to a typed
+    /// protocol error downstream, never a panic).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line outgrew [`MAX_LINE_BYTES`]; the connection cannot resync.
+    Oversized,
+    /// The server is draining and the connection was idle.
+    Drained,
+}
+
+/// Whether an I/O error is a transient read-timeout-style condition the
+/// read loop should retry rather than surface.
+pub fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+impl<R: BufRead> LineReader<R> {
+    /// Wraps a buffered reader (the socket should have a [`READ_TICK`]
+    /// read timeout set so drain checks happen).
+    pub fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            partial: Vec::new(),
+        }
+    }
+
+    fn take_line(&mut self) -> LineEvent {
+        let mut bytes = std::mem::take(&mut self.partial);
+        if bytes.last() == Some(&b'\n') {
+            bytes.pop();
+        }
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        LineEvent::Line(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    /// Reads the next request line, waking on read timeouts to observe
+    /// `draining`.
+    pub fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<LineEvent> {
+        loop {
+            if self.partial.len() > MAX_LINE_BYTES {
+                return Ok(LineEvent::Oversized);
+            }
+            let budget = (MAX_LINE_BYTES + 1 - self.partial.len()) as u64;
+            match self
+                .inner
+                .by_ref()
+                .take(budget)
+                .read_until(b'\n', &mut self.partial)
+            {
+                Ok(0) => {
+                    // Peer EOF (possibly a half-closed socket mid-line).
+                    if self.partial.is_empty() {
+                        return Ok(LineEvent::Eof);
+                    }
+                    return Ok(self.take_line());
+                }
+                Ok(_) => {
+                    if self.partial.last() == Some(&b'\n') {
+                        return Ok(self.take_line());
+                    }
+                    // Hit the take budget without a newline: either the
+                    // line is oversized (caught at loop top) or more bytes
+                    // are coming.
+                }
+                Err(e) if retryable(&e) => {
+                    if draining.load(Ordering::SeqCst) {
+                        return Ok(LineEvent::Drained);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Swallows remaining peer input (briefly, bounded) before the caller
+    /// abandons an unsyncable connection. Closing a socket with unread
+    /// bytes makes the kernel send RST, which can destroy a typed error
+    /// response the peer has not read yet; draining until the peer closes
+    /// lets the `-ERR` frame arrive intact.
+    pub fn drain_peer(&mut self) {
+        let mut scratch = [0u8; 16 * 1024];
+        // ~20 read-timeout ticks bounds a stalling peer to ~2 s.
+        for _ in 0..20 {
+            match self.inner.read(&mut scratch) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if retryable(&e) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads exactly `n` body bytes. `Ok(Err(got))` means the peer closed
+    /// (or the server drained) after `got` bytes — a typed protocol error
+    /// for the caller, not an I/O failure.
+    pub fn read_exact_body(
+        &mut self,
+        n: usize,
+        draining: &AtomicBool,
+    ) -> std::io::Result<Result<Vec<u8>, usize>> {
+        let mut buf = Vec::with_capacity(n.min(1 << 20));
+        let mut chunk = [0u8; 16 * 1024];
+        while buf.len() < n {
+            let want = (n - buf.len()).min(chunk.len());
+            // lint:allow(panic-path): want is clamped to chunk.len() on the line above
+            match self.inner.read(&mut chunk[..want]) {
+                Ok(0) => return Ok(Err(buf.len())),
+                // lint:allow(panic-path): read contract gives k <= want <= chunk.len()
+                Ok(k) => buf.extend_from_slice(&chunk[..k]),
+                Err(e) if retryable(&e) => {
+                    if draining.load(Ordering::SeqCst) {
+                        return Ok(Err(buf.len()));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Ok(buf))
+    }
+}

@@ -6,14 +6,23 @@
 //! ```text
 //! PING
 //! STATS
+//! HELLO <nbytes>\n<nbytes of router handshake frame>
 //! INGEST <id> <value> <label,label,...>
 //! INGESTB <nbytes>\n<nbytes of MQDL binary log>
 //! QUERY <label,...> <lambda> <opt|greedysc|scan|scanplus> [FROM v] [TO v] [PROP]
+//!       [COVER label,...]
+//! SLICE <label,...> [FROM v] [TO v]
 //! SUBSCRIBE <label,...> <lambda> <tau> <scan|scanplus|greedy|greedyplus>
 //!           [FROM v] [TO v] [SHARDS n] [NAME id] [AFTER n]
 //! DRAIN
 //! QUIT
 //! ```
+//!
+//! `HELLO`, `COVER`, and `SLICE` are the cluster verbs (`mqd-router`):
+//! the handshake pins the backend's shard map, `COVER` restricts a
+//! fixed-lambda Scan query to the labels a shard owns, and `SLICE`
+//! returns the raw slice rows so the router can solve non-decomposable
+//! algorithms over the merged slice.
 //!
 //! Responses are a status line — `+OK <json>`, `-ERR <Kind> <msg>` (the
 //! kind is the [`MqdError`] variant name), or `-OVERLOADED <msg>` — then
@@ -36,6 +45,10 @@ pub const MAX_BATCH_BYTES: usize = 64 * 1024 * 1024;
 /// Most rows accepted in one `INGESTB` batch.
 pub const MAX_BATCH_ROWS: usize = 1 << 20;
 
+/// Largest accepted `HELLO` handshake frame (a shard-map frame is a few
+/// dozen bytes; anything bigger is not a handshake).
+pub const MAX_HELLO_BYTES: usize = 256;
+
 /// The response terminator line.
 pub const TERMINATOR: &str = ".";
 
@@ -56,6 +69,30 @@ pub enum Request {
     },
     /// Solve a cover over a label/range slice.
     Query(QuerySpec),
+    /// Solve only the per-label covers of `cover` (a subset of the spec's
+    /// labels) — the shard-side half of the router's scatter-gather merge.
+    QueryCover {
+        /// The full query, labels included.
+        spec: QuerySpec,
+        /// The label subset this shard must cover.
+        cover: Vec<u16>,
+    },
+    /// Return the raw slice rows for a label/range slice, in `(value, id)`
+    /// order — the router merges shard slices and solves locally for
+    /// algorithms that do not decompose per label.
+    Slice {
+        /// Global label ids sliced on.
+        labels: Vec<u16>,
+        /// Inclusive lower bound on the dimension value.
+        from: i64,
+        /// Inclusive upper bound on the dimension value.
+        to: i64,
+    },
+    /// Router handshake: `bytes` of shard-map frame follow the line.
+    Hello {
+        /// Announced frame size in bytes.
+        bytes: usize,
+    },
     /// Replay the slice through a supervised streaming engine.
     Subscribe(SubscribeSpec),
     /// Stop accepting connections, finish in-flight work, shut down.
@@ -127,7 +164,7 @@ fn parse_engine(s: &str) -> Result<ShardEngineKind, MqdError> {
     }
 }
 
-/// Range/option tail shared by QUERY and SUBSCRIBE.
+/// Range/option tail shared by QUERY, SLICE, and SUBSCRIBE.
 struct Tail {
     from: i64,
     to: i64,
@@ -135,6 +172,7 @@ struct Tail {
     shards: usize,
     name: Option<String>,
     after: u64,
+    cover: Option<Vec<u16>>,
 }
 
 /// Longest accepted `NAME` token (it becomes a checkpoint file name).
@@ -171,6 +209,7 @@ fn parse_tail<'a>(
     mut toks: impl Iterator<Item = &'a str>,
     allow_prop: bool,
     allow_subscribe: bool,
+    allow_cover: bool,
 ) -> Result<Tail, MqdError> {
     let mut tail = Tail {
         from: i64::MIN,
@@ -179,6 +218,7 @@ fn parse_tail<'a>(
         shards: 1,
         name: None,
         after: 0,
+        cover: None,
     };
     while let Some(tok) = toks.next() {
         match tok.to_ascii_uppercase().as_str() {
@@ -207,6 +247,10 @@ fn parse_tail<'a>(
                 tail.after = v
                     .parse::<u64>()
                     .map_err(|e| perr(format!("bad AFTER value '{v}': {e}")))?;
+            }
+            "COVER" if allow_cover => {
+                let v = toks.next().ok_or_else(|| perr("COVER needs labels"))?;
+                tail.cover = Some(parse_labels(v)?);
             }
             other => return Err(perr(format!("unexpected token '{other}'"))),
         }
@@ -265,15 +309,44 @@ pub fn parse_request(line: &str) -> Result<Request, MqdError> {
             let lambda = parse_i64(lambda, "lambda")?;
             let alg = toks.next().ok_or_else(|| perr("QUERY needs <algorithm>"))?;
             let algorithm = Algorithm::parse(alg)?;
-            let tail = parse_tail(toks, true, false)?;
-            Ok(Request::Query(QuerySpec {
+            let tail = parse_tail(toks, true, false, true)?;
+            let spec = QuerySpec {
                 labels,
                 lambda,
                 proportional: tail.prop,
                 algorithm,
                 from: tail.from,
                 to: tail.to,
-            }))
+            };
+            Ok(match tail.cover {
+                Some(cover) => Request::QueryCover { spec, cover },
+                None => Request::Query(spec),
+            })
+        }
+        "SLICE" => {
+            let labels = toks.next().ok_or_else(|| perr("SLICE needs <labels>"))?;
+            let labels = parse_labels(labels)?;
+            let tail = parse_tail(toks, false, false, false)?;
+            Ok(Request::Slice {
+                labels,
+                from: tail.from,
+                to: tail.to,
+            })
+        }
+        "HELLO" => {
+            let n = toks.next().ok_or_else(|| perr("HELLO needs <nbytes>"))?;
+            let bytes = n
+                .parse::<usize>()
+                .map_err(|e| perr(format!("bad byte count '{n}': {e}")))?;
+            if bytes == 0 || bytes > MAX_HELLO_BYTES {
+                return Err(perr(format!(
+                    "handshake of {bytes} bytes outside 1..={MAX_HELLO_BYTES}"
+                )));
+            }
+            if let Some(extra) = toks.next() {
+                return Err(perr(format!("unexpected token '{extra}'")));
+            }
+            Ok(Request::Hello { bytes })
         }
         "SUBSCRIBE" => {
             let labels = toks
@@ -290,7 +363,7 @@ pub fn parse_request(line: &str) -> Result<Request, MqdError> {
                 .next()
                 .ok_or_else(|| perr("SUBSCRIBE needs <engine>"))?;
             let engine = parse_engine(engine)?;
-            let tail = parse_tail(toks, false, true)?;
+            let tail = parse_tail(toks, false, true, false)?;
             Ok(Request::Subscribe(SubscribeSpec {
                 labels,
                 lambda,
@@ -432,6 +505,54 @@ mod tests {
             "QUERY 0 5 scan SHARDS 2", // SHARDS is subscribe-only
             "FROB 1 2 3",
             "",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(MqdError::Protocol { .. })),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_verbs_parse() {
+        let r = parse_request("QUERY 0,2,4 50 scan TO 99 COVER 0,4").unwrap();
+        let Request::QueryCover { spec, cover } = r else {
+            panic!("not a cover query")
+        };
+        assert_eq!(spec.labels, vec![0, 2, 4]);
+        assert_eq!((spec.lambda, spec.to), (50, 99));
+        assert_eq!(cover, vec![0, 4]);
+
+        let r = parse_request("SLICE 1,3 FROM -5 TO 10").unwrap();
+        assert_eq!(
+            r,
+            Request::Slice {
+                labels: vec![1, 3],
+                from: -5,
+                to: 10,
+            }
+        );
+        let Request::Slice { from, to, .. } = parse_request("SLICE 0").unwrap() else {
+            panic!()
+        };
+        assert_eq!((from, to), (i64::MIN, i64::MAX));
+
+        assert_eq!(
+            parse_request("HELLO 32").unwrap(),
+            Request::Hello { bytes: 32 }
+        );
+
+        for bad in [
+            "QUERY 0 5 scan COVER",           // COVER needs labels
+            "QUERY 0 5 scan COVER ,",         // empty label list
+            "SLICE",                          // labels required
+            "SLICE 0 PROP",                   // PROP is query-only
+            "SLICE 0 COVER 0",                // COVER is query-only
+            "SUBSCRIBE 0 10 20 scan COVER 0", // not a subscribe option
+            "HELLO",
+            "HELLO 0",
+            "HELLO 257",
+            "HELLO 32 extra",
         ] {
             assert!(
                 matches!(parse_request(bad), Err(MqdError::Protocol { .. })),

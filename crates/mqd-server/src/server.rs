@@ -2,7 +2,7 @@
 //! per-connection request loop, and graceful drain.
 
 use std::collections::HashSet;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -12,22 +12,22 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use mqd_core::record::{decode_records, format_tsv, Record};
+use mqd_core::wire::{decode_hello, shard_of_label, ShardIdentity};
 use mqd_core::MqdError;
 use mqd_store::{
-    repair_state, solve_slice, validate_spec, CacheStats, CoverCache, Lookup, QuerySpec, StoreStats,
+    repair_state, run_query_cover, solve_slice, validate_spec, CacheStats, CoverCache, Lookup,
+    QuerySpec, StoreStats,
 };
 use mqd_stream::{resume_supervised, FaultPlan, SupervisedRun, SupervisorConfig};
 use mqd_wal::{fsio, DurableOptions, DurableStats, DurableStore};
 
+use crate::lineio::{LineEvent, LineReader, READ_TICK};
 use crate::subs::{self, LeaseRegistry, SubParams};
 
 use crate::protocol::{
     parse_request, write_err, write_ok, write_overloaded, Request, SubscribeSpec, MAX_BATCH_ROWS,
     MAX_LINE_BYTES, TERMINATOR,
 };
-
-/// How often a blocked read wakes up to check the drain flag.
-const READ_TICK: Duration = Duration::from_millis(100);
 
 /// Pending background re-solve jobs; a full queue drops the job (the next
 /// stale hit on the entry re-claims the refresh, so nothing is lost).
@@ -63,6 +63,13 @@ pub struct ServerConfig {
     /// named subscription lease) are garbage-collected. `None` keeps
     /// everything.
     pub retain: Option<i64>,
+    /// This backend's position in a cluster shard map
+    /// (`mqdiv serve --shard-id/--shard-count`). A sharded backend verifies
+    /// router `HELLO` handshakes against it, rejects ingest rows owning
+    /// none of its labels (a misrouted row would silently corrupt the
+    /// cluster/single-node identity), and reports it in `STATS`. `None`
+    /// serves standalone.
+    pub shard: Option<ShardIdentity>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +81,7 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: true,
             retain: None,
+            shard: None,
         }
     }
 }
@@ -106,6 +114,8 @@ struct State {
     draining: AtomicBool,
     addr: SocketAddr,
     threads: usize,
+    /// Cluster shard coordinates, when configured (see [`ServerConfig`]).
+    shard: Option<ShardIdentity>,
 }
 
 /// A bound, ready-to-run server. [`Server::run`] blocks until a `DRAIN`
@@ -123,6 +133,17 @@ impl Server {
     /// and re-registers the GC leases of checkpointed subscriptions, so a
     /// `bind` that returns `Ok` is already fully recovered.
     pub fn bind(cfg: &ServerConfig) -> Result<Self, MqdError> {
+        if let Some(s) = &cfg.shard {
+            let max = mqd_core::wire::MAX_SHARD_COUNT;
+            if s.shard_count == 0 || s.shard_count > max || s.shard_id >= s.shard_count {
+                return Err(MqdError::Protocol {
+                    msg: format!(
+                        "shard {}/{} invalid (need 0 <= id < count <= {max})",
+                        s.shard_id, s.shard_count
+                    ),
+                });
+            }
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let threads = if cfg.threads == 0 {
@@ -161,6 +182,7 @@ impl Server {
                 draining: AtomicBool::new(false),
                 addr,
                 threads,
+                shard: cfg.shard,
             }),
             max_queue: cfg.max_queue.max(1),
             refresh_rx,
@@ -317,138 +339,6 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &State) {
     }
 }
 
-/// Bounded, timeout-tolerant line reader. A read timeout between requests
-/// just re-checks the drain flag; a timeout mid-line keeps the partial
-/// bytes, so slow writers are never corrupted.
-struct LineReader<R: BufRead> {
-    inner: R,
-    partial: Vec<u8>,
-}
-
-enum LineEvent {
-    /// A complete request line (lossy UTF-8; garbage parses to a typed
-    /// protocol error downstream, never a panic).
-    Line(String),
-    /// Clean end of stream.
-    Eof,
-    /// The line outgrew [`MAX_LINE_BYTES`]; the connection cannot resync.
-    Oversized,
-    /// The server is draining and the connection was idle.
-    Drained,
-}
-
-fn retryable(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock
-            | std::io::ErrorKind::TimedOut
-            | std::io::ErrorKind::Interrupted
-    )
-}
-
-impl<R: BufRead> LineReader<R> {
-    fn new(inner: R) -> Self {
-        LineReader {
-            inner,
-            partial: Vec::new(),
-        }
-    }
-
-    fn take_line(&mut self) -> LineEvent {
-        let mut bytes = std::mem::take(&mut self.partial);
-        if bytes.last() == Some(&b'\n') {
-            bytes.pop();
-        }
-        if bytes.last() == Some(&b'\r') {
-            bytes.pop();
-        }
-        LineEvent::Line(String::from_utf8_lossy(&bytes).into_owned())
-    }
-
-    fn next_line(&mut self, draining: &AtomicBool) -> std::io::Result<LineEvent> {
-        loop {
-            if self.partial.len() > MAX_LINE_BYTES {
-                return Ok(LineEvent::Oversized);
-            }
-            let budget = (MAX_LINE_BYTES + 1 - self.partial.len()) as u64;
-            match self
-                .inner
-                .by_ref()
-                .take(budget)
-                .read_until(b'\n', &mut self.partial)
-            {
-                Ok(0) => {
-                    // Peer EOF (possibly a half-closed socket mid-line).
-                    if self.partial.is_empty() {
-                        return Ok(LineEvent::Eof);
-                    }
-                    return Ok(self.take_line());
-                }
-                Ok(_) => {
-                    if self.partial.last() == Some(&b'\n') {
-                        return Ok(self.take_line());
-                    }
-                    // Hit the take budget without a newline: either the
-                    // line is oversized (caught at loop top) or more bytes
-                    // are coming.
-                }
-                Err(e) if retryable(&e) => {
-                    if draining.load(Ordering::SeqCst) {
-                        return Ok(LineEvent::Drained);
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    /// Swallows remaining peer input (briefly, bounded) before the caller
-    /// abandons an unsyncable connection. Closing a socket with unread
-    /// bytes makes the kernel send RST, which can destroy a typed error
-    /// response the peer has not read yet; draining until the peer closes
-    /// lets the `-ERR` frame arrive intact.
-    fn drain_peer(&mut self) {
-        let mut scratch = [0u8; 16 * 1024];
-        // ~20 read-timeout ticks bounds a stalling peer to ~2 s.
-        for _ in 0..20 {
-            match self.inner.read(&mut scratch) {
-                Ok(0) => return,
-                Ok(_) => {}
-                Err(e) if retryable(&e) => {}
-                Err(_) => return,
-            }
-        }
-    }
-
-    /// Reads exactly `n` body bytes. `Ok(Err(got))` means the peer closed
-    /// (or the server drained) after `got` bytes — a typed protocol error
-    /// for the caller, not an I/O failure.
-    fn read_exact_body(
-        &mut self,
-        n: usize,
-        draining: &AtomicBool,
-    ) -> std::io::Result<Result<Vec<u8>, usize>> {
-        let mut buf = Vec::with_capacity(n.min(1 << 20));
-        let mut chunk = [0u8; 16 * 1024];
-        while buf.len() < n {
-            let want = (n - buf.len()).min(chunk.len());
-            // lint:allow(panic-path): want is clamped to chunk.len() on the line above
-            match self.inner.read(&mut chunk[..want]) {
-                Ok(0) => return Ok(Err(buf.len())),
-                // lint:allow(panic-path): read contract gives k <= want <= chunk.len()
-                Ok(k) => buf.extend_from_slice(&chunk[..k]),
-                Err(e) if retryable(&e) => {
-                    if draining.load(Ordering::SeqCst) {
-                        return Ok(Err(buf.len()));
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(Ok(buf))
-    }
-}
-
 enum Flow {
     Continue,
     Close,
@@ -490,10 +380,10 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
             }
         };
 
-        // INGESTB: pull the raw body before executing, so the stream stays
-        // framed even when the batch turns out to be invalid.
+        // INGESTB/HELLO: pull the raw body before executing, so the stream
+        // stays framed even when the payload turns out to be invalid.
         let body = match req {
-            Request::IngestBatch { bytes } => {
+            Request::IngestBatch { bytes } | Request::Hello { bytes } => {
                 match reader.read_exact_body(bytes, &state.draining)? {
                     Ok(body) => Some(body),
                     Err(got) => {
@@ -501,7 +391,7 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
                         let _ = write_err(
                             &mut w,
                             &MqdError::Protocol {
-                                msg: format!("truncated batch body: got {got} of {bytes} bytes"),
+                                msg: format!("truncated body: got {got} of {bytes} bytes"),
                             },
                         );
                         reader.drain_peer();
@@ -624,6 +514,88 @@ fn execute(
             }
             Ok(Flow::Continue)
         }
+        Request::QueryCover { spec, cover } => {
+            state.counters.queries.fetch_add(1, Ordering::Relaxed);
+            // Cover queries are router-internal fan-out halves: always a
+            // cold solve against a slice snapshot (the router's merged
+            // answer is what user-facing caching applies to), stamped with
+            // the snapshot generation so the router can build its vector
+            // watermark.
+            let answered = (|| {
+                let (generation, rows) = {
+                    let store = read_or_poisoned(&state.store)?;
+                    (
+                        store.generation(),
+                        run_query_cover(store.store(), spec, cover)?,
+                    )
+                };
+                Ok::<_, MqdError>((generation, rows))
+            })();
+            match answered {
+                Ok((generation, rows)) => {
+                    let payload: Vec<String> = rows.iter().map(format_tsv).collect();
+                    let json = format!(
+                        r#"{{"algorithm":"{}","count":{},"cached":false,"stale":false,"generation":{}}}"#,
+                        spec.algorithm.as_str(),
+                        rows.len(),
+                        generation,
+                    );
+                    write_ok(w, &json, &payload)?;
+                }
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Slice { labels, from, to } => {
+            // Raw slice export for the router's merge-and-solve path. Rows
+            // come back in slice order (value, then external id) with each
+            // row's labels already intersected with the requested set —
+            // identical rendering on every shard, so a dedup-by-id merge
+            // reconstructs the single-node slice byte-for-byte.
+            let sliced = (|| {
+                let store = read_or_poisoned(&state.store)?;
+                let generation = store.generation();
+                let slice = store.store().slice(labels, *from, *to);
+                let rows: Vec<String> = (0..slice.instance.len() as u32)
+                    .map(|i| format_tsv(&slice.record_for(i)))
+                    .collect();
+                Ok::<_, MqdError>((generation, rows))
+            })();
+            match sliced {
+                Ok((generation, rows)) => {
+                    let json = format!(r#"{{"count":{},"generation":{}}}"#, rows.len(), generation);
+                    write_ok(w, &json, &rows)?;
+                }
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Hello { .. } => {
+            let Some(body) = body else {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_err(
+                    w,
+                    &MqdError::Protocol {
+                        msg: "handshake body missing for HELLO".into(),
+                    },
+                )?;
+                return Ok(Flow::Continue);
+            };
+            match hello(state, body) {
+                Ok(json) => write_ok(w, &json, &[])?,
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    write_err(w, &e)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
         Request::Subscribe(spec) => {
             state.counters.subscribes.fetch_add(1, Ordering::Relaxed);
             subscribe(state, spec, w)?;
@@ -700,6 +672,54 @@ fn answer_query(
     }
 }
 
+/// Verifies a router `HELLO` frame against this backend's configured shard
+/// coordinates. A standalone backend accepts any well-formed frame (it can
+/// serve as a single-shard cluster of any map); a sharded backend rejects
+/// a mismatched map with a typed error so a misconfigured router fails
+/// loudly at connect time instead of silently splitting the label space
+/// differently than ingest did.
+fn hello(state: &State, body: &[u8]) -> Result<String, MqdError> {
+    let offered = decode_hello(body)?;
+    if let Some(have) = state.shard {
+        if have != offered {
+            return Err(MqdError::Protocol {
+                msg: format!(
+                    "shard map mismatch: router expects shard {}/{}, backend serves {}/{}",
+                    offered.shard_id, offered.shard_count, have.shard_id, have.shard_count
+                ),
+            });
+        }
+    }
+    Ok(format!(
+        r#"{{"shard_id":{},"shard_count":{},"pinned":{}}}"#,
+        offered.shard_id,
+        offered.shard_count,
+        state.shard.is_some(),
+    ))
+}
+
+/// On a sharded backend, every ingested row must carry at least one label
+/// this shard owns — anything else is a router bug (or a client bypassing
+/// the router), and accepting it would silently break the cluster/single-
+/// node byte identity.
+fn check_row_ownership(shard: &ShardIdentity, rows: &[Record]) -> Result<(), MqdError> {
+    for row in rows {
+        if !row
+            .labels
+            .iter()
+            .any(|&l| shard_of_label(l, shard.shard_count) == shard.shard_id)
+        {
+            return Err(MqdError::Protocol {
+                msg: format!(
+                    "row {} owns no label of shard {}/{}",
+                    row.id, shard.shard_id, shard.shard_count
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Appends rows and seals the resulting delta into the cache *under the
 /// same store write lock*, so no query can observe the new generation
 /// before the cache has classified every entry against it (repaired,
@@ -707,6 +727,12 @@ fn answer_query(
 /// the locks drop. On a mid-batch append failure the valid prefix stays
 /// (stream-prefix semantics) and is still sealed before the error returns.
 fn ingest_rows(state: &State, rows: &[Record]) -> Result<(usize, u64), MqdError> {
+    // Whole-batch ownership check up front: a misrouted row fails before
+    // anything is WAL-logged, so the batch is all-or-nothing with respect
+    // to routing mistakes.
+    if let Some(shard) = &state.shard {
+        check_row_ownership(shard, rows)?;
+    }
     let mut appended = 0usize;
     let (failure, generation, to_refresh) = {
         let mut store = write_or_poisoned(&state.store)?;
@@ -801,6 +827,7 @@ fn stats_json(state: &State) -> Result<String, MqdError> {
         &state.counters,
         state.threads,
         state.draining.load(Ordering::SeqCst),
+        state.shard,
     ))
 }
 
@@ -815,9 +842,10 @@ fn render_stats(
     c: &Counters,
     threads: usize,
     draining: bool,
+    shard: Option<ShardIdentity>,
 ) -> String {
     let opt_i64 = |v: Option<i64>| v.map_or("null".to_string(), |x| x.to_string());
-    format!(
+    let mut out = format!(
         concat!(
             r#"{{"rows":{},"segments":{},"labels":{},"generation":{},"#,
             r#""min_value":{},"max_value":{},"#,
@@ -852,7 +880,18 @@ fn render_stats(
         durable.gc_segments,
         threads,
         draining,
-    )
+    );
+    // The shard object is appended only when configured, so a standalone
+    // server's STATS bytes — pinned by the regression test below and
+    // diffed by the oracle — are unchanged.
+    if let Some(s) = shard {
+        out.pop(); // trailing '}'
+        out.push_str(&format!(
+            r#","shard":{{"id":{},"count":{}}}}}"#,
+            s.shard_id, s.shard_count
+        ));
+    }
+    out
 }
 
 /// Replays the slice through a supervised streaming engine, streaming
@@ -1116,8 +1155,8 @@ mod tests {
             recovered_rows: 4096,
             gc_segments: 0,
         };
-        let a = render_stats(&store, &cache, &durable, &counters, 4, false);
-        let b = render_stats(&store, &cache, &durable, &counters, 4, false);
+        let a = render_stats(&store, &cache, &durable, &counters, 4, false, None);
+        let b = render_stats(&store, &cache, &durable, &counters, 4, false, None);
         assert_eq!(a, b);
         assert_eq!(
             a,
@@ -1139,9 +1178,28 @@ mod tests {
             &Counters::default(),
             1,
             true,
+            None,
         );
         assert!(s.contains(r#""min_value":null,"max_value":null"#), "{s}");
         assert!(s.ends_with(r#""threads":1,"draining":true}"#), "{s}");
+        // A sharded backend appends its map after the standalone payload,
+        // leaving every standalone byte in place.
+        let sharded = render_stats(
+            &store,
+            &cache,
+            &durable,
+            &counters,
+            4,
+            false,
+            Some(ShardIdentity {
+                shard_id: 1,
+                shard_count: 2,
+            }),
+        );
+        assert_eq!(
+            sharded,
+            format!(r#"{},"shard":{{"id":1,"count":2}}}}"#, &a[..a.len() - 1])
+        );
     }
 
     #[test]
@@ -1292,6 +1350,7 @@ mod tests {
             data_dir: Some(dir.to_path_buf()),
             fsync: false, // tests exercise recovery logic, not the disk cache
             retain: None,
+            shard: None,
         })
         .unwrap();
         let addr = server.local_addr();
@@ -1430,6 +1489,130 @@ mod tests {
         assert!(c.request("DRAIN").unwrap().is_ok());
         handle.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn start_sharded(shard_id: u32, shard_count: u32) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_queue: 8,
+            shard: Some(ShardIdentity {
+                shard_id,
+                shard_count,
+            }),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn hello_pins_the_shard_map() {
+        let (addr, handle) = start_sharded(1, 2);
+        let mut c = Client::connect(addr).unwrap();
+        let ok = c
+            .hello(&ShardIdentity {
+                shard_id: 1,
+                shard_count: 2,
+            })
+            .unwrap();
+        assert!(ok.is_ok(), "{}", ok.status);
+        assert!(ok.status.contains(r#""pinned":true"#), "{}", ok.status);
+        // A mismatched map is a typed error, and the connection survives.
+        let bad = c
+            .hello(&ShardIdentity {
+                shard_id: 0,
+                shard_count: 2,
+            })
+            .unwrap();
+        assert!(bad.status.starts_with("-ERR Protocol "), "{}", bad.status);
+        assert!(c.request("PING").unwrap().is_ok());
+        // STATS reports the map.
+        let stats = c.request("STATS").unwrap();
+        assert!(
+            stats.status.contains(r#""shard":{"id":1,"count":2}"#),
+            "{}",
+            stats.status
+        );
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn standalone_backend_accepts_any_hello() {
+        let (addr, handle) = start(1, 4);
+        let mut c = Client::connect(addr).unwrap();
+        let ok = c
+            .hello(&ShardIdentity {
+                shard_id: 3,
+                shard_count: 4,
+            })
+            .unwrap();
+        assert!(ok.is_ok(), "{}", ok.status);
+        assert!(ok.status.contains(r#""pinned":false"#), "{}", ok.status);
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_backend_rejects_misrouted_rows() {
+        let (addr, handle) = start_sharded(0, 2);
+        let mut c = Client::connect(addr).unwrap();
+        // Labels 0 and 2 hash to shard 0; label 1 does not.
+        assert!(c.request("INGEST 1 0 0").unwrap().is_ok());
+        assert!(c.request("INGEST 2 10 1,2").unwrap().is_ok());
+        let r = c.request("INGEST 3 20 1").unwrap();
+        assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+        // The rejection happened before any append: generation unmoved.
+        let r = c.request("INGEST 4 30 0,1").unwrap();
+        assert!(r.status.contains(r#""generation":3"#), "{}", r.status);
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn cover_and_slice_serve_the_router_halves() {
+        let (addr, handle) = start(2, 8);
+        let mut c = Client::connect(addr).unwrap();
+        for (id, value, labels) in [(1, 0, "0"), (2, 10, "0"), (3, 20, "0,1"), (4, 30, "1")] {
+            assert!(c
+                .request(&format!("INGEST {id} {value} {labels}"))
+                .unwrap()
+                .is_ok());
+        }
+        // The union of the per-label cover halves equals the full answer.
+        let full = c.request("QUERY 0,1 10 scan").unwrap();
+        assert!(full.is_ok(), "{}", full.status);
+        let mut union: Vec<String> = Vec::new();
+        for part in ["0", "1"] {
+            let half = c
+                .request(&format!("QUERY 0,1 10 scan COVER {part}"))
+                .unwrap();
+            assert!(half.is_ok(), "{}", half.status);
+            assert!(half.status.contains(r#""cached":false"#), "{}", half.status);
+            union.extend(half.lines.clone());
+        }
+        let key = |l: &String| -> (i64, u64) {
+            let mut it = l.split('\t');
+            let id: u64 = it.next().unwrap().parse().unwrap();
+            let value: i64 = it.next().unwrap().parse().unwrap();
+            (value, id)
+        };
+        union.sort_by_key(key);
+        union.dedup();
+        assert_eq!(union, full.lines);
+        // COVER with a non-decomposable algorithm is a typed error.
+        let r = c.request("QUERY 0,1 10 greedysc COVER 0").unwrap();
+        assert!(r.status.starts_with("-ERR Protocol "), "{}", r.status);
+        // SLICE returns the raw slice rows in (value, id) order.
+        let s = c.request("SLICE 0,1 FROM 5 TO 25").unwrap();
+        assert!(s.is_ok(), "{}", s.status);
+        assert_eq!(s.lines, vec!["2\t10\t0", "3\t20\t0,1"]);
+        assert!(s.status.contains(r#""count":2"#), "{}", s.status);
+        assert!(c.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
     }
 
     #[test]

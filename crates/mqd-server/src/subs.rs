@@ -156,7 +156,7 @@ pub fn decode_wrapper(data: &[u8]) -> Result<(SubParams, Vec<u8>), MqdError> {
     if nlabels == 0 || nlabels > u16::MAX as u64 + 1 {
         return Err(c.corrupt(format!("implausible label count {nlabels}")));
     }
-    let mut labels = Vec::with_capacity(nlabels as usize);
+    let mut labels = Vec::with_capacity(c.plausible_len(nlabels, 1, "label")?);
     let mut prev: Option<u16> = None;
     for _ in 0..nlabels {
         let l = c.get_varint()?;
@@ -171,7 +171,11 @@ pub fn decode_wrapper(data: &[u8]) -> Result<(SubParams, Vec<u8>), MqdError> {
     if inner_len > MAX_INNER_BYTES {
         return Err(c.corrupt(format!("implausible inner checkpoint size {inner_len}")));
     }
-    let mut inner = Vec::with_capacity(inner_len as usize);
+    // The inner blob is raw bytes: a claimed length beyond what remains is
+    // corrupt, and preallocating for it first would hand a hostile frame a
+    // 256 MiB allocation before validation. Clamp, then bulk-copy.
+    let inner_len = c.plausible_len(inner_len, 1, "inner checkpoint byte")?;
+    let mut inner = Vec::with_capacity(inner_len);
     for _ in 0..inner_len {
         inner.push(c.get_u8()?);
     }
@@ -291,6 +295,51 @@ mod tests {
                 decode_wrapper(&blob[..keep]).is_err(),
                 "truncated to {keep}"
             );
+        }
+    }
+
+    #[test]
+    fn huge_claimed_lengths_fail_before_allocating() {
+        // Rewrite a valid wrapper's inner_len to claim MAX_INNER_BYTES and
+        // reseal the checksum, so only the length validation stands
+        // between the decoder and a 256 MiB preallocation.
+        let blob = encode_wrapper(&params(), &[1, 2, 3]);
+        let footer = FOOTER.len() + 8;
+        let mut body = blob[..blob.len() - footer].to_vec();
+        // inner_len is the varint right before the 3 inner bytes.
+        let at = body.len() - 4;
+        assert_eq!(body[at], 3);
+        body.truncate(at);
+        put_varint(&mut body, MAX_INNER_BYTES);
+        body.extend_from_slice(&[1, 2, 3]);
+        seal_framed(&mut body, &FOOTER);
+        match decode_wrapper(&body) {
+            Err(MqdError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("count"), "got: {reason}")
+            }
+            other => panic!("huge inner_len accepted: {other:?}"),
+        }
+
+        // Same attack on nlabels: claim 65536 labels in a tiny body. The
+        // label list starts right after from/to; rebuild the prefix by
+        // hand and reseal.
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC);
+        put_varint(&mut body, VERSION);
+        put_varint_i64(&mut body, 50); // lambda
+        put_varint_i64(&mut body, 20); // tau
+        put_varint(&mut body, 4); // shards
+        body.push(engine_tag(ShardEngineKind::Scan));
+        put_varint_i64(&mut body, 0); // from
+        put_varint_i64(&mut body, 100); // to
+        put_varint(&mut body, u16::MAX as u64 + 1); // nlabels, passes the u16 bound
+        put_varint(&mut body, 0); // one actual label
+        seal_framed(&mut body, &FOOTER);
+        match decode_wrapper(&body) {
+            Err(MqdError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("count"), "got: {reason}")
+            }
+            other => panic!("huge nlabels accepted: {other:?}"),
         }
     }
 

@@ -9,10 +9,11 @@
 //! checkable identity.
 
 use mqd_core::algorithms::{
-    solve_greedy_sc, solve_opt, solve_scan, solve_scan_plus, LabelOrder, OptConfig,
+    solve_greedy_sc, solve_opt, solve_scan, solve_scan_cover, solve_scan_plus, LabelOrder,
+    OptConfig,
 };
 use mqd_core::record::Record;
-use mqd_core::{FixedLambda, MqdError, VariableLambda};
+use mqd_core::{FixedLambda, LabelId, MqdError, VariableLambda};
 use mqd_stream::CoverRepair;
 
 use crate::store::{Slice, Store};
@@ -116,6 +117,59 @@ pub fn run_query(store: &Store, spec: &QuerySpec) -> Result<Vec<Record>, MqdErro
     validate_spec(spec)?;
     let slice = store.slice(&spec.labels, spec.from, spec.to);
     solve_slice(&slice, spec)
+}
+
+/// Runs a fixed-lambda Scan spec restricted to a label subset: the slice
+/// is carved for the spec's **full** label set (so each answer row renders
+/// the same label intersection as the unrestricted query), but only the
+/// per-label covers of `cover` are solved and returned.
+///
+/// This is the shard-side half of the router's scatter-gather merge: a
+/// shard holding every post that carries its labels answers
+/// `COVER owned ∩ L` exactly, and the union over a partition of `L`
+/// reproduces the single-node Scan answer row-for-row (see
+/// `solve_scan_cover`). Only the Scan family decomposes this way —
+/// Scan+'s pruning, GreedySC's global ranking, OPT's DP, and the
+/// proportional lambda all couple the answer to the whole slice — so
+/// anything else is a typed protocol error.
+pub fn run_query_cover(
+    store: &Store,
+    spec: &QuerySpec,
+    cover: &[u16],
+) -> Result<Vec<Record>, MqdError> {
+    validate_spec(spec)?;
+    if !repairable(spec) {
+        return Err(MqdError::Protocol {
+            msg: "COVER applies to fixed-lambda scan only".into(),
+        });
+    }
+    if cover.is_empty() {
+        return Err(MqdError::Protocol {
+            msg: "COVER needs at least one label".into(),
+        });
+    }
+    let slice = store.slice(&spec.labels, spec.from, spec.to);
+    let mut locals = Vec::with_capacity(cover.len());
+    for g in cover {
+        match slice.label_map.binary_search(g) {
+            Ok(i) => locals.push(LabelId(i as u16)),
+            Err(_) => {
+                return Err(MqdError::Protocol {
+                    msg: format!("COVER label {g} is not among the query labels"),
+                })
+            }
+        }
+    }
+    locals.sort_unstable();
+    locals.dedup();
+    let mut solution = solve_scan_cover(&slice.instance, &FixedLambda(spec.lambda), &locals);
+    solution.selected.sort_unstable();
+    solution.selected.dedup();
+    Ok(solution
+        .selected
+        .iter()
+        .map(|&z| slice.record_for(z))
+        .collect())
 }
 
 /// [`run_query`] plus, when the spec is [`repairable`], the
@@ -264,6 +318,54 @@ mod tests {
             let mut q = spec(alg);
             q.proportional = true;
             run_query(&s, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn cover_queries_partition_back_to_full_scan() {
+        let s = store();
+        let q = spec(Algorithm::Scan);
+        let full = run_query(&s, &q).unwrap();
+        let mut union: Vec<Record> = Vec::new();
+        for part in [vec![0u16], vec![1]] {
+            union.extend(run_query_cover(&s, &q, &part).unwrap());
+        }
+        union.sort_by_key(|r| (r.value, r.id));
+        union.dedup_by_key(|r| r.id);
+        assert_eq!(union, full);
+        // Rendered labels come from the FULL query label set even when the
+        // cover is a subset: with lambda 5 the label-1 pass must select
+        // post 3, which carries both query labels.
+        let mut tight = q.clone();
+        tight.lambda = 5;
+        let one = run_query_cover(&s, &tight, &[1]).unwrap();
+        assert!(one.iter().any(|r| r.id == 3 && r.labels == vec![0, 1]));
+    }
+
+    #[test]
+    fn cover_misuse_is_a_typed_error() {
+        let s = store();
+        let q = spec(Algorithm::Scan);
+        // Label outside the query set.
+        assert!(matches!(
+            run_query_cover(&s, &q, &[5]).unwrap_err(),
+            MqdError::Protocol { .. }
+        ));
+        // Empty cover.
+        assert!(matches!(
+            run_query_cover(&s, &q, &[]).unwrap_err(),
+            MqdError::Protocol { .. }
+        ));
+        // Non-decomposable algorithms and modes.
+        for bad in [spec(Algorithm::ScanPlus), spec(Algorithm::GreedySc), {
+            let mut p = spec(Algorithm::Scan);
+            p.proportional = true;
+            p
+        }] {
+            assert!(matches!(
+                run_query_cover(&s, &bad, &[0]).unwrap_err(),
+                MqdError::Protocol { .. }
+            ));
         }
     }
 

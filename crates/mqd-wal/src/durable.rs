@@ -682,7 +682,7 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
 
-        let mut ds = DurableStore::open(&dir, &opts(4)).unwrap();
+        let ds = DurableStore::open(&dir, &opts(4)).unwrap();
         assert_eq!(ds.store_stats().rows, 9);
         // Windows 0 and 1 sealed as separate boundary-aligned blocks; the
         // tail row stays in the WAL.

@@ -37,6 +37,7 @@ const VERSION: u64 = 1;
 const MAX_ROWS: u64 = 1 << 22;
 
 /// A decoded segment block.
+#[derive(Debug)]
 pub struct SegmentFile {
     /// Global sequence number of the first row.
     pub first_seq: u64,
@@ -125,7 +126,10 @@ pub fn decode_segment(data: &[u8]) -> Result<SegmentFile, MqdError> {
     if nrows == 0 || nrows > MAX_ROWS {
         return Err(c.corrupt(format!("implausible row count {nrows}")));
     }
-    let mut rows = Vec::with_capacity(nrows as usize);
+    // Each row occupies at least 4 bytes (id, value, label count, one
+    // label), so a count past that bound cannot be satisfied by the
+    // remaining body — reject before preallocating for it.
+    let mut rows = Vec::with_capacity(c.plausible_len(nrows, 4, "row")?);
     let mut value = 0i64;
     let mut label_counts: HashMap<u16, u64> = HashMap::new();
     for i in 0..nrows {
@@ -133,20 +137,22 @@ pub fn decode_segment(data: &[u8]) -> Result<SegmentFile, MqdError> {
         value = if i == 0 {
             c.get_varint_i64()?
         } else {
+            // Deltas are non-negative (monotone values), so the true sum
+            // is `value + delta` — compute it in i128 where it cannot
+            // wrap, and reject anything past the i64 range instead of
+            // folding it into a plausible-but-wrong value.
             let delta = c.get_varint()?;
-            let next = (value as u64).wrapping_add(delta) as i64;
-            // A legitimate (monotone) delta never lands below the previous
-            // value; a wrap past i64::MAX does.
-            if next < value {
+            let next = value as i128 + delta as i128;
+            if next > i64::MAX as i128 {
                 return Err(c.corrupt("value delta overflow"));
             }
-            next
+            next as i64
         };
         let nlabels = c.get_varint()?;
         if nlabels == 0 || nlabels > u16::MAX as u64 + 1 {
             return Err(c.corrupt(format!("implausible label count {nlabels}")));
         }
-        let mut labels = Vec::with_capacity(nlabels as usize);
+        let mut labels = Vec::with_capacity(c.plausible_len(nlabels, 1, "label")?);
         let mut prev: Option<u16> = None;
         for _ in 0..nlabels {
             let l = c.get_varint()?;
@@ -274,6 +280,85 @@ mod tests {
                 decode_segment(&blob[..keep]).is_err(),
                 "truncation to {keep} bytes accepted"
             );
+        }
+    }
+
+    /// Builds a correctly framed (valid checksum) body from raw parts, so
+    /// the decoder — not the frame check — must reject it.
+    fn sealed(body_tail: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        put_varint(&mut buf, VERSION);
+        put_varint(&mut buf, 0); // first_seq
+        buf.extend_from_slice(body_tail);
+        seal_framed(&mut buf, &FOOTER);
+        buf
+    }
+
+    #[test]
+    fn corrupt_delta_is_a_typed_error_not_a_wrap() {
+        // Two rows: the second one's delta pushes the value past i64::MAX.
+        // The frame checksum is valid, so only the checked delta
+        // arithmetic stands between this block and a plausible-but-wrong
+        // value entering the store.
+        let mut tail = Vec::new();
+        put_varint(&mut tail, 2); // nrows
+        put_varint(&mut tail, 1); // row 0: id
+        put_varint_i64(&mut tail, i64::MAX - 1); // absolute value
+        put_varint(&mut tail, 1); // nlabels
+        put_varint(&mut tail, 0); // label
+        put_varint(&mut tail, 2); // row 1: id
+        put_varint(&mut tail, 3); // delta -> i64::MAX + 2, past the range
+        let blob = sealed(&tail);
+        match decode_segment(&blob) {
+            Err(MqdError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("delta overflow"), "got: {reason}")
+            }
+            other => panic!("corrupt delta accepted: {other:?}"),
+        }
+
+        // Same shape but wrapping the whole u64 domain from a small value.
+        let mut tail = Vec::new();
+        put_varint(&mut tail, 2);
+        put_varint(&mut tail, 1);
+        put_varint_i64(&mut tail, 5);
+        put_varint(&mut tail, 1);
+        put_varint(&mut tail, 0);
+        put_varint(&mut tail, 2);
+        put_varint(&mut tail, u64::MAX - 3); // wraps to 1 under wrapping_add
+        match decode_segment(&sealed(&tail)) {
+            Err(MqdError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("delta overflow"), "got: {reason}")
+            }
+            other => panic!("wrapping delta accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_length_fields_fail_before_allocating() {
+        // nrows = MAX_ROWS passes the sanity bound but cannot fit in a
+        // tiny body; the decoder must reject it without preallocating
+        // MAX_ROWS row slots.
+        let mut tail = Vec::new();
+        put_varint(&mut tail, MAX_ROWS);
+        match decode_segment(&sealed(&tail)) {
+            Err(MqdError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("count"), "got: {reason}")
+            }
+            other => panic!("implausible nrows accepted: {other:?}"),
+        }
+
+        // A row claiming 65536 labels inside a few remaining bytes.
+        let mut tail = Vec::new();
+        put_varint(&mut tail, 1); // nrows
+        put_varint(&mut tail, 7); // id
+        put_varint_i64(&mut tail, 0); // value
+        put_varint(&mut tail, u16::MAX as u64 + 1); // nlabels, passes the u16 bound
+        match decode_segment(&sealed(&tail)) {
+            Err(MqdError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("count"), "got: {reason}")
+            }
+            other => panic!("implausible nlabels accepted: {other:?}"),
         }
     }
 

@@ -253,11 +253,11 @@ fn decode_frame(data: &[u8], at: usize, expected: Option<u64>) -> Option<(usize,
     }
     let id = b.get_varint().ok()?;
     let value = b.get_varint_i64().ok()?;
+    // Each label is at least one body byte, so a count past the cursor's
+    // remaining bytes is torn/corrupt — and preallocating for it would let
+    // a hostile frame request the allocation before validation runs.
     let nlabels = b.get_varint().ok()?;
-    if nlabels > body_len {
-        return None;
-    }
-    let mut labels = Vec::with_capacity(nlabels as usize);
+    let mut labels = Vec::with_capacity(b.plausible_len(nlabels, 1, "label").ok()?);
     for _ in 0..nlabels {
         let l = b.get_varint().ok()?;
         labels.push(u16::try_from(l).ok()?);

@@ -123,6 +123,36 @@ fn assert_prefix_or_typed(
     }
 }
 
+/// The acceptance rule for *resealed* frames grafted onto the log: the
+/// checksum is valid by construction, so a mutation that leaves the body
+/// decodable is a legitimate appended row — recovery may yield the whole
+/// original log plus at most one grafted row, never more.
+fn assert_prefix_plus_graft(
+    outcome: Result<DurableStore, MqdError>,
+    reference: &[Record],
+    ctx: &str,
+) {
+    match outcome {
+        Ok(store) => {
+            let got = recovered_ids(&store);
+            let upto = got.len().min(reference.len());
+            let want: Vec<u64> = reference.iter().take(upto).map(|r| r.id).collect();
+            assert_eq!(
+                &got[..upto],
+                &want[..],
+                "{ctx}: the original rows must survive unchanged"
+            );
+            assert!(
+                got.len() <= reference.len() + 1,
+                "{ctx}: at most one grafted row may decode ({} recovered, {} appended)",
+                got.len(),
+                reference.len()
+            );
+        }
+        Err(_typed) => {}
+    }
+}
+
 #[test]
 fn wal_bit_flips_recover_a_prefix_or_fail_typed() {
     let dir = tmpdir("flip");
@@ -203,6 +233,121 @@ fn wal_truncation_recovers_the_longest_intact_prefix() {
         recovered_counts.windows(2).all(|w| w[0] <= w[1]),
         "recovery must be monotone in the intact prefix: {recovered_counts:?}"
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// One well-formed WAL frame: `len:varint body fnv1a(body):u64_be`. Used
+/// to splice *resealed* hostile frames into a real log — the checksum is
+/// valid, so the mutated fields reach the decoder instead of dying at the
+/// integrity check.
+fn seal_frame(body: &[u8]) -> Vec<u8> {
+    use mqd_core::wire::{fnv1a, put_varint};
+    let mut frame = Vec::with_capacity(body.len() + 12);
+    put_varint(&mut frame, body.len() as u64);
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&fnv1a(body).to_be_bytes());
+    frame
+}
+
+fn frame_body(seq: u64, id: u64, value: i64, labels: &[u64]) -> Vec<u8> {
+    use mqd_core::wire::{put_varint, put_varint_i64};
+    let mut body = Vec::new();
+    put_varint(&mut body, seq);
+    put_varint(&mut body, id);
+    put_varint_i64(&mut body, value);
+    put_varint(&mut body, labels.len() as u64);
+    for &l in labels {
+        put_varint(&mut body, l);
+    }
+    body
+}
+
+/// Length-field attacks through valid checksums: a frame may *announce*
+/// absurd sizes (label counts in the exabytes, body lengths past the
+/// file) while every integrity check passes. The decoder must bound its
+/// preallocation by what the bytes can actually hold — before the
+/// `plausible_len` clamp, the huge-label-count case below aborted the
+/// process in `Vec::with_capacity` instead of truncating the tail.
+#[test]
+fn resealed_length_field_attacks_recover_a_prefix_not_oom() {
+    use mqd_core::wire::put_varint;
+
+    let dir = tmpdir("lenfield");
+    let mut rng = StdRng::seed_from_u64(31337);
+    let rows = random_rows(&mut rng, WINDOW + 9);
+    build(&dir, &rows);
+    let baseline = snapshot(&dir);
+    let wal_path = dir.join("wal");
+    let wal = fs::read(&wal_path).expect("wal exists");
+    let next_seq = rows.len() as u64; // grafted frames continue the log
+
+    // Hand-built hostile tails. Each body is checksum-sealed, so rejection
+    // (or acceptance) is purely the decoder's judgment.
+    let huge = u64::MAX / 2;
+    let hostile: Vec<(&str, Vec<u8>)> = vec![
+        ("label count in the exabytes, no label bytes", {
+            let mut body = frame_body(next_seq, 9_000, i64::MAX / 2, &[]);
+            body.pop(); // drop the zero label count...
+            put_varint(&mut body, huge); // ...and claim 2^63 labels
+            seal_frame(&body)
+        }),
+        ("label count huge with truncated label bytes", {
+            let mut body = frame_body(next_seq, 9_001, 1, &[]);
+            body.pop(); // drop the zero label count...
+            put_varint(&mut body, huge); // ...announce 2^63 labels
+            body.extend_from_slice(&[0x01, 0x02]); // two actual bytes
+            seal_frame(&body)
+        }),
+        (
+            "label value past u16::MAX",
+            seal_frame(&frame_body(next_seq, 9_002, 2, &[1 << 20])),
+        ),
+        ("announced body length past the file end", {
+            let mut frame = Vec::new();
+            put_varint(&mut frame, huge); // body "length"
+            frame.extend_from_slice(&[0xAA; 16]);
+            frame
+        }),
+        ("trailing garbage after the labels", {
+            let mut body = frame_body(next_seq, 9_003, 3, &[1]);
+            body.extend_from_slice(&[0x55; 4]);
+            seal_frame(&body)
+        }),
+    ];
+    for (what, tail) in &hostile {
+        let mut bad = wal.clone();
+        bad.extend_from_slice(tail);
+        fs::write(&wal_path, &bad).expect("write grafted wal");
+        assert_prefix_or_typed(
+            DurableStore::open(&dir, &opts()),
+            &rows,
+            &format!("grafted frame: {what}"),
+        );
+        restore(&dir, &baseline);
+    }
+
+    // The fixed first hostile frame above is the shape that used to OOM;
+    // sweep the same idea randomly: flip whole bytes of the *body* of a
+    // resealed frame to 0xFF (varint continuation bits — the way length
+    // fields inflate), keeping the checksum valid.
+    let body0 = frame_body(next_seq, 424_242, i64::MAX / 4, &[0, 3, 5]);
+    for case in 0..64 {
+        let mut body = body0.clone();
+        let hits = rng.random_range(1..4usize);
+        for _ in 0..hits {
+            let pos = rng.random_range(0..body.len());
+            body[pos] = 0xFF;
+        }
+        let mut bad = wal.clone();
+        bad.extend_from_slice(&seal_frame(&body));
+        fs::write(&wal_path, &bad).expect("write mutated wal");
+        assert_prefix_plus_graft(
+            DurableStore::open(&dir, &opts()),
+            &rows,
+            &format!("case {case}: resealed body with 0xFF at {hits} position(s)"),
+        );
+        restore(&dir, &baseline);
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 

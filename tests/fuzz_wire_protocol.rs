@@ -126,11 +126,7 @@ fn truncated_body_and_half_close_is_a_typed_error() {
     client.shutdown_write().unwrap();
     let resp = client.read_response().unwrap();
     assert!(resp.status.starts_with("-ERR Protocol"), "{}", resp.status);
-    assert!(
-        resp.status.contains("truncated batch body"),
-        "{}",
-        resp.status
-    );
+    assert!(resp.status.contains("truncated body"), "{}", resp.status);
     assert_alive(addr);
     drain(addr);
     server.join().unwrap();
@@ -171,6 +167,204 @@ fn oversized_requests_are_rejected_typed() {
     assert_alive(addr);
     drain(addr);
     server.join().unwrap();
+}
+
+#[test]
+fn hello_frame_attacks_are_typed_and_keep_the_connection() {
+    use mqd_core::wire::{encode_hello, seal_framed, ShardIdentity, FRAME_FOOTER};
+
+    let (addr, server) = start(2);
+    let mut client = Client::connect(addr).unwrap();
+
+    // Announced sizes the server must refuse before reading a frame:
+    // zero, past the cap, and absurd (a pre-clamp decoder would have
+    // preallocated the announced size).
+    for bad in ["HELLO 0", "HELLO 257", "HELLO 999999999999", "HELLO -1"] {
+        let resp = client.request(bad).unwrap();
+        assert!(resp.status.starts_with("-ERR "), "{bad}: {}", resp.status);
+        let ping = client.request("PING").unwrap();
+        assert!(ping.is_ok(), "{bad} lost framing: {}", ping.status);
+    }
+
+    // A body shorter than announced, then half-close: typed, not hung.
+    let mut torn = Client::connect(addr).unwrap();
+    let good = encode_hello(&ShardIdentity {
+        shard_id: 0,
+        shard_count: 2,
+    });
+    let mut raw = format!("HELLO {}\n", good.len()).into_bytes();
+    raw.extend_from_slice(&good[..good.len() / 2]);
+    torn.write_raw(&raw).unwrap();
+    torn.shutdown_write().unwrap();
+    let resp = torn.read_response().unwrap();
+    assert!(resp.status.contains("truncated body"), "{}", resp.status);
+
+    // Structurally hostile frames of the correct announced size: bad
+    // magic, bad version, out-of-range shard coordinates, truncated
+    // varints, trailing bytes — every one resealed so the checksum is
+    // valid and the *decoder* does the rejecting.
+    let reseal = |mutate: &dyn Fn(&mut Vec<u8>)| -> Vec<u8> {
+        let mut body = good[..good.len() - 12].to_vec(); // strip footer
+        mutate(&mut body);
+        let mut frame = body;
+        seal_framed(&mut frame, FRAME_FOOTER);
+        frame
+    };
+    let hostile: Vec<(&str, Vec<u8>)> = vec![
+        ("flipped magic", reseal(&|b| b[0] ^= 0xFF)),
+        ("future version", reseal(&|b| b[4] = 99)),
+        ("shard id >= count", {
+            let mut b = good[..good.len() - 12].to_vec();
+            b.truncate(5);
+            b.push(7); // shard_id 7
+            b.push(2); // shard_count 2
+            let mut f = b;
+            seal_framed(&mut f, FRAME_FOOTER);
+            f
+        }),
+        ("shard count 0", {
+            let mut b = good[..good.len() - 12].to_vec();
+            b.truncate(5);
+            b.push(0);
+            b.push(0);
+            let mut f = b;
+            seal_framed(&mut f, FRAME_FOOTER);
+            f
+        }),
+        ("shard count past the cap", {
+            let mut b = good[..good.len() - 12].to_vec();
+            b.truncate(5);
+            b.push(1);
+            b.extend_from_slice(&[0xFF, 0x7F]); // varint 16383
+            let mut f = b;
+            seal_framed(&mut f, FRAME_FOOTER);
+            f
+        }),
+        ("unterminated varint", {
+            let mut b = good[..good.len() - 12].to_vec();
+            b.truncate(5);
+            b.extend_from_slice(&[0x80, 0x80, 0x80]); // all continuation bits
+            let mut f = b;
+            seal_framed(&mut f, FRAME_FOOTER);
+            f
+        }),
+        (
+            "trailing bytes",
+            reseal(&|b| b.extend_from_slice(&[0xEE; 3])),
+        ),
+        ("corrupt checksum", {
+            let mut f = good.clone();
+            let at = f.len() - 1;
+            f[at] ^= 0xFF;
+            f
+        }),
+    ];
+    for (what, frame) in &hostile {
+        let mut raw = format!("HELLO {}\n", frame.len()).into_bytes();
+        raw.extend_from_slice(frame);
+        let resp = client.request_raw(&raw).unwrap();
+        assert!(
+            resp.status.starts_with("-ERR "),
+            "{what}: accepted hostile frame: {}",
+            resp.status
+        );
+        assert!(!resp.status.contains("panicked"), "{what}: {}", resp.status);
+        let ping = client.request("PING").unwrap();
+        assert!(ping.is_ok(), "{what} lost framing: {}", ping.status);
+    }
+
+    // Random mutation sweep over the sealed frame, resealed each time so
+    // every mutation reaches the decoder with a valid checksum.
+    let mut rng = StdRng::seed_from_u64(0x4E110);
+    for case in 0..64 {
+        let mut body = good[..good.len() - 12].to_vec();
+        for _ in 0..rng.random_range(1..4usize) {
+            let at = rng.random_range(0..body.len());
+            body[at] = rng.random::<u64>() as u8;
+        }
+        let mut frame = body;
+        seal_framed(&mut frame, FRAME_FOOTER);
+        let mut raw = format!("HELLO {}\n", frame.len()).into_bytes();
+        raw.extend_from_slice(&frame);
+        let resp = client.request_raw(&raw).unwrap();
+        // A mutation may reconstruct a *valid* frame (magic+version intact,
+        // small coordinates) — the standalone server accepts any map. What
+        // it must never do is panic or lose line framing.
+        assert!(
+            resp.is_ok() || resp.status.starts_with("-ERR "),
+            "case {case}: {}",
+            resp.status
+        );
+        assert!(!resp.status.contains("panicked"), "case {case}");
+        let ping = client.request("PING").unwrap();
+        assert!(ping.is_ok(), "case {case} lost framing: {}", ping.status);
+    }
+
+    drop(client);
+    assert_alive(addr);
+    drain(addr);
+    server.join().unwrap();
+}
+
+#[test]
+fn sharded_backend_rejects_misrouted_rows_under_fuzz() {
+    use mqd_core::wire::{shard_of_label, ShardIdentity};
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        max_queue: 64,
+        shard: Some(ShardIdentity {
+            shard_id: 1,
+            shard_count: 2,
+        }),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let mut rng = StdRng::seed_from_u64(0x5A4D);
+    let mut client = Client::connect(addr).unwrap();
+    let mut value = 0i64;
+    let mut accepted = 0u64;
+    for i in 0..200u64 {
+        value += rng.random_range(0..50i64);
+        let k = rng.random_range(1..4usize);
+        let labels: Vec<u16> = (0..k).map(|_| rng.random_range(0..8u32) as u16).collect();
+        let owned = labels.iter().any(|&l| shard_of_label(l, 2) == 1);
+        let line = format!(
+            "INGEST {} {} {}",
+            i + 1,
+            value,
+            labels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let resp = client.request(&line).unwrap();
+        if owned {
+            assert!(resp.is_ok(), "{line}: {}", resp.status);
+            accepted += 1;
+        } else {
+            assert!(
+                resp.status.starts_with("-ERR Protocol"),
+                "{line}: misrouted row accepted: {}",
+                resp.status
+            );
+            assert!(resp.status.contains("shard"), "{}", resp.status);
+        }
+    }
+    let stats = client.request("STATS").unwrap();
+    assert!(
+        stats.status.contains(&format!("\"rows\":{accepted}")),
+        "rejected rows must not count: {}",
+        stats.status
+    );
+    drop(client);
+    drain(addr);
+    handle.join().unwrap();
 }
 
 #[test]
