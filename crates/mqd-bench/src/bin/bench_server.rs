@@ -13,11 +13,21 @@
 //!   early interleaved window, so stale-but-bounded serving and background
 //!   refresh show up in the counters too.
 //!
-//! Reports client-observed p50/p95/p99 latency, aggregate qps, and the
-//! number of `"stale":true` responses per mode, and writes
-//! `BENCH_server.json` at the working-directory root (repo root when run
-//! via `cargo run`) with both modes plus the pre-repair PR 4 trajectory.
-//! `--quick` shrinks clients, queries, and corpus for a CI smoke run.
+//! Reports client-observed p50/p95/p99 latency (through the shared
+//! [`mqd_load::Hist`] log-bucketed histogram, the same percentile math the
+//! open-loop harness uses), aggregate qps, typed error/`-OVERLOADED`
+//! tallies, and the number of `"stale":true` responses per mode, and
+//! writes `BENCH_server.json` at the working-directory root (repo root
+//! when run via `cargo run`) with both modes plus the pre-repair PR 4
+//! trajectory. `--quick` shrinks clients, queries, and corpus for a CI
+//! smoke run.
+//!
+//! All numbers here — including the pinned `baseline_pr4` block — are
+//! **closed-loop**: each client waits for a response before sending the
+//! next query, so queueing hides in think-time and the percentiles say
+//! nothing about behavior at a fixed offered rate (coordinated omission).
+//! Open-loop SLO evidence lives in `BENCH_load_<scenario>.json` via
+//! `mqdiv load`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use mqd_bench::BenchArgs;
 use mqd_core::record::Record;
+use mqd_load::Hist;
 use mqd_rng::{RngExt, SeedableRng, StdRng};
 use mqd_server::{format_query, Client, Server, ServerConfig};
 use mqd_store::{Algorithm, QuerySpec};
@@ -116,12 +127,9 @@ fn interleaved_pool(seed: u64, early_to: i64) -> Vec<QuerySpec> {
     pool
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
+/// Bucket-quantized percentile from the shared histogram, in ms.
+fn pct_ms(hist: &Hist, p: f64) -> f64 {
+    hist.value_at_percentile(p) as f64 / 1e3
 }
 
 /// One mode's results, as recorded in `BENCH_server.json`.
@@ -135,9 +143,11 @@ struct ModeReport {
     preload_ms: f64,
     wall_s: f64,
     qps: f64,
-    p50: f64,
-    p95: f64,
-    p99: f64,
+    /// Client-observed request-to-response latency, µs.
+    hist: Hist,
+    ok_responses: u64,
+    error_responses: u64,
+    overloaded_responses: u64,
     stale_responses: u64,
     server_stats: String,
 }
@@ -211,7 +221,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
 
     let stop = AtomicBool::new(false);
     let sweep_start = Instant::now();
-    let (mut latencies_ms, stale_responses, interleaved_rows) = std::thread::scope(|scope| {
+    let (hist, tallies, interleaved_rows) = std::thread::scope(|scope| {
         let writer = (cfg.interleave_rate > 0.0 && !tail.is_empty()).then(|| {
             let stop = &stop;
             let rate = cfg.interleave_rate;
@@ -253,8 +263,8 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed ^ 0xC11E47 ^ (c as u64) << 17);
                     let mut client = Client::connect(addr).expect("connect client");
-                    let mut lat = Vec::with_capacity(qpc);
-                    let mut stale = 0u64;
+                    let mut hist = Hist::new();
+                    let mut tallies = [0u64; 4]; // ok, error, overloaded, stale
                     for _ in 0..qpc {
                         // Interleaved mode queries pool-only: the point is
                         // the hit path under ingest pressure, not cold
@@ -266,37 +276,47 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
                         };
                         let t0 = Instant::now();
                         let (resp, _rows) = client.query(&spec).expect("query");
-                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
-                        assert!(resp.is_ok(), "{} -> {}", format_query(&spec), resp.status);
+                        hist.record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                        if resp.is_ok() {
+                            tallies[0] += 1;
+                        } else if resp.status.starts_with("-OVERLOADED") {
+                            tallies[2] += 1;
+                        } else {
+                            tallies[1] += 1;
+                            eprintln!("bench_server: {} -> {}", format_query(&spec), resp.status);
+                        }
                         if resp.status.contains("\"stale\":true") {
-                            stale += 1;
+                            tallies[3] += 1;
                         }
                     }
-                    (lat, stale)
+                    (hist, tallies)
                 })
             })
             .collect();
 
-        let mut lat = Vec::with_capacity(cfg.clients * cfg.queries_per_client);
-        let mut stale = 0u64;
+        let mut hist = Hist::new();
+        let mut tallies = [0u64; 4];
         for h in handles {
-            let (l, s) = h.join().expect("client thread");
-            lat.extend(l);
-            stale += s;
+            let (hh, tt) = h.join().expect("client thread");
+            hist.merge(&hh);
+            for (a, b) in tallies.iter_mut().zip(tt) {
+                *a += b;
+            }
         }
         stop.store(true, Ordering::Relaxed);
         let sent = writer
             .map(|h| h.join().expect("writer thread"))
             .unwrap_or(0);
-        (lat, stale, sent)
+        (hist, tallies, sent)
     });
     let wall_s = sweep_start.elapsed().as_secs_f64();
 
-    let total = latencies_ms.len();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let p50 = percentile(&latencies_ms, 50.0);
-    let p95 = percentile(&latencies_ms, 95.0);
-    let p99 = percentile(&latencies_ms, 99.0);
+    let total = hist.count() as usize;
+    let (p50, p95, p99) = (
+        pct_ms(&hist, 50.0),
+        pct_ms(&hist, 95.0),
+        pct_ms(&hist, 99.0),
+    );
     let qps = total as f64 / wall_s;
 
     // Pull the server-side cache/served counters, then drain.
@@ -308,9 +328,11 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
     assert!(drain.is_ok());
     server_thread.join().expect("server thread");
 
+    let [ok, errors, overloaded, stale] = tallies;
     println!(
         "bench_server[{}]: {total} queries in {wall_s:.2}s: {qps:.0} qps, \
-         p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms, {stale_responses} stale, \
+         p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms, \
+         {ok} ok / {errors} error / {overloaded} overloaded / {stale} stale, \
          {interleaved_rows} rows interleaved",
         cfg.name
     );
@@ -326,10 +348,11 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
         preload_ms,
         wall_s,
         qps,
-        p50,
-        p95,
-        p99,
-        stale_responses,
+        hist,
+        ok_responses: ok,
+        error_responses: errors,
+        overloaded_responses: overloaded,
+        stale_responses: stale,
         server_stats,
     }
 }
@@ -349,7 +372,17 @@ fn mode_json(r: &ModeReport) -> String {
     let _ = writeln!(
         j,
         "      \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},",
-        r.p50, r.p95, r.p99
+        pct_ms(&r.hist, 50.0),
+        pct_ms(&r.hist, 95.0),
+        pct_ms(&r.hist, 99.0)
+    );
+    let _ = writeln!(j, "      \"latency_us\": {},", r.hist.to_json());
+    let _ = writeln!(j, "      \"ok_responses\": {},", r.ok_responses);
+    let _ = writeln!(j, "      \"error_responses\": {},", r.error_responses);
+    let _ = writeln!(
+        j,
+        "      \"overloaded_responses\": {},",
+        r.overloaded_responses
     );
     let _ = writeln!(j, "      \"stale_responses\": {},", r.stale_responses);
     let _ = writeln!(j, "      \"server_stats\": {}", r.server_stats);
@@ -519,6 +552,13 @@ fn main() {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    );
+    let _ = writeln!(
+        json,
+        "  \"methodology\": \"closed-loop: clients wait for each response before sending \
+         the next query, so queueing hides in think-time and percentiles say nothing about \
+         a fixed offered rate (coordinated omission). baseline_pr4 was measured the same way. \
+         Open-loop SLO evidence: BENCH_load_<scenario>.json via mqdiv load.\","
     );
     // The pre-repair trajectory (PR 4, this host): every ingest bumped the
     // store generation and the next hit on each cached entry re-solved

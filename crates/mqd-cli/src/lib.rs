@@ -8,6 +8,7 @@
 pub mod binlog;
 pub mod commands;
 pub mod lint;
+pub mod load;
 pub mod serve;
 pub mod store;
 pub mod tsv;

@@ -1,0 +1,214 @@
+//! `mqdiv load`: the open-loop load harness front-end (DESIGN.md §17).
+//!
+//! Builds the deterministic scenario plan ([`mqd_load::scenario`]), runs
+//! it either against a live endpoint (`--addr`, the wire protocol over
+//! TCP) or through the deterministic service model (`--sim`), and writes
+//! the `BENCH_load_<scenario>.json` evidence artifact. When a `--sim`
+//! run's SLO fails, the schedule is ddmin-shrunk to a minimal replayable
+//! reproducer before reporting, so a red CI job hands back a seed and a
+//! handful of ops instead of an overnight soak.
+
+use std::io::Write;
+
+use mqd_load::{
+    build, evaluate_slo, render_report, run_live, run_sim, shrink_plan, RunnerCfg, ScenarioCfg,
+    SimParams, CATALOG,
+};
+
+/// Options for `mqdiv load`.
+pub struct LoadOpts {
+    /// Scenario name from [`mqd_load::CATALOG`].
+    pub scenario: String,
+    /// Live target (`host:port`). Mutually exclusive with `sim`.
+    pub addr: Option<String>,
+    /// Run the deterministic service model instead of a live endpoint.
+    pub sim: bool,
+    /// The one seed every client action derives from.
+    pub seed: u64,
+    /// Mean offered rate, requests/second.
+    pub rate: f64,
+    /// Run length in milliseconds.
+    pub duration_ms: u64,
+    /// Paced connection lanes.
+    pub lanes: u16,
+    /// Report path; `None` writes `BENCH_load_<scenario>.json` in the
+    /// working directory.
+    pub out: Option<std::path::PathBuf>,
+    /// Exit with an error when the SLO fails (for CI).
+    pub check: bool,
+}
+
+impl Default for LoadOpts {
+    fn default() -> Self {
+        let cfg = ScenarioCfg::default();
+        LoadOpts {
+            scenario: "steady".into(),
+            addr: None,
+            sim: false,
+            seed: cfg.seed,
+            rate: cfg.rate,
+            duration_ms: cfg.duration_ms,
+            lanes: cfg.lanes,
+            out: None,
+            check: false,
+        }
+    }
+}
+
+/// Runs one scenario and writes its evidence artifact. Returns the SLO
+/// violations (empty = pass) so callers can script on the verdict.
+pub fn load(log: &mut impl Write, opts: &LoadOpts) -> Result<Vec<String>, String> {
+    let cfg = ScenarioCfg {
+        seed: opts.seed,
+        rate: opts.rate,
+        duration_ms: opts.duration_ms,
+        lanes: opts.lanes,
+        ..ScenarioCfg::default()
+    };
+    let plan = build(&opts.scenario, &cfg).map_err(|e| {
+        let names: Vec<&str> = CATALOG.iter().map(|(n, _)| *n).collect();
+        format!("{e} (scenarios: {})", names.join(", "))
+    })?;
+    writeln!(
+        log,
+        "scenario {}: {} op(s) ({} query, {} ingest), {} slow conn(s), digest {:016x}",
+        plan.scenario,
+        plan.ops.len(),
+        plan.query_ops(),
+        plan.ingest_ops(),
+        plan.slow_conns.len(),
+        plan.digest()
+    )
+    .map_err(|e| e.to_string())?;
+
+    let outcome = match (&opts.addr, opts.sim) {
+        (Some(addr), false) => {
+            run_live(&plan, &RunnerCfg::new(addr.clone())).map_err(|e| e.to_string())?
+        }
+        (None, true) => run_sim(&plan, &SimParams::for_plan(&plan)),
+        (Some(_), true) => return Err("--addr and --sim are mutually exclusive".into()),
+        (None, false) => return Err("pick a target: --addr HOST:PORT or --sim".into()),
+    };
+
+    let violations = evaluate_slo(&plan.scenario, &outcome);
+    if !violations.is_empty() && opts.sim {
+        // Deterministic executor: shrink the failing schedule to a minimal
+        // replayable reproducer (same strategy as the PR 3 oracle).
+        let params = SimParams::for_plan(&plan);
+        let small = shrink_plan(&plan, |p| {
+            !evaluate_slo(&p.scenario, &run_sim(p, &params)).is_empty()
+        });
+        writeln!(
+            log,
+            "SLO failed; ddmin shrank {} op(s) / {} slow conn(s) to {} / {} (seed {})",
+            plan.ops.len(),
+            plan.slow_conns.len(),
+            small.ops.len(),
+            small.slow_conns.len(),
+            plan.seed
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    let report = render_report(&plan, &outcome);
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_load_{}.json", plan.scenario).into());
+    std::fs::write(&path, &report).map_err(|e| format!("write {}: {e}", path.display()))?;
+    writeln!(
+        log,
+        "{}: {} ok / {} overloaded / {} timeout / {} error / {} dropped -> {}",
+        if violations.is_empty() {
+            "SLO pass"
+        } else {
+            "SLO FAIL"
+        },
+        outcome.counts.ok,
+        outcome.counts.overloads,
+        outcome.counts.timeouts,
+        outcome.counts.errors,
+        outcome.counts.dropped,
+        path.display()
+    )
+    .map_err(|e| e.to_string())?;
+    for v in &violations {
+        writeln!(log, "  violation: {v}").map_err(|e| e.to_string())?;
+    }
+    if opts.check && !violations.is_empty() {
+        return Err(format!(
+            "SLO failed for {} ({} violation(s); see {})",
+            plan.scenario,
+            violations.len(),
+            path.display()
+        ));
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_opts(scenario: &str, out: std::path::PathBuf) -> LoadOpts {
+        LoadOpts {
+            scenario: scenario.into(),
+            sim: true,
+            rate: 200.0,
+            duration_ms: 1_000,
+            out: Some(out),
+            check: true,
+            ..LoadOpts::default()
+        }
+    }
+
+    #[test]
+    fn sim_run_writes_a_byte_stable_artifact() {
+        let dir = std::env::temp_dir().join("mqd_load_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_load_steady.json");
+        let mut log = Vec::new();
+        load(&mut log, &sim_opts("steady", path.clone())).unwrap();
+        let a = std::fs::read_to_string(&path).unwrap();
+        load(&mut log, &sim_opts("steady", path.clone())).unwrap();
+        let b = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(a, b, "same seed must reproduce identical reports");
+        assert!(a.contains("\"p999\""), "{a}");
+        assert!(a.contains("\"mode\":\"sim\""), "{a}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slowloris_sim_passes_its_slo() {
+        let dir = std::env::temp_dir().join("mqd_load_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_load_slowloris.json");
+        let mut log = Vec::new();
+        let v = load(&mut log, &sim_opts("slowloris", path.clone())).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_scenario_lists_the_catalog() {
+        let mut log = Vec::new();
+        let err = load(
+            &mut log,
+            &LoadOpts {
+                scenario: "nope".into(),
+                sim: true,
+                ..LoadOpts::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("steady"), "{err}");
+        assert!(err.contains("slowloris"), "{err}");
+    }
+
+    #[test]
+    fn target_flags_are_validated() {
+        let mut log = Vec::new();
+        let err = load(&mut log, &LoadOpts::default()).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+    }
+}

@@ -15,9 +15,12 @@
 //! mqdiv serve      [--addr HOST:PORT] [--max-queue N] [--data-dir DIR]
 //!                  [--no-fsync] [--retain SPAN]         (:0 picks an ephemeral port)
 //!                  [--shard-id I --shard-count N]       (serve as shard I of an N-shard cluster)
+//!                  [--idle-timeout-ms N]                (typed-timeout stalled connections)
 //! mqdiv route      --backends HOST:PORT[,HOST:PORT...] --shards N
-//!                  [--addr HOST:PORT] [--max-queue N]   (cluster scatter-gather frontend)
+//!                  [--addr HOST:PORT] [--max-queue N] [--idle-timeout-ms N]
 //! mqdiv client     --addr HOST:PORT [--input SCRIPT] [--check]
+//! mqdiv load       --scenario NAME (--addr HOST:PORT | --sim) [--seed S] [--rate R]
+//!                  [--duration-ms N] [--lanes N] [--out FILE] [--check]
 //! mqdiv lint       [--deny] [--json] [--rules a,b] [--out FILE]   (workspace static analysis)
 //! ```
 //!
@@ -120,7 +123,7 @@ fn open_output(flags: &Flags) -> Result<Box<dyn Write>, String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|route|client|lint> [flags]; see --help".into());
+        return Err("usage: mqdiv <gen|match|diversify|stream|pack|unpack|ingest|query|oracle|serve|route|client|load|lint> [flags]; see --help".into());
     };
     if cmd == "--help" || cmd == "help" {
         println!(
@@ -140,6 +143,8 @@ fn run() -> Result<(), String> {
              \x20            --shard-id/--shard-count pin it as one cluster shard)\n\
              \x20 route      front a sharded cluster: one endpoint over N shard backends\n\
              \x20 client     forward a request script to a running server or router\n\
+             \x20 load       open-loop load harness: drive a scenario at a live endpoint\n\
+             \x20            (or --sim) and write a BENCH_load_<scenario>.json artifact\n\
              \x20 lint       static-analysis pass over the workspace's own sources\n\
              \n\
              see the crate docs / README for the full flag reference"
@@ -318,6 +323,10 @@ fn run() -> Result<(), String> {
                 fsync: !flags.has("no-fsync"),
                 retain,
                 shard,
+                idle_timeout_ms: match flags.get("idle-timeout-ms") {
+                    Some(_) => Some(flags.require_num("idle-timeout-ms")?),
+                    None => None,
+                },
             };
             mqd_cli::serve::serve(io::stdout(), &mut log, &opts)
         }
@@ -340,8 +349,30 @@ fn run() -> Result<(), String> {
                 backends,
                 shards: flags.require_num("shards")?,
                 max_queue: flags.parse_num("max-queue", 64usize)?,
+                idle_timeout_ms: match flags.get("idle-timeout-ms") {
+                    Some(_) => Some(flags.require_num("idle-timeout-ms")?),
+                    None => None,
+                },
             };
             mqd_cli::serve::route(io::stdout(), &mut log, &opts)
+        }
+        "load" => {
+            let defaults = mqd_cli::load::LoadOpts::default();
+            let opts = mqd_cli::load::LoadOpts {
+                scenario: flags
+                    .get("scenario")
+                    .ok_or("--scenario is required")?
+                    .to_string(),
+                addr: flags.get("addr").map(String::from),
+                sim: flags.has("sim"),
+                seed: flags.parse_num("seed", defaults.seed)?,
+                rate: flags.parse_num("rate", defaults.rate)?,
+                duration_ms: flags.parse_num("duration-ms", defaults.duration_ms)?,
+                lanes: flags.parse_num("lanes", defaults.lanes)?,
+                out: flags.get("out").map(PathBuf::from),
+                check: flags.has("check"),
+            };
+            mqd_cli::load::load(&mut log, &opts).map(|_| ())
         }
         "client" => {
             let opts = mqd_cli::serve::ClientOpts {

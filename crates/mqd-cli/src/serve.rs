@@ -34,6 +34,10 @@ pub struct ServeOpts {
     /// cluster — reject rows owning none of the shard's labels and pin
     /// router `HELLO` handshakes to this map. `None` serves standalone.
     pub shard: Option<ShardIdentity>,
+    /// `--idle-timeout-ms N`: close connections whose request line or body
+    /// stalls longer than this with a typed `-ERR Timeout`, reclaiming the
+    /// worker (slowloris defense). `None` waits forever.
+    pub idle_timeout_ms: Option<u64>,
 }
 
 /// Binds the server, announces the bound address on `out`, and serves
@@ -47,6 +51,7 @@ pub fn serve(mut out: impl Write, log: &mut impl Write, opts: &ServeOpts) -> Res
         fsync: opts.fsync,
         retain: opts.retain,
         shard: opts.shard,
+        idle_timeout: opts.idle_timeout_ms.map(std::time::Duration::from_millis),
     };
     let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", opts.addr))?;
     writeln!(out, "listening on {}", server.local_addr()).map_err(|e| e.to_string())?;
@@ -86,6 +91,9 @@ pub struct RouteOpts {
     pub shards: u32,
     /// Admission-control bound, as on `serve`.
     pub max_queue: usize,
+    /// `--idle-timeout-ms N`, as on `serve`: typed-timeout stalled
+    /// frontend connections instead of parking workers.
+    pub idle_timeout_ms: Option<u64>,
 }
 
 /// Binds the router, announces the frontend address on `out` (same
@@ -97,6 +105,7 @@ pub fn route(mut out: impl Write, log: &mut impl Write, opts: &RouteOpts) -> Res
         shards: opts.shards,
         threads: 0,
         max_queue: opts.max_queue,
+        idle_timeout: opts.idle_timeout_ms.map(std::time::Duration::from_millis),
     };
     let router = Router::bind(&cfg).map_err(|e| format!("bind {}: {e}", opts.addr))?;
     writeln!(out, "listening on {}", router.local_addr()).map_err(|e| e.to_string())?;
@@ -346,6 +355,7 @@ mod tests {
             backends: vec![b0.to_string(), b1.to_string()],
             shards: 2,
             max_queue: 8,
+            idle_timeout_ms: None,
         };
         let hr = {
             let mut out = announce.clone();

@@ -1,0 +1,171 @@
+//! Load-harness acceptance: the `mqdiv load` scenario fleet against real
+//! `mqdiv serve` and `mqdiv route` processes over TCP.
+//!
+//! Covers the two SLO claims that need a live socket to mean anything:
+//! a paced open-loop run produces a passing evidence artifact against
+//! both serving targets, and the slowloris fleet is answered with typed
+//! `-ERR Timeout` rejections (idle-timeout armed) instead of worker
+//! starvation — with the server still serving and panic-free afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+/// Spawns one `mqdiv` serving process with an ephemeral `--addr` and
+/// returns the child plus the announced address.
+fn spawn_mqdiv(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mqdiv"))
+        .args(args)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mqdiv");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announce line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+/// Runs `mqdiv load --check` against `addr`, writing the report to `out`.
+fn run_load(scenario: &str, addr: &str, rate: &str, duration_ms: &str, out: &std::path::Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_mqdiv"))
+        .args([
+            "load",
+            "--scenario",
+            scenario,
+            "--addr",
+            addr,
+            "--rate",
+            rate,
+            "--duration-ms",
+            duration_ms,
+            "--check",
+            "--out",
+        ])
+        .arg(out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .status()
+        .expect("run mqdiv load");
+    assert!(status.success(), "{scenario}: mqdiv load --check failed");
+}
+
+fn drain(addr: &str) {
+    let mut s = TcpStream::connect(addr).expect("connect for DRAIN");
+    s.write_all(b"DRAIN\n").expect("send DRAIN");
+    let mut resp = String::new();
+    let _ = BufReader::new(s).read_line(&mut resp);
+    assert!(resp.starts_with("+OK"), "DRAIN answered {resp:?}");
+}
+
+fn request(addr: &str, line: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(line.as_bytes()).expect("send");
+    s.write_all(b"\n").expect("send newline");
+    let mut resp = String::new();
+    let _ = BufReader::new(s).read_line(&mut resp);
+    resp
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mqd_load_e2e");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn steady_open_loop_run_passes_against_a_live_server() {
+    let (mut server, addr) = spawn_mqdiv(&["serve", "--threads", "8"]);
+    let out = scratch("BENCH_load_steady.json");
+    run_load("steady", &addr, "150.0", "1500", &out);
+    let report = std::fs::read_to_string(&out).expect("report written");
+    assert!(report.contains("\"mode\":\"live\""), "{report}");
+    assert!(report.contains("\"slo\":{\"pass\":true"), "{report}");
+    assert!(report.contains("\"p999\""), "{report}");
+    // The STATS delta proves the ops actually reached this server.
+    assert!(report.contains("\"stats_delta\":{"), "{report}");
+    drain(&addr);
+    assert!(server.wait().expect("server exit").success());
+}
+
+#[test]
+fn slowloris_fleet_is_typed_timeout_not_starvation() {
+    // Provision workers for every lane + slow conn (the sizing rule the
+    // CI job uses) and arm a 500 ms idle budget.
+    let (mut server, addr) = spawn_mqdiv(&["serve", "--threads", "24", "--idle-timeout-ms", "500"]);
+    let out = scratch("BENCH_load_slowloris.json");
+    run_load("slowloris", &addr, "100.0", "2000", &out);
+    let report = std::fs::read_to_string(&out).expect("report written");
+    assert!(report.contains("\"slo\":{\"pass\":true"), "{report}");
+    assert!(report.contains("\"unresolved\":0"), "{report}");
+    // At least part of the fleet saw an explicit typed rejection.
+    let count = |key: &str| {
+        report
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("{key} in report: {report}"))
+    };
+    let (opened, typed, closed) = (
+        count("opened"),
+        count("typed_rejected"),
+        count("server_closed"),
+    );
+    assert!(opened > 0, "fleet never connected: {report}");
+    assert!(
+        typed > 0,
+        "expected typed -ERR Timeout rejections: {report}"
+    );
+    assert_eq!(typed + closed, opened, "whole fleet resolved: {report}");
+    // The server survived the whole fleet: still serving, counted the
+    // timeouts, and panicked zero times (a panic would show as errors).
+    let stats = request(&addr, "STATS");
+    assert!(stats.starts_with("+OK"), "{stats}");
+    let timeouts = stats
+        .split("\"timeouts\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .expect("timeouts key in STATS");
+    assert!(timeouts > 0, "server must count idle timeouts: {stats}");
+    drain(&addr);
+    assert!(server.wait().expect("server exit").success());
+}
+
+#[test]
+fn flashcrowd_runs_against_a_sharded_router() {
+    let (mut b0, a0) = spawn_mqdiv(&["serve", "--shard-id", "0", "--shard-count", "2"]);
+    let (mut b1, a1) = spawn_mqdiv(&["serve", "--shard-id", "1", "--shard-count", "2"]);
+    let backends = format!("{a0},{a1}");
+    let (mut router, addr) = spawn_mqdiv(&[
+        "route",
+        "--backends",
+        &backends,
+        "--shards",
+        "2",
+        "--threads",
+        "8",
+        "--idle-timeout-ms",
+        "1000",
+    ]);
+    let out = scratch("BENCH_load_flashcrowd.json");
+    run_load("flashcrowd", &addr, "80.0", "1500", &out);
+    let report = std::fs::read_to_string(&out).expect("report written");
+    assert!(report.contains("\"slo\":{\"pass\":true"), "{report}");
+    // Router STATS carries per-backend liveness; the delta must see both
+    // shards alive after the crowd.
+    assert!(report.contains("\"backends_alive\":2"), "{report}");
+    drain(&addr); // router forwards DRAIN to its backends
+    assert!(router.wait().expect("router exit").success());
+    assert!(b0.wait().expect("b0 exit").success());
+    assert!(b1.wait().expect("b1 exit").success());
+}

@@ -88,6 +88,13 @@ pub enum MqdError {
         /// Which lock (store, cache, ...).
         what: &'static str,
     },
+    /// A peer exhausted its idle budget (half-open socket or byte
+    /// dribbling); the server reclaims the worker with a typed response
+    /// instead of starving.
+    Timeout {
+        /// What timed out (request line, body, ...).
+        msg: String,
+    },
 }
 
 impl fmt::Display for MqdError {
@@ -132,6 +139,7 @@ impl fmt::Display for MqdError {
                 f,
                 "{what} lock poisoned by a panicking thread; refusing to serve from it"
             ),
+            MqdError::Timeout { msg } => write!(f, "idle timeout: {msg}"),
         }
     }
 }
@@ -205,6 +213,10 @@ mod tests {
         assert!(e.to_string().contains("unknown command FROB"));
         let e = MqdError::Poisoned { what: "store" };
         assert!(e.to_string().contains("store lock poisoned"));
+        let e = MqdError::Timeout {
+            msg: "request line stalled".into(),
+        };
+        assert!(e.to_string().contains("idle timeout"));
     }
 
     #[test]

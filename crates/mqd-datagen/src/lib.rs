@@ -14,14 +14,18 @@ pub mod bursts;
 pub mod news;
 pub mod poisson;
 pub mod profiles;
+pub mod shapes;
 pub mod tweets;
+pub mod zipf;
 
 pub use broad::{BroadTopic, BROAD_TOPICS, COMMON_WORDS};
 pub use bursts::{generate_burst_posts, Burst, BurstStreamConfig};
 pub use news::{generate_news, NewsArticle, NewsConfig};
 pub use poisson::sample_poisson;
 pub use profiles::ProfileGenerator;
+pub use shapes::RateShape;
 pub use tweets::{
     generate_labeled_posts, generate_tweets, LabeledStreamConfig, Tweet, TweetStreamConfig, DAY_MS,
     HOUR_MS, MINUTE_MS,
 };
+pub use zipf::ZipfSampler;

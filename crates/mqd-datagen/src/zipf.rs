@@ -1,0 +1,161 @@
+//! Zipfian popularity sampling for heavy-tailed user populations.
+//!
+//! Microblogging query traffic is not uniform: a few subscriptions are
+//! requested constantly while a long tail is touched rarely ("Topic-focused
+//! Dynamic Information Filtering in Social Media" models exactly this).
+//! [`ZipfSampler`] draws indices `0..n` with `P(k) ∝ 1/(k+1)^s` — index 0
+//! is the hottest — via inverse-CDF lookup over a precomputed table, so a
+//! draw is one uniform sample plus a binary search, fully deterministic
+//! under `mqd-rng`.
+//!
+//! The sampler lives here rather than in the load harness so any workload
+//! composer (benches, oracle profiles, future scenario packs) can reuse it.
+
+use mqd_rng::{Rng, RngExt};
+
+/// Inverse-CDF sampler for a zipfian distribution over `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// Cumulative probability at each index; last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the table for `n` items with exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is the classic web/social skew). `n` is clamped to
+    /// at least 1 and `s` to non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let s = if s.is_finite() && s > 0.0 { s } else { 0.0 };
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            // (k+1)^-s via exp/ln-free powi when s is integral keeps this
+            // portable, but f64 powf is fine for a table built once: the
+            // table itself (not the libm call) is what downstream
+            // determinism hashes over within a run, and the same host
+            // rebuilds the same table for the same inputs.
+            let w = 1.0 / ((k + 1) as f64).powf(s);
+            total += w;
+            weights.push(w);
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0; // close rounding drift so sample() can't fall off
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of items in the population.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the population is empty (never true: `new` clamps to 1).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index in `0..len()`; smaller indices are hotter.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index whose cumulative mass reaches u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of index `k` (0 outside the population) — test and
+    /// reporting hook.
+    pub fn mass(&self, k: usize) -> f64 {
+        let hi = match self.cdf.get(k) {
+            Some(&c) => c,
+            None => return 0.0,
+        };
+        let lo = if k == 0 {
+            0.0
+        } else {
+            self.cdf.get(k - 1).copied().unwrap_or(0.0)
+        };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqd_rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.mass(k) - 0.1).abs() < 1e-12, "mass({k}) = {}", z.mass(k));
+        }
+    }
+
+    #[test]
+    fn distribution_shape_matches_zipf_law() {
+        // With s = 1 the head must dominate: empirical frequencies track
+        // the analytic masses and rank-1 is ~2x rank-2, ~3x rank-3.
+        let n = 64;
+        let z = ZipfSampler::new(n, 1.0);
+        let mut rng = StdRng::seed_from_u64(20130612);
+        let draws = 200_000usize;
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 2, 7, 31] {
+            let emp = counts[k] as f64 / draws as f64;
+            let want = z.mass(k);
+            assert!(
+                (emp - want).abs() < 0.01,
+                "rank {k}: empirical {emp:.4} vs analytic {want:.4}"
+            );
+        }
+        let r0 = counts[0] as f64;
+        assert!((r0 / counts[1] as f64 - 2.0).abs() < 0.2, "rank0/rank1");
+        assert!((r0 / counts[2] as f64 - 3.0).abs() < 0.3, "rank0/rank2");
+        // The head is heavy: top 8 of 64 items carry over half the mass.
+        let head: u64 = counts[..8].iter().sum();
+        assert!(head as f64 / draws as f64 > 0.5);
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mild = ZipfSampler::new(100, 0.8);
+        let steep = ZipfSampler::new(100, 1.5);
+        assert!(steep.mass(0) > mild.mass(0));
+        assert!(steep.mass(99) < mild.mass(99));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let z = ZipfSampler::new(32, 1.1);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let z = ZipfSampler::new(0, f64::NAN);
+        assert_eq!(z.len(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.mass(5), 0.0);
+    }
+}

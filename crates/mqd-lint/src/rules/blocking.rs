@@ -6,8 +6,10 @@
 //! thread that never exits, or `read_line` on a socket with no read
 //! timeout are all invisible until the one deployment where they wedge.
 //!
-//! Every such call in `mqd-server`/`mqd-stream`/`mqd-par` (and the CLI's
-//! serving glue) must either use the `_timeout` variant or carry a
+//! Every such call in `mqd-server`/`mqd-stream`/`mqd-par`/`mqd-load` (a
+//! wedged lane thread stalls the whole paced run past its deadline — the
+//! harness must outlive any server misbehavior it provokes) and the CLI's
+//! serving glue must either use the `_timeout` variant or carry a
 //! `// lint:allow(blocking-call): <why this blocks only boundedly>`
 //! justification — the annotation IS the documentation the next reader
 //! needs.
@@ -23,6 +25,7 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-stream/src")
         || rel.starts_with("crates/mqd-par/src")
         || rel.starts_with("crates/mqd-router/src")
+        || rel.starts_with("crates/mqd-load/src")
         || rel == "crates/mqd-cli/src/serve.rs"
 }
 
@@ -152,6 +155,16 @@ fn worker(rx: &Receiver<Conn>) {
     fn router_sources_are_in_scope() {
         let out = lint_source(
             "crates/mqd-router/src/router.rs",
+            "fn f(rx: &Receiver<u8>) { rx.recv(); }",
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn load_harness_sources_are_in_scope() {
+        let out = lint_source(
+            "crates/mqd-load/src/runner.rs",
             "fn f(rx: &Receiver<u8>) { rx.recv(); }",
             &LintConfig::subset(&[super::ID]).unwrap(),
         );

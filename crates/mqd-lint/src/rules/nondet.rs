@@ -34,13 +34,15 @@ const ITER_METHODS: &[&str] = &[
 
 /// The determinism-critical list: modules whose outputs must be
 /// byte-identical across processes (serving answers, checkpoint replay,
-/// solver tie-breaks).
+/// solver tie-breaks, and `mqd-load`'s seed-replayable plans and
+/// byte-stable evidence artifacts).
 fn applies(rel: &str) -> bool {
     rel.starts_with("crates/mqd-core/src/algorithms")
         || rel.starts_with("crates/mqd-store/src")
         || rel == "crates/mqd-server/src/protocol.rs"
         || rel.starts_with("crates/mqd-stream/src")
         || rel.starts_with("crates/mqd-router/src")
+        || rel.starts_with("crates/mqd-load/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -231,6 +233,21 @@ fn f(m: &HashMap<u16, u32>) {
 ";
         let out = lint_source(
             "crates/mqd-router/src/backend.rs",
+            src,
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn load_harness_sources_are_in_scope() {
+        let src = "\
+fn f(m: &HashMap<u16, u32>) {
+    for (k, v) in m.iter() { use_it(k, v); }
+}
+";
+        let out = lint_source(
+            "crates/mqd-load/src/scenario.rs",
             src,
             &LintConfig::subset(&[super::ID]).unwrap(),
         );

@@ -7,8 +7,10 @@
 //!
 //! Flagged in non-test code of `mqd-server`/`mqd-stream`/`mqd-store`/
 //! `mqd-wal` (the durability layer serves recovery — a panic there turns a
-//! survivable torn write into a server that cannot boot) and `mqd-router`
-//! (one routing worker serves many clients; same blast radius):
+//! survivable torn write into a server that cannot boot), `mqd-router`
+//! (one routing worker serves many clients; same blast radius), and
+//! `mqd-load` (a panicked lane thread silently truncates the offered
+//! schedule, so the report under-counts drops — evidence corruption):
 //! `.unwrap()`, `.expect(..)`, the `panic!`/`unreachable!`/`todo!`/
 //! `unimplemented!` macros, range slicing (`&buf[..n]` — panics when `n`
 //! exceeds the buffer) and fixed-index access (`buf[0]` — panics when
@@ -34,6 +36,7 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-store/src")
         || rel.starts_with("crates/mqd-wal/src")
         || rel.starts_with("crates/mqd-router/src")
+        || rel.starts_with("crates/mqd-load/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -240,6 +243,16 @@ mod tests {
     fn router_sources_are_in_scope() {
         let out = lint_source(
             "crates/mqd-router/src/merge.rs",
+            "fn f(o: Option<u8>) { o.unwrap(); }",
+            &LintConfig::subset(&[super::ID]).unwrap(),
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn load_harness_sources_are_in_scope() {
+        let out = lint_source(
+            "crates/mqd-load/src/runner.rs",
             "fn f(o: Option<u8>) { o.unwrap(); }",
             &LintConfig::subset(&[super::ID]).unwrap(),
         );

@@ -1,0 +1,38 @@
+//! `mqd-load`: the open-loop production load harness (DESIGN.md §17).
+//!
+//! The closed-loop benches (`mqd-bench`) measure a server that is allowed
+//! to pace its own clients: a slow response delays the next request, so
+//! queueing delay disappears from the numbers — coordinated omission.
+//! This crate generates load the way production traffic arrives: a
+//! deterministic schedule of send deadlines ([`plan`]) built by named
+//! scenario composers ([`scenario`]), fired at the deadline whether or
+//! not earlier responses came back ([`pacer`]), with latency measured
+//! from the *scheduled* send time ([`runner`]). Every choice derives from
+//! one seed; reports ([`report`]) are byte-stable evidence artifacts; a
+//! deterministic service-model executor ([`sim`]) makes whole reports
+//! reproducible bit-for-bit and powers ddmin shrinking of failing
+//! schedules ([`shrink`]).
+//!
+//! The latency recorder ([`hist`]) is shared with `mqd-bench`, so closed-
+//! and open-loop percentile math can never drift apart.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod hist;
+pub mod pacer;
+pub mod plan;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+pub mod sim;
+
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use hist::Hist;
+pub use plan::{Action, Op, Plan, SlowConn};
+pub use report::{evaluate_slo, render_report, Counts, RunOutcome, SlowOutcome};
+pub use runner::{run_live, RunnerCfg};
+pub use scenario::{build, ScenarioCfg, CATALOG};
+pub use shrink::shrink_plan;
+pub use sim::{run_sim, SimParams};

@@ -1,0 +1,670 @@
+//! The scenario fleet: named, seeded workload compositions.
+//!
+//! Each builder is a pure function `(name, cfg) -> Plan`: every label
+//! choice, spec draw, arrival gap, and slow-connection stagger comes from
+//! one `mqd-rng` stream seeded by `cfg.seed`, so a scenario run is
+//! replayable from its `(scenario, seed)` pair alone. Arrival times come
+//! from jittered-uniform gaps scaled by a [`RateShape`] envelope
+//! (IEEE-exact arithmetic only — see `mqd_datagen::shapes`), which keeps
+//! the schedule bit-identical across platforms while still exercising
+//! bursty, non-lattice arrival patterns.
+
+use mqd_core::record::Record;
+use mqd_datagen::shapes::RateShape;
+use mqd_datagen::zipf::ZipfSampler;
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+use mqd_store::{Algorithm, QuerySpec};
+
+use crate::plan::{Action, Op, Plan, SlowConn};
+
+/// Knobs shared by every scenario; scenario-specific structure (spike
+/// shape, skew, slow-connection mix) is derived from these plus the seed.
+#[derive(Clone, Debug)]
+pub struct ScenarioCfg {
+    /// Master seed; every choice in the plan derives from it.
+    pub seed: u64,
+    /// Baseline offered rate, requests/second (shapes multiply this).
+    pub rate: f64,
+    /// Run length in milliseconds.
+    pub duration_ms: u64,
+    /// Paced connection lanes.
+    pub lanes: u16,
+    /// Peak multiplier for `flashcrowd` (the paper-motivated default is
+    /// a 100× breaking-news spike; CI smoke runs scale it down).
+    pub flash_peak: f64,
+    /// Slow-connection fleet size for `slowloris`.
+    pub slow_conns: u32,
+    /// Zipf exponent for `zipf-users`.
+    pub zipf_exponent: f64,
+}
+
+impl Default for ScenarioCfg {
+    fn default() -> Self {
+        ScenarioCfg {
+            seed: 20130612,
+            rate: 500.0,
+            duration_ms: 10_000,
+            lanes: 4,
+            flash_peak: 100.0,
+            slow_conns: 16,
+            zipf_exponent: 1.1,
+        }
+    }
+}
+
+/// The scenario catalog: name and one-line description, in display order.
+pub const CATALOG: &[(&str, &str)] = &[
+    (
+        "steady",
+        "baseline mix: 80% queries over a uniform spec population, 20% ingest",
+    ),
+    (
+        "diurnal",
+        "the steady mix under a sinusoidal rate tide (trough 0.3x, peak 1.7x)",
+    ),
+    (
+        "flashcrowd",
+        "one breaking-news label spikes the rate (default 100x), holds, then decays",
+    ),
+    (
+        "zipf-users",
+        "heavy-tailed QuerySpec popularity: hot specs hammer the cover cache, cold specs miss",
+    ),
+    (
+        "adversarial-ingest",
+        "posts land inside cached cover footprints to maximize repair/invalidation pressure",
+    ),
+    (
+        "slowloris",
+        "half-open and byte-dribbling connections against admission control, with liveness probes",
+    ),
+];
+
+/// Label universe shared by every scenario (12 labels, like the paper's
+/// topic count per broad subscription neighborhood).
+const NUM_LABELS: u16 = 12;
+/// The breaking-news label for `flashcrowd`.
+const HOT_LABEL: u16 = 0;
+/// Lambda menu, in the same ms-scale units as ingested values.
+const LAMBDAS: &[i64] = &[250, 500, 1000, 2000];
+
+/// Builds the plan for `name`. Unknown names list the catalog.
+pub fn build(name: &str, cfg: &ScenarioCfg) -> Result<Plan, String> {
+    match name {
+        "steady" => Ok(mixed_scenario(name, cfg, RateShape::Constant, 0.20)),
+        "diurnal" => Ok(mixed_scenario(
+            name,
+            cfg,
+            RateShape::Diurnal {
+                period_us: (cfg.duration_ms * 1000).max(1),
+                amplitude: 0.7,
+            },
+            0.20,
+        )),
+        "flashcrowd" => Ok(flashcrowd(cfg)),
+        "zipf-users" => Ok(zipf_users(cfg)),
+        "adversarial-ingest" => Ok(adversarial_ingest(cfg)),
+        "slowloris" => Ok(slowloris(cfg)),
+        other => {
+            let names: Vec<&str> = CATALOG.iter().map(|(n, _)| *n).collect();
+            Err(format!(
+                "unknown scenario '{other}' (have: {})",
+                names.join(", ")
+            ))
+        }
+    }
+}
+
+/// Jittered-uniform arrival times under a rate envelope: each gap is
+/// `1e6/(rate·mult(t)) · (0.5 + u)` µs with `u` uniform in `[0,1)`, so the
+/// mean honors the envelope while gaps stay aperiodic. Pure arithmetic —
+/// bit-identical for a seed on any platform.
+fn arrivals(shape: &RateShape, rate: f64, duration_us: u64, rng: &mut StdRng) -> Vec<u64> {
+    let rate = if rate.is_finite() && rate > 0.01 {
+        rate
+    } else {
+        1.0
+    };
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let end = duration_us as f64;
+    loop {
+        let mult = shape.multiplier_at(t as u64);
+        let mean_gap = 1_000_000.0 / (rate * mult);
+        let u: f64 = rng.random();
+        t += mean_gap * (0.5 + u);
+        if t >= end {
+            return out;
+        }
+        out.push(t as u64);
+    }
+}
+
+/// Draws a query-spec population over the label universe: 1–3 sorted
+/// labels, a lambda from the menu, mostly cache-friendly fixed-λ Scan
+/// with a minority of Scan+/GreedySC and PROP variants.
+fn make_specs(rng: &mut StdRng, n: usize) -> Vec<QuerySpec> {
+    let mut specs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = rng.random_range(1..4usize);
+        let mut labels: Vec<u16> = Vec::with_capacity(k);
+        while labels.len() < k {
+            let l = rng.random_range(0..NUM_LABELS);
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+        }
+        labels.sort_unstable();
+        // lint:allow(panic-path): random_range(0..len) is in-bounds by construction
+        let lambda = LAMBDAS[rng.random_range(0..LAMBDAS.len())];
+        let roll = rng.random_range(0..100u32);
+        let algorithm = if roll < 70 {
+            Algorithm::Scan
+        } else if roll < 85 {
+            Algorithm::ScanPlus
+        } else {
+            Algorithm::GreedySc
+        };
+        let proportional = rng.random_range(0..100u32) < 15;
+        specs.push(QuerySpec {
+            labels,
+            lambda,
+            proportional,
+            algorithm,
+            from: i64::MIN,
+            to: i64::MAX,
+        });
+    }
+    specs
+}
+
+/// An ingest row whose value tracks virtual time (ms) with small forward
+/// jitter, clamped non-decreasing across the plan — the microblog "posts
+/// arrive in timestamp order" shape, and the store's streaming contract:
+/// a live server rejects time-travel with `NonMonotoneTimestamp`. Order
+/// only survives the wire if every ingest rides one connection, so the
+/// generators also pin all ingest ops to [`INGEST_LANE`].
+fn ingest_row(
+    rng: &mut StdRng,
+    next_id: &mut u64,
+    last_value: &mut i64,
+    at_us: u64,
+    labels: Vec<u16>,
+) -> Record {
+    let id = *next_id;
+    *next_id += 1;
+    let jitter = rng.random_range(0..50i64);
+    let value = ((at_us / 1000) as i64 + jitter).max(*last_value);
+    *last_value = value;
+    Record { id, value, labels }
+}
+
+/// The lane that carries every ingest op. Lanes race each other, so
+/// spreading writes across them would reorder timestamps at the server;
+/// one pipelined connection delivers them in schedule order.
+const INGEST_LANE: u16 = 0;
+
+fn random_labels(rng: &mut StdRng) -> Vec<u16> {
+    let k = rng.random_range(1..4usize);
+    let mut labels: Vec<u16> = Vec::with_capacity(k);
+    while labels.len() < k {
+        let l = rng.random_range(0..NUM_LABELS);
+        if !labels.contains(&l) {
+            labels.push(l);
+        }
+    }
+    labels.sort_unstable();
+    labels
+}
+
+fn finish(name: &str, cfg: &ScenarioCfg, ops: Vec<Op>, slow_conns: Vec<SlowConn>) -> Plan {
+    Plan {
+        scenario: name.to_string(),
+        seed: cfg.seed,
+        duration_us: cfg.duration_ms * 1000,
+        offered_rate: cfg.rate,
+        lanes: cfg.lanes.max(1),
+        ops,
+        slow_conns,
+    }
+}
+
+/// `steady` / `diurnal`: uniform spec popularity with `ingest_frac` of
+/// ops writing new posts.
+fn mixed_scenario(name: &str, cfg: &ScenarioCfg, shape: RateShape, ingest_frac: f64) -> Plan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let specs = make_specs(&mut rng, 64);
+    let times = arrivals(&shape, cfg.rate, cfg.duration_ms * 1000, &mut rng);
+    let lanes = cfg.lanes.max(1);
+    let mut next_id = 1u64;
+    let mut last_value = 0i64;
+    let mut ops = Vec::with_capacity(times.len());
+    for (i, at_us) in times.into_iter().enumerate() {
+        let action = if rng.random::<f64>() < ingest_frac {
+            let labels = random_labels(&mut rng);
+            Action::Ingest(ingest_row(
+                &mut rng,
+                &mut next_id,
+                &mut last_value,
+                at_us,
+                labels,
+            ))
+        } else {
+            let s = rng.random_range(0..specs.len());
+            Action::Query(specs[s].clone())
+        };
+        let lane = if action.is_ingest() {
+            INGEST_LANE
+        } else {
+            (i % lanes as usize) as u16
+        };
+        ops.push(Op {
+            at_us,
+            lane,
+            action,
+        });
+    }
+    finish(name, cfg, ops, Vec::new())
+}
+
+/// `flashcrowd`: baseline mix until the spike; during the spike, traffic
+/// concentrates on the breaking-news label — both reads and writes.
+fn flashcrowd(cfg: &ScenarioCfg) -> Plan {
+    let duration_us = cfg.duration_ms * 1000;
+    let start_us = duration_us / 4;
+    let hold_us = duration_us / 10;
+    let decay_us = duration_us / 2;
+    let shape = RateShape::FlashCrowd {
+        start_us,
+        peak: cfg.flash_peak,
+        hold_us,
+        decay_us,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let specs = make_specs(&mut rng, 64);
+    // Hot specs: fixed-λ Scan on the breaking label (and pairs with it).
+    let hot_specs: Vec<QuerySpec> = (0..8)
+        .map(|i| QuerySpec {
+            labels: if i % 2 == 0 {
+                vec![HOT_LABEL]
+            } else {
+                vec![HOT_LABEL, (i % NUM_LABELS as usize) as u16]
+            },
+            lambda: LAMBDAS[i % LAMBDAS.len()],
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+        })
+        .collect();
+    let times = arrivals(&shape, cfg.rate, duration_us, &mut rng);
+    let lanes = cfg.lanes.max(1);
+    let mut next_id = 1u64;
+    let mut last_value = 0i64;
+    let mut ops = Vec::with_capacity(times.len());
+    for (i, at_us) in times.into_iter().enumerate() {
+        let in_spike = at_us >= start_us;
+        let hot = in_spike && rng.random::<f64>() < 0.9;
+        let action = if rng.random::<f64>() < 0.25 {
+            let labels = if hot {
+                let mut ls = vec![HOT_LABEL];
+                if rng.random::<f64>() < 0.3 {
+                    let extra = rng.random_range(1..NUM_LABELS);
+                    ls.push(extra);
+                    ls.sort_unstable();
+                }
+                ls
+            } else {
+                random_labels(&mut rng)
+            };
+            Action::Ingest(ingest_row(
+                &mut rng,
+                &mut next_id,
+                &mut last_value,
+                at_us,
+                labels,
+            ))
+        } else if hot {
+            let s = rng.random_range(0..hot_specs.len());
+            Action::Query(hot_specs[s].clone())
+        } else {
+            let s = rng.random_range(0..specs.len());
+            Action::Query(specs[s].clone())
+        };
+        let lane = if action.is_ingest() {
+            INGEST_LANE
+        } else {
+            (i % lanes as usize) as u16
+        };
+        ops.push(Op {
+            at_us,
+            lane,
+            action,
+        });
+    }
+    finish("flashcrowd", cfg, ops, Vec::new())
+}
+
+/// `zipf-users`: a large spec population under zipfian popularity — the
+/// hot head lives in the cover cache, the long tail forces cold solves.
+fn zipf_users(cfg: &ScenarioCfg) -> Plan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let specs = make_specs(&mut rng, 256);
+    let zipf = ZipfSampler::new(specs.len(), cfg.zipf_exponent);
+    let times = arrivals(
+        &RateShape::Constant,
+        cfg.rate,
+        cfg.duration_ms * 1000,
+        &mut rng,
+    );
+    let lanes = cfg.lanes.max(1);
+    let mut next_id = 1u64;
+    let mut last_value = 0i64;
+    let mut ops = Vec::with_capacity(times.len());
+    for (i, at_us) in times.into_iter().enumerate() {
+        let action = if rng.random::<f64>() < 0.05 {
+            // Light ingest arrives in small batches, like a firehose tick.
+            let rows: Vec<Record> = (0..16)
+                .map(|_| {
+                    let labels = random_labels(&mut rng);
+                    ingest_row(&mut rng, &mut next_id, &mut last_value, at_us, labels)
+                })
+                .collect();
+            Action::IngestBatch(rows)
+        } else {
+            let s = zipf.sample(&mut rng);
+            Action::Query(specs[s].clone())
+        };
+        let lane = if action.is_ingest() {
+            INGEST_LANE
+        } else {
+            (i % lanes as usize) as u16
+        };
+        ops.push(Op {
+            at_us,
+            lane,
+            action,
+        });
+    }
+    finish("zipf-users", cfg, ops, Vec::new())
+}
+
+/// `adversarial-ingest`: a small population of fixed-λ Scan specs is kept
+/// hot (so their covers are cached), while every ingest row is crafted to
+/// land *inside* a cached cover's footprint — same labels as a hot spec,
+/// appended at the stream tail, which every `[MIN, MAX]` cover spans —
+/// so each write forces a repair or invalidation instead of an append the
+/// cache can ignore. (Back-dating rows deeper into the λ window would be
+/// nastier still, but the store's streaming contract rejects time-travel,
+/// so the tail is the deepest admissible poison.)
+fn adversarial_ingest(cfg: &ScenarioCfg) -> Plan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let specs: Vec<QuerySpec> = (0..12)
+        .map(|i| QuerySpec {
+            labels: vec![(i % NUM_LABELS as usize) as u16],
+            lambda: LAMBDAS[i % LAMBDAS.len()],
+            proportional: false,
+            algorithm: Algorithm::Scan,
+            from: i64::MIN,
+            to: i64::MAX,
+        })
+        .collect();
+    let times = arrivals(
+        &RateShape::Constant,
+        cfg.rate,
+        cfg.duration_ms * 1000,
+        &mut rng,
+    );
+    let lanes = cfg.lanes.max(1);
+    let mut next_id = 1u64;
+    let mut last_value = 0i64;
+    let mut ops = Vec::with_capacity(times.len());
+    for (i, at_us) in times.into_iter().enumerate() {
+        let s = rng.random_range(0..specs.len());
+        let spec = &specs[s];
+        // Alternate prime-query and poison-ingest on the same spec pool.
+        let action = if rng.random::<f64>() < 0.5 {
+            Action::Query(spec.clone())
+        } else {
+            Action::Ingest(ingest_row(
+                &mut rng,
+                &mut next_id,
+                &mut last_value,
+                at_us,
+                spec.labels.clone(),
+            ))
+        };
+        let lane = if action.is_ingest() {
+            INGEST_LANE
+        } else {
+            (i % lanes as usize) as u16
+        };
+        ops.push(Op {
+            at_us,
+            lane,
+            action,
+        });
+    }
+    finish("adversarial-ingest", cfg, ops, Vec::new())
+}
+
+/// `slowloris`: a light probe workload (PING + queries) proves the server
+/// stays live while a fleet of misbehaving connections — half-open,
+/// dribbling an unterminated request line, or dribbling an `INGESTB` body
+/// — tries to park every worker. The SLO asserts typed
+/// `-OVERLOADED`/timeout handling, not starvation.
+fn slowloris(cfg: &ScenarioCfg) -> Plan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let duration_us = cfg.duration_ms * 1000;
+    let specs = make_specs(&mut rng, 16);
+    let times = arrivals(&RateShape::Constant, cfg.rate, duration_us, &mut rng);
+    let lanes = cfg.lanes.max(1);
+    let mut ops = Vec::with_capacity(times.len());
+    for (i, at_us) in times.into_iter().enumerate() {
+        let action = if rng.random::<f64>() < 0.5 {
+            Action::Ping
+        } else {
+            let s = rng.random_range(0..specs.len());
+            Action::Query(specs[s].clone())
+        };
+        ops.push(Op {
+            at_us,
+            lane: (i % lanes as usize) as u16,
+            action,
+        });
+    }
+    let mut slow_conns = Vec::with_capacity(cfg.slow_conns as usize);
+    for i in 0..cfg.slow_conns {
+        // Stagger openings across the first fifth of the run.
+        let open_at_us = rng.random_range(0..(duration_us / 5).max(1));
+        let sc = match i % 3 {
+            0 => SlowConn {
+                // Half-open: connect, send nothing, hold the socket.
+                open_at_us,
+                dribble: Vec::new(),
+                interval_us: 0,
+                hold_us: duration_us,
+            },
+            1 => SlowConn {
+                // Classic slowloris: dribble an unterminated request line.
+                open_at_us,
+                dribble: b"QUERY 0,1 500 scan FROM 0 TO 99999".to_vec(),
+                interval_us: 150_000,
+                hold_us: duration_us,
+            },
+            _ => SlowConn {
+                // Framed-body stall: a complete INGESTB header, then a
+                // body that dribbles and never completes.
+                open_at_us,
+                dribble: b"INGESTB 4096\nMQDL".to_vec(),
+                interval_us: 150_000,
+                hold_us: duration_us,
+            },
+        };
+        slow_conns.push(sc);
+    }
+    finish("slowloris", cfg, ops, slow_conns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> ScenarioCfg {
+        ScenarioCfg {
+            rate: 200.0,
+            duration_ms: 2_000,
+            ..ScenarioCfg::default()
+        }
+    }
+
+    #[test]
+    fn every_catalog_entry_builds() {
+        for (name, _) in CATALOG {
+            let plan = build(name, &smoke_cfg()).unwrap();
+            assert!(!plan.ops.is_empty(), "{name} produced no ops");
+            assert!(
+                plan.ops.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+                "{name} schedule must be time-sorted"
+            );
+            assert!(plan.ops.iter().all(|o| o.at_us < plan.duration_us));
+            assert!(plan.ops.iter().all(|o| o.lane < plan.lanes));
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_lists_catalog() {
+        let err = build("nope", &smoke_cfg()).unwrap_err();
+        assert!(err.contains("steady") && err.contains("slowloris"));
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        for (name, _) in CATALOG {
+            let a = build(name, &smoke_cfg()).unwrap();
+            let b = build(name, &smoke_cfg()).unwrap();
+            assert_eq!(
+                a.encode(),
+                b.encode(),
+                "{name}: same seed must give byte-identical schedules"
+            );
+            let other = build(
+                name,
+                &ScenarioCfg {
+                    seed: 999,
+                    ..smoke_cfg()
+                },
+            )
+            .unwrap();
+            assert_ne!(a.digest(), other.digest(), "{name}: seed must matter");
+        }
+    }
+
+    #[test]
+    fn steady_mix_is_roughly_80_20() {
+        let plan = build("steady", &smoke_cfg()).unwrap();
+        let ingest = plan.ingest_ops() as f64 / plan.ops.len() as f64;
+        assert!((0.1..0.3).contains(&ingest), "ingest fraction {ingest}");
+    }
+
+    #[test]
+    fn flashcrowd_concentrates_rate_in_spike() {
+        let cfg = smoke_cfg();
+        let plan = build("flashcrowd", &cfg).unwrap();
+        let duration = plan.duration_us;
+        // Ops per quarter of the run: the spike quarter must dominate.
+        let mut quarters = [0usize; 4];
+        for op in &plan.ops {
+            quarters[((op.at_us * 4) / duration).min(3) as usize] += 1;
+        }
+        assert!(
+            quarters[1] > quarters[0] * 5,
+            "spike quarter {} vs baseline {}",
+            quarters[1],
+            quarters[0]
+        );
+    }
+
+    #[test]
+    fn zipf_users_skews_query_popularity() {
+        let plan = build("zipf-users", &smoke_cfg()).unwrap();
+        // Count per-spec query frequencies via the wire form.
+        let mut counts = std::collections::BTreeMap::new();
+        let mut queries = 0usize;
+        for op in &plan.ops {
+            if let Action::Query(_) = &op.action {
+                queries += 1;
+                *counts.entry(op.action.wire_bytes()).or_insert(0usize) += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let head: usize = freqs.iter().take(8).sum();
+        assert!(
+            head * 3 > queries,
+            "hot 8 specs should carry > 1/3 of queries (got {head}/{queries})"
+        );
+    }
+
+    #[test]
+    fn adversarial_rows_land_inside_footprints() {
+        let plan = build("adversarial-ingest", &smoke_cfg()).unwrap();
+        for op in &plan.ops {
+            if let Action::Ingest(r) = &op.action {
+                let now_ms = (op.at_us / 1000) as i64;
+                // Tail append: at (or jitter-close to) the stream's leading
+                // edge, inside every cached [MIN, MAX] cover footprint.
+                assert!(
+                    r.value >= now_ms && r.value <= now_ms + 50,
+                    "poison row value {} should ride the stream tail at {now_ms}",
+                    r.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_honors_the_streaming_contract_in_every_scenario() {
+        // A live store rejects NonMonotoneTimestamp, and only a single
+        // connection preserves send order — so every scenario must emit
+        // ingest rows with non-decreasing values, all on one lane.
+        for (name, _) in CATALOG {
+            let plan = build(name, &smoke_cfg()).unwrap();
+            let mut last = i64::MIN;
+            for op in &plan.ops {
+                let rows: Vec<&Record> = match &op.action {
+                    Action::Ingest(r) => vec![r],
+                    Action::IngestBatch(rows) => rows.iter().collect(),
+                    _ => continue,
+                };
+                assert_eq!(op.lane, INGEST_LANE, "{name}: ingest off the ingest lane");
+                for r in rows {
+                    assert!(
+                        r.value >= last,
+                        "{name}: row {} value {} < previous {last}",
+                        r.id,
+                        r.value
+                    );
+                    last = r.value;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slowloris_builds_all_three_conn_kinds() {
+        let plan = build("slowloris", &smoke_cfg()).unwrap();
+        assert_eq!(plan.slow_conns.len(), 16);
+        assert!(plan.slow_conns.iter().any(|c| c.dribble.is_empty()));
+        assert!(plan
+            .slow_conns
+            .iter()
+            .any(|c| c.dribble.starts_with(b"QUERY")));
+        assert!(plan
+            .slow_conns
+            .iter()
+            .any(|c| c.dribble.starts_with(b"INGESTB")));
+        // Probes stay light but present.
+        assert!(!plan.ops.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! ddmin-style schedule minimization, the PR 3 oracle strategy applied to
+//! load plans: when an SLO assertion fails, chunked greedy removal pares
+//! the schedule down to a minimal op list (and slow-connection fleet)
+//! that still fails the same way. Paired with the deterministic `--sim`
+//! executor this turns "the overnight soak broke" into a seed plus a
+//! handful of ops that reproduce the violation instantly.
+
+use crate::plan::Plan;
+
+/// Shrinks `plan` while `fails` keeps returning true. `fails` must be a
+/// pure predicate (run the candidate through the sim executor and check
+/// the SLO); the returned plan provably still fails it. Bounded work:
+/// each pass is linear in the op count and stops at a fixed point.
+pub fn shrink_plan(plan: &Plan, fails: impl Fn(&Plan) -> bool) -> Plan {
+    let mut best = plan.clone();
+    if !fails(&best) {
+        return best; // nothing to minimize
+    }
+
+    // Pass 1: chunked op removal (halves, quarters, ..., single ops).
+    let mut chunk = (best.ops.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.ops.len() {
+            let mut cand = best.clone();
+            let end = (i + chunk).min(cand.ops.len());
+            cand.ops.drain(i..end);
+            if fails(&cand) {
+                best = cand; // do not advance: the next chunk slid into i
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Pass 2: thin the slow-connection fleet the same way.
+    let mut chunk = (best.slow_conns.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.slow_conns.len() {
+            let mut cand = best.clone();
+            let end = (i + chunk).min(cand.slow_conns.len());
+            cand.slow_conns.drain(i..end);
+            if fails(&cand) {
+                best = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Action, Op};
+    use crate::scenario::{build, ScenarioCfg};
+
+    #[test]
+    fn shrinks_to_the_single_triggering_op() {
+        let plan = build(
+            "steady",
+            &ScenarioCfg {
+                rate: 200.0,
+                duration_ms: 2_000,
+                ..ScenarioCfg::default()
+            },
+        )
+        .unwrap();
+        // Failure: "the plan contains a lambda-2000 query". ddmin must
+        // find a 1-op reproducer.
+        let fails = |p: &Plan| {
+            p.ops.iter().any(|o| match &o.action {
+                Action::Query(s) => s.lambda == 2000,
+                _ => false,
+            })
+        };
+        assert!(fails(&plan), "seed must produce at least one such query");
+        let small = shrink_plan(&plan, fails);
+        assert_eq!(small.ops.len(), 1, "minimal reproducer is one op");
+        assert!(fails(&small));
+        assert!(small.slow_conns.is_empty());
+    }
+
+    #[test]
+    fn shrinks_slow_conn_fleet() {
+        let plan = build(
+            "slowloris",
+            &ScenarioCfg {
+                rate: 100.0,
+                duration_ms: 2_000,
+                ..ScenarioCfg::default()
+            },
+        )
+        .unwrap();
+        let fails = |p: &Plan| {
+            p.slow_conns
+                .iter()
+                .any(|c| c.dribble.starts_with(b"INGESTB"))
+        };
+        let small = shrink_plan(&plan, fails);
+        assert!(small.ops.is_empty());
+        assert_eq!(small.slow_conns.len(), 1);
+    }
+
+    #[test]
+    fn passing_plan_is_untouched() {
+        let plan = Plan {
+            scenario: "steady".into(),
+            seed: 1,
+            duration_us: 1000,
+            offered_rate: 1.0,
+            lanes: 1,
+            ops: vec![Op {
+                at_us: 0,
+                lane: 0,
+                action: Action::Ping,
+            }],
+            slow_conns: Vec::new(),
+        };
+        let same = shrink_plan(&plan, |_| false);
+        assert_eq!(same, plan);
+    }
+}

@@ -1,0 +1,281 @@
+//! Deterministic in-process service model: the `--sim` executor.
+//!
+//! Replays a [`Plan`] against a k-worker queueing model in virtual time —
+//! no sockets, no wall clock, no nondeterminism — so the *entire* report
+//! is a pure function of the plan: same seed, byte-identical artifact.
+//! That is the determinism half of the harness contract (live runs pin
+//! the schedule via the plan digest; sim runs pin everything), and it is
+//! what the ddmin shrinker replays thousands of times while minimizing a
+//! failing schedule.
+//!
+//! The model is deliberately simple but honest about queueing: ops wait
+//! for the earliest-free worker, waiting beyond the admission budget is a
+//! typed overload (matching the server's bounded accept queue), and slow
+//! connections park a worker until the modeled idle deadline — or forever
+//! when the model is told the server has none, which is exactly how the
+//! slowloris SLO catches a starvation regression.
+
+use mqd_rng::{RngExt, SeedableRng, StdRng};
+
+use crate::hist::Hist;
+use crate::plan::{Action, Plan};
+use crate::report::{Counts, RunOutcome, SlowOutcome};
+
+/// Service-model knobs.
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    /// Modeled worker pool size.
+    pub workers: u16,
+    /// Mean service time of a query, µs.
+    pub service_us_query: u64,
+    /// Mean service time of an ingest op, µs.
+    pub service_us_ingest: u64,
+    /// Max queueing delay before the model answers `-OVERLOADED`
+    /// (the bounded accept queue, expressed in time).
+    pub queue_budget_us: u64,
+    /// Modeled idle deadline for parked connections; `None` models a
+    /// server with no idle timeout (slow connections starve workers).
+    pub idle_timeout_us: Option<u64>,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            workers: 4,
+            service_us_query: 1_500,
+            service_us_ingest: 400,
+            queue_budget_us: 250_000,
+            idle_timeout_us: Some(2_000_000),
+        }
+    }
+}
+
+impl SimParams {
+    /// Parameters provisioned like a live deployment for this plan: one
+    /// worker per paced lane and per slow connection plus spare (the same
+    /// sizing guidance the CI load job applies to `--threads`), so the
+    /// model tests admission control rather than a deliberately starved
+    /// pool. Use `SimParams::default()` to study saturation instead.
+    pub fn for_plan(plan: &crate::plan::Plan) -> Self {
+        let workers = (plan.lanes as usize + plan.slow_conns.len() + 2).max(4);
+        SimParams {
+            workers: workers.min(u16::MAX as usize) as u16,
+            ..SimParams::default()
+        }
+    }
+}
+
+/// Runs the plan through the model. Deterministic: the only randomness is
+/// a service-time jitter stream seeded from the plan's own fingerprint.
+pub fn run_sim(plan: &Plan, params: &SimParams) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ plan.digest());
+    let k = params.workers.max(1) as usize;
+    let mut free_at = vec![0u64; k];
+    let mut counts = Counts::default();
+    let mut slow = SlowOutcome::default();
+    let mut all_hist = Hist::new();
+    let mut query_hist = Hist::new();
+    let mut last_done = 0u64;
+
+    // Merge ops and slow-connection openings into one virtual timeline.
+    enum Ev<'a> {
+        Op(&'a Action, u64),
+        Slow(u64),
+    }
+    let mut events: Vec<Ev> = plan
+        .ops
+        .iter()
+        .map(|o| Ev::Op(&o.action, o.at_us))
+        .chain(plan.slow_conns.iter().map(|c| Ev::Slow(c.open_at_us)))
+        .collect();
+    events.sort_by_key(|e| match e {
+        Ev::Op(_, t) | Ev::Slow(t) => *t,
+    });
+
+    for ev in events {
+        // Earliest-free worker takes the next event.
+        let (widx, &wfree) = free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .unwrap_or((0, &0));
+        match ev {
+            Ev::Slow(open_at) => {
+                slow.opened += 1;
+                let start = open_at.max(wfree);
+                match params.idle_timeout_us {
+                    Some(idle) => {
+                        // The modeled server enforces its idle deadline:
+                        // the worker frees up, the client gets a typed
+                        // rejection.
+                        if let Some(f) = free_at.get_mut(widx) {
+                            *f = start + idle;
+                        }
+                        slow.typed_rejected += 1;
+                    }
+                    None => {
+                        // No idle deadline: this worker is gone for the
+                        // whole run. The SLO calls this out.
+                        if let Some(f) = free_at.get_mut(widx) {
+                            *f = u64::MAX / 2;
+                        }
+                        slow.unresolved += 1;
+                    }
+                }
+            }
+            Ev::Op(action, at) => {
+                let start = at.max(wfree);
+                let wait = start - at;
+                if wait > params.queue_budget_us {
+                    // Admission control: typed overload, answered fast,
+                    // no worker consumed.
+                    counts.overloads += 1;
+                    continue;
+                }
+                let mean = match action {
+                    Action::Query(_) => params.service_us_query,
+                    Action::Ingest(_) | Action::IngestBatch(_) => params.service_us_ingest,
+                    Action::Ping => 50,
+                };
+                let jitter = rng.random_range(0..mean.max(4) / 2);
+                let done = start + mean + jitter;
+                if let Some(f) = free_at.get_mut(widx) {
+                    *f = done;
+                }
+                let latency = done - at;
+                all_hist.record(latency);
+                if matches!(action, Action::Query(_)) {
+                    query_hist.record(latency);
+                }
+                counts.ok += 1;
+                last_done = last_done.max(done);
+            }
+        }
+    }
+
+    RunOutcome {
+        mode: "sim",
+        all_hist,
+        query_hist,
+        counts,
+        slow,
+        wall_us: plan.duration_us.max(last_done),
+        stats_before: None,
+        stats_after: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::render_report;
+    use crate::scenario::{build, ScenarioCfg};
+
+    fn cfg() -> ScenarioCfg {
+        ScenarioCfg {
+            rate: 300.0,
+            duration_ms: 2_000,
+            ..ScenarioCfg::default()
+        }
+    }
+
+    /// The satellite determinism contract: same seed ⇒ byte-identical
+    /// schedule AND byte-identical report.
+    #[test]
+    fn same_seed_gives_byte_identical_report() {
+        for name in ["steady", "flashcrowd", "zipf-users"] {
+            let p1 = build(name, &cfg()).unwrap();
+            let p2 = build(name, &cfg()).unwrap();
+            assert_eq!(p1.encode(), p2.encode(), "{name}: schedule must repeat");
+            let r1 = render_report(&p1, &run_sim(&p1, &SimParams::default()));
+            let r2 = render_report(&p2, &run_sim(&p2, &SimParams::default()));
+            assert_eq!(r1, r2, "{name}: report must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_the_report() {
+        let p1 = build("steady", &cfg()).unwrap();
+        let p2 = build("steady", &ScenarioCfg { seed: 1, ..cfg() }).unwrap();
+        let r1 = render_report(&p1, &run_sim(&p1, &SimParams::default()));
+        let r2 = render_report(&p2, &run_sim(&p2, &SimParams::default()));
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn overload_appears_when_rate_exceeds_capacity() {
+        // 4 workers at ~1.5 ms per query serve ~2600 ops/s; offering 20k/s
+        // must trip the admission budget.
+        let p = build(
+            "steady",
+            &ScenarioCfg {
+                rate: 20_000.0,
+                duration_ms: 1_000,
+                ..ScenarioCfg::default()
+            },
+        )
+        .unwrap();
+        let out = run_sim(&p, &SimParams::default());
+        assert!(out.counts.overloads > 0, "saturation must overload");
+        // And the served latencies carry real queueing delay: p99 well
+        // above the bare service time.
+        assert!(out.all_hist.value_at_percentile(99.0) > 10_000);
+    }
+
+    #[test]
+    fn slowloris_with_idle_timeout_passes_without_starves() {
+        // Provision the pool like the CI load job provisions `--threads`:
+        // enough workers that the slow fleet cannot consume every lane.
+        let p = build("slowloris", &cfg()).unwrap();
+        let out = run_sim(&p, &SimParams::for_plan(&p));
+        assert_eq!(out.slow.opened, 16);
+        assert_eq!(out.slow.typed_rejected, 16);
+        assert_eq!(out.slow.unresolved, 0);
+        assert!(crate::report::evaluate_slo("slowloris", &out).is_empty());
+    }
+
+    #[test]
+    fn slowloris_without_idle_timeout_fails_the_slo() {
+        let p = build("slowloris", &cfg()).unwrap();
+        let out = run_sim(
+            &p,
+            &SimParams {
+                idle_timeout_us: None,
+                ..SimParams::for_plan(&p)
+            },
+        );
+        assert!(out.slow.unresolved > 0);
+        let v = crate::report::evaluate_slo("slowloris", &out);
+        assert!(v.iter().any(|m| m.contains("parked")), "{v:?}");
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing_under_diurnal_peak() {
+        // The mean offered rate (~1970/s at amplitude 0.7) sits under the
+        // 4-worker capacity (~2500/s) but the tide's peak (2720/s) exceeds
+        // it, so queueing delay accumulates only around the peak. An
+        // open-loop recorder must surface that as a fat tail over a thin
+        // median — the exact signal a closed-loop harness hides by
+        // slowing its own clients.
+        let p = build(
+            "diurnal",
+            &ScenarioCfg {
+                rate: 1_600.0,
+                duration_ms: 4_000,
+                ..ScenarioCfg::default()
+            },
+        )
+        .unwrap();
+        let out = run_sim(&p, &SimParams::default());
+        let p50 = out.all_hist.value_at_percentile(50.0);
+        let p999 = out.all_hist.value_at_percentile(99.9);
+        assert!(
+            p999 > p50 * 4,
+            "peak-hour queueing must fatten the tail (p50={p50} p999={p999})"
+        );
+        assert!(
+            p999 > 10_000,
+            "tail must carry real queueing delay, not bare service time (p999={p999})"
+        );
+    }
+}

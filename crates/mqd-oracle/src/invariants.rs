@@ -1136,6 +1136,7 @@ impl Checker {
             shards: SHARDS,
             threads: 2,
             max_queue: 16,
+            ..RouterConfig::default()
         })
         .map_err(|e| fail(format!("bind router: {e}")))?;
         let a_router = router.local_addr();

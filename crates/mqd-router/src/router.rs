@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use mqd_core::record::{decode_records, Record};
 use mqd_core::MqdError;
-use mqd_server::lineio::{LineEvent, LineReader, READ_TICK};
+use mqd_server::lineio::{idle_ticks_for, BodyEvent, LineEvent, LineReader, READ_TICK};
 use mqd_server::protocol::{
     parse_request, write_err, write_ok, write_overloaded, Request, SubscribeSpec, MAX_BATCH_ROWS,
     MAX_LINE_BYTES, TERMINATOR,
@@ -44,6 +44,11 @@ pub struct RouterConfig {
     pub threads: usize,
     /// Admission queue depth, as on the server.
     pub max_queue: usize,
+    /// Per-request idle budget for frontend connections, as on the server
+    /// ([`ServerConfig::idle_timeout`](mqd_server::ServerConfig)): stalled
+    /// request lines and bodies get a typed `-ERR Timeout` instead of
+    /// parking a worker. `None` (the default) waits forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -54,6 +59,7 @@ impl Default for RouterConfig {
             shards: 1,
             threads: 0,
             max_queue: 64,
+            idle_timeout: None,
         }
     }
 }
@@ -66,6 +72,7 @@ struct Served {
     subscribes: AtomicU64,
     errors: AtomicU64,
     overloads: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 /// The router's exact corpus ledger. The router is the cluster's single
@@ -104,6 +111,8 @@ struct RouterState {
     draining: AtomicBool,
     addr: SocketAddr,
     threads: usize,
+    /// Idle budget in `READ_TICK`s for every frontend connection's reads.
+    idle_ticks: Option<u32>,
 }
 
 /// A bound, ready-to-run router. [`Router::run`] blocks until a `DRAIN`
@@ -143,6 +152,7 @@ impl Router {
                 draining: AtomicBool::new(false),
                 addr,
                 threads,
+                idle_ticks: idle_ticks_for(cfg.idle_timeout),
             }),
             max_queue: cfg.max_queue.max(1),
         })
@@ -216,6 +226,7 @@ fn handle_conn(conn: TcpStream, state: &RouterState) -> std::io::Result<()> {
     let _ = conn.set_nodelay(true);
     let write_half = conn.try_clone()?;
     let mut reader = LineReader::new(BufReader::new(conn));
+    reader.set_idle_ticks(state.idle_ticks);
     let mut w = BufWriter::new(write_half);
     let mut pool = BackendPool::new(&state.topo);
 
@@ -223,6 +234,16 @@ fn handle_conn(conn: TcpStream, state: &RouterState) -> std::io::Result<()> {
         let line = match reader.next_line(&state.draining)? {
             LineEvent::Line(line) => line,
             LineEvent::Eof | LineEvent::Drained => return Ok(()),
+            LineEvent::IdleTimeout => {
+                state.served.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = write_err(
+                    &mut w,
+                    &MqdError::Timeout {
+                        msg: "request line stalled; closing idle connection".into(),
+                    },
+                );
+                return Ok(());
+            }
             LineEvent::Oversized => {
                 state.served.errors.fetch_add(1, Ordering::Relaxed);
                 let _ = write_err(
@@ -251,14 +272,24 @@ fn handle_conn(conn: TcpStream, state: &RouterState) -> std::io::Result<()> {
         let body = match req {
             Request::IngestBatch { bytes } | Request::Hello { bytes } => {
                 match reader.read_exact_body(bytes, &state.draining)? {
-                    Ok(body) => Some(body),
-                    Err(got) => {
+                    BodyEvent::Body(body) => Some(body),
+                    BodyEvent::Truncated(got) => {
                         state.served.errors.fetch_add(1, Ordering::Relaxed);
                         let _ = write_err(
                             &mut w,
                             &perr(format!("truncated body: got {got} of {bytes} bytes")),
                         );
                         reader.drain_peer();
+                        return Ok(());
+                    }
+                    BodyEvent::IdleTimeout(got) => {
+                        state.served.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_err(
+                            &mut w,
+                            &MqdError::Timeout {
+                                msg: format!("body stalled at {got} of {bytes} bytes"),
+                            },
+                        );
                         return Ok(());
                     }
                 }
@@ -799,7 +830,7 @@ fn cluster_stats(state: &RouterState, pool: &mut BackendPool) -> Result<String, 
             r#"{{"rows":{},"segments":0,"labels":{},"generation":{},"#,
             r#""min_value":{},"max_value":{},"#,
             r#""cluster":{{"shards":{},"backends":[{}],"watermarks":[{}]}},"#,
-            r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{}}},"#,
+            r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{},"timeouts":{}}},"#,
             r#""threads":{},"draining":{}}}"#
         ),
         rows,
@@ -816,6 +847,7 @@ fn cluster_stats(state: &RouterState, pool: &mut BackendPool) -> Result<String, 
         s.subscribes.load(Ordering::Relaxed),
         s.errors.load(Ordering::Relaxed),
         s.overloads.load(Ordering::Relaxed),
+        s.timeouts.load(Ordering::Relaxed),
         state.threads,
         state.draining.load(Ordering::SeqCst),
     ))
@@ -851,6 +883,7 @@ mod tests {
             shards,
             threads: 2,
             max_queue: 16,
+            ..RouterConfig::default()
         })
         .unwrap();
         let addr = router.local_addr();

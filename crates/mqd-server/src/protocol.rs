@@ -396,6 +396,7 @@ pub fn error_kind(e: &MqdError) -> &'static str {
         MqdError::CheckpointMismatch { .. } => "CheckpointMismatch",
         MqdError::Protocol { .. } => "Protocol",
         MqdError::Poisoned { .. } => "Poisoned",
+        MqdError::Timeout { .. } => "Timeout",
     }
 }
 
@@ -640,6 +641,10 @@ mod tests {
         assert_eq!(
             error_kind(&MqdError::EmptyLabelSet { row: 1 }),
             "EmptyLabelSet"
+        );
+        assert_eq!(
+            error_kind(&MqdError::Timeout { msg: String::new() }),
+            "Timeout"
         );
     }
 }

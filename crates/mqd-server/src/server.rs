@@ -21,7 +21,7 @@ use mqd_store::{
 use mqd_stream::{resume_supervised, FaultPlan, SupervisedRun, SupervisorConfig};
 use mqd_wal::{fsio, DurableOptions, DurableStats, DurableStore};
 
-use crate::lineio::{LineEvent, LineReader, READ_TICK};
+use crate::lineio::{idle_ticks_for, BodyEvent, LineEvent, LineReader, READ_TICK};
 use crate::subs::{self, LeaseRegistry, SubParams};
 
 use crate::protocol::{
@@ -70,6 +70,11 @@ pub struct ServerConfig {
     /// cluster/single-node identity), and reports it in `STATS`. `None`
     /// serves standalone.
     pub shard: Option<ShardIdentity>,
+    /// Per-request idle budget: a connection whose request line (or body)
+    /// stalls longer than this — half-open sockets, byte dribblers — gets
+    /// a typed `-ERR Timeout` and is closed, reclaiming the worker.
+    /// `None` (the default) waits forever, the pre-timeout behavior.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +87,7 @@ impl Default for ServerConfig {
             fsync: true,
             retain: None,
             shard: None,
+            idle_timeout: None,
         }
     }
 }
@@ -94,6 +100,7 @@ struct Counters {
     subscribes: AtomicU64,
     errors: AtomicU64,
     overloads: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 struct State {
@@ -116,6 +123,8 @@ struct State {
     threads: usize,
     /// Cluster shard coordinates, when configured (see [`ServerConfig`]).
     shard: Option<ShardIdentity>,
+    /// Idle budget in [`READ_TICK`]s for every connection's reads.
+    idle_ticks: Option<u32>,
 }
 
 /// A bound, ready-to-run server. [`Server::run`] blocks until a `DRAIN`
@@ -183,6 +192,7 @@ impl Server {
                 addr,
                 threads,
                 shard: cfg.shard,
+                idle_ticks: idle_ticks_for(cfg.idle_timeout),
             }),
             max_queue: cfg.max_queue.max(1),
             refresh_rx,
@@ -349,12 +359,23 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
     let _ = conn.set_nodelay(true);
     let write_half = conn.try_clone()?;
     let mut reader = LineReader::new(BufReader::new(conn));
+    reader.set_idle_ticks(state.idle_ticks);
     let mut w = BufWriter::new(write_half);
 
     loop {
         let line = match reader.next_line(&state.draining)? {
             LineEvent::Line(line) => line,
             LineEvent::Eof | LineEvent::Drained => return Ok(()),
+            LineEvent::IdleTimeout => {
+                state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = write_err(
+                    &mut w,
+                    &MqdError::Timeout {
+                        msg: "request line stalled; closing idle connection".into(),
+                    },
+                );
+                return Ok(()); // reclaim the worker; no drain for a stalled peer
+            }
             LineEvent::Oversized => {
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
                 let _ = write_err(
@@ -385,8 +406,8 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
         let body = match req {
             Request::IngestBatch { bytes } | Request::Hello { bytes } => {
                 match reader.read_exact_body(bytes, &state.draining)? {
-                    Ok(body) => Some(body),
-                    Err(got) => {
+                    BodyEvent::Body(body) => Some(body),
+                    BodyEvent::Truncated(got) => {
                         state.counters.errors.fetch_add(1, Ordering::Relaxed);
                         let _ = write_err(
                             &mut w,
@@ -396,6 +417,16 @@ fn handle_conn(conn: TcpStream, state: &State) -> std::io::Result<()> {
                         );
                         reader.drain_peer();
                         return Ok(()); // body boundary lost
+                    }
+                    BodyEvent::IdleTimeout(got) => {
+                        state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_err(
+                            &mut w,
+                            &MqdError::Timeout {
+                                msg: format!("body stalled at {got} of {bytes} bytes"),
+                            },
+                        );
+                        return Ok(()); // body boundary lost; reclaim the worker
                     }
                 }
             }
@@ -850,7 +881,7 @@ fn render_stats(
             r#"{{"rows":{},"segments":{},"labels":{},"generation":{},"#,
             r#""min_value":{},"max_value":{},"#,
             r#""cache":{{"hits":{},"misses":{},"invalidations":{},"repairs":{},"refreshes":{},"stale_served":{},"entries":{}}},"#,
-            r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{}}},"#,
+            r#""served":{{"connections":{},"queries":{},"ingested_rows":{},"subscribes":{},"errors":{},"overloads":{},"timeouts":{}}},"#,
             r#""durable":{{"wal_bytes":{},"segments_flushed":{},"compactions":{},"recovered_rows":{},"gc_segments":{}}},"#,
             r#""threads":{},"draining":{}}}"#
         ),
@@ -873,6 +904,7 @@ fn render_stats(
         c.subscribes.load(Ordering::Relaxed),
         c.errors.load(Ordering::Relaxed),
         c.overloads.load(Ordering::Relaxed),
+        c.timeouts.load(Ordering::Relaxed),
         durable.wal_bytes,
         durable.segments_flushed,
         durable.compactions,
@@ -1160,7 +1192,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(
             a,
-            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"repairs":0,"refreshes":0,"stale_served":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0},"durable":{"wal_bytes":117,"segments_flushed":2,"compactions":1,"recovered_rows":4096,"gc_segments":0},"threads":4,"draining":false}"#
+            r#"{"rows":4,"segments":1,"labels":2,"generation":4,"min_value":0,"max_value":30,"cache":{"hits":1,"misses":1,"invalidations":0,"repairs":0,"refreshes":0,"stale_served":0,"entries":1},"served":{"connections":3,"queries":2,"ingested_rows":4,"subscribes":0,"errors":0,"overloads":0,"timeouts":0},"durable":{"wal_bytes":117,"segments_flushed":2,"compactions":1,"recovered_rows":4096,"gc_segments":0},"threads":4,"draining":false}"#
         );
         // An empty store renders nulls, not a panic or a 0 placeholder.
         let empty = StoreStats {
@@ -1351,6 +1383,7 @@ mod tests {
             fsync: false, // tests exercise recovery logic, not the disk cache
             retain: None,
             shard: None,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr();
@@ -1623,6 +1656,58 @@ mod tests {
         let mut c2 = Client::connect(addr).unwrap();
         assert!(c2.request("PING").unwrap().is_ok());
         assert!(c2.request("DRAIN").unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn idle_timeout_reclaims_half_open_and_dribbling_connections() {
+        use std::io::Read;
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            max_queue: 8,
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let read_all = |mut s: TcpStream| -> String {
+            let mut buf = String::new();
+            let _ = s.read_to_string(&mut buf);
+            buf
+        };
+
+        // Half-open: connect, send nothing. The server must answer with a
+        // typed timeout and close, not park the worker forever.
+        let half_open = TcpStream::connect(addr).unwrap();
+        let got = read_all(half_open);
+        assert!(got.starts_with("-ERR Timeout "), "{got}");
+
+        // Dribbler: an unterminated request line paced slower than the
+        // budget stalls mid-line; same typed rejection.
+        let mut dribble = TcpStream::connect(addr).unwrap();
+        dribble.write_all(b"QUERY 0,1 50 sc").unwrap();
+        dribble.flush().unwrap();
+        let got = read_all(dribble);
+        assert!(got.starts_with("-ERR Timeout "), "{got}");
+
+        // Body dribbler: a complete INGESTB header whose body never
+        // arrives must time out too (the body reader has its own budget).
+        let mut body = TcpStream::connect(addr).unwrap();
+        body.write_all(b"INGESTB 4096\nMQDL").unwrap();
+        body.flush().unwrap();
+        let got = read_all(body);
+        assert!(got.starts_with("-ERR Timeout "), "{got}");
+
+        // Well-behaved clients are untouched, and STATS counts the three
+        // reclaimed connections under the dedicated timeouts key.
+        let mut c = Client::connect(addr).unwrap();
+        let r = c.request("STATS").unwrap();
+        assert!(r.is_ok(), "{}", r.status);
+        assert!(r.status.contains(r#""timeouts":3"#), "{}", r.status);
+        assert!(c.request("DRAIN").unwrap().is_ok());
         handle.join().unwrap();
     }
 }
