@@ -27,6 +27,7 @@ fn main() {
         seed: args.seed,
         ..Default::default()
     });
+    // lint:allow(panic-path): seeded generator emits valid posts by construction
     let inst = mqd_core::Instance::from_posts(posts, l).expect("valid");
 
     let mut report = Report::new(
@@ -56,5 +57,5 @@ fn main() {
         ]);
     }
     report.table(t);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

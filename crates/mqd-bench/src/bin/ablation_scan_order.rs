@@ -45,6 +45,7 @@ fn main() {
                 seed: args.seed + (si * 100 + r) as u64,
                 ..Default::default()
             });
+            // lint:allow(panic-path): seeded generator emits valid posts by construction
             let inst = Instance::from_posts(posts, l).expect("valid");
             sums[0] += solve_scan(&inst, &lambda).size() as f64;
             sums[1] += solve_scan_plus(&inst, &lambda, LabelOrder::Input).size() as f64;
@@ -61,5 +62,5 @@ fn main() {
         ]);
     }
     report.table(t);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

@@ -27,6 +27,7 @@ fn main() {
         seed: args.seed,
         ..Default::default()
     });
+    // lint:allow(panic-path): seeded generator emits valid posts by construction
     let inst = Instance::from_posts(posts, l).expect("valid");
 
     let fixed = FixedLambda(lambda0);
@@ -100,5 +101,5 @@ fn main() {
         sol_var.size().to_string(),
     ]);
     report.table(s);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

@@ -17,7 +17,7 @@
 
 use std::fmt::Write as _;
 
-use mqd_bench::{measure, BenchArgs, Measured, CALIBRATED_PER_LABEL_PER_MIN};
+use mqd_bench::{measure, must, BenchArgs, Measured, CALIBRATED_PER_LABEL_PER_MIN};
 use mqd_core::algorithms::solve_greedy_sc_threads;
 use mqd_core::{coverage, FixedLambda};
 use mqd_rng::{RngExt, SeedableRng, StdRng};
@@ -176,6 +176,6 @@ fn main() {
     json.push_str("  ]\n}\n");
 
     let path = "BENCH_parallel.json";
-    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    must(std::fs::write(path, &json), "write BENCH_parallel.json");
     println!("wrote {path}");
 }

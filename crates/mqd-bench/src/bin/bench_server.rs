@@ -33,7 +33,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use mqd_bench::BenchArgs;
+use mqd_bench::{must, BenchArgs};
 use mqd_core::record::Record;
 use mqd_load::Hist;
 use mqd_rng::{RngExt, SeedableRng, StdRng};
@@ -166,26 +166,27 @@ struct ModeConfig {
 }
 
 fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
-    let preload = &rows[..cfg.preload_rows.min(rows.len())];
-    let tail = &rows[cfg.preload_rows.min(rows.len())..];
+    let (preload, tail) = rows.split_at(cfg.preload_rows.min(rows.len()));
     let full_span = rows.last().map(|r| r.value).unwrap_or(0);
     let preload_span = preload.last().map(|r| r.value).unwrap_or(0);
 
-    let server = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        threads: cfg.threads,
-        max_queue: cfg.clients * 2 + 4,
-        ..ServerConfig::default()
-    })
-    .expect("bind loopback server");
+    let server = must(
+        Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: cfg.threads,
+            max_queue: cfg.clients * 2 + 4,
+            ..ServerConfig::default()
+        }),
+        "bind loopback server",
+    );
     let addr = server.local_addr();
-    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    let server_thread = std::thread::spawn(move || must(server.run(), "server run"));
 
     // Preload over the wire, in MQDL batches.
     let preload_start = Instant::now();
-    let mut feeder = Client::connect(addr).expect("connect feeder");
+    let mut feeder = must(Client::connect(addr), "connect feeder");
     for chunk in preload.chunks(4_096) {
-        let resp = feeder.ingest_batch(chunk).expect("ingest batch");
+        let resp = must(feeder.ingest_batch(chunk), "ingest batch");
         assert!(resp.is_ok(), "ingest rejected: {}", resp.status);
     }
     let preload_ms = preload_start.elapsed().as_secs_f64() * 1e3;
@@ -226,7 +227,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
             let stop = &stop;
             let rate = cfg.interleave_rate;
             scope.spawn(move || {
-                let mut w = Client::connect(addr).expect("connect writer");
+                let mut w = must(Client::connect(addr), "connect writer");
                 let interval = Duration::from_secs_f64(1.0 / rate);
                 let mut next = Instant::now();
                 let mut sent = 0usize;
@@ -235,14 +236,15 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
                         break;
                     }
                     let labels: Vec<String> = row.labels.iter().map(|l| l.to_string()).collect();
-                    let resp = w
-                        .request(&format!(
+                    let resp = must(
+                        w.request(&format!(
                             "INGEST {} {} {}",
                             row.id,
                             row.value,
                             labels.join(",")
-                        ))
-                        .expect("interleaved ingest");
+                        )),
+                        "interleaved ingest",
+                    );
                     assert!(resp.is_ok(), "interleaved ingest rejected: {}", resp.status);
                     sent += 1;
                     next += interval;
@@ -262,7 +264,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
                 let qpc = cfg.queries_per_client;
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed ^ 0xC11E47 ^ (c as u64) << 17);
-                    let mut client = Client::connect(addr).expect("connect client");
+                    let mut client = must(Client::connect(addr), "connect client");
                     let mut hist = Hist::new();
                     let mut tallies = [0u64; 4]; // ok, error, overloaded, stale
                     for _ in 0..qpc {
@@ -275,7 +277,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
                             random_spec(&mut rng, preload_span)
                         };
                         let t0 = Instant::now();
-                        let (resp, _rows) = client.query(&spec).expect("query");
+                        let (resp, _rows) = must(client.query(&spec), "query");
                         hist.record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
                         if resp.is_ok() {
                             tallies[0] += 1;
@@ -297,6 +299,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
         let mut hist = Hist::new();
         let mut tallies = [0u64; 4];
         for h in handles {
+            // lint:allow(blocking-call,panic-path): bounded — each client runs a fixed queries_per_client loop; a panicked child is unrecoverable harness state
             let (hh, tt) = h.join().expect("client thread");
             hist.merge(&hh);
             for (a, b) in tallies.iter_mut().zip(tt) {
@@ -305,6 +308,7 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
         }
         stop.store(true, Ordering::Relaxed);
         let sent = writer
+            // lint:allow(blocking-call,panic-path): bounded — the writer stops at the stop flag (set just above) or the end of `tail`
             .map(|h| h.join().expect("writer thread"))
             .unwrap_or(0);
         (hist, tallies, sent)
@@ -320,12 +324,13 @@ fn run_mode(cfg: &ModeConfig, rows: &[Record], seed: u64) -> ModeReport {
     let qps = total as f64 / wall_s;
 
     // Pull the server-side cache/served counters, then drain.
-    let mut feeder = Client::connect(addr).expect("reconnect for stats");
-    let stats = feeder.request("STATS").expect("stats");
+    let mut feeder = must(Client::connect(addr), "reconnect for stats");
+    let stats = must(feeder.request("STATS"), "stats");
     assert!(stats.is_ok());
     let server_stats = stats.status.trim_start_matches("+OK ").to_string();
-    let drain = feeder.request("DRAIN").expect("drain");
+    let drain = must(feeder.request("DRAIN"), "drain");
     assert!(drain.is_ok());
+    // lint:allow(blocking-call,panic-path): bounded — the acknowledged DRAIN above makes the server's run loop return
     server_thread.join().expect("server thread");
 
     let [ok, errors, overloaded, stale] = tallies;
@@ -401,7 +406,7 @@ struct DurableLeg {
 
 fn durable_ingest(dir: &std::path::Path, rows: &[Record], fsync: bool) -> DurableLeg {
     let _ = std::fs::remove_dir_all(dir);
-    let mut store = DurableStore::open(
+    let store = DurableStore::open(
         dir,
         &DurableOptions {
             fsync,
@@ -410,12 +415,12 @@ fn durable_ingest(dir: &std::path::Path, rows: &[Record], fsync: bool) -> Durabl
             segment_rows: usize::MAX,
             retain: None,
         },
-    )
-    .expect("open durable dir");
+    );
+    let mut store = must(store, "open durable dir");
     let t0 = Instant::now();
     for row in rows {
-        store.append(row).expect("append");
-        store.sync().expect("ack barrier");
+        must(store.append(row), "append");
+        must(store.sync(), "ack barrier");
     }
     let wall_s = t0.elapsed().as_secs_f64();
     DurableLeg {
@@ -445,12 +450,14 @@ fn run_durable(seed: u64, quick: bool) -> String {
     let rows = corpus(seed ^ 0xD07A, nofsync_rows.max(fsync_rows));
     let base = std::env::temp_dir().join(format!("mqd-bench-durable-{}", std::process::id()));
 
+    // lint:allow(panic-path): corpus() above returns max(fsync, nofsync) rows
     let fsync_leg = durable_ingest(&base.join("fsync"), &rows[..fsync_rows], true);
     println!(
         "bench_server[durable]: fsync ingest {} rows in {:.2}s ({:.0} rows/s, {:.1} us/append)",
         fsync_leg.rows, fsync_leg.wall_s, fsync_leg.rows_per_s, fsync_leg.us_per_append
     );
     let nofsync_dir = base.join("nofsync");
+    // lint:allow(panic-path): corpus() above returns max(fsync, nofsync) rows
     let nofsync_leg = durable_ingest(&nofsync_dir, &rows[..nofsync_rows], false);
     println!(
         "bench_server[durable]: no-fsync ingest {} rows in {:.2}s ({:.0} rows/s, {:.1} us/append)",
@@ -468,8 +475,8 @@ fn run_durable(seed: u64, quick: bool) -> String {
             segment_rows: usize::MAX,
             retain: None,
         },
-    )
-    .expect("recover");
+    );
+    let recovered = must(recovered, "recover");
     let rec_s = t0.elapsed().as_secs_f64();
     let rec_rows = recovered.durable_stats().recovered_rows;
     assert_eq!(
@@ -587,6 +594,6 @@ fn main() {
     json.push_str("}\n");
 
     let path = "BENCH_server.json";
-    std::fs::write(path, &json).expect("write BENCH_server.json");
+    must(std::fs::write(path, &json), "write BENCH_server.json");
     println!("wrote {path}");
 }

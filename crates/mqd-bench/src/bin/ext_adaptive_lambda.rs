@@ -114,5 +114,5 @@ fn main() {
         f1(100.0 * burst_adaptive as f64 / total_adaptive.max(1) as f64) + "%",
     ]);
     report.table(s);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

@@ -81,5 +81,5 @@ fn main() {
         ]);
     }
     report.table(t);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

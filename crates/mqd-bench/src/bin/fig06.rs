@@ -86,5 +86,5 @@ fn main() {
     }
     report.table(scatter);
     report.table(sizes);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

@@ -56,5 +56,5 @@ fn main() {
         }
         report.table(t);
     }
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

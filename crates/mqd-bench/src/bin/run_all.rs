@@ -29,8 +29,8 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
-    let self_path = std::env::current_exe().expect("current_exe");
-    let dir = self_path.parent().expect("bin dir");
+    let self_path = mqd_bench::must(std::env::current_exe(), "current_exe");
+    let dir = mqd_bench::must(self_path.parent().ok_or("no parent directory"), "bin dir");
 
     let mut failures = Vec::new();
     for exp in EXPERIMENTS {

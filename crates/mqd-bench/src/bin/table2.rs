@@ -38,6 +38,7 @@ fn main() {
             seed: args.seed + l as u64,
             ..LabeledStreamConfig::default()
         });
+        // lint:allow(panic-path): seeded generator emits valid posts by construction
         let inst = Instance::from_posts(posts, l).expect("valid");
         let per_min = inst.len() as f64 / minutes as f64;
         t.row(&[
@@ -48,5 +49,5 @@ fn main() {
         ]);
     }
     report.table(t);
-    report.write(&args.out).expect("write report");
+    report.write_or_exit(&args.out);
 }

@@ -14,7 +14,7 @@ pub mod workloads;
 
 pub use args::BenchArgs;
 pub use measure::{
-    measure, micros_per_post, run_stream_by_name, time_it, Measured, STREAM_ENGINES,
+    measure, micros_per_post, must, run_stream_by_name, time_it, Measured, STREAM_ENGINES,
 };
 pub use microbench::{Bencher, BenchmarkId, Criterion};
 pub use report::{f1, f3, Report, Table};

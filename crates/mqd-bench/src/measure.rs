@@ -4,6 +4,21 @@
 
 use std::time::{Duration, Instant};
 
+/// Unwraps a harness result, aborting the process (status 2) with a
+/// message on stderr instead of panicking. In a measurement driver any
+/// failure must end the run loudly — a silently-degraded run reports wrong
+/// numbers, which is worse than no run — and a clean exit beats unwinding
+/// a panic through scoped worker threads. Nothing outlives the process.
+pub fn must<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Runs `f`, returning its result and wall time.
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();
@@ -71,16 +86,36 @@ pub const STREAM_ENGINES: &[&str] = &[
     "StreamGreedySC+",
 ];
 
-/// Runs the named streaming engine over an instance.
+/// Runs the named streaming engine over an instance, aborting the process
+/// on an unknown name — every caller is a figure driver whose engine list
+/// comes from [`STREAM_ENGINES`]. [`try_run_stream_by_name`] is the
+/// fallible variant.
 pub fn run_stream_by_name(
     name: &str,
     inst: &mqd_core::Instance,
     lambda: &mqd_core::FixedLambda,
     tau: i64,
 ) -> mqd_stream::StreamRunResult {
+    match try_run_stream_by_name(name, inst, lambda, tau) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: unknown streaming engine {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs the named streaming engine over an instance; `None` for a name
+/// outside [`STREAM_ENGINES`] + `"Instant"`.
+pub fn try_run_stream_by_name(
+    name: &str,
+    inst: &mqd_core::Instance,
+    lambda: &mqd_core::FixedLambda,
+    tau: i64,
+) -> Option<mqd_stream::StreamRunResult> {
     let l = inst.num_labels();
     let n = inst.len();
-    match name {
+    Some(match name {
         "StreamScan" => {
             mqd_stream::run_stream(inst, lambda, tau, &mut mqd_stream::StreamScan::new(l, n))
         }
@@ -100,8 +135,8 @@ pub fn run_stream_by_name(
             &mut mqd_stream::StreamGreedy::new_plus(l, n),
         ),
         "Instant" => mqd_stream::run_stream(inst, lambda, 0, &mut mqd_stream::InstantScan::new(l)),
-        other => panic!("unknown streaming engine {other}"),
-    }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -150,9 +185,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown streaming engine")]
-    fn unknown_engine_panics() {
+    fn unknown_engine_is_refused() {
         let inst = mqd_core::Instance::from_values(vec![(0, vec![0])], 1).unwrap();
-        run_stream_by_name("nope", &inst, &mqd_core::FixedLambda(1), 1);
+        assert!(try_run_stream_by_name("nope", &inst, &mqd_core::FixedLambda(1), 1).is_none());
     }
 }

@@ -131,6 +131,21 @@ impl Report {
         println!("[report written to {}]", md_path.display());
         Ok(md_path)
     }
+
+    /// [`write`](Self::write), but reports a failure on stderr and exits
+    /// the process with status 2 instead of panicking — the standard
+    /// ending for every figure/table driver, whose only caller is a shell
+    /// or CI job that reads the exit status.
+    pub fn write_or_exit(&self, dir: &Path) {
+        if let Err(e) = self.write(dir) {
+            eprintln!(
+                "error: writing report {} to {}: {e}",
+                self.id,
+                dir.display()
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Formats a float with 3 decimals (report cells).

@@ -31,6 +31,7 @@ pub fn ten_minute_instance(
         seed,
         ..LabeledStreamConfig::default()
     });
+    // lint:allow(panic-path): seeded generator emits valid posts by construction
     Instance::from_posts(posts, num_labels).expect("generator produces valid posts")
 }
 
@@ -54,6 +55,7 @@ pub fn day_instance(
         seed,
         ..LabeledStreamConfig::default()
     });
+    // lint:allow(panic-path): seeded generator emits valid posts by construction
     Instance::from_posts(posts, num_labels).expect("generator produces valid posts")
 }
 

@@ -2,10 +2,16 @@
 //! (`mqd-lint`) from the CLI.
 //!
 //! The linter enforces the determinism/overflow/panic/blocking invariants
-//! the serving guarantees depend on; the rule catalog and the incidents
-//! behind each rule are in DESIGN.md §13. `--deny` (the CI gate) exits
-//! nonzero on any finding; `--json` emits the byte-stable findings array
-//! for artifact upload; `--rules a,b` restricts the pass.
+//! the serving guarantees depend on, plus the cross-file workspace rules
+//! (lock-order cycles, blocking under a live guard, unclamped wire
+//! lengths); the rule catalog and the incidents behind each rule are in
+//! DESIGN.md §13. `--deny` (the CI gate) exits nonzero on any finding;
+//! `--json` emits the byte-stable versioned report object for artifact
+//! upload; `--rules a,b` restricts the pass.
+//!
+//! Ordering contract for `--deny --json`: the full JSON report is written
+//! and flushed to `out` *before* the deny error returns — a CI consumer
+//! that sees the nonzero exit can always parse the report it captured.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -47,7 +53,11 @@ pub fn run(mut out: impl Write, mut log: impl Write, opts: &LintOpts) -> Result<
         .map_err(|e| format!("scan {}: {e}", root.display()))?;
 
     if opts.json {
-        write!(out, "{}", render_json(&findings)).map_err(|e| e.to_string())?;
+        // Write AND flush the complete report before the deny check below
+        // can error out: a nonzero exit must never truncate the JSON a CI
+        // pipeline is capturing.
+        write!(out, "{}", render_json(&findings, files_scanned)).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
         writeln!(
             log,
             "{} finding(s) in {} file(s) scanned",
@@ -57,8 +67,8 @@ pub fn run(mut out: impl Write, mut log: impl Write, opts: &LintOpts) -> Result<
         .map_err(|e| e.to_string())?;
     } else {
         write!(out, "{}", render_human(&findings, files_scanned)).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
     }
-    out.flush().map_err(|e| e.to_string())?;
 
     if opts.deny && !findings.is_empty() {
         return Err(format!(
@@ -134,11 +144,31 @@ mod tests {
         let mut out = Vec::new();
         run(&mut out, io::sink(), &opts(&root, false, true, None)).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.starts_with('['), "{text}");
+        assert!(text.starts_with("{\"schema_version\":2,"), "{text}");
         assert!(
             text.contains(r#""file":"crates/mqd-server/src/server.rs""#),
             "{text}"
         );
+        assert!(text.contains(r#""rule":"blocking-call""#), "{text}");
+        assert!(text.contains(r#""col":"#), "{text}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// The `--deny --json` contract: even when run() errors, the sink
+    /// already holds the complete, parseable report — balanced braces,
+    /// version field, trailing newline.
+    #[test]
+    fn deny_json_writes_full_report_before_failing() {
+        let root = synth_workspace("denyjson", &[("crates/mqd-server/src/server.rs", BAD)]);
+        let mut out = Vec::new();
+        let err = run(&mut out, io::sink(), &opts(&root, true, true, None)).unwrap_err();
+        assert!(err.contains("under --deny"), "{err}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("{\"schema_version\":2,"), "{text}");
+        assert!(text.ends_with("]}\n"), "report truncated: {text:?}");
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced JSON: {text}");
         assert!(text.contains(r#""rule":"blocking-call""#), "{text}");
         let _ = fs::remove_dir_all(&root);
     }

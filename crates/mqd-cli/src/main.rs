@@ -151,7 +151,7 @@ fn run() -> Result<(), String> {
         );
         return Ok(());
     }
-    let flags = Flags::parse(&args[1..])?;
+    let flags = Flags::parse(args.get(1..).unwrap_or(&[]))?;
     if flags.get("threads").is_some() {
         let n: usize = flags.require_num("threads")?;
         if n == 0 {

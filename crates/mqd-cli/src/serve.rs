@@ -173,6 +173,7 @@ pub fn client_script(
             let at = raw.len();
             raw.resize(at + nbytes, 0);
             input
+                // lint:allow(panic-path): at == the pre-resize length, so at <= raw.len() always
                 .read_exact(&mut raw[at..])
                 .map_err(|e| format!("INGESTB body ({nbytes} bytes): {e}"))?;
             client.request_raw(&raw)

@@ -90,17 +90,21 @@ pub fn decode_records(data: &[u8]) -> Result<Vec<Record>, MqdError> {
             reason: format!("unsupported version {version}"),
         });
     }
-    let count = buf.get_varint()? as usize;
-    let mut rows = Vec::with_capacity(count.min(1 << 20));
+    let count = buf.get_varint()?;
+    // Each record encodes at least 3 bytes (id + value + label count), so
+    // this also rejects a hostile count before allocating for it.
+    let count = buf.plausible_len(count, 3, "record")?;
+    let mut rows = Vec::with_capacity(count);
     let mut prev_id = 0u64;
     let mut prev_value = 0i64;
     for _ in 0..count {
         let id = prev_id.wrapping_add(unzigzag(buf.get_varint()?) as u64);
         let value = prev_value.wrapping_add(buf.get_varint_i64()?);
-        let n_labels = buf.get_varint()? as usize;
-        if n_labels > u16::MAX as usize {
+        let n_labels = buf.get_varint()?;
+        if n_labels > u16::MAX as u64 {
             return Err(buf.corrupt("label count out of range"));
         }
+        let n_labels = buf.plausible_len(n_labels, 1, "label")?;
         let mut labels = Vec::with_capacity(n_labels);
         for _ in 0..n_labels {
             let l = buf.get_varint()?;

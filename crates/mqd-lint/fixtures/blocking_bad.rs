@@ -1,26 +1,22 @@
 // Fixture: blocking-call must fire on unbounded recv/join/read_line in
 // worker code — the PR 4 pool-deadlock class. Linted under the virtual
-// path crates/mqd-server/src/server.rs.
-pub fn worker_loop(rx: &Mutex<Receiver<Conn>>, handles: Vec<JoinHandle<()>>) {
+// path crates/mqd-server/src/server.rs. Deliberately guard-free: the
+// lock-held variants of these calls live in guard_blocking_bad.rs.
+pub fn worker_loop(rx: &Receiver<Conn>) {
     loop {
-        let guard = match rx.lock() {
-            Ok(g) => g,
-            Err(_) => return,
-        };
-        let Ok(conn) = guard.recv() else { return };
-        drop(guard);
+        let Ok(conn) = rx.recv() else { return }; //~ blocking-call
         serve(conn);
     }
 }
 
 pub fn shutdown(handles: Vec<JoinHandle<()>>) {
     for h in handles {
-        let _ = h.join();
+        let _ = h.join(); //~ blocking-call
     }
 }
 
 pub fn read_command(reader: &mut BufReader<TcpStream>) -> String {
     let mut line = String::new();
-    let _ = reader.read_line(&mut line);
+    let _ = reader.read_line(&mut line); //~ blocking-call
     line
 }

@@ -4,19 +4,19 @@
 use std::fs::{File, OpenOptions};
 
 pub fn seal(tmp: &std::path::Path, dst: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
-    std::fs::write(tmp, bytes)?;
-    std::fs::rename(tmp, dst)?;
+    std::fs::write(tmp, bytes)?; //~ durability-path
+    std::fs::rename(tmp, dst)?; //~ durability-path
     Ok(())
 }
 
 pub fn reset(file: &File, stale: &std::path::Path) -> std::io::Result<()> {
-    file.set_len(0)?;
-    std::fs::remove_file(stale)?;
+    file.set_len(0)?; //~ durability-path
+    std::fs::remove_file(stale)?; //~ durability-path
     Ok(())
 }
 
 pub fn reopen(path: &std::path::Path) -> std::io::Result<File> {
-    let wal = OpenOptions::new().append(true).open(path)?;
+    let wal = OpenOptions::new().append(true).open(path)?; //~ durability-path
     drop(wal);
-    File::create(path)
+    File::create(path) //~ durability-path
 }

@@ -1,0 +1,19 @@
+// Known-bad: a milliseconds-slow fsync runs while the segment guard is
+// live — every writer contending for the lock convoys behind the disk
+// (the PR 4 deadlock class). Once inline, once one call down through
+// `persist_segment`, which the per-file pass cannot see.
+pub fn append_direct(s: &State, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    seg.stage_rows(rows);
+    let _ = seg.file.sync_all(); //~ guard-held-blocking
+}
+
+pub fn append_indirect(s: &State, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    seg.stage_rows(rows);
+    persist_segment(&mut seg); //~ guard-held-blocking
+}
+
+pub fn persist_segment(seg: &mut SegGuard) {
+    let _ = seg.file.sync_all();
+}

@@ -1,0 +1,20 @@
+// Known-good: the segment guard is dropped before the fsync, so writers
+// never convoy behind the disk — both when the flush is inline and when
+// it happens one call down in `persist`.
+pub fn append(s: &State, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    let file = seg.stage_rows(rows);
+    drop(seg);
+    let _ = file.sync_all();
+}
+
+pub fn append_indirect(s: &State, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    let file = seg.stage_rows(rows);
+    drop(seg);
+    persist(&file);
+}
+
+pub fn persist(file: &File) {
+    let _ = file.sync_all();
+}

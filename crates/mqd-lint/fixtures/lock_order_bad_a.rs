@@ -1,0 +1,9 @@
+// Known-bad, half A of an ABBA pair: `publish` acquires `index` and then
+// — one call down, in lock_order_bad_b.rs — `record_entry` acquires
+// `ledger`, while `reconcile` over there takes the same two locks in the
+// reverse order. Neither file is wrong alone; only the workspace pass
+// sees the cycle.
+pub fn publish(s: &State, post: Post) {
+    let Ok(idx) = s.index.lock() else { return };
+    record_entry(s, &idx, post); //~ lock-order
+}

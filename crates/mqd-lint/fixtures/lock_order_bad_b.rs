@@ -1,0 +1,15 @@
+// Known-bad, half B of the ABBA pair in lock_order_bad_a.rs:
+// `record_entry` supplies the propagated `index -> ledger` edge (it runs
+// under `publish`'s index guard), and `reconcile` acquires the two locks
+// in the reverse order directly. The cycle is reported once, anchored on
+// the first edge that participates.
+pub fn record_entry(s: &State, idx: &IndexGuard, post: Post) {
+    let Ok(mut led) = s.ledger.lock() else { return };
+    led.push(entry_of(idx, post));
+}
+
+pub fn reconcile(s: &State) {
+    let Ok(led) = s.ledger.lock() else { return };
+    let Ok(idx) = s.index.lock() else { return };
+    sync_views(&led, &idx);
+}

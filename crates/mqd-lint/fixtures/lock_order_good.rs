@@ -1,0 +1,18 @@
+// Known-good: every path through these functions acquires `index` before
+// `ledger` — including the path where the second acquisition happens one
+// call down — so the global lock-order graph stays acyclic.
+pub fn publish(s: &State, post: Post) {
+    let Ok(idx) = s.index.lock() else { return };
+    record_entry(s, &idx, post);
+}
+
+pub fn record_entry(s: &State, idx: &IndexGuard, post: Post) {
+    let Ok(mut led) = s.ledger.lock() else { return };
+    led.push(entry_of(idx, post));
+}
+
+pub fn reconcile(s: &State) {
+    let Ok(idx) = s.index.lock() else { return };
+    let Ok(led) = s.ledger.lock() else { return };
+    sync_views(&led, &idx);
+}

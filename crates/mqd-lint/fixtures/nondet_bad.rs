@@ -5,19 +5,19 @@ use std::collections::{HashMap, HashSet};
 
 pub fn posting_lists(index: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
     let mut out = Vec::new();
-    for (_, list) in index.iter() {
+    for (_, list) in index.iter() { //~ nondet-iter
         out.extend_from_slice(list);
     }
     out
 }
 
 pub fn drain_seen(seen: &mut HashSet<u32>) -> Vec<u32> {
-    seen.drain().collect()
+    seen.drain().collect() //~ nondet-iter
 }
 
 pub fn loop_over_map(counts: HashMap<u32, u64>) -> u64 {
     let mut total = 0;
-    for (_, v) in counts {
+    for (_, v) in counts { //~ nondet-iter
         total += v;
     }
     total

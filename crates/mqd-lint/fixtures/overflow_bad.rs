@@ -8,14 +8,14 @@ pub struct Emission {
 
 impl Emission {
     pub fn delay(&self, inst: &Instance) -> i64 {
-        self.emit_time - inst.value(self.post)
+        self.emit_time - inst.value(self.post) //~ overflow-arith
     }
 }
 
 pub fn window_width(lambda0: i64) -> i64 {
-    2 * lambda0
+    2 * lambda0 //~ overflow-arith
 }
 
 pub fn stale(time: i64, t_lc: i64, lam: i64) -> bool {
-    time - t_lc > lam
+    time - t_lc > lam //~ overflow-arith
 }

@@ -2,12 +2,12 @@
 // in serving-path production code. Linted under the virtual path
 // crates/mqd-server/src/server.rs.
 pub fn handle(state: &Mutex<Store>, body: Option<Vec<u8>>, chunk: &[u8], want: usize) {
-    let store = state.lock().unwrap();
-    let body = body.expect("batch body read by caller");
-    let head = &chunk[..want];
-    let first = chunk[0];
+    let store = state.lock().unwrap(); //~ panic-path
+    let body = body.expect("batch body read by caller"); //~ panic-path
+    let head = &chunk[..want]; //~ panic-path
+    let first = chunk[0]; //~ panic-path
     if head.is_empty() {
-        panic!("empty frame");
+        panic!("empty frame"); //~ panic-path
     }
     drop((store, body, first));
 }
@@ -16,6 +16,6 @@ pub fn dispatch(op: u8) -> &'static str {
     match op {
         0 => "query",
         1 => "stats",
-        _ => unreachable!("validated by caller"),
+        _ => unreachable!("validated by caller"), //~ panic-path
     }
 }

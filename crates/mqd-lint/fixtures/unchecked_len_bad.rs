@@ -1,0 +1,30 @@
+// Known-bad: wire-decoded lengths reach allocations unclamped — one
+// corrupt or hostile frame claiming an exabyte of rows OOMs the process
+// before any validation runs (the PR 8 decoder-hardening class).
+pub fn decode_batch(buf: &mut Cursor) -> Result<Vec<Row>, MqdError> {
+    let count = buf.get_varint()?;
+    let mut rows = Vec::with_capacity(count as usize); //~ unchecked-len
+    for _ in 0..count {
+        rows.push(decode_row(buf)?);
+    }
+    Ok(rows)
+}
+
+pub fn decode_flags(buf: &mut Cursor) -> Result<Vec<bool>, MqdError> {
+    let n = buf.get_varint()? as usize;
+    let mut flags = Vec::new();
+    flags.reserve(n); //~ unchecked-len
+    for _ in 0..n {
+        flags.push(buf.get_u8()? != 0);
+    }
+    Ok(flags)
+}
+
+pub fn decode_blob(buf: &mut Cursor) -> Result<Vec<u8>, MqdError> {
+    let len = buf.get_varint()? as usize;
+    let mut blob = vec![0u8; len]; //~ unchecked-len
+    for b in blob.iter_mut() {
+        *b = buf.get_u8()?;
+    }
+    Ok(blob)
+}

@@ -1,0 +1,22 @@
+// Known-good: every wire-decoded length passes through `plausible_len`
+// before it sizes an allocation, so a hostile count is capped by the
+// bytes actually remaining in the frame — shown both as a rebind and
+// inline at the sink.
+pub fn decode_batch(buf: &mut Cursor) -> Result<Vec<Row>, MqdError> {
+    let count = buf.get_varint()?;
+    let count = buf.plausible_len(count, 3, "record")?;
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        rows.push(decode_row(buf)?);
+    }
+    Ok(rows)
+}
+
+pub fn decode_blob(buf: &mut Cursor) -> Result<Vec<u8>, MqdError> {
+    let len = buf.get_varint()?;
+    let mut blob = vec![0u8; buf.plausible_len(len, 1, "byte")?];
+    for b in blob.iter_mut() {
+        *b = buf.get_u8()?;
+    }
+    Ok(blob)
+}

@@ -3,13 +3,13 @@
 // crates/mqd-stream/src/checkpoint.rs — the real pre-fix shape of that
 // file, where the checkpoint format kept private copies of its magic
 // and reused the binlog's footer bytes by retyping them.
-pub const MAGIC: [u8; 4] = *b"MQDC";
-const FOOTER: [u8; 4] = *b"END!";
-const OPCODE_QUERY: u8 = 0x51;
+pub const MAGIC: [u8; 4] = *b"MQDC"; //~ wire-drift
+const FOOTER: [u8; 4] = *b"END!"; //~ wire-drift
+const OPCODE_QUERY: u8 = 0x51; //~ wire-drift
 
 pub fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(b"HDR!");
+    out.extend_from_slice(b"HDR!"); //~ wire-drift
     out.extend_from_slice(payload);
     out
 }

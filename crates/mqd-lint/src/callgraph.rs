@@ -1,0 +1,225 @@
+//! Pass 2 plumbing: the workspace context the cross-file rules run over —
+//! every file's `FileCtx`, the item tree, per-function facts, and a
+//! name-keyed function index with depth-limited propagation walks.
+//!
+//! Call resolution is by bare name: `store.flush()` resolves to every
+//! workspace `fn flush`. That over-approximates (two unrelated `flush`es
+//! alias) but never misses, which is the right polarity for a deny-gate
+//! linter — false positives get a reviewed `lint:allow`, false negatives
+//! get an outage. Depth limits keep the over-approximation bounded:
+//! acquisitions propagate through at most [`LOCK_CALL_DEPTH`] call frames,
+//! blocking operations through [`BLOCKING_CALL_DEPTH`].
+
+use std::collections::BTreeMap;
+
+use crate::engine::FileCtx;
+use crate::facts::{self, Acquire, FnFacts};
+use crate::parse::{self, FnItem};
+use crate::report::Finding;
+
+/// How many call frames a lock acquisition propagates through when a call
+/// is made while a guard is live (`f` holds A and calls `g`, `g` calls
+/// `h`, `h` locks B ⇒ edge A→B at depth 2).
+pub const LOCK_CALL_DEPTH: usize = 3;
+
+/// How many call frames a blocking operation propagates through — "directly
+/// or one call deep", per the rule contract.
+pub const BLOCKING_CALL_DEPTH: usize = 1;
+
+/// Everything a workspace rule may look at.
+pub struct WorkspaceCtx<'a> {
+    /// Per-file contexts, in input order.
+    pub files: Vec<FileCtx<'a>>,
+    /// Item tree per file (parallel to `files`).
+    pub items: Vec<Vec<FnItem>>,
+    /// Facts for every non-test function, files in order, token order
+    /// within a file.
+    pub fns: Vec<FnFacts>,
+    /// Bare name → indices into `fns`. BTreeMap so every walk over the
+    /// index is deterministic.
+    index: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> WorkspaceCtx<'a> {
+    /// Builds the two-pass context: item trees, then facts, then the index.
+    pub fn build(files: Vec<FileCtx<'a>>) -> Self {
+        let items: Vec<Vec<FnItem>> = files.iter().map(|f| parse::functions(&f.code)).collect();
+        let mut fns = Vec::new();
+        for (fi, (file, its)) in files.iter().zip(&items).enumerate() {
+            fns.extend(facts::extract(file, its, fi));
+        }
+        let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            index.entry(f.name.clone()).or_default().push(i);
+        }
+        WorkspaceCtx {
+            files,
+            items,
+            fns,
+            index,
+        }
+    }
+
+    /// Function indices a bare callee name resolves to (empty for calls
+    /// into std or out of the scanned set).
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.index.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Workspace-relative path of file `fi`.
+    pub fn rel(&self, fi: usize) -> &str {
+        self.files[fi].rel
+    }
+
+    /// Builds a [`Finding`] anchored in file `fi`.
+    pub fn finding(
+        &self,
+        fi: usize,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: String,
+    ) -> Finding {
+        let f = &self.files[fi];
+        Finding {
+            file: f.rel.to_string(),
+            line,
+            col,
+            rule,
+            message,
+            snippet: f.snippet(line),
+        }
+    }
+
+    /// Every acquisition reachable from calling `callee`, walking the call
+    /// graph at most `depth` frames deep. Returns `(fn_index, acquire)`
+    /// pairs in deterministic order; cycles in the call graph are cut by
+    /// the visited set.
+    pub fn reachable_acquires(&self, callee: &str, depth: usize) -> Vec<(usize, &Acquire)> {
+        let mut out = Vec::new();
+        let mut visited: Vec<usize> = Vec::new();
+        let mut frontier: Vec<usize> = self.resolve(callee).to_vec();
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for fi in frontier {
+                if visited.contains(&fi) {
+                    continue;
+                }
+                visited.push(fi);
+                let f = &self.fns[fi];
+                for a in &f.acquires {
+                    out.push((fi, a));
+                }
+                for c in &f.calls {
+                    for &t in self.resolve(&c.callee) {
+                        if !visited.contains(&t) {
+                            next.push(t);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// The first direct blocking operation reachable from calling `callee`
+    /// within [`BLOCKING_CALL_DEPTH`] frames, if any.
+    pub fn reachable_blocking(&self, callee: &str) -> Option<(usize, &facts::Blocking)> {
+        let mut frontier: Vec<usize> = self.resolve(callee).to_vec();
+        let mut visited: Vec<usize> = Vec::new();
+        for _ in 0..BLOCKING_CALL_DEPTH {
+            let mut next = Vec::new();
+            for fi in frontier {
+                if visited.contains(&fi) {
+                    continue;
+                }
+                visited.push(fi);
+                if let Some(b) = self.fns[fi].blocking.first() {
+                    return Some((fi, b));
+                }
+                for c in &self.fns[fi].calls {
+                    next.extend(self.resolve(&c.callee).iter().copied());
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::build_file_ctx;
+    use crate::lexer::tokenize;
+
+    fn ws(srcs: &[(&'static str, &'static str)]) -> WorkspaceCtx<'static> {
+        let files = srcs
+            .iter()
+            .map(|(rel, src)| {
+                let toks = tokenize(src);
+                build_file_ctx(rel, src, &toks)
+            })
+            .collect();
+        WorkspaceCtx::build(files)
+    }
+
+    #[test]
+    fn index_resolves_across_files() {
+        let w = ws(&[
+            ("crates/a/src/lib.rs", "fn alpha() { beta(); }"),
+            ("crates/b/src/lib.rs", "fn beta() { work(); }"),
+        ]);
+        assert_eq!(w.resolve("beta").len(), 1);
+        assert_eq!(w.fns[w.resolve("beta")[0]].file, 1);
+        assert!(w.resolve("gamma").is_empty());
+    }
+
+    #[test]
+    fn acquisitions_propagate_with_depth_limit() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "\
+fn l1() { l2(); }
+fn l2() { l3(); }
+fn l3() { l4(); }
+fn l4() { let g = m4.lock().unwrap(); }
+",
+        )]);
+        // Depth counts frames visited starting at the callee: depth 3 from
+        // a call to l2 visits l2, l3, l4 — reaches l4's lock.
+        let hit = w.reachable_acquires("l2", 3);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].1.lock, "m4");
+        // Depth 2 stops at l3, which acquires nothing; so does the full
+        // default depth starting one frame further out at l1.
+        assert!(w.reachable_acquires("l2", 2).is_empty());
+        assert!(w.reachable_acquires("l1", LOCK_CALL_DEPTH).is_empty());
+    }
+
+    #[test]
+    fn call_cycles_terminate() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn ping() { pong(); } fn pong() { ping(); let g = m.lock().unwrap(); }",
+        )]);
+        let hit = w.reachable_acquires("ping", 5);
+        assert_eq!(hit.len(), 1);
+    }
+
+    #[test]
+    fn blocking_is_one_call_deep_only() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "\
+fn near() { far(); }
+fn far() { file.sync_all(); }
+",
+        )]);
+        assert!(w.reachable_blocking("far").is_some());
+        // `near` itself doesn't block; its callee does, but that is depth 2
+        // from a *call to near* — outside the contract.
+        assert!(w.reachable_blocking("near").is_none());
+    }
+}

@@ -1,10 +1,13 @@
-//! Per-file lint pipeline: tokenize, compute test scopes, collect typed
-//! identifier facts, run the enabled rules, then apply `lint:allow`
-//! suppressions and emit `bad-suppression` findings for annotations that
-//! are missing their mandatory reason.
+//! The lint pipeline. Per file: tokenize, compute test scopes, collect
+//! typed identifier facts, run the file rules. Across files: build the
+//! two-pass workspace context (item tree → function facts → call graph)
+//! and run the workspace rules. Then apply `lint:allow` suppressions and
+//! emit `bad-suppression` findings for annotations that are missing their
+//! mandatory reason.
 
 use std::collections::HashSet;
 
+use crate::callgraph::WorkspaceCtx;
 use crate::lexer::{tokenize, Tok, TokKind};
 use crate::report::Finding;
 use crate::rules;
@@ -111,11 +114,23 @@ impl<'a> FileCtx<'a> {
             .unwrap_or_default()
     }
 
-    /// Shorthand for building a [`Finding`] anchored at `line`.
+    /// Column of the first code token on `line` — the anchor for rules
+    /// that reason line-wise rather than token-wise.
+    pub fn line_col(&self, line: u32) -> u32 {
+        self.code
+            .iter()
+            .find(|t| t.line == line)
+            .map(|t| t.col)
+            .unwrap_or(1)
+    }
+
+    /// Shorthand for building a [`Finding`] anchored at `line` (column of
+    /// the line's first code token).
     pub fn finding(&self, line: u32, rule: &'static str, message: String) -> Finding {
         Finding {
             file: self.rel.to_string(),
             line,
+            col: self.line_col(line),
             rule,
             message,
             snippet: self.snippet(line),
@@ -125,64 +140,101 @@ impl<'a> FileCtx<'a> {
 
 /// Lints one file's source. `rel` is the workspace-relative path (forward
 /// slashes) — several rules are scoped by path, so virtual paths let the
-/// fixture tests exercise path-gated rules on synthetic files.
+/// fixture tests exercise path-gated rules on synthetic files. Workspace
+/// rules run too, over a one-file "workspace".
 pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
-    let toks = tokenize(src);
-    let ctx = build_ctx(rel, src, &toks);
+    lint_files(&[(rel, src)], cfg)
+}
+
+/// Lints a set of files as one workspace: file rules per file, then the
+/// workspace rules over the cross-file context, then suppressions. This is
+/// the engine's real entry point — `lint_source` and `lint_workspace` both
+/// come here.
+pub fn lint_files(files: &[(&str, &str)], cfg: &LintConfig) -> Vec<Finding> {
+    let toks: Vec<Vec<Tok>> = files.iter().map(|(_, src)| tokenize(src)).collect();
+    let ctxs: Vec<FileCtx> = files
+        .iter()
+        .zip(&toks)
+        .map(|((rel, src), t)| build_file_ctx(rel, src, t))
+        .collect();
 
     let mut raw = Vec::new();
-    for rule in rules::ALL {
-        if cfg.on(rule.id) {
-            (rule.check)(&ctx, &mut raw);
+    for ctx in &ctxs {
+        for rule in rules::ALL {
+            if let (true, rules::Check::File(check)) = (cfg.on(rule.id), &rule.check) {
+                check(ctx, &mut raw);
+            }
         }
     }
 
+    let run_workspace = rules::ALL
+        .iter()
+        .any(|r| cfg.on(r.id) && matches!(r.check, rules::Check::Workspace(_)));
+    let ctxs = if run_workspace {
+        let ws = WorkspaceCtx::build(ctxs);
+        for rule in rules::ALL {
+            if let (true, rules::Check::Workspace(check)) = (cfg.on(rule.id), &rule.check) {
+                check(&ws, &mut raw);
+            }
+        }
+        ws.files
+    } else {
+        ctxs
+    };
+
     let mut out = Vec::new();
     for f in raw {
-        if ctx.suppressions.iter().any(|s| s.covers(f.line, f.rule)) {
-            continue;
+        let suppressed = ctxs
+            .iter()
+            .find(|c| c.rel == f.file)
+            .is_some_and(|c| c.suppressions.iter().any(|s| s.covers(f.line, f.rule)));
+        if !suppressed {
+            out.push(f);
         }
-        out.push(f);
     }
 
     // The suppression mechanism polices itself: a reason is mandatory and
     // the rule id must exist (otherwise the annotation silences nothing
     // and rots). These findings cannot be suppressed.
-    for s in &ctx.suppressions {
-        if s.reason.is_empty() {
-            out.push(ctx.finding(
-                s.line,
-                BAD_SUPPRESSION,
-                format!(
-                    "lint:allow({}) has no reason — write `// lint:allow({}): <why this site is safe>`",
-                    s.rules.join(","),
-                    s.rules.join(",")
-                ),
-            ));
-        }
-        for r in &s.rules {
-            if !rules::ALL.iter().any(|rule| rule.id == r.as_str()) {
+    for ctx in &ctxs {
+        for s in &ctx.suppressions {
+            if s.reason.is_empty() {
                 out.push(ctx.finding(
                     s.line,
                     BAD_SUPPRESSION,
                     format!(
-                        "lint:allow names unknown rule '{r}' (valid: {})",
-                        rules::ALL
-                            .iter()
-                            .map(|rule| rule.id)
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        "lint:allow({}) has no reason — write `// lint:allow({}): <why this site is safe>`",
+                        s.rules.join(","),
+                        s.rules.join(",")
                     ),
                 ));
+            }
+            for r in &s.rules {
+                if !rules::ALL.iter().any(|rule| rule.id == r.as_str()) {
+                    out.push(ctx.finding(
+                        s.line,
+                        BAD_SUPPRESSION,
+                        format!(
+                            "lint:allow names unknown rule '{r}' (valid: {})",
+                            rules::ALL
+                                .iter()
+                                .map(|rule| rule.id)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    ));
+                }
             }
         }
     }
 
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
     out
 }
 
-fn build_ctx<'a>(rel: &'a str, src: &'a str, toks: &[Tok]) -> FileCtx<'a> {
+pub(crate) fn build_file_ctx<'a>(rel: &'a str, src: &'a str, toks: &[Tok]) -> FileCtx<'a> {
     let code: Vec<Tok> = toks
         .iter()
         .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
@@ -464,7 +516,7 @@ mod tests {
 fn prod2() { y(); }
 ";
         let toks = tokenize(src);
-        let ctx = build_ctx("crates/x/src/lib.rs", src, &toks);
+        let ctx = build_file_ctx("crates/x/src/lib.rs", src, &toks);
         let flag_of = |name: &str| {
             let i = ctx.code.iter().position(|t| t.is_ident(name)).unwrap();
             ctx.in_test[i]
@@ -479,7 +531,7 @@ fn prod2() { y(); }
     fn cfg_not_test_is_production() {
         let src = "#[cfg(not(test))]\nfn release_only() { z(); }\n";
         let toks = tokenize(src);
-        let ctx = build_ctx("crates/x/src/lib.rs", src, &toks);
+        let ctx = build_file_ctx("crates/x/src/lib.rs", src, &toks);
         let i = ctx.code.iter().position(|t| t.is_ident("z")).unwrap();
         assert!(!ctx.in_test[i]);
     }
@@ -488,7 +540,7 @@ fn prod2() { y(); }
     fn cfg_test_use_does_not_leak() {
         let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() { q(); }\n";
         let toks = tokenize(src);
-        let ctx = build_ctx("crates/x/src/lib.rs", src, &toks);
+        let ctx = build_file_ctx("crates/x/src/lib.rs", src, &toks);
         let i = ctx.code.iter().position(|t| t.is_ident("q")).unwrap();
         assert!(!ctx.in_test[i]);
     }
@@ -497,7 +549,7 @@ fn prod2() { y(); }
     fn tests_directory_is_all_test() {
         let src = "fn anything() { a.unwrap(); }\n";
         let toks = tokenize(src);
-        let ctx = build_ctx("crates/x/tests/it.rs", src, &toks);
+        let ctx = build_file_ctx("crates/x/tests/it.rs", src, &toks);
         assert!(ctx.in_test.iter().all(|&f| f));
     }
 
@@ -513,7 +565,7 @@ fn f(seen: &mut HashSet<u32>) {
 }
 ";
         let toks = tokenize(src);
-        let ctx = build_ctx("crates/x/src/lib.rs", src, &toks);
+        let ctx = build_file_ctx("crates/x/src/lib.rs", src, &toks);
         assert!(ctx.hash_idents.contains("index"));
         assert!(ctx.hash_idents.contains("seen"));
         assert!(ctx.hash_idents.contains("m"));

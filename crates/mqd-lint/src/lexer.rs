@@ -1,13 +1,16 @@
 //! A lightweight Rust tokenizer — just enough lexical structure for the
 //! lint rules: comments and string/char literals are recognized (so rule
 //! patterns never fire inside them), identifiers and punctuation come out
-//! as individual tokens, and every token carries its 1-based source line.
+//! as individual tokens, and every token carries its 1-based source line
+//! and column.
 //!
 //! This is deliberately **not** a parser. The rules in [`crate::rules`]
 //! match short token sequences (`. unwrap ( )`, `const MAGIC =`, ...),
 //! which is exactly the granularity a tokenizer provides; building a full
 //! grammar would buy nothing for these checks and cost a dependency or a
-//! thousand lines of tree plumbing.
+//! thousand lines of tree plumbing. The workspace pass in [`crate::parse`]
+//! adds the one structural fact token patterns cannot express — brace-matched
+//! function bodies — without changing that bargain.
 
 /// Lexical class of a [`Tok`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,7 +37,8 @@ pub enum TokKind {
     BlockComment,
 }
 
-/// One token: kind, verbatim source text, and the 1-based line it starts on.
+/// One token: kind, verbatim source text, and the 1-based line and column
+/// it starts on.
 #[derive(Clone, Debug)]
 pub struct Tok {
     /// Lexical class.
@@ -43,6 +47,8 @@ pub struct Tok {
     pub text: String,
     /// 1-based line number of the token's first character.
     pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
 }
 
 impl Tok {
@@ -68,6 +74,7 @@ struct Lexer<'a> {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     src: &'a str,
 }
 
@@ -77,6 +84,7 @@ impl<'a> Lexer<'a> {
             chars: src.chars().collect(),
             pos: 0,
             line: 1,
+            col: 1,
             src,
         }
     }
@@ -85,12 +93,15 @@ impl<'a> Lexer<'a> {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consumes one char, tracking newlines.
+    /// Consumes one char, tracking newlines and columns.
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied()?;
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
@@ -100,40 +111,42 @@ impl<'a> Lexer<'a> {
         let mut out = Vec::new();
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            let col = self.col;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
                 }
-                '/' if self.peek(1) == Some('/') => out.push(self.line_comment(line)),
-                '/' if self.peek(1) == Some('*') => out.push(self.block_comment(line)),
-                '"' => out.push(self.string(line, String::new(), TokKind::Str)),
+                '/' if self.peek(1) == Some('/') => out.push(self.line_comment(line, col)),
+                '/' if self.peek(1) == Some('*') => out.push(self.block_comment(line, col)),
+                '"' => out.push(self.string(line, col, String::new(), TokKind::Str)),
                 'r' if matches!(self.peek(1), Some('"') | Some('#')) && self.raw_ahead(1) => {
                     self.bump();
-                    out.push(self.raw_string(line, "r".into(), TokKind::Str));
+                    out.push(self.raw_string(line, col, "r".into(), TokKind::Str));
                 }
                 'b' if self.peek(1) == Some('"') => {
                     self.bump();
-                    out.push(self.string(line, "b".into(), TokKind::ByteStr));
+                    out.push(self.string(line, col, "b".into(), TokKind::ByteStr));
                 }
                 'b' if self.peek(1) == Some('\'') => {
                     self.bump();
                     self.bump();
-                    out.push(self.char_lit(line, "b'".into()));
+                    out.push(self.char_lit(line, col, "b'".into()));
                 }
                 'b' if self.peek(1) == Some('r') && self.raw_ahead(2) => {
                     self.bump();
                     self.bump();
-                    out.push(self.raw_string(line, "br".into(), TokKind::ByteStr));
+                    out.push(self.raw_string(line, col, "br".into(), TokKind::ByteStr));
                 }
-                '\'' => out.push(self.quote(line)),
-                c if c.is_ascii_digit() => out.push(self.number(line)),
-                c if c.is_alphabetic() || c == '_' => out.push(self.ident(line)),
+                '\'' => out.push(self.quote(line, col)),
+                c if c.is_ascii_digit() => out.push(self.number(line, col)),
+                c if c.is_alphabetic() || c == '_' => out.push(self.ident(line, col)),
                 _ => {
                     self.bump();
                     out.push(Tok {
                         kind: TokKind::Punct,
                         text: c.to_string(),
                         line,
+                        col,
                     });
                 }
             }
@@ -151,7 +164,7 @@ impl<'a> Lexer<'a> {
         self.peek(i) == Some('"')
     }
 
-    fn line_comment(&mut self, line: u32) -> Tok {
+    fn line_comment(&mut self, line: u32, col: u32) -> Tok {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -164,10 +177,11 @@ impl<'a> Lexer<'a> {
             kind: TokKind::LineComment,
             text,
             line,
+            col,
         }
     }
 
-    fn block_comment(&mut self, line: u32) -> Tok {
+    fn block_comment(&mut self, line: u32, col: u32) -> Tok {
         let mut text = String::new();
         let mut depth = 0usize;
         while let Some(c) = self.bump() {
@@ -186,12 +200,13 @@ impl<'a> Lexer<'a> {
             kind: TokKind::BlockComment,
             text,
             line,
+            col,
         }
     }
 
     /// Regular (escaped) string; `prefix` is `""` or `"b"`. Consumes the
     /// opening quote itself.
-    fn string(&mut self, line: u32, prefix: String, kind: TokKind) -> Tok {
+    fn string(&mut self, line: u32, col: u32, prefix: String, kind: TokKind) -> Tok {
         let mut text = prefix;
         text.push('"');
         self.bump(); // opening quote
@@ -205,12 +220,17 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        Tok { kind, text, line }
+        Tok {
+            kind,
+            text,
+            line,
+            col,
+        }
     }
 
     /// Raw string starting at the `#`-or-quote position; `prefix` is the
     /// already-consumed `r`/`br`.
-    fn raw_string(&mut self, line: u32, prefix: String, kind: TokKind) -> Tok {
+    fn raw_string(&mut self, line: u32, col: u32, prefix: String, kind: TokKind) -> Tok {
         let mut text = prefix;
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
@@ -229,11 +249,16 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        Tok { kind, text, line }
+        Tok {
+            kind,
+            text,
+            line,
+            col,
+        }
     }
 
     /// `'` at the current position: lifetime or char literal.
-    fn quote(&mut self, line: u32) -> Tok {
+    fn quote(&mut self, line: u32, col: u32) -> Tok {
         // Lifetime: 'ident not followed by a closing quote ('a, 'static).
         if let Some(c1) = self.peek(1) {
             if (c1.is_alphabetic() || c1 == '_') && self.peek(2) != Some('\'') {
@@ -251,15 +276,16 @@ impl<'a> Lexer<'a> {
                     kind: TokKind::Lifetime,
                     text,
                     line,
+                    col,
                 };
             }
         }
         self.bump(); // opening '
-        self.char_lit(line, "'".into())
+        self.char_lit(line, col, "'".into())
     }
 
     /// Char literal body after the opening quote(s) in `text`.
-    fn char_lit(&mut self, line: u32, mut text: String) -> Tok {
+    fn char_lit(&mut self, line: u32, col: u32, mut text: String) -> Tok {
         while let Some(c) = self.bump() {
             text.push(c);
             if c == '\\' {
@@ -274,10 +300,11 @@ impl<'a> Lexer<'a> {
             kind: TokKind::Char,
             text,
             line,
+            col,
         }
     }
 
-    fn number(&mut self, line: u32) -> Tok {
+    fn number(&mut self, line: u32, col: u32) -> Tok {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_ascii_alphanumeric() || c == '_' {
@@ -298,10 +325,11 @@ impl<'a> Lexer<'a> {
             kind: TokKind::Num,
             text,
             line,
+            col,
         }
     }
 
-    fn ident(&mut self, line: u32) -> Tok {
+    fn ident(&mut self, line: u32, col: u32) -> Tok {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
@@ -315,6 +343,7 @@ impl<'a> Lexer<'a> {
             kind: TokKind::Ident,
             text,
             line,
+            col,
         }
     }
 }
@@ -410,6 +439,27 @@ mod tests {
         assert_eq!(find("b"), 2);
         assert_eq!(find("c"), 4);
         assert_eq!(find("d"), 5);
+    }
+
+    #[test]
+    fn columns_track_token_starts() {
+        let t = tokenize("let x = m.iter();\n    y.recv()");
+        let find = |s: &str| {
+            let tok = t.iter().find(|tok| tok.text == s).unwrap();
+            (tok.line, tok.col)
+        };
+        assert_eq!(find("let"), (1, 1));
+        assert_eq!(find("x"), (1, 5));
+        assert_eq!(find("iter"), (1, 11));
+        assert_eq!(find("y"), (2, 5));
+        assert_eq!(find("recv"), (2, 7));
+    }
+
+    #[test]
+    fn columns_reset_after_multiline_tokens() {
+        let t = tokenize("/* a\nb */ x");
+        let x = t.iter().find(|tok| tok.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 6));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //!
 //! Every such call in `mqd-server`/`mqd-stream`/`mqd-par`/`mqd-load` (a
 //! wedged lane thread stalls the whole paced run past its deadline — the
-//! harness must outlive any server misbehavior it provokes) and the CLI's
-//! serving glue must either use the `_timeout` variant or carry a
-//! `// lint:allow(blocking-call): <why this blocks only boundedly>`
+//! harness must outlive any server misbehavior it provokes), the CLI, and
+//! the offline tools (`mqd-datagen`, `mqd-bench` — a hung generator wedges
+//! a CI job just as surely) must either use the `_timeout` variant or
+//! carry a `// lint:allow(blocking-call): <why this blocks only boundedly>`
 //! justification — the annotation IS the documentation the next reader
 //! needs.
 
@@ -26,7 +27,9 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-par/src")
         || rel.starts_with("crates/mqd-router/src")
         || rel.starts_with("crates/mqd-load/src")
-        || rel == "crates/mqd-cli/src/serve.rs"
+        || rel.starts_with("crates/mqd-cli/src")
+        || rel.starts_with("crates/mqd-datagen/src")
+        || rel.starts_with("crates/mqd-bench/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -144,11 +147,27 @@ fn worker(rx: &Receiver<Conn>) {
     #[test]
     fn out_of_scope_crate_is_clean() {
         let out = lint_source(
-            "crates/mqd-datagen/src/lib.rs",
+            "crates/mqd-text/src/tokenize.rs",
             "fn f(rx: &Receiver<u8>) { rx.recv(); }",
             &LintConfig::subset(&[super::ID]).unwrap(),
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cli_datagen_and_bench_sources_are_in_scope() {
+        for rel in [
+            "crates/mqd-cli/src/commands.rs",
+            "crates/mqd-datagen/src/lib.rs",
+            "crates/mqd-bench/src/main.rs",
+        ] {
+            let out = lint_source(
+                rel,
+                "fn f(rx: &Receiver<u8>) { rx.recv(); }",
+                &LintConfig::subset(&[super::ID]).unwrap(),
+            );
+            assert_eq!(out.len(), 1, "{rel}: {out:?}");
+        }
     }
 
     #[test]

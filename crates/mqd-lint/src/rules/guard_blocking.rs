@@ -1,0 +1,72 @@
+//! `guard-held-blocking`: blocking while a lock guard is live.
+//!
+//! The bug class: PR 4's pool deadlock, rediscovered by hand in PR 6's
+//! refresher pool — a thread parks inside `recv()`/`join()`/`read_line`
+//! (or stalls milliseconds inside fsync) while holding a mutex or RwLock
+//! guard, and every other thread that touches that lock convoys behind
+//! it. One slow fsync under the store's write guard turns a 2ms p99 into
+//! a 200ms one; one wedged `recv()` under a shared mutex wedges the pool.
+//!
+//! Fires when a blocking operation is reachable while a guard is live:
+//! directly in the guarded region, or one call deep (a guarded call to a
+//! workspace function whose body blocks) — see
+//! [`BLOCKING_CALL_DEPTH`](crate::callgraph::BLOCKING_CALL_DEPTH).
+//! Deliberate sites (an fsync that IS the ack barrier) carry a
+//! `lint:allow(guard-held-blocking): <why>` justification.
+
+use crate::callgraph::WorkspaceCtx;
+use crate::report::Finding;
+
+pub const ID: &str = "guard-held-blocking";
+
+pub fn check(ws: &WorkspaceCtx, out: &mut Vec<Finding>) {
+    for f in &ws.fns {
+        // Direct: the blocking op runs inside the guarded region.
+        for b in &f.blocking {
+            let Some(h) = b.held.first() else { continue };
+            let locks: Vec<String> = b.held.iter().map(|g| format!("`{}`", g.lock)).collect();
+            out.push(ws.finding(
+                f.file,
+                b.site.line,
+                b.site.col,
+                ID,
+                format!(
+                    "`{}` while the guard on {} (acquired line {}) is live — every thread \
+                     contending for the lock convoys behind this block (the PR 4 deadlock \
+                     class); drop the guard first, or justify with lint:allow",
+                    b.what,
+                    locks.join(", "),
+                    h.site.line
+                ),
+            ));
+        }
+        // One call deep: a guarded call to a workspace fn that blocks.
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            let Some((callee_fn, b)) = ws.reachable_blocking(&c.callee) else {
+                continue;
+            };
+            let h = &c.held[0];
+            out.push(ws.finding(
+                f.file,
+                c.site.line,
+                c.site.col,
+                ID,
+                format!(
+                    "call to `{}` (which does `{}` at {}:{}) while the guard on `{}` \
+                     (acquired line {}) is live — the block happens one frame down but \
+                     the convoy forms here; drop the guard first, or justify with \
+                     lint:allow",
+                    c.callee,
+                    b.what,
+                    ws.rel(ws.fns[callee_fn].file),
+                    b.site.line,
+                    h.lock,
+                    h.site.line
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! `lock-order`: inconsistent lock-acquisition order across the workspace.
+//!
+//! The bug class: thread 1 locks `a` then `b`, thread 2 locks `b` then
+//! `a` — each holds what the other wants and both wedge forever. The
+//! order is invisible per-file once the second acquisition hides behind a
+//! call (`publish` locks `index` then calls `record`, which locks
+//! `ledger`), which is why the per-file rules could never catch it and
+//! `mqd-server` documents its order (`store`, then `cache`, then `subs`)
+//! in a comment the compiler cannot read.
+//!
+//! Mechanics: every acquisition made while another guard is live adds a
+//! directed edge `held → acquired` to a global graph — directly, or
+//! through up to [`LOCK_CALL_DEPTH`](crate::callgraph::LOCK_CALL_DEPTH)
+//! call frames when the acquisition happens in a callee. Any cycle among
+//! the named lock sites is a potential deadlock; the finding prints both
+//! acquisition paths so the reviewer sees the two interleavings.
+
+use crate::callgraph::{WorkspaceCtx, LOCK_CALL_DEPTH};
+use crate::facts::Site;
+use crate::report::Finding;
+
+pub const ID: &str = "lock-order";
+
+/// One lock-order edge: `from` was held when `to` was acquired.
+struct Edge {
+    from: String,
+    to: String,
+    /// File/site the ordering was created at (the acquisition, or the call
+    /// that leads to it).
+    file: usize,
+    site: Site,
+    /// `fn` the ordering happens in.
+    in_fn: String,
+    /// Extra context for propagated edges ("via `record`, which locks ...").
+    via: String,
+}
+
+pub fn check(ws: &WorkspaceCtx, out: &mut Vec<Finding>) {
+    let mut edges: Vec<Edge> = Vec::new();
+    for f in &ws.fns {
+        // Direct: a second acquisition while a guard is live.
+        for a in &f.acquires {
+            for h in &a.held {
+                if h.lock != a.lock {
+                    edges.push(Edge {
+                        from: h.lock.clone(),
+                        to: a.lock.clone(),
+                        file: f.file,
+                        site: a.site,
+                        in_fn: f.name.clone(),
+                        via: String::new(),
+                    });
+                }
+            }
+        }
+        // Propagated: a call made while a guard is live, where some callee
+        // (up to LOCK_CALL_DEPTH frames down) acquires.
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            for (callee_fn, acq) in ws.reachable_acquires(&c.callee, LOCK_CALL_DEPTH) {
+                for h in &c.held {
+                    if h.lock != acq.lock {
+                        edges.push(Edge {
+                            from: h.lock.clone(),
+                            to: acq.lock.clone(),
+                            file: f.file,
+                            site: c.site,
+                            in_fn: f.name.clone(),
+                            via: format!(
+                                " via `{}`, which locks `{}` at {}:{}",
+                                c.callee,
+                                acq.lock,
+                                ws.rel(ws.fns[callee_fn].file),
+                                acq.site.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle hunt: for each edge A→B, look for a path B→…→A. Each cycle is
+    // reported once, keyed by its sorted lock set, anchored at the first
+    // edge (file order, then token order) that participates.
+    let mut seen: Vec<Vec<String>> = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let Some(back) = path(&edges, &e.to, &e.from, i) else {
+            continue;
+        };
+        let mut key: Vec<String> = back.iter().map(|&j| edges[j].from.clone()).collect();
+        key.push(e.from.clone());
+        key.sort();
+        key.dedup();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let reverse: Vec<String> = back
+            .iter()
+            .map(|&j| {
+                let b = &edges[j];
+                format!(
+                    "`{}` then `{}` at {}:{}:{} (in `{}`{})",
+                    b.from,
+                    b.to,
+                    ws.rel(b.file),
+                    b.site.line,
+                    b.site.col,
+                    b.in_fn,
+                    b.via
+                )
+            })
+            .collect();
+        out.push(ws.finding(
+            e.file,
+            e.site.line,
+            e.site.col,
+            ID,
+            format!(
+                "lock-order cycle — potential deadlock: `{}` then `{}` here (in `{}`{}), \
+                 but the reverse order exists: {}; two threads taking the two paths \
+                 concurrently deadlock (the ABBA class)",
+                e.from,
+                e.to,
+                e.in_fn,
+                e.via,
+                reverse.join("; ")
+            ),
+        ));
+    }
+}
+
+/// BFS for an edge path `from → … → to`, excluding the triggering edge
+/// itself. Returns edge indices along the path.
+fn path(edges: &[Edge], from: &str, to: &str, exclude: usize) -> Option<Vec<usize>> {
+    let mut frontier: Vec<(String, Vec<usize>)> = vec![(from.to_string(), Vec::new())];
+    let mut visited: Vec<String> = vec![from.to_string()];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for (at, trail) in frontier {
+            for (j, e) in edges.iter().enumerate() {
+                if j == exclude || e.from != at {
+                    continue;
+                }
+                let mut t = trail.clone();
+                t.push(j);
+                if e.to == to {
+                    return Some(t);
+                }
+                if !visited.contains(&e.to) {
+                    visited.push(e.to.clone());
+                    next.push((e.to.clone(), t));
+                }
+            }
+        }
+        frontier = next;
+    }
+    None
+}

@@ -1,26 +1,41 @@
-//! The rule catalog. Each rule is a token-pattern check over one file,
-//! scoped by workspace path to the modules where its bug class actually
-//! bites (see DESIGN.md §13 for the incident history behind each rule).
+//! The rule catalog. File rules are token-pattern checks over one file,
+//! scoped by workspace path to the modules where their bug class actually
+//! bites; workspace rules run over the two-pass cross-file context —
+//! item tree, per-function facts, call graph (see DESIGN.md §13 for the
+//! incident history behind each rule).
 
+use crate::callgraph::WorkspaceCtx;
 use crate::engine::FileCtx;
 use crate::lexer::TokKind;
 use crate::report::Finding;
 
 mod blocking;
 mod durability;
+mod guard_blocking;
+mod lock_order;
 mod nondet;
 mod overflow;
 mod panics;
+mod unchecked_len;
 mod wire;
 
-/// One lint rule: stable id, one-line summary, and the per-file check.
+/// A rule's check: per-file token patterns, or a workspace-level analysis
+/// over the call-graph context.
+pub enum Check {
+    /// Runs once per file.
+    File(fn(&FileCtx, &mut Vec<Finding>)),
+    /// Runs once over the whole scanned set.
+    Workspace(fn(&WorkspaceCtx, &mut Vec<Finding>)),
+}
+
+/// One lint rule: stable id, one-line summary, and the check.
 pub struct Rule {
     /// Stable rule id — what `--rules` and `lint:allow(...)` name.
     pub id: &'static str,
     /// One-line description for `--help`-style listings.
     pub summary: &'static str,
-    /// The check itself; pushes findings for one file.
-    pub check: fn(&FileCtx, &mut Vec<Finding>),
+    /// The check itself.
+    pub check: Check,
 }
 
 /// Every rule, in reporting order.
@@ -28,32 +43,47 @@ pub const ALL: &[Rule] = &[
     Rule {
         id: nondet::ID,
         summary: "HashMap/HashSet iteration in determinism-critical modules",
-        check: nondet::check,
+        check: Check::File(nondet::check),
     },
     Rule {
         id: panics::ID,
         summary: "unwrap/expect/panic!/risky indexing on serving hot paths",
-        check: panics::check,
+        check: Check::File(panics::check),
     },
     Rule {
         id: overflow::ID,
         summary: "raw i64 arithmetic on F/lambda values outside the i128 helpers",
-        check: overflow::check,
+        check: Check::File(overflow::check),
     },
     Rule {
         id: blocking::ID,
         summary: "recv()/join()/read_line without timeout in worker loops",
-        check: blocking::check,
+        check: Check::File(blocking::check),
     },
     Rule {
         id: wire::ID,
         summary: "wire magic/opcodes defined outside mqd_core::{wire, record}",
-        check: wire::check,
+        check: Check::File(wire::check),
     },
     Rule {
         id: durability::ID,
         summary: "raw filesystem mutation in mqd-wal outside the fsio module",
-        check: durability::check,
+        check: Check::File(durability::check),
+    },
+    Rule {
+        id: lock_order::ID,
+        summary: "lock-acquisition-order cycles across the call graph (ABBA deadlocks)",
+        check: Check::Workspace(lock_order::check),
+    },
+    Rule {
+        id: guard_blocking::ID,
+        summary: "blocking I/O, recv/join or fsync while a lock guard is live",
+        check: Check::Workspace(guard_blocking::check),
+    },
+    Rule {
+        id: unchecked_len::ID,
+        summary: "wire-decoded lengths reaching allocations without plausible_len",
+        check: Check::Workspace(unchecked_len::check),
     },
 ];
 

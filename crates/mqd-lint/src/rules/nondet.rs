@@ -34,8 +34,10 @@ const ITER_METHODS: &[&str] = &[
 
 /// The determinism-critical list: modules whose outputs must be
 /// byte-identical across processes (serving answers, checkpoint replay,
-/// solver tie-breaks, and `mqd-load`'s seed-replayable plans and
-/// byte-stable evidence artifacts).
+/// solver tie-breaks, `mqd-load`'s seed-replayable plans and byte-stable
+/// evidence artifacts, and the offline tools — CLI command output,
+/// generated corpora, bench reports — which the oracle and CI diff
+/// byte-for-byte).
 fn applies(rel: &str) -> bool {
     rel.starts_with("crates/mqd-core/src/algorithms")
         || rel.starts_with("crates/mqd-store/src")
@@ -43,6 +45,9 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-stream/src")
         || rel.starts_with("crates/mqd-router/src")
         || rel.starts_with("crates/mqd-load/src")
+        || rel.starts_with("crates/mqd-cli/src")
+        || rel.starts_with("crates/mqd-datagen/src")
+        || rel.starts_with("crates/mqd-bench/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -252,5 +257,22 @@ fn f(m: &HashMap<u16, u32>) {
             &LintConfig::subset(&[super::ID]).unwrap(),
         );
         assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn cli_datagen_and_bench_sources_are_in_scope() {
+        let src = "\
+fn f(m: &HashMap<u16, u32>) {
+    for (k, v) in m.iter() { use_it(k, v); }
+}
+";
+        for rel in [
+            "crates/mqd-cli/src/commands.rs",
+            "crates/mqd-datagen/src/lib.rs",
+            "crates/mqd-bench/src/main.rs",
+        ] {
+            let out = lint_source(rel, src, &LintConfig::subset(&[super::ID]).unwrap());
+            assert_eq!(out.len(), 1, "{rel}: {out:?}");
+        }
     }
 }

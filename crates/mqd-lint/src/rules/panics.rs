@@ -37,12 +37,16 @@ fn applies(rel: &str) -> bool {
         || rel.starts_with("crates/mqd-wal/src")
         || rel.starts_with("crates/mqd-router/src")
         || rel.starts_with("crates/mqd-load/src")
+        || rel.starts_with("crates/mqd-cli/src")
+        || rel.starts_with("crates/mqd-datagen/src")
+        || rel.starts_with("crates/mqd-bench/src")
 }
 
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
     if !applies(ctx.rel) {
         return;
     }
+    let arrays = array_lens(ctx);
     for i in 0..ctx.code.len() {
         if ctx.in_test[i] {
             continue;
@@ -84,18 +88,80 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 ),
             ));
         } else if t.is_punct('[') && after_value(ctx, i) {
-            if let Some(f) = risky_index(ctx, i) {
+            if let Some(f) = risky_index(ctx, i, &arrays) {
                 out.push(f);
             }
         }
     }
 }
 
+/// Identifiers bound to fixed-size array literals (`let mut sums = [0.0; 4]`)
+/// or carrying an array type ascription (`sums: [f64; 4]`), mapped to their
+/// length. Indexing one with a literal below its length cannot panic, so
+/// [`risky_index`] exempts it.
+fn array_lens(ctx: &FileCtx) -> std::collections::HashMap<String, u64> {
+    let mut out = std::collections::HashMap::new();
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        // `NAME = [ <fill>; N ]` or `NAME : [ <ty>; N ]`.
+        if code[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(sep) = code.get(i + 1) else { continue };
+        if !(sep.is_punct('=') || sep.is_punct(':'))
+            || !code.get(i + 2).is_some_and(|b| b.is_punct('['))
+        {
+            continue;
+        }
+        // Find the matching `]`; the pattern is `[ .. ; N ]` with N a
+        // literal right before the close and the `;` at bracket depth 1.
+        let open = i + 2;
+        let mut depth = 0i32;
+        let mut j = open;
+        let close = loop {
+            match code.get(j) {
+                Some(t) if t.is_punct('[') => depth += 1,
+                Some(t) if t.is_punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break j;
+                    }
+                }
+                Some(_) => {}
+                None => break usize::MAX,
+            }
+            j += 1;
+        };
+        if close == usize::MAX || close < open + 3 {
+            continue;
+        }
+        let n_tok = &code[close - 1];
+        if n_tok.kind != TokKind::Num || !code[close - 2].is_punct(';') {
+            continue;
+        }
+        let digits: String = n_tok
+            .text
+            .chars()
+            .filter(|c| *c != '_')
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(n) = digits.parse::<u64>() {
+            out.insert(code[i].text.clone(), n);
+        }
+    }
+    out
+}
+
 /// Classifies the index expression starting at `code[open] == '['`. Range
 /// slicing and fixed literal indices panic on short inputs; anything else
 /// (dense-id indexing) is exempt by design.
-fn risky_index(ctx: &FileCtx, open: usize) -> Option<Finding> {
+fn risky_index(
+    ctx: &FileCtx,
+    open: usize,
+    arrays: &std::collections::HashMap<String, u64>,
+) -> Option<Finding> {
     let mut depth = 0i32;
+    let mut parens = 0i32;
     let mut j = open;
     let mut content: Vec<usize> = Vec::new();
     loop {
@@ -107,7 +173,14 @@ fn risky_index(ctx: &FileCtx, open: usize) -> Option<Finding> {
             if depth == 0 {
                 break;
             }
-        } else if depth == 1 {
+        } else if t.is_punct('(') {
+            parens += 1;
+        } else if t.is_punct(')') {
+            parens -= 1;
+        } else if depth == 1 && parens == 0 {
+            // Only top-level index tokens classify the expression: a `..`
+            // inside a nested call (`v[rng.random_range(0..v.len())]`) is
+            // an argument to that call, not a slice of `v`.
             content.push(j);
         }
         j += 1;
@@ -131,6 +204,21 @@ fn risky_index(ctx: &FileCtx, open: usize) -> Option<Finding> {
         );
     }
     if content.len() == 1 && ctx.code[content[0]].kind == TokKind::Num {
+        // `sums[2]` where `sums` was declared `[_; 4]` in this file is a
+        // proven in-bounds access, not a short-buffer hazard.
+        if open > 0 && ctx.code[open - 1].kind == TokKind::Ident {
+            let idx: String = ctx.code[content[0]]
+                .text
+                .chars()
+                .filter(|c| *c != '_')
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let (Some(&n), Ok(i)) = (arrays.get(&ctx.code[open - 1].text), idx.parse::<u64>()) {
+                if i < n {
+                    return None;
+                }
+            }
+        }
         return Some(ctx.finding(
             ctx.code[open].line,
             ID,
@@ -195,6 +283,42 @@ fn f(buf: &[u8], rows: &[Row], idx: u32, want: usize) {
     }
 
     #[test]
+    fn literal_index_into_declared_array_is_in_bounds() {
+        let src = "\
+fn f(buf: &[u8]) -> f64 {
+    let mut sums = [0.0f64; 4];
+    sums[0] += 1.0;
+    sums[3] += 2.0;
+    sums[4] += 3.0;
+    let first = buf[0];
+    sums[1] + first as f64
+}
+";
+        let out = lint(src);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        // sums[4] overruns the declared [_; 4]; buf is a slice of unknown
+        // length — both stay flagged, in-bounds array indexing does not.
+        assert_eq!(lines, [5, 6], "{out:?}");
+    }
+
+    #[test]
+    fn range_inside_nested_call_is_not_range_slicing() {
+        // The `..` is an argument to random_range, not a slice of `pool`;
+        // the index itself is a computed in-bounds value (dense-id class).
+        let src = "\
+fn pick(pool: &[u32], rng: &mut Rng) -> u32 {
+    pool[rng.random_range(0..pool.len())]
+}
+fn still_flagged(buf: &[u8], n: usize) -> &[u8] {
+    &buf[..mix(n)]
+}
+";
+        let out = lint(src);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [5], "{out:?}");
+    }
+
+    #[test]
     fn array_types_and_macros_not_confused_with_indexing() {
         let src = "\
 const M: [u8; 4] = *b\"ABCD\";
@@ -232,11 +356,27 @@ mod tests {
     #[test]
     fn out_of_scope_crate_is_clean() {
         let out = lint_source(
-            "crates/mqd-datagen/src/lib.rs",
+            "crates/mqd-text/src/tokenize.rs",
             "fn f(o: Option<u8>) { o.unwrap(); }",
             &LintConfig::subset(&[super::ID]).unwrap(),
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cli_datagen_and_bench_sources_are_in_scope() {
+        for rel in [
+            "crates/mqd-cli/src/commands.rs",
+            "crates/mqd-datagen/src/lib.rs",
+            "crates/mqd-bench/src/main.rs",
+        ] {
+            let out = lint_source(
+                rel,
+                "fn f(o: Option<u8>) { o.unwrap(); }",
+                &LintConfig::subset(&[super::ID]).unwrap(),
+            );
+            assert_eq!(out.len(), 1, "{rel}: {out:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! `unchecked-len`: wire-decoded lengths reaching allocations unclamped.
+//!
+//! The bug class: a length-prefixed frame claims `count = 2^60`, the
+//! decoder calls `Vec::with_capacity(count)`, and the process dies of OOM
+//! before any validation runs — one corrupt (or hostile) frame kills the
+//! server. PR 8's decoder-hardening sweep fixed every such site by
+//! clamping through `Cursor::plausible_len`, which bounds a claimed count
+//! by `remaining / min_encoded_size`; this rule makes that sweep
+//! permanent instead of remembered.
+//!
+//! Taint, intraprocedurally per function: identifiers bound from a wire
+//! decode (`get_varint`, `get_varint_i64`, `from_le_bytes`) are length
+//! sources; binding through `plausible_len` (or rebinding from anything
+//! clean) clears the taint; `Vec::with_capacity`, `.reserve`, `vec![_; n]`
+//! and `.read_exact` are sinks. A decode expression flowing into a sink
+//! with no intermediate binding is tainted too.
+
+use crate::callgraph::WorkspaceCtx;
+use crate::engine::FileCtx;
+use crate::facts::Site;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::FnItem;
+use crate::report::Finding;
+use std::collections::HashMap;
+
+pub const ID: &str = "unchecked-len";
+
+/// Decode calls producing attacker-controlled integers.
+const SOURCES: &[&str] = &["get_varint", "get_varint_i64", "from_le_bytes"];
+/// The sanctioned clamp.
+const SANITIZER: &str = "plausible_len";
+
+fn applies(rel: &str) -> bool {
+    // wire.rs is the sanctioned home of plausible_len itself.
+    rel != "crates/mqd-core/src/wire.rs"
+}
+
+pub fn check(ws: &WorkspaceCtx, out: &mut Vec<Finding>) {
+    for (fi, (file, items)) in ws.files.iter().zip(&ws.items).enumerate() {
+        if !applies(file.rel) {
+            continue;
+        }
+        for (k, item) in items.iter().enumerate() {
+            if file.in_test.get(item.body_open).copied().unwrap_or(false) {
+                continue;
+            }
+            let nested_here = items
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != k && other.contains(item));
+            if nested_here {
+                continue; // the outer item's walk covers nested fns' tokens
+            }
+            check_fn(ws, fi, file, item, out);
+        }
+    }
+}
+
+fn check_fn(ws: &WorkspaceCtx, fi: usize, file: &FileCtx, item: &FnItem, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    // Tainted ident → site of the decode that minted it.
+    let mut tainted: HashMap<String, Site> = HashMap::new();
+    let mut i = item.body_open;
+    while i <= item.body_close && i < code.len() {
+        let t = &code[i];
+        // `let [mut] n = <rhs>;` — taint bookkeeping.
+        if t.is_ident("let") {
+            if let Some((name, rhs)) = let_parts(code, i, item.body_close) {
+                let has_sanitizer = span_has(code, rhs, |x| x.is_ident(SANITIZER));
+                let has_source = span_has(code, rhs, |x| {
+                    x.kind == TokKind::Ident && SOURCES.contains(&x.text.as_str())
+                });
+                let has_tainted = span_has(code, rhs, |x| {
+                    x.kind == TokKind::Ident && tainted.contains_key(&x.text)
+                });
+                if has_sanitizer {
+                    tainted.remove(&name);
+                } else if has_source || has_tainted {
+                    tainted.insert(
+                        name,
+                        Site {
+                            line: t.line,
+                            col: t.col,
+                        },
+                    );
+                } else {
+                    tainted.remove(&name); // clean rebind clears
+                }
+            }
+        }
+        // Sinks.
+        if let Some((args, label)) = sink_args(code, i) {
+            let clean = span_has(code, args, |x| x.is_ident(SANITIZER));
+            let dirty_ident = (args.0..args.1)
+                .find(|&j| code[j].kind == TokKind::Ident && tainted.contains_key(&code[j].text));
+            let dirty_source = span_has(code, args, |x| {
+                x.kind == TokKind::Ident && SOURCES.contains(&x.text.as_str())
+            });
+            if !clean && (dirty_ident.is_some() || dirty_source) {
+                let detail = match dirty_ident {
+                    Some(j) => format!(
+                        "wire-decoded length `{}` (decoded at line {})",
+                        code[j].text, tainted[&code[j].text].line
+                    ),
+                    None => "a wire-decoded length".to_string(),
+                };
+                out.push(ws.finding(
+                    fi,
+                    t.line,
+                    t.col,
+                    ID,
+                    format!(
+                        "{detail} reaches `{label}` without passing through \
+                         `plausible_len` — a corrupt or hostile frame can claim an \
+                         exabyte and OOM the process before any validation (the PR 8 \
+                         decoder-hardening class); clamp with Cursor::plausible_len \
+                         first"
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If `code[i]` opens a sink, returns the argument token span (exclusive
+/// end) and the sink label.
+fn sink_args(code: &[Tok], i: usize) -> Option<((usize, usize), &'static str)> {
+    let t = &code[i];
+    let (open, label) = if t.is_ident("with_capacity") && code.get(i + 1)?.is_punct('(') {
+        (i + 1, "Vec::with_capacity")
+    } else if t.is_ident("reserve")
+        && i >= 1
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1)?.is_punct('(')
+    {
+        (i + 1, ".reserve")
+    } else if t.is_ident("read_exact")
+        && i >= 1
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1)?.is_punct('(')
+    {
+        (i + 1, ".read_exact")
+    } else if t.is_ident("vec") && code.get(i + 1)?.is_punct('!') && code.get(i + 2)?.is_punct('[')
+    {
+        // `vec![fill; n]` — only the repeat count after `;` is a sink.
+        let mut j = i + 3;
+        let mut depth = 0i32;
+        while let Some(x) = code.get(j) {
+            if x.is_punct('[') || x.is_punct('(') {
+                depth += 1;
+            } else if x.is_punct(')') {
+                depth -= 1;
+            } else if x.is_punct(']') {
+                if depth == 0 {
+                    return None; // no `;` — a list literal, not a repeat
+                }
+                depth -= 1;
+            } else if x.is_punct(';') && depth == 0 {
+                return Some(((j + 1, close_of(code, i + 2)?), "vec![_; n]"));
+            }
+            j += 1;
+        }
+        return None;
+    } else {
+        return None;
+    };
+    Some(((open + 1, close_of(code, open)?), label))
+}
+
+/// Index of the bracket/paren closing the one at `open`.
+fn close_of(code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while let Some(x) = code.get(j) {
+        if x.is_punct('(') || x.is_punct('[') {
+            depth += 1;
+        } else if x.is_punct(')') || x.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Binding name and RHS token span of the `let` at `code[i]`.
+fn let_parts(code: &[Tok], i: usize, limit: usize) -> Option<(String, (usize, usize))> {
+    // Name: last pattern ident before `=` that isn't a keyword/constructor.
+    let mut name: Option<String> = None;
+    let mut j = i + 1;
+    let eq = loop {
+        let t = code.get(j)?;
+        if j > limit || t.is_punct(';') || t.is_punct('{') {
+            return None;
+        }
+        if t.is_punct('=') && !code.get(j + 1).is_some_and(|n| n.is_punct('=')) {
+            break j;
+        }
+        if t.kind == TokKind::Ident
+            && !t.is_ident("mut")
+            && !t.is_ident("ref")
+            && !t.is_ident("Ok")
+            && !t.is_ident("Some")
+            && !t.is_ident("Err")
+        {
+            name = Some(t.text.clone());
+        }
+        j += 1;
+    };
+    // RHS: to the statement's `;` (or the body end) at depth 0.
+    let mut depth = 0i32;
+    let mut j = eq + 1;
+    while let Some(t) = code.get(j) {
+        if j > limit {
+            break;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            break;
+        }
+        j += 1;
+    }
+    Some((name?, (eq + 1, j)))
+}
+
+fn span_has(code: &[Tok], span: (usize, usize), pred: impl Fn(&Tok) -> bool) -> bool {
+    (span.0..span.1.min(code.len())).any(|j| pred(&code[j]))
+}

@@ -1,0 +1,219 @@
+//! Seeded "teeth" tests for the workspace pass: each cross-file bug class
+//! that motivated pass 2, reduced to a minimal inline workspace. The
+//! seeded bug MUST be caught and the repaired variant MUST lint clean —
+//! if either direction regresses, the analysis has lost its teeth, not
+//! just a fixture.
+
+use mqd_lint::{lint_files, LintConfig};
+
+fn cfg(rules: &[&str]) -> LintConfig {
+    LintConfig::subset(rules).unwrap()
+}
+
+#[test]
+fn seeded_abba_cycle_across_two_files_is_caught() {
+    // Thread 1: publish locks `index`, then (one call down, in the OTHER
+    // file) record locks `ledger`. Thread 2: audit locks `ledger` then
+    // `index`. Classic ABBA, invisible to any per-file scan.
+    let a = "\
+pub fn publish(s: &S) {
+    let Ok(idx) = s.index.lock() else { return };
+    record(s, &idx);
+}
+";
+    let b = "\
+pub fn record(s: &S, idx: &G) {
+    let Ok(led) = s.ledger.lock() else { return };
+    led.push(idx.head());
+}
+pub fn audit(s: &S) {
+    let Ok(led) = s.ledger.lock() else { return };
+    let Ok(idx) = s.index.lock() else { return };
+    check(&led, &idx);
+}
+";
+    let out = lint_files(
+        &[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)],
+        &cfg(&["lock-order"]),
+    );
+    assert_eq!(out.len(), 1, "{out:?}");
+    let f = &out[0];
+    assert_eq!(f.file, "crates/x/src/a.rs");
+    assert!(
+        f.message.contains("`index` then `ledger`") && f.message.contains("`ledger` then `index`"),
+        "both interleavings must be printed: {}",
+        f.message
+    );
+
+    // Each half alone is order-consistent — the cycle exists only in the
+    // union, so the workspace pass must see both files to fire.
+    for (path, src) in [("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)] {
+        let solo = lint_files(&[(path, src)], &cfg(&["lock-order"]));
+        assert!(solo.is_empty(), "{path} alone must be clean: {solo:?}");
+    }
+
+    // The repair: audit takes the locks in the published order.
+    let b_fixed = b.replace(
+        "    let Ok(led) = s.ledger.lock() else { return };\n    let Ok(idx) = s.index.lock() else { return };",
+        "    let Ok(idx) = s.index.lock() else { return };\n    let Ok(led) = s.ledger.lock() else { return };",
+    );
+    let fixed = lint_files(
+        &[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", &b_fixed)],
+        &cfg(&["lock-order"]),
+    );
+    assert!(
+        fixed.is_empty(),
+        "consistent order must be clean: {fixed:?}"
+    );
+}
+
+#[test]
+fn seeded_fsync_under_guard_is_caught_direct_and_one_call_deep() {
+    let src = "\
+pub fn append(s: &S, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    seg.stage(rows);
+    let _ = seg.file.sync_all();
+}
+pub fn append_deep(s: &S, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    seg.stage(rows);
+    flush(&mut seg);
+}
+pub fn flush(seg: &mut G) {
+    let _ = seg.file.sync_all();
+}
+";
+    let out = lint_files(
+        &[("crates/x/src/store.rs", src)],
+        &cfg(&["guard-held-blocking"]),
+    );
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, [4, 9], "{out:?}");
+    assert!(
+        out.iter().all(|f| f.message.contains("acquired line")),
+        "every finding must point back at the acquisition: {out:?}"
+    );
+
+    // The repair: drop the guard before the flush (both shapes).
+    let fixed = "\
+pub fn append(s: &S, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    let file = seg.stage(rows);
+    drop(seg);
+    let _ = file.sync_all();
+}
+pub fn append_deep(s: &S, rows: &[Row]) {
+    let Ok(mut seg) = s.segment.lock() else { return };
+    let file = seg.stage(rows);
+    drop(seg);
+    flush(&file);
+}
+pub fn flush(file: &File) {
+    let _ = file.sync_all();
+}
+";
+    let clean = lint_files(
+        &[("crates/x/src/store.rs", fixed)],
+        &cfg(&["guard-held-blocking"]),
+    );
+    assert!(
+        clean.is_empty(),
+        "dropped-guard fsync must be clean: {clean:?}"
+    );
+}
+
+#[test]
+fn blocking_two_frames_down_is_outside_the_documented_depth() {
+    // The rule's contract is direct-or-one-call-deep (BLOCKING_CALL_DEPTH).
+    // Two frames down is explicitly out of scope — this pins the bound so
+    // a depth change is a deliberate contract change, not drift.
+    let src = "\
+pub fn a(s: &S) {
+    let Ok(g) = s.m.lock() else { return };
+    b(&g);
+}
+pub fn b(g: &G) {
+    c(g);
+}
+pub fn c(g: &G) {
+    let _ = g.file.sync_all();
+}
+";
+    let out = lint_files(
+        &[("crates/x/src/a.rs", src)],
+        &cfg(&["guard-held-blocking"]),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn lock_propagation_stops_at_documented_depth() {
+    // Acquisitions propagate up to LOCK_CALL_DEPTH (= 3) frames below the
+    // guarded call. Three frames down: caught. Four: out of contract.
+    let head = "\
+pub fn a(s: &S) {
+    let Ok(g) = s.alpha.lock() else { return };
+    b1(s);
+}
+pub fn rev(s: &S) {
+    let Ok(h) = s.beta.lock() else { return };
+    let Ok(g) = s.alpha.lock() else { return };
+}
+";
+    let three_deep = format!(
+        "{head}pub fn b1(s: &S) {{ b2(s); }}\npub fn b2(s: &S) {{ b3(s); }}\n\
+         pub fn b3(s: &S) {{ let Ok(h) = s.beta.lock() else {{ return }}; }}\n"
+    );
+    let out = lint_files(
+        &[("crates/x/src/a.rs", three_deep.as_str())],
+        &cfg(&["lock-order"]),
+    );
+    assert_eq!(out.len(), 1, "beta three frames down must be seen: {out:?}");
+
+    let four_deep = format!(
+        "{head}pub fn b1(s: &S) {{ b2(s); }}\npub fn b2(s: &S) {{ b3(s); }}\n\
+         pub fn b3(s: &S) {{ b4(s); }}\n\
+         pub fn b4(s: &S) {{ let Ok(h) = s.beta.lock() else {{ return }}; }}\n"
+    );
+    let out = lint_files(
+        &[("crates/x/src/a.rs", four_deep.as_str())],
+        &cfg(&["lock-order"]),
+    );
+    assert!(out.is_empty(), "four frames is past the bound: {out:?}");
+}
+
+#[test]
+fn seeded_exabyte_length_claim_is_caught_and_clamp_clears_it() {
+    // A 10-byte hostile frame claims 2^60 rows; with_capacity on the raw
+    // claim OOMs before any validation runs.
+    let bad = "\
+pub fn decode(buf: &mut Cursor) -> Result<Vec<Row>, MqdError> {
+    let count = buf.get_varint()?;
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        rows.push(decode_row(buf)?);
+    }
+    Ok(rows)
+}
+";
+    let out = lint_files(&[("crates/x/src/decode.rs", bad)], &cfg(&["unchecked-len"]));
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 3);
+    assert!(
+        out[0].message.contains("exabyte"),
+        "must explain the OOM consequence: {}",
+        out[0].message
+    );
+
+    // The repair: clamp through plausible_len before allocating.
+    let good = bad.replace(
+        "    let count = buf.get_varint()?;",
+        "    let count = buf.get_varint()?;\n    let count = buf.plausible_len(count, 3, \"row\")?;",
+    );
+    let clean = lint_files(
+        &[("crates/x/src/decode.rs", good.as_str())],
+        &cfg(&["unchecked-len"]),
+    );
+    assert!(clean.is_empty(), "clamped length must be clean: {clean:?}");
+}

@@ -25,6 +25,16 @@ fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Finding> {
     lint_source(virtual_path, &fixture(name), &LintConfig::all())
 }
 
+/// Lints two fixtures together under virtual paths — the cross-file rules
+/// only mean anything over a multi-file workspace.
+fn lint_fixture_pair(a: (&str, &str), b: (&str, &str)) -> Vec<Finding> {
+    let (src_a, src_b) = (fixture(a.0), fixture(b.0));
+    mqd_lint::lint_files(
+        &[(a.1, src_a.as_str()), (b.1, src_b.as_str())],
+        &LintConfig::all(),
+    )
+}
+
 fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
     findings
         .iter()
@@ -94,7 +104,7 @@ fn overflow_good_is_clean() {
 #[test]
 fn blocking_bad_fires() {
     let out = lint_fixture("blocking_bad.rs", "crates/mqd-server/src/server.rs");
-    assert_eq!(lines_of(&out, "blocking-call"), [10, 18, 24], "{out:?}");
+    assert_eq!(lines_of(&out, "blocking-call"), [7, 14, 20], "{out:?}");
     assert_eq!(out.len(), 3, "no other rule may fire: {out:?}");
 }
 
@@ -145,6 +155,112 @@ fn durability_rule_is_scoped_to_mqd_wal() {
             "{path}: {out:?}"
         );
     }
+}
+
+#[test]
+fn lock_order_bad_pair_fires_across_files() {
+    let out = lint_fixture_pair(
+        ("lock_order_bad_a.rs", "crates/mqd-server/src/publish.rs"),
+        ("lock_order_bad_b.rs", "crates/mqd-server/src/reconcile.rs"),
+    );
+    assert_eq!(out.len(), 1, "one deduped cycle, nothing else: {out:?}");
+    let f = &out[0];
+    assert_eq!(f.rule, "lock-order");
+    assert_eq!(f.file, "crates/mqd-server/src/publish.rs");
+    assert_eq!(f.line, 8, "anchored on the first participating edge");
+    assert!(f.message.contains("the ABBA class"), "{}", f.message);
+    assert!(
+        f.message.contains("via `record_entry`"),
+        "must name the callee the acquisition hides behind: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("crates/mqd-server/src/reconcile.rs:13"),
+        "must print the reverse path's site in the other file: {}",
+        f.message
+    );
+}
+
+#[test]
+fn lock_order_halves_are_clean_alone() {
+    // The whole point of the workspace pass: neither file is wrong by
+    // itself, so a per-file scan of either half must stay silent.
+    for (name, path) in [
+        ("lock_order_bad_a.rs", "crates/mqd-server/src/publish.rs"),
+        ("lock_order_bad_b.rs", "crates/mqd-server/src/reconcile.rs"),
+    ] {
+        let out = lint_fixture(name, path);
+        assert!(out.is_empty(), "{name} alone must be clean: {out:?}");
+    }
+}
+
+#[test]
+fn lock_order_good_is_clean() {
+    let out = lint_fixture("lock_order_good.rs", "crates/mqd-server/src/publish.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn guard_blocking_bad_fires() {
+    let out = lint_fixture("guard_blocking_bad.rs", "crates/mqd-server/src/server.rs");
+    assert_eq!(lines_of(&out, "guard-held-blocking"), [8, 14], "{out:?}");
+    assert_eq!(out.len(), 2, "no other rule may fire: {out:?}");
+    assert!(
+        out[0]
+            .message
+            .contains("`sync_all (fsync)` while the guard on `segment` (acquired line 6)"),
+        "direct finding names the op, the lock and the acquisition: {}",
+        out[0].message
+    );
+    assert!(
+        out[1].message.contains("call to `persist_segment`")
+            && out[1].message.contains("one frame down"),
+        "propagated finding names the callee that blocks: {}",
+        out[1].message
+    );
+}
+
+#[test]
+fn guard_blocking_good_is_clean() {
+    let out = lint_fixture("guard_blocking_good.rs", "crates/mqd-server/src/server.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unchecked_len_bad_fires() {
+    let out = lint_fixture("unchecked_len_bad.rs", "crates/mqd-server/src/conn.rs");
+    assert_eq!(lines_of(&out, "unchecked-len"), [6, 16, 25], "{out:?}");
+    assert_eq!(out.len(), 3, "no other rule may fire: {out:?}");
+    assert!(
+        out[0]
+            .message
+            .contains("wire-decoded length `count` (decoded at line 5)"),
+        "must trace the taint back to the decode: {}",
+        out[0].message
+    );
+    for (f, sink) in out
+        .iter()
+        .zip(["Vec::with_capacity", ".reserve", "vec![_; n]"])
+    {
+        assert!(f.message.contains(sink), "wrong sink label: {}", f.message);
+    }
+}
+
+#[test]
+fn unchecked_len_good_is_clean() {
+    let out = lint_fixture("unchecked_len_good.rs", "crates/mqd-server/src/conn.rs");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unchecked_len_exempts_wire_rs() {
+    // wire.rs implements plausible_len itself — the same raw allocations
+    // there are the sanctioned primitives, not missed clamps.
+    let out = lint_fixture("unchecked_len_bad.rs", "crates/mqd-core/src/wire.rs");
+    assert!(
+        lines_of(&out, "unchecked-len").is_empty(),
+        "wire.rs is the rule's one exemption: {out:?}"
+    );
 }
 
 #[test]

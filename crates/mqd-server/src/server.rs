@@ -337,7 +337,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &State) {
             // mid-recv; the pool is already compromised, so this worker
             // retires instead of panicking too.
             let Ok(guard) = rx.lock() else { return };
-            // lint:allow(blocking-call): bounded by the acceptor — dropping the sender disconnects recv with Err
+            // lint:allow(blocking-call,guard-held-blocking): bounded by the acceptor — dropping the sender disconnects recv with Err; the lock exists only to serialize waiters on this recv
             guard.recv()
         };
         match conn {
@@ -783,6 +783,7 @@ fn ingest_rows(state: &State, rows: &[Record]) -> Result<(usize, u64), MqdError>
         // before this request is answered (even a prefix-error response
         // acknowledges the prefix).
         if appended > 0 {
+            // lint:allow(guard-held-blocking): the ack barrier — appended rows must be durable before any reader can observe them, so writers intentionally queue behind this fsync
             if let Err(e) = store.sync() {
                 failure.get_or_insert(e);
             }

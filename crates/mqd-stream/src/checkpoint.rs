@@ -146,15 +146,8 @@ pub fn resume_supervised(
         let stall_until = c.get_varint_i64()?;
         let degraded = c.get_u8()? != 0;
         let counters = decode_counters(&mut c)?;
-        let fired = decode_flags(&mut c)?;
+        let fired = decode_flags(&mut c, run.sups[s].fired.len())?;
         let sup = &mut run.sups[s];
-        if fired.len() != sup.fired.len() {
-            return Err(mismatch(format!(
-                "fault plan size for shard {s}: {} != {}",
-                fired.len(),
-                sup.fired.len()
-            )));
-        }
         let local_len = sup.shard.inst.len();
         let emitted_n = c.get_varint()? as usize;
         if emitted_n > local_len {
@@ -169,10 +162,12 @@ pub fn resume_supervised(
             emitted_local[p] = true;
         }
         let snap = decode_engine_snapshot(&mut c, sup.shard.inst.num_labels(), local_len)?;
-        let n_emissions = c.get_varint()? as usize;
-        if n_emissions > local_len {
+        let n_emissions = c.get_varint()?;
+        if n_emissions as usize > local_len {
             return Err(c.corrupt("emission log larger than shard"));
         }
+        // Each emission encodes at least 3 bytes (post + time + flag).
+        let n_emissions = c.plausible_len(n_emissions, 3, "emission")?;
         let mut emissions = Vec::with_capacity(n_emissions);
         for _ in 0..n_emissions {
             let post = c.get_varint()? as u32;
@@ -187,10 +182,9 @@ pub fn resume_supervised(
                 degraded,
             });
         }
-        let n_restarts = c.get_varint()? as usize;
-        if n_restarts > 1 << 20 {
-            return Err(c.corrupt("implausible restart count"));
-        }
+        let n_restarts = c.get_varint()?;
+        // Each restart record encodes at least 2 bytes (seq + attempt).
+        let n_restarts = c.plausible_len(n_restarts, 2, "restart")?;
         let mut restarts = Vec::with_capacity(n_restarts);
         for _ in 0..n_restarts {
             restarts.push(crate::chaos::RestartRecord {
@@ -264,12 +258,13 @@ fn encode_flags(buf: &mut Vec<u8>, flags: &[bool]) {
     }
 }
 
-fn decode_flags(c: &mut Cursor<'_>) -> Result<Vec<bool>, MqdError> {
+fn decode_flags(c: &mut Cursor<'_>, expect_len: usize) -> Result<Vec<bool>, MqdError> {
     let len = c.get_varint()? as usize;
-    if len > 1 << 24 {
-        return Err(c.corrupt("implausible flag vector length"));
+    if len != expect_len {
+        return Err(c.corrupt(format!("flag vector length {len} != expected {expect_len}")));
     }
-    let mut flags = vec![false; len];
+    // Allocate from the caller's trusted length, not the wire's claim.
+    let mut flags = vec![false; expect_len];
     let set = c.get_varint()? as usize;
     if set > len {
         return Err(c.corrupt("more set flags than flags"));
@@ -315,12 +310,13 @@ fn decode_engine_snapshot(
     if nl != num_labels {
         return Err(c.corrupt(format!("snapshot label count {nl} != shard's {num_labels}")));
     }
-    let mut emitted_per_label = Vec::with_capacity(nl);
+    let mut emitted_per_label = Vec::with_capacity(num_labels);
     for _ in 0..nl {
-        let n = c.get_varint()? as usize;
-        if n > num_posts {
+        let n = c.get_varint()?;
+        if n as usize > num_posts {
             return Err(c.corrupt("per-label emitted list larger than shard"));
         }
+        let n = c.plausible_len(n, 1, "per-label emitted list")?;
         let mut list = Vec::with_capacity(n);
         for _ in 0..n {
             let p = c.get_varint()? as u32;
@@ -331,20 +327,23 @@ fn decode_engine_snapshot(
         }
         emitted_per_label.push(list);
     }
-    let np = c.get_varint()? as usize;
-    if np > num_posts {
+    let np = c.get_varint()?;
+    if np as usize > num_posts {
         return Err(c.corrupt("pending list larger than shard"));
     }
+    // Each pending entry encodes at least 2 bytes (post + label count).
+    let np = c.plausible_len(np, 2, "pending list")?;
     let mut pending = Vec::with_capacity(np);
     for _ in 0..np {
         let post = c.get_varint()? as u32;
         if post as usize >= num_posts {
             return Err(c.corrupt("pending post index out of range"));
         }
-        let n = c.get_varint()? as usize;
-        if n > num_labels {
+        let n = c.get_varint()?;
+        if n as usize > num_labels {
             return Err(c.corrupt("pending label set larger than label space"));
         }
+        let n = c.plausible_len(n, 1, "pending label set")?;
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
             let a = c.get_varint()? as u16;
@@ -355,10 +354,11 @@ fn decode_engine_snapshot(
         }
         pending.push((post, labels));
     }
-    let ne = c.get_varint()? as usize;
-    if ne > num_posts {
+    let ne = c.get_varint()?;
+    if ne as usize > num_posts {
         return Err(c.corrupt("emitted set larger than shard"));
     }
+    let ne = c.plausible_len(ne, 1, "emitted set")?;
     let mut emitted = Vec::with_capacity(ne);
     for _ in 0..ne {
         let p = c.get_varint()? as u32;
